@@ -1,0 +1,23 @@
+"""Shared result-reporting registry for the benchmark harness.
+
+Benchmarks register the tables/series they regenerate; the conftest's
+``pytest_terminal_summary`` hook prints everything after the benchmark
+timings, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures both the timings and the reproduced figures.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, body: str) -> None:
+    """Queue one rendered table for the end-of-session summary."""
+    _REPORTS.append((title, body))
+
+
+def drain_reports() -> list[tuple[str, str]]:
+    """Return and clear all queued reports."""
+    global _REPORTS
+    reports, _REPORTS = _REPORTS, []
+    return reports

@@ -1,0 +1,58 @@
+"""Ablation: exact bucket averages vs the paper's integer rounding.
+
+Section 2.3 defines the histogram matrix entry as "the integer closest to"
+the bucket average.  The analysis (Proposition 3.1 etc.) uses exact
+averages; this ablation quantifies how little the rounding matters at
+realistic scales — and that it matters most for tiny relation sizes.
+"""
+
+import numpy as np
+from _reporting import record_report
+
+from repro.core.serial import v_opt_hist_dp
+from repro.data.zipf import zipf_frequencies
+from repro.experiments.report import format_table
+
+TOTALS = (100, 1_000, 10_000, 100_000)
+DOMAIN = 100
+BETA = 5
+
+
+def run_rounding():
+    rows = []
+    for total in TOTALS:
+        freqs = zipf_frequencies(total, DOMAIN, 1.0)
+        exact_size = float(np.dot(freqs, freqs))
+        hist = v_opt_hist_dp(freqs, BETA)
+        approx = hist.approximate_frequencies()
+        rounded = hist.approximate_frequencies(rounded=True)
+        estimate_exact = float(np.dot(approx, approx))
+        estimate_rounded = float(np.dot(rounded, rounded))
+        rows.append(
+            (
+                total,
+                abs(exact_size - estimate_exact) / exact_size,
+                abs(exact_size - estimate_rounded) / exact_size,
+            )
+        )
+    return rows
+
+
+def test_ablation_rounding_effect(benchmark):
+    rows = benchmark.pedantic(run_rounding, rounds=1, iterations=1)
+
+    record_report(
+        "Ablation — relative self-join error: exact vs rounded bucket "
+        f"averages (M={DOMAIN}, beta={BETA}, z=1)",
+        format_table(
+            ["T", "rel err (exact avg)", "rel err (rounded avg)"],
+            [list(r) for r in rows],
+            precision=6,
+        ),
+    )
+
+    # Rounding perturbs the estimate by at most a small relative amount,
+    # shrinking as T grows (rounding is ±0.5 against averages of T/M scale).
+    gaps = [abs(r[2] - r[1]) for r in rows]
+    assert gaps[-1] <= gaps[0] + 1e-9
+    assert all(gap < 0.05 for gap in gaps)

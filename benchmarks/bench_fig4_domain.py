@@ -1,0 +1,45 @@
+"""Figure 4: self-join σ versus join-domain size (β=5, z=1, T=1000).
+
+Paper shape: error rises just beyond M=5 (five buckets stop sufficing),
+peaks, then falls as growing M at fixed T drives the distribution toward
+uniform; serial/end-biased dominate throughout.
+"""
+
+from _reporting import record_report
+
+from repro.experiments.config import SelfJoinExperimentConfig
+from repro.experiments.report import format_series
+from repro.experiments.selfjoin import HistogramType, sweep_domain_size
+
+CONFIG = SelfJoinExperimentConfig(
+    domain_sweep=(5, 10, 20, 30, 50, 75, 100, 150, 200, 300),
+    buckets=5,
+    trials=50,
+    seed=1995,
+)
+
+
+def test_fig4_sigma_vs_domain_size(benchmark):
+    points = benchmark.pedantic(lambda: sweep_domain_size(CONFIG), rounds=1, iterations=1)
+
+    series = {
+        t.value: {p.parameter: p.sigmas[t] for p in points if t in p.sigmas}
+        for t in HistogramType
+    }
+    record_report(
+        "Figure 4 — σ vs join-domain size M (self-join, beta=5, z=1, T=1000)",
+        format_series("M", series, precision=1),
+    )
+
+    by_m = {p.parameter: p.sigmas for p in points}
+    # M = 5 with five buckets is exact for the frequency-based histograms.
+    assert by_m[5][HistogramType.SERIAL] < 1e-6
+    # Error rises past M=5, then decays toward uniformity at large M.
+    serial = [p.sigmas[HistogramType.SERIAL] for p in points]
+    peak = max(serial)
+    assert serial[-1] < peak
+    assert peak > serial[0]
+    # Ranking holds at every M.
+    for p in points:
+        assert p.sigmas[HistogramType.SERIAL] <= p.sigmas[HistogramType.END_BIASED] + 1e-9
+        assert p.sigmas[HistogramType.END_BIASED] <= p.sigmas[HistogramType.TRIVIAL] + 1e-9

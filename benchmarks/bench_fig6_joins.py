@@ -1,0 +1,77 @@
+"""Figure 6: mean relative error E[|S−S'|/S] versus number of joins (β=5).
+
+Setup follows Section 5.2: join domains of 10 values (interior relations
+carry 100-entry frequency sets), per-relation Zipf skews drawn from the
+low / mixed / high-skew grids, errors averaged over twenty random
+arrangements of the frequency sets (and over several sampled queries).
+
+Paper shape: errors grow with the number of joins for every histogram and
+every class; high skew ≫ mixed ≫ low; trivial is off the chart for all but
+the low-skew class; serial and end-biased stay close to each other.
+"""
+
+from _reporting import record_report
+
+from repro.experiments.chains import sweep_joins
+from repro.experiments.config import ChainExperimentConfig
+from repro.experiments.propagation import fit_error_growth
+from repro.experiments.report import format_series, format_table
+from repro.experiments.selfjoin import HistogramType
+from repro.queries.workload import QueryClass
+
+CONFIG = ChainExperimentConfig(
+    join_sweep=(1, 2, 3, 4, 5, 6, 7, 8),
+    buckets=5,
+    permutations=20,
+    queries_per_class=5,
+    seed=1995,
+)
+
+
+def test_fig6_error_vs_joins(benchmark):
+    points = benchmark.pedantic(lambda: sweep_joins(CONFIG), rounds=1, iterations=1)
+
+    for query_class in QueryClass:
+        class_points = [p for p in points if p.query_class is query_class]
+        series = {
+            t.value: {p.parameter: p.errors[t] for p in class_points}
+            for t in class_points[0].errors
+        }
+        record_report(
+            f"Figure 6 — E[|S−S'|/S] vs number of joins (beta=5, {query_class.value})",
+            format_series("joins", series, precision=4),
+        )
+
+    fits = fit_error_growth(points)
+    record_report(
+        "Figure 6 analysis — fitted per-join error growth factor "
+        "(the exponential propagation of reference [10])",
+        format_table(
+            ["class", "histogram", "growth/join", "R²"],
+            [
+                [f.query_class.value, f.histogram_type.value, f.growth_factor, f.r_squared]
+                for f in fits
+            ],
+            precision=3,
+        ),
+    )
+
+    by_class = {
+        c: [p for p in points if p.query_class is c] for c in QueryClass
+    }
+    # Errors grow with join count (compare endpoints; individual steps are noisy).
+    for query_class, class_points in by_class.items():
+        for t in (HistogramType.SERIAL, HistogramType.END_BIASED, HistogramType.TRIVIAL):
+            assert class_points[-1].errors[t] > class_points[0].errors[t] * 0.5
+        assert (
+            class_points[-1].errors[HistogramType.TRIVIAL]
+            > class_points[0].errors[HistogramType.TRIVIAL]
+        )
+    # High skew is much harder than low skew at the longest chain.
+    assert (
+        by_class[QueryClass.HIGH_SKEW][-1].errors[HistogramType.END_BIASED]
+        > by_class[QueryClass.LOW_SKEW][-1].errors[HistogramType.END_BIASED]
+    )
+    # Trivial is far worse than the optimal families on high skew.
+    high_last = by_class[QueryClass.HIGH_SKEW][-1]
+    assert high_last.errors[HistogramType.TRIVIAL] > 5 * high_last.errors[HistogramType.END_BIASED]

@@ -1,0 +1,94 @@
+"""End-to-end SQL workload: estimate quality by catalog histogram kind.
+
+Runs a mixed selection/join workload through the SQL front-end four times —
+once per histogram kind in the catalog — and reports the mean relative
+error between the optimizer's EXPLAIN estimate and the true result size.
+This is the paper's whole argument compressed into one table: the same
+engine, the same queries, only the histogram class changes.
+"""
+
+import numpy as np
+from _reporting import record_report
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.experiments.report import format_table
+from repro.sql import Database
+
+KINDS = ("trivial", "equi-depth", "end-biased", "serial")
+
+WORKLOAD = [
+    "SELECT * FROM orders WHERE cust = 0",
+    "SELECT * FROM orders WHERE cust = 25",
+    "SELECT * FROM orders WHERE qty BETWEEN 3 AND 5",
+    "SELECT * FROM orders WHERE item IN (0, 1, 2)",
+    "SELECT * FROM orders WHERE item <> 0",
+    "SELECT * FROM orders o, customers c WHERE o.cust = c.cust",
+    "SELECT * FROM orders o, items i WHERE o.item = i.item",
+    (
+        "SELECT o.item FROM orders o, customers c, items i "
+        "WHERE o.cust = c.cust AND o.item = i.item AND o.qty > 7"
+    ),
+]
+
+
+def build_database(kind):
+    rng = np.random.default_rng(1995)
+
+    def zipf_column(total, domain, z):
+        freqs = quantize_to_integers(zipf_frequencies(total, domain, z))
+        column = [value for value, f in enumerate(freqs) for _ in range(int(f))]
+        rng.shuffle(column)
+        return column
+
+    db = Database()
+    db.create(
+        "orders",
+        {
+            "cust": zipf_column(2000, 50, 1.5),
+            "item": zipf_column(2000, 30, 0.8),
+            "qty": list(rng.integers(1, 10, 2000)),
+        },
+    )
+    db.create("customers", {"cust": list(range(50))})
+    db.create("items", {"item": zipf_column(600, 30, 1.0)})
+    db.analyze(kind=kind, buckets=10)
+    return db
+
+
+def run_workload():
+    rows = []
+    for kind in KINDS:
+        db = build_database(kind)
+        errors = []
+        for sql in WORKLOAD:
+            truth = db.execute(sql).cardinality
+            estimate = db.estimate(sql)
+            if truth > 0:
+                errors.append(abs(estimate - truth) / truth)
+        rows.append((kind, float(np.mean(errors)), float(np.max(errors))))
+    return rows
+
+
+def test_sql_workload_estimates(benchmark):
+    rows = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+
+    record_report(
+        f"SQL workload — estimate quality by catalog histogram kind "
+        f"({len(WORKLOAD)} queries)",
+        format_table(
+            ["histogram kind", "mean rel. error", "max rel. error"],
+            [list(r) for r in rows],
+            precision=4,
+        ),
+    )
+
+    by_kind = {r[0]: r for r in rows}
+    # The frequency-aware histograms dominate the uniform assumption by a
+    # wide margin.  (Equi-depth can edge out end-biased on join-heavy
+    # workloads because it stores approximations for *every* value; the
+    # paper's case for end-biased is its construction/storage cost and its
+    # σ behaviour on selections of skewed values, not per-workload wins.)
+    assert by_kind["end-biased"][1] <= by_kind["trivial"][1] / 5
+    assert by_kind["serial"][1] <= by_kind["trivial"][1] / 5
+    assert by_kind["equi-depth"][1] <= by_kind["trivial"][1] / 5

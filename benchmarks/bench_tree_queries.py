@@ -1,0 +1,50 @@
+"""Tree-query extension: star queries via frequency tensors.
+
+The paper proves its results for chain queries and states that arbitrary
+tree queries follow with tensor machinery.  This bench exercises that
+generalisation on star queries (the bushiest trees): per-relation
+frequency-set-only histograms versus the trivial histogram, with exact
+sizes computed by tensor contraction.
+
+Expected shape (mirroring Figure 6): errors grow with the hub's degree,
+high skew is much harder than low, and the v-optimal histograms beat the
+trivial one by orders of magnitude on skewed data.
+"""
+
+from _reporting import record_report
+
+from repro.experiments.report import format_series
+from repro.experiments.selfjoin import HistogramType
+from repro.experiments.trees import sweep_star_leaves
+from repro.queries.workload import QueryClass
+
+LEAVES = (1, 2, 3, 4)
+
+
+def test_tree_star_queries(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_star_leaves(
+            LEAVES, buckets=5, domain=5, permutations=15, queries_per_class=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for query_class in (QueryClass.LOW_SKEW, QueryClass.HIGH_SKEW):
+        class_points = [p for p in points if p.query_class is query_class]
+        series = {
+            t.value: {float(p.num_leaves): p.errors[t] for p in class_points}
+            for t in class_points[0].errors
+        }
+        record_report(
+            f"Tree extension — E[|S−S'|/S] vs star degree (beta=5, {query_class.value})",
+            format_series("leaves", series, precision=4),
+        )
+
+    high = [p for p in points if p.query_class is QueryClass.HIGH_SKEW]
+    low = [p for p in points if p.query_class is QueryClass.LOW_SKEW]
+    # Trivial degrades sharply with skew; optimal families stay tolerable.
+    assert high[-1].errors[HistogramType.TRIVIAL] > 5 * high[-1].errors[HistogramType.END_BIASED]
+    assert high[-1].errors[HistogramType.TRIVIAL] > low[-1].errors[HistogramType.TRIVIAL]
+    # Larger stars are harder than single joins for every type (high skew).
+    assert high[-1].errors[HistogramType.END_BIASED] >= high[0].errors[HistogramType.END_BIASED]

@@ -1,0 +1,30 @@
+"""Benchmark-session conftest: prints and archives every regenerated table."""
+
+import re
+from pathlib import Path
+
+from _reporting import drain_reports
+
+#: Rendered tables are also archived here, one text file per report.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _slug(title: str) -> str:
+    slug = re.sub(r"[^a-zA-Z0-9]+", "-", title.lower()).strip("-")
+    return slug[:80] or "report"
+
+
+def pytest_terminal_summary(terminalreporter):
+    reports = drain_reports()
+    if not reports:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for title, body in reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+        (RESULTS_DIR / f"{_slug(title)}.txt").write_text(f"{title}\n\n{body}\n")
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(tables archived under {RESULTS_DIR})")

@@ -1,0 +1,59 @@
+"""Maintenance demo: keeping an end-biased histogram fresh under updates.
+
+Section 2.3 notes that delaying update propagation "may introduce
+additional errors" but leaves schedules out of scope.  This demo implements
+the natural policy for the end-biased layout: incremental counter updates,
+a Space-Saving watch for values outgrowing the explicit set, and
+drift-triggered rebuilds — and shows the error of a frozen histogram
+running away while the maintained one tracks the data.
+
+Run:  python examples/maintenance_demo.py
+"""
+
+import numpy as np
+
+from repro.core.frequency import AttributeDistribution
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.maint import MaintainedEndBiased, MaintenancePolicy
+
+
+def main():
+    rng = np.random.default_rng(1)
+    domain = 40
+    freqs = quantize_to_integers(zipf_frequencies(4000, domain, 1.3)).astype(float)
+    values = list(range(domain))
+    base = AttributeDistribution(values, freqs)
+
+    frozen_estimate = MaintainedEndBiased(base, 8).self_join_estimate()
+    maintained = MaintainedEndBiased(
+        base, 8, policy=MaintenancePolicy(update_fraction=0.05)
+    )
+
+    truth = dict(zip(values, freqs))
+    cold = sorted(values, key=lambda v: truth[v])[:8]
+    rebuilds = 0
+
+    print(f"{'updates':>8} {'frozen err':>12} {'maintained err':>15} {'rebuilds':>9}")
+    for batch in range(1, 11):
+        for _ in range(200):
+            value = cold[rng.integers(0, len(cold))]
+            truth[value] += 1
+            maintained.insert(value)
+        if maintained.needs_rebuild():
+            maintained.rebuild(AttributeDistribution(values, list(truth.values())))
+            rebuilds += 1
+        true_size = sum(f * f for f in truth.values())
+        frozen_err = abs(true_size - frozen_estimate) / true_size
+        maintained_err = abs(true_size - maintained.self_join_estimate()) / true_size
+        print(f"{batch * 200:>8} {frozen_err:>12.2%} {maintained_err:>15.2%} {rebuilds:>9}")
+
+    print(
+        "\nThe frozen histogram's error grows with every batch; the "
+        "maintained one absorbs updates incrementally and rebuilds when the "
+        "drift policy fires."
+    )
+
+
+if __name__ == "__main__":
+    main()

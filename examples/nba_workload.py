@@ -1,0 +1,88 @@
+"""Real-life-style workload: the NBA player-statistics scenario (§5.1.2).
+
+Loads the synthetic surrogate for the paper's NBA dataset, stores it in the
+engine, ANALYZEs it, and answers a mixed selection/join workload with
+histogram estimates checked against exact execution — including a range
+query, which Section 6 reduces to a disjunctive equality selection.
+
+Run:  python examples/nba_workload.py
+"""
+
+from repro.core.estimator import relative_error
+from repro.data.realworld import nba_player_statistics
+from repro.engine import Relation, StatsCatalog, analyze_relation
+from repro.engine.operators import hash_join, select
+from repro.optimizer import CardinalityEstimator
+
+
+def main():
+    seasons = nba_player_statistics(players=400)
+    players = Relation.from_columns(
+        "players",
+        {
+            "player_id": [s.player_id for s in seasons],
+            "games": [s.games for s in seasons],
+            "points": [s.points for s in seasons],
+            "threes": [s.threes for s in seasons],
+        },
+    )
+    # A second relation of season award votes, one row per vote, keyed by
+    # the player's games-played count — so the join on games is skewed (the
+    # common game counts of durable players dominate both sides).
+    allstars = Relation.from_columns(
+        "allstars",
+        {"games": [s.games for s in seasons for _ in range(s.points // 400)]},
+    )
+
+    catalog = StatsCatalog()
+    for attr in ("games", "points", "threes"):
+        analyze_relation(players, attr, catalog, kind="end-biased", buckets=11)
+    analyze_relation(allstars, "games", catalog, kind="end-biased", buckets=11)
+    estimator = CardinalityEstimator(catalog)
+
+    # A second catalog with serial histograms: better for range queries,
+    # because every bucket stores its value list explicitly (Section 4.1).
+    serial_catalog = StatsCatalog()
+    analyze_relation(players, "games", serial_catalog, kind="serial", buckets=11)
+    serial_estimator = CardinalityEstimator(serial_catalog)
+
+    print("Q1: SELECT * FROM players WHERE threes = 0")
+    true_q1 = sum(1 for s in seasons if s.threes == 0)
+    est_q1 = estimator.equality_selection("players", "threes", 0)
+    print(f"  true={true_q1}  estimated={est_q1:.0f}  "
+          f"rel.err={relative_error(true_q1, est_q1):.1%}")
+    print("  (zero-inflation puts the spike in a univalued bucket: exact)\n")
+
+    print("Q2: SELECT * FROM players WHERE 70 <= games <= 82  (range, §6)")
+    true_q2 = sum(1 for s in seasons if 70 <= s.games <= 82)
+    est_q2_eb = estimator.range_selection("players", "games", low=70, high=82)
+    est_q2_serial = serial_estimator.range_selection("players", "games", low=70, high=82)
+    print(f"  true={true_q2}  end-biased estimate={est_q2_eb:.0f}  "
+          f"serial estimate={est_q2_serial:.0f}")
+    print("  (end-biased smears the tail into one average; the serial\n"
+          "   histogram keeps per-bucket value lists and lands closer)\n")
+
+    print("Q3: SELECT * FROM players p JOIN allstars a ON p.games = a.games")
+    true_q3 = hash_join(players, allstars, "games", "games").cardinality
+    est_q3 = estimator.join_cardinality("players", "games", "allstars", "games")
+    entry_p = catalog.require("players", "games")
+    entry_a = catalog.require("allstars", "games")
+    uniform_q3 = estimator._uniform_join(entry_p, entry_a)
+    print(f"  true={true_q3}  histogram estimate={est_q3:.0f}  "
+          f"uniform assumption={uniform_q3:.0f}")
+    print(f"  rel.err histogram={relative_error(true_q3, est_q3):.1%}  "
+          f"uniform={relative_error(true_q3, uniform_q3):.1%}")
+    print("  (value-aware histograms intersect the recorded domains and\n"
+          "   match hot values exactly; the uniform model overcounts\n"
+          "   because the two games domains only partially overlap)\n")
+
+    print("Q4: self-join of players on games (the v-optimality criterion)")
+    true_q4 = hash_join(players, players, "games", "games").cardinality
+    entry = catalog.require("players", "games")
+    est_q4 = entry.histogram.self_join_estimate()
+    print(f"  true={true_q4}  estimated={est_q4:.0f}  "
+          f"rel.err={relative_error(true_q4, est_q4):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Optimizer demo: histogram quality decides join orders.
+
+The paper's opening motivation: optimizers pick plans from estimated result
+sizes, so bad histograms mean bad plans.  This demo builds a small
+star-ish database with one badly skewed attribute, runs ANALYZE with the
+trivial histogram and with the paper's recommended end-biased histogram,
+lets a System-R-style dynamic-programming orderer pick plans under each
+catalog, and replays both plans on the real data.
+
+Run:  python examples/optimizer_demo.py
+"""
+
+import numpy as np
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine import Relation, StatsCatalog, analyze_relation
+from repro.optimizer import (
+    CardinalityEstimator,
+    JoinEdge,
+    JoinGraph,
+    optimal_join_order,
+    plan_true_cost,
+    plan_true_rows,
+)
+
+
+def zipf_column(total, domain, z, rng):
+    freqs = quantize_to_integers(zipf_frequencies(total, domain, z))
+    column = [value for value, f in enumerate(freqs) for _ in range(int(f))]
+    rng.shuffle(column)
+    return column
+
+
+def main():
+    rng = np.random.default_rng(7)
+
+    orders = Relation.from_columns(
+        "orders",
+        {
+            # Highly skewed customer column: a few customers dominate.
+            "cust": zipf_column(1500, 40, 2.0, rng),
+            "item": zipf_column(1500, 25, 0.3, rng),
+        },
+    )
+    customers = Relation.from_columns(
+        "customers", {"cust": list(range(40)) * 3}
+    )
+    items = Relation.from_columns("items", {"item": zipf_column(500, 25, 1.0, rng)})
+
+    graph = JoinGraph(
+        [orders, customers, items],
+        [
+            JoinEdge("customers", "cust", "orders", "cust"),
+            JoinEdge("orders", "item", "items", "item"),
+        ],
+    )
+
+    for kind in ("trivial", "end-biased"):
+        catalog = StatsCatalog()
+        for relation in (orders, customers, items):
+            for attr in relation.schema.names:
+                analyze_relation(relation, attr, catalog, kind=kind, buckets=8)
+        estimator = CardinalityEstimator(catalog)
+        plan = optimal_join_order(graph, estimator)
+        true_rows = plan_true_rows(plan, graph)[plan]
+        print(f"=== catalog histograms: {kind} ===")
+        print(plan.pretty())
+        print(
+            f"estimated result rows: {plan.estimated_rows:,.0f}   "
+            f"actual: {true_rows:,.0f}"
+        )
+        print(f"true cost of the chosen plan: {plan_true_cost(plan, graph):,.0f}\n")
+
+    print(
+        "With end-biased histograms the optimizer sees the skew in "
+        "orders.cust and prices the plans accordingly; the trivial catalog "
+        "works from averages only."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Tree queries demo: the paper's tensor generalisation in action.
+
+Section 2.2 proves everything for chain queries and notes that arbitrary
+tree queries need tensors but "its essence remains unchanged".  This demo
+builds a star query (one fact-like hub joined with three dimension-like
+leaves), shows the exact result size as a tensor contraction, and verifies
+that the practical recipe — per-relation v-optimal histograms built from
+frequency sets alone — keeps working on bushy shapes.
+
+Run:  python examples/tree_queries.py
+"""
+
+import numpy as np
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.histogram import Histogram
+from repro.core.serial import v_optimal_serial_histogram
+from repro.queries.tree import make_zipf_star, random_tree_query
+
+
+def compare(query, label, permutations=20, buckets=5, seed=0):
+    gen = np.random.default_rng(seed)
+    factories = {
+        "trivial": lambda f: Histogram.single_bucket(f.frequencies),
+        "end-biased": lambda f: v_opt_bias_hist(f.frequencies, min(buckets, f.size)),
+        "serial": lambda f: v_optimal_serial_histogram(
+            f.frequencies, min(buckets, f.size), method="dp"
+        ),
+    }
+    histograms = {name: query.build_histograms(fac) for name, fac in factories.items()}
+    sums = {name: 0.0 for name in factories}
+    for _ in range(permutations):
+        arrangement = query.sample_arrangement(gen)
+        exact = query.exact_size(arrangement)
+        for name, hists in histograms.items():
+            estimate = query.estimate_size(arrangement, hists)
+            sums[name] += abs(exact - estimate) / exact
+    print(f"{label} ({query.num_joins} joins):")
+    for name, total in sums.items():
+        print(f"  {name:>11s}  E[|S-S'|/S] = {total / permutations:.4f}")
+    print()
+
+
+def main():
+    # A 3-leaf star: the hub holds a 5x5x5 frequency tensor (125 cells).
+    star = make_zipf_star(3, domain=5, z_values=[1.5, 1.0, 2.0, 0.5])
+    arrangement = star.sample_arrangement(1)
+    print(
+        f"star hub tensor shape: {arrangement[0].shape}  "
+        f"exact size of one arrangement: {star.exact_size(arrangement):,.0f}\n"
+    )
+    compare(star, "star query, mixed skews")
+
+    # Random tree shapes: chains, stars, and everything between.
+    for seed in (3, 4):
+        tree = random_tree_query(5, domain=4, rng=seed)
+        degrees = [tree.degree(i) for i in range(tree.num_relations)]
+        compare(tree, f"random tree (degrees {degrees})", seed=seed)
+
+    print(
+        "Same conclusion as the chain experiments: frequency-set-only\n"
+        "v-optimal histograms (Theorem 3.3) transfer to arbitrary tree shapes."
+    )
+
+
+if __name__ == "__main__":
+    main()

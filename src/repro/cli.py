@@ -1,0 +1,280 @@
+"""Command-line interface to the reproduction.
+
+Subcommands cover the common interactive uses:
+
+* ``zipf`` — print a Zipf frequency vector (equation (1));
+* ``histogram`` — build a histogram over a Zipf set and show its buckets;
+* ``advise`` — minimum buckets for an error tolerance (Section 3.1);
+* ``selfjoin`` — one row of the Figures 3-5 comparison;
+* ``chain`` — one row of the Figures 6-7 comparison;
+* ``table1`` — the construction-cost table;
+* ``arrangements`` — the Section 3.1 arrangement study.
+
+Example::
+
+    python -m repro.cli advise --total 10000 --domain 200 --z 1.5 --tolerance 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _add_zipf_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--total", type=float, default=1000.0, help="relation size T")
+    parser.add_argument("--domain", type=int, default=100, help="domain size M")
+    parser.add_argument("--z", type=float, default=1.0, help="Zipf skew parameter")
+
+
+def _cmd_zipf(args) -> int:
+    from repro.data.quantize import quantize_to_integers
+    from repro.data.zipf import zipf_frequencies
+
+    freqs = zipf_frequencies(args.total, args.domain, args.z)
+    if args.quantize:
+        freqs = quantize_to_integers(freqs)
+    for rank, freq in enumerate(freqs, start=1):
+        print(f"{rank}\t{freq:g}")
+    return 0
+
+
+def _cmd_histogram(args) -> int:
+    from repro.data.zipf import zipf_frequencies
+    from repro.core.biased import v_opt_bias_hist
+    from repro.core.serial import v_optimal_serial_histogram
+    from repro.core.heuristic import trivial_histogram
+    from repro.core.optimality import self_join_size
+
+    freqs = zipf_frequencies(args.total, args.domain, args.z)
+    if args.kind == "end-biased":
+        hist = v_opt_bias_hist(freqs, args.buckets)
+    elif args.kind == "serial":
+        hist = v_optimal_serial_histogram(freqs, args.buckets, method="dp")
+    elif args.kind == "trivial":
+        hist = trivial_histogram(freqs)
+    else:
+        print(f"unknown histogram kind {args.kind!r}", file=sys.stderr)
+        return 2
+    exact = self_join_size(freqs)
+    print(f"kind={hist.kind} buckets={hist.bucket_count} M={args.domain}")
+    for index, bucket in enumerate(hist.buckets, start=1):
+        print(
+            f"  bucket {index}: count={bucket.count} total={bucket.total:.2f} "
+            f"avg={bucket.average:.4f} var={bucket.variance:.4f}"
+        )
+    print(f"self-join exact={exact:.1f} estimate={hist.self_join_estimate():.1f} "
+          f"error={hist.self_join_error():.1f}")
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.core.advisor import advisory_report, minimum_buckets
+    from repro.data.zipf import zipf_frequencies
+
+    freqs = zipf_frequencies(args.total, args.domain, args.z)
+    bucket_counts = [b for b in (1, 2, 5, 10, 20, 50) if b <= args.domain]
+    for row in advisory_report(freqs, bucket_counts, kind=args.kind):
+        print(f"  {row}")
+    needed = minimum_buckets(freqs, args.tolerance, kind=args.kind)
+    print(
+        f"minimum {args.kind} buckets for {args.tolerance:.2%} relative "
+        f"self-join error: {needed}"
+    )
+    return 0
+
+
+def _cmd_selfjoin(args) -> int:
+    from repro.data.zipf import zipf_frequencies
+    from repro.experiments.selfjoin import HistogramType, self_join_sigmas
+
+    freqs = zipf_frequencies(args.total, args.domain, args.z)
+    sigmas = self_join_sigmas(
+        freqs, args.buckets, trials=args.trials, rng=args.seed
+    )
+    for histogram_type in HistogramType:
+        print(f"{histogram_type.value:>12s}  sigma={sigmas[histogram_type]:.2f}")
+    return 0
+
+
+def _cmd_chain(args) -> int:
+    from repro.experiments.chains import CHAIN_HISTOGRAM_TYPES, mean_relative_error
+    from repro.queries.workload import QueryClass, sample_chain_query
+
+    query_class = {
+        "low": QueryClass.LOW_SKEW,
+        "mixed": QueryClass.MIXED_SKEW,
+        "high": QueryClass.HIGH_SKEW,
+    }[args.skew_class]
+    query = sample_chain_query(args.joins, query_class, rng=args.seed)
+    print(f"chain query: {args.joins} joins, skews={query.skews}")
+    for histogram_type in CHAIN_HISTOGRAM_TYPES:
+        error = mean_relative_error(
+            query,
+            histogram_type,
+            args.buckets,
+            permutations=args.permutations,
+            rng=args.seed,
+        )
+        print(f"{histogram_type.value:>12s}  E[|S-S'|/S]={error:.4f}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.config import TimingExperimentConfig
+    from repro.experiments.report import format_table
+    from repro.experiments.timing import construction_timing_table
+
+    config = TimingExperimentConfig(
+        serial_sizes=tuple(args.serial_sizes),
+        end_biased_sizes=tuple(args.end_biased_sizes),
+        repeats=args.repeats,
+    )
+    rows = construction_timing_table(config)
+    table = [
+        [r.set_size, r.serial_seconds.get(3), r.serial_seconds.get(5), r.end_biased_seconds]
+        for r in rows
+    ]
+    print(
+        format_table(
+            ["attribute values", "serial b=3", "serial b=5", "end-biased b=10"],
+            table,
+            precision=5,
+        )
+    )
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    """Demonstrate the statistics tuner on synthetic relations."""
+    import numpy as np
+
+    from repro.data.quantize import quantize_to_integers
+    from repro.data.zipf import zipf_frequencies
+    from repro.engine.catalog import StatsCatalog
+    from repro.engine.relation import Relation
+    from repro.engine.tuning import tune_database
+
+    gen = np.random.default_rng(args.seed)
+    relations = []
+    for index, z in enumerate(args.z_values):
+        freqs = quantize_to_integers(zipf_frequencies(args.total, args.domain, z))
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        gen.shuffle(column)
+        relations.append(Relation.from_columns(f"R{index}", {"a": column}))
+    catalog = StatsCatalog()
+    for rec in tune_database(relations, catalog, tolerance=args.tolerance):
+        print(rec)
+    print(f"catalog now holds {len(catalog)} analyzed attributes")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    from repro.data.zipf import zipf_frequencies
+    from repro.util.stats import profile_frequencies
+
+    freqs = zipf_frequencies(args.total, args.domain, args.z)
+    print(profile_frequencies(freqs))
+    return 0
+
+
+def _cmd_arrangements(args) -> int:
+    from repro.data.zipf import zipf_frequencies
+    from repro.experiments.arrangements import optimal_biased_pair_study
+
+    study = optimal_biased_pair_study(
+        zipf_frequencies(args.total, args.domain, args.z_left),
+        zipf_frequencies(args.total, args.domain, args.z_right),
+        args.buckets,
+        max_arrangements=args.max_arrangements,
+        rng=args.seed,
+    )
+    print(study)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Ioannidis & Poosala (SIGMOD 1995): serial and "
+            "end-biased histograms for query result size estimation."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("zipf", help="print a Zipf frequency vector (eq. (1))")
+    _add_zipf_arguments(p)
+    p.add_argument("--quantize", action="store_true", help="round to integers")
+    p.set_defaults(func=_cmd_zipf)
+
+    p = sub.add_parser("histogram", help="build and display one histogram")
+    _add_zipf_arguments(p)
+    p.add_argument("--buckets", type=int, default=5)
+    p.add_argument("--kind", choices=["trivial", "end-biased", "serial"], default="end-biased")
+    p.set_defaults(func=_cmd_histogram)
+
+    p = sub.add_parser("advise", help="minimum buckets for an error tolerance")
+    _add_zipf_arguments(p)
+    p.add_argument("--tolerance", type=float, default=0.01)
+    p.add_argument("--kind", choices=["end-biased", "serial"], default="end-biased")
+    p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser("selfjoin", help="one self-join sigma comparison (Figs. 3-5)")
+    _add_zipf_arguments(p)
+    p.add_argument("--buckets", type=int, default=5)
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(func=_cmd_selfjoin)
+
+    p = sub.add_parser("chain", help="one chain-query comparison (Figs. 6-7)")
+    p.add_argument("--joins", type=int, default=5)
+    p.add_argument("--buckets", type=int, default=5)
+    p.add_argument("--skew-class", choices=["low", "mixed", "high"], default="mixed")
+    p.add_argument("--permutations", type=int, default=20)
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(func=_cmd_chain)
+
+    p = sub.add_parser("table1", help="construction-cost table (Table 1)")
+    p.add_argument("--serial-sizes", type=int, nargs="+", default=[10, 15, 20])
+    p.add_argument("--end-biased-sizes", type=int, nargs="+", default=[100, 10_000])
+    p.add_argument("--repeats", type=int, default=1)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("describe", help="summary statistics of a Zipf frequency set")
+    _add_zipf_arguments(p)
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("tune", help="recommend and apply per-attribute bucket counts")
+    p.add_argument("--total", type=float, default=1000.0)
+    p.add_argument("--domain", type=int, default=50)
+    p.add_argument("--z-values", type=float, nargs="+", default=[0.05, 1.0, 2.0])
+    p.add_argument("--tolerance", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("arrangements", help="Section 3.1 arrangement study")
+    p.add_argument("--total", type=float, default=1000.0)
+    p.add_argument("--domain", type=int, default=6)
+    p.add_argument("--z-left", type=float, default=1.0)
+    p.add_argument("--z-right", type=float, default=2.0)
+    p.add_argument("--buckets", type=int, default=3)
+    p.add_argument("--max-arrangements", type=int, default=720)
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(func=_cmd_arrangements)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Buckets: the building block of every histogram (Section 2.3).
+
+A bucket groups a subset of the (value, frequency) pairs of a distribution;
+the histogram approximates every frequency in the bucket by the bucket
+average.  Buckets carry the three statistics the paper's Proposition 3.1
+formulas need: the frequency sum ``T_i``, the count ``p_i`` and the
+population variance ``v_i``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Bucket:
+    """An immutable group of frequencies, optionally with their values.
+
+    ``values`` is ``None`` when the histogram was built from a bare frequency
+    set (the value-oblivious v-optimality setting); value-aware histograms
+    (equi-width, equi-depth, catalog histograms) attach the domain values.
+    """
+
+    __slots__ = ("_frequencies", "_values")
+
+    def __init__(
+        self,
+        frequencies: Sequence[float],
+        values: Optional[Sequence[Hashable]] = None,
+    ):
+        arr = np.array(frequencies, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("a bucket needs a non-empty 1-D frequency list")
+        if np.any(~np.isfinite(arr)) or np.any(arr < 0):
+            raise ValueError("bucket frequencies must be finite and non-negative")
+        arr.setflags(write=False)
+        self._frequencies = arr
+        if values is not None:
+            values = tuple(values)
+            if len(values) != arr.size:
+                raise ValueError(
+                    f"bucket values and frequencies must align, got {len(values)} "
+                    f"values and {arr.size} frequencies"
+                )
+        self._values = values
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """The frequencies grouped in this bucket (read-only view)."""
+        return self._frequencies
+
+    @property
+    def values(self) -> Optional[tuple]:
+        """The attribute values in the bucket, if known."""
+        return self._values
+
+    @property
+    def count(self) -> int:
+        """``p_i``: number of frequencies in the bucket."""
+        return int(self._frequencies.size)
+
+    @property
+    def total(self) -> float:
+        """``T_i``: sum of the frequencies in the bucket."""
+        return float(self._frequencies.sum())
+
+    @property
+    def average(self) -> float:
+        """The uniform approximation used for every frequency in the bucket."""
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """``v_i``: population variance of the frequencies."""
+        return float(self._frequencies.var())
+
+    @property
+    def sse(self) -> float:
+        """``p_i · v_i``: the bucket's contribution to the self-join error."""
+        return self.count * self.variance
+
+    def is_univalued(self) -> bool:
+        """True when all frequencies in the bucket are equal (Section 2.3)."""
+        return bool(np.all(self._frequencies == self._frequencies[0]))
+
+    @property
+    def min_frequency(self) -> float:
+        return float(self._frequencies.min())
+
+    @property
+    def max_frequency(self) -> float:
+        return float(self._frequencies.max())
+
+    def rounded_average(self) -> float:
+        """The paper's integer approximation: nearest integer to the average."""
+        return float(np.rint(self.average))
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bucket):
+            return NotImplemented
+        return (
+            self._frequencies.shape == other._frequencies.shape
+            and bool(np.allclose(np.sort(self._frequencies), np.sort(other._frequencies)))
+            and self._values == other._values
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Bucket(count={self.count}, total={self.total:g}, "
+            f"avg={self.average:.4g}, var={self.variance:.4g})"
+        )
+
+
+def buckets_interleave(first: Bucket, second: Bucket) -> bool:
+    """Return True when two buckets' frequency ranges interleave.
+
+    A histogram is *serial* exactly when no pair of its buckets interleaves
+    (Definition 2.1): for every pair, all frequencies of one bucket must be
+    <= all frequencies of the other.
+    """
+    return not (
+        first.max_frequency <= second.min_frequency
+        or second.max_frequency <= first.min_frequency
+    )
+
+
+def partition_sizes(buckets: Sequence[Bucket]) -> Tuple[int, ...]:
+    """Return the tuple of bucket counts ``(p_1, ..., p_β)``."""
+    return tuple(b.count for b in buckets)

@@ -1,0 +1,78 @@
+"""Statistics collection: the Matrix and JointMatrix algorithms (Section 3.3).
+
+``Matrix`` computes the frequency distribution of an attribute in a single
+scan with a hash table — the cheap, per-relation information v-optimality
+needs.  ``JointMatrix`` additionally *joins* the per-relation frequency
+tables on the attribute value, producing the joint-frequency table that full
+(per-query) optimality would require; the paper's point is that this join
+step makes full knowledge "quite expensive".
+
+These functions operate on plain value sequences so they can be unit-tested
+in isolation; :mod:`repro.engine.analyze` wraps them for engine relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.frequency import AttributeDistribution
+from repro.core.matrix import FrequencyMatrix
+
+
+def matrix_algorithm(column: Iterable[Hashable]) -> AttributeDistribution:
+    """The paper's ``Matrix``: one hash-counting scan over *column*.
+
+    Returns the attribute's frequency distribution (values with counts); its
+    :meth:`~repro.core.frequency.AttributeDistribution.frequency_set` is the
+    input to every v-optimal histogram construction.
+    """
+    return AttributeDistribution.from_column(column)
+
+
+def matrix_algorithm_2d(
+    pairs: Iterable[tuple[Hashable, Hashable]]
+) -> FrequencyMatrix:
+    """Two-dimensional ``Matrix``: count value pairs of two attributes."""
+    return FrequencyMatrix.from_joint_counts(pairs)
+
+
+@dataclass(frozen=True)
+class JointFrequencyRow:
+    """One row of a two-way joint-frequency table: a shared value with both counts."""
+
+    value: Hashable
+    frequency_left: float
+    frequency_right: float
+
+
+def joint_matrix_algorithm(
+    column_left: Iterable[Hashable], column_right: Iterable[Hashable]
+) -> list[JointFrequencyRow]:
+    """The paper's ``JointMatrix`` for a two-way join.
+
+    Computes both attributes' frequency tables (two hash-counting scans) and
+    joins them on the attribute value, keeping both frequency columns.  The
+    exact join result size is ``Σ_rows f_left·f_right`` — Theorem 2.1 read off
+    the joint table.
+    """
+    left = matrix_algorithm(column_left)
+    right = matrix_algorithm(column_right)
+    right_index = {v: i for i, v in enumerate(right.values)}
+    rows = []
+    for i, value in enumerate(left.values):
+        j = right_index.get(value)
+        if j is not None:
+            rows.append(
+                JointFrequencyRow(
+                    value=value,
+                    frequency_left=float(left.frequencies[i]),
+                    frequency_right=float(right.frequencies[j]),
+                )
+            )
+    return rows
+
+
+def joint_table_result_size(rows: Sequence[JointFrequencyRow]) -> float:
+    """Exact two-way join size from a joint-frequency table."""
+    return float(sum(r.frequency_left * r.frequency_right for r in rows))

@@ -1,0 +1,236 @@
+"""Frequency matrices and chain-query result sizes (Theorem 2.1).
+
+For the chain query ``Q := (R0.a1 = R1.a1 and ... and R(N-1).aN = RN.aN)``
+the frequency matrix of relation ``R_j`` is the ``(M_j x M_{j+1})`` matrix of
+pair frequencies over attributes ``(a_j, a_{j+1})``, with ``M_0 = M_{N+1} =
+1`` so the end relations carry a horizontal and a vertical vector.  The
+query's exact result size is the (scalar) product of the chain of matrices.
+
+Selections enter as singleton relations: an equality selection ``R.a = c``
+is a join with a one-tuple relation, and a disjunctive selection
+``R.a ∈ {c1..ck}`` is a join with a relation holding one tuple per constant
+— :func:`selection_vector` builds exactly those 0/1 end vectors (the paper's
+Example 2.2 transpose-vector trick).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.frequency import FrequencySet, as_frequency_array
+from repro.util.rng import RandomSource, derive_rng
+
+
+class FrequencyMatrix:
+    """A two-dimensional frequency matrix with optional domain labels.
+
+    ``row_values`` / ``col_values`` are the attribute domains of the two
+    dimensions.  End-of-chain relations use shape ``(1, M)`` or ``(M, 1)``
+    with the degenerate dimension unlabelled.
+    """
+
+    __slots__ = ("_array", "_row_values", "_col_values")
+
+    def __init__(
+        self,
+        array,
+        row_values: Optional[Sequence[Hashable]] = None,
+        col_values: Optional[Sequence[Hashable]] = None,
+    ):
+        arr = np.array(array, dtype=float)
+        if arr.ndim == 1:
+            raise ValueError(
+                "frequency matrices are two-dimensional; use row_vector() or "
+                "column_vector() to build end-of-chain vectors"
+            )
+        if arr.ndim != 2:
+            raise ValueError(f"array must be two-dimensional, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ValueError("frequency matrix must be non-empty")
+        if np.any(~np.isfinite(arr)) or np.any(arr < 0):
+            raise ValueError("frequency matrix entries must be finite and non-negative")
+        self._array = arr
+        self._array.setflags(write=False)
+        self._row_values = self._check_labels(row_values, arr.shape[0], "row_values")
+        self._col_values = self._check_labels(col_values, arr.shape[1], "col_values")
+
+    @staticmethod
+    def _check_labels(labels, expected: int, name: str) -> Optional[tuple]:
+        if labels is None:
+            return None
+        labels = tuple(labels)
+        if len(labels) != expected:
+            raise ValueError(f"{name} has {len(labels)} entries, expected {expected}")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"{name} must be distinct")
+        return labels
+
+    @classmethod
+    def row_vector(
+        cls, frequencies, values: Optional[Sequence[Hashable]] = None
+    ) -> "FrequencyMatrix":
+        """Build the ``(1 x M)`` matrix of the first chain relation ``R_0``."""
+        arr = as_frequency_array(frequencies)
+        return cls(arr.reshape(1, -1), row_values=None, col_values=values)
+
+    @classmethod
+    def column_vector(
+        cls, frequencies, values: Optional[Sequence[Hashable]] = None
+    ) -> "FrequencyMatrix":
+        """Build the ``(M x 1)`` matrix of the last chain relation ``R_N``."""
+        arr = as_frequency_array(frequencies)
+        return cls(arr.reshape(-1, 1), row_values=values, col_values=None)
+
+    @classmethod
+    def from_joint_counts(
+        cls, pairs: Iterable[tuple[Hashable, Hashable]]
+    ) -> "FrequencyMatrix":
+        """Count ``(a, b)`` value pairs of a two-attribute column pair.
+
+        This is the two-dimensional ``Matrix`` statistics step: a single scan
+        with a hash table, then a dense matrix over the observed domains.
+        """
+        counts: dict[tuple[Hashable, Hashable], int] = {}
+        for pair in pairs:
+            counts[pair] = counts.get(pair, 0) + 1
+        if not counts:
+            raise ValueError("pairs must be non-empty")
+        rows = sorted({a for a, _ in counts})
+        cols = sorted({b for _, b in counts})
+        row_index = {v: i for i, v in enumerate(rows)}
+        col_index = {v: i for i, v in enumerate(cols)}
+        arr = np.zeros((len(rows), len(cols)))
+        for (a, b), count in counts.items():
+            arr[row_index[a], col_index[b]] = count
+        return cls(arr, row_values=rows, col_values=cols)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying matrix (read-only view)."""
+        return self._array
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._array.shape
+
+    @property
+    def row_values(self) -> Optional[tuple]:
+        return self._row_values
+
+    @property
+    def col_values(self) -> Optional[tuple]:
+        return self._col_values
+
+    @property
+    def total(self) -> float:
+        """Sum of all entries — the relation size ``T``."""
+        return float(self._array.sum())
+
+    def frequency_set(self) -> FrequencySet:
+        """The multiset of all cell frequencies (Section 2.2's frequency set)."""
+        return FrequencySet(self._array.ravel())
+
+    def transpose(self) -> "FrequencyMatrix":
+        """Return the transposed matrix with labels swapped."""
+        return FrequencyMatrix(
+            self._array.T, row_values=self._col_values, col_values=self._row_values
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FrequencyMatrix):
+            return NotImplemented
+        return (
+            self._array.shape == other._array.shape
+            and bool(np.allclose(self._array, other._array))
+            and self._row_values == other._row_values
+            and self._col_values == other._col_values
+        )
+
+    def __repr__(self) -> str:
+        return f"FrequencyMatrix(shape={self.shape}, total={self.total:g})"
+
+
+MatrixLike = Union[FrequencyMatrix, np.ndarray, Sequence[Sequence[float]]]
+
+
+def _as_array(matrix: MatrixLike) -> np.ndarray:
+    if isinstance(matrix, FrequencyMatrix):
+        return matrix.array
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"chain matrices must be two-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def chain_result_size(matrices: Sequence[MatrixLike]) -> float:
+    """Exact result size of a chain query — Theorem 2.1.
+
+    *matrices* are the frequency matrices ``F_0 .. F_N`` of the query's
+    relations in chain order: the first must have one row, the last one
+    column, and adjacent dimensions must agree (they share a join domain).
+    """
+    if len(matrices) < 1:
+        raise ValueError("a chain query needs at least one relation")
+    arrays = [_as_array(m) for m in matrices]
+    if arrays[0].shape[0] != 1:
+        raise ValueError(
+            f"first chain matrix must have a single row, got shape {arrays[0].shape}"
+        )
+    if arrays[-1].shape[1] != 1:
+        raise ValueError(
+            f"last chain matrix must have a single column, got shape {arrays[-1].shape}"
+        )
+    product = arrays[0]
+    for position, arr in enumerate(arrays[1:], start=1):
+        if product.shape[1] != arr.shape[0]:
+            raise ValueError(
+                f"join-domain mismatch between relations {position - 1} and "
+                f"{position}: {product.shape[1]} vs {arr.shape[0]} values"
+            )
+        product = product @ arr
+    return float(product[0, 0])
+
+
+def arrange_frequency_set(
+    frequencies,
+    shape: tuple[int, int],
+    rng: RandomSource = None,
+) -> FrequencyMatrix:
+    """Randomly arrange a frequency multiset into a matrix of *shape*.
+
+    Implements one uniformly random *arrangement* of a frequency set over
+    the cross product of the join domains — the sampling unit of the
+    Section 5.2 experiments and of the expectation in Definition 3.2.
+    """
+    arr = as_frequency_array(frequencies)
+    rows, cols = shape
+    if rows * cols != arr.size:
+        raise ValueError(
+            f"cannot arrange {arr.size} frequencies into a {rows}x{cols} matrix"
+        )
+    gen = derive_rng(rng)
+    permuted = gen.permutation(arr)
+    return FrequencyMatrix(permuted.reshape(rows, cols))
+
+
+def selection_vector(
+    domain: Sequence[Hashable], selected: Iterable[Hashable], *, column: bool = True
+) -> FrequencyMatrix:
+    """Build the 0/1 end vector encoding an equality/disjunctive selection.
+
+    ``selection_vector(domain, {c1, c2})`` is the frequency matrix of the
+    virtual relation with one tuple per selected constant, so appending it to
+    a chain turns the last join into the selection ``a ∈ {c1, c2}``
+    (Section 2.2 / Example 2.2).
+    """
+    domain = list(domain)
+    selected = set(selected)
+    unknown = selected - set(domain)
+    if unknown:
+        raise ValueError(f"selected values not in domain: {sorted(unknown, key=repr)}")
+    indicator = np.array([1.0 if v in selected else 0.0 for v in domain])
+    if column:
+        return FrequencyMatrix.column_vector(indicator, values=domain)
+    return FrequencyMatrix.row_vector(indicator, values=domain)

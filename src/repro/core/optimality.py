@@ -1,0 +1,195 @@
+"""Optimality metrics: Proposition 3.1, Theorems 3.2/3.3 machinery (Section 3).
+
+When only frequency *sets* are known, the quality of a histogram tuple for a
+query is judged over all arrangements of each set into its frequency matrix:
+
+* ``E[S − S'] = 0`` for every histogram (Theorem 3.2), so the bias is useless
+  as a criterion;
+* the *v-error* ``E[(S − S')²]`` — equivalently the variance of ``S − S'`` —
+  defines v-optimality (Definition 3.2);
+* the v-optimal tuple is obtained per relation by optimising each relation's
+  **self-join** (Theorem 3.3), for which Proposition 3.1 gives closed forms.
+
+This module provides the self-join formulas, plus three independent ways of
+computing the two-way-join v-error used to validate the theory: exhaustive
+enumeration over permutations (tiny inputs), an ``O(M²)`` closed form derived
+from permutation moments, and seeded Monte-Carlo sampling.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Callable
+
+import numpy as np
+
+from repro.core.frequency import AttributeDistribution, as_frequency_array
+from repro.core.histogram import Histogram
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive_int
+
+
+# ----------------------------------------------------------------------
+# Self-join quantities (Proposition 3.1)
+# ----------------------------------------------------------------------
+
+def self_join_size(frequencies) -> float:
+    """Exact self-join result size: ``S = Σ_i f_i²``."""
+    freqs = as_frequency_array(frequencies)
+    return float(np.dot(freqs, freqs))
+
+
+def approximate_self_join_size(histogram: Histogram, *, rounded: bool = False) -> float:
+    """Approximate self-join size under *histogram*.
+
+    With exact bucket averages this equals formula (2), ``Σ_i T_i²/p_i``;
+    with *rounded* averages it is the sum of squared integer approximations.
+    """
+    approx = histogram.approximate_frequencies(rounded=rounded)
+    return float(np.dot(approx, approx))
+
+
+def self_join_error(histogram: Histogram) -> float:
+    """Self-join estimation error ``S − S' = Σ_i p_i·v_i`` (formula (3))."""
+    return histogram.self_join_error()
+
+
+def self_join_sigma(
+    frequencies,
+    histogram_factory: Callable[[AttributeDistribution], Histogram],
+    *,
+    trials: int = 1,
+    rng: RandomSource = None,
+) -> float:
+    """σ = sqrt(E[(S − S')²]) for a self-join under randomised arrangements.
+
+    *histogram_factory* receives an :class:`AttributeDistribution` (a random
+    association of the frequency multiset with domain values ``0..M−1``) and
+    returns the histogram to evaluate.  Frequency-based histograms (trivial,
+    serial, end-biased) ignore the arrangement, so one trial suffices;
+    value-order-based histograms (equi-width, equi-depth) are averaged over
+    *trials* arrangements — the paper's "no correlation" modelling of
+    Section 5.1.
+    """
+    freqs = as_frequency_array(frequencies)
+    trials = ensure_positive_int(trials, "trials")
+    gen = derive_rng(rng)
+    exact = float(np.dot(freqs, freqs))
+    base = AttributeDistribution(range(freqs.size), freqs)
+    squared_errors = np.empty(trials)
+    for t in range(trials):
+        arrangement = base.permuted(gen)
+        histogram = histogram_factory(arrangement)
+        approx = histogram.approximate_frequencies()
+        estimate = float(np.dot(approx, approx))
+        squared_errors[t] = (exact - estimate) ** 2
+    return float(np.sqrt(squared_errors.mean()))
+
+
+# ----------------------------------------------------------------------
+# Two-way join v-error under unknown arrangements (Section 3.2)
+# ----------------------------------------------------------------------
+
+def _deviation_matrix(freqs0, freqs1, hist0, hist1) -> np.ndarray:
+    """``x[i, k] = a_i·b_k − a'_i·b'_k`` over the shared join domain.
+
+    The joint arrangement of two frequency vectors over one join domain is
+    determined (up to relabelling) by a single relative permutation τ:
+    ``S = Σ_i a_i·b_{τ(i)}`` and ``S' = Σ_i a'_i·b'_{τ(i)}``, so every
+    permutation statistic of ``S − S'`` is a statistic of this matrix.
+    """
+    a = as_frequency_array(freqs0)
+    b = as_frequency_array(freqs1)
+    if a.size != b.size:
+        raise ValueError(
+            f"join-domain sizes must match, got {a.size} and {b.size}"
+        )
+    a_approx = hist0.approximate_array(a)
+    b_approx = hist1.approximate_array(b)
+    return np.outer(a, b) - np.outer(a_approx, b_approx)
+
+
+def exact_expected_difference_two_way(freqs0, freqs1, hist0, hist1) -> float:
+    """``E[S − S']`` over uniform arrangements — zero by Theorem 3.2.
+
+    Computed in closed form: the expectation of ``Σ_i x_{i,τ(i)}`` over a
+    uniform permutation τ is the grand mean of the deviation matrix times M,
+    and histograms preserve totals, so the grand sum vanishes.
+    """
+    x = _deviation_matrix(freqs0, freqs1, hist0, hist1)
+    m = x.shape[0]
+    return float(x.sum() / m)
+
+
+def exact_v_error_two_way(freqs0, freqs1, hist0, hist1) -> float:
+    """``E[(S − S')²]`` by exhaustive enumeration of relative permutations.
+
+    Cost is ``M!`` — intended for the test suite's tiny cases (M ≤ 7), where
+    it anchors both the closed form and the Monte-Carlo estimator.
+    """
+    x = _deviation_matrix(freqs0, freqs1, hist0, hist1)
+    m = x.shape[0]
+    if m > 9:
+        raise ValueError(
+            f"exhaustive enumeration over {m}! permutations is not sensible; "
+            "use analytic_v_error_two_way or monte_carlo_v_error_two_way"
+        )
+    total = 0.0
+    count = 0
+    indices = range(m)
+    for tau in permutations(indices):
+        diff = sum(x[i, tau[i]] for i in indices)
+        total += diff * diff
+        count += 1
+    return total / count
+
+
+def analytic_v_error_two_way(freqs0, freqs1, hist0, hist1) -> float:
+    """``E[(S − S')²]`` in closed form, ``O(M²)``.
+
+    For ``D = Σ_i x_{i,τ(i)}`` with τ uniform over permutations:
+
+    ``E[D²] = (1/M)·Σ_{i,k} x_{i,k}²
+              + (G² − Σ_i R_i² − Σ_k C_k² + Σ_{i,k} x_{i,k}²) / (M(M−1))``
+
+    where ``R_i``/``C_k``/``G`` are row/column/grand sums of the deviation
+    matrix.  Validated against :func:`exact_v_error_two_way` in the tests.
+    """
+    x = _deviation_matrix(freqs0, freqs1, hist0, hist1)
+    m = x.shape[0]
+    sq_sum = float(np.sum(x * x))
+    if m == 1:
+        return sq_sum
+    row_sums = x.sum(axis=1)
+    col_sums = x.sum(axis=0)
+    grand = float(x.sum())
+    pair_term = (
+        grand * grand
+        - float(np.dot(row_sums, row_sums))
+        - float(np.dot(col_sums, col_sums))
+        + sq_sum
+    )
+    return sq_sum / m + pair_term / (m * (m - 1))
+
+
+def monte_carlo_v_error_two_way(
+    freqs0,
+    freqs1,
+    hist0,
+    hist1,
+    *,
+    trials: int = 1000,
+    rng: RandomSource = None,
+) -> float:
+    """``E[(S − S')²]`` by sampling random relative permutations."""
+    trials = ensure_positive_int(trials, "trials")
+    x = _deviation_matrix(freqs0, freqs1, hist0, hist1)
+    m = x.shape[0]
+    gen = derive_rng(rng)
+    rows = np.arange(m)
+    acc = 0.0
+    for _ in range(trials):
+        tau = gen.permutation(m)
+        diff = float(x[rows, tau].sum())
+        acc += diff * diff
+    return acc / trials

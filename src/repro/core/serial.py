@@ -1,0 +1,225 @@
+"""Optimal serial histograms: the paper's V-OptHist algorithm (Section 4.1).
+
+Serial histograms partition the *sorted* frequency set into contiguous runs.
+By Theorem 3.3 the serial histogram minimising the self-join error
+``Σ_i p_i·v_i`` (Proposition 3.1) is v-optimal for every query the relation
+participates in, so finding it is a local, per-relation computation.
+
+Two equivalent algorithms are provided:
+
+* :func:`v_opt_hist_exhaustive` — the paper's V-OptHist: sort, then try every
+  contiguous partition into β buckets.  Cost ``O(M log M + C(M−1, β−1))``
+  (Theorem 4.1); only viable for small M/β, which is exactly the paper's
+  point (Table 1).
+* :func:`v_opt_hist_dp` — an ``O(M²·β)`` dynamic program over the same search
+  space.  Because the optimal serial histogram is a contiguous partition of
+  the sorted set and bucket costs are additive, the DP provably returns the
+  same optimum; the test suite asserts equality against the exhaustive
+  algorithm on all small inputs.  The figure sweeps with ``M = 100`` use it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.frequency import as_frequency_array
+from repro.core.histogram import Histogram
+from repro.util.validation import ensure_positive_int
+
+#: Partition-count threshold below which ``method="auto"`` picks the
+#: exhaustive algorithm.  Above it the dynamic program is used.
+AUTO_EXHAUSTIVE_LIMIT = 20_000
+
+
+def _prepare(frequencies, buckets: int) -> tuple[np.ndarray, int]:
+    freqs = as_frequency_array(frequencies)
+    buckets = ensure_positive_int(buckets, "buckets")
+    if buckets > freqs.size:
+        raise ValueError(
+            f"cannot build {buckets} buckets over {freqs.size} frequencies"
+        )
+    return freqs, buckets
+
+
+def _segment_sse(prefix_sum: np.ndarray, prefix_sq: np.ndarray, start: int, stop: int) -> float:
+    """SSE (``p·v``) of the sorted-slice ``[start, stop)`` via prefix sums."""
+    count = stop - start
+    seg_sum = prefix_sum[stop] - prefix_sum[start]
+    seg_sq = prefix_sq[stop] - prefix_sq[start]
+    return seg_sq - seg_sum * seg_sum / count
+
+
+def serial_error_from_sizes(frequencies, sizes: Sequence[int]) -> float:
+    """Self-join error (formula (3)) of the serial histogram with *sizes*.
+
+    *sizes* are bucket counts over the descending-sorted frequencies; the
+    error is ``Σ_i p_i·v_i`` computed with prefix sums in ``O(M + β)``.
+    """
+    freqs = as_frequency_array(frequencies)
+    sizes = tuple(int(s) for s in sizes)
+    if any(s <= 0 for s in sizes):
+        raise ValueError(f"bucket sizes must be positive, got {sizes}")
+    if sum(sizes) != freqs.size:
+        raise ValueError(
+            f"bucket sizes {sizes} must sum to the number of frequencies "
+            f"({freqs.size})"
+        )
+    ordered = np.sort(freqs)[::-1]
+    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered)])
+    error = 0.0
+    start = 0
+    for size in sizes:
+        error += _segment_sse(prefix_sum, prefix_sq, start, start + size)
+        start += size
+    return float(max(error, 0.0))
+
+
+def enumerate_serial_partitions(count: int, buckets: int) -> Iterator[tuple[int, ...]]:
+    """Yield every composition of *count* into *buckets* positive parts.
+
+    Each composition is the size tuple of one serial histogram over the
+    sorted frequency set — the search space of the paper's V-OptHist.  There
+    are ``C(count−1, buckets−1)`` of them.
+    """
+    count = ensure_positive_int(count, "count")
+    buckets = ensure_positive_int(buckets, "buckets")
+    if buckets > count:
+        return
+    for cuts in combinations(range(1, count), buckets - 1):
+        edges = (0,) + cuts + (count,)
+        yield tuple(edges[i + 1] - edges[i] for i in range(buckets))
+
+
+def serial_partition_count(count: int, buckets: int) -> int:
+    """Number of serial histograms with *buckets* buckets: ``C(M−1, β−1)``."""
+    if buckets > count:
+        return 0
+    return comb(count - 1, buckets - 1)
+
+
+def v_opt_hist_exhaustive(
+    frequencies, buckets: int, values: Optional[Sequence] = None
+) -> Histogram:
+    """The paper's V-OptHist: exhaustive search over serial partitions.
+
+    Sorts the frequency set, evaluates formula (3) for every contiguous
+    partition into *buckets* buckets via prefix sums, and returns the
+    histogram with minimum error.  Runs in
+    ``O(M log M + C(M−1, β−1)·β)`` — exponential in practice (Table 1), so
+    use :func:`v_opt_hist_dp` beyond small inputs.
+    """
+    freqs, buckets = _prepare(frequencies, buckets)
+    ordered = np.sort(freqs)[::-1]
+    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered)])
+
+    best_sizes: Optional[tuple[int, ...]] = None
+    best_error = np.inf
+    for sizes in enumerate_serial_partitions(freqs.size, buckets):
+        error = 0.0
+        start = 0
+        for size in sizes:
+            error += _segment_sse(prefix_sum, prefix_sq, start, start + size)
+            start += size
+            if error >= best_error:
+                break
+        if error < best_error:
+            best_error = error
+            best_sizes = sizes
+    assert best_sizes is not None  # buckets <= M guarantees a partition exists
+    return Histogram.from_sorted_sizes(freqs, best_sizes, kind="serial", values=values)
+
+
+def dp_contiguous_partition(ordered: np.ndarray, buckets: int) -> tuple[int, ...]:
+    """Minimum-SSE partition of *ordered* into *buckets* contiguous runs.
+
+    The order is the caller's: descending frequency order yields the serial
+    optimum (V-OptHist); natural value order yields the value-range
+    V-Optimal histogram used for range predicates.  ``O(M²·β)`` with the
+    inner minimisation vectorised.
+    """
+    size = int(ordered.size)
+    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered)])
+
+    best = np.full(size + 1, np.inf)
+    for j in range(1, size + 1):
+        best[j] = _segment_sse(prefix_sum, prefix_sq, 0, j)
+    back = np.zeros((buckets + 1, size + 1), dtype=int)
+
+    for k in range(2, buckets + 1):
+        new_best = np.full(size + 1, np.inf)
+        for j in range(k, size + 1):
+            splits = np.arange(k - 1, j)
+            seg_sum = prefix_sum[j] - prefix_sum[splits]
+            seg_sq = prefix_sq[j] - prefix_sq[splits]
+            costs = best[splits] + seg_sq - seg_sum * seg_sum / (j - splits)
+            choice = int(np.argmin(costs))
+            new_best[j] = costs[choice]
+            back[k][j] = splits[choice]
+        best = new_best
+
+    sizes_reversed = []
+    j = size
+    for k in range(buckets, 1, -1):
+        i = int(back[k][j])
+        sizes_reversed.append(j - i)
+        j = i
+    sizes_reversed.append(j)
+    return tuple(reversed(sizes_reversed))
+
+
+def v_opt_hist_dp(
+    frequencies, buckets: int, values: Optional[Sequence] = None
+) -> Histogram:
+    """Dynamic-program equivalent of V-OptHist in ``O(M²·β)``.
+
+    ``best[k][j]`` is the minimum total SSE of splitting the first *j* sorted
+    frequencies into *k* buckets; bucket costs are additive so the optimal
+    solution has optimal prefixes.  Returns the same optimum as the
+    exhaustive search (asserted by the test suite on small inputs), possibly
+    differing in tie-broken bucket boundaries of equal error.
+    """
+    freqs, buckets = _prepare(frequencies, buckets)
+    ordered = np.sort(freqs)[::-1]
+    sizes = dp_contiguous_partition(ordered, buckets)
+    return Histogram.from_sorted_sizes(freqs, sizes, kind="serial", values=values)
+
+
+def v_optimal_serial_histogram(
+    frequencies,
+    buckets: int,
+    values: Optional[Sequence] = None,
+    method: str = "auto",
+) -> Histogram:
+    """Return the v-optimal serial histogram with *buckets* buckets.
+
+    ``method`` selects the algorithm: ``"exhaustive"`` (the paper's
+    V-OptHist), ``"dp"`` (the equivalent dynamic program), or ``"auto"``
+    (exhaustive while the partition count stays below
+    ``AUTO_EXHAUSTIVE_LIMIT``, DP otherwise).
+    """
+    freqs, buckets = _prepare(frequencies, buckets)
+    if method == "auto":
+        partitions = serial_partition_count(freqs.size, buckets)
+        method = "exhaustive" if partitions <= AUTO_EXHAUSTIVE_LIMIT else "dp"
+    if method == "exhaustive":
+        return v_opt_hist_exhaustive(freqs, buckets, values=values)
+    if method == "dp":
+        return v_opt_hist_dp(freqs, buckets, values=values)
+    raise ValueError(f"unknown method {method!r}; expected auto, exhaustive, or dp")
+
+
+def all_serial_histograms(frequencies, buckets: int) -> Iterator[Histogram]:
+    """Yield every serial histogram with *buckets* buckets (for small inputs).
+
+    Used by the test suite to verify optimality claims exhaustively.
+    """
+    freqs, buckets = _prepare(frequencies, buckets)
+    for sizes in enumerate_serial_partitions(freqs.size, buckets):
+        yield Histogram.from_sorted_sizes(freqs, sizes, kind="serial")

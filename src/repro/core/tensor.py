@@ -1,0 +1,153 @@
+"""Frequency tensors for arbitrary tree queries.
+
+Section 2.2 develops the chain-query case and notes that "generalizing the
+results ... to arbitrary tree queries is straightforward.  The required
+mathematical machinery becomes hairier (tensors must be used) but its
+essence remains unchanged."  This module supplies that machinery:
+
+* a relation participating in ``d`` joins of a tree query carries a
+  ``d``-dimensional **frequency tensor** — the joint frequency of each
+  combination of its join-attribute values;
+* the exact query result size is the **contraction** of all relation
+  tensors over the shared join-attribute axes (the tree generalisation of
+  Theorem 2.1's matrix product), evaluated with :func:`numpy.einsum`;
+* histograms apply to tensors exactly as to matrices: bucket the flattened
+  frequency multiset and replace each cell by its bucket average.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.frequency import FrequencySet, as_frequency_array
+from repro.util.rng import RandomSource, derive_rng
+
+#: numpy.einsum supports up to 52 distinct subscripts; plenty for tests.
+_MAX_EDGES = 52
+
+
+class FrequencyTensor:
+    """An N-dimensional frequency tensor over a relation's join attributes.
+
+    ``axes`` names the join attribute (edge) each dimension ranges over, so
+    contraction can align shared axes between relations.
+    """
+
+    __slots__ = ("_array", "_axes")
+
+    def __init__(self, array, axes: Sequence[int]):
+        arr = np.array(array, dtype=float)
+        if arr.ndim == 0:
+            raise ValueError("a frequency tensor needs at least one dimension")
+        if arr.size == 0:
+            raise ValueError("frequency tensor must be non-empty")
+        if np.any(~np.isfinite(arr)) or np.any(arr < 0):
+            raise ValueError("frequency tensor entries must be finite and non-negative")
+        axes = tuple(int(a) for a in axes)
+        if len(axes) != arr.ndim:
+            raise ValueError(
+                f"tensor has {arr.ndim} dimensions but {len(axes)} axis labels"
+            )
+        if len(set(axes)) != len(axes):
+            raise ValueError("axis labels must be distinct within a relation")
+        arr.setflags(write=False)
+        self._array = arr
+        self._axes = axes
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying tensor (read-only view)."""
+        return self._array
+
+    @property
+    def axes(self) -> tuple[int, ...]:
+        """Edge identifiers labelling each dimension."""
+        return self._axes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._array.shape
+
+    @property
+    def total(self) -> float:
+        """Sum of all entries — the relation size ``T``."""
+        return float(self._array.sum())
+
+    def frequency_set(self) -> FrequencySet:
+        """The multiset of cell frequencies."""
+        return FrequencySet(self._array.ravel())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FrequencyTensor):
+            return NotImplemented
+        return (
+            self._axes == other._axes
+            and self._array.shape == other._array.shape
+            and bool(np.allclose(self._array, other._array))
+        )
+
+    def __repr__(self) -> str:
+        return f"FrequencyTensor(axes={self._axes}, shape={self.shape})"
+
+
+def arrange_frequency_tensor(
+    frequencies,
+    shape: Sequence[int],
+    axes: Sequence[int],
+    rng: RandomSource = None,
+) -> FrequencyTensor:
+    """Randomly arrange a frequency multiset into a tensor.
+
+    The tree-query analogue of
+    :func:`repro.core.matrix.arrange_frequency_set`: one uniformly random
+    arrangement of the set over the cross product of the join domains.
+    """
+    arr = as_frequency_array(frequencies)
+    shape = tuple(int(s) for s in shape)
+    cells = int(np.prod(shape))
+    if cells != arr.size:
+        raise ValueError(
+            f"cannot arrange {arr.size} frequencies into shape {shape} ({cells} cells)"
+        )
+    gen = derive_rng(rng)
+    return FrequencyTensor(gen.permutation(arr).reshape(shape), axes)
+
+
+def tree_result_size(tensors: Sequence[FrequencyTensor]) -> float:
+    """Exact result size of a tree query: contract all tensors.
+
+    Every axis label shared between tensors is summed over (a join
+    predicate); the contraction must reduce to a scalar, which requires each
+    label to appear exactly twice — the structure of a tree (or forest with
+    one component) of binary equality joins.
+    """
+    if not tensors:
+        raise ValueError("a tree query needs at least one relation")
+    label_counts: dict[int, int] = {}
+    label_sizes: dict[int, int] = {}
+    for tensor in tensors:
+        for axis, size in zip(tensor.axes, tensor.shape):
+            label_counts[axis] = label_counts.get(axis, 0) + 1
+            if label_sizes.setdefault(axis, size) != size:
+                raise ValueError(
+                    f"join domain {axis} has inconsistent sizes "
+                    f"({label_sizes[axis]} vs {size})"
+                )
+    bad = {a: c for a, c in label_counts.items() if c != 2}
+    if bad:
+        raise ValueError(
+            f"each join attribute must appear in exactly two relations; "
+            f"violations: {bad}"
+        )
+    if len(label_counts) >= _MAX_EDGES:
+        raise ValueError(f"too many join attributes (max {_MAX_EDGES - 1})")
+
+    letters = {}
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for index, axis in enumerate(sorted(label_counts)):
+        letters[axis] = alphabet[index]
+    spec = ",".join("".join(letters[a] for a in t.axes) for t in tensors)
+    result = np.einsum(spec + "->", *[t.array for t in tensors])
+    return float(result)

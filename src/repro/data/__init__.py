@@ -1,0 +1,34 @@
+"""Frequency-distribution generators used throughout the experiments.
+
+The paper's synthetic evaluation draws every frequency set from the Zipf
+family (its equation (1)); this package also provides the "reverse Zipf"
+shape discussed in Section 4.2, several generic synthetic shapes, integer
+quantization, and a surrogate for the paper's real-life (NBA statistics)
+dataset.
+"""
+
+from repro.data.zipf import zipf_frequencies, zipf_self_join_size, zipf_skew_series
+from repro.data.synthetic import (
+    mixture_frequencies,
+    normal_frequencies,
+    reverse_zipf_frequencies,
+    step_frequencies,
+    uniform_frequencies,
+)
+from repro.data.quantize import quantize_to_integers
+from repro.data.realworld import PlayerSeason, nba_player_statistics, player_stat_frequency_set
+
+__all__ = [
+    "zipf_frequencies",
+    "zipf_self_join_size",
+    "zipf_skew_series",
+    "uniform_frequencies",
+    "reverse_zipf_frequencies",
+    "normal_frequencies",
+    "step_frequencies",
+    "mixture_frequencies",
+    "quantize_to_integers",
+    "PlayerSeason",
+    "nba_player_statistics",
+    "player_stat_frequency_set",
+]

@@ -1,0 +1,43 @@
+"""Integer quantization of real-valued frequency vectors.
+
+The paper's formulation allows non-negative real matrix entries but notes
+that "for database applications, all entries will be non-negative integers".
+The largest-remainder method below rounds a real frequency vector to integers
+while preserving its exact total, so quantized experiments keep the relation
+size ``T`` intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantize_to_integers(frequencies: np.ndarray) -> np.ndarray:
+    """Round *frequencies* to non-negative integers preserving the total.
+
+    Uses the largest-remainder (Hamilton) method: floor every entry, then
+    distribute the leftover units to the entries with the largest fractional
+    parts (ties broken by original magnitude, then index, for determinism).
+    The input total must itself be integral to within float precision.
+    """
+    arr = np.asarray(frequencies, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"frequencies must be one-dimensional, got shape {arr.shape}")
+    if np.any(arr < 0) or np.any(~np.isfinite(arr)):
+        raise ValueError("frequencies must be finite and non-negative")
+    total = arr.sum()
+    rounded_total = round(total)
+    if abs(total - rounded_total) > 1e-6 * max(1.0, abs(total)):
+        raise ValueError(
+            f"total frequency {total} is not integral; cannot quantize exactly"
+        )
+    floors = np.floor(arr).astype(np.int64)
+    leftover = int(rounded_total - floors.sum())
+    if leftover == 0:
+        return floors
+    remainders = arr - floors
+    # Rank by remainder (descending), then magnitude (descending), then index.
+    order = np.lexsort((np.arange(arr.size), -arr, -remainders))
+    result = floors.copy()
+    result[order[:leftover]] += 1
+    return result

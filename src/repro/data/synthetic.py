@@ -1,0 +1,118 @@
+"""Synthetic frequency-set shapes beyond the Zipf family.
+
+The paper's discussion motivates several non-Zipf shapes:
+
+* the *reverse Zipf* distribution (many high frequencies, few low ones) for
+  which the sampling shortcut of Section 4.2 fails;
+* near-uniform distributions, for which the advisor should report that one
+  or two buckets suffice;
+* multi-modal ("peaky") distributions, the weak spot of algebraic
+  approximations cited in the introduction.
+
+All generators return frequency vectors normalised to a requested total so
+they can be swapped freely for ``zipf_frequencies`` in any experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_in_range, ensure_positive, ensure_positive_int
+
+
+def _normalise(weights: np.ndarray, total: float) -> np.ndarray:
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0):
+        raise ValueError("frequency weights must be non-negative")
+    s = weights.sum()
+    if s <= 0:
+        raise ValueError("frequency weights must have positive sum")
+    return total * weights / s
+
+
+def uniform_frequencies(total: float, domain_size: int) -> np.ndarray:
+    """Return the uniform frequency vector (``z = 0`` Zipf)."""
+    total = ensure_positive(total, "total")
+    domain_size = ensure_positive_int(domain_size, "domain_size")
+    return np.full(domain_size, total / domain_size)
+
+
+def reverse_zipf_frequencies(total: float, domain_size: int, z: float) -> np.ndarray:
+    """Return a "reverse Zipf" vector: many high frequencies, few low ones.
+
+    Built by reflecting the Zipf weights about their mean so the frequency
+    *multiset* has the mirrored shape the paper calls "in some sense, the
+    reverse of Zipf distributions" — the case where low frequencies, not high
+    ones, belong in the univalued buckets of an end-biased histogram.
+    """
+    total = ensure_positive(total, "total")
+    domain_size = ensure_positive_int(domain_size, "domain_size")
+    z = ensure_in_range(z, "z", low=0.0)
+    ranks = np.arange(1, domain_size + 1, dtype=float)
+    weights = ranks**-z
+    reflected = weights.max() + weights.min() - weights
+    return _normalise(np.sort(reflected)[::-1], total)
+
+
+def normal_frequencies(
+    total: float, domain_size: int, spread: float = 0.25, rng: RandomSource = None
+) -> np.ndarray:
+    """Return frequencies drawn from a truncated normal around the mean.
+
+    *spread* is the coefficient of variation before truncation; small values
+    give near-uniform sets (useful for advisor tests).
+    """
+    total = ensure_positive(total, "total")
+    domain_size = ensure_positive_int(domain_size, "domain_size")
+    spread = ensure_in_range(spread, "spread", low=0.0)
+    gen = derive_rng(rng)
+    base = np.clip(gen.normal(1.0, spread, size=domain_size), 1e-9, None)
+    return _normalise(base, total)
+
+
+def step_frequencies(
+    total: float, domain_size: int, high_fraction: float = 0.1, ratio: float = 10.0
+) -> np.ndarray:
+    """Return a two-level step distribution.
+
+    A fraction *high_fraction* of the values carries frequencies *ratio*
+    times larger than the rest — the idealised "few high, many low" shape for
+    which end-biased histograms are exact once ``β − 1`` covers the high step.
+    """
+    total = ensure_positive(total, "total")
+    domain_size = ensure_positive_int(domain_size, "domain_size")
+    high_fraction = ensure_in_range(high_fraction, "high_fraction", low=0.0, high=1.0)
+    ratio = ensure_positive(ratio, "ratio")
+    high_count = int(round(high_fraction * domain_size))
+    weights = np.ones(domain_size)
+    weights[:high_count] = ratio
+    return _normalise(weights, total)
+
+
+def mixture_frequencies(
+    total: float,
+    domain_size: int,
+    modes: int = 3,
+    concentration: float = 5.0,
+    rng: RandomSource = None,
+) -> np.ndarray:
+    """Return a multi-modal ("peaky") frequency vector.
+
+    Frequencies are a mixture of *modes* geometric decays started at random
+    offsets, producing the many-peaked shapes that defeat low-degree
+    polynomial approximations (the paper's critique of algebraic techniques).
+    Returned sorted in descending order, as a frequency multiset.
+    """
+    total = ensure_positive(total, "total")
+    domain_size = ensure_positive_int(domain_size, "domain_size")
+    modes = ensure_positive_int(modes, "modes")
+    concentration = ensure_positive(concentration, "concentration")
+    gen = derive_rng(rng)
+    positions = np.arange(domain_size, dtype=float)
+    weights = np.zeros(domain_size)
+    centers = gen.uniform(0, domain_size, size=modes)
+    for center in centers:
+        weights += np.exp(-np.abs(positions - center) / (domain_size / concentration))
+    weights += 1e-3
+    return _normalise(np.sort(weights)[::-1], total)

@@ -1,0 +1,75 @@
+"""Zipf frequency distributions — equation (1) of the paper.
+
+For a relation of size ``T`` and a join-domain of size ``M``, the paper
+generates frequencies
+
+    t_i = T * (1 / i^z) / sum_{j=1..M} (1 / j^z),        i = 1..M,
+
+where ``z >= 0`` controls the skew: ``z = 0`` is the uniform distribution and
+larger ``z`` concentrates mass on few values (Figure 1).  Frequencies are
+returned in *rank order* (descending); experiments permute them over domain
+values separately.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import ensure_in_range, ensure_positive, ensure_positive_int
+
+
+def zipf_frequencies(total: float, domain_size: int, z: float) -> np.ndarray:
+    """Return the Zipf frequency vector of equation (1), highest rank first.
+
+    Parameters
+    ----------
+    total:
+        Relation size ``T`` (sum of all frequencies).  The paper notes the
+        relation size "has provably no effect on any result" beyond scale.
+    domain_size:
+        Number of distinct attribute values ``M``.
+    z:
+        Skew parameter; ``z = 0`` yields the uniform distribution.
+
+    The returned vector sums to *total* exactly (up to float rounding) and is
+    sorted in descending order, matching the paper's rank-ordered Figure 1.
+    """
+    total = ensure_positive(total, "total")
+    domain_size = ensure_positive_int(domain_size, "domain_size")
+    z = ensure_in_range(z, "z", low=0.0)
+    ranks = np.arange(1, domain_size + 1, dtype=float)
+    weights = ranks**-z
+    return total * weights / weights.sum()
+
+
+def zipf_self_join_size(total: float, domain_size: int, z: float) -> float:
+    """Closed-form self-join size of a Zipf relation.
+
+    ``Σ_i t_i² = T² · H(2z) / H(z)²`` with ``H(s) = Σ_{i=1..M} i^{-s}`` —
+    the generalised harmonic number.  Used by tests to anchor experiment
+    scales (e.g. the paper's "Result Size 60780" for T=1000, M=100, z=1)
+    without materialising the vector.
+    """
+    total = ensure_positive(total, "total")
+    domain_size = ensure_positive_int(domain_size, "domain_size")
+    z = ensure_in_range(z, "z", low=0.0)
+    ranks = np.arange(1, domain_size + 1, dtype=float)
+    h_z = float(np.sum(ranks**-z))
+    h_2z = float(np.sum(ranks ** (-2 * z)))
+    return total * total * h_2z / (h_z * h_z)
+
+
+def zipf_skew_series(
+    total: float, domain_size: int, z_values: Sequence[float]
+) -> dict[float, np.ndarray]:
+    """Return ``{z: frequency vector}`` for each skew in *z_values*.
+
+    Convenience wrapper used to regenerate Figure 1, where the paper plots
+    the family ``z = 0, 0.02, ..., 0.1`` for ``T = 1000, M = 100``.
+    """
+    series = {}
+    for z in z_values:
+        series[float(z)] = zipf_frequencies(total, domain_size, z)
+    return series

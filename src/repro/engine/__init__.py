@@ -1,0 +1,55 @@
+"""In-memory relational substrate.
+
+The paper's techniques live inside a database system: statistics are
+collected from relations (``Matrix``/``JointMatrix``), stored in catalogs
+(DB2's ``SYSCOLDIST`` is cited as the production analogue), and consumed by
+the optimizer.  This package provides a small but real substrate — typed
+relations, selection/projection/hash-join operators, a chain-query executor
+producing ground-truth result sizes, an ``ANALYZE`` pass, a statistics
+catalog with the compact end-biased storage layout, and the sampling
+shortcuts of Section 4.2.
+"""
+
+from repro.engine.schema import Attribute, Schema
+from repro.engine.relation import Relation
+from repro.engine.operators import (
+    cross_product,
+    hash_join,
+    project,
+    select,
+)
+from repro.engine.executor import ChainJoinSpec, execute_chain_join, chain_join_size
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.analyze import analyze_relation, analyze_database
+from repro.engine.sampling import SpaceSavingSketch, reservoir_sample, sampled_end_biased_histogram
+from repro.engine.persist import catalog_from_dict, catalog_to_dict, load_catalog, save_catalog
+from repro.engine.tuning import Recommendation, apply_recommendations, recommend_statistics, tune_database
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Relation",
+    "cross_product",
+    "hash_join",
+    "project",
+    "select",
+    "ChainJoinSpec",
+    "execute_chain_join",
+    "chain_join_size",
+    "CatalogEntry",
+    "CompactEndBiased",
+    "StatsCatalog",
+    "analyze_relation",
+    "analyze_database",
+    "SpaceSavingSketch",
+    "reservoir_sample",
+    "sampled_end_biased_histogram",
+    "catalog_from_dict",
+    "catalog_to_dict",
+    "load_catalog",
+    "save_catalog",
+    "Recommendation",
+    "apply_recommendations",
+    "recommend_statistics",
+    "tune_database",
+]

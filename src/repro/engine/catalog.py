@@ -1,0 +1,173 @@
+"""Statistics catalog: where histograms live inside the system (Section 4).
+
+Real systems store exactly the end-biased layout the paper recommends —
+DB2's ``SYSIBM.SYSCOLDIST`` keeps the 10 highest-frequency values of each
+column explicitly.  :class:`CompactEndBiased` reproduces that storage form
+("not finding a value among those explicitly stored implies it belongs to
+the missing bucket"), and :class:`StatsCatalog` is the per-(relation,
+attribute) registry the optimizer consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.core.histogram import Histogram
+
+
+@dataclass(frozen=True)
+class CompactEndBiased:
+    """Compact catalog form of an end-biased histogram.
+
+    ``explicit`` maps the values of the univalued buckets to their exact
+    frequencies; every other domain value is approximated by
+    ``remainder_average``.  The multivalued bucket is stored implicitly,
+    the space optimisation of Section 4.1/4.2.
+    """
+
+    explicit: dict[Hashable, float]
+    remainder_count: int
+    remainder_average: float
+
+    def __post_init__(self):
+        if self.remainder_count < 0:
+            raise ValueError(
+                f"remainder_count must be non-negative, got {self.remainder_count}"
+            )
+        if self.remainder_count > 0 and self.remainder_average < 0:
+            raise ValueError(
+                f"remainder_average must be non-negative, got {self.remainder_average}"
+            )
+
+    @classmethod
+    def from_histogram(cls, histogram: Histogram) -> "CompactEndBiased":
+        """Compress a value-aware biased histogram into catalog form.
+
+        The (single) multivalued bucket becomes the implicit remainder; all
+        univalued buckets are stored explicitly.  For degenerate histograms
+        whose buckets are all univalued, the largest bucket is the remainder.
+        """
+        if histogram.values is None:
+            raise ValueError("catalog storage needs a value-aware histogram")
+        if not histogram.is_biased():
+            raise ValueError(
+                "compact storage applies to biased histograms "
+                "(one multivalued bucket); got a general histogram"
+            )
+        multivalued = [b for b in histogram.buckets if not b.is_univalued()]
+        remainder = multivalued[0] if multivalued else max(
+            histogram.buckets, key=lambda b: b.count
+        )
+        explicit: dict[Hashable, float] = {}
+        for bucket in histogram.buckets:
+            if bucket is remainder:
+                continue
+            for value, frequency in zip(bucket.values, bucket.frequencies):
+                explicit[value] = float(frequency)
+        return cls(
+            explicit=explicit,
+            remainder_count=remainder.count,
+            remainder_average=remainder.average,
+        )
+
+    @property
+    def distinct_count(self) -> int:
+        """Distinct values covered: explicit plus implicit remainder."""
+        return len(self.explicit) + self.remainder_count
+
+    @property
+    def total(self) -> float:
+        """Total tuple count represented by the stored statistics."""
+        return sum(self.explicit.values()) + self.remainder_count * self.remainder_average
+
+    def estimate(self, value: Hashable, *, assume_in_domain: bool = True) -> float:
+        """Approximate frequency of *value*.
+
+        Explicitly stored values return their exact frequency.  Unknown
+        values return the remainder average when *assume_in_domain* (the
+        catalog's "missing bucket" rule), else 0.
+        """
+        if value in self.explicit:
+            return self.explicit[value]
+        if assume_in_domain and self.remainder_count > 0:
+            return self.remainder_average
+        return 0.0
+
+
+@dataclass
+class CatalogEntry:
+    """Statistics stored for one (relation, attribute) pair."""
+
+    relation: str
+    attribute: str
+    kind: str
+    histogram: Optional[Histogram]
+    compact: Optional[CompactEndBiased]
+    distinct_count: int
+    total_tuples: float
+    version: int = 0
+
+    def estimate_frequency(self, value: Hashable) -> float:
+        """Approximate frequency of *value* from the best available form."""
+        if self.compact is not None:
+            return self.compact.estimate(value)
+        if self.histogram is not None and self.histogram.values is not None:
+            return self.histogram.approx_of_value(value)
+        if self.distinct_count <= 0:
+            return 0.0
+        return self.total_tuples / self.distinct_count
+
+    def average_frequency(self) -> float:
+        """``T / M`` — the uniform-assumption frequency."""
+        if self.distinct_count <= 0:
+            return 0.0
+        return self.total_tuples / self.distinct_count
+
+
+class StatsCatalog:
+    """Registry of per-(relation, attribute) statistics.
+
+    The ``version`` counter increments on every (re)analyze, letting
+    maintenance policies detect staleness.
+    """
+
+    def __init__(self):
+        self._entries: dict[tuple[str, str], CatalogEntry] = {}
+
+    def put(self, entry: CatalogEntry) -> CatalogEntry:
+        """Insert or replace the entry, bumping its version on replacement."""
+        key = (entry.relation, entry.attribute)
+        previous = self._entries.get(key)
+        entry.version = (previous.version + 1) if previous else 1
+        self._entries[key] = entry
+        return entry
+
+    def get(self, relation: str, attribute: str) -> Optional[CatalogEntry]:
+        return self._entries.get((relation, attribute))
+
+    def require(self, relation: str, attribute: str) -> CatalogEntry:
+        entry = self.get(relation, attribute)
+        if entry is None:
+            raise KeyError(
+                f"no statistics for {relation}.{attribute}; run ANALYZE first"
+            )
+        return entry
+
+    def drop(self, relation: str, attribute: Optional[str] = None) -> int:
+        """Drop statistics for one attribute or a whole relation."""
+        if attribute is not None:
+            return 1 if self._entries.pop((relation, attribute), None) else 0
+        keys = [k for k in self._entries if k[0] == relation]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def entries(self) -> list[CatalogEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries

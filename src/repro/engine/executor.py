@@ -1,0 +1,139 @@
+"""Chain-join execution: ground-truth result sizes for the estimators.
+
+A chain join over engine relations is described by a
+:class:`ChainJoinSpec`; :func:`execute_chain_join` materialises the result
+with hash joins while :func:`chain_join_size` computes only the cardinality
+by multiplying hash-counted frequency matrices (Theorem 2.1).  The test
+suite asserts both agree, tying the paper's linear-algebra view of query
+sizes to an operational executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.matrix import FrequencyMatrix, chain_result_size
+from repro.engine.operators import hash_join
+from repro.engine.relation import Relation
+
+
+@dataclass(frozen=True)
+class ChainJoinSpec:
+    """A chain query ``R0.a1 = R1.a1 and R1.a2 = R2.a2 and ...``.
+
+    ``join_attributes[j] = (left_attr, right_attr)`` names the join columns
+    between ``relations[j]`` and ``relations[j+1]``.  The paper's canonical
+    form uses the same attribute name on both sides (``R_j.a_{j+1} =
+    R_{j+1}.a_{j+1}``); distinct names are allowed for convenience.
+    """
+
+    relations: tuple[Relation, ...]
+    join_attributes: tuple[tuple[str, str], ...]
+
+    def __post_init__(self):
+        if len(self.relations) < 2:
+            raise ValueError("a chain join needs at least two relations")
+        if len(self.join_attributes) != len(self.relations) - 1:
+            raise ValueError(
+                f"{len(self.relations)} relations need "
+                f"{len(self.relations) - 1} join predicates, got "
+                f"{len(self.join_attributes)}"
+            )
+        for j, (left_attr, right_attr) in enumerate(self.join_attributes):
+            if left_attr not in self.relations[j].schema:
+                raise ValueError(
+                    f"relation {self.relations[j].name!r} has no attribute {left_attr!r}"
+                )
+            if right_attr not in self.relations[j + 1].schema:
+                raise ValueError(
+                    f"relation {self.relations[j + 1].name!r} has no attribute {right_attr!r}"
+                )
+
+    @property
+    def num_joins(self) -> int:
+        return len(self.join_attributes)
+
+
+def execute_chain_join(spec: ChainJoinSpec) -> Relation:
+    """Materialise the chain join left to right with hash joins.
+
+    Attribute names can be qualified (``relation.attribute``) when a join
+    merges colliding names — e.g. the canonical chain reuses each join
+    attribute's name in two adjacent relations — so the executor tracks the
+    *current* name of every original attribute through the pipeline.
+    """
+    result = spec.relations[0]
+    # current_name[(relation_position, original_attribute)] -> name in result.
+    current_name = {
+        (0, attribute): attribute for attribute in spec.relations[0].schema.names
+    }
+    for j, (left_attr, right_attr) in enumerate(spec.join_attributes):
+        right = spec.relations[j + 1]
+        probe_attr = current_name[(j, left_attr)]
+        taken = set(result.schema.names)
+        result = hash_join(result, right, probe_attr, right_attr)
+        for attribute in right.schema.names:
+            if attribute in taken:
+                current_name[(j + 1, attribute)] = f"{right.name}.{attribute}"
+            else:
+                current_name[(j + 1, attribute)] = attribute
+    return result
+
+
+def frequency_matrices_for_chain(spec: ChainJoinSpec) -> list[FrequencyMatrix]:
+    """Hash-count the per-relation frequency matrices over shared domains.
+
+    The end relations produce vectors over the join domain; interior
+    relations produce 2-D matrices over (incoming, outgoing) join attribute
+    pairs.  All matrices are aligned on the *union* of observed values per
+    join domain so the chain product is well defined.
+    """
+    num_relations = len(spec.relations)
+    # Join domain j sits between relations j and j+1.
+    domains: list[list] = []
+    for j, (left_attr, right_attr) in enumerate(spec.join_attributes):
+        values = set(spec.relations[j].column(left_attr)) | set(
+            spec.relations[j + 1].column(right_attr)
+        )
+        domains.append(sorted(values))
+
+    matrices: list[FrequencyMatrix] = []
+    for position, relation in enumerate(spec.relations):
+        if position == 0:
+            attr = spec.join_attributes[0][0]
+            domain = domains[0]
+            index = {v: i for i, v in enumerate(domain)}
+            vector = np.zeros(len(domain))
+            for value in relation.column(attr):
+                vector[index[value]] += 1
+            matrices.append(FrequencyMatrix.row_vector(vector, values=domain))
+        elif position == num_relations - 1:
+            attr = spec.join_attributes[-1][1]
+            domain = domains[-1]
+            index = {v: i for i, v in enumerate(domain)}
+            vector = np.zeros(len(domain))
+            for value in relation.column(attr):
+                vector[index[value]] += 1
+            matrices.append(FrequencyMatrix.column_vector(vector, values=domain))
+        else:
+            in_attr = spec.join_attributes[position - 1][1]
+            out_attr = spec.join_attributes[position][0]
+            row_domain = domains[position - 1]
+            col_domain = domains[position]
+            row_index = {v: i for i, v in enumerate(row_domain)}
+            col_index = {v: i for i, v in enumerate(col_domain)}
+            array = np.zeros((len(row_domain), len(col_domain)))
+            for a, b in relation.column_pair(in_attr, out_attr):
+                array[row_index[a], col_index[b]] += 1
+            matrices.append(
+                FrequencyMatrix(array, row_values=row_domain, col_values=col_domain)
+            )
+    return matrices
+
+
+def chain_join_size(spec: ChainJoinSpec) -> float:
+    """Exact chain-join cardinality via the frequency-matrix product."""
+    return chain_result_size(frequency_matrices_for_chain(spec))

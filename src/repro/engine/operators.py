@@ -1,0 +1,112 @@
+"""Physical operators: selection, projection, hash join, cross product.
+
+These materialise their results as new :class:`~repro.engine.relation.Relation`
+objects — sufficient for the ground-truth executor and the optimizer-cost
+experiments at reproduction scale.  Output attribute names are qualified
+(``relation.attribute``) on collision, mirroring SQL disambiguation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.engine.relation import Relation
+from repro.engine.schema import Attribute, Schema
+
+
+def select(relation: Relation, predicate: Callable[[tuple], bool], name: str = "") -> Relation:
+    """Filter tuples by *predicate* (a function of the raw row tuple)."""
+    result_name = name or f"select({relation.name})"
+    rows = [row for row in relation.rows() if predicate(row)]
+    return Relation(result_name, relation.schema, rows)
+
+
+def select_equals(relation: Relation, attribute: str, value, name: str = "") -> Relation:
+    """Equality selection ``attribute = value``."""
+    position = relation.schema.position(attribute)
+    return select(
+        relation,
+        lambda row: row[position] == value,
+        name or f"{relation.name}[{attribute}={value!r}]",
+    )
+
+
+def project(relation: Relation, attributes: Sequence[str], name: str = "") -> Relation:
+    """Bag projection onto *attributes* (duplicates preserved)."""
+    positions = [relation.schema.position(a) for a in attributes]
+    schema = Schema([relation.schema.attributes[p] for p in positions])
+    rows = [tuple(row[p] for p in positions) for row in relation.rows()]
+    return Relation(name or f"project({relation.name})", schema, rows)
+
+
+def _merged_schema(left: Relation, right: Relation) -> Schema:
+    attributes: list[Attribute] = []
+    left_names = set(left.schema.names)
+    for attribute in left.schema:
+        attributes.append(attribute)
+    for attribute in right.schema:
+        if attribute.name in left_names:
+            attributes.append(Attribute(f"{right.name}.{attribute.name}", attribute.dtype))
+        else:
+            attributes.append(attribute)
+    return Schema(attributes)
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    left_attribute: str,
+    right_attribute: str,
+    name: str = "",
+) -> Relation:
+    """Equality hash join: build on the smaller input, probe with the larger.
+
+    The result concatenates the full tuples of both sides, so its
+    cardinality is the exact join size — the quantity all histogram
+    estimates approximate.
+    """
+    build, probe = (left, right) if left.cardinality <= right.cardinality else (right, left)
+    build_attr = left_attribute if build is left else right_attribute
+    probe_attr = right_attribute if probe is right else left_attribute
+
+    build_position = build.schema.position(build_attr)
+    table: dict = {}
+    for row in build.rows():
+        table.setdefault(row[build_position], []).append(row)
+
+    probe_position = probe.schema.position(probe_attr)
+    joined_rows = []
+    left_first = build is left
+    for row in probe.rows():
+        for match in table.get(row[probe_position], ()):  # build-side rows
+            if left_first:
+                joined_rows.append(match + row)
+            else:
+                joined_rows.append(row + match)
+
+    schema = _merged_schema(left, right)
+    return Relation(name or f"({left.name} ⋈ {right.name})", schema, joined_rows)
+
+
+def join_size(
+    left: Relation, right: Relation, left_attribute: str, right_attribute: str
+) -> int:
+    """Exact join cardinality without materialising the result.
+
+    Counts matches through the per-value frequency product — Theorem 2.1
+    evaluated directly on hash-counted frequencies.
+    """
+    left_counts: dict = {}
+    for value in left.column(left_attribute):
+        left_counts[value] = left_counts.get(value, 0) + 1
+    total = 0
+    for value in right.column(right_attribute):
+        total += left_counts.get(value, 0)
+    return total
+
+
+def cross_product(left: Relation, right: Relation, name: str = "") -> Relation:
+    """Cartesian product (used only by tests at tiny scale)."""
+    schema = _merged_schema(left, right)
+    rows = [l + r for l in left.rows() for r in right.rows()]
+    return Relation(name or f"({left.name} × {right.name})", schema, rows)

@@ -1,0 +1,137 @@
+"""Catalog persistence: statistics survive restarts, like real catalogs.
+
+Production systems keep histogram statistics in persistent catalog tables
+(the paper points at DB2's ``SYSIBM.SYSCOLDIST``).  This module serialises
+a :class:`~repro.engine.catalog.StatsCatalog` to JSON and back, preserving
+full histograms (frequencies, bucket groups, values), compact end-biased
+forms, and version counters.
+
+Attribute values must be JSON-representable scalars (str, int, float,
+bool); anything else raises with a clear message rather than degrading
+silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.histogram import Histogram
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+
+_SCALARS = (str, int, float, bool)
+
+
+def _check_value(value, context: str):
+    if not isinstance(value, _SCALARS):
+        raise TypeError(
+            f"{context}: attribute value {value!r} of type "
+            f"{type(value).__name__} is not JSON-serialisable"
+        )
+    return value
+
+
+def _histogram_to_dict(histogram: Histogram) -> dict:
+    return {
+        "frequencies": [float(f) for f in histogram.frequencies],
+        "groups": [list(group) for group in histogram.index_groups],
+        "kind": histogram.kind,
+        "values": (
+            None
+            if histogram.values is None
+            else [_check_value(v, "histogram values") for v in histogram.values]
+        ),
+    }
+
+
+def _histogram_from_dict(data: dict) -> Histogram:
+    return Histogram(
+        data["frequencies"],
+        [tuple(group) for group in data["groups"]],
+        kind=data["kind"],
+        values=data["values"],
+    )
+
+
+def _compact_to_dict(compact: CompactEndBiased) -> dict:
+    return {
+        "explicit": [
+            [_check_value(value, "compact explicit values"), float(freq)]
+            for value, freq in compact.explicit.items()
+        ],
+        "remainder_count": compact.remainder_count,
+        "remainder_average": compact.remainder_average,
+    }
+
+
+def _compact_from_dict(data: dict) -> CompactEndBiased:
+    return CompactEndBiased(
+        explicit={value: freq for value, freq in data["explicit"]},
+        remainder_count=data["remainder_count"],
+        remainder_average=data["remainder_average"],
+    )
+
+
+def catalog_to_dict(catalog: StatsCatalog) -> dict:
+    """Serialise the catalog to a JSON-compatible dictionary."""
+    entries = []
+    for entry in catalog.entries():
+        entries.append(
+            {
+                "relation": entry.relation,
+                "attribute": entry.attribute,
+                "kind": entry.kind,
+                "distinct_count": entry.distinct_count,
+                "total_tuples": entry.total_tuples,
+                "version": entry.version,
+                "histogram": (
+                    None if entry.histogram is None else _histogram_to_dict(entry.histogram)
+                ),
+                "compact": (
+                    None if entry.compact is None else _compact_to_dict(entry.compact)
+                ),
+            }
+        )
+    return {"format": "repro-stats-catalog", "version": 1, "entries": entries}
+
+
+def catalog_from_dict(data: dict) -> StatsCatalog:
+    """Rebuild a catalog from :func:`catalog_to_dict` output."""
+    if data.get("format") != "repro-stats-catalog":
+        raise ValueError(
+            f"not a repro stats catalog (format={data.get('format')!r})"
+        )
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported catalog version {data.get('version')!r}")
+    catalog = StatsCatalog()
+    for item in data["entries"]:
+        entry = CatalogEntry(
+            relation=item["relation"],
+            attribute=item["attribute"],
+            kind=item["kind"],
+            histogram=(
+                None if item["histogram"] is None else _histogram_from_dict(item["histogram"])
+            ),
+            compact=(
+                None if item["compact"] is None else _compact_from_dict(item["compact"])
+            ),
+            distinct_count=item["distinct_count"],
+            total_tuples=item["total_tuples"],
+        )
+        catalog.put(entry)
+        entry.version = item["version"]  # preserve the original counter
+    return catalog
+
+
+def save_catalog(catalog: StatsCatalog, path: Union[str, Path]) -> None:
+    """Write the catalog to *path* as JSON."""
+    path = Path(path)
+    payload = json.dumps(catalog_to_dict(catalog), indent=2, sort_keys=True)
+    path.write_text(payload)
+
+
+def load_catalog(path: Union[str, Path]) -> StatsCatalog:
+    """Read a catalog previously written by :func:`save_catalog`."""
+    path = Path(path)
+    return catalog_from_dict(json.loads(path.read_text()))

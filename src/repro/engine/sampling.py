@@ -1,0 +1,143 @@
+"""Sampling shortcuts for statistics collection (Section 4.2).
+
+The paper notes that the β−1 *highest* frequencies can be identified by
+sampling "extremely fast ... requiring constant amount of very small space"
+— the DB2/MVS approach of keeping the 10 most frequent values per column —
+while no efficient technique finds the *lowest* frequencies.  This module
+provides:
+
+* :func:`reservoir_sample` — Vitter's Algorithm R, the classic one-pass
+  uniform sample;
+* :class:`SpaceSavingSketch` — the deterministic heavy-hitter counter
+  (Metwally et al.) guaranteeing every value with frequency above ``T/k``
+  appears among ``k`` counters after one pass;
+* :func:`sampled_end_biased_histogram` — an approximate compact end-biased
+  histogram built from a sketch + known relation totals, never materialising
+  the full frequency distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.engine.catalog import CompactEndBiased
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive_int
+
+
+def reservoir_sample(items: Iterable, size: int, rng: RandomSource = None) -> list:
+    """Uniform sample of *size* items in one pass (Algorithm R)."""
+    size = ensure_positive_int(size, "size")
+    gen = derive_rng(rng)
+    reservoir: list = []
+    for index, item in enumerate(items):
+        if index < size:
+            reservoir.append(item)
+        else:
+            slot = int(gen.integers(0, index + 1))
+            if slot < size:
+                reservoir[slot] = item
+    return reservoir
+
+
+@dataclass
+class _Counter:
+    count: int
+    error: int
+
+
+class SpaceSavingSketch:
+    """Space-Saving heavy-hitter sketch with *capacity* counters.
+
+    Guarantees: every value occurring more than ``N / capacity`` times is
+    monitored, and each reported count overestimates the true frequency by
+    at most the counter's recorded ``error``.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = ensure_positive_int(capacity, "capacity")
+        self._counters: dict[Hashable, _Counter] = {}
+        self._observed = 0
+
+    @property
+    def observed(self) -> int:
+        """Number of items fed to the sketch."""
+        return self._observed
+
+    def update(self, value: Hashable) -> None:
+        """Feed one occurrence of *value*."""
+        self._observed += 1
+        counter = self._counters.get(value)
+        if counter is not None:
+            counter.count += 1
+            return
+        if len(self._counters) < self.capacity:
+            self._counters[value] = _Counter(count=1, error=0)
+            return
+        # Evict the minimum counter; inherit its count as the error bound.
+        victim = min(self._counters, key=lambda v: self._counters[v].count)
+        floor = self._counters[victim].count
+        del self._counters[victim]
+        self._counters[value] = _Counter(count=floor + 1, error=floor)
+
+    def extend(self, values: Iterable[Hashable]) -> None:
+        """Feed many occurrences."""
+        for value in values:
+            self.update(value)
+
+    def top(self, k: int) -> list[tuple[Hashable, int, int]]:
+        """The *k* largest counters as ``(value, count, error)`` triples."""
+        k = ensure_positive_int(k, "k")
+        ranked = sorted(
+            self._counters.items(), key=lambda item: (-item[1].count, repr(item[0]))
+        )
+        return [(value, c.count, c.error) for value, c in ranked[:k]]
+
+    def guaranteed_heavy(self, k: int) -> list[tuple[Hashable, int]]:
+        """Counters whose lower bound (count − error) beats every excluded one."""
+        ranked = self.top(len(self._counters))
+        if not ranked:
+            return []
+        cutoff = ranked[k][1] if k < len(ranked) else 0
+        return [(v, c) for v, c, e in ranked[:k] if c - e >= cutoff]
+
+
+def sampled_end_biased_histogram(
+    column: Iterable[Hashable],
+    buckets: int,
+    total_tuples: int,
+    distinct_count: int,
+    *,
+    sketch_capacity: int | None = None,
+) -> CompactEndBiased:
+    """Approximate compact end-biased histogram from one sketching pass.
+
+    Finds the β−1 highest-frequency values with a Space-Saving sketch and
+    spreads the remaining mass uniformly over the other ``M − (β−1)`` values
+    — the cheap construction the paper recommends when the distribution is
+    Zipf-like (high frequencies in the univalued buckets).  Needs only the
+    relation's total tuple and distinct counts, both of which systems track
+    anyway.
+    """
+    buckets = ensure_positive_int(buckets, "buckets")
+    total_tuples = ensure_positive_int(total_tuples, "total_tuples")
+    distinct_count = ensure_positive_int(distinct_count, "distinct_count")
+    singles = min(buckets - 1, distinct_count - 1)
+    capacity = sketch_capacity or max(4 * buckets, 16)
+    sketch = SpaceSavingSketch(capacity)
+    sketch.extend(column)
+
+    explicit: dict[Hashable, float] = {}
+    if singles > 0:
+        for value, count, error in sketch.top(singles):
+            # Midpoint of the [count − error, count] uncertainty interval.
+            explicit[value] = float(count) - error / 2.0
+    remainder_count = distinct_count - len(explicit)
+    remaining_mass = max(0.0, float(total_tuples) - sum(explicit.values()))
+    remainder_average = remaining_mass / remainder_count if remainder_count else 0.0
+    return CompactEndBiased(
+        explicit=explicit,
+        remainder_count=remainder_count,
+        remainder_average=remainder_average,
+    )

@@ -1,0 +1,124 @@
+"""Statistics tuning: per-attribute bucket recommendations for a database.
+
+Combines the Section 3.1 advisor (minimum buckets for an error tolerance)
+with the frequency-profile statistics into the workflow a DBA would run:
+scan every attribute, recommend a bucket count, and optionally ANALYZE with
+the recommendations applied.  Near-uniform attributes get one bucket (the
+paper's "one or two buckets will suffice"); heavily skewed ones get exactly
+as many as the tolerance demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.advisor import minimum_buckets, optimal_error_for_buckets
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.util.stats import FrequencyProfile, profile_frequencies
+from repro.util.validation import ensure_in_range, ensure_positive_int
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Advice for one (relation, attribute) pair."""
+
+    relation: str
+    attribute: str
+    distinct_values: int
+    recommended_buckets: int
+    achieved_relative_error: float
+    profile: FrequencyProfile
+
+    def __str__(self) -> str:
+        return (
+            f"{self.relation}.{self.attribute}: beta={self.recommended_buckets} "
+            f"(rel.err {self.achieved_relative_error:.4%}; {self.profile})"
+        )
+
+
+def recommend_statistics(
+    relations: Iterable[Relation],
+    *,
+    tolerance: float = 0.01,
+    kind: str = "end-biased",
+    max_buckets: int = 100,
+) -> list[Recommendation]:
+    """Recommend per-attribute bucket counts meeting *tolerance*.
+
+    The tolerance is relative to each attribute's exact self-join size —
+    the v-optimality criterion — and the recommendation is capped at
+    *max_buckets* (if the cap cannot meet the tolerance, the cap is
+    returned with its achieved error, rather than failing).
+    """
+    tolerance = ensure_in_range(tolerance, "tolerance", low=0.0)
+    max_buckets = ensure_positive_int(max_buckets, "max_buckets")
+    recommendations = []
+    for relation in relations:
+        for attribute in relation.schema.names:
+            distribution = relation.frequency_distribution(attribute)
+            freqs = distribution.frequencies
+            cap = min(max_buckets, distribution.domain_size)
+            try:
+                buckets = minimum_buckets(
+                    freqs, tolerance, kind, max_buckets=cap
+                )
+            except ValueError:
+                buckets = cap
+            error = optimal_error_for_buckets(freqs, buckets, kind)
+            exact = float(distribution.self_join_size())
+            recommendations.append(
+                Recommendation(
+                    relation=relation.name,
+                    attribute=attribute,
+                    distinct_values=distribution.domain_size,
+                    recommended_buckets=buckets,
+                    achieved_relative_error=error / exact if exact else 0.0,
+                    profile=profile_frequencies(freqs),
+                )
+            )
+    return recommendations
+
+
+def apply_recommendations(
+    relations: Iterable[Relation],
+    catalog: StatsCatalog,
+    recommendations: Iterable[Recommendation],
+    *,
+    kind: str = "end-biased",
+) -> int:
+    """ANALYZE each recommended attribute with its recommended bucket count."""
+    by_name = {relation.name: relation for relation in relations}
+    count = 0
+    for rec in recommendations:
+        relation = by_name.get(rec.relation)
+        if relation is None:
+            raise KeyError(f"unknown relation {rec.relation!r} in recommendation")
+        analyze_relation(
+            relation,
+            rec.attribute,
+            catalog,
+            kind=kind,
+            buckets=rec.recommended_buckets,
+        )
+        count += 1
+    return count
+
+
+def tune_database(
+    relations: Iterable[Relation],
+    catalog: StatsCatalog,
+    *,
+    tolerance: float = 0.01,
+    kind: str = "end-biased",
+    max_buckets: int = 100,
+) -> list[Recommendation]:
+    """One-call tuning: recommend and immediately ANALYZE accordingly."""
+    relations = list(relations)
+    recommendations = recommend_statistics(
+        relations, tolerance=tolerance, kind=kind, max_buckets=max_buckets
+    )
+    apply_recommendations(relations, catalog, recommendations, kind=kind)
+    return recommendations

@@ -1,0 +1,68 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from repro.experiments.config import (
+    ChainExperimentConfig,
+    SelfJoinExperimentConfig,
+    TimingExperimentConfig,
+)
+from repro.experiments.selfjoin import (
+    HistogramType,
+    SigmaPoint,
+    build_histogram,
+    self_join_sigmas,
+    sweep_buckets,
+    sweep_domain_size,
+    sweep_skew,
+)
+from repro.experiments.chains import (
+    CHAIN_HISTOGRAM_TYPES,
+    ChainErrorPoint,
+    mean_relative_error,
+    sweep_chain_buckets,
+    sweep_joins,
+)
+from repro.experiments.timing import TimingRow, construction_timing_table, time_construction
+from repro.experiments.arrangements import ArrangementStudy, optimal_biased_pair_study
+from repro.experiments.planrank import (
+    PLAN_RANK_KINDS,
+    PlanRankResult,
+    plan_ranking_study,
+)
+from repro.experiments.propagation import GrowthFit, fit_error_growth
+from repro.experiments.trees import StarErrorPoint, sweep_star_leaves, tree_mean_relative_error
+from repro.experiments.report import format_series, format_table, series_rows, write_csv
+
+__all__ = [
+    "ChainExperimentConfig",
+    "SelfJoinExperimentConfig",
+    "TimingExperimentConfig",
+    "HistogramType",
+    "SigmaPoint",
+    "build_histogram",
+    "self_join_sigmas",
+    "sweep_buckets",
+    "sweep_domain_size",
+    "sweep_skew",
+    "CHAIN_HISTOGRAM_TYPES",
+    "ChainErrorPoint",
+    "mean_relative_error",
+    "sweep_chain_buckets",
+    "sweep_joins",
+    "TimingRow",
+    "construction_timing_table",
+    "time_construction",
+    "ArrangementStudy",
+    "optimal_biased_pair_study",
+    "format_series",
+    "format_table",
+    "series_rows",
+    "write_csv",
+    "PLAN_RANK_KINDS",
+    "PlanRankResult",
+    "plan_ranking_study",
+    "GrowthFit",
+    "fit_error_growth",
+    "StarErrorPoint",
+    "sweep_star_leaves",
+    "tree_mean_relative_error",
+]

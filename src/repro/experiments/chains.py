@@ -1,0 +1,166 @@
+"""Multi-join chain experiments — Figures 6 and 7 (Section 5.2).
+
+For each query class (low / mixed / high skew) and each chain length, the
+harness samples queries with random per-relation Zipf skews, builds one
+histogram per relation *from its frequency set alone* (the practical regime
+of Theorem 3.3), and averages the relative error ``E[|S − S'| / S]`` over
+random arrangements of the frequency sets — the paper uses twenty
+permutations.
+
+The compared histograms are the trivial, v-optimal serial, and v-optimal
+end-biased histograms: the paper notes the experiment "does not include any
+actually optimal histogram" because per-query optimality would need the
+joint-frequency matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import FrequencySet
+from repro.core.histogram import Histogram
+from repro.core.serial import v_optimal_serial_histogram
+from repro.core.estimator import relative_error
+from repro.experiments.config import ChainExperimentConfig
+from repro.experiments.selfjoin import HistogramType
+from repro.queries.chain import ChainQuery
+from repro.queries.workload import QueryClass, sample_chain_query
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive_int
+
+#: Histogram types compared in Figures 6-7.
+CHAIN_HISTOGRAM_TYPES: tuple[HistogramType, ...] = (
+    HistogramType.TRIVIAL,
+    HistogramType.END_BIASED,
+    HistogramType.SERIAL,
+)
+
+
+def _factory_for(histogram_type: HistogramType, buckets: int) -> Callable[[FrequencySet], Histogram]:
+    """Per-relation histogram factory from a frequency set alone."""
+    if histogram_type is HistogramType.TRIVIAL:
+        return lambda fset: Histogram.single_bucket(fset.frequencies)
+    if histogram_type is HistogramType.END_BIASED:
+        return lambda fset: v_opt_bias_hist(
+            fset.frequencies, min(buckets, fset.size)
+        )
+    if histogram_type is HistogramType.SERIAL:
+        return lambda fset: v_optimal_serial_histogram(
+            fset.frequencies, min(buckets, fset.size), method="dp"
+        )
+    raise ValueError(
+        f"{histogram_type} buckets over the value order and cannot be built "
+        "from a frequency set alone"
+    )
+
+
+def mean_relative_error(
+    query: ChainQuery,
+    histogram_type: HistogramType,
+    buckets: int,
+    *,
+    permutations: int = 20,
+    rng: RandomSource = None,
+) -> float:
+    """``E[|S − S'| / S]`` over random arrangements of one query's sets."""
+    permutations = ensure_positive_int(permutations, "permutations")
+    buckets = ensure_positive_int(buckets, "buckets")
+    gen = derive_rng(rng)
+    histograms = query.build_histograms(_factory_for(histogram_type, buckets))
+    errors = np.empty(permutations)
+    for t in range(permutations):
+        arrangement = query.sample_arrangement(gen)
+        exact = query.exact_size(arrangement)
+        estimate = query.estimate_size(arrangement, histograms)
+        errors[t] = relative_error(exact, estimate)
+    return float(errors.mean())
+
+
+@dataclass(frozen=True)
+class ChainErrorPoint:
+    """One point of Figure 6/7: mean relative error per histogram type."""
+
+    parameter: float
+    query_class: QueryClass
+    errors: dict[HistogramType, float]
+
+    def error(self, histogram_type: HistogramType) -> float:
+        return self.errors[histogram_type]
+
+
+def _sweep_chain(
+    parameter_values: Sequence[int],
+    num_joins_for,
+    buckets_for,
+    config: ChainExperimentConfig,
+    classes: Sequence[QueryClass],
+    types: Sequence[HistogramType],
+) -> list[ChainErrorPoint]:
+    points = []
+    for query_class in classes:
+        # Fresh, seeded stream per class so classes are comparable runs.
+        gen = derive_rng(config.seed)
+        for value in parameter_values:
+            num_joins = num_joins_for(value)
+            buckets = buckets_for(value)
+            per_type = {t: 0.0 for t in types}
+            for _ in range(config.queries_per_class):
+                query = sample_chain_query(
+                    num_joins,
+                    query_class,
+                    gen,
+                    domain=config.domain,
+                    total=config.total,
+                )
+                for histogram_type in types:
+                    per_type[histogram_type] += mean_relative_error(
+                        query,
+                        histogram_type,
+                        buckets,
+                        permutations=config.permutations,
+                        rng=gen,
+                    )
+            for histogram_type in types:
+                per_type[histogram_type] /= config.queries_per_class
+            points.append(ChainErrorPoint(float(value), query_class, per_type))
+    return points
+
+
+def sweep_joins(
+    config: Optional[ChainExperimentConfig] = None,
+    *,
+    classes: Sequence[QueryClass] = tuple(QueryClass),
+    types: Sequence[HistogramType] = CHAIN_HISTOGRAM_TYPES,
+) -> list[ChainErrorPoint]:
+    """Figure 6: mean relative error vs number of joins (β = 5)."""
+    config = config or ChainExperimentConfig()
+    return _sweep_chain(
+        config.join_sweep,
+        lambda n: int(n),
+        lambda n: config.buckets,
+        config,
+        classes,
+        types,
+    )
+
+
+def sweep_chain_buckets(
+    config: Optional[ChainExperimentConfig] = None,
+    *,
+    classes: Sequence[QueryClass] = tuple(QueryClass),
+    types: Sequence[HistogramType] = CHAIN_HISTOGRAM_TYPES,
+) -> list[ChainErrorPoint]:
+    """Figure 7: mean relative error vs number of buckets (five joins)."""
+    config = config or ChainExperimentConfig()
+    return _sweep_chain(
+        config.bucket_sweep,
+        lambda beta: config.num_joins,
+        lambda beta: int(beta),
+        config,
+        classes,
+        types,
+    )

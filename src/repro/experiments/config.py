@@ -1,0 +1,76 @@
+"""Experiment configurations with the paper's default parameters.
+
+Each figure/table of Section 5 is driven by one config dataclass; the
+defaults encode the parameters stated in the paper, and the benchmark
+harness scales *trial counts* (never the parameters themselves) where noted
+to keep wall-clock reasonable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SelfJoinExperimentConfig:
+    """Parameters of the Figures 3-5 self-join σ experiments.
+
+    The paper fixes the relation size at ``T = 1000`` ("provably no effect"),
+    sweeps β in [1, 30] at ``M = 100, z = 1`` (Figure 3), M in [10, 200] at
+    ``β = 5, z = 1`` (Figure 4), and z in [0, 4.5] at ``β = 5, M = 100``
+    (Figure 5).  *trials* controls the Monte-Carlo averaging of the
+    arrangement-dependent equi-width/equi-depth histograms.
+    """
+
+    total: float = 1000.0
+    domain_size: int = 100
+    z: float = 1.0
+    buckets: int = 5
+    bucket_sweep: tuple[int, ...] = tuple(range(1, 31))
+    serial_bucket_limit: int = 30
+    domain_sweep: tuple[int, ...] = (10, 20, 30, 40, 50, 75, 100, 150, 200)
+    z_sweep: tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5)
+    trials: int = 50
+    seed: int = 1995
+
+
+@dataclass(frozen=True)
+class ChainExperimentConfig:
+    """Parameters of the Figures 6-7 multi-join experiments.
+
+    The paper uses β = 5 when sweeping joins, 5 joins when sweeping β,
+    join domains of 10 values (interior frequency sets of 100 entries),
+    and averages the relative error over twenty random arrangements of the
+    frequency sets.
+    """
+
+    domain: int = 10
+    total: float = 1000.0
+    buckets: int = 5
+    join_sweep: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+    bucket_sweep: tuple[int, ...] = (1, 2, 3, 5, 10, 15, 20, 30)
+    num_joins: int = 5
+    permutations: int = 20
+    queries_per_class: int = 5
+    seed: int = 1995
+
+
+@dataclass(frozen=True)
+class TimingExperimentConfig:
+    """Parameters of the Table 1 construction-cost experiment.
+
+    The exhaustive V-OptHist sizes are small because its cost is
+    ``C(M−1, β−1)`` — the very blow-up the table demonstrates; the paper
+    likewise could not report large serial configurations.  End-biased sizes
+    follow the paper's 100 .. 1M sweep.
+    """
+
+    serial_sizes: tuple[int, ...] = (10, 15, 20, 25, 30)
+    serial_buckets: tuple[int, ...] = (3, 5)
+    end_biased_sizes: tuple[int, ...] = (100, 1_000, 10_000, 100_000, 1_000_000)
+    end_biased_buckets: int = 10
+    z: float = 1.0
+    total: float = 1_000_000.0
+    repeats: int = 3
+    seed: int = 1995

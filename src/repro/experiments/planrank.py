@@ -1,0 +1,193 @@
+"""Plan-ranking study — the paper's closing open question.
+
+"The one on top of our list deals with identifying optimal histograms for
+... different parameters of interest (e.g., operator cost or ranking of
+alternative access plans, which determines the final decision of the
+optimizer)."  This experiment measures, for each histogram kind, how well
+the *ranking* of all alternative plans by estimated cost agrees with their
+ranking by true cost:
+
+* **hit rate** — how often the estimated-best plan is the true-best plan;
+* **regret** — true cost of the chosen plan over the true optimum;
+* **rank correlation** (Spearman) between estimated and true plan costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.enumeration import enumerate_plans
+from repro.optimizer.joinorder import JoinEdge, JoinGraph
+from repro.optimizer.truth import CountedTruth
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive_int
+
+#: Histogram kinds compared by the study.
+PLAN_RANK_KINDS = ("trivial", "equi-depth", "end-biased", "serial")
+
+
+@dataclass(frozen=True)
+class PlanRankResult:
+    """Aggregate ranking quality of one histogram kind."""
+
+    kind: str
+    databases: int
+    plans_per_database: float
+    hit_rate: float
+    mean_regret: float
+    mean_rank_correlation: float
+
+
+def _random_chain_database(
+    rng, domain: int, cardinalities: Sequence[int], *, correlated: bool = False
+) -> JoinGraph:
+    """A chain of ``len(cardinalities)`` relations with Zipf join columns.
+
+    Relation ``R_j`` joins ``R_{j+1}`` on attribute ``a{j}``; interior
+    relations carry two independently generated join columns.  With
+    *correlated*, hot values share identities across every join (value 0 is
+    hottest everywhere) — the adversarial-but-realistic case where skew
+    compounds and the expected-value unbiasedness of Theorem 3.2 no longer
+    rescues weak histograms.
+    """
+
+    def zipf_column(total, z):
+        freqs = quantize_to_integers(zipf_frequencies(total, domain, z))
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        if not correlated:
+            rng.shuffle(column)
+        return column
+
+    z_choices = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+    def z():
+        return float(z_choices[rng.integers(0, len(z_choices))])
+
+    count = len(cardinalities)
+    if count < 2:
+        raise ValueError("a chain database needs at least two relations")
+    relations = []
+    for position, rows in enumerate(cardinalities):
+        columns = {}
+        if position > 0:
+            columns[f"a{position - 1}"] = zipf_column(rows, z())
+        if position < count - 1:
+            columns[f"a{position}"] = zipf_column(rows, z())
+        relations.append(Relation.from_columns(f"R{position}", columns))
+    edges = [
+        JoinEdge(f"R{j}", f"a{j}", f"R{j + 1}", f"a{j}") for j in range(count - 1)
+    ]
+    return JoinGraph(relations, edges)
+
+
+def plan_ranking_study(
+    *,
+    databases: int = 10,
+    domain: int = 8,
+    cardinalities: Sequence[int] = (250, 200, 220, 180),
+    buckets: int = 6,
+    kinds: Sequence[str] = PLAN_RANK_KINDS,
+    correlated: bool = False,
+    rng: RandomSource = None,
+) -> list[PlanRankResult]:
+    """Run the plan-ranking study over several random databases."""
+    databases = ensure_positive_int(databases, "databases")
+    gen = derive_rng(rng)
+    cost_model = CostModel()
+
+    per_kind = {
+        kind: {"hits": 0, "regret": [], "rho": [], "plans": []} for kind in kinds
+    }
+    for _ in range(databases):
+        # Jitter cardinalities per database so plan rankings actually vary.
+        jittered = [
+            max(20, int(c * gen.uniform(0.3, 2.0))) for c in cardinalities
+        ]
+        graph = _random_chain_database(gen, domain, jittered, correlated=correlated)
+
+        # True cost of every plan shape is estimator-independent, so compute
+        # it once per database from any enumeration (plan structure only).
+        reference_catalog = StatsCatalog()
+        for relation in graph.relations.values():
+            for attr in relation.schema.names:
+                analyze_relation(
+                    relation, attr, reference_catalog, kind="trivial", buckets=buckets
+                )
+        reference_plans = enumerate_plans(
+            graph, CardinalityEstimator(reference_catalog)
+        )
+        truth = CountedTruth(graph)
+        true_costs = {}
+        for plan in reference_plans:
+            sizes = truth.plan_rows(plan)
+            true_costs[_shape_key(plan)] = cost_model.plan_cost(
+                plan, row_source=lambda node: sizes[node]
+            )
+        best_true = min(true_costs.values())
+
+        for kind in kinds:
+            catalog = StatsCatalog()
+            for relation in graph.relations.values():
+                for attr in relation.schema.names:
+                    analyze_relation(relation, attr, catalog, kind=kind, buckets=buckets)
+            plans = enumerate_plans(graph, CardinalityEstimator(catalog))
+            estimated = {
+                _shape_key(plan): cost_model.plan_cost(plan) for plan in plans
+            }
+            # Align plan shapes between enumerations.
+            shapes = sorted(estimated)
+            est_vector = [estimated[s] for s in shapes]
+            true_vector = [true_costs[s] for s in shapes]
+            chosen = min(shapes, key=lambda s: estimated[s])
+            stats_for_kind = per_kind[kind]
+            stats_for_kind["plans"].append(len(shapes))
+            stats_for_kind["hits"] += true_costs[chosen] <= best_true * (1 + 1e-9)
+            stats_for_kind["regret"].append(true_costs[chosen] / best_true)
+            if len(shapes) > 1 and np.std(est_vector) > 0 and np.std(true_vector) > 0:
+                rho = stats.spearmanr(est_vector, true_vector).statistic
+                stats_for_kind["rho"].append(float(rho))
+
+    results = []
+    for kind in kinds:
+        data = per_kind[kind]
+        results.append(
+            PlanRankResult(
+                kind=kind,
+                databases=databases,
+                plans_per_database=float(np.mean(data["plans"])),
+                hit_rate=data["hits"] / databases,
+                mean_regret=float(np.mean(data["regret"])),
+                mean_rank_correlation=(
+                    float(np.mean(data["rho"])) if data["rho"] else float("nan")
+                ),
+            )
+        )
+    return results
+
+
+def _shape_key(plan) -> tuple:
+    """Structural identity of a plan (ignores estimated cardinalities)."""
+    from repro.optimizer.plans import JoinPlan, ScanPlan
+
+    if isinstance(plan, ScanPlan):
+        return ("scan", plan.relation)
+    if isinstance(plan, JoinPlan):
+        left = _shape_key(plan.left)
+        right = _shape_key(plan.right)
+        # Join output is orientation-independent for cost purposes here, so
+        # canonicalise both the children and the attribute pair.
+        ordered = tuple(sorted((left, right)))
+        attrs = tuple(sorted((plan.left_attribute, plan.right_attribute)))
+        return ("join",) + attrs + ordered
+    raise TypeError(f"unknown plan node {type(plan).__name__}")

@@ -1,0 +1,76 @@
+"""Error-propagation analysis over chain length.
+
+The paper motivates itself with Ioannidis & Christodoulakis (SIGMOD 1991):
+"errors in query result size estimates may increase exponentially with the
+number of joins".  This module quantifies that statement on the Figure 6
+data: it fits ``log(error) ≈ a + g·joins`` per histogram type and query
+class, so the per-join error *growth factor* ``e^g`` can be reported and
+compared — the practical payoff of better histograms is a smaller base of
+the exponential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.chains import ChainErrorPoint
+from repro.experiments.selfjoin import HistogramType
+from repro.queries.workload import QueryClass
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Exponential-growth fit of error vs number of joins."""
+
+    query_class: QueryClass
+    histogram_type: HistogramType
+    growth_factor: float  # multiplicative error growth per extra join
+    r_squared: float
+    points_used: int
+
+
+def fit_error_growth(
+    points: Sequence[ChainErrorPoint],
+    *,
+    min_error: float = 1e-12,
+) -> list[GrowthFit]:
+    """Fit per-(class, type) exponential growth to Figure 6 sweep output.
+
+    Points with error below *min_error* are dropped (log-undefined); a fit
+    needs at least three surviving points.
+    """
+    fits: list[GrowthFit] = []
+    classes = sorted({p.query_class for p in points}, key=lambda c: c.value)
+    for query_class in classes:
+        class_points = [p for p in points if p.query_class is query_class]
+        if not class_points:
+            continue
+        for histogram_type in class_points[0].errors:
+            xs, ys = [], []
+            for point in class_points:
+                error = point.errors.get(histogram_type)
+                if error is not None and error > min_error:
+                    xs.append(point.parameter)
+                    ys.append(np.log(error))
+            if len(xs) < 3:
+                continue
+            xs_arr = np.asarray(xs)
+            ys_arr = np.asarray(ys)
+            slope, intercept = np.polyfit(xs_arr, ys_arr, 1)
+            predicted = slope * xs_arr + intercept
+            residual = float(np.sum((ys_arr - predicted) ** 2))
+            total = float(np.sum((ys_arr - ys_arr.mean()) ** 2))
+            r_squared = 1.0 - residual / total if total > 0 else 1.0
+            fits.append(
+                GrowthFit(
+                    query_class=query_class,
+                    histogram_type=histogram_type,
+                    growth_factor=float(np.exp(slope)),
+                    r_squared=r_squared,
+                    points_used=len(xs),
+                )
+            )
+    return fits

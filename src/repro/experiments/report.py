@@ -1,0 +1,110 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints every regenerated table/figure as an ASCII
+table so the rows/series the paper reports can be read straight from the
+benchmark log (and are captured in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+
+def _format_cell(value, width: int, precision: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan".rjust(width)
+        return f"{value:.{precision}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* under *headers* as a fixed-width ASCII table."""
+    rows = [list(row) for row in rows]
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        rendered = [_format_cell(cell, widths[i], precision) for i, cell in enumerate(row)]
+        widths = [max(widths[i], len(rendered[i])) for i in range(len(headers))]
+        rendered_rows.append(row)
+    # Second pass with final widths.
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                _format_cell(cell, widths[i], precision) for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> Path:
+    """Write *rows* under *headers* as CSV; ``None`` cells become empty.
+
+    Lets the benchmark harness persist every regenerated table for external
+    plotting alongside the ASCII rendering.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            row = list(row)
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells but there are {len(headers)} headers"
+                )
+            writer.writerow(["" if cell is None else cell for cell in row])
+    return path
+
+
+def series_rows(series: dict[str, dict[float, float]]) -> tuple[list[str], list[list]]:
+    """Convert a named-series mapping into (headers, rows) for CSV export."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = ["x"] + list(series)
+    rows = [[x] + [series[name].get(x) for name in series] for x in xs]
+    return headers, rows
+
+
+def format_series(
+    x_label: str,
+    series: dict[str, dict[float, float]],
+    *,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render named y-series over a shared x-axis as a table.
+
+    *series* maps a series name to ``{x: y}``; missing points render as "-".
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x] + [series[name].get(x) for name in series]
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,208 @@
+"""Self-join σ experiments — Figures 3, 4, and 5 (Section 5.1).
+
+The five histogram types of the paper are compared on self-join queries:
+σ = sqrt(E[(S − S')²]) where S is the exact self-join size of a Zipf
+frequency set and S' the estimate through each histogram.
+
+For the *frequency-based* types (trivial, optimal serial, optimal
+end-biased) the error is arrangement-independent and given in closed form by
+Proposition 3.1.  For equi-width and equi-depth — which bucket over the
+natural value order — the paper assumes "no correlation between the natural
+ordering of the domain values and the ordering of their frequencies", so σ
+is averaged over random value↔frequency associations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import AttributeDistribution, as_frequency_array
+from repro.core.heuristic import equi_depth_histogram, equi_width_histogram, trivial_histogram
+from repro.core.histogram import Histogram
+from repro.core.serial import v_optimal_serial_histogram
+from repro.data.zipf import zipf_frequencies
+from repro.experiments.config import SelfJoinExperimentConfig
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive_int
+
+
+class HistogramType(enum.Enum):
+    """The five histogram types compared in Section 5.1."""
+
+    TRIVIAL = "trivial"
+    EQUI_WIDTH = "equi-width"
+    EQUI_DEPTH = "equi-depth"
+    END_BIASED = "end-biased"
+    SERIAL = "serial"
+
+    @property
+    def arrangement_dependent(self) -> bool:
+        """True for histograms bucketing over the natural value order."""
+        return self in (HistogramType.EQUI_WIDTH, HistogramType.EQUI_DEPTH)
+
+
+ALL_TYPES: tuple[HistogramType, ...] = tuple(HistogramType)
+
+
+def build_histogram(
+    histogram_type: HistogramType,
+    distribution: AttributeDistribution,
+    buckets: int,
+    *,
+    serial_method: str = "dp",
+) -> Histogram:
+    """Build one histogram of *histogram_type* over *distribution*.
+
+    ``serial_method`` selects the V-OptHist implementation; the figure
+    sweeps default to the dynamic program because the exhaustive search is
+    exponential (the paper could only plot the serial curve to β = 5 for
+    the same reason).
+    """
+    buckets = ensure_positive_int(buckets, "buckets")
+    if histogram_type is HistogramType.TRIVIAL:
+        return trivial_histogram(distribution)
+    if histogram_type is HistogramType.EQUI_WIDTH:
+        return equi_width_histogram(distribution, buckets)
+    if histogram_type is HistogramType.EQUI_DEPTH:
+        return equi_depth_histogram(distribution, buckets)
+    if histogram_type is HistogramType.END_BIASED:
+        return v_opt_bias_hist(distribution.frequencies, buckets, values=distribution.values)
+    if histogram_type is HistogramType.SERIAL:
+        return v_optimal_serial_histogram(
+            distribution.frequencies, buckets, values=distribution.values, method=serial_method
+        )
+    raise ValueError(f"unknown histogram type {histogram_type!r}")
+
+
+def self_join_sigmas(
+    frequencies,
+    buckets: int,
+    *,
+    types: Sequence[HistogramType] = ALL_TYPES,
+    trials: int = 50,
+    rng: RandomSource = None,
+    serial_method: str = "dp",
+) -> dict[HistogramType, float]:
+    """σ of each histogram type for the self-join of one frequency set."""
+    freqs = as_frequency_array(frequencies)
+    buckets = ensure_positive_int(buckets, "buckets")
+    trials = ensure_positive_int(trials, "trials")
+    gen = derive_rng(rng)
+    exact = float(np.dot(freqs, freqs))
+    base = AttributeDistribution(range(freqs.size), freqs)
+
+    sigmas: dict[HistogramType, float] = {}
+    for histogram_type in types:
+        if buckets > freqs.size:
+            sigmas[histogram_type] = float("nan")
+            continue
+        if histogram_type.arrangement_dependent:
+            squared = np.empty(trials)
+            for t in range(trials):
+                arrangement = base.permuted(gen)
+                hist = build_histogram(histogram_type, arrangement, buckets)
+                approx = hist.approximate_frequencies()
+                squared[t] = (exact - float(np.dot(approx, approx))) ** 2
+            sigmas[histogram_type] = float(np.sqrt(squared.mean()))
+        else:
+            hist = build_histogram(
+                histogram_type, base, buckets, serial_method=serial_method
+            )
+            # Deterministic: σ equals the absolute error of Proposition 3.1.
+            sigmas[histogram_type] = abs(exact - hist.self_join_estimate())
+    return sigmas
+
+
+@dataclass(frozen=True)
+class SigmaPoint:
+    """One x-axis point of a σ sweep: parameter value and per-type σ."""
+
+    parameter: float
+    sigmas: dict[HistogramType, float]
+
+    def sigma(self, histogram_type: HistogramType) -> float:
+        return self.sigmas[histogram_type]
+
+
+def _sweep(
+    parameter_values: Sequence[float],
+    frequencies_for,
+    buckets_for,
+    config: SelfJoinExperimentConfig,
+    types: Sequence[HistogramType],
+) -> list[SigmaPoint]:
+    gen = derive_rng(config.seed)
+    points = []
+    for value in parameter_values:
+        freqs = frequencies_for(value)
+        buckets = buckets_for(value)
+        active_types = [
+            t
+            for t in types
+            if not (
+                t is HistogramType.SERIAL and buckets > config.serial_bucket_limit
+            )
+        ]
+        sigmas = self_join_sigmas(
+            freqs,
+            buckets,
+            types=active_types,
+            trials=config.trials,
+            rng=gen,
+        )
+        points.append(SigmaPoint(float(value), sigmas))
+    return points
+
+
+def sweep_buckets(
+    config: Optional[SelfJoinExperimentConfig] = None,
+    *,
+    types: Sequence[HistogramType] = ALL_TYPES,
+) -> list[SigmaPoint]:
+    """Figure 3: σ as a function of the number of buckets (M = 100, z = 1)."""
+    config = config or SelfJoinExperimentConfig()
+    freqs = zipf_frequencies(config.total, config.domain_size, config.z)
+    return _sweep(
+        config.bucket_sweep,
+        lambda beta: freqs,
+        lambda beta: int(beta),
+        config,
+        types,
+    )
+
+
+def sweep_domain_size(
+    config: Optional[SelfJoinExperimentConfig] = None,
+    *,
+    types: Sequence[HistogramType] = ALL_TYPES,
+) -> list[SigmaPoint]:
+    """Figure 4: σ as a function of the join-domain size (β = 5, z = 1)."""
+    config = config or SelfJoinExperimentConfig()
+    return _sweep(
+        config.domain_sweep,
+        lambda m: zipf_frequencies(config.total, int(m), config.z),
+        lambda m: config.buckets,
+        config,
+        types,
+    )
+
+
+def sweep_skew(
+    config: Optional[SelfJoinExperimentConfig] = None,
+    *,
+    types: Sequence[HistogramType] = ALL_TYPES,
+) -> list[SigmaPoint]:
+    """Figure 5: σ as a function of the Zipf skew z (β = 5, M = 100)."""
+    config = config or SelfJoinExperimentConfig()
+    return _sweep(
+        config.z_sweep,
+        lambda z: zipf_frequencies(config.total, config.domain_size, float(z)),
+        lambda z: config.buckets,
+        config,
+        types,
+    )

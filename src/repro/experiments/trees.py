@@ -1,0 +1,122 @@
+"""Tree-query experiments: the paper's "straightforward" generalisation.
+
+Extends the Section 5.2 methodology from chains to star queries — the
+opposite extreme of tree shapes, where one hub relation participates in
+every join and carries a high-dimensional frequency tensor.  The same
+practical recipe applies: build each relation's v-optimal histogram from
+its frequency set alone (Theorem 3.3's tensor analogue) and average the
+relative error over random arrangements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import FrequencySet
+from repro.core.histogram import Histogram
+from repro.core.serial import v_optimal_serial_histogram
+from repro.core.estimator import relative_error
+from repro.experiments.selfjoin import HistogramType
+from repro.queries.tree import TreeQuery, make_zipf_star
+from repro.queries.workload import QueryClass
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive_int
+
+#: Histogram types compared on tree queries (frequency-set-only builds).
+TREE_HISTOGRAM_TYPES: tuple[HistogramType, ...] = (
+    HistogramType.TRIVIAL,
+    HistogramType.END_BIASED,
+    HistogramType.SERIAL,
+)
+
+
+def _factory(histogram_type: HistogramType, buckets: int):
+    if histogram_type is HistogramType.TRIVIAL:
+        return lambda fset: Histogram.single_bucket(fset.frequencies)
+    if histogram_type is HistogramType.END_BIASED:
+        return lambda fset: v_opt_bias_hist(fset.frequencies, min(buckets, fset.size))
+    if histogram_type is HistogramType.SERIAL:
+        return lambda fset: v_optimal_serial_histogram(
+            fset.frequencies, min(buckets, fset.size), method="dp"
+        )
+    raise ValueError(f"{histogram_type} cannot be built from a frequency set alone")
+
+
+def tree_mean_relative_error(
+    query: TreeQuery,
+    histogram_type: HistogramType,
+    buckets: int,
+    *,
+    permutations: int = 20,
+    rng: RandomSource = None,
+) -> float:
+    """``E[|S − S'| / S]`` over random arrangements of a tree query."""
+    permutations = ensure_positive_int(permutations, "permutations")
+    gen = derive_rng(rng)
+    histograms = query.build_histograms(_factory(histogram_type, buckets))
+    errors = np.empty(permutations)
+    for t in range(permutations):
+        arrangement = query.sample_arrangement(gen)
+        exact = query.exact_size(arrangement)
+        estimate = query.estimate_size(arrangement, histograms)
+        errors[t] = relative_error(exact, estimate)
+    return float(errors.mean())
+
+
+@dataclass(frozen=True)
+class StarErrorPoint:
+    """One point of the star sweep: leaves joined to the hub."""
+
+    num_leaves: int
+    query_class: QueryClass
+    errors: dict[HistogramType, float]
+
+
+def sweep_star_leaves(
+    leaf_counts: Sequence[int] = (1, 2, 3, 4),
+    *,
+    classes: Sequence[QueryClass] = (QueryClass.LOW_SKEW, QueryClass.HIGH_SKEW),
+    buckets: int = 5,
+    domain: int = 5,
+    total: float = 1000.0,
+    permutations: int = 15,
+    queries_per_class: int = 3,
+    types: Sequence[HistogramType] = TREE_HISTOGRAM_TYPES,
+    seed: int = 1995,
+) -> list[StarErrorPoint]:
+    """Mean relative error of star queries as the hub's degree grows.
+
+    The hub's frequency set has ``domain**leaves`` entries, so its histogram
+    compresses ever more cells into the same β buckets — the tensor
+    analogue of Figure 6's error growth with query size.
+    """
+    points = []
+    for query_class in classes:
+        gen = derive_rng(seed)
+        choices = query_class.z_choices
+        for leaves in leaf_counts:
+            per_type = {t: 0.0 for t in types}
+            for _ in range(queries_per_class):
+                z_values = [
+                    float(choices[gen.integers(0, len(choices))])
+                    for _ in range(leaves + 1)
+                ]
+                query = make_zipf_star(
+                    leaves, domain=domain, total=total, z_values=z_values
+                )
+                for histogram_type in types:
+                    per_type[histogram_type] += tree_mean_relative_error(
+                        query,
+                        histogram_type,
+                        buckets,
+                        permutations=permutations,
+                        rng=gen,
+                    )
+            for histogram_type in types:
+                per_type[histogram_type] /= queries_per_class
+            points.append(StarErrorPoint(int(leaves), query_class, per_type))
+    return points

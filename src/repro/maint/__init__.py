@@ -1,0 +1,5 @@
+"""Histogram maintenance under database updates (Section 2.3 discussion)."""
+
+from repro.maint.update import MaintainedEndBiased, MaintenancePolicy
+
+__all__ = ["MaintainedEndBiased", "MaintenancePolicy"]

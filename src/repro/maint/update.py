@@ -1,0 +1,188 @@
+"""Incremental maintenance of end-biased histograms.
+
+The paper defers update-propagation schedules ("an issue beyond the scope of
+this paper") while noting that stale histograms introduce additional error.
+This module implements the natural policy for the end-biased layout the
+paper recommends:
+
+* inserts/deletes of *explicitly stored* values adjust their exact counts;
+* updates hitting the implicit multivalued bucket adjust its total (and its
+  count when a brand-new value appears or the last occurrence of a value
+  disappears);
+* a Space-Saving sketch watches the inserted values: when a value from the
+  implicit bucket accumulates more mass than the smallest explicit one, the
+  histogram has drifted out of its end-biased invariant and a rebuild is
+  signalled — as is a configurable update-volume threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import AttributeDistribution
+from repro.core.histogram import Histogram
+from repro.engine.catalog import CompactEndBiased
+from repro.engine.sampling import SpaceSavingSketch
+from repro.util.validation import ensure_in_range, ensure_positive_int
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """When to signal a rebuild.
+
+    ``update_fraction`` triggers after that fraction of the relation has
+    changed since the last build; ``watch_promotions`` additionally triggers
+    when an implicitly-stored value provably outgrows an explicit one.
+    """
+
+    update_fraction: float = 0.10
+    watch_promotions: bool = True
+    sketch_capacity: int = 64
+
+    def __post_init__(self):
+        ensure_in_range(self.update_fraction, "update_fraction", low=0.0)
+        ensure_positive_int(self.sketch_capacity, "sketch_capacity")
+
+
+class MaintainedEndBiased:
+    """An end-biased histogram that tracks inserts and deletes.
+
+    Built from an exact frequency distribution; thereafter kept consistent
+    under single-tuple updates.  ``track_values=True`` (default) remembers
+    the value set of the implicit bucket so membership is exact;
+    ``track_values=False`` stores only counters (the true catalog regime)
+    and treats unseen values as new domain values.
+    """
+
+    def __init__(
+        self,
+        distribution: AttributeDistribution,
+        buckets: int,
+        *,
+        policy: Optional[MaintenancePolicy] = None,
+        track_values: bool = True,
+    ):
+        self._buckets = ensure_positive_int(buckets, "buckets")
+        self.policy = policy or MaintenancePolicy()
+        self._track_values = track_values
+        self._sketch = SpaceSavingSketch(self.policy.sketch_capacity)
+        self._rebuild_from(distribution)
+
+    def _rebuild_from(self, distribution: AttributeDistribution) -> None:
+        buckets = min(self._buckets, distribution.domain_size)
+        histogram = v_opt_bias_hist(
+            distribution.frequencies, buckets, values=distribution.values
+        )
+        compact = CompactEndBiased.from_histogram(histogram)
+        self.explicit: dict[Hashable, float] = dict(compact.explicit)
+        self.remainder_count: int = compact.remainder_count
+        self.remainder_total: float = compact.remainder_count * compact.remainder_average
+        if self._track_values:
+            explicit_values = set(self.explicit)
+            self._remainder_values: Optional[set] = {
+                v for v in distribution.values if v not in explicit_values
+            }
+        else:
+            self._remainder_values = None
+        self.updates_since_build = 0
+        self.total_at_build = float(distribution.total)
+        self._sketch = SpaceSavingSketch(self.policy.sketch_capacity)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Current tuple count represented by the histogram."""
+        return sum(self.explicit.values()) + self.remainder_total
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self.explicit) + self.remainder_count
+
+    @property
+    def remainder_average(self) -> float:
+        if self.remainder_count == 0:
+            return 0.0
+        return self.remainder_total / self.remainder_count
+
+    def estimate(self, value: Hashable) -> float:
+        """Approximate frequency of *value* under the maintained state."""
+        if value in self.explicit:
+            return self.explicit[value]
+        if self._remainder_values is not None and value not in self._remainder_values:
+            return 0.0
+        return self.remainder_average
+
+    def self_join_estimate(self) -> float:
+        """Formula (2) on the maintained state."""
+        estimate = sum(f * f for f in self.explicit.values())
+        if self.remainder_count > 0:
+            estimate += self.remainder_total**2 / self.remainder_count
+        return estimate
+
+    def as_compact(self) -> CompactEndBiased:
+        """Snapshot in catalog form."""
+        return CompactEndBiased(
+            explicit=dict(self.explicit),
+            remainder_count=self.remainder_count,
+            remainder_average=self.remainder_average,
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, value: Hashable) -> None:
+        """Propagate the insertion of one tuple with *value*."""
+        self.updates_since_build += 1
+        if value in self.explicit:
+            self.explicit[value] += 1.0
+            return
+        self._sketch.update(value)
+        if self._remainder_values is not None:
+            if value not in self._remainder_values:
+                self._remainder_values.add(value)
+                self.remainder_count += 1
+        elif self.remainder_count == 0:
+            # Counter-only mode: a first unseen value creates the bucket.
+            self.remainder_count = 1
+        self.remainder_total += 1.0
+
+    def delete(self, value: Hashable) -> None:
+        """Propagate the deletion of one tuple with *value*."""
+        self.updates_since_build += 1
+        if value in self.explicit:
+            if self.explicit[value] <= 0:
+                raise ValueError(f"no tuples left with value {value!r}")
+            self.explicit[value] -= 1.0
+            return
+        if self._remainder_values is not None and value not in self._remainder_values:
+            raise ValueError(f"value {value!r} is not in the histogram's domain")
+        if self.remainder_total <= 0:
+            raise ValueError("implicit bucket is already empty")
+        self.remainder_total -= 1.0
+
+    # ------------------------------------------------------------------
+    # Rebuild signalling
+    # ------------------------------------------------------------------
+
+    def needs_rebuild(self) -> bool:
+        """True when the drift policy says the histogram went stale."""
+        if self.total_at_build > 0:
+            drift = self.updates_since_build / self.total_at_build
+            if drift >= self.policy.update_fraction:
+                return True
+        if self.policy.watch_promotions and self.explicit:
+            floor = min(self.explicit.values())
+            for _, count, error in self._sketch.top(1):
+                if count - error > floor:
+                    return True
+        return False
+
+    def rebuild(self, distribution: AttributeDistribution) -> None:
+        """Recompute the optimal end-biased histogram from fresh statistics."""
+        self._rebuild_from(distribution)

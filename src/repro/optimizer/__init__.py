@@ -1,0 +1,41 @@
+"""Optimizer substrate: histogram-backed cardinality estimation + join ordering.
+
+Query optimizers are the consumers of everything this reproduction builds:
+"the validity of the optimizer's decisions may be affected" by estimate
+errors (the paper's opening motivation, citing Selinger et al. and the
+exponential error propagation of Ioannidis & Christodoulakis).  This package
+provides a compact System-R-style optimizer — a cardinality model reading
+the statistics catalog, a cost model, plan trees, and dynamic-programming
+join ordering — so the effect of histogram quality on *plan choice* can be
+demonstrated end to end.
+"""
+
+from repro.optimizer.cardinality import DEFAULT_EQ_SELECTIVITY, CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plans import JoinPlan, Plan, ScanPlan
+from repro.optimizer.enumeration import enumerate_plans
+from repro.optimizer.truth import CountedTruth, plan_true_rows_counted
+from repro.optimizer.joinorder import (
+    JoinEdge,
+    JoinGraph,
+    optimal_join_order,
+    plan_true_cost,
+    plan_true_rows,
+)
+
+__all__ = [
+    "DEFAULT_EQ_SELECTIVITY",
+    "CardinalityEstimator",
+    "CostModel",
+    "Plan",
+    "ScanPlan",
+    "JoinPlan",
+    "JoinEdge",
+    "JoinGraph",
+    "optimal_join_order",
+    "plan_true_cost",
+    "plan_true_rows",
+    "enumerate_plans",
+    "CountedTruth",
+    "plan_true_rows_counted",
+]

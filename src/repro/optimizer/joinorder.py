@@ -1,0 +1,256 @@
+"""System-R-style dynamic-programming join ordering over tree queries.
+
+The orderer enumerates connected sub-plans bottom-up (bushy by default,
+optionally left-deep), scoring them with the histogram-backed
+:class:`~repro.optimizer.cardinality.CardinalityEstimator` and a
+:class:`~repro.optimizer.cost.CostModel`.  Join graphs are restricted to
+*tree* queries — the paper's query class — so every connected split is
+crossed by exactly one join edge.
+
+:func:`plan_true_cost` replays a chosen plan on the actual relations,
+materialising every intermediate result, which lets examples and tests
+compare the plan an estimator *picks* against the plan that is *actually*
+cheapest — the end-to-end consequence of histogram quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Optional, Sequence
+
+from repro.engine.relation import Relation
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plans import JoinPlan, Plan, ScanPlan
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One equality-join predicate between two relations."""
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+
+    def touches(self, relation: str) -> bool:
+        return relation in (self.left_relation, self.right_relation)
+
+    def qualified_left(self) -> str:
+        return f"{self.left_relation}.{self.left_attribute}"
+
+    def qualified_right(self) -> str:
+        return f"{self.right_relation}.{self.right_attribute}"
+
+
+class JoinGraph:
+    """A tree-shaped join query over engine relations."""
+
+    def __init__(self, relations: Sequence[Relation], edges: Sequence[JoinEdge]):
+        self.relations = {r.name: r for r in relations}
+        if len(self.relations) != len(relations):
+            raise ValueError("relation names must be distinct")
+        self.edges = tuple(edges)
+        for edge in self.edges:
+            for rel, attr in (
+                (edge.left_relation, edge.left_attribute),
+                (edge.right_relation, edge.right_attribute),
+            ):
+                if rel not in self.relations:
+                    raise ValueError(f"edge references unknown relation {rel!r}")
+                if attr not in self.relations[rel].schema:
+                    raise ValueError(f"relation {rel!r} has no attribute {attr!r}")
+        self._check_tree()
+
+    def _check_tree(self) -> None:
+        names = list(self.relations)
+        if len(self.edges) != len(names) - 1:
+            raise ValueError(
+                f"a tree query over {len(names)} relations needs "
+                f"{len(names) - 1} join edges, got {len(self.edges)}"
+            )
+        # Union-find connectivity + acyclicity.
+        parent = {name: name for name in names}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for edge in self.edges:
+            a, b = find(edge.left_relation), find(edge.right_relation)
+            if a == b:
+                raise ValueError("join graph contains a cycle; tree queries only")
+            parent[a] = b
+        roots = {find(name) for name in names}
+        if len(roots) != 1:
+            raise ValueError("join graph is disconnected")
+
+    def crossing_edges(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> list[JoinEdge]:
+        """Edges with one endpoint in each side."""
+        crossing = []
+        for edge in self.edges:
+            in_left = edge.left_relation in left
+            in_right = edge.right_relation in right
+            if in_left and in_right:
+                crossing.append(edge)
+            elif edge.left_relation in right and edge.right_relation in left:
+                crossing.append(
+                    JoinEdge(
+                        edge.right_relation,
+                        edge.right_attribute,
+                        edge.left_relation,
+                        edge.left_attribute,
+                    )
+                )
+        return crossing
+
+
+def optimal_join_order(
+    graph: JoinGraph,
+    estimator: CardinalityEstimator,
+    cost_model: Optional[CostModel] = None,
+    *,
+    left_deep: bool = False,
+) -> Plan:
+    """Find the cheapest plan by dynamic programming over connected subsets.
+
+    Cardinalities compose multiplicatively: the estimate for a relation
+    subset is the product of base cardinalities and of the per-edge join
+    selectivities inside the subset (the classical independence model on
+    top of per-edge histogram estimates).
+    """
+    cost_model = cost_model or CostModel()
+    names = sorted(graph.relations)
+
+    selectivity = {
+        edge: estimator.join_selectivity(
+            edge.left_relation,
+            edge.left_attribute,
+            edge.right_relation,
+            edge.right_attribute,
+        )
+        for edge in graph.edges
+    }
+
+    def subset_rows(subset: frozenset[str]) -> float:
+        rows = 1.0
+        for name in subset:
+            rows *= estimator.scan_cardinality(name)
+        for edge, sel in selectivity.items():
+            if edge.left_relation in subset and edge.right_relation in subset:
+                rows *= sel
+        return rows
+
+    best: dict[frozenset[str], Plan] = {}
+    for name in names:
+        singleton = frozenset({name})
+        best[singleton] = ScanPlan(name, estimator.scan_cardinality(name))
+
+    for size in range(2, len(names) + 1):
+        for subset_tuple in combinations(names, size):
+            subset = frozenset(subset_tuple)
+            rows = subset_rows(subset)
+            best_plan: Optional[Plan] = None
+            best_cost = float("inf")
+            # Enumerate splits: right side is any proper non-empty subset.
+            members = sorted(subset)
+            for split_size in range(1, size):
+                if left_deep and split_size != 1:
+                    continue
+                for right_tuple in combinations(members, split_size):
+                    right_set = frozenset(right_tuple)
+                    left_set = subset - right_set
+                    if left_set not in best or right_set not in best:
+                        continue
+                    crossing = graph.crossing_edges(left_set, right_set)
+                    if len(crossing) != 1:
+                        continue  # not a valid tree split (or a cross product)
+                    edge = crossing[0]
+                    plan = JoinPlan(
+                        left=best[left_set],
+                        right=best[right_set],
+                        left_attribute=edge.qualified_left(),
+                        right_attribute=edge.qualified_right(),
+                        estimated_rows=rows,
+                    )
+                    cost = cost_model.plan_cost(plan)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_plan = plan
+            if best_plan is not None:
+                best[subset] = best_plan
+
+    full = frozenset(names)
+    if full not in best:
+        raise RuntimeError("no connected plan covers all relations")
+    return best[full]
+
+
+# ----------------------------------------------------------------------
+# Replaying a plan on the actual data
+# ----------------------------------------------------------------------
+
+def _materialize(plan: Plan, graph: JoinGraph) -> list[dict[str, object]]:
+    """Execute *plan* returning rows keyed by qualified attribute names."""
+    if isinstance(plan, ScanPlan):
+        relation = graph.relations[plan.relation]
+        names = [f"{plan.relation}.{a}" for a in relation.schema.names]
+        return [dict(zip(names, row)) for row in relation.rows()]
+    if isinstance(plan, JoinPlan):
+        left_rows = _materialize(plan.left, graph)
+        right_rows = _materialize(plan.right, graph)
+        table: dict = {}
+        for row in right_rows:
+            table.setdefault(row[plan.right_attribute], []).append(row)
+        output = []
+        for row in left_rows:
+            for match in table.get(row[plan.left_attribute], ()):  # hash probe
+                merged = dict(row)
+                merged.update(match)
+                output.append(merged)
+        return output
+    raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def plan_true_rows(plan: Plan, graph: JoinGraph) -> dict[Plan, float]:
+    """Actual cardinality of every node of *plan*, materialised bottom-up."""
+    sizes: dict[Plan, float] = {}
+
+    def recurse(node: Plan) -> list[dict[str, object]]:
+        if isinstance(node, ScanPlan):
+            rows = _materialize(node, graph)
+        else:
+            left_rows = recurse(node.left)
+            right_rows = recurse(node.right)
+            table: dict = {}
+            for row in right_rows:
+                table.setdefault(row[node.right_attribute], []).append(row)
+            rows = []
+            for row in left_rows:
+                for match in table.get(row[node.left_attribute], ()):  # probe
+                    merged = dict(row)
+                    merged.update(match)
+                    rows.append(merged)
+        sizes[node] = float(len(rows))
+        return rows
+
+    recurse(plan)
+    return sizes
+
+
+def plan_true_cost(
+    plan: Plan, graph: JoinGraph, cost_model: Optional[CostModel] = None
+) -> float:
+    """Cost of *plan* evaluated on the *actual* intermediate sizes.
+
+    The gap between this and the estimator-scored cost of the chosen plan is
+    precisely what bad histograms inflict on an optimizer.
+    """
+    cost_model = cost_model or CostModel()
+    sizes = plan_true_rows(plan, graph)
+    return cost_model.plan_cost(plan, row_source=lambda node: sizes[node])

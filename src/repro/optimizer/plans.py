@@ -1,0 +1,68 @@
+"""Plan trees: scans and binary hash joins with estimated sizes and costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """A base-relation scan."""
+
+    relation: str
+    estimated_rows: float
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset({self.relation})
+
+    @property
+    def estimated_cost(self) -> float:
+        """Scan cost: one unit per tuple read."""
+        return self.estimated_rows
+
+    def pretty(self, indent: int = 0) -> str:
+        return " " * indent + f"Scan({self.relation}) rows≈{self.estimated_rows:.0f}"
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A hash join of two sub-plans on one attribute pair."""
+
+    left: "Plan"
+    right: "Plan"
+    left_attribute: str
+    right_attribute: str
+    estimated_rows: float
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return self.left.relations | self.right.relations
+
+    @property
+    def estimated_cost(self) -> float:
+        """Cumulative cost: children plus this join's build/probe/output work."""
+        return (
+            self.left.estimated_cost
+            + self.right.estimated_cost
+            + self.local_cost
+        )
+
+    @property
+    def local_cost(self) -> float:
+        """This join alone: build + probe + output, one unit per tuple."""
+        return self.left.estimated_rows + self.right.estimated_rows + self.estimated_rows
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = " " * indent
+        header = (
+            f"{pad}HashJoin({self.left_attribute} = {self.right_attribute}) "
+            f"rows≈{self.estimated_rows:.0f} cost≈{self.estimated_cost:.0f}"
+        )
+        return "\n".join(
+            [header, self.left.pretty(indent + 2), self.right.pretty(indent + 2)]
+        )
+
+
+Plan = Union[ScanPlan, JoinPlan]

@@ -1,0 +1,106 @@
+"""Exact plan cardinalities without materialisation.
+
+Theorem 2.1 (and its tensor generalisation) applies to *sub*-queries too:
+the cardinality of the join of any connected relation subset equals the
+contraction of the relations' frequency tensors over the subset's internal
+join edges, with all other axes marginalised.  This module hash-counts one
+tensor per relation and evaluates each plan node with a single
+:func:`numpy.einsum` — exact ground truth at a fraction of the cost of
+executing the join, which keeps plan-ranking studies tractable.
+
+``plan_true_rows_counted`` is verified against the materialising
+``plan_true_rows`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.optimizer.joinorder import JoinGraph
+from repro.optimizer.plans import JoinPlan, Plan, ScanPlan
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+class CountedTruth:
+    """Exact subset cardinalities for a tree query, by tensor contraction."""
+
+    def __init__(self, graph: JoinGraph):
+        self._graph = graph
+        # Per-edge value domains: union of observed values on both sides.
+        self._edge_domains: list[list] = []
+        for edge in graph.edges:
+            values = set(graph.relations[edge.left_relation].column(edge.left_attribute))
+            values |= set(graph.relations[edge.right_relation].column(edge.right_attribute))
+            self._edge_domains.append(sorted(values))
+        self._tensors = {
+            name: self._count_tensor(name) for name in graph.relations
+        }
+        self._cache: Dict[frozenset, float] = {}
+
+    def _incident_edges(self, relation: str) -> list[tuple[int, str]]:
+        """Edges touching *relation* as ``(edge_index, attribute)`` pairs."""
+        incident = []
+        for index, edge in enumerate(self._graph.edges):
+            if edge.left_relation == relation:
+                incident.append((index, edge.left_attribute))
+            elif edge.right_relation == relation:
+                incident.append((index, edge.right_attribute))
+        return incident
+
+    def _count_tensor(self, relation_name: str) -> tuple[np.ndarray, tuple[int, ...]]:
+        relation = self._graph.relations[relation_name]
+        incident = self._incident_edges(relation_name)
+        if not incident:
+            # Single-relation "query": a 0-d count.
+            return np.array(float(relation.cardinality)), ()
+        shape = tuple(len(self._edge_domains[index]) for index, _ in incident)
+        indexes = [
+            {value: i for i, value in enumerate(self._edge_domains[index])}
+            for index, _ in incident
+        ]
+        positions = [relation.schema.position(attr) for _, attr in incident]
+        tensor = np.zeros(shape)
+        for row in relation.rows():
+            coordinate = tuple(
+                indexes[k][row[positions[k]]] for k in range(len(incident))
+            )
+            tensor[coordinate] += 1.0
+        return tensor, tuple(index for index, _ in incident)
+
+    def subset_cardinality(self, subset: frozenset) -> float:
+        """Exact cardinality of joining the (connected) relation subset."""
+        subset = frozenset(subset)
+        if subset in self._cache:
+            return self._cache[subset]
+        if not subset:
+            raise ValueError("subset must be non-empty")
+        operands = []
+        specs = []
+        for name in sorted(subset):
+            tensor, axes = self._tensors[name]
+            operands.append(tensor)
+            specs.append("".join(_ALPHABET[a] for a in axes))
+        result = float(np.einsum(",".join(specs) + "->", *operands))
+        self._cache[subset] = result
+        return result
+
+    def plan_rows(self, plan: Plan) -> dict[Plan, float]:
+        """Exact cardinality of every node of *plan*."""
+        sizes: dict[Plan, float] = {}
+
+        def recurse(node: Plan) -> None:
+            sizes[node] = self.subset_cardinality(node.relations)
+            if isinstance(node, JoinPlan):
+                recurse(node.left)
+                recurse(node.right)
+
+        recurse(plan)
+        return sizes
+
+
+def plan_true_rows_counted(plan: Plan, graph: JoinGraph) -> dict[Plan, float]:
+    """Counting-based equivalent of ``plan_true_rows`` (no materialisation)."""
+    return CountedTruth(graph).plan_rows(plan)

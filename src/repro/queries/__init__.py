@@ -1,0 +1,33 @@
+"""Chain-query model and experiment workload generators (Sections 2.2, 5.2)."""
+
+from repro.queries.chain import ChainQuery, make_zipf_chain, selection_query
+from repro.queries.tree import (
+    TreeQuery,
+    make_zipf_star,
+    make_zipf_tree,
+    random_tree_query,
+)
+from repro.queries.workload import (
+    HIGH_SKEW_Z,
+    LOW_SKEW_Z,
+    MIXED_SKEW_Z,
+    QueryClass,
+    sample_chain_query,
+    sample_query_batch,
+)
+
+__all__ = [
+    "ChainQuery",
+    "make_zipf_chain",
+    "selection_query",
+    "QueryClass",
+    "LOW_SKEW_Z",
+    "MIXED_SKEW_Z",
+    "HIGH_SKEW_Z",
+    "sample_chain_query",
+    "sample_query_batch",
+    "TreeQuery",
+    "make_zipf_star",
+    "make_zipf_tree",
+    "random_tree_query",
+]

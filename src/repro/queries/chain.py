@@ -1,0 +1,176 @@
+"""Chain equality-join queries over frequency sets (Section 2.2).
+
+A :class:`ChainQuery` records, for each relation of the chain
+``Q := (R0.a1 = R1.a1 and ... and R(N-1).aN = RN.aN)``, the *shape* of its
+frequency matrix and its frequency *set* — exactly the *minimum required
+knowledge* of Section 3.2.  Sampling an **arrangement** materialises one
+possible database consistent with that knowledge: each frequency set is
+permuted uniformly at random over its matrix cells.  The exact result size
+of an arrangement is the chain matrix product (Theorem 2.1); histogram
+estimates multiply the per-relation histogram matrices instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.frequency import FrequencySet
+from repro.core.histogram import Histogram
+from repro.core.matrix import FrequencyMatrix, arrange_frequency_set, chain_result_size
+from repro.data.zipf import zipf_frequencies
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive, ensure_positive_int
+
+
+@dataclass(frozen=True)
+class ChainQuery:
+    """An N-join chain query described by per-relation frequency sets.
+
+    Attributes
+    ----------
+    shapes:
+        Matrix shape of each relation ``R_0 .. R_N``: the first is
+        ``(1, M_1)``, interior relations ``(M_j, M_{j+1})``, the last
+        ``(M_N, 1)``.
+    frequency_sets:
+        One :class:`FrequencySet` per relation, sized to its shape.
+    skews:
+        Optional record of the Zipf ``z`` used to generate each set (for
+        reporting only).
+    """
+
+    shapes: tuple[tuple[int, int], ...]
+    frequency_sets: tuple[FrequencySet, ...]
+    skews: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self):
+        if len(self.shapes) != len(self.frequency_sets):
+            raise ValueError(
+                f"{len(self.shapes)} shapes but {len(self.frequency_sets)} frequency sets"
+            )
+        if len(self.shapes) < 2:
+            raise ValueError("a chain query joins at least two relations")
+        if self.shapes[0][0] != 1 or self.shapes[-1][1] != 1:
+            raise ValueError("end relations must be vectors (shape (1, M) and (M, 1))")
+        for position, (shape, fset) in enumerate(zip(self.shapes, self.frequency_sets)):
+            rows, cols = shape
+            if rows * cols != fset.size:
+                raise ValueError(
+                    f"relation {position}: shape {shape} holds {rows * cols} cells "
+                    f"but the frequency set has {fset.size} entries"
+                )
+        for position in range(len(self.shapes) - 1):
+            if self.shapes[position][1] != self.shapes[position + 1][0]:
+                raise ValueError(
+                    f"join-domain mismatch between relations {position} and "
+                    f"{position + 1}: {self.shapes[position][1]} vs "
+                    f"{self.shapes[position + 1][0]}"
+                )
+        if self.skews is not None and len(self.skews) != len(self.shapes):
+            raise ValueError("skews must align with relations")
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.shapes)
+
+    @property
+    def num_joins(self) -> int:
+        """N: the number of join predicates in the chain."""
+        return len(self.shapes) - 1
+
+    def sample_arrangement(self, rng: RandomSource = None) -> list[FrequencyMatrix]:
+        """Materialise one uniformly random arrangement of every relation."""
+        gen = derive_rng(rng)
+        return [
+            arrange_frequency_set(fset.frequencies, shape, gen)
+            for fset, shape in zip(self.frequency_sets, self.shapes)
+        ]
+
+    def exact_size(self, arrangement: Sequence[FrequencyMatrix]) -> float:
+        """Exact result size of a sampled arrangement (Theorem 2.1)."""
+        return chain_result_size(arrangement)
+
+    def build_histograms(
+        self, factory: Callable[[FrequencySet], Histogram]
+    ) -> list[Histogram]:
+        """Build one histogram per relation from its frequency set alone.
+
+        This is the practical regime Theorem 3.3 legitimises: each
+        relation's histogram is chosen without looking at the query or at
+        the other relations.
+        """
+        return [factory(fset) for fset in self.frequency_sets]
+
+    def estimate_size(
+        self,
+        arrangement: Sequence[FrequencyMatrix],
+        histograms: Sequence[Histogram],
+    ) -> float:
+        """Histogram estimate of the arrangement's result size."""
+        if len(histograms) != self.num_relations:
+            raise ValueError(
+                f"need {self.num_relations} histograms, got {len(histograms)}"
+            )
+        approx = [
+            hist.approximate_array(matrix.array)
+            for matrix, hist in zip(arrangement, histograms)
+        ]
+        return chain_result_size(approx)
+
+
+def make_zipf_chain(
+    num_joins: int,
+    *,
+    domain: int = 10,
+    total: float = 1000.0,
+    z_values: Sequence[float],
+) -> ChainQuery:
+    """Build the Section 5.2 chain query with Zipf frequency sets.
+
+    Every join domain has *domain* values.  The two end relations are
+    vectors over it (frequency sets of M = *domain* entries); interior
+    relations are ``domain x domain`` matrices (frequency sets of M²
+    entries) — the paper uses ``domain = 10``, so ends have M = 10 and
+    interiors M = 100.  ``z_values`` supplies the Zipf skew of each of the
+    ``num_joins + 1`` relations.
+    """
+    num_joins = ensure_positive_int(num_joins, "num_joins")
+    domain = ensure_positive_int(domain, "domain")
+    total = ensure_positive(total, "total")
+    z_values = tuple(float(z) for z in z_values)
+    if len(z_values) != num_joins + 1:
+        raise ValueError(
+            f"{num_joins} joins need {num_joins + 1} z values, got {len(z_values)}"
+        )
+    shapes: list[tuple[int, int]] = [(1, domain)]
+    for _ in range(1, num_joins):
+        shapes.append((domain, domain))
+    shapes.append((domain, 1))
+
+    sets = [
+        FrequencySet(zipf_frequencies(total, shape[0] * shape[1], z))
+        for shape, z in zip(shapes, z_values)
+    ]
+    return ChainQuery(tuple(shapes), tuple(sets), skews=z_values)
+
+
+def selection_query(
+    relation_distribution_values: Sequence[Hashable],
+    relation_frequencies,
+    selected: Sequence[Hashable],
+) -> tuple[FrequencyMatrix, FrequencyMatrix]:
+    """Encode a disjunctive equality selection as a two-relation chain.
+
+    Returns ``(relation_vector, selection_vector)`` whose chain product is
+    the exact selection size — the paper's Example 2.2 construction with the
+    0/1 transpose vector.
+    """
+    from repro.core.matrix import selection_vector as _selection_vector
+
+    values = list(relation_distribution_values)
+    relation = FrequencyMatrix.row_vector(relation_frequencies, values=values)
+    selector = _selection_vector(values, selected, column=True)
+    return relation, selector

@@ -1,0 +1,241 @@
+"""Arbitrary tree equality-join queries over frequency sets.
+
+The paper's formal development uses chain queries "without loss of
+generality" and defers general trees to the tensor machinery.  This module
+provides that generalisation: a :class:`TreeQuery` is a tree of relations
+whose edges are equality joins, each relation holding one frequency set
+arranged (at evaluation time) into its frequency tensor.  Chains and star
+queries are special cases; :func:`make_zipf_star` builds the star workload
+used by the tree-query experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.frequency import FrequencySet
+from repro.core.histogram import Histogram
+from repro.core.tensor import FrequencyTensor, arrange_frequency_tensor, tree_result_size
+from repro.data.zipf import zipf_frequencies
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive, ensure_positive_int
+
+
+@dataclass(frozen=True)
+class TreeQuery:
+    """A tree query: relations joined pairwise on dedicated attributes.
+
+    Attributes
+    ----------
+    num_relations:
+        Relations are numbered ``0 .. num_relations − 1``.
+    edges:
+        One ``(left, right, domain_size)`` triple per join predicate; the
+        edge set must form a tree over the relations.
+    frequency_sets:
+        One :class:`FrequencySet` per relation; its size must equal the
+        product of the domain sizes of the relation's incident edges.
+    """
+
+    num_relations: int
+    edges: tuple[tuple[int, int, int], ...]
+    frequency_sets: tuple[FrequencySet, ...]
+    skews: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self):
+        n = self.num_relations
+        if n < 2:
+            raise ValueError("a tree query joins at least two relations")
+        if len(self.edges) != n - 1:
+            raise ValueError(
+                f"a tree over {n} relations needs {n - 1} edges, got {len(self.edges)}"
+            )
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for left, right, domain in self.edges:
+            if not (0 <= left < n and 0 <= right < n):
+                raise ValueError(f"edge ({left}, {right}) references unknown relation")
+            if domain < 1:
+                raise ValueError(f"edge domain must be positive, got {domain}")
+            a, b = find(left), find(right)
+            if a == b:
+                raise ValueError("edges contain a cycle; tree queries only")
+            parent[a] = b
+        if len(self.frequency_sets) != n:
+            raise ValueError(
+                f"{n} relations need {n} frequency sets, got {len(self.frequency_sets)}"
+            )
+        for position in range(n):
+            expected = int(np.prod([d for *_pair, d in self.incident_edges(position)]))
+            actual = self.frequency_sets[position].size
+            if expected != actual:
+                raise ValueError(
+                    f"relation {position}: tensor has {expected} cells but the "
+                    f"frequency set has {actual} entries"
+                )
+        if self.skews is not None and len(self.skews) != n:
+            raise ValueError("skews must align with relations")
+
+    def incident_edges(self, relation: int) -> list[tuple[int, int, int]]:
+        """Edges touching *relation*, as ``(edge_id, other_end, domain)``."""
+        incident = []
+        for edge_id, (left, right, domain) in enumerate(self.edges):
+            if left == relation:
+                incident.append((edge_id, right, domain))
+            elif right == relation:
+                incident.append((edge_id, left, domain))
+        return incident
+
+    def tensor_signature(self, relation: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Return ``(axis_labels, shape)`` for one relation's tensor."""
+        incident = self.incident_edges(relation)
+        axes = tuple(edge_id for edge_id, *_ in incident)
+        shape = tuple(domain for *_pair, domain in incident)
+        return axes, shape
+
+    @property
+    def num_joins(self) -> int:
+        return len(self.edges)
+
+    def degree(self, relation: int) -> int:
+        """Number of joins the relation participates in."""
+        return len(self.incident_edges(relation))
+
+    def sample_arrangement(self, rng: RandomSource = None) -> list[FrequencyTensor]:
+        """Materialise one uniformly random arrangement of every relation."""
+        gen = derive_rng(rng)
+        tensors = []
+        for position in range(self.num_relations):
+            axes, shape = self.tensor_signature(position)
+            tensors.append(
+                arrange_frequency_tensor(
+                    self.frequency_sets[position].frequencies, shape, axes, gen
+                )
+            )
+        return tensors
+
+    def exact_size(self, arrangement: Sequence[FrequencyTensor]) -> float:
+        """Exact result size of a sampled arrangement (tensor contraction)."""
+        return tree_result_size(arrangement)
+
+    def build_histograms(
+        self, factory: Callable[[FrequencySet], Histogram]
+    ) -> list[Histogram]:
+        """One histogram per relation, from its frequency set alone."""
+        return [factory(fset) for fset in self.frequency_sets]
+
+    def estimate_size(
+        self,
+        arrangement: Sequence[FrequencyTensor],
+        histograms: Sequence[Histogram],
+    ) -> float:
+        """Histogram estimate: contract the approximated tensors."""
+        if len(histograms) != self.num_relations:
+            raise ValueError(
+                f"need {self.num_relations} histograms, got {len(histograms)}"
+            )
+        approximated = [
+            FrequencyTensor(hist.approximate_array(tensor.array), tensor.axes)
+            for tensor, hist in zip(arrangement, histograms)
+        ]
+        return tree_result_size(approximated)
+
+
+def make_zipf_star(
+    num_leaves: int,
+    *,
+    domain: int = 10,
+    total: float = 1000.0,
+    z_values: Sequence[float],
+) -> TreeQuery:
+    """Build a star query: one hub relation joined with *num_leaves* leaves.
+
+    The hub carries a ``num_leaves``-dimensional frequency tensor (frequency
+    set of ``domain**num_leaves`` entries); each leaf is a vector over its
+    own join domain.  ``z_values[0]`` is the hub's skew.
+    """
+    num_leaves = ensure_positive_int(num_leaves, "num_leaves")
+    domain = ensure_positive_int(domain, "domain")
+    total = ensure_positive(total, "total")
+    z_values = tuple(float(z) for z in z_values)
+    if len(z_values) != num_leaves + 1:
+        raise ValueError(
+            f"{num_leaves} leaves need {num_leaves + 1} z values, got {len(z_values)}"
+        )
+    edges = tuple((0, leaf, domain) for leaf in range(1, num_leaves + 1))
+    sets = [FrequencySet(zipf_frequencies(total, domain**num_leaves, z_values[0]))]
+    for leaf in range(1, num_leaves + 1):
+        sets.append(FrequencySet(zipf_frequencies(total, domain, z_values[leaf])))
+    return TreeQuery(num_leaves + 1, edges, tuple(sets), skews=z_values)
+
+
+def make_zipf_tree(
+    edges: Sequence[tuple[int, int, int]],
+    *,
+    total: float = 1000.0,
+    z_values: Sequence[float],
+) -> TreeQuery:
+    """Build a tree query of arbitrary shape with Zipf frequency sets.
+
+    *edges* are ``(left, right, domain_size)`` triples over relations
+    numbered ``0..N``; ``z_values`` supplies one skew per relation.
+    """
+    total = ensure_positive(total, "total")
+    edges = tuple((int(l), int(r), int(d)) for l, r, d in edges)
+    num_relations = len(edges) + 1
+    z_values = tuple(float(z) for z in z_values)
+    if len(z_values) != num_relations:
+        raise ValueError(
+            f"{num_relations} relations need {num_relations} z values, "
+            f"got {len(z_values)}"
+        )
+    # Tensor cell counts follow from each relation's incident edges.
+    cells = [1] * num_relations
+    for left, right, domain in edges:
+        for endpoint in (left, right):
+            if not 0 <= endpoint < num_relations:
+                raise ValueError(
+                    f"edge endpoint {endpoint} out of range for "
+                    f"{num_relations} relations"
+                )
+        cells[left] *= domain
+        cells[right] *= domain
+    sets = tuple(
+        FrequencySet(zipf_frequencies(total, cells[i], z_values[i]))
+        for i in range(num_relations)
+    )
+    return TreeQuery(num_relations, edges, sets, skews=z_values)
+
+
+def random_tree_query(
+    num_relations: int,
+    *,
+    domain: int = 5,
+    total: float = 1000.0,
+    z_choices: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    rng: RandomSource = None,
+) -> TreeQuery:
+    """Draw a uniformly random tree shape with random per-relation skews.
+
+    Uses a random attachment process (each new relation joins a uniformly
+    chosen earlier one), covering chains, stars and everything between.
+    """
+    num_relations = ensure_positive_int(num_relations, "num_relations")
+    if num_relations < 2:
+        raise ValueError("a tree query joins at least two relations")
+    gen = derive_rng(rng)
+    edges = []
+    for node in range(1, num_relations):
+        attach = int(gen.integers(0, node))
+        edges.append((attach, node, domain))
+    z_values = [float(z_choices[gen.integers(0, len(z_choices))]) for _ in range(num_relations)]
+    return make_zipf_tree(edges, total=total, z_values=z_values)

@@ -1,0 +1,77 @@
+"""Workload generators for the Section 5.2 experiments.
+
+The paper runs three query classes distinguished by how the Zipf skew of
+each relation is drawn:
+
+* **low skew** — ``z`` uniform over ``{0.0, 0.1, 0.25, 0.5, 0.75}``;
+* **mixed skew** — ``z`` uniform over all ten values
+  ``{0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0}``;
+* **high skew** — ``z`` uniform over ``{1.0, 1.5, 2.0, 2.5, 3.0}``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.queries.chain import ChainQuery, make_zipf_chain
+from repro.util.rng import RandomSource, derive_rng
+from repro.util.validation import ensure_positive_int
+
+#: The full z grid of Section 5.2.
+MIXED_SKEW_Z: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0)
+#: The low-skew half of the grid.
+LOW_SKEW_Z: tuple[float, ...] = MIXED_SKEW_Z[:5]
+#: The high-skew half of the grid.
+HIGH_SKEW_Z: tuple[float, ...] = MIXED_SKEW_Z[5:]
+
+
+class QueryClass(enum.Enum):
+    """The three skew classes of the Section 5.2 experiments."""
+
+    LOW_SKEW = "low skew"
+    MIXED_SKEW = "mixed skew"
+    HIGH_SKEW = "high skew"
+
+    @property
+    def z_choices(self) -> tuple[float, ...]:
+        """The Zipf ``z`` values this class samples per relation."""
+        if self is QueryClass.LOW_SKEW:
+            return LOW_SKEW_Z
+        if self is QueryClass.HIGH_SKEW:
+            return HIGH_SKEW_Z
+        return MIXED_SKEW_Z
+
+
+def sample_chain_query(
+    num_joins: int,
+    query_class: QueryClass,
+    rng: RandomSource = None,
+    *,
+    domain: int = 10,
+    total: float = 1000.0,
+) -> ChainQuery:
+    """Draw one chain query of *query_class* with random per-relation skews."""
+    num_joins = ensure_positive_int(num_joins, "num_joins")
+    gen = derive_rng(rng)
+    choices = query_class.z_choices
+    z_values = [float(choices[gen.integers(0, len(choices))]) for _ in range(num_joins + 1)]
+    return make_zipf_chain(num_joins, domain=domain, total=total, z_values=z_values)
+
+
+def sample_query_batch(
+    num_joins: int,
+    query_class: QueryClass,
+    count: int,
+    rng: RandomSource = None,
+    *,
+    domain: int = 10,
+    total: float = 1000.0,
+) -> list[ChainQuery]:
+    """Draw *count* independent queries of one class (one per experiment run)."""
+    count = ensure_positive_int(count, "count")
+    gen = derive_rng(rng)
+    return [
+        sample_chain_query(num_joins, query_class, gen, domain=domain, total=total)
+        for _ in range(count)
+    ]

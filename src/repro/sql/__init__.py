@@ -1,0 +1,45 @@
+"""A small SQL front-end over the engine.
+
+Supports the query class the paper studies — tree (function-free) equality
+joins plus selections — through a conventional pipeline: lexer → recursive
+descent parser → planner (histogram-backed estimation + DP join ordering)
+→ execution.  The entry point is :class:`~repro.sql.database.Database`:
+
+>>> db = Database()
+>>> db.add(relation)                                # doctest: +SKIP
+>>> db.analyze()                                    # doctest: +SKIP
+>>> db.execute("SELECT * FROM r WHERE r.a = 3")     # doctest: +SKIP
+"""
+
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import SqlLexError, Token, tokenize
+from repro.sql.parser import SqlParseError, parse_select
+from repro.sql.planner import PlannedQuery, SqlPlanError, plan_query
+from repro.sql.database import Database
+
+__all__ = [
+    "BetweenPredicate",
+    "ColumnRef",
+    "Comparison",
+    "InPredicate",
+    "Literal",
+    "SelectStatement",
+    "TableRef",
+    "SqlLexError",
+    "Token",
+    "tokenize",
+    "SqlParseError",
+    "parse_select",
+    "PlannedQuery",
+    "SqlPlanError",
+    "plan_query",
+    "Database",
+]

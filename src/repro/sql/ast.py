@@ -1,0 +1,98 @@
+"""Abstract syntax for the supported SQL subset.
+
+The grammar covers exactly the paper's query class: conjunctive selections
+and equality/tree joins, plus the range and ``IN`` predicates Section 6
+reduces to disjunctive equality selections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+#: Comparison operators in predicates.
+COMPARISON_OPERATORS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name predicates use to reference this table."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number (int/float) or string."""
+
+    value: Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` where either side may be a column or literal."""
+
+    left: Union[ColumnRef, Literal]
+    operator: str
+    right: Union[ColumnRef, Literal]
+
+    def __post_init__(self):
+        if self.operator not in COMPARISON_OPERATORS:
+            raise ValueError(f"unsupported operator {self.operator!r}")
+
+    def is_join(self) -> bool:
+        """True when both sides are column references."""
+        return isinstance(self.left, ColumnRef) and isinstance(self.right, ColumnRef)
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``column [NOT] IN (literal, ...)``."""
+
+    column: ColumnRef
+    values: tuple[Literal, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    """``column BETWEEN low AND high`` (inclusive)."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+
+Predicate = Union[Comparison, InPredicate, BetweenPredicate]
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """``SELECT columns FROM tables [WHERE conjunction]``."""
+
+    columns: tuple[ColumnRef, ...]  # empty tuple means SELECT *
+    tables: tuple[TableRef, ...]
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+    count_star: bool = False  # SELECT [cols,] COUNT(*)
+    group_by: tuple[ColumnRef, ...] = field(default_factory=tuple)
+
+    @property
+    def is_star(self) -> bool:
+        return not self.columns and not self.count_star

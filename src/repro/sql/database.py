@@ -1,0 +1,318 @@
+"""The user-facing database object: relations + catalog + SQL execution.
+
+:class:`Database` wires the whole reproduction together: relations are
+registered, ``analyze()`` collects histogram statistics (the paper's
+recommended end-biased form by default), and SQL SELECTs are planned with
+histogram-backed estimates and executed with hash joins.  ``explain()``
+returns the estimate and the join order without touching the data — what a
+real optimizer does — so estimate quality can be audited query by query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.engine.schema import Attribute, Schema
+from repro.optimizer.joinorder import JoinGraph, _materialize
+from repro.optimizer.plans import Plan
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    Predicate,
+    SelectStatement,
+)
+from repro.sql.parser import parse_select
+from repro.sql.planner import PlannedQuery, SqlPlanError, plan_query
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """``explain()`` output: the plan plus its headline numbers."""
+
+    estimated_rows: float
+    join_plan: Optional[Plan]
+    selection_selectivities: dict[str, float]
+    estimated_groups: Optional[float] = None
+
+    def pretty(self) -> str:
+        lines = [f"estimated rows: {self.estimated_rows:.1f}"]
+        if self.estimated_groups is not None:
+            lines.append(f"estimated groups: {self.estimated_groups:.1f}")
+        for binding, selectivity in sorted(self.selection_selectivities.items()):
+            if selectivity != 1.0:
+                lines.append(f"  selection on {binding}: selectivity {selectivity:.4f}")
+        if self.join_plan is not None:
+            lines.append(self.join_plan.pretty(indent=2))
+        return "\n".join(lines)
+
+
+def _predicate_matches(pred: Predicate, row: tuple, schema) -> bool:
+    """Evaluate one resolved selection predicate against a raw row."""
+
+    def value_of(ref: ColumnRef):
+        return row[schema.position(ref.column)]
+
+    if isinstance(pred, Comparison):
+        left = value_of(pred.left) if isinstance(pred.left, ColumnRef) else pred.left.value
+        right = (
+            value_of(pred.right) if isinstance(pred.right, ColumnRef) else pred.right.value
+        )
+        try:
+            return {
+                "=": left == right,
+                "<>": left != right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[pred.operator]
+        except TypeError:
+            return False  # incomparable types never match, like SQL NULL logic
+    if isinstance(pred, InPredicate):
+        members = {literal.value for literal in pred.values}
+        hit = value_of(pred.column) in members
+        return (not hit) if pred.negated else hit
+    if isinstance(pred, BetweenPredicate):
+        value = value_of(pred.column)
+        try:
+            return pred.low.value <= value <= pred.high.value
+        except TypeError:
+            return False
+    raise SqlPlanError(f"unsupported predicate {pred!r}")
+
+
+class Database:
+    """An in-memory database speaking the supported SQL subset."""
+
+    def __init__(self):
+        self._relations: dict[str, Relation] = {}
+        self.catalog = StatsCatalog()
+
+    # ------------------------------------------------------------------
+    # Data definition
+    # ------------------------------------------------------------------
+
+    def add(self, relation: Relation) -> None:
+        """Register *relation* under its name (replacing any previous one)."""
+        self._relations[relation.name] = relation
+
+    def create(self, name: str, columns: dict[str, Sequence]) -> Relation:
+        """Create and register a relation from column data."""
+        relation = Relation.from_columns(name, columns)
+        self.add(relation)
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise KeyError(f"unknown relation {name!r}")
+        return self._relations[name]
+
+    @property
+    def relation_names(self) -> list[str]:
+        return sorted(self._relations)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        names: Optional[Iterable[str]] = None,
+        *,
+        kind: str = "end-biased",
+        buckets: int = 10,
+    ) -> int:
+        """Collect statistics (every attribute of the named relations)."""
+        count = 0
+        for name in names if names is not None else self.relation_names:
+            relation = self.relation(name)
+            for attribute in relation.schema.names:
+                analyze_relation(
+                    relation, attribute, self.catalog, kind=kind, buckets=buckets
+                )
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def plan(self, sql: str) -> PlannedQuery:
+        """Parse and plan a SELECT without executing it."""
+        statement = parse_select(sql)
+        return plan_query(statement, self._relations, self.catalog)
+
+    def explain(self, sql: str) -> Explanation:
+        """Estimated cardinality and join order for *sql*."""
+        planned = self.plan(sql)
+        return Explanation(
+            estimated_rows=planned.estimated_rows,
+            join_plan=planned.join_plan,
+            selection_selectivities=planned.selection_selectivities,
+            estimated_groups=planned.estimated_groups,
+        )
+
+    def estimate(self, sql: str) -> float:
+        """Histogram-based cardinality estimate of the result of *sql*.
+
+        For grouped queries this is the estimated number of groups
+        (distinct-value model); otherwise the estimated tuple count.
+        """
+        return self.plan(sql).estimated_output_rows
+
+    def execute(self, sql: str) -> Relation:
+        """Execute *sql* and return the result relation.
+
+        ``SELECT COUNT(*)`` returns a one-row relation with the count, and
+        ``GROUP BY`` returns one row per group (with its count when
+        ``COUNT(*)`` is also selected) — exactly the quantities whose
+        *estimates* the paper's histograms provide via :meth:`estimate`.
+        """
+        planned = self.plan(sql)
+        if planned.group_by:
+            return self._execute_grouped(planned)
+        if planned.statement.count_star:
+            inner = self._execute_planned(planned)
+            return Relation(
+                "result", Schema([Attribute("count")]), [(inner.cardinality,)]
+            )
+        return self._execute_planned(planned)
+
+    def _execute_grouped(self, planned: PlannedQuery) -> Relation:
+        """Evaluate a GROUP BY query: dedupe group keys, optionally count."""
+        from collections import Counter
+
+        group_rows = self._rows_for_refs(planned, list(planned.group_by))
+        counts = Counter(group_rows)
+
+        # Output order: explicitly selected columns (a subset of the group
+        # keys, validated by the planner), then COUNT(*) when requested.
+        refs = list(planned.output_columns) or list(planned.group_by)
+        positions = [planned.group_by.index(ref) for ref in refs]
+        names = self._output_names(refs, explicit=True)
+        if planned.statement.count_star:
+            names = names + ["count"]
+        schema = Schema([Attribute(name) for name in names])
+        rows = []
+        for key in sorted(counts, key=repr):
+            projected = tuple(key[p] for p in positions)
+            if planned.statement.count_star:
+                projected += (counts[key],)
+            rows.append(projected)
+        return Relation("result", schema, rows)
+
+    def _rows_for_refs(
+        self, planned: PlannedQuery, refs: list[ColumnRef]
+    ) -> list[tuple]:
+        """Evaluate the FROM/WHERE part, projected onto *refs* (as tuples)."""
+        if planned.constant_false:
+            return []
+        filtered = self._filtered_bindings(planned)
+        if len(filtered) == 1:
+            ((_, relation),) = filtered.items()
+            positions = [relation.schema.position(ref.column) for ref in refs]
+            return [tuple(row[p] for p in positions) for row in relation.rows()]
+        if planned.join_plan is None:
+            return []
+        graph = JoinGraph(list(filtered.values()), list(planned.join_edges))
+        keys = [f"{ref.table}.{ref.column}" for ref in refs]
+        return [
+            tuple(row[key] for key in keys)
+            for row in _materialize(planned.join_plan, graph)
+        ]
+
+    def _filtered_bindings(self, planned: PlannedQuery) -> dict[str, Relation]:
+        """Apply each binding's selection predicates."""
+        filtered: dict[str, Relation] = {}
+        for binding, relation in planned.bindings.items():
+            predicates = planned.selections.get(binding, ())
+            if predicates:
+                rows = [
+                    row
+                    for row in relation.rows()
+                    if all(
+                        _predicate_matches(p, row, relation.schema) for p in predicates
+                    )
+                ]
+                filtered[binding] = Relation(binding, relation.schema, rows)
+            else:
+                filtered[binding] = relation
+        return filtered
+
+    def _execute_planned(self, planned: PlannedQuery) -> Relation:
+        filtered = self._filtered_bindings(planned)
+        if len(filtered) == 1:
+            (binding, relation), = filtered.items()
+            if planned.constant_false:
+                relation = Relation(binding, relation.schema, [])
+            return self._project_single(planned, binding, relation)
+
+        if planned.join_plan is None:
+            # Constant-false WHERE over a multi-table query: empty result.
+            assert planned.constant_false
+            refs = self._output_refs(planned)
+            return Relation(
+                "result", Schema([Attribute(str(ref)) for ref in refs]), []
+            )
+        graph = JoinGraph(list(filtered.values()), list(planned.join_edges))
+        rows = _materialize(planned.join_plan, graph)
+        return self._project_joined(planned, rows)
+
+    # ------------------------------------------------------------------
+
+    def _output_refs(self, planned: PlannedQuery) -> list[ColumnRef]:
+        if planned.output_columns:
+            return list(planned.output_columns)
+        refs = []
+        for table in planned.statement.tables:
+            relation = planned.bindings[table.binding]
+            refs.extend(
+                ColumnRef(attribute, table=table.binding)
+                for attribute in relation.schema.names
+            )
+        return refs
+
+    @staticmethod
+    def _output_names(refs: list[ColumnRef], *, explicit: bool) -> list[str]:
+        """Result column names: bare when unambiguous, qualified otherwise.
+
+        Explicitly projected columns use the SQL convention of keeping the
+        bare column name unless two projected columns collide; ``SELECT *``
+        over joins keeps qualified names (the merged schema may collide).
+        """
+        if explicit:
+            bare = [ref.column for ref in refs]
+            if len(set(bare)) == len(bare):
+                return bare
+        return [str(ref) for ref in refs]
+
+    def _project_single(
+        self, planned: PlannedQuery, binding: str, relation: Relation
+    ) -> Relation:
+        refs = self._output_refs(planned)
+        explicit = bool(planned.output_columns)
+        positions = [relation.schema.position(ref.column) for ref in refs]
+        names = (
+            self._output_names(refs, explicit=True)
+            if explicit
+            else [ref.column for ref in refs]
+        )
+        schema = Schema([Attribute(name) for name in names])
+        rows = [tuple(row[p] for p in positions) for row in relation.rows()]
+        return Relation("result", schema, rows)
+
+    def _project_joined(self, planned: PlannedQuery, rows: list[dict]) -> Relation:
+        refs = self._output_refs(planned)
+        keys = [f"{ref.table}.{ref.column}" for ref in refs]
+        names = self._output_names(refs, explicit=bool(planned.output_columns))
+        schema = Schema([Attribute(name) for name in names])
+        tuples = [tuple(row[key] for key in keys) for row in rows]
+        return Relation("result", schema, tuples)

@@ -1,0 +1,100 @@
+"""SQL tokenizer.
+
+Produces a flat token stream; keywords are case-insensitive, identifiers
+keep their case, strings use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Keywords recognised by the parser (upper-cased).
+KEYWORDS = frozenset(
+    {"SELECT", "FROM", "WHERE", "AND", "IN", "BETWEEN", "AS", "NOT", "COUNT", "GROUP", "BY"}
+)
+
+#: Multi- and single-character operators/punctuation, longest first.
+SYMBOLS = ("<>", "<=", ">=", "!=", "=", "<", ">", ",", "(", ")", ".", "*")
+
+
+class SqlLexError(ValueError):
+    """Raised on malformed SQL input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind tag, its value, and its source position."""
+
+    kind: str  # "keyword" | "identifier" | "number" | "string" | "symbol" | "end"
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, appending a terminating ``end`` token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            start = index
+            index += 1
+            chunks: list[str] = []
+            while True:
+                if index >= length:
+                    raise SqlLexError(f"unterminated string literal at {start}")
+                if text[index] == "'":
+                    if index + 1 < length and text[index + 1] == "'":
+                        chunks.append("'")
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                chunks.append(text[index])
+                index += 1
+            tokens.append(Token("string", "".join(chunks), start))
+            continue
+        if char.isdigit() or (
+            char in "+-" and index + 1 < length and text[index + 1].isdigit()
+        ):
+            start = index
+            index += 1
+            seen_dot = False
+            while index < length and (text[index].isdigit() or (text[index] == "." and not seen_dot)):
+                if text[index] == ".":
+                    # A dot not followed by a digit belongs to qualification.
+                    if index + 1 >= length or not text[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+            tokens.append(Token("number", text[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), start))
+            else:
+                tokens.append(Token("identifier", word, start))
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token("symbol", symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise SqlLexError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token("end", "", length))
+    return tokens

@@ -1,0 +1,203 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (conjunctive, the paper's query class, plus COUNT/GROUP BY)::
+
+    select    := SELECT ('*' | item (',' item)*)
+                 FROM table_ref (',' table_ref)*
+                 [WHERE predicate (AND predicate)*]
+                 [GROUP BY column (',' column)*]
+    item      := column | COUNT '(' '*' ')'        -- COUNT at most once
+    table_ref := identifier [[AS] identifier]
+    column    := identifier ['.' identifier]
+    predicate := operand op operand
+               | column [NOT] IN '(' literal (',' literal)* ')'
+               | column BETWEEN literal AND literal
+    operand   := column | literal
+    op        := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    Predicate,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+
+class SqlParseError(ValueError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.current
+        if not token.matches(kind, value):
+            wanted = value or kind
+            raise SqlParseError(
+                f"expected {wanted!r} at position {token.position}, "
+                f"got {token.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        if self.current.matches(kind, value):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect("keyword", "SELECT")
+        columns: tuple[ColumnRef, ...]
+        count_star = False
+        if self.accept("symbol", "*"):
+            columns = ()
+        else:
+            refs: list[ColumnRef] = []
+            while True:
+                if self.accept("keyword", "COUNT"):
+                    if count_star:
+                        raise SqlParseError("COUNT(*) may appear at most once")
+                    self.expect("symbol", "(")
+                    self.expect("symbol", "*")
+                    self.expect("symbol", ")")
+                    count_star = True
+                else:
+                    refs.append(self._column())
+                if not self.accept("symbol", ","):
+                    break
+            columns = tuple(refs)
+
+        self.expect("keyword", "FROM")
+        tables = [self._table_ref()]
+        while self.accept("symbol", ","):
+            tables.append(self._table_ref())
+
+        predicates: list[Predicate] = []
+        if self.accept("keyword", "WHERE"):
+            predicates.append(self._predicate())
+            while self.accept("keyword", "AND"):
+                predicates.append(self._predicate())
+
+        group_by: tuple[ColumnRef, ...] = ()
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            groups = [self._column()]
+            while self.accept("symbol", ","):
+                groups.append(self._column())
+            group_by = tuple(groups)
+
+        self.expect("end")
+        bindings = [t.binding for t in tables]
+        if len(set(bindings)) != len(bindings):
+            raise SqlParseError(f"duplicate table bindings in FROM: {bindings}")
+        if group_by and not columns and not count_star:
+            raise SqlParseError(
+                "GROUP BY requires an explicit column list (or COUNT(*))"
+            )
+        return SelectStatement(
+            columns, tuple(tables), tuple(predicates), count_star, group_by
+        )
+
+    def _table_ref(self) -> TableRef:
+        name = self.expect("identifier").value
+        alias = None
+        if self.accept("keyword", "AS"):
+            alias = self.expect("identifier").value
+        elif self.current.kind == "identifier":
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _column(self) -> ColumnRef:
+        first = self.expect("identifier").value
+        if self.accept("symbol", "."):
+            second = self.expect("identifier").value
+            return ColumnRef(second, table=first)
+        return ColumnRef(first)
+
+    def _literal(self) -> Literal:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        raise SqlParseError(
+            f"expected a literal at position {token.position}, got {token.value!r}"
+        )
+
+    def _operand(self) -> Union[ColumnRef, Literal]:
+        if self.current.kind == "identifier":
+            return self._column()
+        return self._literal()
+
+    def _predicate(self) -> Predicate:
+        if self.current.kind != "identifier":
+            # Literal-first comparison, e.g. 5 < r.a
+            left = self._literal()
+            operator = self.expect("symbol").value
+            right = self._operand()
+            return Comparison(left, operator, right)
+
+        column = self._column()
+        if self.accept("keyword", "NOT"):
+            self.expect("keyword", "IN")
+            return self._in_predicate(column, negated=True)
+        if self.accept("keyword", "IN"):
+            return self._in_predicate(column, negated=False)
+        if self.accept("keyword", "BETWEEN"):
+            low = self._literal()
+            self.expect("keyword", "AND")
+            high = self._literal()
+            return BetweenPredicate(column, low, high)
+        operator_token = self.current
+        if operator_token.kind != "symbol" or operator_token.value not in (
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ):
+            raise SqlParseError(
+                f"expected a comparison operator at position "
+                f"{operator_token.position}, got {operator_token.value!r}"
+            )
+        self.advance()
+        right = self._operand()
+        return Comparison(column, operator_token.value, right)
+
+    def _in_predicate(self, column: ColumnRef, *, negated: bool) -> InPredicate:
+        self.expect("symbol", "(")
+        values = [self._literal()]
+        while self.accept("symbol", ","):
+            values.append(self._literal())
+        self.expect("symbol", ")")
+        return InPredicate(column, tuple(values), negated=negated)
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(sql)).parse_select()

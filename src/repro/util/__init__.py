@@ -1,0 +1,45 @@
+"""Shared utilities: validation, seeded randomness, and majorization helpers."""
+
+from repro.util.rng import RandomSource, derive_rng, spawn_rngs
+from repro.util.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_positive_int,
+)
+from repro.util.stats import (
+    FrequencyProfile,
+    coefficient_of_variation,
+    effective_zipf_z,
+    gini_coefficient,
+    profile_frequencies,
+    skewness,
+    top_k_share,
+)
+from repro.util.majorization import (
+    dalton_transfer,
+    is_majorized_by,
+    lorenz_curve,
+    majorization_distance,
+)
+
+__all__ = [
+    "RandomSource",
+    "derive_rng",
+    "spawn_rngs",
+    "ensure_in_range",
+    "ensure_non_negative",
+    "ensure_positive",
+    "ensure_positive_int",
+    "dalton_transfer",
+    "is_majorized_by",
+    "lorenz_curve",
+    "majorization_distance",
+    "FrequencyProfile",
+    "coefficient_of_variation",
+    "effective_zipf_z",
+    "gini_coefficient",
+    "profile_frequencies",
+    "skewness",
+    "top_k_share",
+]

@@ -1,0 +1,102 @@
+"""Majorization helpers (Marshall & Olkin, reference [17] of the paper).
+
+The paper's Theorem 3.1 (optimality of serial histograms for extreme
+arrangements) is derived from the theory of majorization: a frequency vector
+``x`` is *majorized* by ``y`` when the partial sums of ``y`` in decreasing
+order dominate those of ``x`` while the totals agree.  Self-join sizes
+(``sum of squares``) are Schur-convex, so majorization ordering implies
+self-join-size ordering — a fact the test suite uses to cross-check the
+optimality machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _as_vector(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+def is_majorized_by(x: Sequence[float], y: Sequence[float], *, atol: float = 1e-9) -> bool:
+    """Return ``True`` when vector *x* is majorized by vector *y* (``x ≺ y``).
+
+    Requires equal lengths and (within *atol*) equal totals; partial sums of
+    the decreasingly sorted *y* must dominate those of *x*.
+    """
+    xv = _as_vector(x, "x")
+    yv = _as_vector(y, "y")
+    if xv.size != yv.size:
+        raise ValueError(f"vectors must have equal length, got {xv.size} and {yv.size}")
+    xs = np.sort(xv)[::-1]
+    ys = np.sort(yv)[::-1]
+    if abs(xs.sum() - ys.sum()) > atol * max(1.0, abs(ys.sum())):
+        return False
+    cx = np.cumsum(xs)
+    cy = np.cumsum(ys)
+    return bool(np.all(cy[:-1] >= cx[:-1] - atol))
+
+
+def lorenz_curve(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the Lorenz curve of a non-negative vector.
+
+    Produces ``(population_fraction, mass_fraction)`` arrays (each starting at
+    0 and ending at 1), with values accumulated in *increasing* order.  Useful
+    for visualising how skewed a frequency set is: the further the curve bows
+    below the diagonal, the more a few values dominate.
+    """
+    arr = _as_vector(values, "values")
+    if np.any(arr < 0):
+        raise ValueError("Lorenz curve requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        raise ValueError("Lorenz curve undefined for an all-zero vector")
+    sorted_vals = np.sort(arr)
+    mass = np.concatenate([[0.0], np.cumsum(sorted_vals)]) / total
+    population = np.linspace(0.0, 1.0, arr.size + 1)
+    return population, mass
+
+
+def majorization_distance(x: Sequence[float], y: Sequence[float]) -> float:
+    """Return ``max_k (P_k(y) − P_k(x))`` over partial sums of sorted vectors.
+
+    Zero (up to sign) when the vectors are permutations of each other; positive
+    when *y* is strictly "more skewed".  The quantity is a convenient scalar
+    for tests asserting that Zipf skew grows with its ``z`` parameter.
+    """
+    xv = np.sort(_as_vector(x, "x"))[::-1]
+    yv = np.sort(_as_vector(y, "y"))[::-1]
+    if xv.size != yv.size:
+        raise ValueError(f"vectors must have equal length, got {xv.size} and {yv.size}")
+    return float(np.max(np.cumsum(yv) - np.cumsum(xv)))
+
+
+def dalton_transfer(values: Sequence[float], rich: int, poor: int, amount: float) -> np.ndarray:
+    """Apply a Dalton (Robin Hood) transfer: move *amount* from index *rich* to *poor*.
+
+    A transfer from a larger to a smaller entry that does not reverse their
+    order produces a vector majorized by the original — the elementary step in
+    majorization proofs.  The test suite uses it to generate ordered pairs of
+    frequency vectors.
+    """
+    arr = _as_vector(values, "values").copy()
+    if not 0 <= rich < arr.size or not 0 <= poor < arr.size:
+        raise IndexError("rich/poor indices out of range")
+    if rich == poor:
+        raise ValueError("rich and poor indices must differ")
+    if amount < 0:
+        raise ValueError(f"amount must be non-negative, got {amount}")
+    if arr[rich] < arr[poor]:
+        raise ValueError("transfer must go from the larger entry to the smaller")
+    if amount > (arr[rich] - arr[poor]) / 2:
+        raise ValueError("transfer would reverse the order of the two entries")
+    arr[rich] -= amount
+    arr[poor] += amount
+    return arr

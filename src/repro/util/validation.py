@@ -1,0 +1,60 @@
+"""Argument-validation helpers shared across the library.
+
+These raise ``ValueError``/``TypeError`` with uniform, descriptive messages so
+call sites stay one-liners and the error text always names the offending
+parameter.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Optional
+
+import numpy as np
+
+
+def ensure_positive_int(value, name: str) -> int:
+    """Return *value* as ``int`` after checking it is a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (Integral, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_positive(value, name: str) -> float:
+    """Return *value* as ``float`` after checking it is strictly positive."""
+    if isinstance(value, bool) or not isinstance(value, (Real, np.floating, np.integer)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_non_negative(value, name: str) -> float:
+    """Return *value* as ``float`` after checking it is not negative or NaN."""
+    if isinstance(value, bool) or not isinstance(value, (Real, np.floating, np.integer)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if np.isnan(value) or value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def ensure_in_range(
+    value,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> float:
+    """Return *value* as ``float`` after checking ``low <= value <= high``."""
+    if isinstance(value, bool) or not isinstance(value, (Real, np.floating, np.integer)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if low is not None and value < low:
+        raise ValueError(f"{name} must be >= {low}, got {value}")
+    if high is not None and value > high:
+        raise ValueError(f"{name} must be <= {high}, got {value}")
+    return value

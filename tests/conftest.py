@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import AttributeDistribution
+from repro.data.zipf import zipf_frequencies
+
+
+@pytest.fixture
+def rng():
+    """A seeded generator; tests stay deterministic."""
+    return np.random.default_rng(20260705)
+
+
+@pytest.fixture
+def zipf_small():
+    """A small Zipf frequency set (M=10, z=1, T=100)."""
+    return zipf_frequencies(100, 10, 1.0)
+
+
+@pytest.fixture
+def zipf_medium():
+    """The paper's canonical set: M=100, z=1, T=1000 (Figures 3-5)."""
+    return zipf_frequencies(1000, 100, 1.0)
+
+
+@pytest.fixture
+def tiny_frequencies():
+    """A hand-checkable frequency multiset."""
+    return np.array([9.0, 7.0, 4.0, 2.0, 1.0])
+
+
+@pytest.fixture
+def tiny_distribution(tiny_frequencies):
+    """The tiny multiset attached to values a..e."""
+    return AttributeDistribution(["a", "b", "c", "d", "e"], tiny_frequencies)
+
+
+@pytest.fixture
+def worksfor_matrix():
+    """The paper's Example 2.3 WorksFor(dname, year) frequency matrix.
+
+    Rows: toy, jewelry, shoe, candy; columns: 1990..1994.  Entries follow
+    the legible structure of Figure 2 (exact OCR of the figure is partly
+    unreadable; the tests only rely on structural properties).
+    """
+    return np.array(
+        [
+            [10.0, 5.0, 0.0, 1.0, 4.0],
+            [2.0, 8.0, 6.0, 0.0, 3.0],
+            [0.0, 1.0, 12.0, 7.0, 2.0],
+            [4.0, 0.0, 3.0, 9.0, 6.0],
+        ]
+    )

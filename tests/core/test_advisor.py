@@ -1,0 +1,178 @@
+"""Tests for repro.core.advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import (
+    AdvisoryRow,
+    advisory_report,
+    minimum_buckets,
+    optimal_error_for_buckets,
+)
+from repro.data.zipf import zipf_frequencies
+
+
+class TestOptimalErrorForBuckets:
+    def test_serial_leq_end_biased(self, zipf_small):
+        for beta in (2, 3, 5):
+            serial = optimal_error_for_buckets(zipf_small, beta, "serial")
+            end_biased = optimal_error_for_buckets(zipf_small, beta, "end-biased")
+            assert serial <= end_biased + 1e-9
+
+    def test_monotone_non_increasing(self, zipf_medium):
+        for kind in ("serial", "end-biased"):
+            errors = [
+                optimal_error_for_buckets(zipf_medium, beta, kind)
+                for beta in range(1, 15)
+            ]
+            for earlier, later in zip(errors, errors[1:]):
+                assert later <= earlier + 1e-9, kind
+
+    def test_unknown_kind(self, zipf_small):
+        with pytest.raises(ValueError, match="unknown histogram kind"):
+            optimal_error_for_buckets(zipf_small, 3, "equi-width")
+
+
+class TestMinimumBuckets:
+    def test_uniform_needs_one_bucket(self):
+        """The paper's example: near-uniform data -> one or two buckets."""
+        freqs = np.full(100, 10.0)
+        assert minimum_buckets(freqs, 0.01, "end-biased") == 1
+
+    def test_skew_needs_more(self, zipf_medium):
+        beta = minimum_buckets(zipf_medium, 0.01, "end-biased")
+        assert beta > 1
+
+    def test_result_meets_tolerance(self, zipf_medium):
+        tolerance = 0.02
+        beta = minimum_buckets(zipf_medium, tolerance, "end-biased")
+        exact = float(np.dot(zipf_medium, zipf_medium))
+        error = optimal_error_for_buckets(zipf_medium, beta, "end-biased")
+        assert error <= tolerance * exact
+
+    def test_result_is_minimal(self, zipf_medium):
+        tolerance = 0.02
+        beta = minimum_buckets(zipf_medium, tolerance, "end-biased")
+        if beta > 1:
+            exact = float(np.dot(zipf_medium, zipf_medium))
+            below = optimal_error_for_buckets(zipf_medium, beta - 1, "end-biased")
+            assert below > tolerance * exact
+
+    def test_absolute_tolerance(self, zipf_small):
+        beta = minimum_buckets(zipf_small, 50.0, "serial", relative=False)
+        assert optimal_error_for_buckets(zipf_small, beta, "serial") <= 50.0
+
+    def test_zero_tolerance_reachable(self, zipf_small):
+        beta = minimum_buckets(zipf_small, 0.0, "serial", relative=False)
+        assert optimal_error_for_buckets(zipf_small, beta, "serial") == pytest.approx(0.0)
+
+    def test_serial_needs_no_more_than_end_biased(self, zipf_medium):
+        tolerance = 0.05
+        serial = minimum_buckets(zipf_medium, tolerance, "serial")
+        end_biased = minimum_buckets(zipf_medium, tolerance, "end-biased")
+        assert serial <= end_biased
+
+    def test_max_buckets_cap_raises_when_insufficient(self, zipf_medium):
+        with pytest.raises(ValueError, match="cannot reach"):
+            minimum_buckets(zipf_medium, 1e-9, "end-biased", relative=False, max_buckets=2)
+
+    def test_negative_tolerance_rejected(self, zipf_small):
+        with pytest.raises(ValueError):
+            minimum_buckets(zipf_small, -0.1)
+
+
+class TestAdvisoryReport:
+    def test_rows(self, zipf_small):
+        rows = advisory_report(zipf_small, [1, 2, 5], "end-biased")
+        assert [r.buckets for r in rows] == [1, 2, 5]
+        assert all(isinstance(r, AdvisoryRow) for r in rows)
+
+    def test_relative_error_normalised(self, zipf_small):
+        rows = advisory_report(zipf_small, [1], "end-biased")
+        exact = float(np.dot(zipf_small, zipf_small))
+        assert rows[0].relative_error == pytest.approx(rows[0].error / exact)
+
+    def test_str_rendering(self, zipf_small):
+        text = str(advisory_report(zipf_small, [3], "serial")[0])
+        assert "beta=" in text and "error=" in text
+
+    def test_near_uniform_reports_tiny_errors(self):
+        """Applied to near-uniform data the report signals one bucket is fine."""
+        freqs = zipf_frequencies(1000, 100, 0.02)
+        rows = advisory_report(freqs, [1, 2, 5], "end-biased")
+        assert all(r.relative_error < 0.01 for r in rows)
+
+
+class TestAllocateBucketBudget:
+    def _sets(self):
+        return [
+            zipf_frequencies(1000, 40, 0.05),
+            zipf_frequencies(1000, 40, 1.0),
+            zipf_frequencies(1000, 40, 2.5),
+        ]
+
+    def test_budget_respected(self):
+        from repro.core.advisor import allocate_bucket_budget
+
+        allocation = allocate_bucket_budget(self._sets(), 12)
+        assert sum(allocation) <= 12
+        assert all(k >= 1 for k in allocation)
+
+    def test_uniform_attribute_starved(self):
+        from repro.core.advisor import allocate_bucket_budget
+
+        allocation = allocate_bucket_budget(self._sets(), 12)
+        # The near-uniform attribute needs no extra buckets; skewed ones do.
+        assert allocation[0] <= allocation[1]
+        assert allocation[0] <= 2
+
+    def test_matches_exhaustive_two_attributes(self):
+        from itertools import product
+
+        from repro.core.advisor import allocate_bucket_budget
+
+        small = [zipf_frequencies(100, 6, 0.1), zipf_frequencies(100, 6, 2.0)]
+        budget = 6
+        best_error = min(
+            optimal_error_for_buckets(small[0], a) + optimal_error_for_buckets(small[1], budget - a)
+            for a in range(1, 6)
+            if 1 <= budget - a <= 6
+        )
+        greedy = allocate_bucket_budget(small, budget)
+        greedy_error = sum(
+            optimal_error_for_buckets(s, k) for s, k in zip(small, greedy)
+        )
+        assert greedy_error == pytest.approx(best_error)
+
+    def test_total_error_decreases_with_budget(self):
+        from repro.core.advisor import allocate_bucket_budget
+
+        sets = self._sets()
+
+        def total_error(budget):
+            allocation = allocate_bucket_budget(sets, budget)
+            return sum(optimal_error_for_buckets(s, k) for s, k in zip(sets, allocation))
+
+        errors = [total_error(b) for b in (3, 6, 12, 24)]
+        for earlier, later in zip(errors, errors[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_weights_bias_allocation(self):
+        from repro.core.advisor import allocate_bucket_budget
+
+        sets = [zipf_frequencies(1000, 20, 1.5), zipf_frequencies(1000, 20, 1.5)]
+        favored = allocate_bucket_budget(sets, 8, weights=[100.0, 1.0])
+        assert favored[0] >= favored[1]
+
+    def test_budget_too_small_rejected(self):
+        from repro.core.advisor import allocate_bucket_budget
+
+        with pytest.raises(ValueError, match="budget"):
+            allocate_bucket_budget(self._sets(), 2)
+
+    def test_excess_budget_left_unused(self):
+        from repro.core.advisor import allocate_bucket_budget
+
+        sets = [zipf_frequencies(100, 3, 1.0)]
+        allocation = allocate_bucket_budget(sets, 50)
+        assert allocation == [3]  # cannot exceed the distinct-value count

@@ -1,0 +1,96 @@
+"""Tests for repro.core.buckets."""
+
+import numpy as np
+import pytest
+
+from repro.core.buckets import Bucket, buckets_interleave, partition_sizes
+
+
+class TestBucket:
+    def test_statistics(self):
+        bucket = Bucket([2.0, 4.0, 6.0])
+        assert bucket.count == 3
+        assert bucket.total == 12.0
+        assert bucket.average == 4.0
+        assert bucket.variance == pytest.approx(8.0 / 3.0)
+        assert bucket.sse == pytest.approx(8.0)
+
+    def test_sse_is_p_times_v(self):
+        """Formula (3) bookkeeping: the bucket contributes p_i · v_i."""
+        freqs = np.array([1.0, 5.0, 9.0, 2.0])
+        bucket = Bucket(freqs)
+        assert bucket.sse == pytest.approx(bucket.count * freqs.var())
+
+    def test_univalued_detection(self):
+        assert Bucket([3.0, 3.0, 3.0]).is_univalued()
+        assert Bucket([3.0]).is_univalued()
+        assert not Bucket([3.0, 4.0]).is_univalued()
+
+    def test_univalued_has_zero_sse(self):
+        assert Bucket([5.0, 5.0]).sse == 0.0
+
+    def test_min_max(self):
+        bucket = Bucket([2.0, 9.0, 4.0])
+        assert bucket.min_frequency == 2.0
+        assert bucket.max_frequency == 9.0
+
+    def test_rounded_average(self):
+        assert Bucket([1.0, 2.0]).rounded_average() == 2.0  # 1.5 rounds to even
+        assert Bucket([1.0, 4.0]).rounded_average() == 2.0
+
+    def test_values_attached(self):
+        bucket = Bucket([1.0, 2.0], values=["a", "b"])
+        assert bucket.values == ("a", "b")
+
+    def test_values_alignment_enforced(self):
+        with pytest.raises(ValueError, match="align"):
+            Bucket([1.0, 2.0], values=["a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Bucket([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Bucket([1.0, -2.0])
+
+    def test_immutability(self):
+        bucket = Bucket([1.0, 2.0])
+        with pytest.raises(ValueError):
+            bucket.frequencies[0] = 9.0
+
+    def test_equality_order_insensitive(self):
+        assert Bucket([1.0, 2.0]) == Bucket([2.0, 1.0])
+
+    def test_len(self):
+        assert len(Bucket([1.0, 2.0, 3.0])) == 3
+
+
+class TestBucketsInterleave:
+    def test_disjoint_ranges_do_not_interleave(self):
+        low = Bucket([1.0, 2.0])
+        high = Bucket([5.0, 9.0])
+        assert not buckets_interleave(low, high)
+        assert not buckets_interleave(high, low)
+
+    def test_overlapping_ranges_interleave(self):
+        a = Bucket([1.0, 5.0])
+        b = Bucket([3.0, 9.0])
+        assert buckets_interleave(a, b)
+
+    def test_touching_boundaries_are_serial(self):
+        """Equal boundary frequencies satisfy Definition 2.1 (<=, not <)."""
+        a = Bucket([1.0, 3.0])
+        b = Bucket([3.0, 7.0])
+        assert not buckets_interleave(a, b)
+
+    def test_nested_ranges_interleave(self):
+        outer = Bucket([1.0, 9.0])
+        inner = Bucket([4.0, 5.0])
+        assert buckets_interleave(outer, inner)
+
+
+class TestPartitionSizes:
+    def test_sizes(self):
+        buckets = [Bucket([1.0]), Bucket([2.0, 3.0]), Bucket([4.0, 5.0, 6.0])]
+        assert partition_sizes(buckets) == (1, 2, 3)

@@ -1,0 +1,67 @@
+"""Tests for repro.core.construction — Matrix / JointMatrix."""
+
+import pytest
+
+from repro.core.construction import (
+    JointFrequencyRow,
+    joint_matrix_algorithm,
+    joint_table_result_size,
+    matrix_algorithm,
+    matrix_algorithm_2d,
+)
+
+
+class TestMatrixAlgorithm:
+    def test_counts(self):
+        dist = matrix_algorithm(["v1", "v2", "v1", "v1"])
+        assert dist.frequency_of("v1") == 3.0
+        assert dist.frequency_of("v2") == 1.0
+
+    def test_total_is_scan_length(self):
+        column = [1, 2, 3, 1, 2, 1]
+        assert matrix_algorithm(column).total == len(column)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_algorithm([])
+
+
+class TestMatrixAlgorithm2d:
+    def test_pair_counts(self):
+        matrix = matrix_algorithm_2d([("a", 1), ("a", 1), ("b", 2)])
+        assert matrix.total == 3.0
+        assert matrix.shape == (2, 2)
+
+    def test_frequency_set_matches(self):
+        matrix = matrix_algorithm_2d([("a", 1), ("a", 1), ("b", 2)])
+        assert sorted(matrix.frequency_set().frequencies.tolist()) == [0.0, 0.0, 1.0, 2.0]
+
+
+class TestJointMatrixAlgorithm:
+    def test_example_2_2_style(self):
+        """Two-way join on a shared attribute: joint table + size."""
+        left = ["v1"] * 20 + ["v2"] * 15
+        right = ["v1"] * 25 + ["v2"] * 3 + ["v3"] * 7
+        rows = joint_matrix_algorithm(left, right)
+        by_value = {r.value: r for r in rows}
+        assert set(by_value) == {"v1", "v2"}  # v3 has no left partner
+        assert by_value["v1"].frequency_left == 20.0
+        assert by_value["v1"].frequency_right == 25.0
+        assert joint_table_result_size(rows) == 20 * 25 + 15 * 3
+
+    def test_matches_bruteforce_join_count(self, rng):
+        left = list(rng.integers(0, 6, 50))
+        right = list(rng.integers(0, 6, 70))
+        rows = joint_matrix_algorithm(left, right)
+        brute = sum(1 for a in left for b in right if a == b)
+        assert joint_table_result_size(rows) == brute
+
+    def test_disjoint_columns_empty_table(self):
+        rows = joint_matrix_algorithm([1, 2], [3, 4])
+        assert rows == []
+        assert joint_table_result_size(rows) == 0.0
+
+    def test_row_type(self):
+        rows = joint_matrix_algorithm([1], [1])
+        assert isinstance(rows[0], JointFrequencyRow)
+        assert rows[0] == JointFrequencyRow(1, 1.0, 1.0)

@@ -1,0 +1,171 @@
+"""Tests for repro.core.frequency."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import AttributeDistribution, FrequencySet, as_frequency_array
+
+
+class TestAsFrequencyArray:
+    def test_list(self):
+        arr = as_frequency_array([1.0, 2.0])
+        assert isinstance(arr, np.ndarray)
+        assert arr.tolist() == [1.0, 2.0]
+
+    def test_copy_semantics(self):
+        source = np.array([1.0, 2.0])
+        arr = as_frequency_array(source)
+        arr[0] = 99
+        assert source[0] == 1.0
+
+    def test_frequency_set_unwrapped(self):
+        fset = FrequencySet([3.0, 1.0, 2.0])
+        arr = as_frequency_array(fset)
+        assert arr.tolist() == [3.0, 2.0, 1.0]
+
+    def test_distribution_unwrapped(self):
+        dist = AttributeDistribution(["a", "b"], [2.0, 5.0])
+        arr = as_frequency_array(dist)
+        assert sorted(arr.tolist()) == [2.0, 5.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_frequency_array([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_frequency_array([1.0, -1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_frequency_array([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_frequency_array([[1.0], [2.0]])
+
+
+class TestFrequencySet:
+    def test_sorted_descending(self):
+        fset = FrequencySet([1.0, 5.0, 3.0])
+        assert fset.frequencies.tolist() == [5.0, 3.0, 1.0]
+
+    def test_size_total_mean(self):
+        fset = FrequencySet([1.0, 5.0, 3.0])
+        assert fset.size == 3
+        assert fset.total == 9.0
+        assert fset.mean == 3.0
+
+    def test_variance(self):
+        fset = FrequencySet([2.0, 4.0])
+        assert fset.variance == pytest.approx(1.0)
+
+    def test_self_join_size(self):
+        fset = FrequencySet([3.0, 4.0])
+        assert fset.self_join_size() == 25.0
+
+    def test_from_column(self):
+        fset = FrequencySet.from_column(["x", "y", "x", "x", "z"])
+        assert fset.frequencies.tolist() == [3.0, 1.0, 1.0]
+
+    def test_from_column_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FrequencySet.from_column([])
+
+    def test_immutability(self):
+        fset = FrequencySet([1.0, 2.0])
+        with pytest.raises(ValueError):
+            fset.frequencies[0] = 7.0
+
+    def test_sorted_descending_copy_is_writable(self):
+        fset = FrequencySet([1.0, 2.0])
+        copy = fset.sorted_descending()
+        copy[0] = 7.0
+        assert fset.frequencies.max() == 2.0
+
+    def test_equality_ignores_input_order(self):
+        assert FrequencySet([1.0, 2.0]) == FrequencySet([2.0, 1.0])
+
+    def test_inequality(self):
+        assert FrequencySet([1.0, 2.0]) != FrequencySet([1.0, 3.0])
+
+    def test_hash_consistent(self):
+        assert hash(FrequencySet([1.0, 2.0])) == hash(FrequencySet([2.0, 1.0]))
+
+    def test_len_and_iter(self):
+        fset = FrequencySet([1.0, 2.0, 3.0])
+        assert len(fset) == 3
+        assert list(fset) == [3.0, 2.0, 1.0]
+
+    def test_repr_truncates(self):
+        fset = FrequencySet(range(1, 11))
+        assert "..." in repr(fset)
+
+
+class TestAttributeDistribution:
+    def test_values_sorted(self):
+        dist = AttributeDistribution(["c", "a", "b"], [1.0, 2.0, 3.0])
+        assert dist.values == ("a", "b", "c")
+        assert dist.frequencies.tolist() == [2.0, 3.0, 1.0]
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ValueError, match="distinct"):
+            AttributeDistribution(["a", "a"], [1.0, 2.0])
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="align"):
+            AttributeDistribution(["a"], [1.0, 2.0])
+
+    def test_from_column(self):
+        dist = AttributeDistribution.from_column([2, 1, 2, 2, 3])
+        assert dist.values == (1, 2, 3)
+        assert dist.frequencies.tolist() == [1.0, 3.0, 1.0]
+
+    def test_from_pairs(self):
+        dist = AttributeDistribution.from_pairs([("b", 2.0), ("a", 5.0)])
+        assert dist.frequency_of("a") == 5.0
+        assert dist.frequency_of("b") == 2.0
+
+    def test_frequency_of_missing_is_zero(self):
+        dist = AttributeDistribution(["a"], [4.0])
+        assert dist.frequency_of("zzz") == 0.0
+
+    def test_frequency_set_roundtrip(self):
+        dist = AttributeDistribution(["a", "b"], [4.0, 1.0])
+        assert dist.frequency_set() == FrequencySet([1.0, 4.0])
+
+    def test_self_join_size(self):
+        dist = AttributeDistribution(["a", "b"], [3.0, 4.0])
+        assert dist.self_join_size() == 25.0
+
+    def test_join_size_shared_domain(self):
+        left = AttributeDistribution(["a", "b"], [2.0, 3.0])
+        right = AttributeDistribution(["b", "c"], [5.0, 7.0])
+        # Only "b" is shared: 3 * 5.
+        assert left.join_size(right) == 15.0
+
+    def test_join_size_symmetric(self):
+        left = AttributeDistribution(["a", "b"], [2.0, 3.0])
+        right = AttributeDistribution(["a", "b"], [4.0, 5.0])
+        assert left.join_size(right) == right.join_size(left) == 23.0
+
+    def test_permuted_preserves_multiset(self, rng):
+        dist = AttributeDistribution(range(20), np.arange(1.0, 21.0))
+        shuffled = dist.permuted(rng)
+        assert shuffled.values == dist.values
+        assert sorted(shuffled.frequencies) == sorted(dist.frequencies)
+
+    def test_permuted_changes_association(self):
+        dist = AttributeDistribution(range(50), np.arange(1.0, 51.0))
+        shuffled = dist.permuted(np.random.default_rng(0))
+        assert not np.array_equal(shuffled.frequencies, dist.frequencies)
+
+    def test_permuted_self_join_invariant(self, rng):
+        """Self-join size is arrangement-independent (Σf²)."""
+        dist = AttributeDistribution(range(10), np.arange(1.0, 11.0))
+        assert dist.permuted(rng).self_join_size() == dist.self_join_size()
+
+    def test_total_and_len(self):
+        dist = AttributeDistribution(["a", "b"], [4.0, 1.0])
+        assert dist.total == 5.0
+        assert len(dist) == 2

@@ -1,0 +1,144 @@
+"""Tests for repro.core.heuristic — trivial, equi-width, equi-depth."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import AttributeDistribution, FrequencySet
+from repro.core.heuristic import equi_depth_histogram, equi_width_histogram, trivial_histogram
+from repro.data.zipf import zipf_frequencies
+
+
+class TestTrivialHistogram:
+    def test_single_bucket(self, tiny_distribution):
+        hist = trivial_histogram(tiny_distribution)
+        assert hist.bucket_count == 1
+        assert hist.is_trivial()
+
+    def test_uniform_assumption(self, tiny_distribution):
+        hist = trivial_histogram(tiny_distribution)
+        mean = tiny_distribution.frequencies.mean()
+        assert np.allclose(hist.approximate_frequencies(), mean)
+
+    def test_accepts_frequency_set(self, zipf_small):
+        hist = trivial_histogram(FrequencySet(zipf_small))
+        assert hist.bucket_count == 1
+
+    def test_accepts_plain_array(self, zipf_small):
+        assert trivial_histogram(zipf_small).bucket_count == 1
+
+    def test_zero_error_on_uniform(self):
+        hist = trivial_histogram([5.0, 5.0, 5.0])
+        assert hist.self_join_error() == 0.0
+
+
+class TestEquiWidth:
+    def test_bucket_count(self, tiny_distribution):
+        assert equi_width_histogram(tiny_distribution, 2).bucket_count == 2
+
+    def test_equal_value_counts(self):
+        dist = AttributeDistribution(range(12), np.arange(1.0, 13.0))
+        hist = equi_width_histogram(dist, 4)
+        assert [b.count for b in hist.buckets] == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_early_buckets(self):
+        dist = AttributeDistribution(range(10), np.arange(1.0, 11.0))
+        hist = equi_width_histogram(dist, 3)
+        assert [b.count for b in hist.buckets] == [4, 3, 3]
+
+    def test_buckets_are_value_ranges(self):
+        dist = AttributeDistribution(range(6), [9.0, 1.0, 8.0, 2.0, 7.0, 3.0])
+        hist = equi_width_histogram(dist, 3)
+        assert hist.buckets[0].values == (0, 1)
+        assert hist.buckets[1].values == (2, 3)
+        assert hist.buckets[2].values == (4, 5)
+
+    def test_value_order_not_frequency_order(self):
+        """Equi-width ignores frequencies entirely — the paper's critique."""
+        dist = AttributeDistribution(range(4), [100.0, 1.0, 100.0, 1.0])
+        hist = equi_width_histogram(dist, 2)
+        # Both buckets mix a high and a low frequency.
+        for bucket in hist.buckets:
+            assert bucket.max_frequency == 100.0 and bucket.min_frequency == 1.0
+
+    def test_beta_equals_m_is_exact(self, tiny_distribution):
+        hist = equi_width_histogram(tiny_distribution, 5)
+        assert hist.self_join_error() == 0.0
+
+    def test_too_many_buckets_rejected(self, tiny_distribution):
+        with pytest.raises(ValueError, match="cannot build"):
+            equi_width_histogram(tiny_distribution, 6)
+
+    def test_kind_label(self, tiny_distribution):
+        assert equi_width_histogram(tiny_distribution, 2).kind == "equi-width"
+
+
+class TestEquiDepth:
+    def test_bucket_count(self, tiny_distribution):
+        assert equi_depth_histogram(tiny_distribution, 3).bucket_count == 3
+
+    def test_balanced_mass(self):
+        """Bucket totals should be near T/β when frequencies allow it."""
+        freqs = np.full(100, 10.0)
+        dist = AttributeDistribution(range(100), freqs)
+        hist = equi_depth_histogram(dist, 5)
+        for bucket in hist.buckets:
+            assert bucket.total == pytest.approx(200.0)
+
+    def test_mass_balance_on_zipf(self, rng):
+        freqs = rng.permutation(zipf_frequencies(1000, 100, 1.0))
+        dist = AttributeDistribution(range(100), freqs)
+        hist = equi_depth_histogram(dist, 4)
+        totals = [b.total for b in hist.buckets]
+        # Each bucket within one max-frequency of the target depth.
+        target = 250.0
+        for total in totals:
+            assert abs(total - target) <= freqs.max() + 1e-9
+
+    def test_buckets_are_contiguous_value_ranges(self):
+        dist = AttributeDistribution(range(8), [5.0, 1.0, 1.0, 5.0, 1.0, 1.0, 5.0, 1.0])
+        hist = equi_depth_histogram(dist, 4)
+        flat = [v for bucket in hist.buckets for v in bucket.values]
+        assert flat == list(range(8))
+
+    def test_all_buckets_non_empty(self, rng):
+        """A single huge frequency must not starve later buckets."""
+        freqs = np.array([1000.0] + [1.0] * 9)
+        dist = AttributeDistribution(range(10), freqs)
+        hist = equi_depth_histogram(dist, 5)
+        assert hist.bucket_count == 5
+        assert all(b.count >= 1 for b in hist.buckets)
+
+    def test_skew_at_end(self):
+        freqs = np.array([1.0] * 9 + [1000.0])
+        dist = AttributeDistribution(range(10), freqs)
+        hist = equi_depth_histogram(dist, 3)
+        assert hist.bucket_count == 3
+        assert sum(b.count for b in hist.buckets) == 10
+
+    def test_beta_equals_m(self, tiny_distribution):
+        hist = equi_depth_histogram(tiny_distribution, 5)
+        assert hist.bucket_count == 5
+        assert hist.self_join_error() == 0.0
+
+    def test_too_many_buckets_rejected(self, tiny_distribution):
+        with pytest.raises(ValueError):
+            equi_depth_histogram(tiny_distribution, 6)
+
+    def test_kind_label(self, tiny_distribution):
+        assert equi_depth_histogram(tiny_distribution, 2).kind == "equi-depth"
+
+    def test_beats_equi_width_on_skew_in_aggregate(self, rng):
+        """Piatetsky-Shapiro & Connell's finding, which the paper verifies.
+
+        Individual arrangements are noisy, so compare the RMS self-join
+        error over many random value↔frequency associations (the σ the
+        figures plot).
+        """
+        freqs = zipf_frequencies(1000, 100, 1.5)
+        trials = 60
+        depth_sq = width_sq = 0.0
+        for _ in range(trials):
+            dist = AttributeDistribution(range(100), rng.permutation(freqs))
+            depth_sq += equi_depth_histogram(dist, 5).self_join_error() ** 2
+            width_sq += equi_width_histogram(dist, 5).self_join_error() ** 2
+        assert depth_sq < width_sq

@@ -1,0 +1,233 @@
+"""Tests for repro.core.histogram — the taxonomy of Sections 2.3-2.4."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import Histogram
+
+
+def make(freqs, groups, **kwargs):
+    return Histogram(freqs, groups, **kwargs)
+
+
+class TestConstruction:
+    def test_partition_enforced(self, tiny_frequencies):
+        with pytest.raises(ValueError, match="partition"):
+            make(tiny_frequencies, [(0, 1), (1, 2, 3, 4)])  # index 1 repeated
+
+    def test_missing_index_rejected(self, tiny_frequencies):
+        with pytest.raises(ValueError, match="partition"):
+            make(tiny_frequencies, [(0, 1), (2, 3)])
+
+    def test_empty_bucket_rejected(self, tiny_frequencies):
+        with pytest.raises(ValueError):
+            make(tiny_frequencies, [(), (0, 1, 2, 3, 4)])
+
+    def test_no_buckets_rejected(self, tiny_frequencies):
+        with pytest.raises(ValueError, match="at least one"):
+            make(tiny_frequencies, [])
+
+    def test_values_aligned(self, tiny_frequencies):
+        hist = make(
+            tiny_frequencies,
+            [(0, 1), (2, 3, 4)],
+            values=["a", "b", "c", "d", "e"],
+        )
+        assert hist.buckets[0].values == ("a", "b")
+
+    def test_values_misalignment_rejected(self, tiny_frequencies):
+        with pytest.raises(ValueError, match="align"):
+            make(tiny_frequencies, [(0, 1, 2, 3, 4)], values=["a"])
+
+    def test_from_sorted_sizes_groups_by_rank(self):
+        # Reference order is scrambled; sizes carve the *sorted* order.
+        freqs = [2.0, 9.0, 1.0, 7.0, 4.0]
+        hist = Histogram.from_sorted_sizes(freqs, (2, 3))
+        first = sorted(hist.buckets[0].frequencies.tolist())
+        assert first == [7.0, 9.0]
+
+    def test_from_sorted_sizes_validates_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            Histogram.from_sorted_sizes([1.0, 2.0, 3.0], (2, 2))
+
+    def test_from_sorted_sizes_rejects_zero_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            Histogram.from_sorted_sizes([1.0, 2.0], (2, 0))
+
+    def test_single_bucket(self, tiny_frequencies):
+        hist = Histogram.single_bucket(tiny_frequencies)
+        assert hist.bucket_count == 1
+        assert hist.is_trivial()
+        assert hist.kind == "trivial"
+
+
+class TestClassification:
+    def test_serial_detection(self):
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        serial = make(freqs, [(0, 1), (2,), (3, 4)])
+        assert serial.is_serial()
+
+    def test_non_serial_detection(self):
+        """The paper's Figure 2(b) histogram interleaves: not serial."""
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        interleaved = make(freqs, [(0, 2), (1, 3, 4)])  # {9,4} vs {7,2,1}
+        assert not interleaved.is_serial()
+
+    def test_trivial_is_serial(self, tiny_frequencies):
+        assert Histogram.single_bucket(tiny_frequencies).is_serial()
+
+    def test_biased_detection(self):
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        biased = make(freqs, [(0,), (2,), (1, 3, 4)])
+        assert biased.is_biased()
+
+    def test_not_biased_with_two_multivalued(self):
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        hist = make(freqs, [(0, 1), (2, 3), (4,)])
+        assert not hist.is_biased()
+
+    def test_end_biased_true(self):
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        hist = make(freqs, [(0,), (4,), (1, 2, 3)])  # highest + lowest singled out
+        assert hist.is_end_biased()
+        assert hist.is_serial()
+
+    def test_biased_but_not_end_biased(self):
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        hist = make(freqs, [(2,), (0, 1, 3, 4)])  # middle value singled out
+        assert hist.is_biased()
+        assert not hist.is_end_biased()
+
+    def test_end_biased_implies_serial(self):
+        """Definition 2.2's remark: end-biased histograms are serial."""
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        for groups in ([(0,), (1, 2, 3, 4)], [(4,), (0, 1, 2, 3)], [(0,), (4,), (1, 2, 3)]):
+            hist = make(freqs, groups)
+            if hist.is_end_biased():
+                assert hist.is_serial()
+
+    def test_univalued_multibucket_counts_as_end_biased(self):
+        """All-exact histograms degenerate to end-biased (zero error)."""
+        freqs = [5.0, 5.0, 3.0]
+        hist = make(freqs, [(0, 1), (2,)])
+        assert hist.is_end_biased()
+
+    def test_tied_boundary_end_biased(self):
+        freqs = [9.0, 9.0, 4.0, 1.0]
+        hist = make(freqs, [(0,), (1, 2, 3)])
+        assert hist.is_end_biased()
+
+
+class TestApproximation:
+    def test_approximate_frequencies(self):
+        freqs = [9.0, 7.0, 4.0, 2.0]
+        hist = make(freqs, [(0, 1), (2, 3)])
+        assert hist.approximate_frequencies().tolist() == [8.0, 8.0, 3.0, 3.0]
+
+    def test_rounded_approximation(self):
+        freqs = [2.0, 1.0]
+        hist = make(freqs, [(0, 1)])
+        assert hist.approximate_frequencies(rounded=True).tolist() == [2.0, 2.0]
+
+    def test_totals_preserved(self, zipf_medium):
+        hist = Histogram.from_sorted_sizes(zipf_medium, (10, 40, 50))
+        assert hist.approximate_frequencies().sum() == pytest.approx(zipf_medium.sum())
+
+    def test_approximate_distribution(self):
+        hist = make([4.0, 2.0], [(0, 1)], values=["a", "b"])
+        dist = hist.approximate_distribution()
+        assert dist.frequency_of("a") == 3.0
+        assert dist.frequency_of("b") == 3.0
+
+    def test_approximate_distribution_requires_values(self, tiny_frequencies):
+        hist = Histogram.single_bucket(tiny_frequencies)
+        with pytest.raises(ValueError, match="no values"):
+            hist.approximate_distribution()
+
+    def test_approx_of_value(self):
+        hist = make([9.0, 4.0, 2.0], [(0,), (1, 2)], values=["a", "b", "c"])
+        assert hist.approx_of_value("a") == 9.0
+        assert hist.approx_of_value("b") == 3.0
+        assert hist.approx_of_value("unknown") == 0.0
+
+    def test_approximate_array_permutation(self, rng):
+        freqs = np.array([9.0, 7.0, 4.0, 2.0, 1.0])
+        hist = Histogram.from_sorted_sizes(freqs, (2, 3))
+        shuffled = rng.permutation(freqs)
+        approx = hist.approximate_array(shuffled)
+        # Rank mapping: the two largest entries get the top-bucket mean.
+        top_mean = (9.0 + 7.0) / 2
+        bottom_mean = (4.0 + 2.0 + 1.0) / 3
+        for original, approximated in zip(shuffled, approx):
+            expected = top_mean if original >= 7.0 else bottom_mean
+            assert approximated == pytest.approx(expected)
+
+    def test_approximate_array_preserves_shape(self):
+        freqs = np.arange(1.0, 13.0)
+        hist = Histogram.from_sorted_sizes(freqs, (4, 8))
+        matrix = freqs.reshape(3, 4)
+        assert hist.approximate_array(matrix).shape == (3, 4)
+
+    def test_approximate_array_rejects_foreign_multiset(self, tiny_frequencies):
+        hist = Histogram.single_bucket(tiny_frequencies)
+        with pytest.raises(ValueError, match="multiset"):
+            hist.approximate_array([1.0, 2.0, 3.0, 4.0, 100.0])
+
+
+class TestPropositionFormulas:
+    def test_self_join_estimate_formula(self):
+        """Formula (2): S' = Σ T_i² / p_i."""
+        freqs = [9.0, 7.0, 4.0, 2.0]
+        hist = make(freqs, [(0, 1), (2, 3)])
+        assert hist.self_join_estimate() == pytest.approx(16.0**2 / 2 + 6.0**2 / 2)
+
+    def test_self_join_error_formula(self):
+        """Formula (3): S − S' = Σ p_i · v_i."""
+        freqs = np.array([9.0, 7.0, 4.0, 2.0])
+        hist = make(freqs, [(0, 1), (2, 3)])
+        exact = float(np.dot(freqs, freqs))
+        assert hist.self_join_error() == pytest.approx(exact - hist.self_join_estimate())
+
+    def test_error_consistency_any_partition(self, zipf_small):
+        """S − S' = Σ p·v holds for arbitrary (non-serial) partitions too."""
+        hist = make(zipf_small, [(0, 5, 9), (1, 2), (3, 4, 6, 7, 8)])
+        exact = float(np.dot(zipf_small, zipf_small))
+        approx = hist.approximate_frequencies()
+        assert hist.self_join_error() == pytest.approx(exact - float(np.dot(approx, approx)))
+
+    def test_perfect_histogram_zero_error(self, tiny_frequencies):
+        hist = make(tiny_frequencies, [(i,) for i in range(5)])
+        assert hist.self_join_error() == 0.0
+        assert hist.self_join_estimate() == pytest.approx(
+            float(np.dot(tiny_frequencies, tiny_frequencies))
+        )
+
+    def test_error_non_negative(self, zipf_medium, rng):
+        """Jensen: bucketing can only under-estimate a self-join."""
+        for _ in range(10):
+            groups = np.array_split(rng.permutation(100), 5)
+            hist = make(zipf_medium, [tuple(g) for g in groups])
+            assert hist.self_join_error() >= -1e-9
+
+
+class TestStorage:
+    def test_storage_entries_counts_all_but_largest(self):
+        freqs = [9.0, 7.0, 4.0, 2.0, 1.0]
+        hist = make(freqs, [(0,), (1,), (2, 3, 4)])
+        # Two singletons explicit + 1 slot for the implicit bucket's average.
+        assert hist.storage_entries() == 3
+
+    def test_trivial_storage_is_one(self, tiny_frequencies):
+        assert Histogram.single_bucket(tiny_frequencies).storage_entries() == 1
+
+
+class TestEquality:
+    def test_equal_group_order_irrelevant(self, tiny_frequencies):
+        a = make(tiny_frequencies, [(0, 1), (2, 3, 4)])
+        b = make(tiny_frequencies, [(2, 3, 4), (1, 0)])
+        assert a == b
+
+    def test_different_partitions_differ(self, tiny_frequencies):
+        a = make(tiny_frequencies, [(0, 1), (2, 3, 4)])
+        b = make(tiny_frequencies, [(0, 1, 2), (3, 4)])
+        assert a != b

@@ -1,0 +1,176 @@
+"""Tests for repro.core.inequality — Section 6 operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import AttributeDistribution
+from repro.core.histogram import Histogram
+from repro.core.inequality import (
+    estimate_band_join,
+    estimate_not_equals_join,
+    estimate_range_join,
+    not_equals_estimation_error,
+    not_equals_join_size,
+    not_equals_selection_size,
+    range_join_size,
+)
+from repro.data.zipf import zipf_frequencies
+
+
+@pytest.fixture
+def left_dist():
+    return AttributeDistribution([1, 2, 3, 4], [10.0, 5.0, 3.0, 2.0])
+
+
+@pytest.fixture
+def right_dist():
+    return AttributeDistribution([2, 3, 4, 5], [4.0, 6.0, 1.0, 9.0])
+
+
+def brute_force_join(left, right, predicate):
+    total = 0.0
+    for u in left.values:
+        for v in right.values:
+            if predicate(u, v):
+                total += left.frequency_of(u) * right.frequency_of(v)
+    return total
+
+
+class TestExactSizes:
+    def test_not_equals_selection(self, left_dist):
+        assert not_equals_selection_size(left_dist, 1) == 10.0
+        assert not_equals_selection_size(left_dist, 99) == 20.0
+
+    def test_not_equals_join(self, left_dist, right_dist):
+        expected = brute_force_join(left_dist, right_dist, lambda u, v: u != v)
+        assert not_equals_join_size(left_dist, right_dist) == pytest.approx(expected)
+
+    def test_not_equals_is_complement(self, left_dist, right_dist):
+        eq = left_dist.join_size(right_dist)
+        ne = not_equals_join_size(left_dist, right_dist)
+        assert eq + ne == pytest.approx(left_dist.total * right_dist.total)
+
+    @pytest.mark.parametrize("operator,predicate", [
+        ("<", lambda u, v: u < v),
+        ("<=", lambda u, v: u <= v),
+        (">", lambda u, v: u > v),
+        (">=", lambda u, v: u >= v),
+    ])
+    def test_range_join_matches_bruteforce(self, left_dist, right_dist, operator, predicate):
+        expected = brute_force_join(left_dist, right_dist, predicate)
+        assert range_join_size(left_dist, right_dist, operator) == pytest.approx(expected)
+
+    def test_range_join_partition(self, left_dist, right_dist):
+        """<, =, > partition the Cartesian product."""
+        lt = range_join_size(left_dist, right_dist, "<")
+        gt = range_join_size(left_dist, right_dist, ">")
+        eq = left_dist.join_size(right_dist)
+        assert lt + gt + eq == pytest.approx(left_dist.total * right_dist.total)
+
+    def test_unknown_operator(self, left_dist, right_dist):
+        with pytest.raises(ValueError, match="operator"):
+            range_join_size(left_dist, right_dist, "!=")
+
+
+class TestHistogramEstimates:
+    def _hists(self, left, right, beta=3):
+        h_left = v_opt_bias_hist(left.frequencies, beta, values=left.values)
+        h_right = v_opt_bias_hist(right.frequencies, beta, values=right.values)
+        return h_left, h_right
+
+    def test_perfect_histograms_exact_everywhere(self, left_dist, right_dist):
+        h_left = Histogram.from_sorted_sizes(
+            left_dist.frequencies, (1,) * 4, values=left_dist.values
+        )
+        h_right = Histogram.from_sorted_sizes(
+            right_dist.frequencies, (1,) * 4, values=right_dist.values
+        )
+        assert estimate_not_equals_join(h_left, h_right) == pytest.approx(
+            not_equals_join_size(left_dist, right_dist)
+        )
+        assert estimate_range_join(h_left, h_right, "<") == pytest.approx(
+            range_join_size(left_dist, right_dist, "<")
+        )
+
+    def test_not_equals_error_is_negated_equality_error(self, left_dist, right_dist):
+        """Section 6: ≠ is the complement, so errors negate exactly."""
+        h_left, h_right = self._hists(left_dist, right_dist)
+        eq_error = left_dist.join_size(right_dist) - (
+            h_left.approximate_distribution().join_size(
+                h_right.approximate_distribution()
+            )
+        )
+        ne_error = not_equals_estimation_error(left_dist, right_dist, h_left, h_right)
+        assert ne_error == pytest.approx(-eq_error)
+
+    def test_serial_optimality_transfers_to_not_equals(self):
+        """v-error for ≠ equals the v-error for = (complement argument), so
+        the self-join-optimal histogram remains v-optimal — checked by
+        exhaustive enumeration of relative permutations."""
+        from itertools import permutations
+
+        a = zipf_frequencies(40, 5, 1.5)
+        b = zipf_frequencies(60, 5, 0.5)
+        values = list(range(5))
+
+        def v_errors(hist_a, hist_b):
+            a_app = hist_a.approximate_array(a)
+            b_app = hist_b.approximate_array(b)
+            eq_sq, ne_sq = 0.0, 0.0
+            count = 0
+            for tau in permutations(range(5)):
+                s_eq = sum(a[i] * b[tau[i]] for i in range(5))
+                s_eq_hat = sum(a_app[i] * b_app[tau[i]] for i in range(5))
+                total = a.sum() * b.sum()
+                s_ne, s_ne_hat = total - s_eq, total - s_eq_hat
+                eq_sq += (s_eq - s_eq_hat) ** 2
+                ne_sq += (s_ne - s_ne_hat) ** 2
+                count += 1
+            return eq_sq / count, ne_sq / count
+
+        h_a = v_opt_bias_hist(a, 2)
+        h_b = v_opt_bias_hist(b, 2)
+        eq_v, ne_v = v_errors(h_a, h_b)
+        assert eq_v == pytest.approx(ne_v)
+
+    def test_band_join_zero_band_is_equality(self, left_dist, right_dist):
+        h_left = Histogram.from_sorted_sizes(
+            left_dist.frequencies, (1,) * 4, values=left_dist.values
+        )
+        h_right = Histogram.from_sorted_sizes(
+            right_dist.frequencies, (1,) * 4, values=right_dist.values
+        )
+        band = estimate_band_join(h_left, h_right, 0, 0)
+        assert band == pytest.approx(left_dist.join_size(right_dist))
+
+    def test_band_join_wide_band_is_product(self, left_dist, right_dist):
+        h_left = Histogram.from_sorted_sizes(
+            left_dist.frequencies, (1,) * 4, values=left_dist.values
+        )
+        h_right = Histogram.from_sorted_sizes(
+            right_dist.frequencies, (1,) * 4, values=right_dist.values
+        )
+        band = estimate_band_join(h_left, h_right, -100, 100)
+        assert band == pytest.approx(left_dist.total * right_dist.total)
+
+    def test_band_join_reversed_bounds(self, left_dist, right_dist):
+        h_left, h_right = self._hists(left_dist, right_dist)
+        with pytest.raises(ValueError, match="reversed"):
+            estimate_band_join(h_left, h_right, 5, 1)
+
+    def test_requires_value_aware(self):
+        bare = Histogram.single_bucket([1.0, 2.0])
+        with pytest.raises(ValueError, match="value-aware"):
+            estimate_not_equals_join(bare, bare)
+
+    def test_estimates_track_truth_on_zipf(self, rng):
+        freqs_a = zipf_frequencies(500, 20, 1.2)
+        freqs_b = zipf_frequencies(400, 20, 0.8)
+        dist_a = AttributeDistribution(range(20), rng.permutation(freqs_a))
+        dist_b = AttributeDistribution(range(20), rng.permutation(freqs_b))
+        h_a = v_opt_bias_hist(dist_a.frequencies, 6, values=dist_a.values)
+        h_b = v_opt_bias_hist(dist_b.frequencies, 6, values=dist_b.values)
+        exact = range_join_size(dist_a, dist_b, "<")
+        estimate = estimate_range_join(h_a, h_b, "<")
+        assert estimate == pytest.approx(exact, rel=0.2)

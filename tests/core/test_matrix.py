@@ -1,0 +1,175 @@
+"""Tests for repro.core.matrix — Theorem 2.1 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencySet
+from repro.core.matrix import (
+    FrequencyMatrix,
+    arrange_frequency_set,
+    chain_result_size,
+    selection_vector,
+)
+
+
+class TestFrequencyMatrix:
+    def test_basic_construction(self, worksfor_matrix):
+        matrix = FrequencyMatrix(worksfor_matrix)
+        assert matrix.shape == (4, 5)
+        assert matrix.total == pytest.approx(worksfor_matrix.sum())
+
+    def test_labels(self):
+        matrix = FrequencyMatrix(
+            [[1.0, 2.0]], row_values=None, col_values=["x", "y"]
+        )
+        assert matrix.col_values == ("x", "y")
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError, match="row_values"):
+            FrequencyMatrix([[1.0], [2.0]], row_values=["only-one-label-for-two-rows"])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            FrequencyMatrix([[1.0, 2.0]], col_values=["x", "x"])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FrequencyMatrix([[1.0, -2.0]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="row_vector"):
+            FrequencyMatrix([1.0, 2.0])
+
+    def test_row_vector(self):
+        vec = FrequencyMatrix.row_vector([3.0, 4.0], values=["a", "b"])
+        assert vec.shape == (1, 2)
+        assert vec.col_values == ("a", "b")
+
+    def test_column_vector(self):
+        vec = FrequencyMatrix.column_vector([3.0, 4.0])
+        assert vec.shape == (2, 1)
+
+    def test_from_joint_counts(self):
+        pairs = [("toy", 1990), ("toy", 1990), ("shoe", 1991)]
+        matrix = FrequencyMatrix.from_joint_counts(pairs)
+        assert matrix.row_values == ("shoe", "toy")
+        assert matrix.col_values == (1990, 1991)
+        assert matrix.array[1, 0] == 2.0  # (toy, 1990)
+        assert matrix.array[0, 1] == 1.0  # (shoe, 1991)
+        assert matrix.array[0, 0] == 0.0
+
+    def test_frequency_set_flattens(self, worksfor_matrix):
+        matrix = FrequencyMatrix(worksfor_matrix)
+        assert matrix.frequency_set() == FrequencySet(worksfor_matrix.ravel())
+
+    def test_transpose(self):
+        matrix = FrequencyMatrix([[1.0, 2.0], [3.0, 4.0]], row_values=["r1", "r2"], col_values=["c1", "c2"])
+        transposed = matrix.transpose()
+        assert transposed.row_values == ("c1", "c2")
+        assert np.array_equal(transposed.array, matrix.array.T)
+
+    def test_immutability(self):
+        matrix = FrequencyMatrix([[1.0]])
+        with pytest.raises(ValueError):
+            matrix.array[0, 0] = 9.0
+
+    def test_equality(self):
+        assert FrequencyMatrix([[1.0, 2.0]]) == FrequencyMatrix([[1.0, 2.0]])
+        assert FrequencyMatrix([[1.0, 2.0]]) != FrequencyMatrix([[2.0, 1.0]])
+
+
+class TestChainResultSize:
+    def test_two_way_join(self):
+        """Two vectors over a shared domain: S = Σ a_i b_i."""
+        left = FrequencyMatrix.row_vector([20.0, 15.0])
+        right = FrequencyMatrix.column_vector([25.0, 3.0])
+        assert chain_result_size([left, right]) == 20 * 25 + 15 * 3
+
+    def test_three_relation_chain(self):
+        """A worked Example-2.2-style chain (paper's figure is OCR-garbled,
+        so the expected value is computed by hand)."""
+        r0 = FrequencyMatrix.row_vector([20.0, 15.0])
+        r1 = FrequencyMatrix([[25.0, 10.0, 0.0], [0.0, 5.0, 3.0]])
+        r2 = FrequencyMatrix.column_vector([21.0, 16.0, 5.0])
+        expected = 20 * (25 * 21 + 10 * 16) + 15 * (5 * 16 + 3 * 5)
+        assert chain_result_size([r0, r1, r2]) == expected
+
+    def test_self_join_equivalence(self, zipf_small):
+        """A diagonal interior matrix encodes a self-join: S = Σ f²."""
+        vec = FrequencyMatrix.row_vector(np.ones_like(zipf_small))
+        diag = FrequencyMatrix(np.diag(zipf_small) @ np.diag(zipf_small))
+        ones = FrequencyMatrix.column_vector(np.ones_like(zipf_small))
+        assert chain_result_size([vec, diag, ones]) == pytest.approx(
+            float(np.dot(zipf_small, zipf_small))
+        )
+
+    def test_accepts_plain_arrays(self):
+        assert chain_result_size([np.array([[2.0, 3.0]]), np.array([[4.0], [5.0]])]) == 23.0
+
+    def test_rejects_bad_first_shape(self):
+        with pytest.raises(ValueError, match="single row"):
+            chain_result_size([np.ones((2, 2)), np.ones((2, 1))])
+
+    def test_rejects_bad_last_shape(self):
+        with pytest.raises(ValueError, match="single column"):
+            chain_result_size([np.ones((1, 2)), np.ones((2, 2))])
+
+    def test_rejects_domain_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            chain_result_size([np.ones((1, 2)), np.ones((3, 1))])
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError, match="at least one"):
+            chain_result_size([])
+
+    def test_scalar_single_relation(self):
+        assert chain_result_size([np.array([[7.0]])]) == 7.0
+
+
+class TestArrangeFrequencySet:
+    def test_multiset_preserved(self, zipf_small, rng):
+        matrix = arrange_frequency_set(zipf_small, (2, 5), rng)
+        assert sorted(matrix.array.ravel()) == sorted(zipf_small)
+
+    def test_shape(self, zipf_small, rng):
+        assert arrange_frequency_set(zipf_small, (5, 2), rng).shape == (5, 2)
+
+    def test_deterministic_with_seed(self, zipf_small):
+        a = arrange_frequency_set(zipf_small, (2, 5), 11)
+        b = arrange_frequency_set(zipf_small, (2, 5), 11)
+        assert a == b
+
+    def test_size_mismatch_rejected(self, zipf_small):
+        with pytest.raises(ValueError, match="cannot arrange"):
+            arrange_frequency_set(zipf_small, (3, 4))
+
+    def test_arrangements_vary(self, zipf_small):
+        gen = np.random.default_rng(0)
+        a = arrange_frequency_set(zipf_small, (2, 5), gen)
+        b = arrange_frequency_set(zipf_small, (2, 5), gen)
+        assert a != b
+
+
+class TestSelectionVector:
+    def test_indicator(self):
+        vec = selection_vector(["u1", "u2", "u3"], {"u1", "u3"})
+        assert vec.array.ravel().tolist() == [1.0, 0.0, 1.0]
+        assert vec.shape == (3, 1)
+
+    def test_row_orientation(self):
+        vec = selection_vector(["u1", "u2"], {"u2"}, column=False)
+        assert vec.shape == (1, 2)
+
+    def test_selection_size_via_chain(self):
+        """Example 2.2: the 0/1 transpose vector computes the selection size."""
+        relation = FrequencyMatrix.row_vector([25.0, 10.0, 3.0], values=["u1", "u2", "u3"])
+        selector = selection_vector(["u1", "u2", "u3"], {"u1", "u3"})
+        assert chain_result_size([relation, selector]) == 28.0
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError, match="not in domain"):
+            selection_vector(["a"], {"b"})
+
+    def test_empty_selection(self):
+        vec = selection_vector(["a", "b"], set())
+        assert vec.array.sum() == 0.0

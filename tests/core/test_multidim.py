@@ -1,0 +1,155 @@
+"""Tests for repro.core.multidim — grid histograms and independence."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import FrequencyMatrix
+from repro.core.multidim import (
+    GridHistogram,
+    RectBucket,
+    independence_estimate,
+    independence_matrix,
+)
+
+
+@pytest.fixture
+def correlated_matrix():
+    """A diagonal-heavy matrix: strong correlation between the attributes."""
+    array = np.full((6, 6), 1.0)
+    np.fill_diagonal(array, 50.0)
+    return FrequencyMatrix(array)
+
+
+@pytest.fixture
+def independent_matrix(rng):
+    """A rank-1 (outer product) matrix: attributes exactly independent."""
+    rows = rng.uniform(1, 10, size=5)
+    cols = rng.uniform(1, 10, size=4)
+    return FrequencyMatrix(np.outer(rows, cols))
+
+
+class TestRectBucket:
+    def test_stats(self):
+        bucket = RectBucket(0, 2, 0, 3, total=12.0)
+        assert bucket.cells == 6
+        assert bucket.average == 2.0
+
+    def test_contains(self):
+        bucket = RectBucket(1, 3, 2, 4, total=1.0)
+        assert bucket.contains(1, 2)
+        assert bucket.contains(2, 3)
+        assert not bucket.contains(3, 2)
+        assert not bucket.contains(1, 4)
+
+    def test_overlap_fraction(self):
+        bucket = RectBucket(0, 4, 0, 4, total=16.0)
+        assert bucket.overlap_fraction(0, 2, 0, 2) == pytest.approx(0.25)
+        assert bucket.overlap_fraction(0, 4, 0, 4) == 1.0
+        assert bucket.overlap_fraction(4, 8, 0, 4) == 0.0
+
+
+class TestGridHistogram:
+    def test_bucket_count_bounded(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 8)
+        assert 1 <= hist.bucket_count <= 8
+
+    def test_buckets_partition_grid(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 7)
+        coverage = np.zeros(correlated_matrix.shape, dtype=int)
+        for bucket in hist.buckets:
+            coverage[bucket.row_start : bucket.row_stop, bucket.col_start : bucket.col_stop] += 1
+        assert np.all(coverage == 1)
+
+    def test_total_preserved(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 6)
+        assert hist.total == pytest.approx(correlated_matrix.total)
+
+    def test_more_buckets_lower_sse(self, correlated_matrix):
+        sses = [
+            GridHistogram.build(correlated_matrix, beta).sse()
+            for beta in (1, 2, 4, 8, 16)
+        ]
+        for earlier, later in zip(sses, sses[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_exact_when_buckets_cover_cells(self):
+        matrix = FrequencyMatrix([[1.0, 9.0], [4.0, 2.0]])
+        hist = GridHistogram.build(matrix, 4)
+        assert hist.sse() == pytest.approx(0.0)
+
+    def test_uniform_matrix_single_bucket_exact(self):
+        matrix = FrequencyMatrix(np.full((5, 5), 3.0))
+        hist = GridHistogram.build(matrix, 10)
+        assert hist.sse() == pytest.approx(0.0)
+        assert hist.bucket_count == 1  # no split needed: SSE already zero
+
+    def test_estimate_cell(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 12)
+        for (i, j) in [(0, 0), (3, 3), (1, 4)]:
+            bucket = next(b for b in hist.buckets if b.contains(i, j))
+            assert hist.estimate_cell(i, j) == pytest.approx(bucket.average)
+
+    def test_estimate_cell_out_of_range(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 4)
+        with pytest.raises(IndexError):
+            hist.estimate_cell(99, 0)
+
+    def test_estimate_region_full_grid(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 5)
+        assert hist.estimate_region(0, 6, 0, 6) == pytest.approx(correlated_matrix.total)
+
+    def test_estimate_region_empty(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 5)
+        assert hist.estimate_region(2, 2, 0, 6) == 0.0
+
+    def test_region_estimate_tracks_truth(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 16)
+        truth = float(correlated_matrix.array[0:3, 0:3].sum())
+        estimate = hist.estimate_region(0, 3, 0, 3)
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_approximate_matrix_shape(self, correlated_matrix):
+        hist = GridHistogram.build(correlated_matrix, 6)
+        assert hist.approximate_matrix().shape == correlated_matrix.shape
+
+
+class TestIndependence:
+    def test_exact_on_rank_one(self, independent_matrix):
+        for i in range(independent_matrix.shape[0]):
+            for j in range(independent_matrix.shape[1]):
+                assert independence_estimate(independent_matrix, i, j) == pytest.approx(
+                    float(independent_matrix.array[i, j])
+                )
+
+    def test_marginals(self, independent_matrix):
+        assert independence_estimate(independent_matrix, row=0) == pytest.approx(
+            float(independent_matrix.array[0, :].sum())
+        )
+        assert independence_estimate(independent_matrix, col=1) == pytest.approx(
+            float(independent_matrix.array[:, 1].sum())
+        )
+
+    def test_total(self, independent_matrix):
+        assert independence_estimate(independent_matrix) == pytest.approx(
+            independent_matrix.total
+        )
+
+    def test_fails_on_correlation(self, correlated_matrix):
+        """The diagonal is badly underestimated under independence."""
+        truth = float(correlated_matrix.array[0, 0])
+        estimate = independence_estimate(correlated_matrix, 0, 0)
+        assert estimate < truth / 3
+
+    def test_independence_matrix_preserves_marginals(self, correlated_matrix):
+        approx = independence_matrix(correlated_matrix)
+        assert np.allclose(approx.sum(axis=1), correlated_matrix.array.sum(axis=1))
+        assert np.allclose(approx.sum(axis=0), correlated_matrix.array.sum(axis=0))
+
+    def test_grid_beats_independence_on_correlated(self, correlated_matrix):
+        """The point of multi-dimensional histograms (Muralikrishna-DeWitt)."""
+        hist = GridHistogram.build(correlated_matrix, 12)
+        grid_sse = hist.sse()
+        indep_sse = float(
+            ((correlated_matrix.array - independence_matrix(correlated_matrix)) ** 2).sum()
+        )
+        assert grid_sse < indep_sse

@@ -1,0 +1,167 @@
+"""Tests for repro.core.optimality — the Section 3 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import AttributeDistribution
+from repro.core.heuristic import equi_depth_histogram, trivial_histogram
+from repro.core.histogram import Histogram
+from repro.core.optimality import (
+    analytic_v_error_two_way,
+    approximate_self_join_size,
+    exact_expected_difference_two_way,
+    exact_v_error_two_way,
+    monte_carlo_v_error_two_way,
+    self_join_error,
+    self_join_sigma,
+    self_join_size,
+)
+from repro.core.serial import v_opt_hist_exhaustive
+from repro.data.zipf import zipf_frequencies
+
+
+class TestSelfJoinFormulas:
+    def test_self_join_size(self):
+        assert self_join_size([3.0, 4.0]) == 25.0
+
+    def test_estimate_matches_formula_two(self, zipf_small):
+        hist = v_opt_hist_exhaustive(zipf_small, 3)
+        assert approximate_self_join_size(hist) == pytest.approx(hist.self_join_estimate())
+
+    def test_error_matches_formula_three(self, zipf_small):
+        hist = v_opt_hist_exhaustive(zipf_small, 3)
+        expected = self_join_size(zipf_small) - hist.self_join_estimate()
+        assert self_join_error(hist) == pytest.approx(expected)
+
+    def test_rounded_estimate_differs(self):
+        hist = Histogram.from_sorted_sizes([10.0, 3.0, 2.0], (1, 2))
+        exact_avg = approximate_self_join_size(hist)
+        rounded = approximate_self_join_size(hist, rounded=True)
+        # Bucket (3,2) averages 2.5 -> rounds to 2: estimates differ.
+        assert exact_avg != rounded
+
+
+class TestSelfJoinSigma:
+    def test_deterministic_for_frequency_based(self, zipf_small):
+        sigma = self_join_sigma(
+            zipf_small,
+            lambda dist: v_opt_bias_hist(dist.frequencies, 3),
+            trials=5,
+            rng=0,
+        )
+        hist = v_opt_bias_hist(zipf_small, 3)
+        assert sigma == pytest.approx(hist.self_join_error())
+
+    def test_trivial_sigma_is_total_sse(self, zipf_small):
+        sigma = self_join_sigma(zipf_small, trivial_histogram, trials=1, rng=0)
+        assert sigma == pytest.approx(zipf_small.size * zipf_small.var())
+
+    def test_equi_depth_sigma_positive(self, zipf_small):
+        sigma = self_join_sigma(
+            zipf_small,
+            lambda dist: equi_depth_histogram(dist, 3),
+            trials=20,
+            rng=0,
+        )
+        assert sigma > 0
+
+    def test_seed_reproducibility(self, zipf_small):
+        build = lambda dist: equi_depth_histogram(dist, 3)
+        a = self_join_sigma(zipf_small, build, trials=10, rng=42)
+        b = self_join_sigma(zipf_small, build, trials=10, rng=42)
+        assert a == b
+
+
+def _two_way_setup(m=5, beta0=2, beta1=3):
+    a = zipf_frequencies(60, m, 1.0)
+    b = zipf_frequencies(80, m, 0.5)
+    return a, b, v_opt_bias_hist(a, beta0), v_opt_bias_hist(b, beta1)
+
+
+class TestTheorem32:
+    """E[S − S'] = 0 for every histogram pair."""
+
+    def test_optimal_histograms(self):
+        a, b, ha, hb = _two_way_setup()
+        assert exact_expected_difference_two_way(a, b, ha, hb) == pytest.approx(0.0, abs=1e-9)
+
+    def test_arbitrary_partitions(self):
+        a = zipf_frequencies(50, 4, 1.5)
+        b = zipf_frequencies(70, 4, 0.0)
+        ha = Histogram(np.sort(a)[::-1], [(0, 2), (1, 3)])  # non-serial
+        hb = Histogram.single_bucket(b)
+        assert exact_expected_difference_two_way(a, b, ha, hb) == pytest.approx(0.0, abs=1e-9)
+
+    def test_brute_force_expectation(self):
+        """Directly average S − S' over all relative permutations."""
+        from itertools import permutations
+
+        a, b, ha, hb = _two_way_setup(m=4)
+        a_sorted = np.sort(a)[::-1]
+        b_sorted = np.sort(b)[::-1]
+        a_approx = ha.approximate_array(a_sorted)
+        b_approx = hb.approximate_array(b_sorted)
+        diffs = []
+        for tau in permutations(range(4)):
+            s = sum(a_sorted[i] * b_sorted[tau[i]] for i in range(4))
+            s_prime = sum(a_approx[i] * b_approx[tau[i]] for i in range(4))
+            diffs.append(s - s_prime)
+        assert np.mean(diffs) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestVErrorComputations:
+    def test_analytic_matches_exhaustive(self):
+        for m in (3, 4, 5, 6):
+            a, b, ha, hb = _two_way_setup(m=m)
+            assert analytic_v_error_two_way(a, b, ha, hb) == pytest.approx(
+                exact_v_error_two_way(a, b, ha, hb), rel=1e-9
+            )
+
+    def test_monte_carlo_converges(self):
+        a, b, ha, hb = _two_way_setup(m=6)
+        exact = exact_v_error_two_way(a, b, ha, hb)
+        sampled = monte_carlo_v_error_two_way(a, b, ha, hb, trials=4000, rng=0)
+        assert sampled == pytest.approx(exact, rel=0.15)
+
+    def test_perfect_histograms_zero_v_error(self):
+        a = zipf_frequencies(50, 4, 1.0)
+        b = zipf_frequencies(70, 4, 2.0)
+        ha = Histogram.from_sorted_sizes(a, (1, 1, 1, 1))
+        hb = Histogram.from_sorted_sizes(b, (1, 1, 1, 1))
+        assert exact_v_error_two_way(a, b, ha, hb) == pytest.approx(0.0, abs=1e-9)
+        assert analytic_v_error_two_way(a, b, ha, hb) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_value_domain(self):
+        a, b = np.array([5.0]), np.array([3.0])
+        ha, hb = Histogram.single_bucket(a), Histogram.single_bucket(b)
+        assert analytic_v_error_two_way(a, b, ha, hb) == pytest.approx(0.0)
+
+    def test_domain_mismatch_rejected(self):
+        a = zipf_frequencies(10, 3, 1.0)
+        b = zipf_frequencies(10, 4, 1.0)
+        ha, hb = Histogram.single_bucket(a), Histogram.single_bucket(b)
+        with pytest.raises(ValueError, match="must match"):
+            analytic_v_error_two_way(a, b, ha, hb)
+
+    def test_exhaustive_refuses_large_domains(self):
+        a = zipf_frequencies(10, 10, 1.0)
+        ha = Histogram.single_bucket(a)
+        with pytest.raises(ValueError, match="not sensible"):
+            exact_v_error_two_way(a, a, ha, ha)
+
+    def test_better_histograms_lower_v_error(self):
+        """More buckets can only reduce the v-error of the optimal choice."""
+        a = zipf_frequencies(60, 6, 1.5)
+        b = zipf_frequencies(80, 6, 1.0)
+        hb = v_opt_bias_hist(b, 3)
+        errors = [
+            analytic_v_error_two_way(a, b, v_opt_hist_exhaustive(a, beta), hb)
+            for beta in (1, 2, 3, 6)
+        ]
+        assert errors[-1] <= errors[0] + 1e-9
+        assert errors[3] == pytest.approx(
+            analytic_v_error_two_way(
+                a, b, Histogram.from_sorted_sizes(a, (1,) * 6), hb
+            )
+        )

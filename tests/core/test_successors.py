@@ -1,0 +1,133 @@
+"""Tests for repro.core.successors — MaxDiff and Compressed histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import v_opt_hist_dp, v_opt_hist_exhaustive
+from repro.core.successors import compressed_histogram, max_diff_histogram
+from repro.data.zipf import zipf_frequencies
+
+
+class TestMaxDiff:
+    def test_bucket_count(self, zipf_small):
+        assert max_diff_histogram(zipf_small, 4).bucket_count == 4
+
+    def test_is_serial(self, zipf_medium):
+        assert max_diff_histogram(zipf_medium, 8).is_serial()
+
+    def test_cuts_at_largest_gaps(self):
+        # Two clear clusters: the single cut must separate them.
+        freqs = [100.0, 99.0, 98.0, 5.0, 4.0, 3.0]
+        hist = max_diff_histogram(freqs, 2)
+        sizes = sorted(b.count for b in hist.buckets)
+        assert sizes == [3, 3]
+        assert hist.self_join_error() == pytest.approx(
+            v_opt_hist_exhaustive(freqs, 2).self_join_error()
+        )
+
+    def test_single_bucket_is_trivial(self, zipf_small):
+        hist = max_diff_histogram(zipf_small, 1)
+        assert hist.bucket_count == 1
+
+    def test_beta_equals_m_exact(self, zipf_small):
+        assert max_diff_histogram(zipf_small, 10).self_join_error() == 0.0
+
+    def test_beta_too_large_rejected(self, zipf_small):
+        with pytest.raises(ValueError, match="cannot build"):
+            max_diff_histogram(zipf_small, 11)
+
+    def test_never_better_than_v_optimal(self, zipf_medium):
+        for beta in (2, 5, 10):
+            optimal = v_opt_hist_dp(zipf_medium, beta).self_join_error()
+            maxdiff = max_diff_histogram(zipf_medium, beta).self_join_error()
+            assert maxdiff >= optimal - 1e-9
+
+    def test_matches_optimal_end_biased_on_zipf(self, zipf_medium):
+        """On smooth Zipf data the largest adjacent gaps sit at the head of
+        the sorted order, so MaxDiff coincides with the optimal end-biased
+        histogram — near-optimality at O(M log M) cost."""
+        from repro.core.biased import v_opt_bias_hist
+
+        for beta in (2, 5, 10):
+            end_biased = v_opt_bias_hist(zipf_medium, beta).self_join_error()
+            maxdiff = max_diff_histogram(zipf_medium, beta).self_join_error()
+            assert maxdiff == pytest.approx(end_biased)
+
+    def test_near_optimal_on_clustered_data(self, rng):
+        """On clustered frequencies MaxDiff finds the v-optimal partition."""
+        clusters = np.concatenate(
+            [rng.normal(mu, 0.5, size=5) for mu in (100.0, 50.0, 5.0)]
+        )
+        clusters = np.clip(clusters, 0.1, None)
+        optimal = v_opt_hist_dp(clusters, 3).self_join_error()
+        maxdiff = max_diff_histogram(clusters, 3).self_join_error()
+        assert maxdiff <= 1.5 * optimal + 1e-6
+
+    def test_kind_label(self, zipf_small):
+        assert max_diff_histogram(zipf_small, 3).kind == "max-diff"
+
+    def test_deterministic_on_ties(self):
+        freqs = [4.0, 3.0, 2.0, 1.0]  # all gaps equal
+        a = max_diff_histogram(freqs, 3)
+        b = max_diff_histogram(freqs, 3)
+        assert a == b
+
+    def test_values_propagated(self):
+        hist = max_diff_histogram([5.0, 1.0], 2, values=["a", "b"])
+        assert hist.values == ("a", "b")
+
+
+class TestCompressed:
+    def test_bucket_count(self, zipf_medium):
+        assert compressed_histogram(zipf_medium, 10).bucket_count == 10
+
+    def test_is_serial(self, zipf_medium):
+        assert compressed_histogram(zipf_medium, 10).is_serial()
+
+    def test_heavy_values_singled_out(self, zipf_medium):
+        hist = compressed_histogram(zipf_medium, 10)
+        threshold = zipf_medium.sum() / 10
+        singles = [b for b in hist.buckets if b.count == 1]
+        heavy = zipf_medium[zipf_medium > threshold]
+        single_freqs = sorted(b.frequencies[0] for b in singles)
+        for value in heavy:
+            assert any(np.isclose(value, s) for s in single_freqs)
+
+    def test_residue_mass_balanced(self, zipf_medium):
+        hist = compressed_histogram(zipf_medium, 10)
+        multis = [b for b in hist.buckets if b.count > 1]
+        if len(multis) > 1:
+            totals = [b.total for b in multis]
+            assert max(totals) <= 2.5 * min(totals)
+
+    def test_uniform_degenerates_to_equi_depth(self):
+        freqs = np.full(20, 5.0)
+        hist = compressed_histogram(freqs, 4)
+        assert hist.bucket_count == 4
+        assert hist.self_join_error() == 0.0
+
+    def test_all_heavy_degenerate(self):
+        # Two values, both above T/2 threshold impossible; sanity small case.
+        hist = compressed_histogram([10.0, 1.0], 2)
+        assert hist.bucket_count == 2
+        assert hist.self_join_error() == 0.0
+
+    def test_never_better_than_v_optimal(self, zipf_medium):
+        for beta in (5, 10, 15):
+            optimal = v_opt_hist_dp(zipf_medium, beta).self_join_error()
+            compressed = compressed_histogram(zipf_medium, beta).self_join_error()
+            assert compressed >= optimal - 1e-6
+
+    def test_kind_label(self, zipf_small):
+        assert compressed_histogram(zipf_small, 3).kind == "compressed"
+
+    def test_beta_too_large_rejected(self, zipf_small):
+        with pytest.raises(ValueError, match="cannot build"):
+            compressed_histogram(zipf_small, 11)
+
+    def test_high_skew_isolates_head(self):
+        freqs = zipf_frequencies(1000, 50, 2.5)
+        hist = compressed_histogram(freqs, 6)
+        singles = [b for b in hist.buckets if b.count == 1]
+        assert len(singles) >= 1
+        assert max(b.max_frequency for b in singles) == pytest.approx(freqs.max())

@@ -1,0 +1,130 @@
+"""Tests for repro.core.tensor — frequency tensors for tree queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencySet
+from repro.core.matrix import FrequencyMatrix, chain_result_size
+from repro.core.tensor import FrequencyTensor, arrange_frequency_tensor, tree_result_size
+from repro.data.zipf import zipf_frequencies
+
+
+class TestFrequencyTensor:
+    def test_construction(self):
+        tensor = FrequencyTensor(np.ones((2, 3, 4)), axes=(0, 1, 2))
+        assert tensor.shape == (2, 3, 4)
+        assert tensor.total == 24.0
+
+    def test_one_dimensional(self):
+        tensor = FrequencyTensor([1.0, 2.0], axes=(5,))
+        assert tensor.axes == (5,)
+
+    def test_axis_count_mismatch(self):
+        with pytest.raises(ValueError, match="axis labels"):
+            FrequencyTensor(np.ones((2, 2)), axes=(0,))
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            FrequencyTensor(np.ones((2, 2)), axes=(0, 0))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FrequencyTensor([[-1.0]], axes=(0,))
+        # 2-D form with one axis is also wrong; check the real negative case.
+        with pytest.raises(ValueError):
+            FrequencyTensor(np.array([-1.0, 2.0]), axes=(0,))
+
+    def test_frequency_set(self):
+        tensor = FrequencyTensor([[1.0, 3.0], [2.0, 4.0]], axes=(0, 1))
+        assert tensor.frequency_set() == FrequencySet([1.0, 2.0, 3.0, 4.0])
+
+    def test_immutability(self):
+        tensor = FrequencyTensor([[1.0]], axes=(0, 1))
+        with pytest.raises(ValueError):
+            tensor.array[0, 0] = 5.0
+
+    def test_equality(self):
+        a = FrequencyTensor([[1.0, 2.0]], axes=(0, 1))
+        b = FrequencyTensor([[1.0, 2.0]], axes=(0, 1))
+        c = FrequencyTensor([[1.0, 2.0]], axes=(1, 0))
+        assert a == b
+        assert a != c
+
+
+class TestArrangeFrequencyTensor:
+    def test_multiset_preserved(self, zipf_small, rng):
+        # 10 frequencies cannot fill 2x2x2; use an 8-entry set.
+        freqs = zipf_frequencies(100, 8, 1.0)
+        tensor = arrange_frequency_tensor(freqs, (2, 2, 2), (0, 1, 2), rng)
+        assert tensor.frequency_set() == FrequencySet(freqs)
+
+    def test_size_mismatch(self, zipf_small):
+        with pytest.raises(ValueError, match="cannot arrange"):
+            arrange_frequency_tensor(zipf_small, (3, 3), (0, 1))
+
+    def test_deterministic(self):
+        freqs = zipf_frequencies(100, 6, 1.0)
+        a = arrange_frequency_tensor(freqs, (2, 3), (0, 1), 3)
+        b = arrange_frequency_tensor(freqs, (2, 3), (0, 1), 3)
+        assert a == b
+
+
+class TestTreeResultSize:
+    def test_two_way_join(self):
+        left = FrequencyTensor([2.0, 3.0], axes=(0,))
+        right = FrequencyTensor([5.0, 7.0], axes=(0,))
+        assert tree_result_size([left, right]) == 2 * 5 + 3 * 7
+
+    def test_chain_equals_matrix_product(self, rng):
+        """A chain query contracted as tensors equals Theorem 2.1's product."""
+        r0 = zipf_frequencies(100, 4, 1.0)
+        r1 = rng.permutation(zipf_frequencies(100, 12, 0.5)).reshape(4, 3)
+        r2 = zipf_frequencies(100, 3, 2.0)
+        via_matrices = chain_result_size(
+            [
+                FrequencyMatrix.row_vector(r0),
+                FrequencyMatrix(r1),
+                FrequencyMatrix.column_vector(r2),
+            ]
+        )
+        via_tensors = tree_result_size(
+            [
+                FrequencyTensor(r0, axes=(0,)),
+                FrequencyTensor(r1, axes=(0, 1)),
+                FrequencyTensor(r2, axes=(1,)),
+            ]
+        )
+        assert via_tensors == pytest.approx(via_matrices)
+
+    def test_star_query_bruteforce(self, rng):
+        """3-leaf star contraction equals the brute-force sum."""
+        hub = rng.uniform(0, 5, size=(2, 3, 2))
+        leaves = [rng.uniform(0, 5, size=2), rng.uniform(0, 5, size=3), rng.uniform(0, 5, size=2)]
+        tensors = [
+            FrequencyTensor(hub, axes=(0, 1, 2)),
+            FrequencyTensor(leaves[0], axes=(0,)),
+            FrequencyTensor(leaves[1], axes=(1,)),
+            FrequencyTensor(leaves[2], axes=(2,)),
+        ]
+        brute = 0.0
+        for i in range(2):
+            for j in range(3):
+                for k in range(2):
+                    brute += hub[i, j, k] * leaves[0][i] * leaves[1][j] * leaves[2][k]
+        assert tree_result_size(tensors) == pytest.approx(brute)
+
+    def test_label_must_appear_twice(self):
+        a = FrequencyTensor([1.0, 2.0], axes=(0,))
+        b = FrequencyTensor([1.0, 2.0], axes=(1,))
+        with pytest.raises(ValueError, match="exactly two"):
+            tree_result_size([a, b])
+
+    def test_domain_size_mismatch(self):
+        a = FrequencyTensor([1.0, 2.0], axes=(0,))
+        b = FrequencyTensor([1.0, 2.0, 3.0], axes=(0,))
+        with pytest.raises(ValueError, match="inconsistent"):
+            tree_result_size([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tree_result_size([])

@@ -1,0 +1,108 @@
+"""Tests for repro.core.valueorder — value-range V-Optimal histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import AttributeDistribution
+from repro.core.heuristic import equi_depth_histogram, equi_width_histogram
+from repro.core.serial import v_opt_hist_dp
+from repro.core.valueorder import bucket_boundaries, v_optimal_value_histogram
+from repro.data.zipf import zipf_frequencies
+
+
+def total_sse(histogram):
+    reference = histogram.frequencies
+    approx = histogram.approximate_frequencies()
+    return float(((reference - approx) ** 2).sum())
+
+
+@pytest.fixture
+def shuffled_zipf(rng):
+    freqs = rng.permutation(zipf_frequencies(1000, 40, 1.2))
+    return AttributeDistribution(range(40), freqs)
+
+
+class TestVOptimalValueHistogram:
+    def test_bucket_count(self, shuffled_zipf):
+        assert v_optimal_value_histogram(shuffled_zipf, 6).bucket_count == 6
+
+    def test_buckets_are_contiguous_value_ranges(self, shuffled_zipf):
+        hist = v_optimal_value_histogram(shuffled_zipf, 5)
+        flat = [v for bucket in hist.buckets for v in bucket.values]
+        assert flat == list(range(40))
+
+    def test_optimal_within_value_family(self, shuffled_zipf):
+        """Never worse (in SSE) than equi-width or equi-depth."""
+        for beta in (2, 5, 8):
+            optimal = total_sse(v_optimal_value_histogram(shuffled_zipf, beta))
+            width = total_sse(equi_width_histogram(shuffled_zipf, beta))
+            depth = total_sse(equi_depth_histogram(shuffled_zipf, beta))
+            assert optimal <= width + 1e-6
+            assert optimal <= depth + 1e-6
+
+    def test_matches_exhaustive_small(self, rng):
+        """DP optimum equals brute force over all value-range partitions."""
+        from itertools import combinations
+
+        freqs = rng.uniform(1, 50, size=7)
+        dist = AttributeDistribution(range(7), freqs)
+        beta = 3
+        best = np.inf
+        for cuts in combinations(range(1, 7), beta - 1):
+            edges = (0,) + cuts + (7,)
+            sse = 0.0
+            for a, b in zip(edges[:-1], edges[1:]):
+                block = dist.frequencies[a:b]
+                sse += block.size * block.var()
+            best = min(best, sse)
+        assert total_sse(v_optimal_value_histogram(dist, beta)) == pytest.approx(best)
+
+    def test_frequency_serial_wins_on_equality_error(self, shuffled_zipf):
+        """With value/frequency orders uncorrelated, frequency bucketing
+        (serial) beats value bucketing on self-join error — the paper's
+        central point about the traditional approach."""
+        serial = v_opt_hist_dp(shuffled_zipf.frequencies, 5).self_join_error()
+        value = v_optimal_value_histogram(shuffled_zipf, 5).self_join_error()
+        assert serial <= value + 1e-9
+
+    def test_sorted_association_makes_them_equal(self):
+        """When value order equals frequency order the two families coincide."""
+        freqs = zipf_frequencies(1000, 30, 1.0)  # descending in value order
+        dist = AttributeDistribution(range(30), freqs)
+        serial = v_opt_hist_dp(freqs, 4).self_join_error()
+        value = v_optimal_value_histogram(dist, 4).self_join_error()
+        assert value == pytest.approx(serial)
+
+    def test_range_estimates_with_boundaries(self, shuffled_zipf):
+        from repro.core.estimator import estimate_range_selection
+
+        hist = v_optimal_value_histogram(shuffled_zipf, 8)
+        truth = sum(
+            shuffled_zipf.frequency_of(v) for v in range(10, 30)
+        )
+        estimate = estimate_range_selection(hist, low=10, high=29)
+        assert estimate == pytest.approx(truth, rel=0.35)
+
+    def test_too_many_buckets_rejected(self, shuffled_zipf):
+        with pytest.raises(ValueError, match="cannot build"):
+            v_optimal_value_histogram(shuffled_zipf, 41)
+
+    def test_kind(self, shuffled_zipf):
+        assert v_optimal_value_histogram(shuffled_zipf, 3).kind == "v-optimal-value"
+
+
+class TestBucketBoundaries:
+    def test_boundaries_cover_domain(self, shuffled_zipf):
+        hist = v_optimal_value_histogram(shuffled_zipf, 5)
+        bounds = bucket_boundaries(hist)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 39
+        for (lo1, hi1), (lo2, hi2) in zip(bounds, bounds[1:]):
+            assert hi1 < lo2
+
+    def test_requires_values(self):
+        from repro.core.histogram import Histogram
+
+        hist = Histogram.single_bucket([1.0, 2.0])
+        with pytest.raises(ValueError, match="value-aware"):
+            bucket_boundaries(hist)

@@ -1,0 +1,56 @@
+"""Tests for repro.data.quantize."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+
+
+class TestQuantizeToIntegers:
+    def test_total_preserved_exactly(self):
+        freqs = zipf_frequencies(1000, 100, 1.0)
+        quantized = quantize_to_integers(freqs)
+        assert quantized.sum() == 1000
+
+    def test_integer_dtype(self):
+        quantized = quantize_to_integers(zipf_frequencies(50, 7, 0.5))
+        assert np.issubdtype(quantized.dtype, np.integer)
+
+    def test_each_entry_within_one_of_input(self):
+        freqs = zipf_frequencies(500, 30, 2.0)
+        quantized = quantize_to_integers(freqs)
+        assert np.all(np.abs(quantized - freqs) < 1.0)
+
+    def test_already_integral_unchanged(self):
+        freqs = np.array([3.0, 5.0, 2.0])
+        assert np.array_equal(quantize_to_integers(freqs), [3, 5, 2])
+
+    def test_largest_remainders_rounded_up(self):
+        # 1.6 + 1.6 + 1.8 = 5: floors give 3, two leftover units go to the
+        # largest remainders (1.8 first, then one of the 1.6s).
+        quantized = quantize_to_integers([1.6, 1.6, 1.8])
+        assert quantized.sum() == 5
+        assert quantized[2] == 2
+
+    def test_non_negative_output(self):
+        quantized = quantize_to_integers(zipf_frequencies(10, 100, 3.0))
+        assert np.all(quantized >= 0)
+        assert quantized.sum() == 10
+
+    def test_rejects_non_integral_total(self):
+        with pytest.raises(ValueError, match="not integral"):
+            quantize_to_integers([1.2, 1.3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            quantize_to_integers([-1.0, 2.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            quantize_to_integers(np.ones((2, 2)))
+
+    def test_deterministic_tie_breaking(self):
+        a = quantize_to_integers([1.5, 1.5, 2.0])
+        b = quantize_to_integers([1.5, 1.5, 2.0])
+        assert np.array_equal(a, b)

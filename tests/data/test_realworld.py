@@ -1,0 +1,71 @@
+"""Tests for repro.data.realworld — the NBA-statistics surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.data.realworld import (
+    STAT_ATTRIBUTES,
+    PlayerSeason,
+    nba_player_statistics,
+    player_stat_frequency_set,
+)
+
+
+class TestNbaPlayerStatistics:
+    def test_default_size(self):
+        seasons = nba_player_statistics()
+        assert len(seasons) == 400
+
+    def test_deterministic_default_seed(self):
+        a = nba_player_statistics(players=50)
+        b = nba_player_statistics(players=50)
+        assert a == b
+
+    def test_games_bounded_by_season(self):
+        for season in nba_player_statistics(players=200):
+            assert 0 <= season.games <= 82
+
+    def test_non_negative_counting_stats(self):
+        for season in nba_player_statistics(players=200):
+            for attribute in STAT_ATTRIBUTES:
+                assert getattr(season, attribute) >= 0
+
+    def test_zero_inflated_threes(self):
+        seasons = nba_player_statistics(players=400)
+        zero_fraction = sum(1 for s in seasons if s.threes == 0) / len(seasons)
+        assert 0.2 < zero_fraction < 0.8
+
+    def test_points_heavy_tailed(self):
+        points = np.array([s.points for s in nba_player_statistics(players=400)])
+        assert points.max() > 4 * np.median(points[points > 0])
+
+    def test_as_row(self):
+        season = PlayerSeason(1, 80, 3000, 1500, 400, 300, 50)
+        assert season.as_row() == (1, 80, 3000, 1500, 400, 300, 50)
+
+
+class TestPlayerStatFrequencySet:
+    def test_descending(self):
+        seasons = nba_player_statistics(players=300)
+        freqs = player_stat_frequency_set(seasons, "games")
+        assert np.all(np.diff(freqs) <= 0)
+
+    def test_total_is_player_count(self):
+        seasons = nba_player_statistics(players=300)
+        freqs = player_stat_frequency_set(seasons, "games")
+        assert freqs.sum() == 300
+
+    def test_unknown_attribute_rejected(self):
+        seasons = nba_player_statistics(players=10)
+        with pytest.raises(ValueError, match="unknown attribute"):
+            player_stat_frequency_set(seasons, "steals")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            player_stat_frequency_set([], "games")
+
+    def test_threes_has_big_zero_spike(self):
+        """Zero-inflation shows as one dominating frequency."""
+        seasons = nba_player_statistics(players=400)
+        freqs = player_stat_frequency_set(seasons, "threes")
+        assert freqs[0] > 5 * freqs[1]

@@ -1,0 +1,93 @@
+"""Tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    mixture_frequencies,
+    normal_frequencies,
+    reverse_zipf_frequencies,
+    step_frequencies,
+    uniform_frequencies,
+)
+from repro.data.zipf import zipf_frequencies
+
+
+class TestUniform:
+    def test_values(self):
+        freqs = uniform_frequencies(100, 4)
+        assert np.allclose(freqs, 25.0)
+
+    def test_matches_zipf_z0(self):
+        assert np.allclose(uniform_frequencies(90, 9), zipf_frequencies(90, 9, 0.0))
+
+
+class TestReverseZipf:
+    def test_total(self):
+        freqs = reverse_zipf_frequencies(1000, 50, 1.5)
+        assert freqs.sum() == pytest.approx(1000.0)
+
+    def test_many_high_few_low(self):
+        """The shape of Section 4.2's hard case: most values near the top."""
+        freqs = reverse_zipf_frequencies(1000, 100, 2.0)
+        median = np.median(freqs)
+        mean = freqs.mean()
+        assert median > mean  # mass concentrated at the high end
+
+    def test_descending(self):
+        freqs = reverse_zipf_frequencies(100, 20, 1.0)
+        assert np.all(np.diff(freqs) <= 1e-12)
+
+    def test_z_zero_uniform(self):
+        assert np.allclose(reverse_zipf_frequencies(100, 10, 0.0), 10.0)
+
+
+class TestNormal:
+    def test_total_and_positivity(self):
+        freqs = normal_frequencies(500, 40, spread=0.3, rng=0)
+        assert freqs.sum() == pytest.approx(500.0)
+        assert np.all(freqs > 0)
+
+    def test_zero_spread_is_uniform(self):
+        freqs = normal_frequencies(100, 10, spread=0.0, rng=0)
+        assert np.allclose(freqs, 10.0)
+
+    def test_deterministic_with_seed(self):
+        a = normal_frequencies(100, 10, rng=5)
+        b = normal_frequencies(100, 10, rng=5)
+        assert np.array_equal(a, b)
+
+
+class TestStep:
+    def test_two_levels(self):
+        freqs = step_frequencies(1000, 100, high_fraction=0.1, ratio=10.0)
+        assert len(set(np.round(freqs, 9))) == 2
+
+    def test_ratio(self):
+        freqs = step_frequencies(1000, 100, high_fraction=0.1, ratio=10.0)
+        assert freqs[0] / freqs[-1] == pytest.approx(10.0)
+
+    def test_total(self):
+        assert step_frequencies(77, 11).sum() == pytest.approx(77.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            step_frequencies(100, 10, high_fraction=1.5)
+
+
+class TestMixture:
+    def test_total(self):
+        freqs = mixture_frequencies(300, 60, modes=4, rng=1)
+        assert freqs.sum() == pytest.approx(300.0)
+
+    def test_descending_multiset(self):
+        freqs = mixture_frequencies(300, 60, rng=1)
+        assert np.all(np.diff(freqs) <= 1e-12)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            mixture_frequencies(100, 20, rng=2), mixture_frequencies(100, 20, rng=2)
+        )
+
+    def test_positive(self):
+        assert np.all(mixture_frequencies(100, 20, rng=3) > 0)

@@ -1,0 +1,109 @@
+"""Tests for repro.data.zipf — equation (1) of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.data.zipf import zipf_frequencies, zipf_skew_series
+
+
+class TestZipfFrequencies:
+    def test_total_preserved(self):
+        freqs = zipf_frequencies(1000, 100, 1.0)
+        assert freqs.sum() == pytest.approx(1000.0)
+
+    def test_length(self):
+        assert zipf_frequencies(50, 7, 0.5).size == 7
+
+    def test_z_zero_is_uniform(self):
+        freqs = zipf_frequencies(100, 10, 0.0)
+        assert np.allclose(freqs, 10.0)
+
+    def test_descending_rank_order(self):
+        freqs = zipf_frequencies(1000, 50, 1.2)
+        assert np.all(np.diff(freqs) <= 0)
+
+    def test_equation_one_exact_values(self):
+        """t_i = T (1/i^z) / sum_j (1/j^z) — checked by hand for M=3, z=1."""
+        freqs = zipf_frequencies(110, 3, 1.0)
+        harmonic = 1 + 0.5 + 1 / 3
+        assert freqs[0] == pytest.approx(110 / harmonic)
+        assert freqs[1] == pytest.approx(110 / (2 * harmonic))
+        assert freqs[2] == pytest.approx(110 / (3 * harmonic))
+
+    def test_paper_figure3_self_join_size(self):
+        """T=1000, M=100, z=1 self-join size ≈ the paper's 60780.
+
+        The paper's "Result Size 60780" used integer-rounded frequencies;
+        the real-valued computation lands within 0.1%.
+        """
+        freqs = zipf_frequencies(1000, 100, 1.0)
+        assert np.dot(freqs, freqs) == pytest.approx(60780, rel=1e-3)
+
+    def test_skew_monotone_in_z(self):
+        top_shares = [
+            zipf_frequencies(1000, 100, z)[0] for z in (0.0, 0.5, 1.0, 2.0, 3.0)
+        ]
+        assert top_shares == sorted(top_shares)
+
+    def test_all_positive(self):
+        assert np.all(zipf_frequencies(10, 1000, 3.0) > 0)
+
+    def test_single_value_domain(self):
+        assert zipf_frequencies(42, 1, 2.0)[0] == pytest.approx(42.0)
+
+    def test_rejects_negative_z(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(100, 10, -0.5)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(0, 10, 1.0)
+
+    def test_rejects_zero_domain(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(100, 0, 1.0)
+
+
+class TestZipfSkewSeries:
+    def test_figure1_family(self):
+        """The paper's Figure 1: T=1000, M=100, z = 0, 0.02, ..., 0.1."""
+        z_values = [round(0.02 * i, 2) for i in range(6)]
+        series = zipf_skew_series(1000, 100, z_values)
+        assert set(series) == set(z_values)
+        for freqs in series.values():
+            assert freqs.sum() == pytest.approx(1000.0)
+        # Curves are ordered: higher z starts higher and ends lower.
+        assert series[0.1][0] > series[0.0][0]
+        assert series[0.1][-1] < series[0.0][-1]
+
+    def test_empty_series(self):
+        assert zipf_skew_series(10, 5, []) == {}
+
+
+class TestZipfSelfJoinSize:
+    def test_matches_direct_computation(self):
+        import numpy as np
+        from repro.data.zipf import zipf_self_join_size
+
+        for z in (0.0, 0.5, 1.0, 2.0):
+            freqs = zipf_frequencies(1000, 100, z)
+            assert zipf_self_join_size(1000, 100, z) == pytest.approx(
+                float(np.dot(freqs, freqs))
+            )
+
+    def test_paper_anchor_value(self):
+        from repro.data.zipf import zipf_self_join_size
+
+        assert zipf_self_join_size(1000, 100, 1.0) == pytest.approx(60780, rel=1e-3)
+
+    def test_uniform_case(self):
+        from repro.data.zipf import zipf_self_join_size
+
+        # z=0: every frequency is T/M, so sum of squares is T^2 / M.
+        assert zipf_self_join_size(600, 30, 0.0) == pytest.approx(600 * 600 / 30)
+
+    def test_monotone_in_z(self):
+        from repro.data.zipf import zipf_self_join_size
+
+        sizes = [zipf_self_join_size(1000, 100, z) for z in (0.0, 0.5, 1.0, 2.0, 3.0)]
+        assert sizes == sorted(sizes)

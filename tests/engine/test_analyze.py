@@ -1,0 +1,107 @@
+"""Tests for repro.engine.analyze — the ANALYZE pass."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import ANALYZE_KINDS, analyze_database, analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+
+
+@pytest.fixture
+def zipf_relation(rng):
+    freqs = quantize_to_integers(zipf_frequencies(1000, 40, 1.2))
+    column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+    rng.shuffle(column)
+    return Relation.from_columns("Z", {"a": column})
+
+
+class TestAnalyzeRelation:
+    @pytest.mark.parametrize("kind", ["trivial", "equi-width", "equi-depth", "end-biased", "serial"])
+    def test_all_kinds_build(self, zipf_relation, kind):
+        catalog = StatsCatalog()
+        entry = analyze_relation(zipf_relation, "a", catalog, kind=kind, buckets=5)
+        assert entry.kind == kind
+        assert entry.histogram is not None
+        assert entry.distinct_count == 40
+        assert entry.total_tuples == 1000.0
+
+    def test_histogram_totals_match_relation(self, zipf_relation):
+        catalog = StatsCatalog()
+        entry = analyze_relation(zipf_relation, "a", catalog, kind="end-biased", buckets=5)
+        approx_total = entry.histogram.approximate_frequencies().sum()
+        assert approx_total == pytest.approx(1000.0)
+
+    def test_end_biased_gets_compact_form(self, zipf_relation):
+        catalog = StatsCatalog()
+        entry = analyze_relation(zipf_relation, "a", catalog, kind="end-biased", buckets=5)
+        assert entry.compact is not None
+        assert entry.compact.distinct_count == 40
+
+    def test_equi_depth_has_no_compact_form(self, zipf_relation):
+        catalog = StatsCatalog()
+        entry = analyze_relation(zipf_relation, "a", catalog, kind="equi-depth", buckets=5)
+        assert entry.compact is None
+
+    def test_sampled_kind(self, zipf_relation):
+        catalog = StatsCatalog()
+        entry = analyze_relation(zipf_relation, "a", catalog, kind="sampled", buckets=5)
+        assert entry.histogram is None
+        assert entry.compact is not None
+        # Top Zipf value is explicit and close to its true frequency.
+        top_value = max(
+            set(zipf_relation.column("a")), key=zipf_relation.column("a").count
+        )
+        assert top_value in entry.compact.explicit
+
+    def test_buckets_clamped_to_domain(self):
+        relation = Relation.from_columns("R", {"a": [1, 1, 2]})
+        catalog = StatsCatalog()
+        entry = analyze_relation(relation, "a", catalog, kind="serial", buckets=10)
+        assert entry.histogram.bucket_count == 2
+
+    def test_empty_relation_rejected(self):
+        from repro.engine.schema import Schema
+
+        catalog = StatsCatalog()
+        with pytest.raises(ValueError, match="empty"):
+            analyze_relation(Relation("E", Schema(["a"])), "a", catalog)
+
+    def test_unknown_kind_rejected(self, zipf_relation):
+        catalog = StatsCatalog()
+        with pytest.raises(ValueError, match="unknown histogram kind"):
+            analyze_relation(zipf_relation, "a", catalog, kind="fancy")
+
+    def test_reanalyze_bumps_version(self, zipf_relation):
+        catalog = StatsCatalog()
+        analyze_relation(zipf_relation, "a", catalog)
+        entry = analyze_relation(zipf_relation, "a", catalog)
+        assert entry.version == 2
+
+
+class TestAnalyzeDatabase:
+    def test_all_attributes(self, rng):
+        r1 = Relation.from_columns("A", {"x": [1, 2, 2], "y": ["p", "q", "p"]})
+        r2 = Relation.from_columns("B", {"z": [7, 7, 8]})
+        catalog = StatsCatalog()
+        entries = analyze_database([r1, r2], catalog)
+        assert len(entries) == 3
+        assert ("A", "x") in catalog and ("A", "y") in catalog and ("B", "z") in catalog
+
+    def test_restricted_attributes(self):
+        r1 = Relation.from_columns("A", {"x": [1, 2], "y": ["p", "q"]})
+        catalog = StatsCatalog()
+        analyze_database([r1], catalog, attributes={"A": ["x"]})
+        assert ("A", "x") in catalog
+        assert ("A", "y") not in catalog
+
+    def test_estimation_quality_after_analyze(self, zipf_relation):
+        """End-to-end: catalog estimates track true frequencies."""
+        catalog = StatsCatalog()
+        analyze_relation(zipf_relation, "a", catalog, kind="end-biased", buckets=10)
+        entry = catalog.require("Z", "a")
+        dist = zipf_relation.frequency_distribution("a")
+        top = max(dist.values, key=dist.frequency_of)
+        assert entry.estimate_frequency(top) == pytest.approx(dist.frequency_of(top))

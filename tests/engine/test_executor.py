@@ -1,0 +1,106 @@
+"""Tests for repro.engine.executor — Theorem 2.1 meets the executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import (
+    ChainJoinSpec,
+    chain_join_size,
+    execute_chain_join,
+    frequency_matrices_for_chain,
+)
+from repro.engine.relation import Relation
+
+
+def make_chain(rng, sizes=(80, 120, 60), domains=(6, 5)):
+    r0 = Relation.from_columns("R0", {"a1": list(rng.integers(0, domains[0], sizes[0]))})
+    r1 = Relation.from_columns(
+        "R1",
+        {
+            "a1": list(rng.integers(0, domains[0], sizes[1])),
+            "a2": list(rng.integers(0, domains[1], sizes[1])),
+        },
+    )
+    r2 = Relation.from_columns("R2", {"a2": list(rng.integers(0, domains[1], sizes[2]))})
+    return ChainJoinSpec((r0, r1, r2), (("a1", "a1"), ("a2", "a2")))
+
+
+class TestChainJoinSpec:
+    def test_validation(self, rng):
+        spec = make_chain(rng)
+        assert spec.num_joins == 2
+
+    def test_too_few_relations(self, rng):
+        r0 = Relation.from_columns("R0", {"a": [1]})
+        with pytest.raises(ValueError, match="at least two"):
+            ChainJoinSpec((r0,), ())
+
+    def test_predicate_count_mismatch(self, rng):
+        spec = make_chain(rng)
+        with pytest.raises(ValueError, match="join predicates"):
+            ChainJoinSpec(spec.relations, spec.join_attributes[:1])
+
+    def test_unknown_attribute(self, rng):
+        spec = make_chain(rng)
+        with pytest.raises(ValueError, match="no attribute"):
+            ChainJoinSpec(spec.relations, (("zz", "a1"), ("a2", "a2")))
+
+
+class TestTheorem21:
+    """The matrix product equals the executor's cardinality."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_two_joins(self, seed):
+        spec = make_chain(np.random.default_rng(seed))
+        assert chain_join_size(spec) == execute_chain_join(spec).cardinality
+
+    def test_single_join(self, rng):
+        r0 = Relation.from_columns("A", {"k": list(rng.integers(0, 7, 100))})
+        r1 = Relation.from_columns("B", {"k": list(rng.integers(0, 7, 90))})
+        spec = ChainJoinSpec((r0, r1), (("k", "k"),))
+        assert chain_join_size(spec) == execute_chain_join(spec).cardinality
+
+    def test_three_joins(self):
+        gen = np.random.default_rng(9)
+        r0 = Relation.from_columns("R0", {"a1": list(gen.integers(0, 4, 40))})
+        r1 = Relation.from_columns(
+            "R1", {"a1": list(gen.integers(0, 4, 50)), "a2": list(gen.integers(0, 3, 50))}
+        )
+        r2 = Relation.from_columns(
+            "R2", {"a2": list(gen.integers(0, 3, 30)), "a3": list(gen.integers(0, 5, 30))}
+        )
+        r3 = Relation.from_columns("R3", {"a3": list(gen.integers(0, 5, 45))})
+        spec = ChainJoinSpec(
+            (r0, r1, r2, r3), (("a1", "a1"), ("a2", "a2"), ("a3", "a3"))
+        )
+        assert chain_join_size(spec) == execute_chain_join(spec).cardinality
+
+    def test_empty_join_result(self):
+        r0 = Relation.from_columns("A", {"k": [1, 2]})
+        r1 = Relation.from_columns("B", {"k": [3, 4]})
+        spec = ChainJoinSpec((r0, r1), (("k", "k"),))
+        assert chain_join_size(spec) == 0
+        assert execute_chain_join(spec).cardinality == 0
+
+
+class TestFrequencyMatrices:
+    def test_shapes(self, rng):
+        spec = make_chain(rng)
+        matrices = frequency_matrices_for_chain(spec)
+        assert matrices[0].shape[0] == 1
+        assert matrices[-1].shape[1] == 1
+        assert matrices[0].shape[1] == matrices[1].shape[0]
+        assert matrices[1].shape[1] == matrices[2].shape[0]
+
+    def test_totals_are_cardinalities(self, rng):
+        spec = make_chain(rng)
+        matrices = frequency_matrices_for_chain(spec)
+        for matrix, relation in zip(matrices, spec.relations):
+            assert matrix.total == relation.cardinality
+
+    def test_domains_are_unions(self):
+        r0 = Relation.from_columns("A", {"k": [1, 2]})
+        r1 = Relation.from_columns("B", {"k": [2, 3]})
+        spec = ChainJoinSpec((r0, r1), (("k", "k"),))
+        matrices = frequency_matrices_for_chain(spec)
+        assert matrices[0].col_values == (1, 2, 3)

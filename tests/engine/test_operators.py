@@ -1,0 +1,97 @@
+"""Tests for repro.engine.operators."""
+
+import numpy as np
+import pytest
+
+from repro.engine.operators import (
+    cross_product,
+    hash_join,
+    join_size,
+    project,
+    select,
+    select_equals,
+)
+from repro.engine.relation import Relation
+
+
+@pytest.fixture
+def left():
+    return Relation.from_columns("L", {"k": [1, 1, 2, 3], "x": ["a", "b", "c", "d"]})
+
+
+@pytest.fixture
+def right():
+    return Relation.from_columns("R", {"k": [1, 2, 2, 4], "y": [10, 20, 30, 40]})
+
+
+class TestSelect:
+    def test_predicate(self, left):
+        result = select(left, lambda row: row[0] == 1)
+        assert result.cardinality == 2
+
+    def test_select_equals(self, left):
+        result = select_equals(left, "k", 1)
+        assert result.cardinality == 2
+        assert result.schema == left.schema
+
+    def test_empty_result(self, left):
+        assert select_equals(left, "k", 99).cardinality == 0
+
+
+class TestProject:
+    def test_keeps_duplicates(self, left):
+        result = project(left, ["k"])
+        assert result.cardinality == 4
+        assert result.column("k") == [1, 1, 2, 3]
+
+    def test_reorders(self, left):
+        result = project(left, ["x", "k"])
+        assert result.schema.names == ("x", "k")
+
+
+class TestHashJoin:
+    def test_join_cardinality(self, left, right):
+        result = hash_join(left, right, "k", "k")
+        # k=1: 2x1, k=2: 1x2, k=3: 0, k=4: 0 -> 4 rows.
+        assert result.cardinality == 4
+
+    def test_matches_nested_loop(self, rng):
+        a = Relation.from_columns("A", {"k": list(rng.integers(0, 5, 40))})
+        b = Relation.from_columns("B", {"k": list(rng.integers(0, 5, 60))})
+        expected = sum(1 for x in a.column("k") for y in b.column("k") if x == y)
+        assert hash_join(a, b, "k", "k").cardinality == expected
+
+    def test_column_qualification_on_collision(self, left, right):
+        result = hash_join(left, right, "k", "k")
+        assert result.schema.names == ("k", "x", "R.k", "y")
+
+    def test_row_contents(self, left, right):
+        result = hash_join(left, right, "k", "k")
+        rows = set(result.rows())
+        assert (1, "a", 1, 10) in rows
+        assert (2, "c", 2, 20) in rows
+
+    def test_left_right_order_preserved_regardless_of_build_side(self):
+        small = Relation.from_columns("S", {"k": [1]})
+        big = Relation.from_columns("B", {"k": [1, 1, 1], "v": [7, 8, 9]})
+        forward = hash_join(small, big, "k", "k")
+        assert forward.schema.names[0] == "k"  # small's column first
+        backward = hash_join(big, small, "k", "k")
+        assert backward.schema.names[0] == "k"  # big's column first
+        assert backward.column("v") == [7, 8, 9]
+
+    def test_join_size_shortcut_agrees(self, left, right):
+        assert join_size(left, right, "k", "k") == hash_join(left, right, "k", "k").cardinality
+
+    def test_self_join_is_sum_of_squares(self):
+        rel = Relation.from_columns("R", {"k": [1, 1, 1, 2, 2, 3]})
+        freqs = rel.frequency_distribution("k").frequencies
+        assert hash_join(rel, rel, "k", "k").cardinality == int(np.dot(freqs, freqs))
+
+
+class TestCrossProduct:
+    def test_cardinality(self, left, right):
+        assert cross_product(left, right).cardinality == 16
+
+    def test_schema(self, left, right):
+        assert cross_product(left, right).schema.names == ("k", "x", "R.k", "y")

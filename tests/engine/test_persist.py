@@ -1,0 +1,103 @@
+"""Tests for repro.engine.persist — catalog serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.persist import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_catalog,
+    save_catalog,
+)
+from repro.engine.relation import Relation
+
+
+@pytest.fixture
+def populated_catalog(rng):
+    freqs = quantize_to_integers(zipf_frequencies(500, 25, 1.2))
+    column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+    rng.shuffle(column)
+    relation = Relation.from_columns("R", {"a": column, "b": [x % 7 for x in column]})
+    catalog = StatsCatalog()
+    analyze_relation(relation, "a", catalog, kind="end-biased", buckets=6)
+    analyze_relation(relation, "b", catalog, kind="serial", buckets=4)
+    analyze_relation(relation, "a", catalog, kind="sampled", buckets=6)  # v2
+    return catalog
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, populated_catalog):
+        restored = catalog_from_dict(catalog_to_dict(populated_catalog))
+        assert len(restored) == len(populated_catalog)
+        for entry in populated_catalog.entries():
+            twin = restored.require(entry.relation, entry.attribute)
+            assert twin.kind == entry.kind
+            assert twin.distinct_count == entry.distinct_count
+            assert twin.total_tuples == entry.total_tuples
+            assert twin.version == entry.version
+
+    def test_histogram_preserved(self, populated_catalog):
+        restored = catalog_from_dict(catalog_to_dict(populated_catalog))
+        original = populated_catalog.require("R", "b").histogram
+        twin = restored.require("R", "b").histogram
+        assert twin == original
+        assert twin.kind == original.kind
+
+    def test_compact_preserved(self, populated_catalog):
+        restored = catalog_from_dict(catalog_to_dict(populated_catalog))
+        original = populated_catalog.require("R", "a").compact
+        twin = restored.require("R", "a").compact
+        assert twin.explicit == original.explicit
+        assert twin.remainder_count == original.remainder_count
+        assert twin.remainder_average == pytest.approx(original.remainder_average)
+
+    def test_estimates_identical_after_restore(self, populated_catalog):
+        restored = catalog_from_dict(catalog_to_dict(populated_catalog))
+        for entry in populated_catalog.entries():
+            twin = restored.require(entry.relation, entry.attribute)
+            for value in (0, 1, 5, "zzz"):
+                assert twin.estimate_frequency(value) == pytest.approx(
+                    entry.estimate_frequency(value)
+                )
+
+    def test_file_round_trip(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        restored = load_catalog(path)
+        assert len(restored) == len(populated_catalog)
+
+    def test_file_is_valid_json(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-stats-catalog"
+
+
+class TestValidation:
+    def test_rejects_foreign_format(self):
+        with pytest.raises(ValueError, match="not a repro stats catalog"):
+            catalog_from_dict({"format": "something-else", "version": 1, "entries": []})
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="unsupported catalog version"):
+            catalog_from_dict(
+                {"format": "repro-stats-catalog", "version": 99, "entries": []}
+            )
+
+    def test_rejects_unserialisable_values(self):
+        relation = Relation.from_columns("R", {"a": [(1, 2), (1, 2), (3, 4)]})
+        catalog = StatsCatalog()
+        analyze_relation(relation, "a", catalog, kind="end-biased", buckets=2)
+        with pytest.raises(TypeError, match="not JSON-serialisable"):
+            catalog_to_dict(catalog)
+
+    def test_empty_catalog(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_catalog(StatsCatalog(), path)
+        assert len(load_catalog(path)) == 0

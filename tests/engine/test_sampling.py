@@ -1,0 +1,115 @@
+"""Tests for repro.engine.sampling — Section 4.2 shortcuts."""
+
+import numpy as np
+import pytest
+
+from repro.data.zipf import zipf_frequencies
+from repro.data.quantize import quantize_to_integers
+from repro.engine.sampling import (
+    SpaceSavingSketch,
+    reservoir_sample,
+    sampled_end_biased_histogram,
+)
+
+
+class TestReservoirSample:
+    def test_size(self):
+        sample = reservoir_sample(range(1000), 10, rng=0)
+        assert len(sample) == 10
+
+    def test_short_input(self):
+        assert sorted(reservoir_sample(range(3), 10, rng=0)) == [0, 1, 2]
+
+    def test_deterministic(self):
+        a = reservoir_sample(range(100), 5, rng=1)
+        b = reservoir_sample(range(100), 5, rng=1)
+        assert a == b
+
+    def test_uniformity(self):
+        """Each item lands in a size-1 sample about 1/N of the time."""
+        hits = sum(
+            reservoir_sample(range(10), 1, rng=seed)[0] == 0 for seed in range(600)
+        )
+        assert 25 <= hits <= 100  # expected 60
+
+    def test_elements_from_input(self):
+        sample = reservoir_sample(range(50), 7, rng=2)
+        assert all(0 <= x < 50 for x in sample)
+
+
+class TestSpaceSavingSketch:
+    def test_exact_below_capacity(self):
+        sketch = SpaceSavingSketch(10)
+        sketch.extend([1, 1, 1, 2, 2, 3])
+        top = dict((v, c) for v, c, _ in sketch.top(3))
+        assert top == {1: 3, 2: 2, 3: 1}
+
+    def test_heavy_hitter_guarantee(self):
+        """Values above N/capacity must be monitored with bounded error."""
+        stream = [1] * 500 + [2] * 300 + list(range(100, 400))
+        sketch = SpaceSavingSketch(16)
+        sketch.extend(stream)
+        top = {v: (c, e) for v, c, e in sketch.top(16)}
+        assert 1 in top and 2 in top
+        count1, err1 = top[1]
+        assert count1 - err1 <= 500 <= count1
+        count2, err2 = top[2]
+        assert count2 - err2 <= 300 <= count2
+
+    def test_overestimates_only(self):
+        gen = np.random.default_rng(0)
+        stream = list(gen.integers(0, 50, 2000))
+        truth = {v: stream.count(v) for v in set(stream)}
+        sketch = SpaceSavingSketch(20)
+        sketch.extend(stream)
+        for value, count, error in sketch.top(20):
+            assert count >= truth[value]
+            assert count - error <= truth[value]
+
+    def test_observed_counter(self):
+        sketch = SpaceSavingSketch(4)
+        sketch.extend(range(7))
+        assert sketch.observed == 7
+
+    def test_guaranteed_heavy(self):
+        sketch = SpaceSavingSketch(8)
+        sketch.extend([1] * 100 + list(range(2, 10)))
+        guaranteed = dict(sketch.guaranteed_heavy(1))
+        assert guaranteed.get(1) == 100
+
+
+class TestSampledEndBiased:
+    def _column(self, rng):
+        freqs = quantize_to_integers(zipf_frequencies(2000, 50, 1.5))
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        rng.shuffle(column)
+        return column, freqs
+
+    def test_total_preserved(self, rng):
+        column, freqs = self._column(rng)
+        compact = sampled_end_biased_histogram(column, 6, len(column), 50)
+        assert compact.total == pytest.approx(len(column), rel=0.01)
+
+    def test_top_values_found(self, rng):
+        column, freqs = self._column(rng)
+        compact = sampled_end_biased_histogram(column, 6, len(column), 50)
+        # The Zipf top value (value 0) must be explicit and near its truth.
+        assert 0 in compact.explicit
+        assert compact.explicit[0] == pytest.approx(float(freqs[0]), rel=0.2)
+
+    def test_explicit_count(self, rng):
+        column, _ = self._column(rng)
+        compact = sampled_end_biased_histogram(column, 6, len(column), 50)
+        assert len(compact.explicit) == 5
+        assert compact.remainder_count == 45
+
+    def test_tiny_domain(self):
+        compact = sampled_end_biased_histogram([1, 1, 2], 10, 3, 2)
+        assert compact.distinct_count == 2
+
+    def test_estimates_reasonable(self, rng):
+        column, freqs = self._column(rng)
+        compact = sampled_end_biased_histogram(column, 6, len(column), 50)
+        # A mid-tail value estimates to the remainder average, within 3x.
+        truth = float(freqs[25])
+        assert compact.estimate(25) == pytest.approx(truth, rel=3.0)

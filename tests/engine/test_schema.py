@@ -1,0 +1,72 @@
+"""Tests for repro.engine.schema."""
+
+import pytest
+
+from repro.engine.schema import Attribute, Schema
+
+
+class TestAttribute:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_typed_validation(self):
+        attr = Attribute("year", int)
+        attr.validate(1990)
+        with pytest.raises(TypeError, match="expects int"):
+            attr.validate("1990")
+
+    def test_untyped_accepts_anything(self):
+        Attribute("x").validate(object())
+
+
+class TestSchema:
+    def test_names(self):
+        schema = Schema([Attribute("a"), Attribute("b")])
+        assert schema.names == ("a", "b")
+
+    def test_strings_coerced(self):
+        schema = Schema(["a", "b"])
+        assert schema.names == ("a", "b")
+
+    def test_positions(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.position("b") == 1
+
+    def test_unknown_position(self):
+        schema = Schema(["a"])
+        with pytest.raises(KeyError, match="no attribute"):
+            schema.position("z")
+
+    def test_contains(self):
+        schema = Schema(["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Schema(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Schema([])
+
+    def test_validate_row_arity(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(ValueError, match="fields"):
+            schema.validate_row((1,))
+
+    def test_validate_row_types(self):
+        schema = Schema([Attribute("a", int)])
+        schema.validate_row((1,))
+        with pytest.raises(TypeError):
+            schema.validate_row(("x",))
+
+    def test_equality(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+
+    def test_len_iter(self):
+        schema = Schema(["a", "b"])
+        assert len(schema) == 2
+        assert [a.name for a in schema] == ["a", "b"]

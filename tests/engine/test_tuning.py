@@ -1,0 +1,102 @@
+"""Tests for repro.engine.tuning — the statistics tuner."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.engine.tuning import (
+    Recommendation,
+    apply_recommendations,
+    recommend_statistics,
+    tune_database,
+)
+
+
+def zipf_relation(name, attr, total, domain, z, rng):
+    freqs = quantize_to_integers(zipf_frequencies(total, domain, z))
+    column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+    rng.shuffle(column)
+    return Relation.from_columns(name, {attr: column})
+
+
+@pytest.fixture
+def mixed_relations(rng):
+    uniform = zipf_relation("U", "a", 1000, 50, 0.02, rng)
+    skewed = zipf_relation("S", "a", 1000, 50, 1.8, rng)
+    return [uniform, skewed]
+
+
+class TestRecommendStatistics:
+    def test_one_recommendation_per_attribute(self, mixed_relations):
+        recs = recommend_statistics(mixed_relations, tolerance=0.01)
+        assert len(recs) == 2
+        assert {(r.relation, r.attribute) for r in recs} == {("U", "a"), ("S", "a")}
+
+    def test_uniform_gets_one_bucket(self, mixed_relations):
+        recs = {r.relation: r for r in recommend_statistics(mixed_relations, tolerance=0.01)}
+        assert recs["U"].recommended_buckets <= 2
+
+    def test_skew_needs_more_buckets(self, mixed_relations):
+        recs = {r.relation: r for r in recommend_statistics(mixed_relations, tolerance=0.01)}
+        assert recs["S"].recommended_buckets > recs["U"].recommended_buckets
+
+    def test_tolerance_met(self, mixed_relations):
+        for rec in recommend_statistics(mixed_relations, tolerance=0.02):
+            assert rec.achieved_relative_error <= 0.02 + 1e-12
+
+    def test_tighter_tolerance_more_buckets(self, mixed_relations):
+        loose = {r.relation: r for r in recommend_statistics(mixed_relations, tolerance=0.05)}
+        tight = {r.relation: r for r in recommend_statistics(mixed_relations, tolerance=0.005)}
+        assert tight["S"].recommended_buckets >= loose["S"].recommended_buckets
+
+    def test_cap_applied_gracefully(self, mixed_relations):
+        recs = recommend_statistics(mixed_relations, tolerance=0.0, max_buckets=5)
+        for rec in recs:
+            assert rec.recommended_buckets <= 5
+
+    def test_profile_attached(self, mixed_relations):
+        recs = {r.relation: r for r in recommend_statistics(mixed_relations)}
+        assert recs["S"].profile.gini > recs["U"].profile.gini
+
+    def test_str(self, mixed_relations):
+        rec = recommend_statistics(mixed_relations)[0]
+        assert "beta=" in str(rec)
+
+
+class TestApplyAndTune:
+    def test_apply_populates_catalog(self, mixed_relations):
+        catalog = StatsCatalog()
+        recs = recommend_statistics(mixed_relations, tolerance=0.01)
+        applied = apply_recommendations(mixed_relations, catalog, recs)
+        assert applied == 2
+        for rec in recs:
+            entry = catalog.require(rec.relation, rec.attribute)
+            assert entry.histogram.bucket_count == rec.recommended_buckets
+
+    def test_apply_unknown_relation(self, mixed_relations):
+        catalog = StatsCatalog()
+        bogus = Recommendation(
+            "ghost", "a", 1, 1, 0.0, recommend_statistics(mixed_relations)[0].profile
+        )
+        with pytest.raises(KeyError, match="ghost"):
+            apply_recommendations(mixed_relations, catalog, [bogus])
+
+    def test_tune_database_end_to_end(self, mixed_relations):
+        catalog = StatsCatalog()
+        recs = tune_database(mixed_relations, catalog, tolerance=0.02)
+        assert len(catalog) == 2
+        # Tuned statistics actually deliver the promised self-join accuracy.
+        for relation in mixed_relations:
+            entry = catalog.require(relation.name, "a")
+            dist = relation.frequency_distribution("a")
+            exact = dist.self_join_size()
+            estimate = entry.histogram.self_join_estimate()
+            assert abs(exact - estimate) / exact <= 0.02 + 1e-9
+
+    def test_tune_respects_kind(self, mixed_relations):
+        catalog = StatsCatalog()
+        tune_database(mixed_relations, catalog, tolerance=0.05, kind="serial")
+        assert catalog.require("S", "a").kind == "serial"

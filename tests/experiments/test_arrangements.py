@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.arrangements — the Section 3.1 study."""
+
+import pytest
+
+from repro.data.zipf import zipf_frequencies
+from repro.experiments.arrangements import ArrangementStudy, optimal_biased_pair_study
+
+
+class TestOptimalBiasedPairStudy:
+    def test_fractions_in_range(self):
+        study = optimal_biased_pair_study(
+            zipf_frequencies(100, 5, 1.0),
+            zipf_frequencies(100, 5, 0.5),
+            3,
+        )
+        for fraction in (
+            study.at_least_one_end_biased,
+            study.both_end_biased,
+            study.aligned_singletons,
+        ):
+            assert 0.0 <= fraction <= 1.0
+
+    def test_one_implies_at_least_both_relation(self):
+        study = optimal_biased_pair_study(
+            zipf_frequencies(100, 5, 2.0),
+            zipf_frequencies(100, 5, 1.0),
+            3,
+        )
+        assert study.at_least_one_end_biased >= study.both_end_biased
+
+    def test_exhaustive_enumeration_count(self):
+        study = optimal_biased_pair_study(
+            zipf_frequencies(50, 4, 1.0), zipf_frequencies(50, 4, 1.5), 2
+        )
+        assert study.arrangements == 24  # 4!
+
+    def test_sampling_cap(self):
+        study = optimal_biased_pair_study(
+            zipf_frequencies(100, 7, 1.0),
+            zipf_frequencies(100, 7, 0.5),
+            3,
+            max_arrangements=50,
+            rng=0,
+        )
+        assert study.arrangements == 50
+
+    def test_majority_has_end_biased_member(self):
+        """The paper reports ~90%; we assert a (loose) majority to keep the
+        check robust across parameterisations."""
+        study = optimal_biased_pair_study(
+            zipf_frequencies(1000, 6, 1.0),
+            zipf_frequencies(1000, 6, 2.0),
+            3,
+            max_arrangements=200,
+            rng=1,
+        )
+        assert study.at_least_one_end_biased > 0.5
+
+    def test_identical_sets_self_join_arrangement(self):
+        """The identity arrangement of a self-join is solved by end-biased
+        pairs (Theorem 3.1 / Corollary 3.1) — included in the fractions."""
+        freqs = zipf_frequencies(100, 5, 1.5)
+        study = optimal_biased_pair_study(freqs, freqs, 3)
+        assert study.at_least_one_end_biased > 0
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="match"):
+            optimal_biased_pair_study(
+                zipf_frequencies(10, 4, 1.0), zipf_frequencies(10, 5, 1.0), 2
+            )
+
+    def test_buckets_bounds(self):
+        freqs = zipf_frequencies(10, 4, 1.0)
+        with pytest.raises(ValueError, match="buckets"):
+            optimal_biased_pair_study(freqs, freqs, 1)
+        with pytest.raises(ValueError, match="buckets"):
+            optimal_biased_pair_study(freqs, freqs, 5)
+
+    def test_str(self):
+        study = ArrangementStudy(10, 0.9, 0.2, 0.5)
+        text = str(study)
+        assert "90.0%" in text and "20.0%" in text

@@ -1,0 +1,104 @@
+"""Tests for repro.experiments.chains — Figures 6-7 machinery."""
+
+import pytest
+
+from repro.experiments.chains import (
+    CHAIN_HISTOGRAM_TYPES,
+    mean_relative_error,
+    sweep_chain_buckets,
+    sweep_joins,
+)
+from repro.experiments.config import ChainExperimentConfig
+from repro.experiments.selfjoin import HistogramType
+from repro.queries.chain import make_zipf_chain
+from repro.queries.workload import QueryClass
+
+FAST = ChainExperimentConfig(
+    join_sweep=(1, 3, 5),
+    bucket_sweep=(1, 5, 15),
+    permutations=6,
+    queries_per_class=2,
+    seed=11,
+)
+
+
+class TestMeanRelativeError:
+    @pytest.fixture
+    def query(self):
+        return make_zipf_chain(3, domain=8, z_values=[1.5, 2.0, 1.0, 2.5])
+
+    def test_positive_for_skewed_chain(self, query):
+        error = mean_relative_error(query, HistogramType.TRIVIAL, 5, permutations=5, rng=0)
+        assert error > 0
+
+    def test_zero_for_uniform_chain(self):
+        query = make_zipf_chain(2, domain=5, z_values=[0.0, 0.0, 0.0])
+        for histogram_type in CHAIN_HISTOGRAM_TYPES:
+            error = mean_relative_error(query, histogram_type, 3, permutations=4, rng=0)
+            assert error == pytest.approx(0.0, abs=1e-9)
+
+    def test_optimal_types_beat_trivial(self, query):
+        trivial = mean_relative_error(query, HistogramType.TRIVIAL, 5, permutations=10, rng=0)
+        serial = mean_relative_error(query, HistogramType.SERIAL, 5, permutations=10, rng=0)
+        end_biased = mean_relative_error(query, HistogramType.END_BIASED, 5, permutations=10, rng=0)
+        assert serial < trivial
+        assert end_biased < trivial
+
+    def test_deterministic(self, query):
+        a = mean_relative_error(query, HistogramType.SERIAL, 5, permutations=5, rng=4)
+        b = mean_relative_error(query, HistogramType.SERIAL, 5, permutations=5, rng=4)
+        assert a == b
+
+    def test_value_order_types_rejected(self, query):
+        with pytest.raises(ValueError, match="frequency set alone"):
+            mean_relative_error(query, HistogramType.EQUI_DEPTH, 5)
+
+    def test_buckets_clamped_to_end_relations(self, query):
+        """β may exceed the end relations' 8-value domains without error."""
+        error = mean_relative_error(query, HistogramType.END_BIASED, 20, permutations=3, rng=0)
+        assert error >= 0
+
+
+class TestSweeps:
+    def test_sweep_joins_structure(self):
+        points = sweep_joins(FAST, classes=(QueryClass.HIGH_SKEW,))
+        assert [p.parameter for p in points] == [1, 3, 5]
+        for point in points:
+            assert set(point.errors) == set(CHAIN_HISTOGRAM_TYPES)
+
+    def test_errors_grow_with_joins_for_trivial(self):
+        """Figure 6 / error propagation: more joins, bigger trivial error."""
+        points = sweep_joins(FAST, classes=(QueryClass.HIGH_SKEW,))
+        trivial = [p.error(HistogramType.TRIVIAL) for p in points]
+        assert trivial[-1] > trivial[0]
+
+    def test_low_skew_much_easier_than_high(self):
+        points = sweep_joins(FAST, classes=(QueryClass.LOW_SKEW, QueryClass.HIGH_SKEW))
+        low = [p for p in points if p.query_class is QueryClass.LOW_SKEW]
+        high = [p for p in points if p.query_class is QueryClass.HIGH_SKEW]
+        # Compare at the largest join count.
+        assert low[-1].error(HistogramType.TRIVIAL) < high[-1].error(HistogramType.TRIVIAL)
+
+    def test_sweep_buckets_errors_fall(self):
+        points = sweep_chain_buckets(FAST, classes=(QueryClass.HIGH_SKEW,))
+        end_biased = [p.error(HistogramType.END_BIASED) for p in points]
+        assert end_biased[-1] < end_biased[0]
+
+    def test_small_beta_already_tolerable(self):
+        """Section 5.2: 'even with β = 5 the errors drop significantly'."""
+        config = ChainExperimentConfig(
+            bucket_sweep=(1, 5), permutations=8, queries_per_class=3, seed=2
+        )
+        points = sweep_chain_buckets(config, classes=(QueryClass.MIXED_SKEW,))
+        beta1 = points[0].error(HistogramType.END_BIASED)
+        beta5 = points[1].error(HistogramType.END_BIASED)
+        assert beta5 < 0.5 * beta1
+
+    def test_classes_reported(self):
+        points = sweep_joins(FAST)
+        assert {p.query_class for p in points} == set(QueryClass)
+
+    def test_reproducible(self):
+        a = sweep_joins(FAST, classes=(QueryClass.LOW_SKEW,))
+        b = sweep_joins(FAST, classes=(QueryClass.LOW_SKEW,))
+        assert [p.errors for p in a] == [p.errors for p in b]

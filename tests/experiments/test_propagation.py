@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.propagation."""
+
+import math
+
+import pytest
+
+from repro.experiments.chains import ChainErrorPoint, sweep_joins
+from repro.experiments.config import ChainExperimentConfig
+from repro.experiments.propagation import GrowthFit, fit_error_growth
+from repro.experiments.selfjoin import HistogramType
+from repro.queries.workload import QueryClass
+
+
+def synthetic_points(growth, base=0.01, joins=(1, 2, 3, 4, 5)):
+    return [
+        ChainErrorPoint(
+            float(n),
+            QueryClass.HIGH_SKEW,
+            {HistogramType.TRIVIAL: base * growth**n},
+        )
+        for n in joins
+    ]
+
+
+class TestFitErrorGrowth:
+    def test_recovers_exact_exponential(self):
+        points = synthetic_points(growth=3.0)
+        (fit,) = fit_error_growth(points)
+        assert fit.growth_factor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.points_used == 5
+
+    def test_flat_series_growth_one(self):
+        points = synthetic_points(growth=1.0)
+        (fit,) = fit_error_growth(points)
+        assert fit.growth_factor == pytest.approx(1.0)
+
+    def test_drops_zero_errors(self):
+        points = synthetic_points(growth=2.0) + [
+            ChainErrorPoint(9.0, QueryClass.HIGH_SKEW, {HistogramType.TRIVIAL: 0.0})
+        ]
+        (fit,) = fit_error_growth(points)
+        assert fit.points_used == 5
+
+    def test_too_few_points_skipped(self):
+        points = synthetic_points(growth=2.0, joins=(1, 2))
+        assert fit_error_growth(points) == []
+
+    def test_multiple_classes_and_types(self):
+        points = []
+        for query_class in (QueryClass.LOW_SKEW, QueryClass.HIGH_SKEW):
+            for n in (1, 2, 3, 4):
+                points.append(
+                    ChainErrorPoint(
+                        float(n),
+                        query_class,
+                        {
+                            HistogramType.TRIVIAL: 0.1 * 2.0**n,
+                            HistogramType.SERIAL: 0.01 * 1.5**n,
+                        },
+                    )
+                )
+        fits = fit_error_growth(points)
+        assert len(fits) == 4
+        by_key = {(f.query_class, f.histogram_type): f for f in fits}
+        assert by_key[(QueryClass.HIGH_SKEW, HistogramType.SERIAL)].growth_factor == pytest.approx(1.5)
+
+    def test_on_real_sweep_high_skew_grows(self):
+        """On actual Figure 6 data, high-skew trivial error grows per join."""
+        config = ChainExperimentConfig(
+            join_sweep=(1, 2, 3, 4, 5, 6),
+            permutations=8,
+            queries_per_class=3,
+            seed=3,
+        )
+        points = sweep_joins(config, classes=(QueryClass.HIGH_SKEW,))
+        fits = {f.histogram_type: f for f in fit_error_growth(points)}
+        assert fits[HistogramType.TRIVIAL].growth_factor > 1.3
+        # Optimal histograms grow too (error propagation is inherent), but
+        # from a far smaller base: compare absolute errors at the endpoint.
+        last = points[-1]
+        assert last.errors[HistogramType.SERIAL] < last.errors[HistogramType.TRIVIAL] / 10

@@ -1,0 +1,99 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "2.5000" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_none_renders_dash(self):
+        text = format_table(["x", "y"], [[1, None]])
+        assert text.splitlines()[-1].strip().endswith("-")
+
+    def test_nan_renders(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+    def test_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in text
+        assert "1.2346" not in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_wide_values_expand_columns(self):
+        text = format_table(["x"], [[123456789.0]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+
+class TestFormatSeries:
+    def test_shared_axis(self):
+        series = {"s1": {1.0: 10.0, 2.0: 20.0}, "s2": {2.0: 5.0}}
+        text = format_series("x", series)
+        lines = text.splitlines()
+        assert "s1" in lines[0] and "s2" in lines[0]
+        # x=1 row has a dash for s2.
+        assert "-" in lines[2]
+
+    def test_sorted_x(self):
+        series = {"s": {3.0: 1.0, 1.0: 2.0, 2.0: 3.0}}
+        text = format_series("x", series)
+        rows = text.splitlines()[2:]
+        xs = [float(r.split()[0]) for r in rows]
+        assert xs == sorted(xs)
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        import csv
+
+        from repro.experiments.report import write_csv
+
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2.5], [3, None]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+        assert rows[2] == ["3", ""]
+
+    def test_creates_parent_directories(self, tmp_path):
+        from repro.experiments.report import write_csv
+
+        path = write_csv(tmp_path / "nested" / "dir" / "out.csv", ["x"], [[1]])
+        assert path.exists()
+
+    def test_row_width_validated(self, tmp_path):
+        from repro.experiments.report import write_csv
+
+        with pytest.raises(ValueError, match="cells"):
+            write_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])
+
+
+class TestSeriesRows:
+    def test_conversion(self):
+        from repro.experiments.report import series_rows
+
+        headers, rows = series_rows({"s1": {1.0: 10.0}, "s2": {1.0: 5.0, 2.0: 6.0}})
+        assert headers == ["x", "s1", "s2"]
+        assert rows == [[1.0, 10.0, 5.0], [2.0, None, 6.0]]
+
+    def test_csv_integration(self, tmp_path):
+        from repro.experiments.report import series_rows, write_csv
+
+        headers, rows = series_rows({"s": {1.0: 2.0}})
+        path = write_csv(tmp_path / "series.csv", headers, rows)
+        assert path.read_text().startswith("x,s")

@@ -1,0 +1,132 @@
+"""Tests for repro.experiments.selfjoin — Figures 3-5 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import AttributeDistribution
+from repro.data.zipf import zipf_frequencies
+from repro.experiments.config import SelfJoinExperimentConfig
+from repro.experiments.selfjoin import (
+    HistogramType,
+    build_histogram,
+    self_join_sigmas,
+    sweep_buckets,
+    sweep_domain_size,
+    sweep_skew,
+)
+
+FAST = SelfJoinExperimentConfig(
+    bucket_sweep=(1, 2, 5, 10),
+    domain_sweep=(10, 50, 100),
+    z_sweep=(0.0, 1.0, 2.0, 4.0),
+    trials=8,
+    seed=7,
+)
+
+
+class TestBuildHistogram:
+    @pytest.mark.parametrize("histogram_type", list(HistogramType))
+    def test_builds_each_type(self, histogram_type):
+        dist = AttributeDistribution(range(10), zipf_frequencies(100, 10, 1.0))
+        hist = build_histogram(histogram_type, dist, 3)
+        assert hist.bucket_count == (1 if histogram_type is HistogramType.TRIVIAL else 3)
+
+    def test_arrangement_dependence_flags(self):
+        assert HistogramType.EQUI_WIDTH.arrangement_dependent
+        assert HistogramType.EQUI_DEPTH.arrangement_dependent
+        assert not HistogramType.SERIAL.arrangement_dependent
+        assert not HistogramType.END_BIASED.arrangement_dependent
+        assert not HistogramType.TRIVIAL.arrangement_dependent
+
+
+class TestSelfJoinSigmas:
+    def test_all_types_present(self, zipf_medium):
+        sigmas = self_join_sigmas(zipf_medium, 5, trials=5, rng=0)
+        assert set(sigmas) == set(HistogramType)
+
+    def test_paper_ranking_at_beta5(self, zipf_medium):
+        """Figure 3's ranking: serial <= end-biased << equi-depth <= trivial."""
+        sigmas = self_join_sigmas(zipf_medium, 5, trials=30, rng=0)
+        assert sigmas[HistogramType.SERIAL] <= sigmas[HistogramType.END_BIASED] + 1e-9
+        assert sigmas[HistogramType.END_BIASED] < sigmas[HistogramType.EQUI_DEPTH]
+        assert sigmas[HistogramType.EQUI_DEPTH] <= sigmas[HistogramType.TRIVIAL] * 1.05
+
+    def test_end_biased_within_2x_serial_here(self, zipf_medium):
+        """Section 5.1: 'usually less than twice the error of optimal serial'
+        — and much less than half the equi-depth error (checked at β=5,
+        the paper's canonical point)."""
+        sigmas = self_join_sigmas(zipf_medium, 5, trials=20, rng=1)
+        assert sigmas[HistogramType.END_BIASED] < 0.5 * sigmas[HistogramType.EQUI_DEPTH]
+
+    def test_equi_width_close_to_trivial(self, zipf_medium):
+        """'equi-width and trivial are almost always identical' under random
+        value↔frequency association."""
+        sigmas = self_join_sigmas(zipf_medium, 5, trials=40, rng=2)
+        ratio = sigmas[HistogramType.EQUI_WIDTH] / sigmas[HistogramType.TRIVIAL]
+        assert 0.8 < ratio <= 1.05
+
+    def test_single_bucket_all_equal(self, zipf_medium):
+        """With β = 1 every histogram is the trivial one."""
+        sigmas = self_join_sigmas(zipf_medium, 1, trials=5, rng=0)
+        values = [sigmas[t] for t in HistogramType]
+        assert max(values) - min(values) < 1e-6 * max(values)
+
+    def test_deterministic(self, zipf_medium):
+        a = self_join_sigmas(zipf_medium, 4, trials=10, rng=3)
+        b = self_join_sigmas(zipf_medium, 4, trials=10, rng=3)
+        assert a == b
+
+
+class TestSweeps:
+    def test_sweep_buckets_shape(self):
+        points = sweep_buckets(FAST)
+        assert [p.parameter for p in points] == [1, 2, 5, 10]
+
+    def test_sweep_buckets_serial_monotone(self):
+        points = sweep_buckets(FAST)
+        serial = [p.sigma(HistogramType.SERIAL) for p in points]
+        for earlier, later in zip(serial, serial[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_sweep_buckets_trivial_flat(self):
+        """The trivial histogram ignores β (always one bucket)."""
+        points = sweep_buckets(FAST)
+        trivial = [p.sigma(HistogramType.TRIVIAL) for p in points]
+        assert max(trivial) == pytest.approx(min(trivial))
+
+    def test_sweep_buckets_respects_serial_limit(self):
+        config = SelfJoinExperimentConfig(
+            bucket_sweep=(2, 8), serial_bucket_limit=5, trials=3
+        )
+        points = sweep_buckets(config)
+        assert HistogramType.SERIAL in points[0].sigmas
+        assert HistogramType.SERIAL not in points[1].sigmas
+
+    def test_sweep_domain_size(self):
+        points = sweep_domain_size(FAST)
+        assert [p.parameter for p in points] == [10, 50, 100]
+        for point in points:
+            assert point.sigma(HistogramType.SERIAL) <= point.sigma(HistogramType.TRIVIAL) + 1e-9
+
+    def test_sweep_skew_frequency_types_peak(self):
+        """Figure 5: frequency-based histograms peak then fall with z."""
+        config = SelfJoinExperimentConfig(
+            z_sweep=(0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5), trials=5, seed=1
+        )
+        points = sweep_skew(config)
+        end_biased = [p.sigma(HistogramType.END_BIASED) for p in points]
+        # Zero at z=0, rises, then falls by the end of the sweep.
+        assert end_biased[0] == pytest.approx(0.0, abs=1e-6)
+        peak = max(end_biased)
+        assert end_biased[-1] < peak
+
+    def test_sweep_skew_trivial_grows(self):
+        points = sweep_skew(FAST)
+        trivial = [p.sigma(HistogramType.TRIVIAL) for p in points]
+        assert trivial[-1] > trivial[0]
+
+    def test_zero_skew_all_zero_error(self):
+        config = SelfJoinExperimentConfig(z_sweep=(0.0,), trials=3)
+        point = sweep_skew(config)[0]
+        for sigma in point.sigmas.values():
+            assert sigma == pytest.approx(0.0, abs=1e-6)

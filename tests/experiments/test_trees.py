@@ -1,0 +1,79 @@
+"""Tests for repro.experiments.trees — the star-query sweep."""
+
+import pytest
+
+from repro.experiments.selfjoin import HistogramType
+from repro.experiments.trees import (
+    TREE_HISTOGRAM_TYPES,
+    sweep_star_leaves,
+    tree_mean_relative_error,
+)
+from repro.queries.tree import make_zipf_star
+from repro.queries.workload import QueryClass
+
+
+class TestTreeMeanRelativeError:
+    @pytest.fixture
+    def star(self):
+        return make_zipf_star(2, domain=4, z_values=[2.0, 1.0, 1.5])
+
+    def test_positive_on_skew(self, star):
+        error = tree_mean_relative_error(
+            star, HistogramType.TRIVIAL, 5, permutations=5, rng=0
+        )
+        assert error > 0
+
+    def test_zero_on_uniform(self):
+        star = make_zipf_star(2, domain=3, z_values=[0.0, 0.0, 0.0])
+        for histogram_type in TREE_HISTOGRAM_TYPES:
+            error = tree_mean_relative_error(
+                star, histogram_type, 3, permutations=4, rng=0
+            )
+            assert error == pytest.approx(0.0, abs=1e-9)
+
+    def test_optimal_beats_trivial(self, star):
+        trivial = tree_mean_relative_error(
+            star, HistogramType.TRIVIAL, 5, permutations=10, rng=1
+        )
+        serial = tree_mean_relative_error(
+            star, HistogramType.SERIAL, 5, permutations=10, rng=1
+        )
+        assert serial < trivial
+
+    def test_deterministic(self, star):
+        a = tree_mean_relative_error(star, HistogramType.END_BIASED, 4, permutations=5, rng=2)
+        b = tree_mean_relative_error(star, HistogramType.END_BIASED, 4, permutations=5, rng=2)
+        assert a == b
+
+    def test_value_order_types_rejected(self, star):
+        with pytest.raises(ValueError, match="frequency set alone"):
+            tree_mean_relative_error(star, HistogramType.EQUI_DEPTH, 4)
+
+
+class TestSweepStarLeaves:
+    def test_structure(self):
+        points = sweep_star_leaves(
+            (1, 2), classes=(QueryClass.HIGH_SKEW,), permutations=4,
+            queries_per_class=2, domain=4,
+        )
+        assert [p.num_leaves for p in points] == [1, 2]
+        for point in points:
+            assert set(point.errors) == set(TREE_HISTOGRAM_TYPES)
+
+    def test_high_skew_harder(self):
+        points = sweep_star_leaves(
+            (2,), classes=(QueryClass.LOW_SKEW, QueryClass.HIGH_SKEW),
+            permutations=6, queries_per_class=2, domain=4,
+        )
+        low = next(p for p in points if p.query_class is QueryClass.LOW_SKEW)
+        high = next(p for p in points if p.query_class is QueryClass.HIGH_SKEW)
+        assert high.errors[HistogramType.TRIVIAL] > low.errors[HistogramType.TRIVIAL]
+
+    def test_reproducible(self):
+        kwargs = dict(
+            classes=(QueryClass.HIGH_SKEW,), permutations=4, queries_per_class=2,
+            domain=4, seed=5,
+        )
+        a = sweep_star_leaves((1, 2), **kwargs)
+        b = sweep_star_leaves((1, 2), **kwargs)
+        assert [p.errors for p in a] == [p.errors for p in b]

@@ -1,0 +1,135 @@
+"""Edge-case and failure-injection tests across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.heuristic import equi_depth_histogram, trivial_histogram
+from repro.core.frequency import AttributeDistribution, FrequencySet
+from repro.core.serial import v_opt_hist_dp, v_opt_hist_exhaustive
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.executor import ChainJoinSpec, chain_join_size, execute_chain_join
+from repro.engine.relation import Relation
+
+
+class TestZeroFrequencies:
+    """Quantization of long Zipf tails produces genuine zero frequencies."""
+
+    @pytest.fixture
+    def with_zeros(self):
+        freqs = quantize_to_integers(zipf_frequencies(50, 100, 2.0)).astype(float)
+        assert (freqs == 0).any()  # precondition: tail hits zero
+        return freqs
+
+    def test_histograms_accept_zeros(self, with_zeros):
+        for beta in (1, 3, 10):
+            hist = v_opt_bias_hist(with_zeros, beta)
+            assert hist.self_join_error() >= -1e-9
+
+    def test_serial_dp_with_zeros(self, with_zeros):
+        hist = v_opt_hist_dp(with_zeros, 5)
+        assert hist.approximate_frequencies().sum() == pytest.approx(with_zeros.sum())
+
+    def test_zero_block_is_exact(self, with_zeros):
+        """Enough buckets isolate the zero tail into a zero-variance bucket."""
+        hist = v_opt_hist_dp(with_zeros, 10)
+        zero_buckets = [
+            b for b in hist.buckets if b.max_frequency == 0.0
+        ]
+        for bucket in zero_buckets:
+            assert bucket.sse == 0.0
+
+    def test_all_zero_multiset(self):
+        hist = trivial_histogram(np.zeros(5))
+        assert hist.self_join_estimate() == 0.0
+        assert hist.self_join_error() == 0.0
+
+    def test_equi_depth_on_zero_mass(self):
+        dist = AttributeDistribution(range(4), np.zeros(4))
+        hist = equi_depth_histogram(dist, 2)
+        assert hist.bucket_count == 2
+
+
+class TestDegenerateDomains:
+    def test_single_value_relation(self):
+        relation = Relation.from_columns("R", {"a": [7] * 10})
+        catalog = StatsCatalog()
+        entry = analyze_relation(relation, "a", catalog, kind="end-biased", buckets=5)
+        assert entry.distinct_count == 1
+        assert entry.estimate_frequency(7) == 10.0
+
+    def test_single_tuple_relation(self):
+        relation = Relation.from_columns("R", {"a": [1]})
+        catalog = StatsCatalog()
+        entry = analyze_relation(relation, "a", catalog, kind="serial", buckets=3)
+        assert entry.histogram.bucket_count == 1
+
+    def test_m_equals_one_histograms(self):
+        for builder in (lambda f: v_opt_bias_hist(f, 1), lambda f: v_opt_hist_exhaustive(f, 1)):
+            hist = builder([5.0])
+            assert hist.self_join_error() == 0.0
+
+    def test_all_equal_frequencies(self):
+        freqs = np.full(20, 3.0)
+        for beta in (1, 5, 20):
+            assert v_opt_hist_dp(freqs, beta).self_join_error() == pytest.approx(0.0)
+
+
+class TestEmptyAndDisjointJoins:
+    def test_chain_through_empty_intersection(self):
+        r0 = Relation.from_columns("R0", {"a": [1, 2, 3]})
+        r1 = Relation.from_columns("R1", {"a": [4, 5], "b": [1, 1]})
+        r2 = Relation.from_columns("R2", {"b": [1, 2]})
+        spec = ChainJoinSpec((r0, r1, r2), (("a", "a"), ("b", "b")))
+        assert chain_join_size(spec) == 0
+        assert execute_chain_join(spec).cardinality == 0
+
+    def test_estimates_on_disjoint_domains(self):
+        left = Relation.from_columns("L", {"k": [1, 2, 3]})
+        right = Relation.from_columns("R", {"k": [10, 11]})
+        catalog = StatsCatalog()
+        analyze_relation(left, "k", catalog, kind="serial", buckets=3)
+        analyze_relation(right, "k", catalog, kind="serial", buckets=2)
+        from repro.optimizer.cardinality import CardinalityEstimator
+
+        estimate = CardinalityEstimator(catalog).join_cardinality("L", "k", "R", "k")
+        assert estimate == 0.0
+
+
+class TestStaleStatistics:
+    def test_catalog_does_not_track_mutations(self):
+        """Statistics are snapshots: mutating the relation leaves them stale
+        (the Section 2.3 hazard the maint package addresses)."""
+        relation = Relation.from_columns("R", {"a": [1, 1, 2]})
+        catalog = StatsCatalog()
+        entry = analyze_relation(relation, "a", catalog, kind="end-biased", buckets=2)
+        before = entry.estimate_frequency(1)
+        for _ in range(10):
+            relation.insert((1,))
+        assert catalog.require("R", "a").estimate_frequency(1) == before
+        refreshed = analyze_relation(relation, "a", catalog, kind="end-biased", buckets=2)
+        assert refreshed.estimate_frequency(1) == before + 10
+        assert refreshed.version == 2
+
+
+class TestFrequencySetExtremes:
+    def test_huge_dynamic_range(self):
+        freqs = np.array([1e12, 1.0, 1e-6])
+        hist = v_opt_hist_exhaustive(freqs, 2)
+        # The giant value must sit alone.
+        singles = [b for b in hist.buckets if b.count == 1]
+        assert any(b.max_frequency == 1e12 for b in singles)
+
+    def test_frequency_set_of_identical_values(self):
+        fset = FrequencySet([4.0] * 8)
+        assert fset.variance == 0.0
+        assert v_opt_bias_hist(fset.frequencies, 3).self_join_error() == 0.0
+
+    def test_large_m_small_beta(self):
+        freqs = zipf_frequencies(10_000, 5_000, 1.0)
+        hist = v_opt_bias_hist(freqs, 3)
+        assert hist.bucket_count == 3
+        assert hist.self_join_estimate() <= float(np.dot(freqs, freqs)) + 1e-6

@@ -1,0 +1,183 @@
+"""End-to-end integration: data → engine → ANALYZE → estimation → optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import relative_error
+from repro.data.quantize import quantize_to_integers
+from repro.data.realworld import nba_player_statistics, player_stat_frequency_set
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.executor import ChainJoinSpec, chain_join_size, execute_chain_join
+from repro.engine.operators import hash_join, select_equals
+from repro.engine.relation import Relation
+from repro.maint.update import MaintainedEndBiased
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.joinorder import JoinEdge, JoinGraph, optimal_join_order, plan_true_rows
+
+
+def zipf_relation(name, attr, total, domain, z, rng):
+    freqs = quantize_to_integers(zipf_frequencies(total, domain, z))
+    column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+    rng.shuffle(column)
+    return Relation.from_columns(name, {attr: column})
+
+
+class TestSelfJoinPipeline:
+    """The full pipeline on a self-join, the paper's canonical query."""
+
+    @pytest.mark.parametrize("kind,max_rel_error", [
+        ("end-biased", 0.12),
+        ("serial", 0.12),
+        ("trivial", 1.0),
+    ])
+    def test_histograms_estimate_true_self_join(self, rng, kind, max_rel_error):
+        relation = zipf_relation("R", "a", 2000, 50, 1.2, rng)
+        truth = hash_join(relation, relation, "a", "a").cardinality
+        catalog = StatsCatalog()
+        entry = analyze_relation(relation, "a", catalog, kind=kind, buckets=8)
+        estimate = entry.histogram.self_join_estimate()
+        assert relative_error(truth, estimate) <= max_rel_error
+
+    def test_ranking_preserved_on_real_engine_data(self, rng):
+        relation = zipf_relation("R", "a", 2000, 50, 1.5, rng)
+        truth = hash_join(relation, relation, "a", "a").cardinality
+        errors = {}
+        for kind in ("trivial", "equi-depth", "end-biased", "serial"):
+            catalog = StatsCatalog()
+            entry = analyze_relation(relation, "a", catalog, kind=kind, buckets=8)
+            estimate = float(
+                np.dot(
+                    entry.histogram.approximate_frequencies(),
+                    entry.histogram.approximate_frequencies(),
+                )
+            )
+            errors[kind] = abs(truth - estimate)
+        assert errors["serial"] <= errors["end-biased"] + 1e-9
+        assert errors["end-biased"] <= errors["trivial"] + 1e-9
+
+
+class TestChainPipeline:
+    def test_matrix_product_equals_executor_and_estimates_track(self, rng):
+        r0 = zipf_relation("R0", "a1", 500, 8, 1.0, rng)
+        r1 = Relation.from_columns(
+            "R1",
+            {
+                "a1": list(rng.integers(0, 8, 400)),
+                "a2": list(rng.integers(0, 6, 400)),
+            },
+        )
+        r2 = zipf_relation("R2", "a2", 300, 6, 2.0, rng)
+        spec = ChainJoinSpec((r0, r1, r2), (("a1", "a1"), ("a2", "a2")))
+        truth = execute_chain_join(spec).cardinality
+        assert chain_join_size(spec) == truth
+
+        catalog = StatsCatalog()
+        for relation, attrs in ((r0, ["a1"]), (r1, ["a1", "a2"]), (r2, ["a2"])):
+            for attr in attrs:
+                analyze_relation(relation, attr, catalog, kind="end-biased", buckets=6)
+        estimator = CardinalityEstimator(catalog)
+        sel01 = estimator.join_selectivity("R0", "a1", "R1", "a1")
+        sel12 = estimator.join_selectivity("R1", "a2", "R2", "a2")
+        estimate = 500 * 400 * 300 * sel01 * sel12
+        # Join estimates compound multiplicatively; the independence model
+        # should land within a small constant factor of the truth.
+        assert truth / 4 <= estimate <= truth * 4
+
+    def test_optimizer_estimates_match_plan_truth_reasonably(self, rng):
+        relations = [
+            zipf_relation("A", "x", 300, 8, 1.5, rng),
+            Relation.from_columns(
+                "B",
+                {"x": list(rng.integers(0, 8, 250)), "y": list(rng.integers(0, 5, 250))},
+            ),
+            zipf_relation("C", "y", 200, 5, 0.5, rng),
+        ]
+        catalog = StatsCatalog()
+        for relation in relations:
+            for attr in relation.schema.names:
+                analyze_relation(relation, attr, catalog, kind="end-biased", buckets=8)
+        graph = JoinGraph(
+            relations, [JoinEdge("A", "x", "B", "x"), JoinEdge("B", "y", "C", "y")]
+        )
+        plan = optimal_join_order(graph, CardinalityEstimator(catalog))
+        truth = plan_true_rows(plan, graph)[plan]
+        # Two compounded join estimates: within a factor of four of truth.
+        assert truth / 4 <= plan.estimated_rows <= truth * 4
+
+
+class TestSelectionPipeline:
+    def test_selection_estimates(self, rng):
+        relation = zipf_relation("R", "a", 1000, 20, 1.5, rng)
+        catalog = StatsCatalog()
+        analyze_relation(relation, "a", catalog, kind="end-biased", buckets=6)
+        estimator = CardinalityEstimator(catalog)
+        dist = relation.frequency_distribution("a")
+        hot = max(dist.values, key=dist.frequency_of)
+        truth = select_equals(relation, "a", hot).cardinality
+        assert estimator.equality_selection("R", "a", hot) == pytest.approx(truth)
+
+    def test_range_estimate_tracks_truth(self, rng):
+        relation = zipf_relation("R", "a", 1000, 20, 1.0, rng)
+        catalog = StatsCatalog()
+        analyze_relation(relation, "a", catalog, kind="serial", buckets=8)
+        estimator = CardinalityEstimator(catalog)
+        position = relation.schema.position("a")
+        truth = sum(1 for row in relation.rows() if 5 <= row[position] <= 12)
+        estimate = estimator.range_selection("R", "a", low=5, high=12)
+        assert relative_error(truth, estimate) < 0.5
+
+
+class TestMaintenancePipeline:
+    def test_maintained_histogram_tracks_updates(self, rng):
+        relation = zipf_relation("R", "a", 1000, 25, 1.2, rng)
+        dist = relation.frequency_distribution("a")
+        maintained = MaintainedEndBiased(dist, 8)
+        # Apply 100 inserts to both the relation and the histogram.
+        for _ in range(100):
+            value = int(rng.integers(0, 25))
+            relation.insert((value,))
+            maintained.insert(value)
+        fresh = relation.frequency_distribution("a")
+        assert maintained.total == pytest.approx(fresh.total)
+        truth = float(np.dot(fresh.frequencies, fresh.frequencies))
+        assert relative_error(truth, maintained.self_join_estimate()) < 0.25
+
+
+class TestRealDataPipeline:
+    """Section 5.1.2: real-life data verifies the Zipf findings."""
+
+    def test_histogram_ranking_on_nba_surrogate(self):
+        seasons = nba_player_statistics(players=400)
+        from repro.core.biased import v_opt_bias_hist
+        from repro.core.heuristic import trivial_histogram
+        from repro.core.serial import v_optimal_serial_histogram
+
+        for attribute in ("points", "minutes", "rebounds", "threes"):
+            freqs = player_stat_frequency_set(seasons, attribute)
+            beta = min(8, freqs.size)
+            trivial_error = trivial_histogram(freqs).self_join_error()
+            end_biased_error = v_opt_bias_hist(freqs, beta).self_join_error()
+            serial_error = v_optimal_serial_histogram(
+                freqs, beta, method="dp"
+            ).self_join_error()
+            assert serial_error <= end_biased_error + 1e-9, attribute
+            assert end_biased_error <= trivial_error + 1e-9, attribute
+
+    def test_nba_relation_through_engine(self):
+        seasons = nba_player_statistics(players=300)
+        relation = Relation.from_columns(
+            "PlayerStats",
+            {
+                "player_id": [s.player_id for s in seasons],
+                "games": [s.games for s in seasons],
+                "threes": [s.threes for s in seasons],
+            },
+        )
+        catalog = StatsCatalog()
+        analyze_relation(relation, "games", catalog, kind="end-biased", buckets=10)
+        entry = catalog.require("PlayerStats", "games")
+        truth = relation.frequency_distribution("games")
+        hot = max(truth.values, key=truth.frequency_of)
+        assert entry.estimate_frequency(hot) == pytest.approx(truth.frequency_of(hot))

@@ -1,0 +1,89 @@
+"""Full-stack integration: SQL + tuning + persistence working together."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.persist import load_catalog, save_catalog
+from repro.engine.tuning import tune_database
+from repro.sql import Database
+
+
+def build_database(rng):
+    def zipf_column(total, domain, z):
+        freqs = quantize_to_integers(zipf_frequencies(total, domain, z))
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        rng.shuffle(column)
+        return column
+
+    db = Database()
+    db.create(
+        "orders",
+        {"cust": zipf_column(800, 30, 1.5), "item": zipf_column(800, 20, 0.5)},
+    )
+    db.create("customers", {"cust": list(range(30))})
+    return db
+
+
+WORKLOAD = [
+    "SELECT * FROM orders WHERE cust = 0",
+    "SELECT COUNT(*) FROM orders WHERE item BETWEEN 3 AND 9",
+    "SELECT * FROM orders o, customers c WHERE o.cust = c.cust",
+    "SELECT cust, COUNT(*) FROM orders GROUP BY cust",
+]
+
+
+class TestTunedDatabase:
+    def test_tuner_feeds_sql_estimates(self, rng):
+        db = build_database(rng)
+        recommendations = tune_database(
+            [db.relation(name) for name in db.relation_names],
+            db.catalog,
+            tolerance=0.02,
+        )
+        assert len(recommendations) == 3  # orders.cust, orders.item, customers.cust
+        for sql in WORKLOAD:
+            truth = db.execute(sql).cardinality
+            estimate = db.estimate(sql)
+            assert estimate >= 0
+            if "GROUP BY" in sql:
+                assert estimate == pytest.approx(truth, rel=0.2)
+
+    def test_tuned_equality_estimates_high_accuracy(self, rng):
+        db = build_database(rng)
+        tune_database(
+            [db.relation(name) for name in db.relation_names],
+            db.catalog,
+            tolerance=0.01,
+        )
+        column = db.relation("orders").column("cust")
+        hot = max(set(column), key=column.count)
+        estimate = db.estimate(f"SELECT * FROM orders WHERE cust = {hot}")
+        assert estimate == pytest.approx(column.count(hot), rel=0.05)
+
+
+class TestPersistedCatalogInSql:
+    def test_estimates_survive_round_trip(self, rng, tmp_path):
+        db = build_database(rng)
+        db.analyze(kind="end-biased", buckets=8)
+        before = {sql: db.estimate(sql) for sql in WORKLOAD}
+
+        path = tmp_path / "stats.json"
+        save_catalog(db.catalog, path)
+
+        # A fresh database with the same data but statistics loaded from disk.
+        restored = build_database(np.random.default_rng(20260705))
+        restored.catalog = load_catalog(path)
+        after = {sql: restored.estimate(sql) for sql in WORKLOAD}
+        for sql in WORKLOAD:
+            assert after[sql] == pytest.approx(before[sql])
+
+    def test_execution_unaffected_by_catalog_source(self, rng, tmp_path):
+        db = build_database(rng)
+        db.analyze()
+        path = tmp_path / "stats.json"
+        save_catalog(db.catalog, path)
+        db.catalog = load_catalog(path)
+        sql = "SELECT * FROM orders o, customers c WHERE o.cust = c.cust"
+        assert db.execute(sql).cardinality == 800  # cust is a key in customers

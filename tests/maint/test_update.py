@@ -1,0 +1,174 @@
+"""Tests for repro.maint.update — incremental end-biased maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import AttributeDistribution
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.maint.update import MaintainedEndBiased, MaintenancePolicy
+
+
+@pytest.fixture
+def distribution():
+    freqs = quantize_to_integers(zipf_frequencies(1000, 30, 1.2)).astype(float)
+    return AttributeDistribution(list(range(30)), freqs)
+
+
+@pytest.fixture
+def maintained(distribution):
+    return MaintainedEndBiased(distribution, 6)
+
+
+class TestInitialState:
+    def test_matches_optimal_histogram(self, distribution, maintained):
+        from repro.core.biased import v_opt_bias_hist
+
+        hist = v_opt_bias_hist(distribution.frequencies, 6, values=distribution.values)
+        assert maintained.self_join_estimate() == pytest.approx(hist.self_join_estimate())
+
+    def test_totals(self, distribution, maintained):
+        assert maintained.total == pytest.approx(distribution.total)
+        assert maintained.distinct_count == 30
+
+    def test_estimate_explicit_value(self, distribution, maintained):
+        top = max(distribution.values, key=distribution.frequency_of)
+        assert maintained.estimate(top) == pytest.approx(distribution.frequency_of(top))
+
+    def test_no_rebuild_needed_fresh(self, maintained):
+        assert not maintained.needs_rebuild()
+
+
+class TestInserts:
+    def test_insert_explicit_value(self, distribution, maintained):
+        top = max(distribution.values, key=distribution.frequency_of)
+        before = maintained.estimate(top)
+        maintained.insert(top)
+        assert maintained.estimate(top) == before + 1
+
+    def test_insert_remainder_value(self, distribution, maintained):
+        values_by_freq = sorted(distribution.values, key=distribution.frequency_of)
+        low = values_by_freq[len(values_by_freq) // 2]
+        total_before = maintained.total
+        maintained.insert(low)
+        assert maintained.total == pytest.approx(total_before + 1)
+
+    def test_insert_new_domain_value(self, maintained):
+        distinct_before = maintained.distinct_count
+        maintained.insert("brand-new")
+        assert maintained.distinct_count == distinct_before + 1
+        assert maintained.estimate("brand-new") > 0
+
+    def test_total_tracks_inserts(self, maintained):
+        before = maintained.total
+        for _ in range(10):
+            maintained.insert("v")
+        assert maintained.total == pytest.approx(before + 10)
+
+
+class TestDeletes:
+    def test_delete_explicit(self, distribution, maintained):
+        top = max(distribution.values, key=distribution.frequency_of)
+        before = maintained.estimate(top)
+        maintained.delete(top)
+        assert maintained.estimate(top) == before - 1
+
+    def test_delete_remainder(self, distribution, maintained):
+        values_by_freq = sorted(distribution.values, key=distribution.frequency_of)
+        low = values_by_freq[0]
+        before = maintained.total
+        maintained.delete(low)
+        assert maintained.total == pytest.approx(before - 1)
+
+    def test_delete_unknown_value_rejected(self, maintained):
+        with pytest.raises(ValueError, match="domain"):
+            maintained.delete("never-seen")
+
+    def test_delete_below_zero_rejected(self, distribution):
+        tiny = AttributeDistribution(["a", "b"], [2.0, 1.0])
+        maintained = MaintainedEndBiased(tiny, 2)
+        maintained.delete("a")
+        maintained.delete("a")
+        with pytest.raises(ValueError):
+            maintained.delete("a")
+
+
+class TestRebuildPolicy:
+    def test_update_fraction_trigger(self, distribution):
+        maintained = MaintainedEndBiased(
+            distribution, 6, policy=MaintenancePolicy(update_fraction=0.05)
+        )
+        for _ in range(49):
+            maintained.insert(0)
+        assert not maintained.needs_rebuild()
+        maintained.insert(0)
+        assert maintained.needs_rebuild()
+
+    def test_promotion_trigger(self, distribution):
+        """A remainder value outgrowing an explicit one forces a rebuild."""
+        maintained = MaintainedEndBiased(
+            distribution, 6, policy=MaintenancePolicy(update_fraction=10.0)
+        )
+        values_by_freq = sorted(distribution.values, key=distribution.frequency_of)
+        cold = values_by_freq[0]
+        floor = min(maintained.explicit.values())
+        for _ in range(int(floor) + 5):
+            maintained.insert(cold)
+        assert maintained.needs_rebuild()
+
+    def test_promotions_can_be_disabled(self, distribution):
+        maintained = MaintainedEndBiased(
+            distribution,
+            6,
+            policy=MaintenancePolicy(update_fraction=10.0, watch_promotions=False),
+        )
+        values_by_freq = sorted(distribution.values, key=distribution.frequency_of)
+        cold = values_by_freq[0]
+        for _ in range(200):
+            maintained.insert(cold)
+        assert not maintained.needs_rebuild()
+
+    def test_rebuild_resets(self, distribution, maintained):
+        for _ in range(200):
+            maintained.insert(0)
+        fresh_freqs = maintained.as_compact()
+        new_dist = AttributeDistribution(
+            list(distribution.values),
+            distribution.frequencies + np.where(np.array(distribution.values) == 0, 200.0, 0.0),
+        )
+        maintained.rebuild(new_dist)
+        assert maintained.updates_since_build == 0
+        assert not maintained.needs_rebuild()
+        assert maintained.total == pytest.approx(new_dist.total)
+
+    def test_drift_increases_self_join_error(self, distribution, maintained):
+        """Stale histograms accrue error — the paper's Section 2.3 warning."""
+        true_freqs = dict(zip(distribution.values, distribution.frequencies))
+        gen = np.random.default_rng(0)
+        values_by_freq = sorted(distribution.values, key=distribution.frequency_of)
+        cold_values = values_by_freq[:10]
+        for _ in range(400):
+            value = cold_values[gen.integers(0, len(cold_values))]
+            maintained.insert(value)
+            true_freqs[value] += 1
+        truth = sum(f * f for f in true_freqs.values())
+        stale_error = abs(truth - maintained.self_join_estimate())
+        rebuilt = MaintainedEndBiased(
+            AttributeDistribution(list(true_freqs), list(true_freqs.values())), 6
+        )
+        fresh_error = abs(truth - rebuilt.self_join_estimate())
+        assert fresh_error <= stale_error
+
+
+class TestCounterOnlyMode:
+    def test_unknown_values_assumed_in_domain(self, distribution):
+        maintained = MaintainedEndBiased(distribution, 6, track_values=False)
+        assert maintained.estimate("anything") == pytest.approx(
+            maintained.remainder_average
+        )
+
+    def test_insert_unseen(self, distribution):
+        maintained = MaintainedEndBiased(distribution, 6, track_values=False)
+        before = maintained.total
+        maintained.insert("new")
+        assert maintained.total == pytest.approx(before + 1)

@@ -1,0 +1,122 @@
+"""Tests for repro.optimizer.cardinality."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.operators import hash_join
+from repro.engine.relation import Relation
+from repro.optimizer.cardinality import DEFAULT_EQ_SELECTIVITY, CardinalityEstimator
+
+
+def zipf_column(total, domain, z, rng):
+    freqs = quantize_to_integers(zipf_frequencies(total, domain, z))
+    column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+    rng.shuffle(column)
+    return column
+
+
+@pytest.fixture
+def analyzed(rng):
+    left = Relation.from_columns("L", {"k": zipf_column(800, 30, 1.2, rng)})
+    right = Relation.from_columns("R", {"k": zipf_column(600, 30, 0.8, rng)})
+    catalog = StatsCatalog()
+    analyze_relation(left, "k", catalog, kind="end-biased", buckets=8)
+    analyze_relation(right, "k", catalog, kind="end-biased", buckets=8)
+    return left, right, catalog, CardinalityEstimator(catalog)
+
+
+class TestScanAndSelection:
+    def test_scan_cardinality(self, analyzed):
+        left, _, _, estimator = analyzed
+        assert estimator.scan_cardinality("L") == 800.0
+
+    def test_scan_missing_relation(self, analyzed):
+        *_, estimator = analyzed
+        with pytest.raises(KeyError, match="ANALYZE"):
+            estimator.scan_cardinality("nope")
+
+    def test_equality_selection_explicit_value_exact(self, analyzed):
+        left, _, _, estimator = analyzed
+        dist = left.frequency_distribution("k")
+        top = max(dist.values, key=dist.frequency_of)
+        assert estimator.equality_selection("L", "k", top) == pytest.approx(
+            dist.frequency_of(top)
+        )
+
+    def test_equality_selection_without_stats_uses_default(self, analyzed):
+        left, _, catalog, estimator = analyzed
+        estimate = estimator.equality_selection("L", "other_attr", 5)
+        assert estimate == pytest.approx(800 * DEFAULT_EQ_SELECTIVITY)
+
+    def test_range_selection_with_histogram(self, analyzed):
+        left, _, _, estimator = analyzed
+        full = estimator.range_selection("L", "k", low=None, high=None)
+        assert full == pytest.approx(800.0)
+
+    def test_range_selection_partial(self, analyzed):
+        left, _, _, estimator = analyzed
+        low_half = estimator.range_selection("L", "k", low=0, high=14)
+        high_half = estimator.range_selection("L", "k", low=15, high=29)
+        assert low_half + high_half == pytest.approx(800.0)
+
+
+class TestJoinEstimates:
+    def test_join_estimate_close_to_truth(self, analyzed):
+        left, right, _, estimator = analyzed
+        truth = hash_join(left, right, "k", "k").cardinality
+        estimate = estimator.join_cardinality("L", "k", "R", "k")
+        assert estimate == pytest.approx(truth, rel=0.35)
+
+    def test_histograms_beat_uniform_assumption(self, analyzed):
+        """The motivating claim: better stats, better estimates."""
+        left, right, catalog, estimator = analyzed
+        truth = hash_join(left, right, "k", "k").cardinality
+        with_hist = estimator.join_cardinality("L", "k", "R", "k")
+        uniform = estimator._uniform_join(
+            catalog.require("L", "k"), catalog.require("R", "k")
+        )
+        assert abs(with_hist - truth) < abs(uniform - truth)
+
+    def test_more_buckets_tighter_estimate(self, rng):
+        left = Relation.from_columns("L", {"k": zipf_column(800, 30, 1.5, rng)})
+        right = Relation.from_columns("R", {"k": zipf_column(600, 30, 1.5, rng)})
+        truth = hash_join(left, right, "k", "k").cardinality
+        errors = []
+        for buckets in (1, 4, 16):
+            catalog = StatsCatalog()
+            analyze_relation(left, "k", catalog, kind="end-biased", buckets=buckets)
+            analyze_relation(right, "k", catalog, kind="end-biased", buckets=buckets)
+            estimate = CardinalityEstimator(catalog).join_cardinality("L", "k", "R", "k")
+            errors.append(abs(estimate - truth))
+        assert errors[2] <= errors[0]
+
+    def test_perfect_histograms_exact_join(self, rng):
+        left = Relation.from_columns("L", {"k": zipf_column(100, 8, 1.0, rng)})
+        right = Relation.from_columns("R", {"k": zipf_column(90, 8, 0.5, rng)})
+        catalog = StatsCatalog()
+        analyze_relation(left, "k", catalog, kind="end-biased", buckets=8)
+        analyze_relation(right, "k", catalog, kind="end-biased", buckets=8)
+        estimator = CardinalityEstimator(catalog)
+        truth = hash_join(left, right, "k", "k").cardinality
+        assert estimator.join_cardinality("L", "k", "R", "k") == pytest.approx(truth)
+
+    def test_missing_stats_default(self, analyzed):
+        left, right, _, estimator = analyzed
+        estimate = estimator.join_cardinality("L", "nostat", "R", "nostat")
+        assert estimate == pytest.approx(800 * 600 * DEFAULT_EQ_SELECTIVITY)
+
+    def test_selectivity_normalisation(self, analyzed):
+        left, right, _, estimator = analyzed
+        sel = estimator.join_selectivity("L", "k", "R", "k")
+        estimate = estimator.join_cardinality("L", "k", "R", "k")
+        assert sel == pytest.approx(estimate / (800 * 600))
+
+    def test_join_symmetric(self, analyzed):
+        *_, estimator = analyzed
+        ab = estimator.join_cardinality("L", "k", "R", "k")
+        ba = estimator.join_cardinality("R", "k", "L", "k")
+        assert ab == pytest.approx(ba)

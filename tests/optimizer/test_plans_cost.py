@@ -1,0 +1,61 @@
+"""Tests for repro.optimizer.plans and repro.optimizer.cost."""
+
+import pytest
+
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plans import JoinPlan, ScanPlan
+
+
+@pytest.fixture
+def small_plan():
+    left = ScanPlan("A", 100.0)
+    right = ScanPlan("B", 50.0)
+    return JoinPlan(left, right, "A.k", "B.k", estimated_rows=300.0)
+
+
+class TestPlans:
+    def test_scan_properties(self):
+        scan = ScanPlan("A", 42.0)
+        assert scan.relations == frozenset({"A"})
+        assert scan.estimated_cost == 42.0
+
+    def test_join_relations(self, small_plan):
+        assert small_plan.relations == frozenset({"A", "B"})
+
+    def test_join_cost_accumulates(self, small_plan):
+        assert small_plan.local_cost == 100 + 50 + 300
+        assert small_plan.estimated_cost == 100 + 50 + (100 + 50 + 300)
+
+    def test_nested_join(self, small_plan):
+        top = JoinPlan(small_plan, ScanPlan("C", 10.0), "B.y", "C.y", 600.0)
+        assert top.relations == frozenset({"A", "B", "C"})
+        assert top.estimated_cost == small_plan.estimated_cost + 10 + (300 + 10 + 600)
+
+    def test_pretty_output(self, small_plan):
+        text = small_plan.pretty()
+        assert "HashJoin(A.k = B.k)" in text
+        assert "Scan(A)" in text and "Scan(B)" in text
+
+
+class TestCostModel:
+    def test_default_matches_plan_cost(self, small_plan):
+        model = CostModel()
+        # build = min side, probe = max side, plus children scans.
+        expected = 100 + 50 + (50 + 100 + 300)
+        assert model.plan_cost(small_plan) == expected
+
+    def test_weights(self, small_plan):
+        model = CostModel(scan_weight=0.0, build_weight=2.0, probe_weight=1.0, output_weight=0.5)
+        expected = 2.0 * 50 + 1.0 * 100 + 0.5 * 300
+        assert model.plan_cost(small_plan) == expected
+
+    def test_row_source_substitution(self, small_plan):
+        """Evaluating the same plan with true sizes changes the cost."""
+        model = CostModel()
+        true_rows = {small_plan: 1000.0, small_plan.left: 100.0, small_plan.right: 50.0}
+        cost = model.plan_cost(small_plan, row_source=lambda node: true_rows[node])
+        assert cost == 100 + 50 + (50 + 100 + 1000)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(scan_weight=-1.0)

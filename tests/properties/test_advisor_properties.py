@@ -1,0 +1,111 @@
+"""Property-based tests for the advisor, allocator and value-order family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.advisor import allocate_bucket_budget, optimal_error_for_buckets
+from repro.core.frequency import AttributeDistribution
+from repro.core.heuristic import equi_depth_histogram, equi_width_histogram
+from repro.core.valueorder import v_optimal_value_histogram
+
+frequencies = st.lists(
+    st.floats(min_value=0.01, max_value=1e3, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=10,
+)
+
+
+def total_sse(histogram):
+    reference = histogram.frequencies
+    approx = histogram.approximate_frequencies()
+    return float(((reference - approx) ** 2).sum())
+
+
+class TestValueOrderProperties:
+    @given(frequencies, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_dp_dominates_heuristics_in_family(self, freqs, beta):
+        beta = min(beta, len(freqs))
+        dist = AttributeDistribution(range(len(freqs)), freqs)
+        optimal = total_sse(v_optimal_value_histogram(dist, beta))
+        assert optimal <= total_sse(equi_width_histogram(dist, beta)) + 1e-6
+        assert optimal <= total_sse(equi_depth_histogram(dist, beta)) + 1e-6
+
+    @given(frequencies)
+    @settings(max_examples=40, deadline=None)
+    def test_sse_monotone_in_buckets(self, freqs):
+        dist = AttributeDistribution(range(len(freqs)), freqs)
+        sses = [
+            total_sse(v_optimal_value_histogram(dist, beta))
+            for beta in range(1, len(freqs) + 1)
+        ]
+        for earlier, later in zip(sses, sses[1:]):
+            assert later <= earlier + 1e-6
+        assert sses[-1] == pytest.approx(0.0, abs=1e-6)
+
+    @given(frequencies, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_buckets_partition_value_order(self, freqs, beta):
+        beta = min(beta, len(freqs))
+        dist = AttributeDistribution(range(len(freqs)), freqs)
+        hist = v_optimal_value_histogram(dist, beta)
+        flat = [v for bucket in hist.buckets for v in bucket.values]
+        assert flat == list(range(len(freqs)))
+
+
+@st.composite
+def allocation_case(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    sets = [
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+                min_size=2,
+                max_size=6,
+            )
+        )
+        for _ in range(count)
+    ]
+    extra = draw(st.integers(min_value=0, max_value=8))
+    return sets, count + extra
+
+
+class TestAllocatorProperties:
+    @given(allocation_case())
+    @settings(max_examples=40, deadline=None)
+    def test_every_attribute_served_within_budget(self, case):
+        sets, budget = case
+        allocation = allocate_bucket_budget(sets, budget)
+        assert len(allocation) == len(sets)
+        assert all(k >= 1 for k in allocation)
+        assert sum(allocation) <= budget
+        for fset, buckets in zip(sets, allocation):
+            assert buckets <= len(fset)
+
+    @given(allocation_case())
+    @settings(max_examples=30, deadline=None)
+    def test_no_single_move_improves(self, case):
+        """The DP allocation is 1-move optimal: shifting one bucket from any
+        attribute to any other never reduces the total error.  (A greedy
+        allocator fails this — end-biased marginal gains are non-monotone —
+        which is why the implementation is an exact dynamic program.)"""
+        sets, budget = case
+        allocation = allocate_bucket_budget(sets, budget)
+
+        def error(index, buckets):
+            return optimal_error_for_buckets(sets[index], buckets)
+
+        base = sum(error(i, k) for i, k in enumerate(allocation))
+        for donor in range(len(sets)):
+            if allocation[donor] <= 1:
+                continue
+            for receiver in range(len(sets)):
+                if receiver == donor or allocation[receiver] >= len(sets[receiver]):
+                    continue
+                moved = list(allocation)
+                moved[donor] -= 1
+                moved[receiver] += 1
+                candidate = sum(error(i, k) for i, k in enumerate(moved))
+                assert candidate >= base - 1e-6

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on histogram invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import AttributeDistribution, FrequencySet
+from repro.core.heuristic import equi_depth_histogram, equi_width_histogram, trivial_histogram
+from repro.core.histogram import Histogram
+from repro.core.serial import serial_error_from_sizes, v_opt_hist_dp, v_opt_hist_exhaustive
+
+# Frequency multisets: positive, bounded, small enough for exhaustive oracles.
+frequencies = st.lists(
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+small_frequencies = st.lists(
+    st.floats(min_value=0.01, max_value=1e3, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=8,
+)
+
+
+@st.composite
+def frequencies_and_buckets(draw, source=frequencies):
+    freqs = draw(source)
+    beta = draw(st.integers(min_value=1, max_value=len(freqs)))
+    return freqs, beta
+
+
+class TestApproximationInvariants:
+    @given(frequencies_and_buckets())
+    @settings(max_examples=60)
+    def test_bucket_averages_preserve_total(self, case):
+        freqs, beta = case
+        hist = v_opt_bias_hist(freqs, beta)
+        assert hist.approximate_frequencies().sum() == pytest.approx(
+            float(np.sum(freqs)), rel=1e-9
+        )
+
+    @given(frequencies_and_buckets())
+    @settings(max_examples=60)
+    def test_self_join_error_non_negative(self, case):
+        freqs, beta = case
+        hist = v_opt_bias_hist(freqs, beta)
+        assert hist.self_join_error() >= -1e-9
+
+    @given(frequencies_and_buckets())
+    @settings(max_examples=60)
+    def test_estimate_never_exceeds_exact(self, case):
+        """Jensen's inequality: Σ f̂² <= Σ f² for bucket-average histograms."""
+        freqs, beta = case
+        hist = v_opt_hist_dp(freqs, beta)
+        assert hist.self_join_estimate() <= float(np.dot(freqs, freqs)) + 1e-6
+
+    @given(frequencies_and_buckets(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_approximate_array_permutation_invariance(self, case, seed):
+        """Applying the histogram commutes with permuting the arrangement."""
+        freqs, beta = case
+        hist = v_opt_bias_hist(freqs, beta)
+        gen = np.random.default_rng(seed)
+        permutation = gen.permutation(len(freqs))
+        base = np.asarray(freqs, dtype=float)
+        approx_then_permute = hist.approximate_array(base)[permutation]
+        permute_then_approx = hist.approximate_array(base[permutation])
+        assert np.allclose(np.sort(approx_then_permute), np.sort(permute_then_approx))
+
+    @given(frequencies)
+    @settings(max_examples=40)
+    def test_trivial_histogram_constant(self, freqs):
+        hist = trivial_histogram(freqs)
+        approx = hist.approximate_frequencies()
+        assert np.allclose(approx, approx[0])
+
+
+class TestOptimalityProperties:
+    @given(small_frequencies, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_dp_equals_exhaustive(self, freqs, beta):
+        if beta > len(freqs):
+            beta = len(freqs)
+        dp = v_opt_hist_dp(freqs, beta)
+        exhaustive = v_opt_hist_exhaustive(freqs, beta)
+        assert dp.self_join_error() == pytest.approx(
+            exhaustive.self_join_error(), rel=1e-9, abs=1e-7
+        )
+
+    @given(frequencies_and_buckets(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_serial_optimum_beats_random_partition(self, case, seed):
+        freqs, beta = case
+        best = v_opt_hist_dp(freqs, beta).self_join_error()
+        gen = np.random.default_rng(seed)
+        indices = gen.permutation(len(freqs))
+        groups = [tuple(g) for g in np.array_split(indices, beta) if len(g)]
+        if len(groups) < beta:
+            return  # split produced empty groups; partition not comparable
+        candidate = Histogram(freqs, groups).self_join_error()
+        assert best <= candidate + 1e-6
+
+    @given(frequencies_and_buckets())
+    @settings(max_examples=40)
+    def test_end_biased_optimum_is_serial_and_end_biased(self, case):
+        freqs, beta = case
+        hist = v_opt_bias_hist(freqs, beta)
+        assert hist.is_serial()
+        assert hist.is_end_biased()
+
+    @given(small_frequencies)
+    @settings(max_examples=30)
+    def test_error_monotone_in_buckets(self, freqs):
+        errors = [
+            v_opt_hist_dp(freqs, beta).self_join_error()
+            for beta in range(1, len(freqs) + 1)
+        ]
+        for earlier, later in zip(errors, errors[1:]):
+            assert later <= earlier + 1e-6
+        assert errors[-1] == pytest.approx(0.0, abs=1e-6)
+
+    @given(frequencies_and_buckets())
+    @settings(max_examples=40)
+    def test_serial_error_formula_consistency(self, case):
+        freqs, beta = case
+        hist = v_opt_hist_dp(freqs, beta)
+        sorted_sizes = tuple(
+            len(g)
+            for g in sorted(
+                hist.index_groups,
+                key=lambda g: -max(np.asarray(freqs, dtype=float)[list(g)]),
+            )
+        )
+        # Prefix-sum SSE suffers catastrophic cancellation near zero error,
+        # so the comparison uses a modest relative tolerance.
+        assert serial_error_from_sizes(freqs, sorted_sizes) == pytest.approx(
+            hist.self_join_error(), rel=1e-6, abs=1e-4
+        )
+
+
+class TestHeuristicProperties:
+    @given(frequencies_and_buckets(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_equi_depth_total_balance(self, case, seed):
+        freqs, beta = case
+        gen = np.random.default_rng(seed)
+        dist = AttributeDistribution(
+            range(len(freqs)), gen.permutation(np.asarray(freqs, dtype=float))
+        )
+        hist = equi_depth_histogram(dist, beta)
+        assert hist.bucket_count == beta
+        target = dist.total / beta
+        max_freq = float(dist.frequencies.max())
+        for bucket in hist.buckets[:-1]:
+            # Greedy quantile cuts keep each (non-final) bucket within one
+            # maximal frequency of the target depth.
+            assert bucket.total <= target + max_freq + 1e-9
+
+    @given(frequencies_and_buckets())
+    @settings(max_examples=40)
+    def test_equi_width_value_counts(self, case):
+        freqs, beta = case
+        dist = AttributeDistribution(range(len(freqs)), freqs)
+        hist = equi_width_histogram(dist, beta)
+        counts = [b.count for b in hist.buckets]
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == len(freqs)
+
+
+class TestFrequencySetProperties:
+    @given(frequencies)
+    @settings(max_examples=40)
+    def test_frequency_set_sorted(self, freqs):
+        fset = FrequencySet(freqs)
+        assert np.all(np.diff(fset.frequencies) <= 0)
+
+    @given(frequencies, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_permutation_invariance(self, freqs, seed):
+        gen = np.random.default_rng(seed)
+        assert FrequencySet(freqs) == FrequencySet(gen.permutation(freqs))

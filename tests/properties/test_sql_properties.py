@@ -1,0 +1,88 @@
+"""Property-based tests on SQL estimates and execution consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Database
+
+
+@st.composite
+def small_database(draw):
+    """A two-relation database with random small columns, analyzed."""
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rows_r = draw(st.integers(min_value=1, max_value=60))
+    rows_s = draw(st.integers(min_value=1, max_value=60))
+    domain = draw(st.integers(min_value=1, max_value=8))
+    gen = np.random.default_rng(seed)
+    db = Database()
+    db.create("r", {"a": [int(x) for x in gen.integers(0, domain, rows_r)]})
+    db.create("s", {"a": [int(x) for x in gen.integers(0, domain, rows_s)]})
+    db.analyze(buckets=draw(st.integers(min_value=1, max_value=6)))
+    return db, domain
+
+
+class TestEstimateBounds:
+    @given(small_database(), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_estimate_bounded_by_relation(self, case, value):
+        db, _ = case
+        estimate = db.estimate(f"SELECT * FROM r WHERE a = {value}")
+        assert 0.0 <= estimate <= db.relation("r").cardinality + 1e-9
+
+    @given(small_database())
+    @settings(max_examples=40, deadline=None)
+    def test_join_estimate_bounded_by_cartesian(self, case):
+        db, _ = case
+        estimate = db.estimate("SELECT * FROM r, s WHERE r.a = s.a")
+        cartesian = db.relation("r").cardinality * db.relation("s").cardinality
+        assert 0.0 <= estimate <= cartesian + 1e-6
+
+    @given(small_database())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_estimates_sum_to_total(self, case):
+        db, _ = case
+        total = db.relation("r").cardinality
+        eq = db.estimate("SELECT * FROM r WHERE a = 1")
+        ne = db.estimate("SELECT * FROM r WHERE a <> 1")
+        assert eq + ne == pytest.approx(total, rel=1e-6)
+
+    @given(small_database())
+    @settings(max_examples=30, deadline=None)
+    def test_group_estimate_bounded_by_distinct(self, case):
+        db, _ = case
+        estimate = db.estimate("SELECT a, COUNT(*) FROM r GROUP BY a")
+        assert estimate <= db.relation("r").distinct_count("a") + 1e-9
+
+
+class TestExecutionConsistency:
+    @given(small_database())
+    @settings(max_examples=30, deadline=None)
+    def test_join_execution_matches_bruteforce(self, case):
+        db, _ = case
+        result = db.execute("SELECT COUNT(*) FROM r, s WHERE r.a = s.a")
+        ((count,),) = list(result.rows())
+        brute = sum(
+            1
+            for x in db.relation("r").column("a")
+            for y in db.relation("s").column("a")
+            if x == y
+        )
+        assert count == brute
+
+    @given(small_database(), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_selection_partition(self, case, value):
+        """= and <> partition the relation under execution."""
+        db, _ = case
+        eq = db.execute(f"SELECT * FROM r WHERE a = {value}").cardinality
+        ne = db.execute(f"SELECT * FROM r WHERE a <> {value}").cardinality
+        assert eq + ne == db.relation("r").cardinality
+
+    @given(small_database())
+    @settings(max_examples=30, deadline=None)
+    def test_group_counts_sum_to_cardinality(self, case):
+        db, _ = case
+        result = db.execute("SELECT a, COUNT(*) FROM r GROUP BY a")
+        assert sum(count for _, count in result.rows()) == db.relation("r").cardinality

@@ -1,0 +1,175 @@
+"""Property-based tests of the Section 3 theory and Theorem 2.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.histogram import Histogram
+from repro.core.matrix import arrange_frequency_set, chain_result_size
+from repro.core.optimality import (
+    analytic_v_error_two_way,
+    exact_expected_difference_two_way,
+    exact_v_error_two_way,
+)
+from repro.data.quantize import quantize_to_integers
+from repro.util.majorization import is_majorized_by
+
+domain_frequencies = st.lists(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=5,
+)
+
+
+@st.composite
+def histogram_for(draw, freqs):
+    """An arbitrary partition-based histogram over *freqs*."""
+    size = len(freqs)
+    beta = draw(st.integers(min_value=1, max_value=size))
+    assignment = draw(
+        st.lists(st.integers(min_value=0, max_value=beta - 1), min_size=size, max_size=size)
+    )
+    groups: dict[int, list[int]] = {}
+    for index, label in enumerate(assignment):
+        groups.setdefault(label, []).append(index)
+    return Histogram(freqs, [tuple(g) for g in groups.values()])
+
+
+@st.composite
+def two_way_case(draw):
+    a = draw(domain_frequencies)
+    b = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False),
+            min_size=len(a),
+            max_size=len(a),
+        )
+    )
+    ha = draw(histogram_for(a))
+    hb = draw(histogram_for(b))
+    return a, b, ha, hb
+
+
+class TestTheorem32Property:
+    @given(two_way_case())
+    @settings(max_examples=60)
+    def test_expected_difference_zero(self, case):
+        a, b, ha, hb = case
+        assert exact_expected_difference_two_way(a, b, ha, hb) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
+class TestVErrorProperty:
+    @given(two_way_case())
+    @settings(max_examples=40, deadline=None)
+    def test_analytic_equals_exhaustive(self, case):
+        a, b, ha, hb = case
+        analytic = analytic_v_error_two_way(a, b, ha, hb)
+        exact = exact_v_error_two_way(a, b, ha, hb)
+        assert analytic == pytest.approx(exact, rel=1e-6, abs=1e-6)
+
+    @given(two_way_case())
+    @settings(max_examples=40, deadline=None)
+    def test_v_error_non_negative(self, case):
+        """Non-negative up to float cancellation (the quantity is a variance
+        computed as a difference of large terms)."""
+        a, b, ha, hb = case
+        scale = 1.0 + float(np.dot(a, a)) * float(np.dot(b, b))
+        assert analytic_v_error_two_way(a, b, ha, hb) >= -1e-12 * scale
+
+
+class TestTheorem21Property:
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                min_size=2,
+                max_size=4,
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chain_product_equals_tuple_count(self, columns, seed):
+        """Chain product over hash-counted matrices == brute-force join count.
+
+        Builds a chain of relations from integer-quantized frequency vectors
+        and compares Theorem 2.1 against nested-loop counting.
+        """
+        gen = np.random.default_rng(seed)
+        # Normalise each column of weights into integer frequencies.
+        domains = [len(c) for c in columns]
+        freq_vectors = []
+        for weights in columns:
+            weights = np.asarray(weights) + 0.1
+            scaled = np.round(weights / weights.sum() * 20)
+            freq_vectors.append(scaled.astype(int))
+
+        # Relations: R0 over domain0, interior R_j over (domain_{j-1}, domain_j),
+        # last over domain_{-1}. Keep it to a 2-relation chain for the brute
+        # force: R0 (vector) join R1 (vector) over the same domain size.
+        size = min(domains[0], domains[1])
+        left = freq_vectors[0][:size]
+        right = freq_vectors[1][:size]
+        if left.sum() == 0 or right.sum() == 0:
+            return
+        from repro.core.matrix import FrequencyMatrix
+
+        exact = chain_result_size(
+            [
+                FrequencyMatrix.row_vector(left.astype(float)),
+                FrequencyMatrix.column_vector(right.astype(float)),
+            ]
+        )
+        left_col = [v for v, f in enumerate(left) for _ in range(f)]
+        right_col = [v for v, f in enumerate(right) for _ in range(f)]
+        brute = sum(1 for x in left_col for y in right_col if x == y)
+        assert exact == brute
+
+
+class TestArrangementProperties:
+    @given(domain_frequencies, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_self_join_size_schur_convexity(self, freqs, seed):
+        """Averaging any two entries produces a majorized vector with a
+        smaller-or-equal self-join size."""
+        arr = np.asarray(freqs, dtype=float)
+        gen = np.random.default_rng(seed)
+        i, j = gen.choice(len(arr), size=2, replace=False)
+        smoothed = arr.copy()
+        smoothed[[i, j]] = (arr[i] + arr[j]) / 2
+        assert is_majorized_by(smoothed, arr)
+        assert np.dot(smoothed, smoothed) <= np.dot(arr, arr) + 1e-9
+
+    @given(domain_frequencies, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_histogram_matrix_majorized_by_original(self, freqs, seed):
+        """Every histogram matrix is majorized by the true frequency vector
+        (bucket averaging is a sequence of Robin Hood transfers)."""
+        beta = max(1, len(freqs) // 2)
+        hist = v_opt_bias_hist(freqs, beta)
+        approx = hist.approximate_frequencies()
+        assert is_majorized_by(approx, np.asarray(freqs, dtype=float))
+
+
+class TestQuantizeProperty:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=50)
+    def test_quantize_preserves_integral_total(self, weights, total):
+        weights = np.asarray(weights) + 1e-3
+        freqs = weights / weights.sum() * total
+        quantized = quantize_to_integers(freqs)
+        assert quantized.sum() == total
+        assert np.all(quantized >= 0)

@@ -1,0 +1,145 @@
+"""Tests for repro.queries.chain."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencySet
+from repro.core.histogram import Histogram
+from repro.queries.chain import ChainQuery, make_zipf_chain, selection_query
+
+
+class TestChainQueryValidation:
+    def test_valid(self):
+        query = make_zipf_chain(2, domain=4, z_values=[0.0, 1.0, 2.0])
+        assert query.num_joins == 2
+        assert query.num_relations == 3
+
+    def test_shape_set_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            ChainQuery(
+                ((1, 4), (4, 1)),
+                (FrequencySet([1.0, 2.0]), FrequencySet([1.0] * 4)),
+            )
+
+    def test_domain_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ChainQuery(
+                ((1, 4), (3, 1)),
+                (FrequencySet([1.0] * 4), FrequencySet([1.0] * 3)),
+            )
+
+    def test_needs_vector_ends(self):
+        with pytest.raises(ValueError, match="vectors"):
+            ChainQuery(
+                ((2, 2), (2, 1)),
+                (FrequencySet([1.0] * 4), FrequencySet([1.0] * 2)),
+            )
+
+    def test_needs_two_relations(self):
+        with pytest.raises(ValueError, match="at least two"):
+            ChainQuery(((1, 1),), (FrequencySet([1.0]),))
+
+    def test_skews_must_align(self):
+        with pytest.raises(ValueError, match="skews"):
+            ChainQuery(
+                ((1, 2), (2, 1)),
+                (FrequencySet([1.0, 2.0]), FrequencySet([1.0, 2.0])),
+                skews=(1.0,),
+            )
+
+
+class TestMakeZipfChain:
+    def test_shapes(self):
+        query = make_zipf_chain(3, domain=10, z_values=[0.0] * 4)
+        assert query.shapes == ((1, 10), (10, 10), (10, 10), (10, 1))
+
+    def test_interior_sets_are_m_squared(self):
+        query = make_zipf_chain(3, domain=10, z_values=[1.0] * 4)
+        assert query.frequency_sets[0].size == 10
+        assert query.frequency_sets[1].size == 100
+        assert query.frequency_sets[-1].size == 10
+
+    def test_totals(self):
+        query = make_zipf_chain(2, domain=5, total=500.0, z_values=[1.0, 1.0, 1.0])
+        for fset in query.frequency_sets:
+            assert fset.total == pytest.approx(500.0)
+
+    def test_single_join(self):
+        query = make_zipf_chain(1, domain=7, z_values=[0.5, 1.5])
+        assert query.shapes == ((1, 7), (7, 1))
+
+    def test_z_count_mismatch(self):
+        with pytest.raises(ValueError, match="z values"):
+            make_zipf_chain(2, z_values=[1.0, 1.0])
+
+
+class TestArrangementsAndSizes:
+    @pytest.fixture
+    def query(self):
+        return make_zipf_chain(2, domain=5, z_values=[1.0, 0.5, 2.0])
+
+    def test_sample_arrangement_shapes(self, query, rng):
+        arrangement = query.sample_arrangement(rng)
+        assert [m.shape for m in arrangement] == [(1, 5), (5, 5), (5, 1)]
+
+    def test_arrangement_multisets_preserved(self, query, rng):
+        arrangement = query.sample_arrangement(rng)
+        for matrix, fset in zip(arrangement, query.frequency_sets):
+            assert matrix.frequency_set() == fset
+
+    def test_exact_size_positive(self, query, rng):
+        arrangement = query.sample_arrangement(rng)
+        assert query.exact_size(arrangement) > 0
+
+    def test_deterministic_sampling(self, query):
+        a = query.sample_arrangement(5)
+        b = query.sample_arrangement(5)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_build_histograms_per_relation(self, query):
+        histograms = query.build_histograms(
+            lambda fset: Histogram.single_bucket(fset.frequencies)
+        )
+        assert len(histograms) == 3
+        assert all(h.is_trivial() for h in histograms)
+
+    def test_estimate_with_perfect_histograms_is_exact(self, query, rng):
+        arrangement = query.sample_arrangement(rng)
+        histograms = query.build_histograms(
+            lambda fset: Histogram.from_sorted_sizes(fset.frequencies, (1,) * fset.size)
+        )
+        assert query.estimate_size(arrangement, histograms) == pytest.approx(
+            query.exact_size(arrangement)
+        )
+
+    def test_estimate_histogram_count_mismatch(self, query, rng):
+        arrangement = query.sample_arrangement(rng)
+        with pytest.raises(ValueError, match="histograms"):
+            query.estimate_size(arrangement, [])
+
+    def test_uniform_sets_make_estimates_exact(self, rng):
+        """z = 0 everywhere: trivial histograms are exact for any arrangement."""
+        query = make_zipf_chain(2, domain=4, z_values=[0.0, 0.0, 0.0])
+        histograms = query.build_histograms(
+            lambda fset: Histogram.single_bucket(fset.frequencies)
+        )
+        arrangement = query.sample_arrangement(rng)
+        assert query.estimate_size(arrangement, histograms) == pytest.approx(
+            query.exact_size(arrangement)
+        )
+
+
+class TestSelectionQuery:
+    def test_selection_as_chain(self):
+        relation, selector = selection_query(
+            ["u1", "u2", "u3"], [25.0, 10.0, 3.0], ["u1", "u3"]
+        )
+        from repro.core.matrix import chain_result_size
+
+        assert chain_result_size([relation, selector]) == 28.0
+
+    def test_empty_selection(self):
+        relation, selector = selection_query(["u1"], [5.0], [])
+        from repro.core.matrix import chain_result_size
+
+        assert chain_result_size([relation, selector]) == 0.0

@@ -1,0 +1,67 @@
+"""Tests for repro.queries.workload."""
+
+import pytest
+
+from repro.queries.workload import (
+    HIGH_SKEW_Z,
+    LOW_SKEW_Z,
+    MIXED_SKEW_Z,
+    QueryClass,
+    sample_chain_query,
+    sample_query_batch,
+)
+
+
+class TestSkewGrids:
+    def test_partition_of_mixed(self):
+        assert LOW_SKEW_Z + HIGH_SKEW_Z == MIXED_SKEW_Z
+
+    def test_paper_grid(self):
+        assert MIXED_SKEW_Z == (0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+    def test_class_choices(self):
+        assert QueryClass.LOW_SKEW.z_choices == LOW_SKEW_Z
+        assert QueryClass.HIGH_SKEW.z_choices == HIGH_SKEW_Z
+        assert QueryClass.MIXED_SKEW.z_choices == MIXED_SKEW_Z
+
+
+class TestSampleChainQuery:
+    def test_skews_come_from_class(self):
+        for _ in range(5):
+            query = sample_chain_query(3, QueryClass.LOW_SKEW, rng=7)
+            assert all(z in LOW_SKEW_Z for z in query.skews)
+
+    def test_high_skew_class(self):
+        query = sample_chain_query(4, QueryClass.HIGH_SKEW, rng=3)
+        assert all(z in HIGH_SKEW_Z for z in query.skews)
+
+    def test_query_structure(self):
+        query = sample_chain_query(5, QueryClass.MIXED_SKEW, rng=1, domain=10)
+        assert query.num_joins == 5
+        assert query.frequency_sets[2].size == 100
+
+    def test_deterministic(self):
+        a = sample_chain_query(2, QueryClass.MIXED_SKEW, rng=9)
+        b = sample_chain_query(2, QueryClass.MIXED_SKEW, rng=9)
+        assert a.skews == b.skews
+
+    def test_custom_domain_and_total(self):
+        query = sample_chain_query(1, QueryClass.LOW_SKEW, rng=0, domain=6, total=60)
+        assert query.shapes == ((1, 6), (6, 1))
+        assert query.frequency_sets[0].total == pytest.approx(60.0)
+
+
+class TestSampleQueryBatch:
+    def test_count(self):
+        batch = sample_query_batch(2, QueryClass.MIXED_SKEW, 4, rng=0)
+        assert len(batch) == 4
+
+    def test_batch_queries_differ(self):
+        batch = sample_query_batch(3, QueryClass.MIXED_SKEW, 10, rng=0)
+        skews = {q.skews for q in batch}
+        assert len(skews) > 1
+
+    def test_reproducible(self):
+        a = sample_query_batch(2, QueryClass.HIGH_SKEW, 3, rng=5)
+        b = sample_query_batch(2, QueryClass.HIGH_SKEW, 3, rng=5)
+        assert [q.skews for q in a] == [q.skews for q in b]

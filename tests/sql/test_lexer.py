@@ -1,0 +1,90 @@
+"""Tests for repro.sql.lexer."""
+
+import pytest
+
+from repro.sql.lexer import SqlLexError, Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            ("keyword", "SELECT"),
+            ("keyword", "FROM"),
+            ("keyword", "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Orders my_col") == [
+            ("identifier", "Orders"),
+            ("identifier", "my_col"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 -7") == [
+            ("number", "42"),
+            ("number", "3.14"),
+            ("number", "-7"),
+        ]
+
+    def test_qualified_number_boundary(self):
+        # "r.5" style is not a float: the dot belongs to qualification only
+        # when not followed by digits; "1.x" keeps "1" then "." then "x".
+        assert kinds("1.x") == [
+            ("number", "1"),
+            ("symbol", "."),
+            ("identifier", "x"),
+        ]
+
+    def test_strings(self):
+        assert kinds("'east'") == [("string", "east")]
+
+    def test_string_escape(self):
+        assert kinds("'o''brien'") == [("string", "o'brien")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert kinds("= <> != < <= > >=") == [
+            ("symbol", "="),
+            ("symbol", "<>"),
+            ("symbol", "!="),
+            ("symbol", "<"),
+            ("symbol", "<="),
+            ("symbol", ">"),
+            ("symbol", ">="),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( , ) . *") == [
+            ("symbol", "("),
+            ("symbol", ","),
+            ("symbol", ")"),
+            ("symbol", "."),
+            ("symbol", "*"),
+        ]
+
+    def test_end_token(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].kind == "end"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_matches_helper(self):
+        token = Token("keyword", "SELECT", 0)
+        assert token.matches("keyword")
+        assert token.matches("keyword", "SELECT")
+        assert not token.matches("keyword", "FROM")
+        assert not token.matches("identifier")

@@ -1,0 +1,127 @@
+"""Tests for repro.sql.parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    TableRef,
+)
+from repro.sql.parser import SqlParseError, parse_select
+
+
+class TestSelectClause:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM r")
+        assert stmt.is_star
+        assert stmt.tables == (TableRef("r"),)
+
+    def test_column_list(self):
+        stmt = parse_select("SELECT a, r.b FROM r")
+        assert stmt.columns == (ColumnRef("a"), ColumnRef("b", table="r"))
+
+    def test_missing_from(self):
+        with pytest.raises(SqlParseError, match="FROM"):
+            parse_select("SELECT a")
+
+
+class TestFromClause:
+    def test_multiple_tables(self):
+        stmt = parse_select("SELECT * FROM r, s, t")
+        assert [t.name for t in stmt.tables] == ["r", "s", "t"]
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT * FROM orders AS o")
+        assert stmt.tables[0] == TableRef("orders", "o")
+        assert stmt.tables[0].binding == "o"
+
+    def test_bare_alias(self):
+        stmt = parse_select("SELECT * FROM orders o")
+        assert stmt.tables[0].alias == "o"
+
+    def test_duplicate_bindings_rejected(self):
+        with pytest.raises(SqlParseError, match="duplicate"):
+            parse_select("SELECT * FROM r, r")
+
+    def test_self_join_via_aliases(self):
+        stmt = parse_select("SELECT * FROM r a, r b WHERE a.x = b.x")
+        assert [t.binding for t in stmt.tables] == ["a", "b"]
+
+
+class TestWhereClause:
+    def test_equality_with_literal(self):
+        stmt = parse_select("SELECT * FROM r WHERE a = 5")
+        (pred,) = stmt.predicates
+        assert pred == Comparison(ColumnRef("a"), "=", Literal(5))
+
+    def test_string_literal(self):
+        stmt = parse_select("SELECT * FROM r WHERE name = 'east'")
+        (pred,) = stmt.predicates
+        assert pred.right == Literal("east")
+
+    def test_float_literal(self):
+        stmt = parse_select("SELECT * FROM r WHERE a < 2.5")
+        (pred,) = stmt.predicates
+        assert pred.right == Literal(2.5)
+
+    def test_join_predicate(self):
+        stmt = parse_select("SELECT * FROM r, s WHERE r.a = s.b")
+        (pred,) = stmt.predicates
+        assert pred.is_join()
+
+    def test_conjunction(self):
+        stmt = parse_select("SELECT * FROM r WHERE a = 1 AND b > 2 AND c <> 3")
+        assert len(stmt.predicates) == 3
+
+    def test_in_predicate(self):
+        stmt = parse_select("SELECT * FROM r WHERE a IN (1, 2, 3)")
+        (pred,) = stmt.predicates
+        assert pred == InPredicate(
+            ColumnRef("a"), (Literal(1), Literal(2), Literal(3))
+        )
+
+    def test_not_in(self):
+        stmt = parse_select("SELECT * FROM r WHERE a NOT IN (1)")
+        (pred,) = stmt.predicates
+        assert pred.negated
+
+    def test_between(self):
+        stmt = parse_select("SELECT * FROM r WHERE a BETWEEN 2 AND 7")
+        (pred,) = stmt.predicates
+        assert pred == BetweenPredicate(ColumnRef("a"), Literal(2), Literal(7))
+
+    def test_literal_first_comparison(self):
+        stmt = parse_select("SELECT * FROM r WHERE 5 < a")
+        (pred,) = stmt.predicates
+        assert pred == Comparison(Literal(5), "<", ColumnRef("a"))
+
+    def test_all_operators(self):
+        for operator in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            stmt = parse_select(f"SELECT * FROM r WHERE a {operator} 1")
+            assert stmt.predicates[0].operator == operator
+
+    def test_missing_operator(self):
+        with pytest.raises(SqlParseError, match="comparison operator"):
+            parse_select("SELECT * FROM r WHERE a 5")
+
+    def test_unclosed_in_list(self):
+        with pytest.raises(SqlParseError):
+            parse_select("SELECT * FROM r WHERE a IN (1, 2")
+
+    def test_trailing_tokens_rejected(self):
+        # "extra" is consumed as a bare alias; "garbage" must then fail.
+        with pytest.raises(SqlParseError):
+            parse_select("SELECT * FROM r extra garbage trailing")
+
+    def test_between_requires_and(self):
+        with pytest.raises(SqlParseError, match="AND"):
+            parse_select("SELECT * FROM r WHERE a BETWEEN 1 2")
+
+
+class TestAstValidation:
+    def test_comparison_operator_validated(self):
+        with pytest.raises(ValueError, match="unsupported operator"):
+            Comparison(ColumnRef("a"), "LIKE", Literal(1))

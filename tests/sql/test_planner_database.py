@@ -1,0 +1,400 @@
+"""Tests for repro.sql.planner and repro.sql.database."""
+
+import numpy as np
+import pytest
+
+from repro.sql import Database
+from repro.sql.planner import SqlPlanError
+
+
+@pytest.fixture
+def db(rng):
+    database = Database()
+    database.create(
+        "orders",
+        {
+            "cust": list(rng.integers(0, 10, 300)),
+            "item": list(rng.integers(0, 8, 300)),
+            "qty": list(rng.integers(1, 5, 300)),
+        },
+    )
+    database.create(
+        "customers",
+        {"cust": list(range(10)), "region": ["east", "west"] * 5},
+    )
+    database.create("items", {"item": list(rng.integers(0, 8, 80))})
+    database.analyze()
+    return database
+
+
+def brute_join_count(db, where):
+    orders = list(
+        zip(
+            db.relation("orders").column("cust"),
+            db.relation("orders").column("item"),
+            db.relation("orders").column("qty"),
+        )
+    )
+    customers = list(
+        zip(db.relation("customers").column("cust"), db.relation("customers").column("region"))
+    )
+    return sum(
+        1
+        for order in orders
+        for customer in customers
+        if where(order, customer)
+    )
+
+
+class TestSingleTableQueries:
+    def test_select_star_no_where(self, db):
+        result = db.execute("SELECT * FROM orders")
+        assert result.cardinality == 300
+        assert result.schema.names == ("cust", "item", "qty")
+
+    def test_equality_selection(self, db):
+        result = db.execute("SELECT * FROM orders WHERE cust = 3")
+        truth = db.relation("orders").column("cust").count(3)
+        assert result.cardinality == truth
+
+    def test_projection(self, db):
+        result = db.execute("SELECT item FROM orders WHERE cust = 3")
+        assert result.schema.names == ("item",)
+
+    def test_range_selection(self, db):
+        result = db.execute("SELECT * FROM orders WHERE item >= 5")
+        truth = sum(1 for item in db.relation("orders").column("item") if item >= 5)
+        assert result.cardinality == truth
+
+    def test_between(self, db):
+        result = db.execute("SELECT * FROM orders WHERE item BETWEEN 2 AND 4")
+        truth = sum(1 for item in db.relation("orders").column("item") if 2 <= item <= 4)
+        assert result.cardinality == truth
+
+    def test_in_and_not_in(self, db):
+        items = db.relation("orders").column("item")
+        hits = db.execute("SELECT * FROM orders WHERE item IN (0, 7)").cardinality
+        misses = db.execute("SELECT * FROM orders WHERE item NOT IN (0, 7)").cardinality
+        assert hits == sum(1 for item in items if item in (0, 7))
+        assert hits + misses == len(items)
+
+    def test_conjunction(self, db):
+        result = db.execute("SELECT * FROM orders WHERE item = 2 AND qty > 2")
+        rows = zip(db.relation("orders").column("item"), db.relation("orders").column("qty"))
+        assert result.cardinality == sum(1 for i, q in rows if i == 2 and q > 2)
+
+    def test_string_predicate(self, db):
+        result = db.execute("SELECT * FROM customers WHERE region = 'east'")
+        assert result.cardinality == 5
+
+    def test_same_table_column_comparison(self, db):
+        result = db.execute("SELECT * FROM orders WHERE item = qty")
+        rows = zip(db.relation("orders").column("item"), db.relation("orders").column("qty"))
+        assert result.cardinality == sum(1 for i, q in rows if i == q)
+
+    def test_constant_false(self, db):
+        assert db.execute("SELECT * FROM orders WHERE 1 = 2").cardinality == 0
+
+    def test_constant_true(self, db):
+        assert db.execute("SELECT * FROM orders WHERE 1 = 1").cardinality == 300
+
+
+class TestJoinQueries:
+    def test_two_way_join_exact(self, db):
+        result = db.execute(
+            "SELECT * FROM orders o, customers c WHERE o.cust = c.cust"
+        )
+        truth = brute_join_count(db, lambda o, c: o[0] == c[0])
+        assert result.cardinality == truth
+
+    def test_join_with_selection(self, db):
+        result = db.execute(
+            "SELECT * FROM orders o, customers c "
+            "WHERE o.cust = c.cust AND c.region = 'west'"
+        )
+        truth = brute_join_count(db, lambda o, c: o[0] == c[0] and c[1] == "west")
+        assert result.cardinality == truth
+
+    def test_three_way_join(self, db):
+        result = db.execute(
+            "SELECT o.item FROM orders o, customers c, items i "
+            "WHERE o.cust = c.cust AND o.item = i.item"
+        )
+        items = db.relation("items").column("item")
+        orders = list(
+            zip(db.relation("orders").column("cust"), db.relation("orders").column("item"))
+        )
+        customers = db.relation("customers").column("cust")
+        truth = sum(
+            1
+            for cust, item in orders
+            for c in customers
+            if cust == c
+            for i in items
+            if item == i
+        )
+        assert result.cardinality == truth
+
+    def test_self_join_with_aliases(self, db):
+        result = db.execute(
+            "SELECT * FROM customers a, customers b WHERE a.cust = b.cust"
+        )
+        assert result.cardinality == 10  # cust is a key
+
+    def test_unqualified_unique_column_resolves(self, db):
+        result = db.execute(
+            "SELECT region FROM orders o, customers c WHERE o.cust = c.cust"
+        )
+        assert result.schema.names == ("region",)
+
+    def test_estimate_close_to_truth(self, db):
+        sql = "SELECT * FROM orders o, customers c WHERE o.cust = c.cust"
+        truth = db.execute(sql).cardinality
+        assert db.estimate(sql) == pytest.approx(truth, rel=0.3)
+
+    def test_explain_has_plan(self, db):
+        explanation = db.explain(
+            "SELECT * FROM orders o, customers c WHERE o.cust = c.cust"
+        )
+        assert explanation.join_plan is not None
+        assert "HashJoin" in explanation.pretty()
+
+    def test_multi_table_constant_false(self, db):
+        result = db.execute(
+            "SELECT * FROM orders o, customers c "
+            "WHERE o.cust = c.cust AND 1 = 0"
+        )
+        assert result.cardinality == 0
+
+
+class TestPlanErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlPlanError, match="unknown table"):
+            db.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlPlanError, match="unknown column"):
+            db.execute("SELECT * FROM orders WHERE missing = 1")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(SqlPlanError, match="ambiguous"):
+            db.execute(
+                "SELECT * FROM orders o, customers c "
+                "WHERE o.cust = c.cust AND cust = 3"
+            )
+
+    def test_cross_product_rejected(self, db):
+        with pytest.raises(SqlPlanError, match="tree"):
+            db.execute("SELECT * FROM orders, customers")
+
+    def test_non_equality_join_rejected(self, db):
+        with pytest.raises(SqlPlanError, match="non-equality join"):
+            db.execute("SELECT * FROM orders o, items i WHERE o.item < i.item")
+
+    def test_cyclic_joins_rejected(self, db):
+        with pytest.raises(SqlPlanError, match="tree"):
+            db.execute(
+                "SELECT * FROM orders o, customers c "
+                "WHERE o.cust = c.cust AND o.qty = c.cust"
+            )
+
+
+class TestSelectionEstimates:
+    def test_equality_estimate_uses_histogram(self, db):
+        column = db.relation("orders").column("cust")
+        hot = max(set(column), key=column.count)
+        estimate = db.estimate(f"SELECT * FROM orders WHERE cust = {hot}")
+        assert estimate == pytest.approx(column.count(hot), rel=0.1)
+
+    def test_between_estimate_tracks_truth(self, db):
+        truth = sum(1 for i in db.relation("orders").column("item") if 2 <= i <= 5)
+        estimate = db.estimate("SELECT * FROM orders WHERE item BETWEEN 2 AND 5")
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_not_equals_complement(self, db):
+        eq = db.estimate("SELECT * FROM orders WHERE cust = 3")
+        ne = db.estimate("SELECT * FROM orders WHERE cust <> 3")
+        assert eq + ne == pytest.approx(300.0)
+
+
+class TestDatabaseManagement:
+    def test_relation_names(self, db):
+        assert db.relation_names == ["customers", "items", "orders"]
+
+    def test_unknown_relation_lookup(self, db):
+        with pytest.raises(KeyError):
+            db.relation("ghost")
+
+    def test_analyze_counts_attributes(self, db):
+        fresh = Database()
+        fresh.create("r", {"a": [1, 2], "b": [3, 4]})
+        assert fresh.analyze() == 2
+
+    def test_analyze_subset(self, db):
+        fresh = Database()
+        fresh.create("r", {"a": [1, 2]})
+        fresh.create("s", {"b": [1, 2]})
+        assert fresh.analyze(["r"]) == 1
+
+
+class TestCountStar:
+    def test_single_table(self, db):
+        result = db.execute("SELECT COUNT(*) FROM orders WHERE cust = 3")
+        assert result.schema.names == ("count",)
+        truth = db.relation("orders").column("cust").count(3)
+        assert list(result.rows()) == [(truth,)]
+
+    def test_join(self, db):
+        sql = "SELECT COUNT(*) FROM orders o, customers c WHERE o.cust = c.cust"
+        (count,), = db.execute(sql).rows()
+        truth = brute_join_count(db, lambda o, c: o[0] == c[0])
+        assert count == truth
+
+    def test_estimate_equals_plain_estimate(self, db):
+        plain = db.estimate("SELECT * FROM orders WHERE cust = 3")
+        counted = db.estimate("SELECT COUNT(*) FROM orders WHERE cust = 3")
+        assert counted == plain
+
+    def test_parse(self):
+        from repro.sql.parser import parse_select
+
+        stmt = parse_select("SELECT COUNT(*) FROM r")
+        assert stmt.count_star
+        assert not stmt.is_star
+
+
+class TestWithoutStatistics:
+    def test_execution_works_unanalyzed(self):
+        fresh = Database()
+        fresh.create("r", {"a": [1, 1, 2]})
+        fresh.create("s", {"a": [1, 2, 2]})
+        result = fresh.execute("SELECT * FROM r, s WHERE r.a = s.a")
+        assert result.cardinality == 2 + 2  # 1x1 twice? (1,1),(1,1),(2,2),(2,2)
+
+    def test_uniform_estimates_without_analyze(self):
+        fresh = Database()
+        fresh.create("r", {"a": [1, 1, 2, 3]})
+        estimate = fresh.estimate("SELECT * FROM r WHERE a = 1")
+        # No histogram: equality falls back to T / distinct-style defaults.
+        assert estimate > 0
+
+    def test_join_estimate_uses_distinct_counts(self):
+        fresh = Database()
+        fresh.create("r", {"a": [1, 1, 2, 3]})
+        fresh.create("s", {"a": [1, 2, 3, 3]})
+        estimate = fresh.estimate("SELECT * FROM r, s WHERE r.a = s.a")
+        # Uniform model: |r|*|s| / max(d_r, d_s) = 16/3.
+        assert estimate == pytest.approx(16 / 3)
+
+
+class TestGroupBy:
+    def test_group_counts_single_table(self, db):
+        result = db.execute("SELECT cust, COUNT(*) FROM orders GROUP BY cust")
+        assert result.schema.names == ("cust", "count")
+        column = db.relation("orders").column("cust")
+        truth = {value: column.count(value) for value in set(column)}
+        assert dict(result.rows()) == truth
+
+    def test_group_without_count_dedupes(self, db):
+        result = db.execute("SELECT item FROM orders GROUP BY item")
+        values = [v for (v,) in result.rows()]
+        assert sorted(values) == sorted(set(db.relation("orders").column("item")))
+
+    def test_group_with_where(self, db):
+        result = db.execute(
+            "SELECT cust, COUNT(*) FROM orders WHERE qty > 2 GROUP BY cust"
+        )
+        rows = zip(db.relation("orders").column("cust"), db.relation("orders").column("qty"))
+        truth = {}
+        for cust, qty in rows:
+            if qty > 2:
+                truth[cust] = truth.get(cust, 0) + 1
+        assert dict(result.rows()) == truth
+
+    def test_group_over_join(self, db):
+        result = db.execute(
+            "SELECT c.region, COUNT(*) FROM orders o, customers c "
+            "WHERE o.cust = c.cust GROUP BY c.region"
+        )
+        truth = {}
+        region_of = dict(
+            zip(db.relation("customers").column("cust"), db.relation("customers").column("region"))
+        )
+        for cust in db.relation("orders").column("cust"):
+            if cust in region_of:
+                truth[region_of[cust]] = truth.get(region_of[cust], 0) + 1
+        assert dict(result.rows()) == truth
+
+    def test_estimated_groups_uses_distinct_count(self, db):
+        estimate = db.estimate("SELECT cust, COUNT(*) FROM orders GROUP BY cust")
+        assert estimate == db.relation("orders").distinct_count("cust")
+
+    def test_estimated_groups_capped_by_rows(self, db):
+        estimate = db.estimate(
+            "SELECT cust, COUNT(*) FROM orders WHERE cust = 3 GROUP BY cust"
+        )
+        truth = db.relation("orders").column("cust").count(3)
+        # Group estimate cannot exceed the (estimated) surviving tuples.
+        assert estimate <= truth * 1.2 + 1
+
+    def test_selected_columns_must_be_grouped(self, db):
+        with pytest.raises(SqlPlanError, match="GROUP BY"):
+            db.execute("SELECT item, COUNT(*) FROM orders GROUP BY cust")
+
+    def test_group_by_star_rejected(self, db):
+        from repro.sql.parser import SqlParseError
+
+        with pytest.raises(SqlParseError, match="GROUP BY"):
+            db.execute("SELECT * FROM orders GROUP BY cust")
+
+    def test_multi_column_grouping(self, db):
+        result = db.execute(
+            "SELECT cust, item, COUNT(*) FROM orders GROUP BY cust, item"
+        )
+        pairs = list(
+            zip(db.relation("orders").column("cust"), db.relation("orders").column("item"))
+        )
+        truth = {}
+        for pair in pairs:
+            truth[pair] = truth.get(pair, 0) + 1
+        assert {(c, i): n for c, i, n in result.rows()} == truth
+
+    def test_count_appears_once_only(self, db):
+        from repro.sql.parser import SqlParseError
+
+        with pytest.raises(SqlParseError, match="at most once"):
+            db.execute("SELECT COUNT(*), COUNT(*) FROM orders")
+
+
+class TestOutputNaming:
+    def test_colliding_projection_uses_qualified_names(self, db):
+        result = db.execute(
+            "SELECT o.item, i.item FROM orders o, items i WHERE o.item = i.item"
+        )
+        assert result.schema.names == ("o.item", "i.item")
+
+    def test_star_over_join_keeps_qualified_names(self, db):
+        result = db.execute(
+            "SELECT * FROM orders o, items i WHERE o.item = i.item"
+        )
+        assert "o.item" in result.schema.names
+        assert "i.item" in result.schema.names
+
+    def test_rows_align_with_names(self, db):
+        result = db.execute(
+            "SELECT o.item, i.item FROM orders o, items i WHERE o.item = i.item"
+        )
+        for left_item, right_item in result.rows():
+            assert left_item == right_item
+
+
+class TestExplainGrouped:
+    def test_explain_reports_groups(self, db):
+        explanation = db.explain("SELECT cust, COUNT(*) FROM orders GROUP BY cust")
+        assert explanation.estimated_groups == db.relation("orders").distinct_count("cust")
+        assert "estimated groups" in explanation.pretty()
+
+    def test_explain_ungrouped_has_no_groups(self, db):
+        explanation = db.explain("SELECT * FROM orders")
+        assert explanation.estimated_groups is None
+        assert "estimated groups" not in explanation.pretty()

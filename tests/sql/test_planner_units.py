@@ -1,0 +1,192 @@
+"""Unit tests for repro.sql.planner internals (resolution, selectivities)."""
+
+import numpy as np
+import pytest
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+)
+from repro.sql.planner import (
+    DEFAULT_RANGE_SELECTIVITY,
+    SqlPlanError,
+    _resolve_column,
+    _resolve_predicate,
+    _selection_selectivity,
+    plan_query,
+)
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture
+def bindings(rng):
+    r = Relation.from_columns("r", {"a": [1, 2, 3], "b": [4, 5, 6]})
+    s = Relation.from_columns("s", {"c": [1, 2, 3]})
+    return {"r": r, "s": s}
+
+
+class TestResolveColumn:
+    def test_qualified(self, bindings):
+        ref = _resolve_column(ColumnRef("a", table="r"), bindings)
+        assert ref == ColumnRef("a", table="r")
+
+    def test_unqualified_unique(self, bindings):
+        ref = _resolve_column(ColumnRef("c"), bindings)
+        assert ref.table == "s"
+
+    def test_unknown_table(self, bindings):
+        with pytest.raises(SqlPlanError, match="unknown table"):
+            _resolve_column(ColumnRef("a", table="zzz"), bindings)
+
+    def test_unknown_column_on_table(self, bindings):
+        with pytest.raises(SqlPlanError, match="no column"):
+            _resolve_column(ColumnRef("zzz", table="r"), bindings)
+
+    def test_unknown_column_anywhere(self, bindings):
+        with pytest.raises(SqlPlanError, match="unknown column"):
+            _resolve_column(ColumnRef("zzz"), bindings)
+
+    def test_ambiguous_between_tables(self, rng):
+        r = Relation.from_columns("r", {"a": [1]})
+        s = Relation.from_columns("s", {"a": [1]})
+        with pytest.raises(SqlPlanError, match="ambiguous"):
+            _resolve_column(ColumnRef("a"), {"r": r, "s": s})
+
+
+class TestResolvePredicate:
+    def test_literal_first_flipped(self, bindings):
+        pred = _resolve_predicate(
+            Comparison(Literal(5), "<", ColumnRef("a")), bindings
+        )
+        assert pred == Comparison(ColumnRef("a", table="r"), ">", Literal(5))
+
+    def test_equality_flip_keeps_operator(self, bindings):
+        pred = _resolve_predicate(
+            Comparison(Literal(5), "=", ColumnRef("a")), bindings
+        )
+        assert pred.operator == "="
+
+    def test_in_resolved(self, bindings):
+        pred = _resolve_predicate(InPredicate(ColumnRef("c"), (Literal(1),)), bindings)
+        assert pred.column.table == "s"
+
+    def test_between_resolved(self, bindings):
+        pred = _resolve_predicate(
+            BetweenPredicate(ColumnRef("b"), Literal(1), Literal(9)), bindings
+        )
+        assert pred.column.table == "r"
+
+
+class TestSelectionSelectivity:
+    @pytest.fixture
+    def entry(self, rng):
+        freqs = quantize_to_integers(zipf_frequencies(1000, 20, 1.2))
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        rng.shuffle(column)
+        relation = Relation.from_columns("R", {"a": column})
+        catalog = StatsCatalog()
+        analyze_relation(relation, "a", catalog, kind="serial", buckets=8)
+        return catalog.require("R", "a"), relation
+
+    def test_equality(self, entry):
+        catalog_entry, relation = entry
+        column = relation.column("a")
+        hot = max(set(column), key=column.count)
+        pred = Comparison(ColumnRef("a", "R"), "=", Literal(hot))
+        sel = _selection_selectivity(pred, catalog_entry)
+        assert sel == pytest.approx(column.count(hot) / len(column), rel=0.01)
+
+    def test_not_equals_complement(self, entry):
+        catalog_entry, _ = entry
+        eq = _selection_selectivity(
+            Comparison(ColumnRef("a", "R"), "=", Literal(3)), catalog_entry
+        )
+        ne = _selection_selectivity(
+            Comparison(ColumnRef("a", "R"), "<>", Literal(3)), catalog_entry
+        )
+        assert eq + ne == pytest.approx(1.0)
+
+    def test_range_bounds_partition(self, entry):
+        catalog_entry, _ = entry
+        below = _selection_selectivity(
+            Comparison(ColumnRef("a", "R"), "<", Literal(10)), catalog_entry
+        )
+        at_or_above = _selection_selectivity(
+            Comparison(ColumnRef("a", "R"), ">=", Literal(10)), catalog_entry
+        )
+        assert below + at_or_above == pytest.approx(1.0)
+
+    def test_between_vs_range_composition(self, entry):
+        catalog_entry, _ = entry
+        between = _selection_selectivity(
+            BetweenPredicate(ColumnRef("a", "R"), Literal(5), Literal(10)),
+            catalog_entry,
+        )
+        assert 0.0 <= between <= 1.0
+
+    def test_in_sums(self, entry):
+        catalog_entry, _ = entry
+        single = _selection_selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3),)), catalog_entry
+        )
+        double = _selection_selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3), Literal(4))), catalog_entry
+        )
+        assert double >= single
+
+    def test_not_in(self, entry):
+        catalog_entry, _ = entry
+        contained = _selection_selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3),)), catalog_entry
+        )
+        negated = _selection_selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3),), negated=True),
+            catalog_entry,
+        )
+        assert contained + negated == pytest.approx(1.0)
+
+    def test_missing_entry_defaults(self):
+        pred = Comparison(ColumnRef("a", "R"), ">", Literal(3))
+        assert _selection_selectivity(pred, None) == DEFAULT_RANGE_SELECTIVITY
+
+    def test_selectivity_clamped_to_one(self, entry):
+        catalog_entry, _ = entry
+        wide = _selection_selectivity(
+            BetweenPredicate(ColumnRef("a", "R"), Literal(-100), Literal(100)),
+            catalog_entry,
+        )
+        assert wide <= 1.0
+
+
+class TestPlanQueryEstimates:
+    def test_selection_scales_estimate(self, rng):
+        relation = Relation.from_columns("r", {"a": [1] * 50 + [2] * 50})
+        catalog = StatsCatalog()
+        analyze_relation(relation, "a", catalog, kind="end-biased", buckets=2)
+        stmt = parse_select("SELECT * FROM r WHERE a = 1")
+        planned = plan_query(stmt, {"r": relation}, catalog)
+        assert planned.estimated_rows == pytest.approx(50.0)
+
+    def test_join_plus_selection_compose(self, rng):
+        r = Relation.from_columns("r", {"a": list(rng.integers(0, 5, 100))})
+        s = Relation.from_columns("s", {"a": list(rng.integers(0, 5, 100)), "b": list(rng.integers(0, 2, 100))})
+        catalog = StatsCatalog()
+        for rel in (r, s):
+            for attr in rel.schema.names:
+                analyze_relation(rel, attr, catalog, kind="end-biased", buckets=5)
+        stmt = parse_select("SELECT * FROM r, s WHERE r.a = s.a AND s.b = 0")
+        planned = plan_query(stmt, {"r": r, "s": s}, catalog)
+        without_sel = plan_query(
+            parse_select("SELECT * FROM r, s WHERE r.a = s.a"), {"r": r, "s": s}, catalog
+        )
+        fraction = planned.estimated_rows / without_sel.estimated_rows
+        truth_fraction = s.column("b").count(0) / 100
+        assert fraction == pytest.approx(truth_fraction, rel=0.01)

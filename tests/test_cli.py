@@ -1,0 +1,123 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestZipfCommand:
+    def test_prints_ranked_frequencies(self, capsys):
+        assert main(["zipf", "--total", "100", "--domain", "4", "--z", "1.0"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        rank, freq = lines[0].split("\t")
+        assert rank == "1"
+        assert float(freq) == pytest.approx(48.0)
+
+    def test_quantize_sums_to_total(self, capsys):
+        main(["zipf", "--total", "100", "--domain", "7", "--z", "1.5", "--quantize"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        total = sum(int(line.split("\t")[1]) for line in lines)
+        assert total == 100
+
+
+class TestHistogramCommand:
+    def test_end_biased(self, capsys):
+        assert main(["histogram", "--domain", "10", "--buckets", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "kind=end-biased buckets=3" in out
+        assert "self-join exact=" in out
+
+    def test_serial(self, capsys):
+        assert main(["histogram", "--domain", "12", "--buckets", "4", "--kind", "serial"]) == 0
+        assert "kind=serial" in capsys.readouterr().out
+
+    def test_trivial(self, capsys):
+        assert main(["histogram", "--domain", "12", "--kind", "trivial"]) == 0
+        assert "buckets=1" in capsys.readouterr().out
+
+
+class TestAdviseCommand:
+    def test_reports_minimum(self, capsys):
+        code = main(
+            ["advise", "--total", "1000", "--domain", "30", "--z", "1.0",
+             "--tolerance", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimum end-biased buckets" in out
+        assert "beta=" in out
+
+
+class TestSelfJoinCommand:
+    def test_all_types_reported(self, capsys):
+        code = main(
+            ["selfjoin", "--domain", "30", "--buckets", "4", "--trials", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("trivial", "equi-width", "equi-depth", "end-biased", "serial"):
+            assert name in out
+
+
+class TestChainCommand:
+    def test_reports_errors(self, capsys):
+        code = main(
+            ["chain", "--joins", "2", "--buckets", "3", "--permutations", "4",
+             "--skew-class", "high"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chain query: 2 joins" in out
+        assert "E[|S-S'|/S]" in out
+
+
+class TestTable1Command:
+    def test_prints_table(self, capsys):
+        code = main(
+            ["table1", "--serial-sizes", "8", "10", "--end-biased-sizes", "100"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attribute values" in out
+        assert "end-biased b=10" in out
+
+
+class TestArrangementsCommand:
+    def test_prints_study(self, capsys):
+        code = main(
+            ["arrangements", "--domain", "5", "--max-arrangements", "30"]
+        )
+        assert code == 0
+        assert "end-biased" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDescribeCommand:
+    def test_profiles_distribution(self, capsys):
+        assert main(["describe", "--total", "1000", "--domain", "50", "--z", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "M=50" in out and "gini=" in out
+        # The effective-z fit recovers the generating parameter.
+        assert "z≈1.50" in out
+
+
+class TestTuneCommand:
+    def test_recommends_and_applies(self, capsys):
+        code = main(
+            ["tune", "--domain", "20", "--z-values", "0.05", "2.0",
+             "--tolerance", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R0.a" in out and "R1.a" in out
+        assert "catalog now holds 2 analyzed attributes" in out

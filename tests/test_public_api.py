@@ -1,0 +1,62 @@
+"""Public-API consistency: every exported name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.data",
+    "repro.engine",
+    "repro.optimizer",
+    "repro.queries",
+    "repro.maint",
+    "repro.experiments",
+    "repro.sql",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must define __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_has_no_duplicates(package_name):
+    package = importlib.import_module(package_name)
+    assert len(set(package.__all__)) == len(package.__all__)
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_docstrings_on_public_callables():
+    """Every public function/class exported by the core packages is documented."""
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if type(obj).__module__ == "typing":
+                continue  # type aliases (Plan, RandomSource) carry no docstring
+            if callable(obj):
+                assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+def test_cli_module_importable():
+    from repro import cli
+
+    assert callable(cli.main)
+
+
+def test_tuning_exported():
+    from repro.engine.tuning import tune_database
+
+    assert callable(tune_database)

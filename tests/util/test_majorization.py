@@ -1,0 +1,123 @@
+"""Tests for repro.util.majorization — the theory behind Theorem 3.1."""
+
+import numpy as np
+import pytest
+
+from repro.data.zipf import zipf_frequencies
+from repro.util.majorization import (
+    dalton_transfer,
+    is_majorized_by,
+    lorenz_curve,
+    majorization_distance,
+)
+
+
+class TestIsMajorizedBy:
+    def test_uniform_majorized_by_everything(self):
+        uniform = [2.0, 2.0, 2.0]
+        skewed = [4.0, 1.0, 1.0]
+        assert is_majorized_by(uniform, skewed)
+        assert not is_majorized_by(skewed, uniform)
+
+    def test_reflexive(self):
+        v = [5.0, 3.0, 1.0]
+        assert is_majorized_by(v, v)
+
+    def test_permutation_invariant(self):
+        assert is_majorized_by([1.0, 3.0, 5.0], [5.0, 1.0, 3.0])
+
+    def test_unequal_totals_not_comparable(self):
+        assert not is_majorized_by([1.0, 1.0], [2.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            is_majorized_by([1.0], [1.0, 2.0])
+
+    def test_zipf_skew_ordering(self):
+        """Higher z Zipf majorizes lower z — skew is monotone in z."""
+        low = zipf_frequencies(100, 10, 0.5)
+        high = zipf_frequencies(100, 10, 2.0)
+        assert is_majorized_by(low, high)
+        assert not is_majorized_by(high, low)
+
+    def test_self_join_size_is_schur_convex(self):
+        """x ≺ y implies sum(x²) <= sum(y²) — why skew raises self-join size."""
+        for z_low, z_high in [(0.0, 0.5), (0.5, 1.0), (1.0, 3.0)]:
+            x = zipf_frequencies(1000, 20, z_low)
+            y = zipf_frequencies(1000, 20, z_high)
+            assert is_majorized_by(x, y)
+            assert np.dot(x, x) <= np.dot(y, y) + 1e-9
+
+
+class TestDaltonTransfer:
+    def test_transfer_produces_majorized_vector(self):
+        original = np.array([10.0, 6.0, 2.0])
+        transferred = dalton_transfer(original, rich=0, poor=2, amount=2.0)
+        assert is_majorized_by(transferred, original)
+
+    def test_totals_preserved(self):
+        original = np.array([10.0, 6.0, 2.0])
+        transferred = dalton_transfer(original, rich=0, poor=1, amount=1.0)
+        assert transferred.sum() == pytest.approx(original.sum())
+
+    def test_rejects_order_reversal(self):
+        with pytest.raises(ValueError, match="reverse"):
+            dalton_transfer([10.0, 2.0], rich=0, poor=1, amount=5.0)
+
+    def test_rejects_wrong_direction(self):
+        with pytest.raises(ValueError, match="larger"):
+            dalton_transfer([2.0, 10.0], rich=0, poor=1, amount=1.0)
+
+    def test_rejects_same_index(self):
+        with pytest.raises(ValueError, match="differ"):
+            dalton_transfer([2.0, 10.0], rich=1, poor=1, amount=1.0)
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            dalton_transfer([10.0, 2.0], rich=0, poor=1, amount=-1.0)
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(IndexError):
+            dalton_transfer([10.0, 2.0], rich=5, poor=1, amount=1.0)
+
+
+class TestLorenzCurve:
+    def test_endpoints(self):
+        population, mass = lorenz_curve([1.0, 2.0, 3.0])
+        assert population[0] == 0.0 and population[-1] == 1.0
+        assert mass[0] == 0.0 and mass[-1] == pytest.approx(1.0)
+
+    def test_uniform_is_diagonal(self):
+        population, mass = lorenz_curve([2.0, 2.0, 2.0, 2.0])
+        assert np.allclose(population, mass)
+
+    def test_skew_bows_below_diagonal(self):
+        population, mass = lorenz_curve(zipf_frequencies(100, 10, 2.0))
+        assert np.all(mass <= population + 1e-12)
+        assert mass[5] < population[5]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            lorenz_curve([1.0, -1.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            lorenz_curve([0.0, 0.0])
+
+
+class TestMajorizationDistance:
+    def test_zero_for_permutations(self):
+        assert majorization_distance([1.0, 2.0, 3.0], [3.0, 1.0, 2.0]) == pytest.approx(0.0)
+
+    def test_positive_for_more_skewed(self):
+        uniform = [2.0, 2.0, 2.0]
+        skewed = [4.0, 1.0, 1.0]
+        assert majorization_distance(uniform, skewed) > 0
+
+    def test_monotone_in_zipf_z(self):
+        base = zipf_frequencies(100, 10, 0.0)
+        distances = [
+            majorization_distance(base, zipf_frequencies(100, 10, z))
+            for z in (0.5, 1.0, 2.0)
+        ]
+        assert distances == sorted(distances)

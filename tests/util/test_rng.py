@@ -1,0 +1,65 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_none_returns_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(42).integers(0, 1_000_000, size=8)
+        b = derive_rng(42).integers(0, 1_000_000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).integers(0, 1_000_000, size=8)
+        b = derive_rng(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert derive_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(7)
+        a = derive_rng(seed).integers(0, 100, size=4)
+        b = derive_rng(7).integers(0, 100, size=4)
+        assert np.array_equal(a, b)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="random source"):
+            derive_rng("seed")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            derive_rng(1.5)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 1_000_000, size=16)
+        b = children[1].integers(0, 1_000_000, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_family(self):
+        first = [c.integers(0, 1000, size=4) for c in spawn_rngs(9, 3)]
+        second = [c.integers(0, 1000, size=4) for c in spawn_rngs(9, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)

@@ -1,0 +1,104 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import uniform_frequencies
+from repro.data.zipf import zipf_frequencies
+from repro.util.stats import (
+    FrequencyProfile,
+    coefficient_of_variation,
+    effective_zipf_z,
+    gini_coefficient,
+    profile_frequencies,
+    skewness,
+    top_k_share,
+)
+
+
+class TestCoefficientOfVariation:
+    def test_uniform_is_zero(self):
+        assert coefficient_of_variation(uniform_frequencies(100, 10)) == 0.0
+
+    def test_known_value(self):
+        assert coefficient_of_variation([2.0, 4.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_monotone_in_zipf_z(self):
+        cvs = [
+            coefficient_of_variation(zipf_frequencies(1000, 100, z))
+            for z in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert cvs == sorted(cvs)
+
+
+class TestSkewness:
+    def test_symmetric_zero(self):
+        assert skewness([1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_uniform_zero(self):
+        assert skewness([5.0, 5.0, 5.0]) == 0.0
+
+    def test_right_tail_positive(self):
+        assert skewness(zipf_frequencies(1000, 100, 1.5)) > 0
+
+
+class TestGini:
+    def test_uniform_zero(self):
+        assert gini_coefficient(uniform_frequencies(100, 20)) == pytest.approx(0.0)
+
+    def test_concentration_near_one(self):
+        freqs = np.array([1000.0] + [1e-9] * 99)
+        assert gini_coefficient(freqs) > 0.95
+
+    def test_monotone_in_zipf_z(self):
+        ginis = [
+            gini_coefficient(zipf_frequencies(1000, 100, z)) for z in (0.0, 1.0, 2.0)
+        ]
+        assert ginis == sorted(ginis)
+
+    def test_bounds(self):
+        g = gini_coefficient(zipf_frequencies(1000, 50, 1.0))
+        assert 0.0 <= g <= 1.0
+
+
+class TestTopKShare:
+    def test_full_coverage(self):
+        assert top_k_share([3.0, 2.0, 1.0], 3) == pytest.approx(1.0)
+
+    def test_k_larger_than_set(self):
+        assert top_k_share([3.0, 2.0], 10) == pytest.approx(1.0)
+
+    def test_top1(self):
+        assert top_k_share([6.0, 3.0, 1.0], 1) == pytest.approx(0.6)
+
+    def test_zipf_concentration(self):
+        share = top_k_share(zipf_frequencies(1000, 1000, 1.5), 10)
+        assert share > 0.5
+
+
+class TestEffectiveZipfZ:
+    @pytest.mark.parametrize("z", [0.0, 0.5, 1.0, 2.0])
+    def test_recovers_true_z(self, z):
+        freqs = zipf_frequencies(1000, 200, z)
+        assert effective_zipf_z(freqs) == pytest.approx(z, abs=1e-6)
+
+    def test_single_value(self):
+        assert effective_zipf_z([5.0]) == 0.0
+
+    def test_increasing_shape_clamped_to_zero(self):
+        # Anti-Zipf (increasing in rank after sorting it is still
+        # descending, so construct equal values): z estimate is 0.
+        assert effective_zipf_z([4.0, 4.0, 4.0]) == pytest.approx(0.0)
+
+
+class TestProfile:
+    def test_fields(self):
+        profile = profile_frequencies(zipf_frequencies(1000, 100, 1.0))
+        assert isinstance(profile, FrequencyProfile)
+        assert profile.size == 100
+        assert profile.total == pytest.approx(1000.0)
+        assert profile.effective_z == pytest.approx(1.0, abs=1e-6)
+
+    def test_str(self):
+        text = str(profile_frequencies([5.0, 3.0, 1.0]))
+        assert "M=3" in text and "gini=" in text

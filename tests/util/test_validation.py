@@ -1,0 +1,84 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_positive_int,
+)
+
+
+class TestEnsurePositiveInt:
+    def test_accepts_int(self):
+        assert ensure_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert ensure_positive_int(np.int32(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            ensure_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="x must be an integer"):
+            ensure_positive_int(2.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_positive_int(True, "x")
+
+
+class TestEnsurePositive:
+    def test_accepts_float(self):
+        assert ensure_positive(0.5, "t") == 0.5
+
+    def test_accepts_int(self):
+        assert ensure_positive(2, "t") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="t must be positive"):
+            ensure_positive(0.0, "t")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            ensure_positive("1", "t")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0, "v") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ensure_non_negative(-1e-9, "v")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(float("nan"), "v")
+
+
+class TestEnsureInRange:
+    def test_within(self):
+        assert ensure_in_range(0.5, "z", low=0.0, high=1.0) == 0.5
+
+    def test_boundaries_inclusive(self):
+        assert ensure_in_range(0.0, "z", low=0.0, high=1.0) == 0.0
+        assert ensure_in_range(1.0, "z", low=0.0, high=1.0) == 1.0
+
+    def test_below(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ensure_in_range(-0.1, "z", low=0.0)
+
+    def test_above(self):
+        with pytest.raises(ValueError, match="<= 1"):
+            ensure_in_range(1.1, "z", high=1.0)
+
+    def test_open_ended(self):
+        assert ensure_in_range(1e9, "z", low=0.0) == 1e9
