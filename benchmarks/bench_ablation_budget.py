@@ -8,6 +8,8 @@ per-attribute) relative self-join error across a mixed-skew schema at
 several budgets.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 

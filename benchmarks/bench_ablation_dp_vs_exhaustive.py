@@ -7,6 +7,8 @@ exhaustive algorithm blows up — i.e. the paper's β=5 serial cut-off in
 Figure 3 is an artefact of the algorithm, not of the histogram class.
 """
 
+from __future__ import annotations
+
 import time
 
 import pytest

@@ -6,10 +6,13 @@ frozen, an incrementally-maintained, and a periodically-rebuilt end-biased
 histogram and tracks the self-join estimation error of each.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 
 from repro.core.frequency import AttributeDistribution
+from repro.util.rng import derive_rng
 from repro.data.quantize import quantize_to_integers
 from repro.data.zipf import zipf_frequencies
 from repro.maint.update import MaintainedEndBiased, MaintenancePolicy
@@ -35,7 +38,7 @@ def run_maintenance():
     frozen_snapshot = frozen.self_join_estimate()
 
     truth = dict(zip(values, freqs))
-    gen = np.random.default_rng(3)
+    gen = derive_rng(3)
     # Skew-shifting stream: cold values heat up, so stale stats go wrong.
     cold = sorted(values, key=lambda v: truth[v])[:10]
     rows = []

@@ -11,10 +11,13 @@ of estimating rectangular (range x range) selections:
   accurate per cell but needing the full cell->bucket map).
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 
 from repro.core.matrix import FrequencyMatrix
+from repro.util.rng import derive_rng
 from repro.core.multidim import GridHistogram, independence_matrix
 from repro.core.serial import v_optimal_serial_histogram
 from repro.experiments.report import format_table
@@ -37,7 +40,7 @@ def build_correlated_matrix(rng, correlation: float) -> FrequencyMatrix:
 
 
 def run_multidim():
-    gen = np.random.default_rng(1995)
+    gen = derive_rng(1995)
     rows = []
     for correlation in (0.0, 0.5, 0.9):
         matrix = build_correlated_matrix(gen, correlation)

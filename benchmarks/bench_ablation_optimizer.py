@@ -8,10 +8,13 @@ should never lead to a (much) worse true cost, and the trivial catalog's
 estimate of its own plan is the least accurate.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 
 from repro.data.quantize import quantize_to_integers
+from repro.util.rng import derive_rng
 from repro.data.zipf import zipf_frequencies
 from repro.engine.analyze import analyze_relation
 from repro.engine.catalog import StatsCatalog
@@ -44,7 +47,7 @@ def build_database(rng):
 
 
 def run_optimizer_ablation():
-    graph = build_database(np.random.default_rng(1995))
+    graph = build_database(derive_rng(1995))
     truth = CountedTruth(graph)
     cost_model = CostModel()
     rows = []

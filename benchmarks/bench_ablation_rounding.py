@@ -6,6 +6,8 @@ averages; this ablation quantifies how little the rounding matters at
 realistic scales — and that it matters most for tiny relation sizes.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 

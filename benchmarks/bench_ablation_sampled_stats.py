@@ -9,10 +9,13 @@ for the reverse-Zipf shape the shortcut degrades, as the paper predicts
 ("this approach will not work when ... low frequencies will be chosen").
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 
 from repro.core.biased import v_opt_bias_hist
+from repro.util.rng import derive_rng
 from repro.data.quantize import quantize_to_integers
 from repro.data.synthetic import reverse_zipf_frequencies
 from repro.data.zipf import zipf_frequencies
@@ -39,7 +42,7 @@ def _self_join(compact: CompactEndBiased) -> float:
 
 
 def run_sampled_ablation():
-    rng = np.random.default_rng(1995)
+    rng = derive_rng(1995)
     rows = []
     for label, base in (
         ("zipf z=1", zipf_frequencies(TOTAL, DOMAIN, 1.0)),

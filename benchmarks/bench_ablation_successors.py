@@ -8,6 +8,8 @@ Compressed, end-biased} ≪ trivial, with all heuristics far cheaper to build
 than the exhaustive (or even DP) serial optimum.
 """
 
+from __future__ import annotations
+
 import time
 
 import numpy as np

@@ -10,10 +10,13 @@ both families on *both* workloads over the same shuffled-Zipf attribute:
   should win, since ranges integrate over value order.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 
 from repro.core.biased import v_opt_bias_hist
+from repro.util.rng import derive_rng
 from repro.core.estimator import estimate_range_selection
 from repro.core.frequency import AttributeDistribution
 from repro.core.heuristic import equi_depth_histogram, equi_width_histogram
@@ -29,7 +32,7 @@ TRIALS = 10
 
 
 def run_valueorder():
-    gen = np.random.default_rng(1995)
+    gen = derive_rng(1995)
     base = zipf_frequencies(3000, DOMAIN, 1.2)
     builders = {
         "equi-width": lambda d: equi_width_histogram(d, BETA),

@@ -7,6 +7,8 @@ checked numerically: curves cross exactly once (higher z is higher at low
 rank, lower at high rank) and z = 0 is flat.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.data.zipf import zipf_skew_series

@@ -7,6 +7,8 @@ trivial curve is flat.  The paper could only plot the serial curve to β=5
 whole range, marking the paper's cut-off in the ablation bench instead.
 """
 
+from __future__ import annotations
+
 import pytest
 from _reporting import record_report
 

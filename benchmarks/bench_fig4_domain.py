@@ -5,6 +5,8 @@ peaks, then falls as growing M at fixed T drives the distribution toward
 uniform; serial/end-biased dominate throughout.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.experiments.config import SelfJoinExperimentConfig

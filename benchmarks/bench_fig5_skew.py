@@ -7,6 +7,8 @@ the flat tail goes in one multivalued bucket) — while equi-width and the
 trivial histogram deteriorate monotonically and "fall out of the chart".
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.experiments.config import SelfJoinExperimentConfig

@@ -10,6 +10,8 @@ every class; high skew ≫ mixed ≫ low; trivial is off the chart for all but
 the low-skew class; serial and end-biased stay close to each other.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.experiments.chains import sweep_joins

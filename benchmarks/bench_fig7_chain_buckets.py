@@ -8,6 +8,8 @@ their average difference is small — the justification for shipping
 end-biased histograms.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.experiments.chains import sweep_chain_buckets

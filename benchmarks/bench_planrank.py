@@ -9,6 +9,8 @@ the full plan rankings — both for uncorrelated and for skew-aligned
 trivial histogram no longer protects it.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.experiments.planrank import plan_ranking_study

@@ -7,6 +7,8 @@ data".  The original dataset is unavailable; a documented synthetic
 surrogate with the same qualitative shapes stands in (see DESIGN.md).
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.data.realworld import STAT_ATTRIBUTES, nba_player_statistics, player_stat_frequency_set

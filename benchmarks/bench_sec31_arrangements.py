@@ -8,6 +8,8 @@ study across several Zipf skew pairs, enumerating all arrangements of
 six-value domains and solving each exactly.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.data.zipf import zipf_frequencies

@@ -7,10 +7,13 @@ estimation quality of the v-optimal end-biased histograms on ``≠`` and
 complement identity |S_≠ − S'_≠| = |S_= − S'_=| numerically.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 
 from repro.core.biased import v_opt_bias_hist
+from repro.util.rng import derive_rng
 from repro.core.frequency import AttributeDistribution
 from repro.core.heuristic import trivial_histogram
 from repro.core.inequality import (
@@ -28,7 +31,7 @@ TRIALS = 25
 
 
 def run_operators():
-    gen = np.random.default_rng(1995)
+    gen = derive_rng(1995)
     rows = []
     for z_left, z_right in ((0.5, 1.0), (1.5, 1.5), (2.5, 1.0)):
         base_left = zipf_frequencies(1000, DOMAIN, z_left)

@@ -7,10 +7,13 @@ This is the paper's whole argument compressed into one table: the same
 engine, the same queries, only the histogram class changes.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _reporting import record_report
 
 from repro.data.quantize import quantize_to_integers
+from repro.util.rng import derive_rng
 from repro.data.zipf import zipf_frequencies
 from repro.experiments.report import format_table
 from repro.sql import Database
@@ -33,7 +36,7 @@ WORKLOAD = [
 
 
 def build_database(kind):
-    rng = np.random.default_rng(1995)
+    rng = derive_rng(1995)
 
     def zipf_column(total, domain, z):
         freqs = quantize_to_integers(zipf_frequencies(total, domain, z))

@@ -7,6 +7,8 @@ a V-OptBiasHist that is essentially flat across β and near-linear in M
 2020s machine running Python, but the asymptotic shape is the result.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.experiments.config import TimingExperimentConfig

@@ -11,6 +11,8 @@ high skew is much harder than low, and the v-optimal histograms beat the
 trivial one by orders of magnitude on skewed data.
 """
 
+from __future__ import annotations
+
 from _reporting import record_report
 
 from repro.experiments.report import format_series

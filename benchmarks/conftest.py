@@ -1,5 +1,7 @@
 """Benchmark-session conftest: prints and archives every regenerated table."""
 
+from __future__ import annotations
+
 import re
 from pathlib import Path
 

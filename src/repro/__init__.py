@@ -14,6 +14,8 @@ Quickstart::
     print(self_join_size(freqs), hist.self_join_estimate())
 """
 
+from __future__ import annotations
+
 from repro.core import (
     AttributeDistribution,
     FrequencyMatrix,

@@ -1,0 +1,75 @@
+"""Static analysis and runtime contracts for the reproduction.
+
+Two complementary halves keep the paper's guarantees true as the codebase
+grows:
+
+* :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — **repolint**,
+  an AST linter enforcing project coding contracts (RNG discipline, boundary
+  validation, explicit dtypes in hot paths, no caller-array mutation,
+  annotation completeness).  Run it with ``repro lint``.
+* :mod:`repro.analysis.contracts` — runtime invariant checks for the
+  paper-level algebra (bucket partitions, Proposition 3.1 non-negativity,
+  finite non-negative estimates), enabled with ``REPRO_CONTRACTS=1``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import (
+    CONTRACTS_ENV,
+    ContractViolation,
+    check_bucket,
+    check_estimate,
+    check_histogram,
+    check_non_negative_error,
+    contracts_enabled,
+    maybe_check_bucket,
+    maybe_check_histogram,
+    postcondition,
+    require,
+    returns_estimate,
+)
+from repro.analysis.diagnostics import Severity, Violation, format_report
+from repro.analysis.linter import (
+    LintConfig,
+    LintError,
+    LintModule,
+    build_module,
+    discover_files,
+    exit_code,
+    lint_module,
+    lint_paths,
+    lint_source,
+    parse_rule_selection,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
+
+__all__ = [
+    "CONTRACTS_ENV",
+    "ContractViolation",
+    "check_bucket",
+    "check_estimate",
+    "check_histogram",
+    "check_non_negative_error",
+    "contracts_enabled",
+    "maybe_check_bucket",
+    "maybe_check_histogram",
+    "postcondition",
+    "require",
+    "returns_estimate",
+    "Severity",
+    "Violation",
+    "format_report",
+    "LintConfig",
+    "LintError",
+    "LintModule",
+    "build_module",
+    "discover_files",
+    "exit_code",
+    "lint_module",
+    "lint_paths",
+    "lint_source",
+    "parse_rule_selection",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "Rule",
+]

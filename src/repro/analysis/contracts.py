@@ -1,0 +1,220 @@
+"""Runtime invariant contracts for the paper's algebraic guarantees.
+
+The theory this reproduction rests on is a handful of invariants:
+
+* a histogram's buckets **partition** the reference frequency vector exactly
+  (Section 2.3) and its kind label matches the taxonomy — serial histograms
+  never interleave bucket frequency ranges (Definition 2.1);
+* bucket statistics are consistent: ``T_i = Σ freq``, ``v_i ≥ 0``,
+  ``p_i·v_i ≥ 0``;
+* the self-join error ``S − S' = Σ_i p_i·v_i`` is **non-negative**
+  (Proposition 3.1), zero exactly when every bucket is univalued;
+* every result-size estimate is finite and ``≥ 0`` (Theorem 2.1 products of
+  non-negative frequencies).
+
+This module checks them at runtime.  Checks are **off by default**; enable
+with ``REPRO_CONTRACTS=1`` (or ``true``/``yes``/``on``) in the environment.
+Hooks are wired into :mod:`repro.core.buckets`, :mod:`repro.core.histogram`,
+:mod:`repro.core.construction`, :mod:`repro.core.estimator`, and
+:mod:`repro.engine.operators`; all of them are duck-typed so this module
+never imports the code it audits (no import cycles, no import cost).
+
+A failed contract raises :class:`ContractViolation` (an ``AssertionError``
+subclass) naming the invariant and the offending quantity.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+from typing import Any, Callable, TypeVar
+
+#: Environment variable that switches the contract checks on.
+CONTRACTS_ENV = "REPRO_CONTRACTS"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Relative tolerance for floating-point non-negativity checks: Proposition
+#: 3.1 guarantees exact non-negativity in real arithmetic; accumulated
+#: float64 rounding may dip a hair below zero on large sums.
+REL_TOL = 1e-9
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class ContractViolation(AssertionError):
+    """A paper-level invariant failed at runtime."""
+
+
+def contracts_enabled() -> bool:
+    """True when ``REPRO_CONTRACTS`` requests runtime invariant checking."""
+    return os.environ.get(CONTRACTS_ENV, "").strip().lower() in _TRUTHY
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ContractViolation` with *message* unless *condition*."""
+    if not condition:
+        raise ContractViolation(message)
+
+
+# ----------------------------------------------------------------------
+# Scalar contracts
+# ----------------------------------------------------------------------
+
+
+def check_estimate(value: float, label: str) -> float:
+    """Assert a result-size estimate is finite and non-negative; pass it through.
+
+    Every estimator in the system approximates a count, and counts of tuples
+    are finite non-negative reals (Theorem 2.1 sums products of non-negative
+    frequencies).  ``relative_error`` may legitimately return ``inf``; that
+    function is not routed through this check.
+    """
+    value = float(value)
+    require(
+        not math.isnan(value), f"{label}: estimate is NaN, expected a finite count"
+    )
+    require(
+        math.isfinite(value), f"{label}: estimate is {value}, expected finite"
+    )
+    require(value >= 0.0, f"{label}: estimate is {value}, expected >= 0")
+    return value
+
+
+def check_non_negative_error(error: float, scale: float, label: str) -> float:
+    """Assert a Proposition 3.1 error term is non-negative up to rounding.
+
+    ``S − S' = Σ_i p_i·v_i`` is a sum of non-negative terms, so any genuine
+    negativity is a construction bug; only float rounding of order
+    ``REL_TOL · scale`` is forgiven.
+    """
+    error = float(error)
+    tolerance = REL_TOL * max(abs(float(scale)), 1.0)
+    require(
+        error >= -tolerance,
+        f"{label}: Proposition 3.1 violated — self-join error {error} < 0 "
+        f"(tolerance {tolerance})",
+    )
+    return error
+
+
+# ----------------------------------------------------------------------
+# Structural contracts (duck-typed over Bucket / Histogram)
+# ----------------------------------------------------------------------
+
+
+def check_bucket(bucket: Any) -> None:
+    """Assert one bucket's statistics are internally consistent."""
+    frequencies = bucket.frequencies
+    require(
+        all(math.isfinite(float(f)) and float(f) >= 0.0 for f in frequencies),
+        "bucket frequencies must be finite and non-negative",
+    )
+    total = float(sum(float(f) for f in frequencies))
+    tolerance = REL_TOL * max(total, 1.0)
+    require(
+        abs(bucket.total - total) <= tolerance,
+        f"bucket total T_i={bucket.total} disagrees with Σ freq={total}",
+    )
+    require(bucket.count == len(frequencies), "bucket count p_i must equal |bucket|")
+    require(bucket.variance >= 0.0, "bucket variance v_i must be non-negative")
+    require(bucket.sse >= 0.0, "bucket error contribution p_i·v_i must be >= 0")
+
+
+def check_histogram(histogram: Any) -> None:
+    """Assert the histogram-level invariants of Sections 2-3.
+
+    Checks the bucket partition covers every frequency index exactly once,
+    totals are conserved (``Σ_i T_i = Σ_v f_v``), the kind label honours the
+    taxonomy (trivial/serial/end-biased), and Proposition 3.1 holds.
+    """
+    indices = sorted(i for group in histogram.index_groups for i in group)
+    size = len(histogram.frequencies)
+    require(
+        indices == list(range(size)),
+        "bucket index groups must partition the frequency indices exactly "
+        f"(got {len(indices)} slots over {size} frequencies)",
+    )
+    for bucket in histogram.buckets:
+        check_bucket(bucket)
+    grand_total = float(sum(float(f) for f in histogram.frequencies))
+    bucket_total = float(sum(b.total for b in histogram.buckets))
+    tolerance = REL_TOL * max(grand_total, 1.0)
+    require(
+        abs(grand_total - bucket_total) <= tolerance,
+        f"Σ_i T_i={bucket_total} must conserve the relation total "
+        f"{grand_total}",
+    )
+    kind = getattr(histogram, "kind", "custom")
+    if kind == "trivial":
+        require(
+            histogram.bucket_count == 1, "trivial histograms have exactly one bucket"
+        )
+    if kind in {"serial", "end-biased", "biased"}:
+        require(
+            histogram.is_serial() or kind == "biased",
+            f"{kind} histogram interleaves bucket frequency ranges "
+            "(Definition 2.1 violated)",
+        )
+    if kind == "end-biased":
+        require(
+            histogram.is_end_biased(),
+            "end-biased histogram does not place univalued buckets at the "
+            "frequency extremes (Definition 2.2 violated)",
+        )
+    estimate = check_estimate(histogram.self_join_estimate(), "self_join_estimate")
+    check_non_negative_error(
+        histogram.self_join_error(), scale=max(estimate, grand_total), label=kind
+    )
+
+
+def maybe_check_histogram(histogram: Any) -> None:
+    """Contract hook: :func:`check_histogram` when contracts are enabled."""
+    if contracts_enabled():
+        check_histogram(histogram)
+
+
+def maybe_check_bucket(bucket: Any) -> None:
+    """Contract hook: :func:`check_bucket` when contracts are enabled."""
+    if contracts_enabled():
+        check_bucket(bucket)
+
+
+# ----------------------------------------------------------------------
+# Decorators
+# ----------------------------------------------------------------------
+
+
+def returns_estimate(function: _F) -> _F:
+    """Decorate an estimator so its result is contract-checked when enabled."""
+
+    @functools.wraps(function)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        result = function(*args, **kwargs)
+        if contracts_enabled():
+            check_estimate(result, function.__qualname__)
+        return result
+
+    return wrapper  # type: ignore[return-value]
+
+
+def postcondition(check: Callable[[Any], Any]) -> Callable[[_F], _F]:
+    """Decorate a function with an arbitrary result contract.
+
+    ``check`` receives the return value and raises :class:`ContractViolation`
+    (directly or via :func:`require`) on breach; it runs only when
+    :func:`contracts_enabled` is true.
+    """
+
+    def decorate(function: _F) -> _F:
+        @functools.wraps(function)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = function(*args, **kwargs)
+            if contracts_enabled():
+                check(result)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

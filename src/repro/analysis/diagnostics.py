@@ -1,0 +1,54 @@
+"""Diagnostic primitives shared by the linter and its CLI front-end.
+
+A :class:`Violation` is one finding of one rule at one source location; the
+formatting here is what ``repro lint`` prints, one line per finding, in the
+conventional ``path:line:col: CODE message`` shape so editors and CI
+annotators can point at the offending line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit code.
+
+    ``ERROR`` findings always fail the run; ``WARNING`` findings fail only
+    under ``--strict`` (the mode CI runs in, so the shipped tree must be
+    clean of both).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding, anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    message: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def format_report(violations: list[Violation]) -> str:
+    """Render a sorted, newline-joined report plus a one-line summary."""
+    lines = [v.format() for v in sorted(violations)]
+    errors = sum(1 for v in violations if v.severity is Severity.ERROR)
+    warnings = len(violations) - errors
+    lines.append(
+        f"repolint: {errors} error(s), {warnings} warning(s) "
+        f"in {len({v.path for v in violations})} file(s)"
+        if violations
+        else "repolint: clean"
+    )
+    return "\n".join(lines)

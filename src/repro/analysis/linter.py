@@ -1,0 +1,235 @@
+"""repolint: the project linter engine.
+
+Parses Python sources into :class:`LintModule` objects (AST + suppression
+comments + path-based classification) and runs the rule registry from
+:mod:`repro.analysis.rules` over them.  Use :func:`lint_paths` for trees,
+:func:`lint_source` for in-memory snippets (the fixture tests use it), and
+``repro lint`` from the command line.
+
+Suppression and classification directives are magic comments:
+
+* ``# repolint: disable=R001,R004`` — suppress those rules on that line;
+* ``# repolint: boundary-exempt`` — on or just above a ``def``, exempt the
+  function from R002;
+* ``# repolint: skip-file`` — anywhere, skip the whole file;
+* ``# repolint: hot-path`` / ``# repolint: boundary`` / ``# repolint:
+  rng-module`` — force the file's classification regardless of its path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.analysis.diagnostics import Severity, Violation
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
+
+_DIRECTIVE_RE = re.compile(r"#\s*repolint:\s*(?P<body>[^#]*)")
+
+#: Path suffixes (posix) that default to hot-path classification (R003).
+DEFAULT_HOT_PATH_PARTS = ("repro/core/", "repro/engine/")
+
+#: Path suffixes that default to boundary classification (R002).
+DEFAULT_BOUNDARY_PARTS = ("repro/core/", "repro/engine/", "repro/optimizer/")
+
+#: The one module allowed to touch numpy.random entry points directly.
+DEFAULT_RNG_MODULES = ("repro/util/rng.py",)
+
+#: Paths whose public defs must be fully annotated (R005).  Scripts such as
+#: benchmarks only need the future import, not exhaustive annotations.
+DEFAULT_PUBLIC_API_PARTS = ("repro/",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run and how files are classified."""
+
+    select: Optional[frozenset[str]] = None  # None means every rule
+    hot_path_parts: tuple[str, ...] = DEFAULT_HOT_PATH_PARTS
+    boundary_parts: tuple[str, ...] = DEFAULT_BOUNDARY_PARTS
+    rng_modules: tuple[str, ...] = DEFAULT_RNG_MODULES
+    public_api_parts: tuple[str, ...] = DEFAULT_PUBLIC_API_PARTS
+
+    def rules(self) -> list[Rule]:
+        selected = []
+        for rule_cls in ALL_RULES:
+            if self.select is None or rule_cls.code in self.select:
+                selected.append(rule_cls())
+        return selected
+
+
+@dataclass
+class LintModule:
+    """One parsed source file plus everything rules need to judge it."""
+
+    path: str
+    tree: ast.Module
+    lines: list[str]
+    suppressed: dict[int, set[str]] = field(default_factory=dict)
+    directives: set[str] = field(default_factory=set)
+    is_hot_path: bool = False
+    is_boundary: bool = False
+    is_rng_module: bool = False
+    is_public_api: bool = False
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        codes = self.suppressed.get(violation.line)
+        return bool(codes) and (violation.rule in codes or "*" in codes)
+
+    def function_is_exempt(self, node: ast.AST, marker: str) -> bool:
+        """True when *marker* appears in the function's signature region.
+
+        The region spans from the first decorator (or the line above the
+        ``def``) through the line before the first body statement, so the
+        marker may sit on the ``def`` line, a decorator line, a continuation
+        line of a long signature, or immediately above the function.
+        """
+        decorators = getattr(node, "decorator_list", [])
+        start = min([node.lineno] + [d.lineno for d in decorators]) - 1
+        body = getattr(node, "body", None)
+        end = body[0].lineno - 1 if body else node.lineno
+        for lineno in range(max(start, 1), end + 1):
+            if lineno <= len(self.lines) and marker in self.lines[lineno - 1]:
+                return True
+        return False
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable or unparseable)."""
+
+
+def _parse_directives(lines: Sequence[str]) -> tuple[dict[int, set[str]], set[str]]:
+    suppressed: dict[int, set[str]] = {}
+    file_directives: set[str] = set()
+    for lineno, line in enumerate(lines, start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        for clause in re.split(r"[;\s]+", body):
+            if not clause:
+                continue
+            if clause.startswith("disable="):
+                codes = {c.strip() for c in clause[len("disable=") :].split(",")}
+                suppressed.setdefault(lineno, set()).update(c for c in codes if c)
+            else:
+                file_directives.add(clause)
+    return suppressed, file_directives
+
+
+def build_module(
+    source: str, path: str, config: Optional[LintConfig] = None
+) -> LintModule:
+    """Parse *source* into a classified :class:`LintModule`."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    lines = source.splitlines()
+    suppressed, directives = _parse_directives(lines)
+    posix = path.replace("\\", "/")
+    module = LintModule(
+        path=path,
+        tree=tree,
+        lines=lines,
+        suppressed=suppressed,
+        directives=directives,
+    )
+    module.is_hot_path = "hot-path" in directives or any(
+        part in posix for part in config.hot_path_parts
+    )
+    module.is_boundary = "boundary" in directives or any(
+        part in posix for part in config.boundary_parts
+    )
+    module.is_rng_module = "rng-module" in directives or any(
+        posix.endswith(suffix) for suffix in config.rng_modules
+    )
+    module.is_public_api = "public-api" in directives or any(
+        part in posix for part in config.public_api_parts
+    )
+    return module
+
+
+def lint_module(module: LintModule, config: Optional[LintConfig] = None) -> list[Violation]:
+    """Run the selected rules over one parsed module."""
+    config = config or LintConfig()
+    if "skip-file" in module.directives:
+        return []
+    violations: list[Violation] = []
+    for rule in config.rules():
+        for violation in rule.check(module):
+            if not module.is_suppressed(violation):
+                violations.append(violation)
+    return sorted(violations)
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: Optional[LintConfig] = None
+) -> list[Violation]:
+    """Lint an in-memory source string (fixture tests enter here)."""
+    config = config or LintConfig()
+    return lint_module(build_module(source, path, config), config)
+
+
+def discover_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files under *paths*, skipping caches and hidden dirs."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.exists():
+            raise LintError(f"{path}: no such file or directory")
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path | str], config: Optional[LintConfig] = None
+) -> list[Violation]:
+    """Lint every Python file under *paths* and return sorted violations."""
+    config = config or LintConfig()
+    violations: list[Violation] = []
+    for file_path in discover_files([Path(p) for p in paths]):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{file_path}: cannot read: {exc}") from exc
+        module = build_module(source, str(file_path), config)
+        violations.extend(lint_module(module, config))
+    return sorted(violations)
+
+
+def exit_code(violations: Sequence[Violation], strict: bool = False) -> int:
+    """0 when acceptable, 1 otherwise: errors always fail, warnings on strict."""
+    if any(v.severity is Severity.ERROR for v in violations):
+        return 1
+    if strict and violations:
+        return 1
+    return 0
+
+
+def parse_rule_selection(spec: Optional[str]) -> Optional[frozenset[str]]:
+    """Parse a ``--rules R001,R003`` selection, validating the codes."""
+    if spec is None:
+        return None
+    codes = frozenset(code.strip().upper() for code in spec.split(",") if code.strip())
+    if not codes:
+        raise LintError(
+            "--rules given without any rule codes; "
+            f"known: {', '.join(sorted(RULES_BY_CODE))}"
+        )
+    unknown = codes - set(RULES_BY_CODE)
+    if unknown:
+        raise LintError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULES_BY_CODE))}"
+        )
+    return codes

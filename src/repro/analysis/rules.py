@@ -1,0 +1,463 @@
+"""repolint rules: project-specific coding contracts, R001-R005.
+
+Each rule enforces a discipline that keeps the paper's algebraic guarantees
+true as the codebase grows:
+
+* **R001** — randomness must flow through :mod:`repro.util.rng`; unseeded or
+  global RNG use makes figure rows irreproducible.
+* **R002** — public functions at package boundaries (``core``, ``engine``,
+  ``optimizer``) must validate their arguments (via :mod:`repro.util.validation`
+  or an explicit ``raise``) or declare ``# repolint: boundary-exempt``.
+* **R003** — numpy constructors and reductions in hot-path modules must pass
+  an explicit ``dtype``: ``S = Π frequency`` products silently overflow int32
+  on platforms where that is the default integer.
+* **R004** — functions must not mutate caller-owned numpy arrays in place;
+  copy first (``np.array``/``.copy()``) or rebind.
+* **R005** — modules need ``from __future__ import annotations`` and public
+  APIs need complete type annotations.
+
+Rules are pure functions of a parsed :class:`~repro.analysis.linter.LintModule`;
+they never import the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.diagnostics import Severity, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.linter import LintModule
+
+#: numpy.random attributes that are types/plumbing, not stochastic calls.
+SAFE_RANDOM_ATTRS = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: numpy callables whose default dtype is platform- or input-dependent.
+DTYPE_SENSITIVE = frozenset(
+    {
+        "array",
+        "asarray",
+        "asanyarray",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "arange",
+        "prod",
+        "cumprod",
+        "cumsum",
+    }
+)
+
+#: ndarray methods that mutate the receiver in place.  ``put`` is excluded:
+#: dict-like stores (e.g. the statistics catalog) name their setter ``put``
+#: and mutating a passed-in store is their documented purpose.
+IN_PLACE_METHODS = frozenset(
+    {"sort", "fill", "resize", "setflags", "partition", "itemset", "byteswap"}
+)
+
+#: Call-name prefixes that mark a call site as argument validation: the
+#: repro.util.validation helpers, contract checks, and the module-private
+#: ``_prepare``/``_validate`` coercion idiom used across core/.
+VALIDATION_CALL_PREFIXES = (
+    "ensure_",
+    "check_",
+    "validate",
+    "_validate",
+    "_prepare",
+    "_ensure",
+    "coerce_",
+)
+
+#: Exact call names that validate/coerce their input (they raise on bad data).
+VALIDATION_CALL_NAMES = frozenset({"as_frequency_array", "derive_rng", "require"})
+
+#: Decorators from repro.analysis.contracts that attach runtime contracts; a
+#: boundary function carrying one satisfies R002.
+CONTRACT_DECORATORS = frozenset({"returns_estimate", "postcondition"})
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Resolve ``a.b.c`` attribute chains to a dotted string, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class: one lint rule with a stable code and severity."""
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: LintModule, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class RngDisciplineRule(Rule):
+    """R001: no unseeded/global RNG outside :mod:`repro.util.rng`."""
+
+    code = "R001"
+    name = "rng-discipline"
+    summary = (
+        "route randomness through repro.util.rng (derive_rng/spawn_rngs); "
+        "global or ad-hoc RNG breaks experiment reproducibility"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if module.is_rng_module:
+            return
+        numpy_random_aliases = {"np.random", "numpy.random"}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            module,
+                            node,
+                            "stdlib `random` is a hidden global RNG; "
+                            "use repro.util.rng.derive_rng instead",
+                        )
+                    elif alias.name == "numpy.random":
+                        numpy_random_aliases.add(alias.asname or alias.name)
+                        yield self.violation(
+                            module,
+                            node,
+                            "import numpy.random via repro.util.rng helpers, "
+                            "not directly",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        module,
+                        node,
+                        "stdlib `random` is a hidden global RNG; "
+                        "use repro.util.rng.derive_rng instead",
+                    )
+                elif node.module in {"numpy", "np"} and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    for alias in node.names:
+                        if alias.name == "random":
+                            numpy_random_aliases.add(alias.asname or "random")
+                    yield self.violation(
+                        module,
+                        node,
+                        "import numpy.random via repro.util.rng helpers, "
+                        "not directly",
+                    )
+                elif node.module == "numpy.random" and any(
+                    alias.name not in SAFE_RANDOM_ATTRS for alias in node.names
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        "import RNG entry points from repro.util.rng, "
+                        "not numpy.random",
+                    )
+        imports_stdlib_random = any(
+            isinstance(node, ast.Import)
+            and any(a.name == "random" for a in node.names)
+            for node in ast.walk(module.tree)
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = _dotted_name(node)
+            if dotted is None:
+                continue
+            for alias in numpy_random_aliases:
+                prefix = alias + "."
+                if dotted.startswith(prefix):
+                    attr = dotted[len(prefix) :].split(".")[0]
+                    if attr not in SAFE_RANDOM_ATTRS:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"`{dotted}` bypasses repro.util.rng; accept a "
+                            "RandomSource and call derive_rng(source)",
+                        )
+                    break
+            else:
+                if imports_stdlib_random and dotted.startswith("random."):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"`{dotted}` uses the stdlib global RNG; "
+                        "use repro.util.rng.derive_rng instead",
+                    )
+
+
+class BoundaryValidationRule(Rule):
+    """R002: boundary-package public functions must validate arguments."""
+
+    code = "R002"
+    name = "boundary-validation"
+    summary = (
+        "public functions in core/engine/optimizer must validate arguments "
+        "via repro.util.validation (or raise), or declare "
+        "`# repolint: boundary-exempt`"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if not module.is_boundary:
+            return
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            args = node.args
+            n_params = len(args.posonlyargs) + len(args.args) + len(args.kwonlyargs)
+            if n_params == 0 and args.vararg is None and args.kwarg is None:
+                continue
+            if module.function_is_exempt(node, "boundary-exempt"):
+                continue
+            if self._validates(node):
+                continue
+            yield self.violation(
+                module,
+                node,
+                f"public function `{node.name}` does not validate its "
+                "arguments; call a repro.util.validation helper, raise on bad "
+                "input, or mark `# repolint: boundary-exempt`",
+            )
+
+    @staticmethod
+    def _validates(node: ast.AST) -> bool:
+        for decorator in getattr(node, "decorator_list", []):
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = _dotted_name(target)
+            if dotted is not None and dotted.split(".")[-1] in CONTRACT_DECORATORS:
+                return True
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return True
+            if isinstance(inner, ast.Call):
+                func = inner.func
+                name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                if name in VALIDATION_CALL_NAMES or any(
+                    name.startswith(prefix) for prefix in VALIDATION_CALL_PREFIXES
+                ):
+                    return True
+            if isinstance(inner, ast.Assert):
+                return True
+        return False
+
+
+class ExplicitDtypeRule(Rule):
+    """R003: hot-path numpy constructors/reductions need an explicit dtype."""
+
+    code = "R003"
+    name = "explicit-dtype"
+    summary = (
+        "numpy constructors and reductions on frequency/size data in hot "
+        "paths must pass an explicit dtype (int64/float64); platform-default "
+        "int32 silently overflows S = Π frequency products"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if not module.is_hot_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) != 2 or parts[0] not in {"np", "numpy"}:
+                continue
+            if parts[1] not in DTYPE_SENSITIVE:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            yield self.violation(
+                module,
+                node,
+                f"`{dotted}` without an explicit dtype= in a hot path; "
+                "frequency/size arithmetic must pin int64/float64",
+            )
+
+
+class NoCallerMutationRule(Rule):
+    """R004: never mutate caller-owned (parameter) numpy arrays in place."""
+
+    code = "R004"
+    name = "no-caller-mutation"
+    summary = (
+        "functions must not mutate arrays owned by the caller; copy via "
+        "np.array(..., dtype=...)/.copy() before writing"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: LintModule, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        args = node.args
+        params = {
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            if a.arg not in {"self", "cls"}
+        }
+        if not params:
+            return
+        rebound_at: dict[str, int] = {}
+
+        def record_rebind(target: ast.expr, lineno: int) -> None:
+            # Only a direct name binding (`x = ...`, `x, y = ...`) transfers
+            # ownership; `x[i] = ...` is a write into the caller's object.
+            if isinstance(target, ast.Name) and target.id in params:
+                rebound_at[target.id] = min(
+                    rebound_at.get(target.id, lineno), lineno
+                )
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    record_rebind(element, lineno)
+
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Assign):
+                for target in inner.targets:
+                    record_rebind(target, inner.lineno)
+            elif isinstance(inner, ast.AnnAssign):
+                record_rebind(inner.target, inner.lineno)
+
+        def owned(name: str, lineno: int) -> bool:
+            return name in params and lineno <= rebound_at.get(name, lineno)
+
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.Assign, ast.AugAssign)):
+                targets = inner.targets if isinstance(inner, ast.Assign) else [inner.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and owned(target.value.id, inner.lineno)
+                    ):
+                        yield self.violation(
+                            module,
+                            inner,
+                            f"writes into caller-owned `{target.value.id}` "
+                            f"inside `{node.name}`; copy it first",
+                        )
+            elif isinstance(inner, ast.Call):
+                func = inner.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in IN_PLACE_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and owned(func.value.id, inner.lineno)
+                ):
+                    yield self.violation(
+                        module,
+                        inner,
+                        f"in-place `.{func.attr}()` on caller-owned "
+                        f"`{func.value.id}` inside `{node.name}`; copy it first",
+                    )
+
+
+class AnnotationsRule(Rule):
+    """R005: future annotations import + complete public-API annotations."""
+
+    code = "R005"
+    name = "annotations"
+    severity = Severity.WARNING
+    summary = (
+        "modules need `from __future__ import annotations`; public functions "
+        "and methods need a return annotation and annotated parameters"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        has_future = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "__future__"
+            and any(alias.name == "annotations" for alias in node.names)
+            for node in module.tree.body
+        )
+        if not has_future:
+            yield Violation(
+                path=module.path,
+                line=1,
+                col=0,
+                rule=self.code,
+                message="missing `from __future__ import annotations`",
+                severity=self.severity,
+            )
+        if module.is_public_api:
+            yield from self._check_defs(module, module.tree.body, prefix="")
+
+    def _check_defs(
+        self, module: LintModule, body: Iterable[ast.stmt], prefix: str
+    ) -> Iterator[Violation]:
+        for node in body:
+            if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                yield from self._check_defs(module, node.body, prefix=f"{node.name}.")
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") and node.name != "__init__":
+                continue
+            qualname = f"{prefix}{node.name}"
+            if node.returns is None and node.name != "__init__":
+                yield self.violation(
+                    module, node, f"public `{qualname}` has no return annotation"
+                )
+            args = node.args
+            unannotated = [
+                a.arg
+                for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+                if a.annotation is None and a.arg not in {"self", "cls"}
+            ]
+            if unannotated:
+                yield self.violation(
+                    module,
+                    node,
+                    f"public `{qualname}` has unannotated parameter(s): "
+                    + ", ".join(unannotated),
+                )
+
+
+#: All rules, in code order. The linter instantiates from this registry.
+ALL_RULES: tuple[type[Rule], ...] = (
+    RngDisciplineRule,
+    BoundaryValidationRule,
+    ExplicitDtypeRule,
+    NoCallerMutationRule,
+    AnnotationsRule,
+)
+
+RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

@@ -19,9 +19,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
-
-import numpy as np
 
 
 def _add_zipf_arguments(parser: argparse.ArgumentParser) -> None:
@@ -150,15 +149,14 @@ def _cmd_table1(args) -> int:
 
 def _cmd_tune(args) -> int:
     """Demonstrate the statistics tuner on synthetic relations."""
-    import numpy as np
-
     from repro.data.quantize import quantize_to_integers
     from repro.data.zipf import zipf_frequencies
     from repro.engine.catalog import StatsCatalog
     from repro.engine.relation import Relation
     from repro.engine.tuning import tune_database
+    from repro.util.rng import derive_rng
 
-    gen = np.random.default_rng(args.seed)
+    gen = derive_rng(args.seed)
     relations = []
     for index, z in enumerate(args.z_values):
         freqs = quantize_to_integers(zipf_frequencies(args.total, args.domain, z))
@@ -179,6 +177,51 @@ def _cmd_describe(args) -> int:
     freqs = zipf_frequencies(args.total, args.domain, args.z)
     print(profile_frequencies(freqs))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis.diagnostics import format_report
+    from repro.analysis.linter import (
+        LintConfig,
+        LintError,
+        exit_code,
+        lint_paths,
+        parse_rule_selection,
+    )
+    from repro.analysis.rules import ALL_RULES
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code} [{rule.severity.value}] {rule.name}: {rule.summary}")
+        return 0
+    paths = args.paths or _default_lint_paths()
+    if not paths:
+        print("repro lint: no lintable paths found", file=sys.stderr)
+        return 2
+    try:
+        config = LintConfig(select=parse_rule_selection(args.rules))
+        violations = lint_paths(paths, config)
+    except LintError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    print(format_report(violations))
+    return exit_code(violations, strict=args.strict)
+
+
+def _default_lint_paths() -> list[str]:
+    """The project trees ``repro lint`` covers when no paths are given.
+
+    The installed package is always linted; ``benchmarks/`` rides along when
+    running from a source checkout that has it.
+    """
+    import repro
+
+    package_dir = Path(repro.__file__).resolve().parent
+    paths = [str(package_dir)]
+    benchmarks = package_dir.parent.parent / "benchmarks"
+    if benchmarks.is_dir():
+        paths.append(str(benchmarks))
+    return paths
 
 
 def _cmd_arrangements(args) -> int:
@@ -255,6 +298,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=1995)
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("lint", help="run repolint, the project static analyzer")
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package "
+        "and benchmarks/ when present)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings as well as errors (CI mode)",
+    )
+    p.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="comma-separated rule codes to run, e.g. R001,R003",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its severity and summary, then exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("arrangements", help="Section 3.1 arrangement study")
     p.add_argument("--total", type=float, default=1000.0)

@@ -7,6 +7,8 @@ V-OptBiasHist construction algorithms (Section 4), and histogram-based
 result-size estimation.
 """
 
+from __future__ import annotations
+
 from repro.core.frequency import AttributeDistribution, FrequencySet, as_frequency_array
 from repro.core.matrix import (
     FrequencyMatrix,

@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.biased import v_opt_bias_hist
-from repro.core.frequency import as_frequency_array
+from repro.core.frequency import FrequencyLike, as_frequency_array
 from repro.core.serial import v_optimal_serial_histogram
 from repro.util.validation import ensure_non_negative, ensure_positive_int
 
@@ -28,7 +28,7 @@ from repro.util.validation import ensure_non_negative, ensure_positive_int
 ADVISABLE_KINDS = ("serial", "end-biased")
 
 
-def optimal_error_for_buckets(frequencies, buckets: int, kind: str = "end-biased") -> float:
+def optimal_error_for_buckets(frequencies: FrequencyLike, buckets: int, kind: str = "end-biased") -> float:
     """Optimal self-join error (formula (3)) achievable with *buckets* buckets.
 
     ``kind`` selects the class: ``"serial"`` uses the v-optimal serial
@@ -43,7 +43,7 @@ def optimal_error_for_buckets(frequencies, buckets: int, kind: str = "end-biased
 
 
 def minimum_buckets(
-    frequencies,
+    frequencies: FrequencyLike,
     tolerance: float,
     kind: str = "end-biased",
     *,
@@ -169,7 +169,7 @@ class AdvisoryRow:
 
 
 def advisory_report(
-    frequencies,
+    frequencies: FrequencyLike,
     bucket_counts: Sequence[int],
     kind: str = "end-biased",
 ) -> list[AdvisoryRow]:

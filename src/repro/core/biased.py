@@ -21,7 +21,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.core.frequency import as_frequency_array
+from repro.core.frequency import FrequencyLike, as_frequency_array
 from repro.core.histogram import Histogram
 from repro.util.validation import ensure_positive_int
 
@@ -59,7 +59,7 @@ def end_biased_sizes(count: int, buckets: int, high: int) -> tuple[int, ...]:
 
 
 def end_biased_histogram(
-    frequencies, buckets: int, high: int, values: Optional[Sequence] = None
+    frequencies: FrequencyLike, buckets: int, high: int, values: Optional[Sequence] = None
 ) -> Histogram:
     """Build the end-biased histogram with *high* top and β−1−high bottom singletons."""
     freqs, buckets = _prepare(frequencies, buckets)
@@ -84,7 +84,7 @@ def _middle_sse(
 
 
 def v_opt_bias_hist(
-    frequencies, buckets: int, values: Optional[Sequence] = None
+    frequencies: FrequencyLike, buckets: int, values: Optional[Sequence] = None
 ) -> Histogram:
     """The paper's V-OptBiasHist: the v-optimal end-biased histogram.
 
@@ -110,17 +110,17 @@ def v_opt_bias_hist(
 
     # Heap selection of the candidate extremes — O(M + singles·log M).
     freq_list = freqs.tolist()
-    top = np.sort(np.array(heapq.nlargest(singles, freq_list)))[::-1]
-    bottom = np.sort(np.array(heapq.nsmallest(singles, freq_list)))[::-1]
+    top = np.sort(np.array(heapq.nlargest(singles, freq_list), dtype=np.float64))[::-1]
+    bottom = np.sort(np.array(heapq.nsmallest(singles, freq_list), dtype=np.float64))[::-1]
 
     total_sum = float(freqs.sum())
     total_sq = float(np.dot(freqs, freqs))
 
-    top_sum = np.concatenate([[0.0], np.cumsum(top)])
-    top_sq = np.concatenate([[0.0], np.cumsum(top * top)])
+    top_sum = np.concatenate([[0.0], np.cumsum(top, dtype=np.float64)])
+    top_sq = np.concatenate([[0.0], np.cumsum(top * top, dtype=np.float64)])
     bottom_rev = bottom[::-1]  # ascending: easiest-to-remove first
-    bottom_sum = np.concatenate([[0.0], np.cumsum(bottom_rev)])
-    bottom_sq = np.concatenate([[0.0], np.cumsum(bottom_rev * bottom_rev)])
+    bottom_sum = np.concatenate([[0.0], np.cumsum(bottom_rev, dtype=np.float64)])
+    bottom_sq = np.concatenate([[0.0], np.cumsum(bottom_rev * bottom_rev, dtype=np.float64)])
 
     best_high = 0
     best_error = np.inf
@@ -137,7 +137,7 @@ def v_opt_bias_hist(
     return Histogram.from_sorted_sizes(freqs, sizes, kind="end-biased", values=values)
 
 
-def all_end_biased_histograms(frequencies, buckets: int) -> Iterator[Histogram]:
+def all_end_biased_histograms(frequencies: FrequencyLike, buckets: int) -> Iterator[Histogram]:
     """Yield the β end-biased histograms with *buckets* buckets.
 
     The candidates differ only in how many singletons come from the top of
@@ -153,7 +153,7 @@ def all_end_biased_histograms(frequencies, buckets: int) -> Iterator[Histogram]:
         yield end_biased_histogram(freqs, buckets, high)
 
 
-def all_biased_partitions(frequencies, buckets: int) -> Iterator[Histogram]:
+def all_biased_partitions(frequencies: FrequencyLike, buckets: int) -> Iterator[Histogram]:
     """Yield every *biased* histogram over the frequency indices (tiny inputs).
 
     A biased histogram keeps β−1 frequencies in singleton buckets and lumps

@@ -13,6 +13,8 @@ from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import maybe_check_bucket
+
 
 class Bucket:
     """An immutable group of frequencies, optionally with their values.
@@ -44,6 +46,7 @@ class Bucket:
                     f"values and {arr.size} frequencies"
                 )
         self._values = values
+        maybe_check_bucket(self)
 
     @property
     def frequencies(self) -> np.ndarray:
@@ -122,6 +125,8 @@ def buckets_interleave(first: Bucket, second: Bucket) -> bool:
     (Definition 2.1): for every pair, all frequencies of one bucket must be
     <= all frequencies of the other.
     """
+    if not isinstance(first, Bucket) or not isinstance(second, Bucket):
+        raise TypeError("buckets_interleave expects two Bucket instances")
     return not (
         first.max_frequency <= second.min_frequency
         or second.max_frequency <= first.min_frequency
@@ -130,4 +135,6 @@ def buckets_interleave(first: Bucket, second: Bucket) -> bool:
 
 def partition_sizes(buckets: Sequence[Bucket]) -> Tuple[int, ...]:
     """Return the tuple of bucket counts ``(p_1, ..., p_β)``."""
+    if any(not isinstance(b, Bucket) for b in buckets):
+        raise TypeError("partition_sizes expects a sequence of Bucket instances")
     return tuple(b.count for b in buckets)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
+from repro.analysis.contracts import check_estimate, contracts_enabled, require
 from repro.core.frequency import AttributeDistribution
 from repro.core.matrix import FrequencyMatrix
 
@@ -27,6 +28,15 @@ def matrix_algorithm(column: Iterable[Hashable]) -> AttributeDistribution:
     :meth:`~repro.core.frequency.AttributeDistribution.frequency_set` is the
     input to every v-optimal histogram construction.
     """
+    if contracts_enabled():
+        column = list(column)
+        distribution = AttributeDistribution.from_column(column)
+        require(
+            int(sum(distribution.frequencies)) == len(column),
+            "Matrix must conserve the scanned tuple count: "
+            f"Σ freq={int(sum(distribution.frequencies))} != |column|={len(column)}",
+        )
+        return distribution
     return AttributeDistribution.from_column(column)
 
 
@@ -34,6 +44,14 @@ def matrix_algorithm_2d(
     pairs: Iterable[tuple[Hashable, Hashable]]
 ) -> FrequencyMatrix:
     """Two-dimensional ``Matrix``: count value pairs of two attributes."""
+    if contracts_enabled():
+        pairs = list(pairs)
+        matrix = FrequencyMatrix.from_joint_counts(pairs)
+        require(
+            int(matrix.array.sum()) == len(pairs),
+            "2-D Matrix must conserve the scanned pair count",
+        )
+        return matrix
     return FrequencyMatrix.from_joint_counts(pairs)
 
 
@@ -46,7 +64,7 @@ class JointFrequencyRow:
     frequency_right: float
 
 
-def joint_matrix_algorithm(
+def joint_matrix_algorithm(  # repolint: boundary-exempt — both columns validated by matrix_algorithm
     column_left: Iterable[Hashable], column_right: Iterable[Hashable]
 ) -> list[JointFrequencyRow]:
     """The paper's ``JointMatrix`` for a two-way join.
@@ -56,7 +74,7 @@ def joint_matrix_algorithm(
     exact join result size is ``Σ_rows f_left·f_right`` — Theorem 2.1 read off
     the joint table.
     """
-    left = matrix_algorithm(column_left)
+    left = matrix_algorithm(column_left)  # validates/contracts both columns
     right = matrix_algorithm(column_right)
     right_index = {v: i for i, v in enumerate(right.values)}
     rows = []
@@ -74,5 +92,12 @@ def joint_matrix_algorithm(
 
 
 def joint_table_result_size(rows: Sequence[JointFrequencyRow]) -> float:
-    """Exact two-way join size from a joint-frequency table."""
-    return float(sum(r.frequency_left * r.frequency_right for r in rows))
+    """Exact two-way join size from a joint-frequency table.
+
+    Contract: a product of non-negative frequency columns, so the result is
+    finite and non-negative (Theorem 2.1).
+    """
+    size = float(sum(r.frequency_left * r.frequency_right for r in rows))
+    if contracts_enabled():
+        check_estimate(size, "joint_table_result_size")
+    return size

@@ -20,8 +20,10 @@ from typing import Hashable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import returns_estimate
 from repro.core.histogram import Histogram
 from repro.core.matrix import FrequencyMatrix, MatrixLike, chain_result_size
+from repro.util.validation import ensure_non_negative
 
 
 def _value_approximations(histogram: Histogram) -> dict[Hashable, float]:
@@ -37,17 +39,20 @@ def _value_approximations(histogram: Histogram) -> dict[Hashable, float]:
     return approx
 
 
+@returns_estimate
 def estimate_equality_selection(histogram: Histogram, value: Hashable) -> float:
     """Estimate ``|σ_{a=value}(R)|``: the value's approximate frequency."""
     return _value_approximations(histogram).get(value, 0.0)
 
 
+@returns_estimate
 def estimate_in_selection(histogram: Histogram, values: Iterable[Hashable]) -> float:
     """Estimate a disjunctive selection ``a ∈ {c1..ck}`` (Section 2.2)."""
     approx = _value_approximations(histogram)
     return float(sum(approx.get(v, 0.0) for v in set(values)))
 
 
+@returns_estimate
 def estimate_not_equals(histogram: Histogram, value: Hashable) -> float:
     """Estimate ``a ≠ value`` as the complement of the equality selection.
 
@@ -59,6 +64,7 @@ def estimate_not_equals(histogram: Histogram, value: Hashable) -> float:
     return float(total - approx.get(value, 0.0))
 
 
+@returns_estimate
 def estimate_range_selection(
     histogram: Histogram,
     low: Optional[Hashable] = None,
@@ -86,6 +92,7 @@ def estimate_range_selection(
     return float(total)
 
 
+@returns_estimate
 def estimate_join_size(left: Histogram, right: Histogram) -> float:
     """Estimate a two-way equality join from two value-aware histograms.
 
@@ -101,6 +108,7 @@ def estimate_join_size(left: Histogram, right: Histogram) -> float:
     )
 
 
+@returns_estimate
 def estimate_self_join(histogram: Histogram) -> float:
     """Estimate a self-join: ``Σ_i T_i²/p_i`` (Proposition 3.1, formula (2))."""
     return histogram.self_join_estimate()
@@ -129,6 +137,7 @@ def approximate_chain_matrices(
     return approximated
 
 
+@returns_estimate
 def estimate_chain_size(
     matrices: Sequence[MatrixLike],
     histograms: Sequence[Histogram],
@@ -145,6 +154,8 @@ def relative_error(exact: float, estimate: float) -> float:
     A zero exact size with a nonzero estimate reports ``inf``; both zero
     reports 0 (the estimate is right).
     """
+    exact = ensure_non_negative(exact, "exact")
+    estimate = ensure_non_negative(estimate, "estimate")
     if exact == 0:
         return 0.0 if estimate == 0 else float("inf")
     return abs(exact - estimate) / exact

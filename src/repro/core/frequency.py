@@ -22,8 +22,12 @@ import numpy as np
 
 from repro.util.rng import RandomSource, derive_rng
 
+#: Anything ``as_frequency_array`` accepts: the two core statistic views,
+#: a numpy array, or any plain sequence of numbers.
+FrequencyLike = Union["FrequencySet", "AttributeDistribution", np.ndarray, Sequence[float]]
 
-def as_frequency_array(frequencies) -> np.ndarray:
+
+def as_frequency_array(frequencies: FrequencyLike) -> np.ndarray:
     """Coerce *frequencies* into a 1-D float array of non-negative values.
 
     Accepts :class:`FrequencySet`, :class:`AttributeDistribution`, numpy

@@ -76,7 +76,7 @@ def equi_depth_histogram(distribution: AttributeDistribution, buckets: int) -> H
         )
     freqs = distribution.frequencies
     total = float(freqs.sum())
-    cumulative = np.cumsum(freqs)
+    cumulative = np.cumsum(freqs, dtype=np.float64)
     boundaries = [0]
     for k in range(1, buckets):
         target = total * k / buckets

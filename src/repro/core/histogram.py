@@ -23,8 +23,14 @@ from typing import Hashable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import maybe_check_histogram
 from repro.core.buckets import Bucket, buckets_interleave
-from repro.core.frequency import AttributeDistribution, FrequencySet, as_frequency_array
+from repro.core.frequency import (
+    AttributeDistribution,
+    FrequencyLike,
+    FrequencySet,
+    as_frequency_array,
+)
 
 
 class Histogram:
@@ -51,7 +57,7 @@ class Histogram:
 
     def __init__(
         self,
-        frequencies,
+        frequencies: FrequencyLike,
         index_groups: Sequence[Sequence[int]],
         kind: str = "custom",
         values: Optional[Sequence[Hashable]] = None,
@@ -86,6 +92,7 @@ class Histogram:
             )
             for group in groups
         )
+        maybe_check_histogram(self)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -94,7 +101,7 @@ class Histogram:
     @classmethod
     def from_sorted_sizes(
         cls,
-        frequencies,
+        frequencies: FrequencyLike,
         sizes: Sequence[int],
         kind: str = "serial",
         values: Optional[Sequence[Hashable]] = None,
@@ -126,7 +133,7 @@ class Histogram:
 
     @classmethod
     def single_bucket(
-        cls, frequencies, values: Optional[Sequence[Hashable]] = None
+        cls, frequencies: FrequencyLike, values: Optional[Sequence[Hashable]] = None
     ) -> "Histogram":
         """Build the trivial histogram (uniform-distribution assumption)."""
         freqs = as_frequency_array(frequencies)
@@ -251,7 +258,7 @@ class Histogram:
         order = np.argsort(-self._frequencies, kind="stable")
         return self.approximate_frequencies(rounded=rounded)[order]
 
-    def approximate_array(self, array, *, rounded: bool = False) -> np.ndarray:
+    def approximate_array(self, array: FrequencyLike, *, rounded: bool = False) -> np.ndarray:
         """Apply the histogram to any arrangement of its frequency multiset.
 
         *array* may have any shape; its entries must form the same multiset

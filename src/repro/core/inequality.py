@@ -21,6 +21,7 @@ from typing import Hashable
 
 import numpy as np
 
+from repro.analysis.contracts import returns_estimate
 from repro.core.frequency import AttributeDistribution
 from repro.core.histogram import Histogram
 
@@ -32,8 +33,19 @@ RANGE_OPERATORS = ("<", "<=", ">", ">=")
 # Exact sizes from full distributions
 # ----------------------------------------------------------------------
 
+
+def _ensure_distribution(value: AttributeDistribution, name: str) -> AttributeDistribution:
+    """Boundary check: exact-size formulas need full frequency distributions."""
+    if not isinstance(value, AttributeDistribution):
+        raise TypeError(
+            f"{name} must be an AttributeDistribution, got {type(value).__name__}"
+        )
+    return value
+
+
 def not_equals_selection_size(distribution: AttributeDistribution, value: Hashable) -> float:
     """Exact size of ``σ_{a ≠ c}(R)``: ``T − f(c)``."""
+    _ensure_distribution(distribution, "distribution")
     return distribution.total - distribution.frequency_of(value)
 
 
@@ -41,6 +53,8 @@ def not_equals_join_size(
     left: AttributeDistribution, right: AttributeDistribution
 ) -> float:
     """Exact size of ``R ⋈_{a≠b} S``: Cartesian product minus the equality join."""
+    _ensure_distribution(left, "left")
+    _ensure_distribution(right, "right")
     return left.total * right.total - left.join_size(right)
 
 
@@ -49,8 +63,8 @@ def _aligned_frequencies(
 ) -> tuple[list, np.ndarray, np.ndarray]:
     """Union of both domains (sorted) with aligned frequency vectors."""
     values = sorted(set(left.values) | set(right.values))
-    f_left = np.array([left.frequency_of(v) for v in values])
-    f_right = np.array([right.frequency_of(v) for v in values])
+    f_left = np.array([left.frequency_of(v) for v in values], dtype=np.float64)
+    f_right = np.array([right.frequency_of(v) for v in values], dtype=np.float64)
     return values, f_left, f_right
 
 
@@ -67,7 +81,7 @@ def range_join_size(
     if operator not in RANGE_OPERATORS:
         raise ValueError(f"operator must be one of {RANGE_OPERATORS}, got {operator!r}")
     _, f_left, f_right = _aligned_frequencies(left, right)
-    cumulative = np.cumsum(f_right)
+    cumulative = np.cumsum(f_right, dtype=np.float64)
     total_right = cumulative[-1]
     if operator == "<":
         # Right values strictly greater: total − cumulative up to and incl. u.
@@ -93,6 +107,7 @@ def _approx_distribution(histogram: Histogram) -> AttributeDistribution:
     return histogram.approximate_distribution()
 
 
+@returns_estimate
 def estimate_not_equals_join(left: Histogram, right: Histogram) -> float:
     """Estimate a ``≠`` join: approximate product minus approximate equality join.
 
@@ -105,6 +120,7 @@ def estimate_not_equals_join(left: Histogram, right: Histogram) -> float:
     return not_equals_join_size(left_dist, right_dist)
 
 
+@returns_estimate
 def estimate_range_join(
     left: Histogram, right: Histogram, operator: str = "<"
 ) -> float:
@@ -115,7 +131,7 @@ def estimate_range_join(
 
 
 def estimate_band_join(
-    left: Histogram, right: Histogram, low, high, *, include_bounds: bool = True
+    left: Histogram, right: Histogram, low: float, high: float, *, include_bounds: bool = True
 ) -> float:
     """Estimate a band join ``low <= b − a <= high`` over numeric domains.
 
@@ -140,7 +156,7 @@ def estimate_band_join(
     return total
 
 
-def not_equals_estimation_error(
+def not_equals_estimation_error(  # repolint: boundary-exempt — a signed error; inputs validated by callees
     left: AttributeDistribution,
     right: AttributeDistribution,
     left_histogram: Histogram,

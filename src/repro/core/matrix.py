@@ -19,7 +19,7 @@ from typing import Hashable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.frequency import FrequencySet, as_frequency_array
+from repro.core.frequency import FrequencyLike, FrequencySet, as_frequency_array
 from repro.util.rng import RandomSource, derive_rng
 
 
@@ -35,7 +35,7 @@ class FrequencyMatrix:
 
     def __init__(
         self,
-        array,
+        array: FrequencyLike,
         row_values: Optional[Sequence[Hashable]] = None,
         col_values: Optional[Sequence[Hashable]] = None,
     ):
@@ -69,7 +69,7 @@ class FrequencyMatrix:
 
     @classmethod
     def row_vector(
-        cls, frequencies, values: Optional[Sequence[Hashable]] = None
+        cls, frequencies: FrequencyLike, values: Optional[Sequence[Hashable]] = None
     ) -> "FrequencyMatrix":
         """Build the ``(1 x M)`` matrix of the first chain relation ``R_0``."""
         arr = as_frequency_array(frequencies)
@@ -77,7 +77,7 @@ class FrequencyMatrix:
 
     @classmethod
     def column_vector(
-        cls, frequencies, values: Optional[Sequence[Hashable]] = None
+        cls, frequencies: FrequencyLike, values: Optional[Sequence[Hashable]] = None
     ) -> "FrequencyMatrix":
         """Build the ``(M x 1)`` matrix of the last chain relation ``R_N``."""
         arr = as_frequency_array(frequencies)
@@ -101,7 +101,7 @@ class FrequencyMatrix:
         cols = sorted({b for _, b in counts})
         row_index = {v: i for i, v in enumerate(rows)}
         col_index = {v: i for i, v in enumerate(cols)}
-        arr = np.zeros((len(rows), len(cols)))
+        arr = np.zeros((len(rows), len(cols)), dtype=np.float64)
         for (a, b), count in counts.items():
             arr[row_index[a], col_index[b]] = count
         return cls(arr, row_values=rows, col_values=cols)
@@ -194,7 +194,7 @@ def chain_result_size(matrices: Sequence[MatrixLike]) -> float:
 
 
 def arrange_frequency_set(
-    frequencies,
+    frequencies: FrequencyLike,
     shape: tuple[int, int],
     rng: RandomSource = None,
 ) -> FrequencyMatrix:
@@ -230,7 +230,7 @@ def selection_vector(
     unknown = selected - set(domain)
     if unknown:
         raise ValueError(f"selected values not in domain: {sorted(unknown, key=repr)}")
-    indicator = np.array([1.0 if v in selected else 0.0 for v in domain])
+    indicator = np.array([1.0 if v in selected else 0.0 for v in domain], dtype=np.float64)
     if column:
         return FrequencyMatrix.column_vector(indicator, values=domain)
     return FrequencyMatrix.row_vector(indicator, values=domain)

@@ -123,7 +123,7 @@ class GridHistogram:
             mass = block.sum(axis=1)
         else:
             mass = block.sum(axis=0)
-        cumulative = np.cumsum(mass)
+        cumulative = np.cumsum(mass, dtype=np.float64)
         total = cumulative[-1]
         if total <= 0:
             cut = len(mass) // 2
@@ -195,6 +195,14 @@ class GridHistogram:
         return float(((self._matrix.array - self.approximate_matrix()) ** 2).sum())
 
 
+
+def _ensure_matrix(value: FrequencyMatrix, name: str) -> FrequencyMatrix:
+    """Boundary check: independence formulas need a FrequencyMatrix."""
+    if not isinstance(value, FrequencyMatrix):
+        raise TypeError(f"{name} must be a FrequencyMatrix, got {type(value).__name__}")
+    return value
+
+
 def independence_estimate(
     matrix: FrequencyMatrix, row: Optional[int] = None, col: Optional[int] = None
 ) -> float:
@@ -204,6 +212,7 @@ def independence_estimate(
     system keeping only per-attribute (1-D) statistics must assume.  With
     *row* or *col* omitted the corresponding marginal is returned.
     """
+    _ensure_matrix(matrix, "matrix")
     array = matrix.array
     total = array.sum()
     if total <= 0:
@@ -219,6 +228,7 @@ def independence_estimate(
 
 def independence_matrix(matrix: FrequencyMatrix) -> np.ndarray:
     """The full rank-1 approximation implied by attribute independence."""
+    _ensure_matrix(matrix, "matrix")
     array = matrix.array
     total = array.sum()
     if total <= 0:

@@ -23,7 +23,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.frequency import AttributeDistribution, as_frequency_array
+from repro.core.frequency import AttributeDistribution, FrequencyLike, as_frequency_array
 from repro.core.histogram import Histogram
 from repro.util.rng import RandomSource, derive_rng
 from repro.util.validation import ensure_positive_int
@@ -33,7 +33,15 @@ from repro.util.validation import ensure_positive_int
 # Self-join quantities (Proposition 3.1)
 # ----------------------------------------------------------------------
 
-def self_join_size(frequencies) -> float:
+
+def _ensure_histogram(value: Histogram, name: str) -> Histogram:
+    """Boundary check: error formulas need a Histogram."""
+    if not isinstance(value, Histogram):
+        raise TypeError(f"{name} must be a Histogram, got {type(value).__name__}")
+    return value
+
+
+def self_join_size(frequencies: FrequencyLike) -> float:
     """Exact self-join result size: ``S = Σ_i f_i²``."""
     freqs = as_frequency_array(frequencies)
     return float(np.dot(freqs, freqs))
@@ -45,17 +53,19 @@ def approximate_self_join_size(histogram: Histogram, *, rounded: bool = False) -
     With exact bucket averages this equals formula (2), ``Σ_i T_i²/p_i``;
     with *rounded* averages it is the sum of squared integer approximations.
     """
+    _ensure_histogram(histogram, "histogram")
     approx = histogram.approximate_frequencies(rounded=rounded)
     return float(np.dot(approx, approx))
 
 
 def self_join_error(histogram: Histogram) -> float:
     """Self-join estimation error ``S − S' = Σ_i p_i·v_i`` (formula (3))."""
+    _ensure_histogram(histogram, "histogram")
     return histogram.self_join_error()
 
 
 def self_join_sigma(
-    frequencies,
+    frequencies: FrequencyLike,
     histogram_factory: Callable[[AttributeDistribution], Histogram],
     *,
     trials: int = 1,
@@ -76,7 +86,7 @@ def self_join_sigma(
     gen = derive_rng(rng)
     exact = float(np.dot(freqs, freqs))
     base = AttributeDistribution(range(freqs.size), freqs)
-    squared_errors = np.empty(trials)
+    squared_errors = np.empty(trials, dtype=np.float64)
     for t in range(trials):
         arrangement = base.permuted(gen)
         histogram = histogram_factory(arrangement)
@@ -109,7 +119,9 @@ def _deviation_matrix(freqs0, freqs1, hist0, hist1) -> np.ndarray:
     return np.outer(a, b) - np.outer(a_approx, b_approx)
 
 
-def exact_expected_difference_two_way(freqs0, freqs1, hist0, hist1) -> float:
+def exact_expected_difference_two_way(
+    freqs0: FrequencyLike, freqs1: FrequencyLike, hist0: Histogram, hist1: Histogram
+) -> float:  # repolint: boundary-exempt — validated by _deviation_matrix
     """``E[S − S']`` over uniform arrangements — zero by Theorem 3.2.
 
     Computed in closed form: the expectation of ``Σ_i x_{i,τ(i)}`` over a
@@ -121,7 +133,9 @@ def exact_expected_difference_two_way(freqs0, freqs1, hist0, hist1) -> float:
     return float(x.sum() / m)
 
 
-def exact_v_error_two_way(freqs0, freqs1, hist0, hist1) -> float:
+def exact_v_error_two_way(
+    freqs0: FrequencyLike, freqs1: FrequencyLike, hist0: Histogram, hist1: Histogram
+) -> float:
     """``E[(S − S')²]`` by exhaustive enumeration of relative permutations.
 
     Cost is ``M!`` — intended for the test suite's tiny cases (M ≤ 7), where
@@ -144,7 +158,9 @@ def exact_v_error_two_way(freqs0, freqs1, hist0, hist1) -> float:
     return total / count
 
 
-def analytic_v_error_two_way(freqs0, freqs1, hist0, hist1) -> float:
+def analytic_v_error_two_way(
+    freqs0: FrequencyLike, freqs1: FrequencyLike, hist0: Histogram, hist1: Histogram
+) -> float:  # repolint: boundary-exempt — validated by _deviation_matrix
     """``E[(S − S')²]`` in closed form, ``O(M²)``.
 
     For ``D = Σ_i x_{i,τ(i)}`` with τ uniform over permutations:
@@ -173,10 +189,10 @@ def analytic_v_error_two_way(freqs0, freqs1, hist0, hist1) -> float:
 
 
 def monte_carlo_v_error_two_way(
-    freqs0,
-    freqs1,
-    hist0,
-    hist1,
+    freqs0: FrequencyLike,
+    freqs1: FrequencyLike,
+    hist0: Histogram,
+    hist1: Histogram,
     *,
     trials: int = 1000,
     rng: RandomSource = None,
@@ -186,7 +202,7 @@ def monte_carlo_v_error_two_way(
     x = _deviation_matrix(freqs0, freqs1, hist0, hist1)
     m = x.shape[0]
     gen = derive_rng(rng)
-    rows = np.arange(m)
+    rows = np.arange(m, dtype=np.int64)
     acc = 0.0
     for _ in range(trials):
         tau = gen.permutation(m)

@@ -26,7 +26,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.core.frequency import as_frequency_array
+from repro.core.frequency import FrequencyLike, as_frequency_array
 from repro.core.histogram import Histogram
 from repro.util.validation import ensure_positive_int
 
@@ -53,7 +53,7 @@ def _segment_sse(prefix_sum: np.ndarray, prefix_sq: np.ndarray, start: int, stop
     return seg_sq - seg_sum * seg_sum / count
 
 
-def serial_error_from_sizes(frequencies, sizes: Sequence[int]) -> float:
+def serial_error_from_sizes(frequencies: FrequencyLike, sizes: Sequence[int]) -> float:
     """Self-join error (formula (3)) of the serial histogram with *sizes*.
 
     *sizes* are bucket counts over the descending-sorted frequencies; the
@@ -69,8 +69,8 @@ def serial_error_from_sizes(frequencies, sizes: Sequence[int]) -> float:
             f"({freqs.size})"
         )
     ordered = np.sort(freqs)[::-1]
-    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered)])
-    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered)])
+    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered, dtype=np.float64)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered, dtype=np.float64)])
     error = 0.0
     start = 0
     for size in sizes:
@@ -97,13 +97,15 @@ def enumerate_serial_partitions(count: int, buckets: int) -> Iterator[tuple[int,
 
 def serial_partition_count(count: int, buckets: int) -> int:
     """Number of serial histograms with *buckets* buckets: ``C(M−1, β−1)``."""
+    count = ensure_positive_int(count, "count")
+    buckets = ensure_positive_int(buckets, "buckets")
     if buckets > count:
         return 0
     return comb(count - 1, buckets - 1)
 
 
 def v_opt_hist_exhaustive(
-    frequencies, buckets: int, values: Optional[Sequence] = None
+    frequencies: FrequencyLike, buckets: int, values: Optional[Sequence] = None
 ) -> Histogram:
     """The paper's V-OptHist: exhaustive search over serial partitions.
 
@@ -115,8 +117,8 @@ def v_opt_hist_exhaustive(
     """
     freqs, buckets = _prepare(frequencies, buckets)
     ordered = np.sort(freqs)[::-1]
-    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered)])
-    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered)])
+    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered, dtype=np.float64)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered, dtype=np.float64)])
 
     best_sizes: Optional[tuple[int, ...]] = None
     best_error = np.inf
@@ -143,19 +145,20 @@ def dp_contiguous_partition(ordered: np.ndarray, buckets: int) -> tuple[int, ...
     V-Optimal histogram used for range predicates.  ``O(M²·β)`` with the
     inner minimisation vectorised.
     """
+    buckets = ensure_positive_int(buckets, "buckets")
     size = int(ordered.size)
-    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered)])
-    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered)])
+    prefix_sum = np.concatenate([[0.0], np.cumsum(ordered, dtype=np.float64)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(ordered * ordered, dtype=np.float64)])
 
-    best = np.full(size + 1, np.inf)
+    best = np.full(size + 1, np.inf, dtype=np.float64)
     for j in range(1, size + 1):
         best[j] = _segment_sse(prefix_sum, prefix_sq, 0, j)
     back = np.zeros((buckets + 1, size + 1), dtype=int)
 
     for k in range(2, buckets + 1):
-        new_best = np.full(size + 1, np.inf)
+        new_best = np.full(size + 1, np.inf, dtype=np.float64)
         for j in range(k, size + 1):
-            splits = np.arange(k - 1, j)
+            splits = np.arange(k - 1, j, dtype=np.int64)
             seg_sum = prefix_sum[j] - prefix_sum[splits]
             seg_sq = prefix_sq[j] - prefix_sq[splits]
             costs = best[splits] + seg_sq - seg_sum * seg_sum / (j - splits)
@@ -175,7 +178,7 @@ def dp_contiguous_partition(ordered: np.ndarray, buckets: int) -> tuple[int, ...
 
 
 def v_opt_hist_dp(
-    frequencies, buckets: int, values: Optional[Sequence] = None
+    frequencies: FrequencyLike, buckets: int, values: Optional[Sequence] = None
 ) -> Histogram:
     """Dynamic-program equivalent of V-OptHist in ``O(M²·β)``.
 
@@ -192,7 +195,7 @@ def v_opt_hist_dp(
 
 
 def v_optimal_serial_histogram(
-    frequencies,
+    frequencies: FrequencyLike,
     buckets: int,
     values: Optional[Sequence] = None,
     method: str = "auto",
@@ -215,7 +218,7 @@ def v_optimal_serial_histogram(
     raise ValueError(f"unknown method {method!r}; expected auto, exhaustive, or dp")
 
 
-def all_serial_histograms(frequencies, buckets: int) -> Iterator[Histogram]:
+def all_serial_histograms(frequencies: FrequencyLike, buckets: int) -> Iterator[Histogram]:
     """Yield every serial histogram with *buckets* buckets (for small inputs).
 
     Used by the test suite to verify optimality claims exhaustively.

@@ -26,13 +26,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.frequency import as_frequency_array
+from repro.core.frequency import FrequencyLike, as_frequency_array
 from repro.core.histogram import Histogram
 from repro.util.validation import ensure_positive_int
 
 
 def max_diff_histogram(
-    frequencies, buckets: int, values: Optional[Sequence] = None
+    frequencies: FrequencyLike, buckets: int, values: Optional[Sequence] = None
 ) -> Histogram:
     """Build the MaxDiff(F) histogram: boundaries at the largest frequency gaps.
 
@@ -51,7 +51,7 @@ def max_diff_histogram(
         return Histogram.from_sorted_sizes(freqs, (freqs.size,), kind="max-diff", values=values)
     gaps = ordered[:-1] - ordered[1:]  # non-negative, length M-1
     # Indices of the beta-1 largest gaps; stable tie-break by position.
-    order = np.lexsort((np.arange(gaps.size), -gaps))
+    order = np.lexsort((np.arange(gaps.size, dtype=np.int64), -gaps))
     cut_positions = np.sort(order[: buckets - 1]) + 1  # cut after these ranks
     sizes = np.diff(np.concatenate([[0], cut_positions, [freqs.size]]))
     return Histogram.from_sorted_sizes(
@@ -60,7 +60,7 @@ def max_diff_histogram(
 
 
 def compressed_histogram(
-    frequencies, buckets: int, values: Optional[Sequence] = None
+    frequencies: FrequencyLike, buckets: int, values: Optional[Sequence] = None
 ) -> Histogram:
     """Build a Compressed histogram: singletons for heavy values, balanced rest.
 
@@ -97,7 +97,7 @@ def compressed_histogram(
         )
 
     # Equi-depth split of the residue into remaining_buckets runs.
-    cumulative = np.cumsum(residue)
+    cumulative = np.cumsum(residue, dtype=np.float64)
     residue_total = cumulative[-1]
     boundaries = [0]
     for k in range(1, remaining_buckets):

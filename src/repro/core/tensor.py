@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.frequency import FrequencySet, as_frequency_array
+from repro.core.frequency import FrequencyLike, FrequencySet, as_frequency_array
 from repro.util.rng import RandomSource, derive_rng
 
 #: numpy.einsum supports up to 52 distinct subscripts; plenty for tests.
@@ -37,7 +37,7 @@ class FrequencyTensor:
 
     __slots__ = ("_array", "_axes")
 
-    def __init__(self, array, axes: Sequence[int]):
+    def __init__(self, array: FrequencyLike, axes: Sequence[int]):
         arr = np.array(array, dtype=float)
         if arr.ndim == 0:
             raise ValueError("a frequency tensor needs at least one dimension")
@@ -93,7 +93,7 @@ class FrequencyTensor:
 
 
 def arrange_frequency_tensor(
-    frequencies,
+    frequencies: FrequencyLike,
     shape: Sequence[int],
     axes: Sequence[int],
     rng: RandomSource = None,
@@ -106,7 +106,7 @@ def arrange_frequency_tensor(
     """
     arr = as_frequency_array(frequencies)
     shape = tuple(int(s) for s in shape)
-    cells = int(np.prod(shape))
+    cells = int(np.prod(shape, dtype=np.int64))
     if cells != arr.size:
         raise ValueError(
             f"cannot arrange {arr.size} frequencies into shape {shape} ({cells} cells)"

@@ -7,6 +7,8 @@ quantization, and a surrogate for the paper's real-life (NBA statistics)
 dataset.
 """
 
+from __future__ import annotations
+
 from repro.data.zipf import zipf_frequencies, zipf_self_join_size, zipf_skew_series
 from repro.data.synthetic import (
     mixture_frequencies,

@@ -10,6 +10,8 @@ catalog with the compact end-biased storage layout, and the sampling
 shortcuts of Section 4.2.
 """
 
+from __future__ import annotations
+
 from repro.engine.schema import Attribute, Schema
 from repro.engine.relation import Relation
 from repro.engine.operators import (

@@ -111,6 +111,8 @@ def analyze_database(
     default all attributes are analyzed — statistics collection "is an
     infrequent operation", as the paper puts it.
     """
+    if not isinstance(catalog, StatsCatalog):
+        raise TypeError(f"catalog must be a StatsCatalog, got {type(catalog).__name__}")
     entries = []
     for relation in relations:
         names = (

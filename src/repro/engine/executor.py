@@ -57,6 +57,14 @@ class ChainJoinSpec:
         return len(self.join_attributes)
 
 
+
+def _ensure_chain_spec(spec: ChainJoinSpec) -> ChainJoinSpec:
+    """Boundary check: the executor only accepts a ChainJoinSpec."""
+    if not isinstance(spec, ChainJoinSpec):
+        raise TypeError(f"spec must be a ChainJoinSpec, got {type(spec).__name__}")
+    return spec
+
+
 def execute_chain_join(spec: ChainJoinSpec) -> Relation:
     """Materialise the chain join left to right with hash joins.
 
@@ -65,6 +73,7 @@ def execute_chain_join(spec: ChainJoinSpec) -> Relation:
     attribute's name in two adjacent relations — so the executor tracks the
     *current* name of every original attribute through the pipeline.
     """
+    _ensure_chain_spec(spec)
     result = spec.relations[0]
     # current_name[(relation_position, original_attribute)] -> name in result.
     current_name = {
@@ -91,6 +100,7 @@ def frequency_matrices_for_chain(spec: ChainJoinSpec) -> list[FrequencyMatrix]:
     pairs.  All matrices are aligned on the *union* of observed values per
     join domain so the chain product is well defined.
     """
+    _ensure_chain_spec(spec)
     num_relations = len(spec.relations)
     # Join domain j sits between relations j and j+1.
     domains: list[list] = []
@@ -106,7 +116,7 @@ def frequency_matrices_for_chain(spec: ChainJoinSpec) -> list[FrequencyMatrix]:
             attr = spec.join_attributes[0][0]
             domain = domains[0]
             index = {v: i for i, v in enumerate(domain)}
-            vector = np.zeros(len(domain))
+            vector = np.zeros(len(domain), dtype=np.float64)
             for value in relation.column(attr):
                 vector[index[value]] += 1
             matrices.append(FrequencyMatrix.row_vector(vector, values=domain))
@@ -114,7 +124,7 @@ def frequency_matrices_for_chain(spec: ChainJoinSpec) -> list[FrequencyMatrix]:
             attr = spec.join_attributes[-1][1]
             domain = domains[-1]
             index = {v: i for i, v in enumerate(domain)}
-            vector = np.zeros(len(domain))
+            vector = np.zeros(len(domain), dtype=np.float64)
             for value in relation.column(attr):
                 vector[index[value]] += 1
             matrices.append(FrequencyMatrix.column_vector(vector, values=domain))
@@ -125,7 +135,7 @@ def frequency_matrices_for_chain(spec: ChainJoinSpec) -> list[FrequencyMatrix]:
             col_domain = domains[position]
             row_index = {v: i for i, v in enumerate(row_domain)}
             col_index = {v: i for i, v in enumerate(col_domain)}
-            array = np.zeros((len(row_domain), len(col_domain)))
+            array = np.zeros((len(row_domain), len(col_domain)), dtype=np.float64)
             for a, b in relation.column_pair(in_attr, out_attr):
                 array[row_index[a], col_index[b]] += 1
             matrices.append(
@@ -136,4 +146,5 @@ def frequency_matrices_for_chain(spec: ChainJoinSpec) -> list[FrequencyMatrix]:
 
 def chain_join_size(spec: ChainJoinSpec) -> float:
     """Exact chain-join cardinality via the frequency-matrix product."""
+    _ensure_chain_spec(spec)
     return chain_result_size(frequency_matrices_for_chain(spec))

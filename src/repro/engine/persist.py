@@ -75,6 +75,8 @@ def _compact_from_dict(data: dict) -> CompactEndBiased:
 
 def catalog_to_dict(catalog: StatsCatalog) -> dict:
     """Serialise the catalog to a JSON-compatible dictionary."""
+    if not isinstance(catalog, StatsCatalog):
+        raise TypeError(f"catalog must be a StatsCatalog, got {type(catalog).__name__}")
     entries = []
     for entry in catalog.entries():
         entries.append(
@@ -126,6 +128,8 @@ def catalog_from_dict(data: dict) -> StatsCatalog:
 
 def save_catalog(catalog: StatsCatalog, path: Union[str, Path]) -> None:
     """Write the catalog to *path* as JSON."""
+    if not isinstance(catalog, StatsCatalog):
+        raise TypeError(f"catalog must be a StatsCatalog, got {type(catalog).__name__}")
     path = Path(path)
     payload = json.dumps(catalog_to_dict(catalog), indent=2, sort_keys=True)
     path.write_text(payload)
@@ -134,4 +138,6 @@ def save_catalog(catalog: StatsCatalog, path: Union[str, Path]) -> None:
 def load_catalog(path: Union[str, Path]) -> StatsCatalog:
     """Read a catalog previously written by :func:`save_catalog`."""
     path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no stats catalog at {path}")
     return catalog_from_dict(json.loads(path.read_text()))

@@ -17,7 +17,7 @@ class Attribute:
         if not self.name or not isinstance(self.name, str):
             raise ValueError(f"attribute name must be a non-empty string, got {self.name!r}")
 
-    def validate(self, value) -> None:
+    def validate(self, value: object) -> None:
         """Raise ``TypeError`` when *value* violates the type constraint."""
         if self.dtype is not None and not isinstance(value, self.dtype):
             raise TypeError(

@@ -116,6 +116,8 @@ def tune_database(
     max_buckets: int = 100,
 ) -> list[Recommendation]:
     """One-call tuning: recommend and immediately ANALYZE accordingly."""
+    if not isinstance(catalog, StatsCatalog):
+        raise TypeError(f"catalog must be a StatsCatalog, got {type(catalog).__name__}")
     relations = list(relations)
     recommendations = recommend_statistics(
         relations, tolerance=tolerance, kind=kind, max_buckets=max_buckets

@@ -1,5 +1,7 @@
 """Experiment harnesses regenerating every table and figure of the paper."""
 
+from __future__ import annotations
+
 from repro.experiments.config import (
     ChainExperimentConfig,
     SelfJoinExperimentConfig,

@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.frequency import as_frequency_array
+from repro.core.frequency import FrequencyLike, as_frequency_array
 from repro.core.histogram import Histogram
 from repro.util.rng import RandomSource, derive_rng
 from repro.util.validation import ensure_positive_int
@@ -77,8 +77,8 @@ class ArrangementStudy:
 
 
 def optimal_biased_pair_study(
-    freqs_left,
-    freqs_right,
+    freqs_left: FrequencyLike,
+    freqs_right: FrequencyLike,
     buckets: int,
     *,
     max_arrangements: Optional[int] = None,

@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.biased import v_opt_bias_hist
-from repro.core.frequency import AttributeDistribution, as_frequency_array
+from repro.core.frequency import AttributeDistribution, FrequencyLike, as_frequency_array
 from repro.core.heuristic import equi_depth_histogram, equi_width_histogram, trivial_histogram
 from repro.core.histogram import Histogram
 from repro.core.serial import v_optimal_serial_histogram
@@ -80,7 +80,7 @@ def build_histogram(
 
 
 def self_join_sigmas(
-    frequencies,
+    frequencies: FrequencyLike,
     buckets: int,
     *,
     types: Sequence[HistogramType] = ALL_TYPES,

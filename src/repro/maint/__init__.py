@@ -1,5 +1,7 @@
 """Histogram maintenance under database updates (Section 2.3 discussion)."""
 
+from __future__ import annotations
+
 from repro.maint.update import MaintainedEndBiased, MaintenancePolicy
 
 __all__ = ["MaintainedEndBiased", "MaintenancePolicy"]

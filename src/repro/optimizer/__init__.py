@@ -10,6 +10,8 @@ join ordering — so the effect of histogram quality on *plan choice* can be
 demonstrated end to end.
 """
 
+from __future__ import annotations
+
 from repro.optimizer.cardinality import DEFAULT_EQ_SELECTIVITY, CardinalityEstimator
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plans import JoinPlan, Plan, ScanPlan

@@ -54,7 +54,11 @@ class CardinalityEstimator:
         return entry.estimate_frequency(value)
 
     def range_selection(
-        self, relation: str, attribute: str, low=None, high=None
+        self,
+        relation: str,
+        attribute: str,
+        low: Optional[float] = None,
+        high: Optional[float] = None,
     ) -> float:
         """Estimated cardinality of a range selection.
 

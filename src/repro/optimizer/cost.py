@@ -11,6 +11,7 @@ choices**, because every term is driven by a cardinality.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.optimizer.plans import JoinPlan, Plan, ScanPlan
 from repro.util.validation import ensure_non_negative
@@ -31,7 +32,9 @@ class CostModel:
         ensure_non_negative(self.probe_weight, "probe_weight")
         ensure_non_negative(self.output_weight, "output_weight")
 
-    def plan_cost(self, plan: Plan, row_source=None) -> float:
+    def plan_cost(
+        self, plan: Plan, row_source: Optional[Callable[[Plan], float]] = None
+    ) -> float:
         """Cost of *plan* using its estimated rows.
 
         With *row_source* — a callable mapping a plan node to a row count —

@@ -219,6 +219,8 @@ def _materialize(plan: Plan, graph: JoinGraph) -> list[dict[str, object]]:
 
 def plan_true_rows(plan: Plan, graph: JoinGraph) -> dict[Plan, float]:
     """Actual cardinality of every node of *plan*, materialised bottom-up."""
+    if not isinstance(plan, Plan):
+        raise TypeError(f"plan must be a Plan node, got {type(plan).__name__}")
     sizes: dict[Plan, float] = {}
 
     def recurse(node: Plan) -> list[dict[str, object]]:
@@ -251,6 +253,8 @@ def plan_true_cost(
     The gap between this and the estimator-scored cost of the chosen plan is
     precisely what bad histograms inflict on an optimizer.
     """
+    if not isinstance(plan, Plan):
+        raise TypeError(f"plan must be a Plan node, got {type(plan).__name__}")
     cost_model = cost_model or CostModel()
     sizes = plan_true_rows(plan, graph)
     return cost_model.plan_cost(plan, row_source=lambda node: sizes[node])

@@ -103,4 +103,6 @@ class CountedTruth:
 
 def plan_true_rows_counted(plan: Plan, graph: JoinGraph) -> dict[Plan, float]:
     """Counting-based equivalent of ``plan_true_rows`` (no materialisation)."""
+    if not isinstance(plan, Plan):
+        raise TypeError(f"plan must be a Plan node, got {type(plan).__name__}")
     return CountedTruth(graph).plan_rows(plan)

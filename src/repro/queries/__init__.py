@@ -1,5 +1,7 @@
 """Chain-query model and experiment workload generators (Sections 2.2, 5.2)."""
 
+from __future__ import annotations
+
 from repro.queries.chain import ChainQuery, make_zipf_chain, selection_query
 from repro.queries.tree import (
     TreeQuery,

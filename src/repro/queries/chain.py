@@ -17,7 +17,7 @@ from typing import Callable, Hashable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.frequency import FrequencySet
+from repro.core.frequency import FrequencyLike, FrequencySet
 from repro.core.histogram import Histogram
 from repro.core.matrix import FrequencyMatrix, arrange_frequency_set, chain_result_size
 from repro.data.zipf import zipf_frequencies
@@ -159,7 +159,7 @@ def make_zipf_chain(
 
 def selection_query(
     relation_distribution_values: Sequence[Hashable],
-    relation_frequencies,
+    relation_frequencies: FrequencyLike,
     selected: Sequence[Hashable],
 ) -> tuple[FrequencyMatrix, FrequencyMatrix]:
     """Encode a disjunctive equality selection as a two-relation chain.

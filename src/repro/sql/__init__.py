@@ -11,6 +11,8 @@ descent parser → planner (histogram-backed estimation + DP join ordering)
 >>> db.execute("SELECT * FROM r WHERE r.a = 3")     # doctest: +SKIP
 """
 
+from __future__ import annotations
+
 from repro.sql.ast import (
     BetweenPredicate,
     ColumnRef,

@@ -1,5 +1,7 @@
 """Shared utilities: validation, seeded randomness, and majorization helpers."""
 
+from __future__ import annotations
+
 from repro.util.rng import RandomSource, derive_rng, spawn_rngs
 from repro.util.validation import (
     ensure_in_range,

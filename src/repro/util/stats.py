@@ -17,11 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.util.validation import ensure_positive_int
 
 
-def as_frequency_array(frequencies) -> np.ndarray:
+def as_frequency_array(frequencies: ArrayLike) -> np.ndarray:
     """Local coercion to a 1-D non-negative float array.
 
     Deliberately duplicated from :mod:`repro.core.frequency` (which accepts
@@ -39,7 +40,7 @@ def as_frequency_array(frequencies) -> np.ndarray:
     return arr
 
 
-def coefficient_of_variation(frequencies) -> float:
+def coefficient_of_variation(frequencies: ArrayLike) -> float:
     """Population standard deviation over the mean (0 for uniform sets)."""
     freqs = as_frequency_array(frequencies)
     mean = freqs.mean()
@@ -48,7 +49,7 @@ def coefficient_of_variation(frequencies) -> float:
     return float(freqs.std() / mean)
 
 
-def skewness(frequencies) -> float:
+def skewness(frequencies: ArrayLike) -> float:
     """Population (Fisher) skewness; 0 for symmetric frequency sets."""
     freqs = as_frequency_array(frequencies)
     std = freqs.std()
@@ -57,7 +58,7 @@ def skewness(frequencies) -> float:
     return float(np.mean(((freqs - freqs.mean()) / std) ** 3))
 
 
-def gini_coefficient(frequencies) -> float:
+def gini_coefficient(frequencies: ArrayLike) -> float:
     """Gini index of the frequency mass: 0 uniform, → 1 fully concentrated."""
     freqs = np.sort(as_frequency_array(frequencies))
     total = freqs.sum()
@@ -69,7 +70,7 @@ def gini_coefficient(frequencies) -> float:
     return float((2 * np.dot(index, freqs) - (n + 1) * total) / (n * total))
 
 
-def top_k_share(frequencies, k: int) -> float:
+def top_k_share(frequencies: ArrayLike, k: int) -> float:
     """Fraction of total mass carried by the *k* most frequent values."""
     k = ensure_positive_int(k, "k")
     freqs = np.sort(as_frequency_array(frequencies))[::-1]
@@ -79,7 +80,7 @@ def top_k_share(frequencies, k: int) -> float:
     return float(freqs[: min(k, freqs.size)].sum() / total)
 
 
-def effective_zipf_z(frequencies) -> float:
+def effective_zipf_z(frequencies: ArrayLike) -> float:
     """Least-squares Zipf exponent in log-log rank space.
 
     Fits ``log f_i ≈ c − z · log i`` over the positive frequencies in rank
@@ -118,7 +119,7 @@ class FrequencyProfile:
         )
 
 
-def profile_frequencies(frequencies) -> FrequencyProfile:
+def profile_frequencies(frequencies: ArrayLike) -> FrequencyProfile:
     """Compute the full :class:`FrequencyProfile` of a frequency set."""
     freqs = as_frequency_array(frequencies)
     return FrequencyProfile(

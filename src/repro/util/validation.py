@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 
-def ensure_positive_int(value, name: str) -> int:
+def ensure_positive_int(value: object, name: str) -> int:
     """Return *value* as ``int`` after checking it is a positive integer."""
     if isinstance(value, bool) or not isinstance(value, (Integral, np.integer)):
         raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
@@ -23,7 +23,7 @@ def ensure_positive_int(value, name: str) -> int:
     return value
 
 
-def ensure_positive(value, name: str) -> float:
+def ensure_positive(value: object, name: str) -> float:
     """Return *value* as ``float`` after checking it is strictly positive."""
     if isinstance(value, bool) or not isinstance(value, (Real, np.floating, np.integer)):
         raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
@@ -33,7 +33,7 @@ def ensure_positive(value, name: str) -> float:
     return value
 
 
-def ensure_non_negative(value, name: str) -> float:
+def ensure_non_negative(value: object, name: str) -> float:
     """Return *value* as ``float`` after checking it is not negative or NaN."""
     if isinstance(value, bool) or not isinstance(value, (Real, np.floating, np.integer)):
         raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
@@ -44,7 +44,7 @@ def ensure_non_negative(value, name: str) -> float:
 
 
 def ensure_in_range(
-    value,
+    value: object,
     name: str,
     low: Optional[float] = None,
     high: Optional[float] = None,
@@ -53,6 +53,8 @@ def ensure_in_range(
     if isinstance(value, bool) or not isinstance(value, (Real, np.floating, np.integer)):
         raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
     value = float(value)
+    if np.isnan(value):
+        raise ValueError(f"{name} must be a number within range, got nan")
     if low is not None and value < low:
         raise ValueError(f"{name} must be >= {low}, got {value}")
     if high is not None and value > high:

@@ -1,0 +1,83 @@
+"""Smoke tests for the ``repro lint`` CLI subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+PLANTED = """\
+# repolint: hot-path
+import numpy as np
+
+rng = np.random.default_rng()  # R001: unseeded, outside util/rng.py
+acc = np.zeros(16)  # R003: dtype-free hot-path allocation
+"""
+
+
+class TestCleanTree:
+    def test_default_invocation_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "repolint:" in out
+
+    def test_strict_invocation_exits_zero(self, capsys):
+        # The acceptance bar: the shipped tree is clean even counting warnings.
+        assert main(["lint", "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestPlantedViolations:
+    @pytest.fixture
+    def planted(self, tmp_path):
+        path = tmp_path / "planted.py"
+        path.write_text(PLANTED)
+        return path
+
+    def test_exits_nonzero(self, planted):
+        assert main(["lint", str(planted)]) == 1
+
+    def test_diagnostics_point_at_the_lines(self, planted, capsys):
+        main(["lint", str(planted)])
+        out = capsys.readouterr().out
+        assert f"{planted}:4:" in out and "R001" in out
+        assert f"{planted}:5:" in out and "R003" in out
+
+    def test_rule_selection_narrows(self, planted, capsys):
+        assert main(["lint", "--rules", "R003", str(planted)]) == 1
+        out = capsys.readouterr().out
+        assert "R003" in out and "R001" not in out
+
+    def test_fixed_file_passes(self, tmp_path, capsys):
+        fixed = tmp_path / "fixed.py"
+        fixed.write_text(
+            "from __future__ import annotations\n"
+            "# repolint: hot-path\n"
+            "import numpy as np\n"
+            "from repro.util.rng import derive_rng\n"
+            "rng = derive_rng(7)\n"
+            "acc = np.zeros(16, dtype=np.float64)\n"
+        )
+        assert main(["lint", "--strict", str(fixed)]) == 0
+
+
+class TestErrorHandling:
+    def test_unknown_rule_code_is_usage_error(self, capsys):
+        assert main(["lint", "--rules", "R999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unparseable_file_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005"):
+            assert code in out

@@ -1,0 +1,204 @@
+"""Tests for the runtime invariant contracts (repro.analysis.contracts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    CONTRACTS_ENV,
+    ContractViolation,
+    check_bucket,
+    check_estimate,
+    check_histogram,
+    check_non_negative_error,
+    contracts_enabled,
+    maybe_check_bucket,
+    postcondition,
+    require,
+    returns_estimate,
+)
+from repro.core.biased import v_opt_bias_hist
+from repro.core.buckets import Bucket
+from repro.core.histogram import Histogram
+from repro.core.serial import v_optimal_serial_histogram
+
+
+@pytest.fixture
+def contracts_on(monkeypatch):
+    monkeypatch.setenv(CONTRACTS_ENV, "1")
+
+
+@pytest.fixture
+def contracts_off(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV, raising=False)
+
+
+class TestSwitch:
+    def test_off_by_default(self, contracts_off):
+        assert contracts_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_spellings(self, monkeypatch, value):
+        monkeypatch.setenv(CONTRACTS_ENV, value)
+        assert contracts_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "", "off"])
+    def test_falsy_spellings(self, monkeypatch, value):
+        monkeypatch.setenv(CONTRACTS_ENV, value)
+        assert contracts_enabled() is False
+
+
+class TestScalarContracts:
+    def test_require_passes_and_fails(self):
+        require(True, "never raised")
+        with pytest.raises(ContractViolation, match="broke"):
+            require(False, "broke")
+
+    def test_check_estimate_passes_through(self):
+        assert check_estimate(3.5, "e") == 3.5
+        assert check_estimate(0, "e") == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_check_estimate_rejects(self, bad):
+        with pytest.raises(ContractViolation, match="e:"):
+            check_estimate(bad, "e")
+
+    def test_error_tolerates_float_dust(self):
+        assert check_non_negative_error(-1e-12, scale=1.0, label="x") == -1e-12
+
+    def test_error_rejects_genuine_negativity(self):
+        with pytest.raises(ContractViolation, match="Proposition 3.1"):
+            check_non_negative_error(-0.5, scale=1.0, label="x")
+
+    def test_error_tolerance_scales(self):
+        # An error of -1e-7 is dust against a self-join size of 1e3 sums... no:
+        # tolerance is REL_TOL * scale = 1e-9 * 1e3 = 1e-6, so -1e-7 passes.
+        assert check_non_negative_error(-1e-7, scale=1e3, label="x") == -1e-7
+
+
+class TestStructuralContracts:
+    def test_real_bucket_passes(self):
+        check_bucket(Bucket([3.0, 5.0, 7.0]))
+
+    def test_inconsistent_total_caught(self):
+        class FakeBucket:
+            frequencies = (2.0, 2.0)
+            total = 5.0  # should be 4.0
+            count = 2
+            variance = 0.0
+            sse = 0.0
+
+        with pytest.raises(ContractViolation, match="T_i"):
+            check_bucket(FakeBucket())
+
+    def test_real_histograms_pass(self, zipf_small):
+        check_histogram(v_optimal_serial_histogram(zipf_small, 3))
+        check_histogram(v_opt_bias_hist(zipf_small, 3))
+        check_histogram(Histogram.single_bucket(zipf_small))
+
+    def test_mislabelled_serial_caught(self):
+        # Buckets {9, 1} and {7, 4} interleave; labelling the histogram
+        # "serial" violates Definition 2.1.
+        histogram = Histogram([9.0, 7.0, 4.0, 1.0], [(0, 3), (1, 2)], kind="custom")
+        histogram.kind = "serial"
+        with pytest.raises(ContractViolation, match="Definition 2.1"):
+            check_histogram(histogram)
+
+    def test_mislabelled_end_biased_caught(self):
+        # Serial but with two multivalued buckets: not even biased, so the
+        # end-biased label is a lie (a serial *biased* histogram is always
+        # end-biased, so violating 2.2 alone needs two multivalued buckets).
+        histogram = Histogram([9.0, 8.0, 2.0, 1.0], [(0, 1), (2, 3)], kind="custom")
+        histogram.kind = "end-biased"
+        assert not histogram.is_end_biased()
+        with pytest.raises(ContractViolation, match="Definition 2.2"):
+            check_histogram(histogram)
+
+    def test_mislabelled_trivial_caught(self):
+        histogram = Histogram([2.0, 1.0], [(0,), (1,)], kind="custom")
+        histogram.kind = "trivial"
+        with pytest.raises(ContractViolation, match="one bucket"):
+            check_histogram(histogram)
+
+
+class TestEnvGatedHooks:
+    def test_hook_inert_when_disabled(self, contracts_off):
+        class Broken:
+            frequencies = (1.0,)
+            total = 99.0
+            count = 1
+            variance = 0.0
+            sse = 0.0
+
+        maybe_check_bucket(Broken())  # no exception: checks are off
+
+    def test_hook_active_when_enabled(self, contracts_on):
+        class Broken:
+            frequencies = (1.0,)
+            total = 99.0
+            count = 1
+            variance = 0.0
+            sse = 0.0
+
+        with pytest.raises(ContractViolation):
+            maybe_check_bucket(Broken())
+
+    def test_histogram_constructor_checked(self, contracts_on, zipf_small):
+        # Construction through the public builders must satisfy its own
+        # contracts with checking on.
+        v_optimal_serial_histogram(zipf_small, 4)
+        v_opt_bias_hist(zipf_small, 4)
+
+
+class TestDecorators:
+    def test_returns_estimate_checks_result(self, contracts_on):
+        @returns_estimate
+        def bad_estimator() -> float:
+            return -2.0
+
+        with pytest.raises(ContractViolation, match="bad_estimator"):
+            bad_estimator()
+
+    def test_returns_estimate_inert_when_off(self, contracts_off):
+        @returns_estimate
+        def bad_estimator() -> float:
+            return -2.0
+
+        assert bad_estimator() == -2.0
+
+    def test_returns_estimate_preserves_metadata(self):
+        @returns_estimate
+        def named() -> float:
+            """Doc."""
+            return 1.0
+
+        assert named.__name__ == "named"
+        assert named.__doc__ == "Doc."
+
+    def test_postcondition(self, contracts_on):
+        @postcondition(lambda result: require(result % 2 == 0, "result must be even"))
+        def doubler(x: int) -> int:
+            return 2 * x + 1
+
+        with pytest.raises(ContractViolation, match="even"):
+            doubler(1)
+
+
+class TestOperatorContracts:
+    def test_hash_join_cross_checked_against_theorem_2_1(self, contracts_on):
+        from repro.engine.operators import hash_join
+        from repro.engine.relation import Relation
+        from repro.engine.schema import Attribute, Schema
+
+        schema = Schema([Attribute("k")])
+        left = Relation("l", schema, [(1,), (1,), (2,)])
+        right = Relation("r", schema, [(1,), (2,), (2,)])
+        result = hash_join(left, right, "k", "k")
+        assert result.cardinality == 2 + 2  # 1 matches twice, 2 matches twice
+
+    def test_estimators_pass_under_contracts(self, contracts_on, zipf_small):
+        from repro.core.estimator import estimate_self_join
+
+        histogram = v_optimal_serial_histogram(zipf_small, 3)
+        assert estimate_self_join(histogram) >= 0.0

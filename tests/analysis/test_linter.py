@@ -1,0 +1,128 @@
+"""Tests for the linter driver: discovery, classification, reporting, exit codes.
+
+Includes the tree-hygiene test: the shipped ``src``/``benchmarks`` trees must
+lint clean under ``--strict``, which is what CI enforces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import Severity, Violation, format_report
+from repro.analysis.linter import (
+    LintConfig,
+    LintError,
+    build_module,
+    discover_files,
+    exit_code,
+    lint_paths,
+    lint_source,
+    parse_rule_selection,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestShippedTreeIsClean:
+    def test_src_has_no_violations_at_all(self):
+        violations = lint_paths([REPO_ROOT / "src"])
+        assert violations == [], format_report(violations)
+
+    def test_benchmarks_have_no_errors(self):
+        violations = lint_paths([REPO_ROOT / "benchmarks"])
+        errors = [v for v in violations if v.severity is Severity.ERROR]
+        assert errors == [], format_report(errors)
+
+
+class TestClassification:
+    def test_path_based_hot_path(self):
+        module = build_module("x = 1\n", "src/repro/core/serial.py")
+        # core/ is numeric (hot-path) *and* part of the validated API surface.
+        assert module.is_hot_path and module.is_boundary
+
+    def test_path_based_boundary(self):
+        module = build_module("x = 1\n", "src/repro/optimizer/cost.py")
+        assert module.is_boundary and not module.is_hot_path
+
+    def test_directive_overrides_path(self):
+        module = build_module("# repolint: hot-path boundary\nx = 1\n", "scratch.py")
+        assert module.is_hot_path and module.is_boundary
+
+    def test_rng_module_by_suffix(self):
+        module = build_module("x = 1\n", "src/repro/util/rng.py")
+        assert module.is_rng_module
+
+
+class TestDriver:
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError, match="cannot parse"):
+            lint_source("def broken(:\n", "bad.py")
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError, match="no such file"):
+            list(discover_files([Path("definitely/not/here")]))
+
+    def test_discovery_skips_pycache(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "ok.cpython-311.py").write_text("x = 1\n")
+        found = list(discover_files([tmp_path]))
+        assert [p.name for p in found] == ["ok.py"]
+
+    def test_violations_sorted_by_position(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\n")
+        (tmp_path / "a.py").write_text("import random\n")
+        violations = lint_paths([tmp_path])
+        paths = [v.path for v in violations if v.rule == "R001"]
+        assert paths == sorted(paths)
+
+    def test_rule_selection(self):
+        # An unseeded RNG in a file missing the future import: selecting
+        # R001 must hide the R005 warning and vice versa.
+        src = "import numpy as np\nr = np.random.default_rng()\n"
+        only_rng = lint_source(src, "x.py", LintConfig(select=frozenset({"R001"})))
+        assert {v.rule for v in only_rng} == {"R001"}
+        only_ann = lint_source(src, "x.py", LintConfig(select=frozenset({"R005"})))
+        assert {v.rule for v in only_ann} == {"R005"}
+
+    def test_parse_rule_selection_validates(self):
+        assert parse_rule_selection("r001, R003") == frozenset({"R001", "R003"})
+        assert parse_rule_selection(None) is None
+        with pytest.raises(LintError, match="unknown rule code"):
+            parse_rule_selection("R999")
+        with pytest.raises(LintError, match="without any rule codes"):
+            parse_rule_selection(" , ")
+
+
+class TestExitCodeAndReport:
+    def _violation(self, severity: Severity) -> Violation:
+        return Violation(
+            path="x.py", line=1, col=0, rule="R00X", message="m", severity=severity
+        )
+
+    def test_errors_always_fail(self):
+        violations = [self._violation(Severity.ERROR)]
+        assert exit_code(violations) == 1
+        assert exit_code(violations, strict=True) == 1
+
+    def test_warnings_fail_only_under_strict(self):
+        violations = [self._violation(Severity.WARNING)]
+        assert exit_code(violations) == 0
+        assert exit_code(violations, strict=True) == 1
+
+    def test_clean_is_zero(self):
+        assert exit_code([]) == 0
+        assert exit_code([], strict=True) == 0
+
+    def test_report_summarises_counts(self):
+        report = format_report(
+            [self._violation(Severity.ERROR), self._violation(Severity.WARNING)]
+        )
+        assert "1 error(s), 1 warning(s)" in report
+        assert "x.py:1:0:" in report
+
+    def test_clean_report(self):
+        assert "clean" in format_report([])

@@ -1,0 +1,198 @@
+"""Fixture tests proving each repolint rule fires — and stays quiet — correctly.
+
+Every fixture is an in-memory module run through :func:`lint_source`; file
+classification (hot-path, boundary, …) is forced with ``# repolint:``
+directives so the fixtures are independent of on-disk layout.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.linter import LintConfig, lint_source
+
+FUTURE = "from __future__ import annotations\n"
+
+
+def codes(source: str, path: str = "fixture.py", select: str | None = None) -> list[str]:
+    config = LintConfig(select=frozenset(select.split(",")) if select else None)
+    return [v.rule for v in lint_source(source, path, config)]
+
+
+class TestR001RngDiscipline:
+    def test_flags_stdlib_random_import(self):
+        src = FUTURE + "import random\n"
+        assert "R001" in codes(src)
+
+    def test_flags_default_rng_call(self):
+        src = FUTURE + "import numpy as np\nrng = np.random.default_rng()\n"
+        assert "R001" in codes(src)
+
+    def test_flags_legacy_global_state(self):
+        src = FUTURE + "import numpy as np\nx = np.random.rand(3)\n"
+        assert "R001" in codes(src)
+
+    def test_allows_generator_type_references(self):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> float:\n"
+            "    return rng.random()\n"
+        )
+        assert "R001" not in codes(src)
+
+    def test_rng_module_is_exempt(self):
+        src = FUTURE + "# repolint: rng-module\nimport numpy as np\nr = np.random.default_rng(7)\n"
+        assert "R001" not in codes(src)
+
+    def test_line_suppression(self):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "r = np.random.default_rng(7)  # repolint: disable=R001\n"
+        )
+        assert "R001" not in codes(src)
+
+
+class TestR002BoundaryValidation:
+    BOUNDARY = FUTURE + "# repolint: boundary\n"
+
+    def test_flags_unvalidated_public_function(self):
+        src = self.BOUNDARY + "def estimate(x):\n    return x * 2\n"
+        assert "R002" in codes(src, select="R002")
+
+    def test_raise_counts_as_validation(self):
+        src = self.BOUNDARY + (
+            "def estimate(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('x must be non-negative')\n"
+            "    return x * 2\n"
+        )
+        assert codes(src, select="R002") == []
+
+    def test_validator_call_counts(self):
+        src = self.BOUNDARY + (
+            "from repro.util.validation import ensure_positive\n"
+            "def estimate(x):\n"
+            "    x = ensure_positive(x, 'x')\n"
+            "    return x * 2\n"
+        )
+        assert codes(src, select="R002") == []
+
+    def test_contract_decorator_counts(self):
+        src = self.BOUNDARY + (
+            "from repro.analysis.contracts import returns_estimate\n"
+            "@returns_estimate\n"
+            "def estimate(x):\n"
+            "    return x * 2\n"
+        )
+        assert codes(src, select="R002") == []
+
+    def test_boundary_exempt_marker(self):
+        src = self.BOUNDARY + (
+            "def estimate(x):  # repolint: boundary-exempt\n"
+            "    return x * 2\n"
+        )
+        assert codes(src, select="R002") == []
+
+    def test_private_and_zero_arg_functions_ignored(self):
+        src = self.BOUNDARY + (
+            "def _helper(x):\n    return x\n"
+            "def constant():\n    return 42\n"
+        )
+        assert codes(src, select="R002") == []
+
+    def test_non_boundary_file_ignored(self):
+        src = FUTURE + "def estimate(x):\n    return x * 2\n"
+        assert codes(src, select="R002") == []
+
+
+class TestR003ExplicitDtype:
+    HOT = FUTURE + "# repolint: hot-path\nimport numpy as np\n"
+
+    def test_flags_dtype_free_zeros(self):
+        src = self.HOT + "acc = np.zeros(10)\n"
+        assert "R003" in codes(src, select="R003")
+
+    def test_flags_dtype_free_prod(self):
+        src = self.HOT + "size = np.prod([2, 3])\n"
+        assert "R003" in codes(src, select="R003")
+
+    def test_explicit_dtype_passes(self):
+        src = self.HOT + "acc = np.zeros(10, dtype=np.float64)\n"
+        assert codes(src, select="R003") == []
+
+    def test_cold_path_ignored(self):
+        src = FUTURE + "import numpy as np\nacc = np.zeros(10)\n"
+        assert codes(src, select="R003") == []
+
+
+class TestR004NoCallerMutation:
+    def test_flags_subscript_write_to_parameter(self):
+        src = FUTURE + "def f(arr):\n    arr[0] = 1.0\n    return arr\n"
+        assert "R004" in codes(src, select="R004")
+
+    def test_flags_in_place_sort(self):
+        src = FUTURE + "def f(arr):\n    arr.sort()\n    return arr\n"
+        assert "R004" in codes(src, select="R004")
+
+    def test_rebound_parameter_is_owned(self):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def f(arr):\n"
+            "    arr = np.array(arr, dtype=np.float64)\n"
+            "    arr[0] = 1.0\n"
+            "    return arr\n"
+        )
+        assert codes(src, select="R004") == []
+
+    def test_subscript_rebind_does_not_transfer_ownership(self):
+        # `arr[i] = x` must not count as rebinding `arr` itself.
+        src = FUTURE + (
+            "def f(arr):\n"
+            "    arr[0] = 1.0\n"
+            "    arr[1] = 2.0\n"
+            "    return arr\n"
+        )
+        assert codes(src, select="R004").count("R004") == 2
+
+    def test_local_arrays_freely_mutable(self):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def f(n: int):\n"
+            "    out = np.zeros(n, dtype=np.float64)\n"
+            "    out[0] = 1.0\n"
+            "    out.sort()\n"
+            "    return out\n"
+        )
+        assert codes(src, select="R004") == []
+
+
+class TestR005Annotations:
+    def test_flags_missing_future_import(self):
+        assert "R005" in codes("x = 1\n", select="R005")
+
+    def test_future_import_satisfies_plain_module(self):
+        assert codes(FUTURE + "x = 1\n", select="R005") == []
+
+    def test_public_api_requires_return_annotation(self):
+        src = FUTURE + "# repolint: public-api\ndef f(x: int):\n    return x\n"
+        assert "R005" in codes(src, select="R005")
+
+    def test_public_api_requires_parameter_annotations(self):
+        src = FUTURE + "# repolint: public-api\ndef f(x) -> int:\n    return x\n"
+        assert "R005" in codes(src, select="R005")
+
+    def test_fully_annotated_public_api_passes(self):
+        src = FUTURE + "# repolint: public-api\ndef f(x: int) -> int:\n    return x\n"
+        assert codes(src, select="R005") == []
+
+    def test_private_functions_unconstrained(self):
+        src = FUTURE + "# repolint: public-api\ndef _f(x):\n    return x\n"
+        assert codes(src, select="R005") == []
+
+
+class TestDirectives:
+    def test_skip_file_silences_everything(self):
+        src = "# repolint: skip-file\nimport random\n"
+        assert codes(src) == []
+
+    def test_disable_star_silences_line(self):
+        src = FUTURE + "import random  # repolint: disable=*\n"
+        assert codes(src) == []

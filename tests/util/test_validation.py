@@ -82,3 +82,74 @@ class TestEnsureInRange:
 
     def test_open_ended(self):
         assert ensure_in_range(1e9, "z", low=0.0) == 1e9
+
+
+class TestNumpyScalars:
+    """Numpy scalars must be accepted wherever Python numbers are."""
+
+    def test_float64_accepted(self):
+        assert ensure_positive(np.float64(2.5), "x") == 2.5
+        assert ensure_non_negative(np.float64(0.0), "x") == 0.0
+
+    def test_float32_accepted(self):
+        assert ensure_positive(np.float32(0.5), "x") == pytest.approx(0.5)
+
+    def test_int64_accepted_everywhere(self):
+        assert ensure_positive_int(np.int64(4), "x") == 4
+        assert ensure_positive(np.int64(4), "x") == 4.0
+        assert ensure_in_range(np.int64(4), "x", low=0, high=10) == 4.0
+
+    def test_numpy_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_positive_int(np.bool_(True), "x")
+        with pytest.raises(TypeError):
+            ensure_positive(np.bool_(False), "x")
+
+    def test_results_are_builtin_types(self):
+        assert type(ensure_positive_int(np.int64(4), "x")) is int
+        assert type(ensure_non_negative(np.float64(1.0), "x")) is float
+
+
+class TestNonFiniteInputs:
+    def test_nan_rejected_by_positive(self):
+        with pytest.raises(ValueError, match="x must be positive, got nan"):
+            ensure_positive(float("nan"), "x")
+
+    def test_nan_rejected_by_non_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ensure_non_negative(float("nan"), "x")
+
+    def test_nan_rejected_by_range(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(float("nan"), "x", low=0.0)
+
+    def test_infinity_passes_sign_checks(self):
+        # The validators enforce sign/domain only; finiteness of *estimates*
+        # is the contracts layer's job (repro.analysis.contracts.check_estimate).
+        assert ensure_positive(float("inf"), "x") == float("inf")
+        assert ensure_non_negative(float("inf"), "x") == float("inf")
+
+
+class TestErrorMessageWording:
+    """Messages must name the argument and the offending type or value."""
+
+    def test_type_errors_name_argument_and_type(self):
+        with pytest.raises(TypeError, match="buckets must be an integer, got str"):
+            ensure_positive_int("3", "buckets")
+        with pytest.raises(TypeError, match="z must be a real number, got list"):
+            ensure_positive([1.0], "z")
+        with pytest.raises(TypeError, match="tol must be a real number, got NoneType"):
+            ensure_non_negative(None, "tol")
+
+    def test_value_errors_quote_offending_value(self):
+        with pytest.raises(ValueError, match="buckets must be positive, got -3"):
+            ensure_positive_int(-3, "buckets")
+        with pytest.raises(ValueError, match="share must be <= 1.0, got 1.5"):
+            ensure_in_range(1.5, "share", low=0.0, high=1.0)
+
+    def test_bool_rejected_as_type_error_not_value_error(self):
+        # True == 1 numerically; rejecting it must happen before coercion.
+        with pytest.raises(TypeError):
+            ensure_positive_int(True, "flag")
+        with pytest.raises(TypeError):
+            ensure_non_negative(False, "flag")
