@@ -17,7 +17,7 @@ from _reporting import record_report
 
 from repro.core.biased import v_opt_bias_hist
 from repro.util.rng import derive_rng
-from repro.core.estimator import estimate_range_selection
+from repro.core.estimator import estimate_range
 from repro.core.frequency import AttributeDistribution
 from repro.core.heuristic import equi_depth_histogram, equi_width_histogram
 from repro.core.serial import v_opt_hist_dp
@@ -56,7 +56,7 @@ def run_valueorder():
                 truth = sum(dist.frequency_of(v) for v in range(lo, hi + 1))
                 if truth <= 0:
                     continue
-                est = estimate_range_selection(hist, low=lo, high=hi)
+                est = estimate_range(hist, low=lo, high=hi)
                 range_error += abs(truth - est) / truth
             sums[name][1] += range_error / (RANGE_QUERIES // TRIALS)
     return [

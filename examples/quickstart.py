@@ -18,7 +18,7 @@ from repro import (
     AttributeDistribution,
     equi_depth_histogram,
     equi_width_histogram,
-    estimate_join_size,
+    estimate_join,
     relative_error,
     self_join_size,
     trivial_histogram,
@@ -65,7 +65,7 @@ def main():
     partner_hist = v_opt_bias_hist(partner.frequencies, 5, values=partner.values)
 
     true_join = dist.join_size(partner)
-    est_join = estimate_join_size(
+    est_join = estimate_join(
         histograms["v-optimal end-biased (V-OptBiasHist)"], partner_hist
     )
     print(

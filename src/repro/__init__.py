@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core import (
     AttributeDistribution,
+    EstimateOptions,
     FrequencyMatrix,
     FrequencySet,
     Histogram,
@@ -26,9 +27,15 @@ from repro.core import (
     chain_result_size,
     equi_depth_histogram,
     equi_width_histogram,
+    estimate_chain,
     estimate_chain_size,
+    estimate_equality,
     estimate_equality_selection,
+    estimate_join,
     estimate_join_size,
+    estimate_membership,
+    estimate_not_equal,
+    estimate_range,
     estimate_range_selection,
     estimate_self_join,
     joint_matrix_algorithm,
@@ -50,6 +57,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttributeDistribution",
+    "EstimateOptions",
     "FrequencyMatrix",
     "FrequencySet",
     "Histogram",
@@ -58,9 +66,15 @@ __all__ = [
     "chain_result_size",
     "equi_depth_histogram",
     "equi_width_histogram",
+    "estimate_chain",
     "estimate_chain_size",
+    "estimate_equality",
     "estimate_equality_selection",
+    "estimate_join",
     "estimate_join_size",
+    "estimate_membership",
+    "estimate_not_equal",
+    "estimate_range",
     "estimate_range_selection",
     "estimate_self_join",
     "joint_matrix_algorithm",

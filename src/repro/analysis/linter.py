@@ -30,10 +30,15 @@ from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
 _DIRECTIVE_RE = re.compile(r"#\s*repolint:\s*(?P<body>[^#]*)")
 
 #: Path suffixes (posix) that default to hot-path classification (R003).
-DEFAULT_HOT_PATH_PARTS = ("repro/core/", "repro/engine/")
+DEFAULT_HOT_PATH_PARTS = ("repro/core/", "repro/engine/", "repro/serve/")
 
 #: Path suffixes that default to boundary classification (R002).
-DEFAULT_BOUNDARY_PARTS = ("repro/core/", "repro/engine/", "repro/optimizer/")
+DEFAULT_BOUNDARY_PARTS = (
+    "repro/core/",
+    "repro/engine/",
+    "repro/optimizer/",
+    "repro/serve/",
+)
 
 #: The one module allowed to touch numpy.random entry points directly.
 DEFAULT_RNG_MODULES = ("repro/util/rng.py",)

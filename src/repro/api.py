@@ -1,0 +1,138 @@
+"""The blessed one-import surface of the reproduction.
+
+``repro.api`` re-exports the stable names an application needs, grouped by
+layer, so downstream code can write::
+
+    from repro import api
+
+    freqs = api.zipf_frequencies(total=10_000, domain_size=200, z=1.0)
+    hist = api.v_opt_bias_hist(freqs, buckets=10, values=range(200))
+    mass = api.estimate_range(hist, 5, 50)
+
+or import the names directly (``from repro.api import EstimationService``).
+Anything importable here follows the project's deprecation policy: removed
+spellings keep a shim for one minor release, announced via
+``DeprecationWarning`` and the migration table in ``docs/API.md``.
+Internal modules (``repro.core.*``, ``repro.serve.tables``, ...) remain
+importable but offer no such promise.
+
+Layers
+------
+* **frequency data** — Zipf generators and distributions (Section 2);
+* **histograms** — the taxonomy and construction algorithms (Sections 3-4);
+* **estimation** — scalar result-size estimators over value-aware
+  histograms (Sections 2.2, 5.2, 6), sharing :class:`EstimateOptions`;
+* **engine** — relations, ANALYZE, and the statistics catalog;
+* **serving** — compiled lookup tables and batched estimation
+  (:class:`EstimationService`), the layer every estimator answers through;
+* **optimizer / SQL** — cardinality estimation, planning, and the
+  in-memory :class:`Database`.
+"""
+
+from __future__ import annotations
+
+# Frequency data ------------------------------------------------------------
+from repro.core.frequency import AttributeDistribution, FrequencySet
+from repro.data.zipf import zipf_frequencies
+
+# Histograms ----------------------------------------------------------------
+from repro.core.biased import end_biased_histogram, v_opt_bias_hist
+from repro.core.heuristic import (
+    equi_depth_histogram,
+    equi_width_histogram,
+    trivial_histogram,
+)
+from repro.core.histogram import Histogram
+from repro.core.serial import (
+    v_opt_hist_dp,
+    v_opt_hist_exhaustive,
+    v_optimal_serial_histogram,
+)
+
+# Estimation ----------------------------------------------------------------
+from repro.core.estimator import (
+    EstimateOptions,
+    approximate_chain,
+    estimate_chain,
+    estimate_equality,
+    estimate_join,
+    estimate_membership,
+    estimate_not_equal,
+    estimate_range,
+    estimate_self_join,
+    relative_error,
+)
+
+# Engine --------------------------------------------------------------------
+from repro.engine.analyze import analyze_database, analyze_relation
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.relation import Relation
+
+# Maintenance ---------------------------------------------------------------
+from repro.maint.update import MaintainedEndBiased, MaintenancePolicy
+
+# Serving -------------------------------------------------------------------
+from repro.serve import (
+    EqualityProbe,
+    EstimationService,
+    JoinProbe,
+    Probe,
+    RangeProbe,
+    ServiceMetrics,
+    compile_histogram,
+)
+
+# Optimizer and SQL ---------------------------------------------------------
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.sql.database import Database
+from repro.sql.planner import plan_query
+
+__all__ = [
+    # frequency data
+    "AttributeDistribution",
+    "FrequencySet",
+    "zipf_frequencies",
+    # histograms
+    "Histogram",
+    "end_biased_histogram",
+    "equi_depth_histogram",
+    "equi_width_histogram",
+    "trivial_histogram",
+    "v_opt_bias_hist",
+    "v_opt_hist_dp",
+    "v_opt_hist_exhaustive",
+    "v_optimal_serial_histogram",
+    # estimation
+    "EstimateOptions",
+    "approximate_chain",
+    "estimate_chain",
+    "estimate_equality",
+    "estimate_join",
+    "estimate_membership",
+    "estimate_not_equal",
+    "estimate_range",
+    "estimate_self_join",
+    "relative_error",
+    # engine
+    "CatalogEntry",
+    "CompactEndBiased",
+    "Relation",
+    "StatsCatalog",
+    "analyze_database",
+    "analyze_relation",
+    # maintenance
+    "MaintainedEndBiased",
+    "MaintenancePolicy",
+    # serving
+    "EqualityProbe",
+    "EstimationService",
+    "JoinProbe",
+    "Probe",
+    "RangeProbe",
+    "ServiceMetrics",
+    "compile_histogram",
+    # optimizer / SQL
+    "CardinalityEstimator",
+    "Database",
+    "plan_query",
+]

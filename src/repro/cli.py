@@ -8,6 +8,7 @@ Subcommands cover the common interactive uses:
 * ``selfjoin`` — one row of the Figures 3-5 comparison;
 * ``chain`` — one row of the Figures 6-7 comparison;
 * ``table1`` — the construction-cost table;
+* ``serve-stats`` — batched estimation-service workload with cache metrics;
 * ``arrangements`` — the Section 3.1 arrangement study.
 
 Example::
@@ -170,6 +171,52 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve_stats(args) -> int:
+    """Run a synthetic batched workload and report service cache metrics."""
+    import numpy as np
+
+    from repro.data.quantize import quantize_to_integers
+    from repro.data.zipf import zipf_frequencies
+    from repro.engine.analyze import analyze_relation
+    from repro.engine.catalog import StatsCatalog
+    from repro.engine.relation import Relation
+    from repro.serve import EqualityProbe, EstimationService, JoinProbe, RangeProbe
+    from repro.util.rng import derive_rng
+
+    gen = derive_rng(args.seed)
+    catalog = StatsCatalog()
+    names = []
+    for index, z in enumerate(args.z_values):
+        freqs = quantize_to_integers(zipf_frequencies(args.total, args.domain, z))
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        gen.shuffle(column)
+        relation = Relation.from_columns(f"R{index}", {"a": column})
+        analyze_relation(relation, "a", catalog, kind=args.kind, buckets=args.buckets)
+        names.append(relation.name)
+
+    service = EstimationService(catalog)
+    probes = []
+    for _ in range(args.probes):
+        name = names[int(gen.integers(len(names)))]
+        shape = int(gen.integers(3))
+        if shape == 0:
+            probes.append(EqualityProbe(name, "a", int(gen.integers(args.domain))))
+        elif shape == 1:
+            low, high = sorted(int(v) for v in gen.integers(args.domain, size=2))
+            probes.append(RangeProbe(name, "a", low, high))
+        else:
+            other = names[int(gen.integers(len(names)))]
+            probes.append(JoinProbe(name, "a", other, "a"))
+    estimates = service.estimate_batch(probes)
+    print(
+        f"answered {estimates.size} probes over {len(names)} analyzed columns; "
+        f"estimate mass {float(np.sum(estimates)):.1f}"
+    )
+    print(f"catalog version: {catalog.version}")
+    print(service.stats().format())
+    return 0
+
+
 def _cmd_describe(args) -> int:
     from repro.data.zipf import zipf_frequencies
     from repro.util.stats import profile_frequencies
@@ -298,6 +345,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=1995)
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "serve-stats",
+        help="run a synthetic batched workload and print service metrics",
+    )
+    p.add_argument("--total", type=float, default=10_000.0)
+    p.add_argument("--domain", type=int, default=200)
+    p.add_argument("--z-values", type=float, nargs="+", default=[0.5, 1.0, 2.0])
+    p.add_argument("--kind", choices=["end-biased", "serial"], default="end-biased")
+    p.add_argument("--buckets", type=int, default=10)
+    p.add_argument("--probes", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(func=_cmd_serve_stats)
 
     p = sub.add_parser("lint", help="run repolint, the project static analyzer")
     p.add_argument(

@@ -86,12 +86,20 @@ from repro.core.multidim import (
     independence_matrix,
 )
 from repro.core.estimator import (
+    EstimateOptions,
+    approximate_chain,
     approximate_chain_matrices,
+    estimate_chain,
     estimate_chain_size,
+    estimate_equality,
     estimate_equality_selection,
     estimate_in_selection,
+    estimate_join,
     estimate_join_size,
+    estimate_membership,
+    estimate_not_equal,
     estimate_not_equals,
+    estimate_range,
     estimate_range_selection,
     estimate_self_join,
     relative_error,
@@ -145,12 +153,20 @@ __all__ = [
     "joint_table_result_size",
     "matrix_algorithm",
     "matrix_algorithm_2d",
+    "EstimateOptions",
+    "approximate_chain",
     "approximate_chain_matrices",
+    "estimate_chain",
     "estimate_chain_size",
+    "estimate_equality",
     "estimate_equality_selection",
     "estimate_in_selection",
+    "estimate_join",
     "estimate_join_size",
+    "estimate_membership",
+    "estimate_not_equal",
     "estimate_not_equals",
+    "estimate_range",
     "estimate_range_selection",
     "estimate_self_join",
     "relative_error",

@@ -12,11 +12,30 @@ Two estimation styles are provided:
 Section 6 observes that ``≠`` and range selections reduce to (complements
 of) disjunctive equality selections, so all of them estimate by summing
 approximate per-value frequencies.
+
+The canonical surface is histogram-first with keyword-only options:
+
+``estimate_equality``, ``estimate_membership``, ``estimate_not_equal``,
+``estimate_range``, ``estimate_join``, ``estimate_self_join``,
+``estimate_chain``, ``approximate_chain``, and ``relative_error``, sharing
+:class:`EstimateOptions`.  Every function answers from the histogram's
+compiled lookup table (:mod:`repro.serve.tables`), compiled once per
+histogram, so repeated calls — and the batched service layer — return
+bit-identical floats.
+
+The pre-1.1 spellings (``estimate_equality_selection``,
+``estimate_in_selection``, ``estimate_not_equals``,
+``estimate_range_selection``, ``estimate_join_size``,
+``estimate_chain_size``, ``approximate_chain_matrices``) remain as thin
+shims that emit :class:`DeprecationWarning`; see ``docs/API.md`` for the
+migration table.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -25,87 +44,133 @@ from repro.core.histogram import Histogram
 from repro.core.matrix import FrequencyMatrix, MatrixLike, chain_result_size
 from repro.util.validation import ensure_non_negative
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.serve.tables import CompiledHistogram
+
+
+@dataclass(frozen=True)
+class EstimateOptions:
+    """Options shared by the estimation functions.
+
+    ``include_low`` / ``include_high`` control range-bound inclusivity
+    (:func:`estimate_range`); ``rounded`` requests integer-rounded bucket
+    averages for arrangement-based chain estimation (:func:`estimate_chain`,
+    :func:`approximate_chain`); ``assume_in_domain`` is the catalog
+    "missing bucket" policy applied by compact lookups in the serving
+    layer.  Fields irrelevant to a given function are ignored by it.
+    """
+
+    include_low: bool = True
+    include_high: bool = True
+    rounded: bool = False
+    assume_in_domain: bool = True
+
+
+#: The all-defaults options value the functions fall back to.
+DEFAULT_ESTIMATE_OPTIONS = EstimateOptions()
+
+
+def _compiled(histogram: Histogram) -> "CompiledHistogram":
+    """The histogram's (cached) compiled lookup table."""
+    from repro.serve.tables import compile_histogram
+
+    return compile_histogram(histogram)
+
 
 def _value_approximations(histogram: Histogram) -> dict[Hashable, float]:
     """Map each domain value to its bucket-average approximation."""
-    if histogram.values is None:
-        raise ValueError(
-            "estimation by value requires a histogram built with domain values"
-        )
-    approx: dict[Hashable, float] = {}
-    for bucket in histogram.buckets:
-        for value in bucket.values:
-            approx[value] = bucket.average
-    return approx
+    return _compiled(histogram).as_mapping()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (migration notes in docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical surface
+# ----------------------------------------------------------------------
 
 
 @returns_estimate
-def estimate_equality_selection(histogram: Histogram, value: Hashable) -> float:
+def estimate_equality(
+    histogram: Histogram,
+    value: Hashable,
+    *,
+    options: Optional[EstimateOptions] = None,
+) -> float:
     """Estimate ``|σ_{a=value}(R)|``: the value's approximate frequency."""
-    return _value_approximations(histogram).get(value, 0.0)
+    return _compiled(histogram).equality(value)
 
 
 @returns_estimate
-def estimate_in_selection(histogram: Histogram, values: Iterable[Hashable]) -> float:
-    """Estimate a disjunctive selection ``a ∈ {c1..ck}`` (Section 2.2)."""
-    approx = _value_approximations(histogram)
-    return float(sum(approx.get(v, 0.0) for v in set(values)))
+def estimate_membership(
+    histogram: Histogram,
+    values: Iterable[Hashable],
+    *,
+    options: Optional[EstimateOptions] = None,
+) -> float:
+    """Estimate a disjunctive selection ``a ∈ {c1..ck}`` (Section 2.2).
+
+    Repeated probe values are deduplicated (keeping first-occurrence
+    order, so the summation order — and hence the float result — is
+    deterministic): ``a IN (c, c)`` selects each matching tuple once.
+    """
+    return _compiled(histogram).membership(values)
 
 
 @returns_estimate
-def estimate_not_equals(histogram: Histogram, value: Hashable) -> float:
+def estimate_not_equal(
+    histogram: Histogram,
+    value: Hashable,
+    *,
+    options: Optional[EstimateOptions] = None,
+) -> float:
     """Estimate ``a ≠ value`` as the complement of the equality selection.
 
     Section 6: the ``≠`` operator is "simply the complement of equality", so
     serial histograms remain v-optimal for it.
     """
-    approx = _value_approximations(histogram)
-    total = sum(approx.values())
-    return float(total - approx.get(value, 0.0))
+    return _compiled(histogram).not_equal(value)
 
 
 @returns_estimate
-def estimate_range_selection(
+def estimate_range(
     histogram: Histogram,
     low: Optional[Hashable] = None,
     high: Optional[Hashable] = None,
     *,
-    include_low: bool = True,
-    include_high: bool = True,
+    options: Optional[EstimateOptions] = None,
 ) -> float:
     """Estimate a range selection by summing approximate frequencies in range.
 
     Section 6 treats range selections as disjunctive equality selections over
     the values in the range; the estimate is the sum of their bucket
-    averages.  ``None`` bounds are open-ended.
+    averages — served as a prefix-sum difference over the sorted domain.
+    ``None`` bounds are open-ended; bound inclusivity comes from *options*.
     """
-    approx = _value_approximations(histogram)
-    total = 0.0
-    for value, freq in approx.items():
-        if low is not None:
-            if value < low or (value == low and not include_low):
-                continue
-        if high is not None:
-            if value > high or (value == high and not include_high):
-                continue
-        total += freq
-    return float(total)
+    opts = options or DEFAULT_ESTIMATE_OPTIONS
+    return _compiled(histogram).range_sum(
+        low, high, include_low=opts.include_low, include_high=opts.include_high
+    )
 
 
 @returns_estimate
-def estimate_join_size(left: Histogram, right: Histogram) -> float:
+def estimate_join(
+    left: Histogram,
+    right: Histogram,
+    *,
+    options: Optional[EstimateOptions] = None,
+) -> float:
     """Estimate a two-way equality join from two value-aware histograms.
 
     ``Σ_v f̂_left(v) · f̂_right(v)`` over the intersection of the recorded
     domains — Theorem 2.1 applied to the two histogram matrices.
     """
-    left_approx = _value_approximations(left)
-    right_approx = _value_approximations(right)
-    if len(right_approx) < len(left_approx):
-        left_approx, right_approx = right_approx, left_approx
-    return float(
-        sum(freq * right_approx[v] for v, freq in left_approx.items() if v in right_approx)
-    )
+    return _compiled(left).join_with(_compiled(right))
 
 
 @returns_estimate
@@ -114,11 +179,11 @@ def estimate_self_join(histogram: Histogram) -> float:
     return histogram.self_join_estimate()
 
 
-def approximate_chain_matrices(
-    matrices: Sequence[MatrixLike],
+def approximate_chain(
     histograms: Sequence[Histogram],
+    matrices: Sequence[MatrixLike],
     *,
-    rounded: bool = False,
+    options: Optional[EstimateOptions] = None,
 ) -> list[np.ndarray]:
     """Apply per-relation histograms to concrete frequency-matrix arrangements.
 
@@ -130,32 +195,123 @@ def approximate_chain_matrices(
         raise ValueError(
             f"got {len(matrices)} matrices but {len(histograms)} histograms"
         )
+    opts = options or DEFAULT_ESTIMATE_OPTIONS
     approximated = []
     for matrix, histogram in zip(matrices, histograms):
-        arr = matrix.array if isinstance(matrix, FrequencyMatrix) else np.asarray(matrix, dtype=float)
-        approximated.append(histogram.approximate_array(arr, rounded=rounded))
+        arr = (
+            matrix.array
+            if isinstance(matrix, FrequencyMatrix)
+            else np.asarray(matrix, dtype=float)
+        )
+        approximated.append(histogram.approximate_array(arr, rounded=opts.rounded))
     return approximated
 
 
 @returns_estimate
-def estimate_chain_size(
-    matrices: Sequence[MatrixLike],
+def estimate_chain(
     histograms: Sequence[Histogram],
+    matrices: Sequence[MatrixLike],
     *,
-    rounded: bool = False,
+    options: Optional[EstimateOptions] = None,
 ) -> float:
     """Approximate chain-query result size: product of histogram matrices."""
-    return chain_result_size(approximate_chain_matrices(matrices, histograms, rounded=rounded))
+    return chain_result_size(approximate_chain(histograms, matrices, options=options))
 
 
 def relative_error(exact: float, estimate: float) -> float:
-    """``|S − S'| / S`` — the y-axis of Figures 6 and 7.
+    """``|S − S'| / S`` — the paper's error metric (y-axis of Figures 6-7).
 
-    A zero exact size with a nonzero estimate reports ``inf``; both zero
-    reports 0 (the estimate is right).
+    The metric is undefined at ``S = 0``; this implementation pins the two
+    edge cases the way the paper's experiments treat them:
+
+    * ``exact == 0`` and ``estimate == 0`` → ``0.0`` — the estimate is
+      exactly right, so it contributes no error to a mean;
+    * ``exact == 0`` and ``estimate > 0`` → ``inf`` — any nonzero estimate
+      of an empty result is unboundedly wrong under a relative metric
+      (averages over workloads containing such queries are therefore
+      ``inf``; filter empty-result queries out first if that is not
+      intended).
+
+    Both arguments must be non-negative (result sizes are counts).
     """
     exact = ensure_non_negative(exact, "exact")
     estimate = ensure_non_negative(estimate, "estimate")
     if exact == 0:
         return 0.0 if estimate == 0 else float("inf")
     return abs(exact - estimate) / exact
+
+
+# ----------------------------------------------------------------------
+# Deprecated pre-1.1 spellings
+# ----------------------------------------------------------------------
+
+
+def estimate_equality_selection(histogram: Histogram, value: Hashable) -> float:  # repolint: boundary-exempt — forwards to validating canonical fn
+    """Deprecated alias of :func:`estimate_equality`."""
+    _warn_deprecated("estimate_equality_selection", "estimate_equality")
+    return estimate_equality(histogram, value)
+
+
+def estimate_in_selection(histogram: Histogram, values: Iterable[Hashable]) -> float:  # repolint: boundary-exempt — forwards to validating canonical fn
+    """Deprecated alias of :func:`estimate_membership`."""
+    _warn_deprecated("estimate_in_selection", "estimate_membership")
+    return estimate_membership(histogram, values)
+
+
+def estimate_not_equals(histogram: Histogram, value: Hashable) -> float:  # repolint: boundary-exempt — forwards to validating canonical fn
+    """Deprecated alias of :func:`estimate_not_equal`."""
+    _warn_deprecated("estimate_not_equals", "estimate_not_equal")
+    return estimate_not_equal(histogram, value)
+
+
+# repolint: boundary-exempt — forwards to validating canonical fn
+def estimate_range_selection(
+    histogram: Histogram,
+    low: Optional[Hashable] = None,
+    high: Optional[Hashable] = None,
+    *,
+    include_low: bool = True,
+    include_high: bool = True,
+) -> float:
+    """Deprecated alias of :func:`estimate_range` (options went keyword-only)."""
+    _warn_deprecated("estimate_range_selection", "estimate_range")
+    return estimate_range(
+        histogram,
+        low,
+        high,
+        options=EstimateOptions(include_low=include_low, include_high=include_high),
+    )
+
+
+def estimate_join_size(left: Histogram, right: Histogram) -> float:  # repolint: boundary-exempt — forwards to validating canonical fn
+    """Deprecated alias of :func:`estimate_join`."""
+    _warn_deprecated("estimate_join_size", "estimate_join")
+    return estimate_join(left, right)
+
+
+# repolint: boundary-exempt — forwards to validating canonical fn
+def approximate_chain_matrices(
+    matrices: Sequence[MatrixLike],
+    histograms: Sequence[Histogram],
+    *,
+    rounded: bool = False,
+) -> list[np.ndarray]:
+    """Deprecated alias of :func:`approximate_chain` (argument order flipped)."""
+    _warn_deprecated("approximate_chain_matrices", "approximate_chain")
+    return approximate_chain(
+        histograms, matrices, options=EstimateOptions(rounded=rounded)
+    )
+
+
+# repolint: boundary-exempt — forwards to validating canonical fn
+def estimate_chain_size(
+    matrices: Sequence[MatrixLike],
+    histograms: Sequence[Histogram],
+    *,
+    rounded: bool = False,
+) -> float:
+    """Deprecated alias of :func:`estimate_chain` (argument order flipped)."""
+    _warn_deprecated("estimate_chain_size", "estimate_chain")
+    return estimate_chain(
+        histograms, matrices, options=EstimateOptions(rounded=rounded)
+    )

@@ -53,7 +53,7 @@ class Histogram:
         value-aware estimation.
     """
 
-    __slots__ = ("_frequencies", "_groups", "_buckets", "_values", "kind")
+    __slots__ = ("_frequencies", "_groups", "_buckets", "_values", "kind", "_compiled")
 
     def __init__(
         self,
@@ -85,6 +85,8 @@ class Histogram:
         self._groups = groups
         self._values = values
         self.kind = kind
+        # Lazily-populated serving-layer lookup table; see repro.serve.tables.
+        self._compiled = None
         self._buckets = tuple(
             Bucket(
                 freqs[list(group)],

@@ -10,6 +10,7 @@ attribute) registry the optimizer consults.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
@@ -81,18 +82,32 @@ class CompactEndBiased:
         """Total tuple count represented by the stored statistics."""
         return sum(self.explicit.values()) + self.remainder_count * self.remainder_average
 
-    def estimate(self, value: Hashable, *, assume_in_domain: bool = True) -> float:
-        """Approximate frequency of *value*.
+    def estimate_frequency(
+        self, value: Hashable, *, assume_in_domain: bool = True
+    ) -> float:
+        """Approximate frequency of *value* — the one documented lookup.
 
         Explicitly stored values return their exact frequency.  Unknown
         values return the remainder average when *assume_in_domain* (the
-        catalog's "missing bucket" rule), else 0.
+        catalog's "missing bucket" rule), else 0.  This is the same method
+        name :class:`CatalogEntry` exposes, so callers holding either form
+        use one spelling.
         """
         if value in self.explicit:
             return self.explicit[value]
         if assume_in_domain and self.remainder_count > 0:
             return self.remainder_average
         return 0.0
+
+    def estimate(self, value: Hashable, *, assume_in_domain: bool = True) -> float:
+        """Deprecated alias of :meth:`estimate_frequency`."""
+        warnings.warn(
+            "CompactEndBiased.estimate is deprecated; use "
+            "CompactEndBiased.estimate_frequency (see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.estimate_frequency(value, assume_in_domain=assume_in_domain)
 
 
 @dataclass
@@ -111,7 +126,7 @@ class CatalogEntry:
     def estimate_frequency(self, value: Hashable) -> float:
         """Approximate frequency of *value* from the best available form."""
         if self.compact is not None:
-            return self.compact.estimate(value)
+            return self.compact.estimate_frequency(value)
         if self.histogram is not None and self.histogram.values is not None:
             return self.histogram.approx_of_value(value)
         if self.distinct_count <= 0:
@@ -128,19 +143,36 @@ class CatalogEntry:
 class StatsCatalog:
     """Registry of per-(relation, attribute) statistics.
 
-    The ``version`` counter increments on every (re)analyze, letting
-    maintenance policies detect staleness.
+    Each entry's ``version`` counter increments on every (re)analyze of that
+    attribute, letting maintenance policies detect staleness.  The catalog
+    additionally keeps one **monotonic global version** that advances on
+    *every* mutation (put or drop); the serving layer
+    (:class:`repro.serve.EstimationService`) keys its compiled-table cache on
+    these counters, so refreshed statistics invalidate stale tables without
+    any explicit notification.
     """
 
     def __init__(self):
         self._entries: dict[tuple[str, str], CatalogEntry] = {}
+        self._version = 0
+        # Last version of dropped keys: a re-created entry must continue its
+        # version sequence, or a cached compiled table keyed on the old
+        # version could alias the new statistics and be served stale.
+        self._tombstones: dict[tuple[str, str], int] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every catalog mutation."""
+        return self._version
 
     def put(self, entry: CatalogEntry) -> CatalogEntry:
         """Insert or replace the entry, bumping its version on replacement."""
         key = (entry.relation, entry.attribute)
         previous = self._entries.get(key)
-        entry.version = (previous.version + 1) if previous else 1
+        base = previous.version if previous else self._tombstones.pop(key, 0)
+        entry.version = base + 1
         self._entries[key] = entry
+        self._version += 1
         return entry
 
     def get(self, relation: str, attribute: str) -> Optional[CatalogEntry]:
@@ -157,10 +189,18 @@ class StatsCatalog:
     def drop(self, relation: str, attribute: Optional[str] = None) -> int:
         """Drop statistics for one attribute or a whole relation."""
         if attribute is not None:
-            return 1 if self._entries.pop((relation, attribute), None) else 0
+            dropped = self._entries.pop((relation, attribute), None)
+            if dropped is None:
+                return 0
+            self._tombstones[(relation, attribute)] = dropped.version
+            self._version += 1
+            return 1
         keys = [k for k in self._entries if k[0] == relation]
         for key in keys:
+            self._tombstones[key] = self._entries[key].version
             del self._entries[key]
+        if keys:
+            self._version += 1
         return len(keys)
 
     def entries(self) -> list[CatalogEntry]:

@@ -23,7 +23,7 @@ from typing import Hashable, Iterable, Optional
 from repro.core.biased import v_opt_bias_hist
 from repro.core.frequency import AttributeDistribution
 from repro.core.histogram import Histogram
-from repro.engine.catalog import CompactEndBiased
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
 from repro.engine.sampling import SpaceSavingSketch
 from repro.util.validation import ensure_in_range, ensure_positive_int
 
@@ -131,6 +131,28 @@ class MaintainedEndBiased:
             remainder_count=self.remainder_count,
             remainder_average=self.remainder_average,
         )
+
+    def publish(
+        self, catalog: StatsCatalog, relation: str, attribute: str
+    ) -> CatalogEntry:
+        """Publish the maintained state to *catalog* as a fresh entry.
+
+        ``StatsCatalog.put`` bumps the catalog's monotonic version, so any
+        :class:`repro.serve.EstimationService` over the catalog discards its
+        compiled tables for this column and recompiles from the new snapshot
+        on the next probe.
+        """
+        entry = CatalogEntry(
+            relation=relation,
+            attribute=attribute,
+            kind="maintained-end-biased",
+            histogram=None,
+            compact=self.as_compact(),
+            distinct_count=self.distinct_count,
+            total_tuples=float(self.total),
+        )
+        catalog.put(entry)
+        return entry
 
     # ------------------------------------------------------------------
     # Updates

@@ -6,34 +6,66 @@ the structure production systems derived from this line of work (e.g. the
 most-common-value logic of DB2 and PostgreSQL): explicitly stored
 frequencies are matched exactly, and the implicit remainders are matched
 under uniformity + containment assumptions.
+
+Since the serving-layer redesign, this class is a thin scalar adapter over
+:class:`repro.serve.EstimationService`: every estimate is answered from the
+service's compiled lookup tables, so optimizer scalar calls, planner
+selectivities, and batched service probes all return bit-identical floats
+and share one compiled-table cache.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Optional
 
-from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.catalog import CatalogEntry, StatsCatalog
+from repro.serve.service import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    EstimationService,
+)
 
-#: Fallback equality-join/selection selectivity when no statistics exist —
-#: the venerable System R magic constant.
-DEFAULT_EQ_SELECTIVITY = 0.1
-
-
-def _compact_form(entry: CatalogEntry) -> Optional[CompactEndBiased]:
-    """Best compact view of an entry: stored or derived from its histogram."""
-    if entry.compact is not None:
-        return entry.compact
-    if entry.histogram is not None and entry.histogram.values is not None:
-        if entry.histogram.is_biased():
-            return CompactEndBiased.from_histogram(entry.histogram)
-    return None
+__all__ = [
+    "DEFAULT_EQ_SELECTIVITY",
+    "DEFAULT_RANGE_SELECTIVITY",
+    "CardinalityEstimator",
+]
 
 
 class CardinalityEstimator:
-    """Estimates operator output cardinalities from catalog statistics."""
+    """Estimates operator output cardinalities from catalog statistics.
 
-    def __init__(self, catalog: StatsCatalog):
+    Parameters
+    ----------
+    catalog:
+        The statistics catalog to estimate from.
+    service:
+        Optional pre-built :class:`~repro.serve.EstimationService` over the
+        same catalog (e.g. a long-lived shared instance); by default a
+        private service is created.
+    """
+
+    def __init__(
+        self,
+        catalog: StatsCatalog,
+        *,
+        service: Optional[EstimationService] = None,
+    ):
+        if not isinstance(catalog, StatsCatalog):
+            raise TypeError(
+                f"catalog must be a StatsCatalog, got {type(catalog).__name__}"
+            )
+        if service is not None and service.catalog is not catalog:
+            raise ValueError(
+                "service must be built over the same catalog it estimates from"
+            )
         self._catalog = catalog
+        self._service = service if service is not None else EstimationService(catalog)
+
+    @property
+    def service(self) -> EstimationService:
+        """The estimation service answering this estimator's probes."""
+        return self._service
 
     # ------------------------------------------------------------------
     # Base-relation and selection estimates
@@ -41,17 +73,11 @@ class CardinalityEstimator:
 
     def scan_cardinality(self, relation: str) -> float:
         """Tuple count of *relation* according to the catalog."""
-        totals = [e.total_tuples for e in self._catalog.entries() if e.relation == relation]
-        if not totals:
-            raise KeyError(f"no statistics for relation {relation!r}; run ANALYZE")
-        return max(totals)
+        return self._service.scan_cardinality(relation)
 
     def equality_selection(self, relation: str, attribute: str, value: Hashable) -> float:
         """Estimated cardinality of ``σ_{attribute = value}(relation)``."""
-        entry = self._catalog.get(relation, attribute)
-        if entry is None:
-            return self.scan_cardinality(relation) * DEFAULT_EQ_SELECTIVITY
-        return entry.estimate_frequency(value)
+        return self._service.estimate_equality(relation, attribute, value)
 
     def range_selection(
         self,
@@ -66,12 +92,7 @@ class CardinalityEstimator:
         equality selections); falls back to a 1/3 selectivity guess without
         one, mirroring System R defaults.
         """
-        entry = self._catalog.get(relation, attribute)
-        if entry is not None and entry.histogram is not None and entry.histogram.values is not None:
-            from repro.core.estimator import estimate_range_selection
-
-            return estimate_range_selection(entry.histogram, low, high)
-        return self.scan_cardinality(relation) / 3.0
+        return self._service.estimate_range(relation, attribute, low, high)
 
     # ------------------------------------------------------------------
     # Join estimates
@@ -85,74 +106,18 @@ class CardinalityEstimator:
         right_attribute: str,
     ) -> float:
         """Estimated equality-join cardinality between two base relations."""
-        left = self._catalog.get(left_relation, left_attribute)
-        right = self._catalog.get(right_relation, right_attribute)
-        if left is None or right is None:
-            rows_left = self.scan_cardinality(left_relation)
-            rows_right = self.scan_cardinality(right_relation)
-            return rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
-        return self.join_from_entries(left, right)
+        return self._service.estimate_join(
+            left_relation, left_attribute, right_relation, right_attribute
+        )
 
     def join_from_entries(self, left: CatalogEntry, right: CatalogEntry) -> float:
-        """Join estimate from two catalog entries.
+        """Join estimate from two catalog entries (see the service docstring).
 
-        Preference order of the available information:
-
-        1. **Full value-aware histograms on both sides** — sum the product
-           of per-value approximations over the intersection of the
-           recorded domains (Theorem 2.1 on the two histogram matrices).
-           Serial histograms store every value explicitly, so this is the
-           most faithful model available.
-        2. **Compact (end-biased) statistics** — explicit (value,
-           frequency) pairs plus a uniform remainder:
-
-           * explicit x explicit — exact product on shared values;
-           * explicit x remainder — an explicit value absent from the other
-             side's explicit list matches one of its remainder values under
-             containment (it contributes the remainder average);
-           * remainder x remainder — ``min(rem_left, rem_right)`` values
-             are assumed common (containment), each contributing the
-             product of the remainder averages.
-        3. **Uniform assumption** — ``|L|·|R| / max(d_L, d_R)``.
+        Preference order: full value-aware histograms (Theorem 2.1 on the
+        compiled tables), then compact end-biased statistics under the
+        containment assumption, then the System R uniform estimate.
         """
-        if (
-            left.histogram is not None
-            and left.histogram.values is not None
-            and right.histogram is not None
-            and right.histogram.values is not None
-        ):
-            from repro.core.estimator import estimate_join_size
-
-            return estimate_join_size(left.histogram, right.histogram)
-
-        left_compact = _compact_form(left)
-        right_compact = _compact_form(right)
-        if left_compact is None or right_compact is None:
-            return self._uniform_join(left, right)
-
-        total = 0.0
-        for value, freq in left_compact.explicit.items():
-            if value in right_compact.explicit:
-                total += freq * right_compact.explicit[value]
-            elif right_compact.remainder_count > 0:
-                total += freq * right_compact.remainder_average
-        for value, freq in right_compact.explicit.items():
-            if value not in left_compact.explicit and left_compact.remainder_count > 0:
-                total += freq * left_compact.remainder_average
-        common_remainder = min(
-            left_compact.remainder_count, right_compact.remainder_count
-        )
-        total += (
-            common_remainder
-            * left_compact.remainder_average
-            * right_compact.remainder_average
-        )
-        return total
-
-    def _uniform_join(self, left: CatalogEntry, right: CatalogEntry) -> float:
-        """The System R uniform estimate ``|L|·|R| / max(d_L, d_R)``."""
-        distinct = max(left.distinct_count, right.distinct_count, 1)
-        return left.total_tuples * right.total_tuples / distinct
+        return self._service.join_entries(left, right)
 
     def join_selectivity(
         self,

@@ -1,0 +1,63 @@
+"""Lightweight counters for the estimation service.
+
+A serving layer is only trustworthy when it can report what it did: how
+often compiled tables were reused versus rebuilt, how much time compilation
+cost, and how many probes were answered.  These counters are plain Python
+ints/floats — cheap enough to update on every probe — and are surfaced by
+``repro serve-stats`` and :mod:`benchmarks.bench_serve_batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class ServiceMetrics:
+    """Cumulative counters for one :class:`~repro.serve.EstimationService`."""
+
+    #: Probes answered from an already-compiled table.
+    table_hits: int = 0
+    #: Probes that had to (re)compile a table first (cold or stale).
+    table_misses: int = 0
+    #: Compiled tables discarded by the LRU bound.
+    tables_evicted: int = 0
+    #: Wall-clock seconds spent compiling lookup tables.
+    compile_seconds: float = 0.0
+    #: Individual probes answered (batch members count individually).
+    probes_served: int = 0
+    #: ``estimate_batch`` invocations.
+    batches_served: int = 0
+
+    def snapshot(self) -> "ServiceMetrics":
+        """An independent copy, for before/after comparisons."""
+        return replace(self)
+
+    def hit_rate(self) -> float:
+        """Fraction of table lookups served from cache (0 when untouched)."""
+        lookups = self.table_hits + self.table_misses
+        if lookups == 0:
+            return 0.0
+        return self.table_hits / lookups
+
+    def as_dict(self) -> dict[str, float]:
+        """Counter values keyed by field name."""
+        return {
+            "table_hits": self.table_hits,
+            "table_misses": self.table_misses,
+            "tables_evicted": self.tables_evicted,
+            "compile_seconds": self.compile_seconds,
+            "probes_served": self.probes_served,
+            "batches_served": self.batches_served,
+        }
+
+    def format(self) -> str:
+        """A human-readable multi-line rendering for CLIs."""
+        return (
+            f"compiled-table cache: {self.table_hits} hits, "
+            f"{self.table_misses} misses ({self.hit_rate():.1%} hit rate), "
+            f"{self.tables_evicted} evicted\n"
+            f"compile time: {self.compile_seconds * 1e3:.3f} ms\n"
+            f"probes served: {self.probes_served} "
+            f"in {self.batches_served} batches"
+        )

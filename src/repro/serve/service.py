@@ -1,0 +1,454 @@
+"""The batched estimation service: histograms as long-lived serving state.
+
+A production optimizer does not rebuild lookup structures per predicate —
+it compiles each catalog histogram once and answers *batches* of probes
+against the compiled state.  :class:`EstimationService` is that layer:
+
+* each (relation, attribute) entry of a :class:`~repro.engine.catalog.StatsCatalog`
+  is compiled on first touch into a :class:`~repro.serve.tables.CompiledHistogram`
+  and/or :class:`~repro.serve.tables.CompiledCompact`;
+* compiled tables live in a bounded LRU keyed by the catalog's version
+  counters, so an ``ANALYZE`` or a maintenance publish invalidates exactly
+  the stale tables;
+* :meth:`EstimationService.estimate_batch` accepts arrays of equality /
+  range / join probes and returns one numpy vector of cardinalities,
+  vectorizing each (relation, attribute) group in a single pass.
+
+Scalar convenience methods answer through the same compiled tables, so the
+batched and scalar paths return **bit-identical** floats.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Hashable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.tables import CompiledCompact, CompiledHistogram, compile_compact, compile_histogram
+from repro.util.validation import ensure_positive_int
+
+#: Fallback equality-join/selection selectivity when no statistics exist —
+#: the venerable System R magic constant.
+DEFAULT_EQ_SELECTIVITY = 0.1
+
+#: Fallback range selectivity without a value-aware histogram (System R).
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+#: Default bound on the compiled-table LRU.
+DEFAULT_MAX_TABLES = 256
+
+
+@dataclass(frozen=True)
+class EqualityProbe:
+    """One ``σ_{attribute = value}(relation)`` cardinality request."""
+
+    relation: str
+    attribute: str
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class RangeProbe:
+    """One range-selection cardinality request (``None`` bounds are open)."""
+
+    relation: str
+    attribute: str
+    low: Optional[Hashable] = None
+    high: Optional[Hashable] = None
+    include_low: bool = True
+    include_high: bool = True
+
+
+@dataclass(frozen=True)
+class JoinProbe:
+    """One two-way equality-join cardinality request."""
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+
+
+Probe = Union[EqualityProbe, RangeProbe, JoinProbe]
+
+
+@dataclass
+class _CompiledSlot:
+    """Everything the service compiled from one catalog entry."""
+
+    version: int
+    total_tuples: float
+    distinct_count: int
+    histogram_table: Optional[CompiledHistogram]
+    stored_compact: Optional[CompiledCompact]
+    join_compact: Optional[CompiledCompact]
+
+    @classmethod
+    def from_entry(cls, entry: CatalogEntry) -> "_CompiledSlot":
+        histogram_table: Optional[CompiledHistogram] = None
+        if entry.histogram is not None and entry.histogram.values is not None:
+            histogram_table = compile_histogram(entry.histogram)
+        stored_compact: Optional[CompiledCompact] = None
+        if entry.compact is not None:
+            stored_compact = compile_compact(entry.compact)
+        # Join estimation may *derive* a compact view from a biased
+        # value-aware histogram (the optimizer's MCV fallback ladder).
+        join_compact = stored_compact
+        if (
+            join_compact is None
+            and histogram_table is not None
+            and entry.histogram.is_biased()
+        ):
+            join_compact = compile_compact(
+                CompactEndBiased.from_histogram(entry.histogram)
+            )
+        return cls(
+            version=entry.version,
+            total_tuples=float(entry.total_tuples),
+            distinct_count=int(entry.distinct_count),
+            histogram_table=histogram_table,
+            stored_compact=stored_compact,
+            join_compact=join_compact,
+        )
+
+    def average_frequency(self) -> float:
+        """``T / M`` — the uniform-assumption frequency."""
+        if self.distinct_count <= 0:
+            return 0.0
+        return self.total_tuples / self.distinct_count
+
+    def frequency_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Per-value frequencies, preferring the same form the catalog does.
+
+        The preference order mirrors ``CatalogEntry.estimate_frequency``:
+        stored compact layout first, then the value-aware histogram, then
+        the uniform assumption — so service answers are bit-identical to
+        the legacy scalar path.
+        """
+        if self.stored_compact is not None:
+            return self.stored_compact.frequency_batch(values)
+        if self.histogram_table is not None:
+            return self.histogram_table.equality_batch(values)
+        return np.full(len(values), self.average_frequency(), dtype=np.float64)
+
+
+class EstimationService:
+    """Batched, cache-compiled cardinality estimation over a catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The statistics catalog to serve from.  The service holds a
+        reference (not a copy); catalog mutations are picked up through
+        the version counters.
+    max_tables:
+        LRU bound on concurrently cached compiled tables.
+    """
+
+    def __init__(self, catalog: StatsCatalog, *, max_tables: int = DEFAULT_MAX_TABLES):
+        if not isinstance(catalog, StatsCatalog):
+            raise TypeError(
+                f"catalog must be a StatsCatalog, got {type(catalog).__name__}"
+            )
+        self._catalog = catalog
+        self._max_tables = ensure_positive_int(max_tables, "max_tables")
+        self._slots: OrderedDict[tuple[str, str], _CompiledSlot] = OrderedDict()
+        self.metrics = ServiceMetrics()
+
+    # ------------------------------------------------------------------
+    # Compiled-table cache
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> StatsCatalog:
+        """The catalog this service answers from."""
+        return self._catalog
+
+    @property
+    def cached_tables(self) -> int:
+        """Number of compiled tables currently held."""
+        return len(self._slots)
+
+    def invalidate(self) -> int:
+        """Drop every compiled table; returns how many were discarded."""
+        dropped = len(self._slots)
+        self._slots.clear()
+        return dropped
+
+    def _slot_for_entry(self, entry: CatalogEntry) -> _CompiledSlot:
+        key = (entry.relation, entry.attribute)
+        slot = self._slots.get(key)
+        if slot is not None and slot.version == entry.version:
+            self.metrics.table_hits += 1
+            self._slots.move_to_end(key)
+            return slot
+        self.metrics.table_misses += 1
+        started = perf_counter()
+        slot = _CompiledSlot.from_entry(entry)
+        self.metrics.compile_seconds += perf_counter() - started
+        self._slots[key] = slot
+        self._slots.move_to_end(key)
+        while len(self._slots) > self._max_tables:
+            self._slots.popitem(last=False)
+            self.metrics.tables_evicted += 1
+        return slot
+
+    def _slot(self, relation: str, attribute: str) -> Optional[_CompiledSlot]:
+        entry = self._catalog.get(relation, attribute)
+        if entry is None:
+            return None
+        return self._slot_for_entry(entry)
+
+    # ------------------------------------------------------------------
+    # Scan and selection estimates
+    # ------------------------------------------------------------------
+
+    def scan_cardinality(self, relation: str) -> float:
+        """Tuple count of *relation* according to the catalog."""
+        totals = [
+            e.total_tuples for e in self._catalog.entries() if e.relation == relation
+        ]
+        if not totals:
+            raise KeyError(f"no statistics for relation {relation!r}; run ANALYZE")
+        return max(totals)
+
+    def estimate_equalities(
+        self, relation: str, attribute: str, values: Sequence[Hashable]
+    ) -> np.ndarray:
+        """Equality-selection cardinalities for many probe values at once."""
+        values = list(values)
+        self.metrics.probes_served += len(values)
+        if not values:
+            return np.zeros(0, dtype=np.float64)
+        slot = self._slot(relation, attribute)
+        if slot is None:
+            fallback = self.scan_cardinality(relation) * DEFAULT_EQ_SELECTIVITY
+            return np.full(len(values), fallback, dtype=np.float64)
+        return slot.frequency_batch(values)
+
+    def estimate_equality(self, relation: str, attribute: str, value: Hashable) -> float:
+        """Scalar equality-selection estimate (same floats as the batch)."""
+        return float(self.estimate_equalities(relation, attribute, [value])[0])
+
+    def estimate_membership(
+        self, relation: str, attribute: str, values: Iterable[Hashable]
+    ) -> float:
+        """Disjunctive (``IN``) selection mass over the *distinct* values."""
+        distinct = list(dict.fromkeys(values))
+        if not distinct:
+            return 0.0
+        return float(
+            np.sum(self.estimate_equalities(relation, attribute, distinct), dtype=np.float64)
+        )
+
+    def estimate_ranges(
+        self,
+        relation: str,
+        attribute: str,
+        lows: Sequence[Optional[Hashable]],
+        highs: Sequence[Optional[Hashable]],
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        """Range-selection cardinalities for many (low, high) probes.
+
+        Requires a value-aware histogram; without one every probe falls
+        back to the System R ``|R|/3`` guess.
+        """
+        lows = list(lows)
+        highs = list(highs)
+        if len(lows) != len(highs):
+            raise ValueError(
+                f"lows and highs must align, got {len(lows)} and {len(highs)}"
+            )
+        self.metrics.probes_served += len(lows)
+        if not lows:
+            return np.zeros(0, dtype=np.float64)
+        slot = self._slot(relation, attribute)
+        if slot is None or slot.histogram_table is None:
+            fallback = self.scan_cardinality(relation) * DEFAULT_RANGE_SELECTIVITY
+            return np.full(len(lows), fallback, dtype=np.float64)
+        return slot.histogram_table.range_batch(
+            lows, highs, include_low=include_low, include_high=include_high
+        )
+
+    def estimate_range(
+        self,
+        relation: str,
+        attribute: str,
+        low: Optional[Hashable] = None,
+        high: Optional[Hashable] = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> float:
+        """Scalar range-selection estimate (same floats as the batch)."""
+        return float(
+            self.estimate_ranges(
+                relation,
+                attribute,
+                [low],
+                [high],
+                include_low=include_low,
+                include_high=include_high,
+            )[0]
+        )
+
+    def estimate_not_equal(
+        self, relation: str, attribute: str, value: Hashable
+    ) -> float:
+        """``attribute ≠ value`` — complement of the equality selection."""
+        slot = self._slot(relation, attribute)
+        if slot is None:
+            rows = self.scan_cardinality(relation)
+            return rows * (1.0 - DEFAULT_EQ_SELECTIVITY)
+        return max(
+            0.0,
+            slot.total_tuples
+            - self.estimate_equality(relation, attribute, value),
+        )
+
+    # ------------------------------------------------------------------
+    # Join estimates
+    # ------------------------------------------------------------------
+
+    def estimate_join(
+        self,
+        left_relation: str,
+        left_attribute: str,
+        right_relation: str,
+        right_attribute: str,
+    ) -> float:
+        """Two-way equality-join cardinality between two base relations."""
+        self.metrics.probes_served += 1
+        left = self._catalog.get(left_relation, left_attribute)
+        right = self._catalog.get(right_relation, right_attribute)
+        if left is None or right is None:
+            rows_left = self.scan_cardinality(left_relation)
+            rows_right = self.scan_cardinality(right_relation)
+            return rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
+        return self.join_entries(left, right)
+
+    def join_entries(self, left: CatalogEntry, right: CatalogEntry) -> float:
+        """Join estimate from two catalog entries.
+
+        Preference order of the available information:
+
+        1. **Full value-aware histograms on both sides** — compiled-table
+           intersection and dot product (Theorem 2.1 on the two histogram
+           matrices).
+        2. **Compact (end-biased) statistics** — explicit matches exactly;
+           implicit remainders match under uniformity + containment.
+        3. **Uniform assumption** — ``|L|·|R| / max(d_L, d_R)``.
+        """
+        left_slot = self._slot_for_entry(left)
+        right_slot = self._slot_for_entry(right)
+        if (
+            left_slot.histogram_table is not None
+            and right_slot.histogram_table is not None
+        ):
+            return left_slot.histogram_table.join_with(right_slot.histogram_table)
+        left_compact = left_slot.join_compact
+        right_compact = right_slot.join_compact
+        if left_compact is None or right_compact is None:
+            distinct = max(left_slot.distinct_count, right_slot.distinct_count, 1)
+            return left_slot.total_tuples * right_slot.total_tuples / distinct
+        return self._join_compacts(left_compact, right_compact)
+
+    @staticmethod
+    def _join_compacts(left: CompiledCompact, right: CompiledCompact) -> float:
+        total = 0.0
+        for value, freq in left.explicit_items():
+            if right.has_explicit(value):
+                total += freq * right.frequency(value)
+            elif right.remainder_count > 0:
+                total += freq * right.remainder_average
+        for value, freq in right.explicit_items():
+            if not left.has_explicit(value) and left.remainder_count > 0:
+                total += freq * left.remainder_average
+        common_remainder = min(left.remainder_count, right.remainder_count)
+        total += common_remainder * left.remainder_average * right.remainder_average
+        return total
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+
+    def estimate_batch(self, probes: Sequence[Probe]) -> np.ndarray:
+        """Answer a heterogeneous batch of probes in one pass.
+
+        Probes are grouped by (relation, attribute) — and, for ranges, by
+        bound inclusivity — so each group is answered by one vectorized
+        sweep over its compiled table.  The result vector is aligned with
+        the input order.
+        """
+        probes = list(probes)
+        out = np.zeros(len(probes), dtype=np.float64)
+        equality_groups: dict[tuple[str, str], tuple[list[int], list[Hashable]]] = {}
+        range_groups: dict[
+            tuple[str, str, bool, bool],
+            tuple[list[int], list[Optional[Hashable]], list[Optional[Hashable]]],
+        ] = {}
+        joins: list[tuple[int, JoinProbe]] = []
+        for position, probe in enumerate(probes):
+            if isinstance(probe, EqualityProbe):
+                positions, values = equality_groups.setdefault(
+                    (probe.relation, probe.attribute), ([], [])
+                )
+                positions.append(position)
+                values.append(probe.value)
+            elif isinstance(probe, RangeProbe):
+                positions, lows, highs = range_groups.setdefault(
+                    (
+                        probe.relation,
+                        probe.attribute,
+                        probe.include_low,
+                        probe.include_high,
+                    ),
+                    ([], [], []),
+                )
+                positions.append(position)
+                lows.append(probe.low)
+                highs.append(probe.high)
+            elif isinstance(probe, JoinProbe):
+                joins.append((position, probe))
+            else:
+                raise TypeError(
+                    f"unsupported probe type {type(probe).__name__}; expected "
+                    "EqualityProbe, RangeProbe, or JoinProbe"
+                )
+        for (relation, attribute), (positions, values) in equality_groups.items():
+            out[np.asarray(positions, dtype=np.intp)] = self.estimate_equalities(
+                relation, attribute, values
+            )
+        for (
+            (relation, attribute, include_low, include_high),
+            (positions, lows, highs),
+        ) in range_groups.items():
+            out[np.asarray(positions, dtype=np.intp)] = self.estimate_ranges(
+                relation,
+                attribute,
+                lows,
+                highs,
+                include_low=include_low,
+                include_high=include_high,
+            )
+        for position, probe in joins:
+            out[position] = self.estimate_join(
+                probe.left_relation,
+                probe.left_attribute,
+                probe.right_relation,
+                probe.right_attribute,
+            )
+        self.metrics.batches_served += 1
+        return out
+
+    def stats(self) -> ServiceMetrics:
+        """A point-in-time snapshot of the service counters."""
+        return self.metrics.snapshot()

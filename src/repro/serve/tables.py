@@ -1,0 +1,471 @@
+"""Compiled histogram lookup tables: the serving-time form of a histogram.
+
+The paper's practicality argument (Section 4) is that a histogram's cost must
+be paid at *construction* time, not at *lookup* time.  The estimation helpers
+in :mod:`repro.core.estimator` historically rebuilt a ``value -> bucket
+average`` dict on every call; this module compiles each value-aware histogram
+**once** into vectorized lookup state:
+
+* ``codes`` — the domain values, sorted (a float64 array when the domain is
+  numeric, a plain sorted sequence otherwise);
+* ``approx`` — the per-value bucket-average approximations aligned with the
+  sorted order;
+* ``prefix`` — exclusive prefix sums of ``approx``, so any range selection is
+  two binary searches and one subtraction (Section 6 reduces ranges to
+  disjunctive equality selections — a contiguous slice of the sorted domain).
+
+:class:`CompiledCompact` is the analogous form for the catalog's end-biased
+layout (explicit values + implicit remainder, Section 4.1/4.2).
+
+Both the scalar estimators and the batched
+:class:`~repro.serve.service.EstimationService` answer probes from the same
+compiled state, which makes scalar and batched results bit-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.histogram import Histogram
+    from repro.engine.catalog import CompactEndBiased
+
+#: Scalar types eligible for the vectorized (``searchsorted``) fast path.
+_NUMERIC_TYPES = (int, float, np.integer, np.floating)
+
+
+def _is_numeric_domain(values: Iterable[Hashable]) -> bool:
+    """True when every value is a real number (bools excluded)."""
+    return all(
+        isinstance(v, _NUMERIC_TYPES) and not isinstance(v, bool) for v in values
+    )
+
+
+class CompiledHistogram:
+    """Vectorized lookup state compiled from one value-aware histogram.
+
+    All estimation answers derive from three aligned arrays (sorted values,
+    per-value approximations, and their prefix sums), so equality probes are
+    one binary search, range probes are two, and joins are a sorted-domain
+    intersection followed by a dot product.
+    """
+
+    __slots__ = (
+        "_by_value",
+        "_sorted_values",
+        "_codes",
+        "_approx",
+        "_prefix",
+        "_numeric",
+        "_orderable",
+    )
+
+    def __init__(self, values: Sequence[Hashable], approximations: Sequence[float]):
+        if len(values) != len(approximations):
+            raise ValueError(
+                f"values and approximations must align, got {len(values)} "
+                f"values and {len(approximations)} approximations"
+            )
+        # Last write wins on duplicate values — the semantics of the legacy
+        # per-call dict the compiled table replaces.
+        by_value: dict[Hashable, float] = {}
+        for value, approx in zip(values, approximations):
+            by_value[value] = float(approx)
+        self._by_value = by_value
+        self._numeric = _is_numeric_domain(by_value)
+        if self._numeric:
+            codes = np.asarray(list(by_value), dtype=np.float64)
+            order = np.argsort(codes, kind="stable")
+            self._codes = codes[order]
+            ordered = list(by_value.items())
+            self._sorted_values = [ordered[int(i)][0] for i in order]
+            approx_sorted = np.asarray(
+                [ordered[int(i)][1] for i in order], dtype=np.float64
+            )
+            self._orderable = True
+        else:
+            self._codes = None
+            try:
+                self._sorted_values = sorted(by_value)
+                self._orderable = True
+            except TypeError:
+                # Mixed, unorderable domain: equality and joins still work;
+                # range probes raise.
+                self._sorted_values = list(by_value)
+                self._orderable = False
+            approx_sorted = np.asarray(
+                [by_value[v] for v in self._sorted_values], dtype=np.float64
+            )
+        self._approx = approx_sorted
+        prefix = np.zeros(approx_sorted.size + 1, dtype=np.float64)
+        np.cumsum(approx_sorted, dtype=np.float64, out=prefix[1:])
+        self._prefix = prefix
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_histogram(cls, histogram: "Histogram") -> "CompiledHistogram":
+        """Compile a value-aware histogram (value -> bucket average)."""
+        if histogram.values is None:
+            raise ValueError(
+                "estimation by value requires a histogram built with domain values"
+            )
+        values: list[Hashable] = []
+        approximations: list[float] = []
+        for bucket in histogram.buckets:
+            average = bucket.average
+            for value in bucket.values:
+                values.append(value)
+                approximations.append(average)
+        return cls(values, approximations)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct domain values recorded."""
+        return len(self._by_value)
+
+    @property
+    def total(self) -> float:
+        """Sum of all per-value approximations (the approximate |R|)."""
+        return float(self._prefix[-1])
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when probes go through the vectorized float64 fast path."""
+        return self._numeric
+
+    def as_mapping(self) -> dict[Hashable, float]:
+        """A fresh ``value -> approximation`` dict (legacy-compatible view)."""
+        return dict(self._by_value)
+
+    # ------------------------------------------------------------------
+    # Equality
+    # ------------------------------------------------------------------
+
+    def equality(self, value: Hashable) -> float:
+        """Approximate frequency of one value (0 outside the domain)."""
+        try:
+            return self._by_value.get(value, 0.0)
+        except TypeError:  # unhashable probe value
+            return 0.0
+
+    def equality_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Approximate frequencies for many probe values in one pass."""
+        if self._numeric:
+            try:
+                probes = np.asarray(values, dtype=np.float64)
+            except (TypeError, ValueError):
+                probes = None
+            if probes is not None and probes.ndim == 1:
+                size = self._codes.size
+                pos = np.searchsorted(self._codes, probes)
+                clipped = np.minimum(pos, size - 1)
+                hit = (pos < size) & (self._codes[clipped] == probes)
+                return np.where(hit, self._approx[clipped], 0.0)
+        return np.asarray([self.equality(v) for v in values], dtype=np.float64)
+
+    def membership(self, values: Iterable[Hashable]) -> float:
+        """Disjunctive-equality mass of the *distinct* probe values.
+
+        Repeated probes are deduplicated (first occurrence wins the
+        position), because ``a IN (c, c)`` selects each matching tuple once.
+        """
+        distinct = list(dict.fromkeys(values))
+        if not distinct:
+            return 0.0
+        return float(np.sum(self.equality_batch(distinct), dtype=np.float64))
+
+    def not_equal(self, value: Hashable) -> float:
+        """Complement of the equality selection (Section 6)."""
+        return float(self.total - self.equality(value))
+
+    # ------------------------------------------------------------------
+    # Ranges
+    # ------------------------------------------------------------------
+
+    def _bound_indices(
+        self,
+        low: Optional[Hashable],
+        high: Optional[Hashable],
+        include_low: bool,
+        include_high: bool,
+    ) -> tuple[int, int]:
+        if not self._orderable:
+            raise ValueError(
+                "range estimation needs an orderable domain; this histogram's "
+                "values are not mutually comparable"
+            )
+        if self._numeric:
+            lo = (
+                0
+                if low is None
+                else int(
+                    np.searchsorted(
+                        self._codes, low, side="left" if include_low else "right"
+                    )
+                )
+            )
+            hi = (
+                self._codes.size
+                if high is None
+                else int(
+                    np.searchsorted(
+                        self._codes, high, side="right" if include_high else "left"
+                    )
+                )
+            )
+            return lo, hi
+        lo = (
+            0
+            if low is None
+            else (
+                bisect_left(self._sorted_values, low)
+                if include_low
+                else bisect_right(self._sorted_values, low)
+            )
+        )
+        hi = (
+            len(self._sorted_values)
+            if high is None
+            else (
+                bisect_right(self._sorted_values, high)
+                if include_high
+                else bisect_left(self._sorted_values, high)
+            )
+        )
+        return lo, hi
+
+    def range_sum(
+        self,
+        low: Optional[Hashable] = None,
+        high: Optional[Hashable] = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> float:
+        """Mass of a range selection: a prefix-sum difference."""
+        lo, hi = self._bound_indices(low, high, include_low, include_high)
+        if hi <= lo:
+            return 0.0
+        return float(self._prefix[hi] - self._prefix[lo])
+
+    def range_batch(
+        self,
+        lows: Sequence[Optional[Hashable]],
+        highs: Sequence[Optional[Hashable]],
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        """Masses of many range selections sharing one inclusivity setting."""
+        if len(lows) != len(highs):
+            raise ValueError(
+                f"lows and highs must align, got {len(lows)} and {len(highs)}"
+            )
+        if self._numeric and self._orderable:
+            try:
+                low_arr = np.asarray(
+                    [(-np.inf if v is None else v) for v in lows], dtype=np.float64
+                )
+                high_arr = np.asarray(
+                    [(np.inf if v is None else v) for v in highs], dtype=np.float64
+                )
+            except (TypeError, ValueError):
+                low_arr = None
+                high_arr = None
+            if low_arr is not None:
+                lo = np.searchsorted(
+                    self._codes, low_arr, side="left" if include_low else "right"
+                )
+                hi = np.searchsorted(
+                    self._codes, high_arr, side="right" if include_high else "left"
+                )
+                mass = self._prefix[hi] - self._prefix[lo]
+                return np.where(hi > lo, mass, 0.0)
+        return np.asarray(
+            [
+                self.range_sum(
+                    low, high, include_low=include_low, include_high=include_high
+                )
+                for low, high in zip(lows, highs)
+            ],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def join_with(self, other: "CompiledHistogram") -> float:
+        """Two-way equality-join estimate against another compiled table.
+
+        ``Σ_v f̂_left(v) · f̂_right(v)`` over the domain intersection —
+        Theorem 2.1 applied to the two histogram matrices.
+        """
+        if not isinstance(other, CompiledHistogram):
+            raise TypeError(
+                f"join_with expects a CompiledHistogram, got {type(other).__name__}"
+            )
+        if self._numeric and other._numeric:
+            _, mine, theirs = np.intersect1d(
+                self._codes, other._codes, assume_unique=True, return_indices=True
+            )
+            return float(
+                np.dot(self._approx[mine], other._approx[theirs])
+            )
+        small, big = (
+            (self, other) if self.domain_size <= other.domain_size else (other, self)
+        )
+        total = 0.0
+        for value, freq in small._by_value.items():
+            match = big._by_value.get(value)
+            if match is not None:
+                total += freq * match
+        return float(total)
+
+
+class CompiledCompact:
+    """Compiled form of the catalog's compact end-biased layout.
+
+    Mirrors :class:`repro.engine.catalog.CompactEndBiased` semantics exactly
+    — explicitly stored values answer with their exact frequency; any other
+    probe falls into the implicit remainder bucket — but answers batches of
+    probes through one vectorized pass when the domain is numeric.
+    """
+
+    __slots__ = (
+        "_explicit",
+        "_codes",
+        "_freqs",
+        "_numeric",
+        "remainder_count",
+        "remainder_average",
+    )
+
+    def __init__(
+        self,
+        explicit: dict[Hashable, float],
+        remainder_count: int,
+        remainder_average: float,
+    ):
+        if remainder_count < 0:
+            raise ValueError(
+                f"remainder_count must be non-negative, got {remainder_count}"
+            )
+        self._explicit = {value: float(freq) for value, freq in explicit.items()}
+        self.remainder_count = int(remainder_count)
+        self.remainder_average = float(remainder_average)
+        self._numeric = _is_numeric_domain(self._explicit)
+        if self._numeric and self._explicit:
+            codes = np.asarray(list(self._explicit), dtype=np.float64)
+            order = np.argsort(codes, kind="stable")
+            freqs = np.asarray(list(self._explicit.values()), dtype=np.float64)
+            self._codes = codes[order]
+            self._freqs = freqs[order]
+        else:
+            self._codes = None
+            self._freqs = None
+
+    @classmethod
+    def from_compact(cls, compact: "CompactEndBiased") -> "CompiledCompact":
+        """Compile the stored catalog form."""
+        return cls(
+            dict(compact.explicit), compact.remainder_count, compact.remainder_average
+        )
+
+    @property
+    def explicit_count(self) -> int:
+        """Number of explicitly stored values."""
+        return len(self._explicit)
+
+    @property
+    def total(self) -> float:
+        """Total tuple count represented by the compiled statistics."""
+        return float(
+            sum(self._explicit.values())
+            + self.remainder_count * self.remainder_average
+        )
+
+    def explicit_items(self) -> Iterable[tuple[Hashable, float]]:
+        """The explicit (value, frequency) pairs in storage order."""
+        return self._explicit.items()
+
+    def has_explicit(self, value: Hashable) -> bool:
+        """True when *value* is explicitly stored."""
+        return value in self._explicit
+
+    def frequency(self, value: Hashable, *, assume_in_domain: bool = True) -> float:
+        """Approximate frequency of one value (the "missing bucket" rule)."""
+        found = self._explicit.get(value)
+        if found is not None:
+            return found
+        if assume_in_domain and self.remainder_count > 0:
+            return self.remainder_average
+        return 0.0
+
+    def frequency_batch(
+        self, values: Sequence[Hashable], *, assume_in_domain: bool = True
+    ) -> np.ndarray:
+        """Approximate frequencies for many probe values in one pass."""
+        miss = (
+            self.remainder_average
+            if (assume_in_domain and self.remainder_count > 0)
+            else 0.0
+        )
+        if self._numeric and self._codes is not None:
+            try:
+                probes = np.asarray(values, dtype=np.float64)
+            except (TypeError, ValueError):
+                probes = None
+            if probes is not None and probes.ndim == 1:
+                size = self._codes.size
+                pos = np.searchsorted(self._codes, probes)
+                clipped = np.minimum(pos, size - 1)
+                hit = (pos < size) & (self._codes[clipped] == probes)
+                return np.where(hit, self._freqs[clipped], miss)
+        return np.asarray(
+            [self.frequency(v, assume_in_domain=assume_in_domain) for v in values],
+            dtype=np.float64,
+        )
+
+
+def compile_histogram(histogram: "Histogram") -> CompiledHistogram:
+    """Compile (and cache on the histogram) its vectorized lookup table.
+
+    Histograms are immutable, so the compiled table is computed once per
+    histogram and reused by every scalar estimator call and every service
+    batch that touches it.
+    """
+    from repro.core.histogram import Histogram
+
+    if not isinstance(histogram, Histogram):
+        raise TypeError(
+            f"expected a Histogram, got {type(histogram).__name__}"
+        )
+    cached = getattr(histogram, "_compiled", None)
+    if cached is not None:
+        return cached
+    compiled = CompiledHistogram.from_histogram(histogram)
+    histogram._compiled = compiled
+    return compiled
+
+
+def compile_compact(compact: "CompactEndBiased") -> CompiledCompact:
+    """Compile a catalog compact layout into its batched lookup form."""
+    from repro.engine.catalog import CompactEndBiased
+
+    if not isinstance(compact, CompactEndBiased):
+        raise TypeError(
+            f"expected a CompactEndBiased, got {type(compact).__name__}"
+        )
+    return CompiledCompact.from_compact(compact)

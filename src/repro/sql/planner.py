@@ -19,11 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.core.estimator import estimate_range_selection
 from repro.engine.catalog import CatalogEntry, StatsCatalog
 from repro.engine.relation import Relation
-from repro.optimizer.cardinality import DEFAULT_EQ_SELECTIVITY, CardinalityEstimator
+from repro.optimizer.cardinality import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    CardinalityEstimator,
+)
 from repro.optimizer.cost import CostModel
+from repro.serve.service import EstimationService
 from repro.optimizer.joinorder import JoinEdge, JoinGraph, optimal_join_order
 from repro.optimizer.plans import Plan
 from repro.sql.ast import (
@@ -35,10 +39,6 @@ from repro.sql.ast import (
     Predicate,
     SelectStatement,
 )
-
-#: Fallback selectivity for inequality predicates without usable statistics.
-DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
-
 
 class SqlPlanError(ValueError):
     """Raised when a statement cannot be planned against the database."""
@@ -171,29 +171,39 @@ def _rebind_catalog(
 
 
 def _selection_selectivity(
-    pred: Predicate, entry: Optional[CatalogEntry]
+    pred: Predicate,
+    binding: str,
+    attribute: str,
+    entry: Optional[CatalogEntry],
+    service: EstimationService,
 ) -> float:
-    """Estimated fraction of a relation's tuples satisfying *pred*."""
+    """Estimated fraction of a relation's tuples satisfying *pred*.
+
+    All frequency/range masses are answered by the estimation *service* —
+    one compiled lookup table per (binding, attribute), shared with the
+    join orderer — rather than per-call histogram walks.  ``IN`` lists are
+    answered as one deduplicated batch probe.
+    """
     if entry is None or entry.total_tuples <= 0:
         if isinstance(pred, Comparison) and pred.operator == "=":
             return DEFAULT_EQ_SELECTIVITY
         return DEFAULT_RANGE_SELECTIVITY
     total = entry.total_tuples
-    histogram = entry.histogram if (
-        entry.histogram is not None and entry.histogram.values is not None
-    ) else None
-
-    def frequency(value) -> float:
-        return entry.estimate_frequency(value)
+    has_histogram = entry.histogram is not None and entry.histogram.values is not None
 
     if isinstance(pred, Comparison):
         assert isinstance(pred.right, Literal)
         value = pred.right.value
         if pred.operator == "=":
-            return min(1.0, frequency(value) / total)
+            return min(
+                1.0, service.estimate_equality(binding, attribute, value) / total
+            )
         if pred.operator in ("<>", "!="):
-            return max(0.0, 1.0 - frequency(value) / total)
-        if histogram is None:
+            return max(
+                0.0,
+                1.0 - service.estimate_equality(binding, attribute, value) / total,
+            )
+        if not has_histogram:
             return DEFAULT_RANGE_SELECTIVITY
         bounds = {
             "<": dict(high=value, include_high=False),
@@ -201,16 +211,19 @@ def _selection_selectivity(
             ">": dict(low=value, include_low=False),
             ">=": dict(low=value, include_low=True),
         }[pred.operator]
-        return min(1.0, estimate_range_selection(histogram, **bounds) / total)
+        mass = service.estimate_range(binding, attribute, **bounds)
+        return min(1.0, mass / total)
     if isinstance(pred, InPredicate):
-        mass = sum(frequency(v.value) for v in pred.values)
+        mass = service.estimate_membership(
+            binding, attribute, [v.value for v in pred.values]
+        )
         fraction = min(1.0, mass / total)
         return max(0.0, 1.0 - fraction) if pred.negated else fraction
     if isinstance(pred, BetweenPredicate):
-        if histogram is None:
+        if not has_histogram:
             return DEFAULT_RANGE_SELECTIVITY
-        mass = estimate_range_selection(
-            histogram, low=pred.low.value, high=pred.high.value
+        mass = service.estimate_range(
+            binding, attribute, pred.low.value, pred.high.value
         )
         return min(1.0, mass / total)
     raise SqlPlanError(f"unsupported predicate {pred!r}")
@@ -295,6 +308,7 @@ def plan_query(
 
     rebound = _rebind_catalog(catalog, bindings, base_names)
     estimator = CardinalityEstimator(rebound)
+    service = estimator.service
 
     selectivities: dict[str, float] = {}
     for binding, preds in selections.items():
@@ -313,7 +327,9 @@ def plan_query(
                 pred.left.column if isinstance(pred, Comparison) else pred.column.column
             )
             entry = rebound.get(binding, attribute)
-            selectivity *= _selection_selectivity(pred, entry)
+            selectivity *= _selection_selectivity(
+                pred, binding, attribute, entry, service
+            )
         selectivities[binding] = selectivity
 
     join_plan: Optional[Plan] = None

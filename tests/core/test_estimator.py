@@ -5,12 +5,20 @@ import pytest
 
 from repro.core.biased import v_opt_bias_hist
 from repro.core.estimator import (
+    EstimateOptions,
+    approximate_chain,
     approximate_chain_matrices,
+    estimate_chain,
     estimate_chain_size,
+    estimate_equality,
     estimate_equality_selection,
     estimate_in_selection,
+    estimate_join,
     estimate_join_size,
+    estimate_membership,
+    estimate_not_equal,
     estimate_not_equals,
+    estimate_range,
     estimate_range_selection,
     estimate_self_join,
     relative_error,
@@ -29,46 +37,47 @@ def value_aware_hist(values, freqs, beta):
 class TestSelectionEstimates:
     def test_equality_explicit_value_is_exact(self):
         hist = value_aware_hist(["a", "b", "c", "d"], [50.0, 10.0, 9.0, 8.0], 2)
-        assert estimate_equality_selection(hist, "a") == 50.0
+        assert estimate_equality(hist, "a") == 50.0
 
     def test_equality_bucketed_value_uses_average(self):
         hist = value_aware_hist(["a", "b", "c", "d"], [50.0, 10.0, 9.0, 8.0], 2)
-        assert estimate_equality_selection(hist, "c") == pytest.approx(9.0)
+        assert estimate_equality(hist, "c") == pytest.approx(9.0)
 
     def test_equality_unknown_value_zero(self):
         hist = value_aware_hist(["a", "b"], [5.0, 3.0], 2)
-        assert estimate_equality_selection(hist, "zzz") == 0.0
+        assert estimate_equality(hist, "zzz") == 0.0
 
-    def test_in_selection_sums(self):
+    def test_membership_sums(self):
         hist = value_aware_hist(["a", "b", "c"], [6.0, 3.0, 1.0], 3)
-        assert estimate_in_selection(hist, ["a", "c"]) == pytest.approx(7.0)
+        assert estimate_membership(hist, ["a", "c"]) == pytest.approx(7.0)
 
-    def test_in_selection_deduplicates(self):
+    def test_membership_deduplicates(self):
         hist = value_aware_hist(["a", "b"], [6.0, 3.0], 2)
-        assert estimate_in_selection(hist, ["a", "a"]) == 6.0
+        assert estimate_membership(hist, ["a", "a"]) == 6.0
 
-    def test_not_equals_is_complement(self):
+    def test_not_equal_is_complement(self):
         dist = AttributeDistribution(["a", "b", "c"], [6.0, 3.0, 1.0])
         hist = trivial_histogram(dist)
         total_approx = hist.approximate_frequencies().sum()
-        assert estimate_not_equals(hist, "a") == pytest.approx(
+        assert estimate_not_equal(hist, "a") == pytest.approx(
             total_approx - hist.approx_of_value("a")
         )
 
-    def test_range_selection(self):
+    def test_range(self):
         hist = value_aware_hist([1, 2, 3, 4, 5], [10.0, 8.0, 6.0, 4.0, 2.0], 5)
-        assert estimate_range_selection(hist, low=2, high=4) == pytest.approx(8 + 6 + 4)
+        assert estimate_range(hist, low=2, high=4) == pytest.approx(8 + 6 + 4)
 
     def test_range_exclusive_bounds(self):
         hist = value_aware_hist([1, 2, 3], [5.0, 3.0, 1.0], 3)
-        assert estimate_range_selection(
-            hist, low=1, high=3, include_low=False, include_high=False
+        options = EstimateOptions(include_low=False, include_high=False)
+        assert estimate_range(
+            hist, low=1, high=3, options=options
         ) == pytest.approx(3.0)
 
     def test_range_open_ended(self):
         hist = value_aware_hist([1, 2, 3], [5.0, 3.0, 1.0], 3)
-        assert estimate_range_selection(hist, low=2) == pytest.approx(4.0)
-        assert estimate_range_selection(hist, high=2) == pytest.approx(8.0)
+        assert estimate_range(hist, low=2) == pytest.approx(4.0)
+        assert estimate_range(hist, high=2) == pytest.approx(8.0)
 
     def test_range_exact_with_perfect_histogram(self):
         """Section 6: with all values exact, range estimates are exact."""
@@ -77,12 +86,12 @@ class TestSelectionEstimates:
         hist = Histogram.from_sorted_sizes(freqs, (1,) * 10, values=values)
         dist = hist.approximate_distribution()
         expected = sum(dist.frequency_of(v) for v in values if 3 <= v <= 7)
-        assert estimate_range_selection(hist, 3, 7) == pytest.approx(expected)
+        assert estimate_range(hist, 3, 7) == pytest.approx(expected)
 
     def test_requires_values(self, zipf_small):
         hist = Histogram.single_bucket(zipf_small)
         with pytest.raises(ValueError, match="requires a histogram"):
-            estimate_equality_selection(hist, "a")
+            estimate_equality(hist, "a")
 
 
 class TestJoinEstimates:
@@ -93,12 +102,12 @@ class TestJoinEstimates:
         h0 = Histogram.from_sorted_sizes(f0, (1, 1, 1), values=values)
         h1 = Histogram.from_sorted_sizes(f1, (1, 1, 1), values=values)
         # from_sorted_sizes keeps reference order, so values align to freqs.
-        assert estimate_join_size(h0, h1) == pytest.approx(5 * 2 + 3 * 4 + 1 * 6)
+        assert estimate_join(h0, h1) == pytest.approx(5 * 2 + 3 * 4 + 1 * 6)
 
     def test_disjoint_domains_estimate_zero(self):
         h0 = value_aware_hist(["a"], [5.0], 1)
         h1 = value_aware_hist(["b"], [5.0], 1)
-        assert estimate_join_size(h0, h1) == 0.0
+        assert estimate_join(h0, h1) == 0.0
 
     def test_symmetry(self):
         values = list(range(6))
@@ -106,7 +115,7 @@ class TestJoinEstimates:
         f1 = zipf_frequencies(40, 6, 0.5)
         h0 = v_opt_bias_hist(f0, 3, values=values)
         h1 = v_opt_bias_hist(f1, 2, values=values)
-        assert estimate_join_size(h0, h1) == pytest.approx(estimate_join_size(h1, h0))
+        assert estimate_join(h0, h1) == pytest.approx(estimate_join(h1, h0))
 
     def test_self_join_formula(self, zipf_small):
         hist = v_opt_bias_hist(zipf_small, 4)
@@ -133,25 +142,25 @@ class TestChainEstimates:
             Histogram.from_sorted_sizes(s, (1,) * s.size) for s in sets
         ]
         exact = chain_result_size(matrices)
-        assert estimate_chain_size(matrices, histograms) == pytest.approx(exact)
+        assert estimate_chain(histograms, matrices) == pytest.approx(exact)
 
     def test_trivial_histograms_chain(self, rng):
         sets, matrices = self._chain_setup(rng)
         histograms = [Histogram.single_bucket(s) for s in sets]
-        estimate = estimate_chain_size(matrices, histograms)
+        estimate = estimate_chain(histograms, matrices)
         # Uniform approximation of every relation: product of T/M based sums.
         assert estimate > 0
 
     def test_approximate_matrices_shapes(self, rng):
         sets, matrices = self._chain_setup(rng)
         histograms = [Histogram.single_bucket(s) for s in sets]
-        approx = approximate_chain_matrices(matrices, histograms)
+        approx = approximate_chain(histograms, matrices)
         assert [a.shape for a in approx] == [(1, 5), (5, 5), (5, 1)]
 
     def test_count_mismatch_rejected(self, rng):
         sets, matrices = self._chain_setup(rng)
         with pytest.raises(ValueError, match="histograms"):
-            estimate_chain_size(matrices, [Histogram.single_bucket(sets[0])])
+            estimate_chain([Histogram.single_bucket(sets[0])], matrices)
 
 
 class TestRelativeError:
@@ -169,3 +178,56 @@ class TestRelativeError:
 
     def test_exact_match(self):
         assert relative_error(7.0, 7.0) == 0.0
+
+
+class TestDeprecatedShims:
+    """The pre-1.1 spellings warn but still forward to the canonical paths."""
+
+    @pytest.fixture
+    def hist(self):
+        return value_aware_hist([1, 2, 3, 4, 5], [10.0, 8.0, 6.0, 4.0, 2.0], 5)
+
+    def test_equality_selection_warns_and_matches(self, hist):
+        with pytest.warns(DeprecationWarning, match="estimate_equality"):
+            legacy = estimate_equality_selection(hist, 2)
+        assert legacy == estimate_equality(hist, 2)
+
+    def test_in_selection_warns_and_matches(self, hist):
+        with pytest.warns(DeprecationWarning, match="estimate_membership"):
+            legacy = estimate_in_selection(hist, [1, 3, 3])
+        assert legacy == estimate_membership(hist, [1, 3, 3])
+
+    def test_not_equals_warns_and_matches(self, hist):
+        with pytest.warns(DeprecationWarning, match="estimate_not_equal"):
+            legacy = estimate_not_equals(hist, 1)
+        assert legacy == estimate_not_equal(hist, 1)
+
+    def test_range_selection_warns_and_maps_bounds(self, hist):
+        with pytest.warns(DeprecationWarning, match="estimate_range"):
+            legacy = estimate_range_selection(
+                hist, low=1, high=4, include_low=False, include_high=False
+            )
+        options = EstimateOptions(include_low=False, include_high=False)
+        assert legacy == estimate_range(hist, 1, 4, options=options)
+
+    def test_join_size_warns_and_matches(self, hist):
+        other = value_aware_hist([1, 2, 3], [3.0, 2.0, 1.0], 3)
+        with pytest.warns(DeprecationWarning, match="estimate_join"):
+            legacy = estimate_join_size(hist, other)
+        assert legacy == estimate_join(hist, other)
+
+    def test_chain_shims_flip_argument_order(self, rng):
+        sets = [zipf_frequencies(100, 5, 1.0), zipf_frequencies(100, 5, 2.0)]
+        matrices = [
+            arrange_frequency_set(sets[0], (1, 5), rng),
+            arrange_frequency_set(sets[1], (5, 1), rng),
+        ]
+        histograms = [Histogram.single_bucket(s) for s in sets]
+        with pytest.warns(DeprecationWarning, match="estimate_chain"):
+            legacy = estimate_chain_size(matrices, histograms)
+        assert legacy == estimate_chain(histograms, matrices)
+        with pytest.warns(DeprecationWarning, match="approximate_chain"):
+            legacy_matrices = approximate_chain_matrices(matrices, histograms)
+        fresh = approximate_chain(histograms, matrices)
+        for a, b in zip(legacy_matrices, fresh):
+            np.testing.assert_array_equal(a, b)

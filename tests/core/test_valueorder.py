@@ -74,13 +74,13 @@ class TestVOptimalValueHistogram:
         assert value == pytest.approx(serial)
 
     def test_range_estimates_with_boundaries(self, shuffled_zipf):
-        from repro.core.estimator import estimate_range_selection
+        from repro.core.estimator import estimate_range
 
         hist = v_optimal_value_histogram(shuffled_zipf, 8)
         truth = sum(
             shuffled_zipf.frequency_of(v) for v in range(10, 30)
         )
-        estimate = estimate_range_selection(hist, low=10, high=29)
+        estimate = estimate_range(hist, low=10, high=29)
         assert estimate == pytest.approx(truth, rel=0.35)
 
     def test_too_many_buckets_rejected(self, shuffled_zipf):

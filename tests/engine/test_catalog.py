@@ -30,13 +30,19 @@ class TestCompactEndBiased:
 
     def test_estimate_explicit(self, skewed_histogram):
         compact = CompactEndBiased.from_histogram(skewed_histogram)
-        assert compact.estimate("a") == 100.0
+        assert compact.estimate_frequency("a") == 100.0
 
     def test_estimate_missing_bucket_rule(self, skewed_histogram):
         compact = CompactEndBiased.from_histogram(skewed_histogram)
-        assert compact.estimate("c") == pytest.approx(3.5)
-        assert compact.estimate("never-seen") == pytest.approx(3.5)
-        assert compact.estimate("never-seen", assume_in_domain=False) == 0.0
+        assert compact.estimate_frequency("c") == pytest.approx(3.5)
+        assert compact.estimate_frequency("never-seen") == pytest.approx(3.5)
+        assert compact.estimate_frequency("never-seen", assume_in_domain=False) == 0.0
+
+    def test_estimate_shim_warns_and_forwards(self, skewed_histogram):
+        compact = CompactEndBiased.from_histogram(skewed_histogram)
+        with pytest.warns(DeprecationWarning, match="estimate_frequency"):
+            legacy = compact.estimate("a")
+        assert legacy == compact.estimate_frequency("a")
 
     def test_requires_values(self):
         hist = v_opt_bias_hist([5.0, 1.0], 2)
@@ -99,6 +105,33 @@ class TestStatsCatalog:
         assert first.version == 1
         second = catalog.put(self._entry())
         assert second.version == 2
+
+    def test_global_version_bumps_on_put(self):
+        catalog = StatsCatalog()
+        assert catalog.version == 0
+        catalog.put(self._entry())
+        assert catalog.version == 1
+        catalog.put(self._entry("S", "b"))
+        assert catalog.version == 2
+
+    def test_versions_survive_drop_and_recreate(self):
+        # A re-created entry must not reuse an old version number, or a
+        # compiled-table cache keyed on versions would serve stale state.
+        catalog = StatsCatalog()
+        first = catalog.put(self._entry())
+        catalog.drop("R", "a")
+        second = catalog.put(self._entry())
+        assert second.version > first.version
+
+    def test_global_version_bumps_only_on_effective_drop(self):
+        catalog = StatsCatalog()
+        catalog.put(self._entry())
+        before = catalog.version
+        catalog.drop("R", "a")
+        assert catalog.version == before + 1
+        # Dropping something absent is a no-op on the version counter.
+        catalog.drop("R", "a")
+        assert catalog.version == before + 1
 
     def test_require(self):
         catalog = StatsCatalog()

@@ -112,4 +112,4 @@ class TestSampledEndBiased:
         compact = sampled_end_biased_histogram(column, 6, len(column), 50)
         # A mid-tail value estimates to the remainder average, within 3x.
         truth = float(freqs[25])
-        assert compact.estimate(25) == pytest.approx(truth, rel=3.0)
+        assert compact.estimate_frequency(25) == pytest.approx(truth, rel=3.0)

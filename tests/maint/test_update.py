@@ -160,6 +160,40 @@ class TestRebuildPolicy:
         assert fresh_error <= stale_error
 
 
+class TestPublish:
+    def test_publish_creates_catalog_entry(self, distribution, maintained):
+        from repro.engine.catalog import StatsCatalog
+
+        catalog = StatsCatalog()
+        entry = maintained.publish(catalog, "R", "a")
+        assert catalog.get("R", "a") is entry
+        assert entry.kind == "maintained-end-biased"
+        assert entry.total_tuples == pytest.approx(maintained.total)
+        assert entry.distinct_count == maintained.distinct_count
+        top = max(distribution.values, key=distribution.frequency_of)
+        assert entry.estimate_frequency(top) == pytest.approx(
+            maintained.estimate(top)
+        )
+
+    def test_publish_invalidates_service_tables(self, maintained):
+        from repro.engine.catalog import StatsCatalog
+        from repro.serve import EstimationService
+
+        catalog = StatsCatalog()
+        maintained.publish(catalog, "R", "a")
+        service = EstimationService(catalog)
+        before = service.estimate_equality("R", "a", 0)
+        assert service.stats().table_misses == 1
+
+        for _ in range(50):
+            maintained.insert(0)
+        maintained.publish(catalog, "R", "a")
+        after = service.estimate_equality("R", "a", 0)
+        # The republished snapshot forced a recompile and a fresh answer.
+        assert service.stats().table_misses == 2
+        assert after == pytest.approx(before + 50)
+
+
 class TestCounterOnlyMode:
     def test_unknown_values_assumed_in_domain(self, distribution):
         maintained = MaintainedEndBiased(distribution, 6, track_values=False)

@@ -76,8 +76,12 @@ class TestJoinEstimates:
         left, right, catalog, estimator = analyzed
         truth = hash_join(left, right, "k", "k").cardinality
         with_hist = estimator.join_cardinality("L", "k", "R", "k")
-        uniform = estimator._uniform_join(
-            catalog.require("L", "k"), catalog.require("R", "k")
+        left_entry = catalog.require("L", "k")
+        right_entry = catalog.require("R", "k")
+        uniform = (
+            left_entry.total_tuples
+            * right_entry.total_tuples
+            / max(left_entry.distinct_count, right_entry.distinct_count, 1)
         )
         assert abs(with_hist - truth) < abs(uniform - truth)
 

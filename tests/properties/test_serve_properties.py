@@ -1,0 +1,208 @@
+"""Property-based tests: batched service answers == scalar answers, bitwise.
+
+The serving layer's core guarantee is that ``estimate_batch`` is not an
+approximation of the scalar paths — both answer from the same compiled
+tables, so every float must be *identical*, across histogram kinds
+(serial, end-biased) and compact catalog layouts, and across equality,
+range, and join probes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.relation import Relation
+from repro.serve import (
+    EqualityProbe,
+    EstimationService,
+    JoinProbe,
+    RangeProbe,
+)
+
+KINDS = ("serial", "end-biased")
+
+
+@st.composite
+def analyzed_catalog(draw):
+    """Two analyzed single-column relations plus the catalog over them."""
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    domain = draw(st.integers(min_value=1, max_value=12))
+    rows_r = draw(st.integers(min_value=1, max_value=80))
+    rows_s = draw(st.integers(min_value=1, max_value=80))
+    kind_r = draw(st.sampled_from(KINDS))
+    kind_s = draw(st.sampled_from(KINDS))
+    buckets = draw(st.integers(min_value=1, max_value=6))
+    gen = np.random.default_rng(seed)
+    catalog = StatsCatalog()
+    r = Relation.from_columns(
+        "R", {"a": [int(x) for x in gen.integers(0, domain, rows_r)]}
+    )
+    s = Relation.from_columns(
+        "S", {"a": [int(x) for x in gen.integers(0, domain, rows_s)]}
+    )
+    analyze_relation(r, "a", catalog, kind=kind_r, buckets=buckets)
+    analyze_relation(s, "a", catalog, kind=kind_s, buckets=buckets)
+    return catalog, domain
+
+
+@st.composite
+def compact_catalog(draw):
+    """A catalog whose entries carry only compact end-biased statistics."""
+    explicit_size = draw(st.integers(min_value=0, max_value=5))
+    explicit = {
+        value: float(draw(st.integers(min_value=1, max_value=50)))
+        for value in range(explicit_size)
+    }
+    remainder_count = draw(st.integers(min_value=0, max_value=10))
+    remainder_average = float(draw(st.integers(min_value=0, max_value=9)))
+    compact = CompactEndBiased(
+        explicit=explicit,
+        remainder_count=remainder_count,
+        remainder_average=remainder_average,
+    )
+    total = sum(explicit.values()) + remainder_count * remainder_average
+    catalog = StatsCatalog()
+    catalog.put(
+        CatalogEntry(
+            relation="R",
+            attribute="a",
+            kind="sampled",
+            histogram=None,
+            compact=compact,
+            distinct_count=explicit_size + remainder_count,
+            total_tuples=float(total),
+        )
+    )
+    return catalog
+
+
+class TestBatchScalarEquivalence:
+    @given(analyzed_catalog(), st.lists(st.integers(-2, 13), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_equality_probes_bit_identical(self, case, values):
+        catalog, _ = case
+        service = EstimationService(catalog)
+        probes = [EqualityProbe("R", "a", v) for v in values]
+        batch = service.estimate_batch(probes)
+        scalar = np.asarray(
+            [service.estimate_equality("R", "a", v) for v in values]
+        )
+        assert np.array_equal(batch, scalar)
+
+    @given(
+        analyzed_catalog(),
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-2, 13)),
+                st.one_of(st.none(), st.integers(-2, 13)),
+                st.booleans(),
+                st.booleans(),
+            ),
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_probes_bit_identical(self, case, bounds):
+        catalog, _ = case
+        service = EstimationService(catalog)
+        probes = [
+            RangeProbe("R", "a", low, high, include_low=il, include_high=ih)
+            for low, high, il, ih in bounds
+        ]
+        batch = service.estimate_batch(probes)
+        scalar = np.asarray(
+            [
+                service.estimate_range(
+                    "R", "a", low, high, include_low=il, include_high=ih
+                )
+                for low, high, il, ih in bounds
+            ]
+        )
+        assert np.array_equal(batch, scalar)
+
+    @given(analyzed_catalog())
+    @settings(max_examples=40, deadline=None)
+    def test_join_probes_bit_identical(self, case):
+        catalog, _ = case
+        service = EstimationService(catalog)
+        probes = [
+            JoinProbe("R", "a", "S", "a"),
+            JoinProbe("S", "a", "R", "a"),
+            JoinProbe("R", "a", "R", "a"),
+        ]
+        batch = service.estimate_batch(probes)
+        scalar = np.asarray(
+            [
+                service.estimate_join("R", "a", "S", "a"),
+                service.estimate_join("S", "a", "R", "a"),
+                service.estimate_join("R", "a", "R", "a"),
+            ]
+        )
+        assert np.array_equal(batch, scalar)
+
+    @given(analyzed_catalog(), st.lists(st.integers(-2, 13), max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_batch_bit_identical(self, case, values):
+        catalog, _ = case
+        service = EstimationService(catalog)
+        probes = []
+        expected = []
+        for index, value in enumerate(values):
+            if index % 3 == 0:
+                probes.append(EqualityProbe("S", "a", value))
+                expected.append(service.estimate_equality("S", "a", value))
+            elif index % 3 == 1:
+                probes.append(RangeProbe("R", "a", value, value + 3))
+                expected.append(service.estimate_range("R", "a", value, value + 3))
+            else:
+                probes.append(JoinProbe("R", "a", "S", "a"))
+                expected.append(service.estimate_join("R", "a", "S", "a"))
+        batch = service.estimate_batch(probes)
+        assert np.array_equal(batch, np.asarray(expected))
+
+    @given(compact_catalog(), st.lists(st.integers(-2, 20), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_compact_entries_bit_identical(self, catalog, values):
+        service = EstimationService(catalog)
+        probes = [EqualityProbe("R", "a", v) for v in values]
+        batch = service.estimate_batch(probes)
+        scalar = np.asarray(
+            [service.estimate_equality("R", "a", v) for v in values]
+        )
+        assert np.array_equal(batch, scalar)
+
+
+class TestCacheStability:
+    @given(analyzed_catalog(), st.lists(st.integers(-2, 13), max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_repeated_batches_answer_identically_without_recompiles(
+        self, case, values
+    ):
+        catalog, _ = case
+        service = EstimationService(catalog)
+        probes = [EqualityProbe("R", "a", v) for v in values] + [
+            RangeProbe("R", "a", 1, 5)
+        ]
+        first = service.estimate_batch(probes)
+        misses = service.stats().table_misses
+        for _ in range(3):
+            again = service.estimate_batch(probes)
+            assert np.array_equal(first, again)
+        assert service.stats().table_misses == misses
+
+    @given(analyzed_catalog())
+    @settings(max_examples=25, deadline=None)
+    def test_reanalyze_bumps_version_and_recompiles(self, case):
+        catalog, domain = case
+        service = EstimationService(catalog)
+        service.estimate_equality("R", "a", 0)
+        misses = service.stats().table_misses
+        version = catalog.version
+        fresh = Relation.from_columns("R", {"a": [0] * 7})
+        analyze_relation(fresh, "a", catalog, kind="end-biased", buckets=1)
+        assert catalog.version > version
+        assert service.estimate_equality("R", "a", 0) == pytest.approx(7.0)
+        assert service.stats().table_misses == misses + 1

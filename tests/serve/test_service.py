@@ -1,0 +1,221 @@
+"""Tests for repro.serve.service — the batched estimation service."""
+
+import numpy as np
+import pytest
+
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import CatalogEntry, StatsCatalog
+from repro.engine.relation import Relation
+from repro.serve import (
+    EqualityProbe,
+    EstimationService,
+    JoinProbe,
+    RangeProbe,
+)
+
+
+@pytest.fixture
+def catalog(rng):
+    catalog = StatsCatalog()
+    r = Relation.from_columns(
+        "R", {"a": [1] * 40 + [2] * 25 + [3] * 20 + [4] * 10 + [5] * 5}
+    )
+    s = Relation.from_columns("S", {"a": [1] * 10 + [2] * 10 + [3] * 10})
+    analyze_relation(r, "a", catalog, kind="serial", buckets=3)
+    analyze_relation(s, "a", catalog, kind="end-biased", buckets=2)
+    return catalog
+
+
+@pytest.fixture
+def service(catalog):
+    return EstimationService(catalog)
+
+
+class TestConstruction:
+    def test_requires_catalog(self):
+        with pytest.raises(TypeError, match="StatsCatalog"):
+            EstimationService({"not": "a catalog"})
+
+    def test_max_tables_validated(self, catalog):
+        with pytest.raises(ValueError):
+            EstimationService(catalog, max_tables=0)
+
+
+class TestScalarEstimates:
+    def test_scan_cardinality(self, service):
+        assert service.scan_cardinality("R") == 100.0
+
+    def test_scan_unknown_relation(self, service):
+        with pytest.raises(KeyError, match="ANALYZE"):
+            service.scan_cardinality("ZZZ")
+
+    def test_equality_without_statistics_uses_magic_constant(self, service):
+        # Attribute unseen by ANALYZE but relation known: System R 0.1.
+        estimate = service.estimate_equality("R", "zzz", 1)
+        assert estimate == pytest.approx(100.0 * 0.1)
+
+    def test_range_mass_partitioned(self, service):
+        below = service.estimate_range("R", "a", None, 2)
+        above = service.estimate_range("R", "a", 2, None, include_low=False)
+        total = service.estimate_range("R", "a")
+        assert below + above == pytest.approx(total)
+
+    def test_not_equal_complement(self, service):
+        eq = service.estimate_equality("R", "a", 1)
+        ne = service.estimate_not_equal("R", "a", 1)
+        total = service.estimate_range("R", "a")
+        assert eq + ne == pytest.approx(total)
+
+    def test_membership_dedup(self, service):
+        single = service.estimate_membership("R", "a", [1])
+        repeated = service.estimate_membership("R", "a", [1, 1, 1])
+        assert repeated == single
+
+    def test_join_symmetric(self, service):
+        forward = service.estimate_join("R", "a", "S", "a")
+        backward = service.estimate_join("S", "a", "R", "a")
+        assert forward == pytest.approx(backward)
+        assert forward > 0
+
+
+class TestBatchInterface:
+    def test_batch_matches_scalars_bitwise(self, service):
+        probes = [
+            EqualityProbe("R", "a", 1),
+            RangeProbe("R", "a", 2, 4),
+            EqualityProbe("S", "a", 3),
+            JoinProbe("R", "a", "S", "a"),
+            RangeProbe("S", "a", None, 2, include_high=False),
+            EqualityProbe("R", "a", 99),
+        ]
+        batch = service.estimate_batch(probes)
+        scalar = np.asarray(
+            [
+                service.estimate_equality("R", "a", 1),
+                service.estimate_range("R", "a", 2, 4),
+                service.estimate_equality("S", "a", 3),
+                service.estimate_join("R", "a", "S", "a"),
+                service.estimate_range("S", "a", None, 2, include_high=False),
+                service.estimate_equality("R", "a", 99),
+            ]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_empty_batch(self, service):
+        out = service.estimate_batch([])
+        assert out.shape == (0,)
+
+    def test_unknown_probe_type_rejected(self, service):
+        with pytest.raises(TypeError, match="probe"):
+            service.estimate_batch(["not a probe"])
+
+    def test_batch_counts_metrics(self, service):
+        service.estimate_batch([EqualityProbe("R", "a", 1)] * 5)
+        stats = service.stats()
+        assert stats.batches_served == 1
+        assert stats.probes_served == 5
+
+
+class TestCacheInvalidation:
+    def test_repeat_probes_hit_cache(self, service):
+        service.estimate_equality("R", "a", 1)
+        service.estimate_equality("R", "a", 2)
+        service.estimate_equality("R", "a", 3)
+        stats = service.stats()
+        assert stats.table_misses == 1
+        assert stats.table_hits == 2
+
+    def test_flat_misses_on_repeated_batches(self, service):
+        probes = [EqualityProbe("R", "a", v) for v in range(5)]
+        service.estimate_batch(probes)
+        misses_after_first = service.stats().table_misses
+        for _ in range(10):
+            service.estimate_batch(probes)
+        assert service.stats().table_misses == misses_after_first
+
+    def test_analyze_invalidates(self, catalog, service, rng):
+        before = service.estimate_equality("R", "a", 1)
+        bigger = Relation.from_columns("R", {"a": [1] * 80 + [2] * 20})
+        analyze_relation(bigger, "a", catalog, kind="serial", buckets=2)
+        after = service.estimate_equality("R", "a", 1)
+        assert service.stats().table_misses == 2
+        assert after != before
+        assert after == pytest.approx(80.0)
+
+    def test_drop_removes_statistics(self, catalog, service):
+        service.estimate_equality("R", "a", 1)
+        catalog.drop("R")
+        # The cached table must not answer for a dropped relation.
+        with pytest.raises(KeyError, match="ANALYZE"):
+            service.estimate_equality("R", "a", 1)
+
+    def test_lru_eviction(self, rng):
+        catalog = StatsCatalog()
+        for index in range(4):
+            rel = Relation.from_columns(f"R{index}", {"a": [1, 2, 3]})
+            analyze_relation(rel, "a", catalog, kind="end-biased", buckets=2)
+        service = EstimationService(catalog, max_tables=2)
+        for index in range(4):
+            service.estimate_equality(f"R{index}", "a", 1)
+        assert service.cached_tables == 2
+        assert service.stats().tables_evicted == 2
+
+    def test_invalidate_clears(self, service):
+        service.estimate_equality("R", "a", 1)
+        assert service.cached_tables == 1
+        assert service.invalidate() == 1
+        assert service.cached_tables == 0
+
+    def test_version_property_monotonic(self, catalog):
+        start = catalog.version
+        entry = catalog.get("R", "a")
+        catalog.put(
+            CatalogEntry(
+                relation="R",
+                attribute="a",
+                kind=entry.kind,
+                histogram=entry.histogram,
+                compact=entry.compact,
+                distinct_count=entry.distinct_count,
+                total_tuples=entry.total_tuples,
+            )
+        )
+        assert catalog.version == start + 1
+
+
+class TestFallbackLadder:
+    def test_compact_only_entry(self):
+        from repro.engine.catalog import CompactEndBiased
+
+        catalog = StatsCatalog()
+        compact = CompactEndBiased(
+            explicit={1: 40.0}, remainder_count=3, remainder_average=5.0
+        )
+        catalog.put(
+            CatalogEntry("R", "a", "sampled", None, compact, 4, 55.0)
+        )
+        service = EstimationService(catalog)
+        assert service.estimate_equality("R", "a", 1) == 40.0
+        assert service.estimate_equality("R", "a", 7) == 5.0
+
+    def test_statistics_free_entry_uniform(self):
+        catalog = StatsCatalog()
+        catalog.put(CatalogEntry("R", "a", "none", None, None, 10, 200.0))
+        service = EstimationService(catalog)
+        assert service.estimate_equality("R", "a", 1) == pytest.approx(20.0)
+
+    def test_range_without_histogram_uses_system_r(self):
+        catalog = StatsCatalog()
+        catalog.put(CatalogEntry("R", "a", "none", None, None, 10, 300.0))
+        service = EstimationService(catalog)
+        assert service.estimate_range("R", "a", 1, 5) == pytest.approx(100.0)
+
+    def test_join_without_any_statistics(self):
+        catalog = StatsCatalog()
+        catalog.put(CatalogEntry("R", "a", "none", None, None, 10, 100.0))
+        catalog.put(CatalogEntry("S", "a", "none", None, None, 20, 50.0))
+        service = EstimationService(catalog)
+        # Uniform |L|·|R| / max(d) containment estimate.
+        assert service.estimate_join("R", "a", "S", "a") == pytest.approx(
+            100.0 * 50.0 / 20
+        )

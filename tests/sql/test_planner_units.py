@@ -24,6 +24,7 @@ from repro.sql.planner import (
     plan_query,
 )
 from repro.sql.parser import parse_select
+from repro.serve import EstimationService
 
 
 @pytest.fixture
@@ -94,74 +95,98 @@ class TestSelectionSelectivity:
         relation = Relation.from_columns("R", {"a": column})
         catalog = StatsCatalog()
         analyze_relation(relation, "a", catalog, kind="serial", buckets=8)
-        return catalog.require("R", "a"), relation
+        service = EstimationService(catalog)
+        return catalog.require("R", "a"), relation, service
+
+    @staticmethod
+    def _selectivity(pred, catalog_entry, service):
+        return _selection_selectivity(pred, "R", "a", catalog_entry, service)
 
     def test_equality(self, entry):
-        catalog_entry, relation = entry
+        catalog_entry, relation, service = entry
         column = relation.column("a")
         hot = max(set(column), key=column.count)
         pred = Comparison(ColumnRef("a", "R"), "=", Literal(hot))
-        sel = _selection_selectivity(pred, catalog_entry)
+        sel = self._selectivity(pred, catalog_entry, service)
         assert sel == pytest.approx(column.count(hot) / len(column), rel=0.01)
 
     def test_not_equals_complement(self, entry):
-        catalog_entry, _ = entry
-        eq = _selection_selectivity(
-            Comparison(ColumnRef("a", "R"), "=", Literal(3)), catalog_entry
+        catalog_entry, _, service = entry
+        eq = self._selectivity(
+            Comparison(ColumnRef("a", "R"), "=", Literal(3)), catalog_entry, service
         )
-        ne = _selection_selectivity(
-            Comparison(ColumnRef("a", "R"), "<>", Literal(3)), catalog_entry
+        ne = self._selectivity(
+            Comparison(ColumnRef("a", "R"), "<>", Literal(3)), catalog_entry, service
         )
         assert eq + ne == pytest.approx(1.0)
 
     def test_range_bounds_partition(self, entry):
-        catalog_entry, _ = entry
-        below = _selection_selectivity(
-            Comparison(ColumnRef("a", "R"), "<", Literal(10)), catalog_entry
+        catalog_entry, _, service = entry
+        below = self._selectivity(
+            Comparison(ColumnRef("a", "R"), "<", Literal(10)), catalog_entry, service
         )
-        at_or_above = _selection_selectivity(
-            Comparison(ColumnRef("a", "R"), ">=", Literal(10)), catalog_entry
+        at_or_above = self._selectivity(
+            Comparison(ColumnRef("a", "R"), ">=", Literal(10)), catalog_entry, service
         )
         assert below + at_or_above == pytest.approx(1.0)
 
     def test_between_vs_range_composition(self, entry):
-        catalog_entry, _ = entry
-        between = _selection_selectivity(
+        catalog_entry, _, service = entry
+        between = self._selectivity(
             BetweenPredicate(ColumnRef("a", "R"), Literal(5), Literal(10)),
             catalog_entry,
+            service,
         )
         assert 0.0 <= between <= 1.0
 
     def test_in_sums(self, entry):
-        catalog_entry, _ = entry
-        single = _selection_selectivity(
-            InPredicate(ColumnRef("a", "R"), (Literal(3),)), catalog_entry
+        catalog_entry, _, service = entry
+        single = self._selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3),)), catalog_entry, service
         )
-        double = _selection_selectivity(
-            InPredicate(ColumnRef("a", "R"), (Literal(3), Literal(4))), catalog_entry
+        double = self._selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3), Literal(4))),
+            catalog_entry,
+            service,
         )
         assert double >= single
 
-    def test_not_in(self, entry):
-        catalog_entry, _ = entry
-        contained = _selection_selectivity(
-            InPredicate(ColumnRef("a", "R"), (Literal(3),)), catalog_entry
+    def test_in_duplicates_collapse(self, entry):
+        catalog_entry, _, service = entry
+        single = self._selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3),)), catalog_entry, service
         )
-        negated = _selection_selectivity(
+        repeated = self._selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3), Literal(3))),
+            catalog_entry,
+            service,
+        )
+        assert repeated == single
+
+    def test_not_in(self, entry):
+        catalog_entry, _, service = entry
+        contained = self._selectivity(
+            InPredicate(ColumnRef("a", "R"), (Literal(3),)), catalog_entry, service
+        )
+        negated = self._selectivity(
             InPredicate(ColumnRef("a", "R"), (Literal(3),), negated=True),
             catalog_entry,
+            service,
         )
         assert contained + negated == pytest.approx(1.0)
 
     def test_missing_entry_defaults(self):
         pred = Comparison(ColumnRef("a", "R"), ">", Literal(3))
-        assert _selection_selectivity(pred, None) == DEFAULT_RANGE_SELECTIVITY
+        service = EstimationService(StatsCatalog())
+        sel = _selection_selectivity(pred, "R", "a", None, service)
+        assert sel == DEFAULT_RANGE_SELECTIVITY
 
     def test_selectivity_clamped_to_one(self, entry):
-        catalog_entry, _ = entry
-        wide = _selection_selectivity(
+        catalog_entry, _, service = entry
+        wide = self._selectivity(
             BetweenPredicate(ColumnRef("a", "R"), Literal(-100), Literal(100)),
             catalog_entry,
+            service,
         )
         assert wide <= 1.0
 

@@ -1,0 +1,102 @@
+"""Tests for repro.api — the blessed one-import surface."""
+
+import warnings
+
+import pytest
+
+from repro import api
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert hasattr(api, name), f"repro.api.{name} missing"
+
+    def test_layers_present(self):
+        # One representative name per layer.
+        assert callable(api.zipf_frequencies)
+        assert callable(api.v_opt_bias_hist)
+        assert callable(api.estimate_range)
+        assert callable(api.analyze_relation)
+        assert callable(api.MaintainedEndBiased)
+        assert callable(api.EstimationService)
+        assert callable(api.CardinalityEstimator)
+        assert callable(api.Database)
+
+    def test_no_deprecated_spellings(self):
+        # The facade is the post-redesign surface only.
+        for legacy in (
+            "estimate_equality_selection",
+            "estimate_in_selection",
+            "estimate_not_equals",
+            "estimate_range_selection",
+            "estimate_join_size",
+            "estimate_chain_size",
+            "approximate_chain_matrices",
+        ):
+            assert legacy not in api.__all__
+            assert not hasattr(api, legacy)
+
+
+class TestNoInternalDeprecatedCallers:
+    def test_no_module_calls_deprecated_estimators(self):
+        """Only the defining module and re-exporting __init__s may mention
+        the deprecated spellings; no internal caller may use them."""
+        from pathlib import Path
+
+        import repro
+
+        package_dir = Path(repro.__file__).resolve().parent
+        allowed = {
+            package_dir / "core" / "estimator.py",  # definitions
+            package_dir / "core" / "__init__.py",  # re-exports
+            package_dir / "__init__.py",  # re-exports
+        }
+        deprecated = (
+            "estimate_equality_selection",
+            "estimate_in_selection",
+            "estimate_not_equals(",
+            "estimate_range_selection",
+            "estimate_join_size",
+            "estimate_chain_size",
+            "approximate_chain_matrices",
+        )
+        offenders = []
+        for path in package_dir.rglob("*.py"):
+            if path in allowed:
+                continue
+            text = path.read_text(encoding="utf-8")
+            for name in deprecated:
+                if name in text:
+                    offenders.append(f"{path.name}: {name}")
+        assert not offenders, f"internal deprecated callers: {offenders}"
+
+
+class TestEndToEnd:
+    def test_histogram_to_estimate(self):
+        freqs = api.zipf_frequencies(total=100, domain_size=10, z=1.0)
+        hist = api.v_opt_bias_hist(freqs, 4, values=list(range(10)))
+        eq = api.estimate_equality(hist, 0)
+        mass = api.estimate_range(hist, 0, 9)
+        assert eq > 0
+        assert mass == pytest.approx(float(hist.approximate_frequencies().sum()))
+
+    def test_catalog_to_service(self):
+        relation = api.Relation.from_columns("R", {"a": [1] * 30 + [2] * 10})
+        catalog = api.StatsCatalog()
+        api.analyze_relation(relation, "a", catalog, kind="end-biased", buckets=2)
+        service = api.EstimationService(catalog)
+        batch = service.estimate_batch(
+            [api.EqualityProbe("R", "a", 1), api.RangeProbe("R", "a", 1, 2)]
+        )
+        assert batch[0] == pytest.approx(30.0)
+        assert batch[1] == pytest.approx(40.0)
+
+    def test_facade_emits_no_deprecation_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            freqs = api.zipf_frequencies(total=50, domain_size=5, z=0.5)
+            hist = api.v_opt_bias_hist(freqs, 2, values=list(range(5)))
+            api.estimate_membership(hist, [0, 1, 1])
+            api.estimate_not_equal(hist, 0)
+            api.estimate_join(hist, hist)

@@ -6,6 +6,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.data",
     "repro.engine",
@@ -13,6 +14,7 @@ PACKAGES = [
     "repro.queries",
     "repro.maint",
     "repro.experiments",
+    "repro.serve",
     "repro.sql",
     "repro.util",
 ]
