@@ -10,7 +10,10 @@ three serving guarantees:
 * the batch answer vector is **bit-identical** to the scalar loop
   (both paths read the same compiled tables);
 * the batch path is at least an order of magnitude faster;
-* repeated batches never recompile — the table-miss counter stays flat.
+* repeated batches never recompile — the table-miss counter stays flat;
+* a poisoned batch (unknown relations sprinkled in) still completes under
+  the default ``on_error`` policy, with healthy positions bit-identical to
+  the clean run and the degraded counter accounting for the poison.
 """
 
 from __future__ import annotations
@@ -118,10 +121,25 @@ def run_serve_batch():
     batch_seconds = perf_counter() - started
 
     repeat = service.estimate_batch(probes)
+
+    # Fault-isolation smoke: poison every 100th slot with an unknown
+    # relation; the batch must still complete with the healthy positions
+    # unchanged and the poison accounted for in the degraded counter.
+    poisoned = list(probes)
+    poison_positions = range(0, len(poisoned), 100)
+    for position in poison_positions:
+        poisoned[position] = EqualityProbe("UNANALYZED", "a", position)
+    degraded_before = service.stats().degraded_probes
+    poisoned_out = service.estimate_batch(poisoned)
+    degraded_delta = service.stats().degraded_probes - degraded_before
+
     return {
         "scalar": scalar,
         "batched": batched,
         "repeat": repeat,
+        "poisoned_out": poisoned_out,
+        "poison_positions": list(poison_positions),
+        "degraded_delta": degraded_delta,
         "scalar_seconds": scalar_seconds,
         "batch_seconds": batch_seconds,
         "misses_after_warmup": misses_after_warmup,
@@ -160,6 +178,16 @@ def test_serve_batch_speedup(benchmark):
     assert np.array_equal(result["batched"], result["repeat"])
     # Repeated batches never recompile.
     assert result["misses_final"] == result["misses_after_warmup"]
+    # Fault isolation: poisoned positions degrade to the documented 0.0
+    # fallback, healthy positions stay bit-identical, counters account
+    # for exactly the poison.
+    poison = set(result["poison_positions"])
+    assert result["degraded_delta"] == len(poison)
+    for position, value in enumerate(result["poisoned_out"]):
+        if position in poison:
+            assert value == 0.0
+        else:
+            assert value == result["batched"][position]
     assert speedup >= MIN_SPEEDUP, (
         f"estimate_batch only {speedup:.1f}x faster than the scalar loop"
     )

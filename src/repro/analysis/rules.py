@@ -1,4 +1,4 @@
-"""repolint rules: project-specific coding contracts, R001-R005.
+"""repolint rules: project-specific coding contracts, R001-R006.
 
 Each rule enforces a discipline that keeps the paper's algebraic guarantees
 true as the codebase grows:
@@ -15,6 +15,12 @@ true as the codebase grows:
   copy first (``np.array``/``.copy()``) or rebind.
 * **R005** — modules need ``from __future__ import annotations`` and public
   APIs need complete type annotations.
+* **R006** — no bare ``scan_cardinality`` calls outside the service fallback
+  helper: it raises ``KeyError`` for unknown relations, so estimation paths
+  must route through :class:`repro.serve.EstimationService` (whose
+  ``on_error`` policy isolates the failure) or
+  :meth:`repro.engine.catalog.StatsCatalog.relation_rows`; deliberate strict
+  call sites carry a justified ``# repolint: disable=R006``.
 
 Rules are pure functions of a parsed :class:`~repro.analysis.linter.LintModule`;
 they never import the code under analysis.
@@ -451,6 +457,47 @@ class AnnotationsRule(Rule):
                 )
 
 
+#: Modules allowed to call ``scan_cardinality`` bare: the service module
+#: that defines the strict helper (estimate paths there answer through the
+#: non-raising ``StatsCatalog.relation_rows`` index instead).
+SCAN_CARDINALITY_HOME = ("repro/serve/service.py",)
+
+
+class NoBareScanCardinalityRule(Rule):
+    """R006: no bare ``scan_cardinality`` calls outside the service helper."""
+
+    code = "R006"
+    name = "no-bare-scan-cardinality"
+    summary = (
+        "scan_cardinality raises KeyError for unknown relations and aborts "
+        "whole batches; estimate through EstimationService (on_error policy) "
+        "or StatsCatalog.relation_rows, or justify the strict call with "
+        "`# repolint: disable=R006`"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        posix = module.path.replace("\\", "/")
+        if any(posix.endswith(home) for home in SCAN_CARDINALITY_HOME):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name != "scan_cardinality":
+                continue
+            yield self.violation(
+                module,
+                node,
+                "bare `scan_cardinality` raises KeyError on unknown "
+                "relations; answer through an EstimationService estimate "
+                "path (on_error policy) or StatsCatalog.relation_rows, or "
+                "suppress with a justified `# repolint: disable=R006`",
+            )
+
+
 #: All rules, in code order. The linter instantiates from this registry.
 ALL_RULES: tuple[type[Rule], ...] = (
     RngDisciplineRule,
@@ -458,6 +505,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ExplicitDtypeRule,
     NoCallerMutationRule,
     AnnotationsRule,
+    NoBareScanCardinalityRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

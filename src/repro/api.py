@@ -73,10 +73,12 @@ from repro.maint.update import MaintainedEndBiased, MaintenancePolicy
 
 # Serving -------------------------------------------------------------------
 from repro.serve import (
+    ON_ERROR_POLICIES,
     EqualityProbe,
     EstimationService,
     JoinProbe,
     Probe,
+    ProbeTrace,
     RangeProbe,
     ServiceMetrics,
     compile_histogram,
@@ -124,10 +126,12 @@ __all__ = [
     "MaintainedEndBiased",
     "MaintenancePolicy",
     # serving
+    "ON_ERROR_POLICIES",
     "EqualityProbe",
     "EstimationService",
     "JoinProbe",
     "Probe",
+    "ProbeTrace",
     "RangeProbe",
     "ServiceMetrics",
     "compile_histogram",

@@ -194,7 +194,7 @@ def _cmd_serve_stats(args) -> int:
         analyze_relation(relation, "a", catalog, kind=args.kind, buckets=args.buckets)
         names.append(relation.name)
 
-    service = EstimationService(catalog)
+    service = EstimationService(catalog, on_error=args.on_error)
     probes = []
     for _ in range(args.probes):
         name = names[int(gen.integers(len(names)))]
@@ -207,10 +207,15 @@ def _cmd_serve_stats(args) -> int:
         else:
             other = names[int(gen.integers(len(names)))]
             probes.append(JoinProbe(name, "a", other, "a"))
+    # Poison the tail with unknown-relation probes to demonstrate the
+    # degradation accounting (--unknown-probes 0 keeps the batch clean).
+    for index in range(args.unknown_probes):
+        probes.append(EqualityProbe("UNANALYZED", "a", index))
     estimates = service.estimate_batch(probes)
+    finite = estimates[np.isfinite(estimates)]
     print(
         f"answered {estimates.size} probes over {len(names)} analyzed columns; "
-        f"estimate mass {float(np.sum(estimates)):.1f}"
+        f"estimate mass {float(np.sum(finite, dtype=np.float64)):.1f}"
     )
     print(f"catalog version: {catalog.version}")
     print(service.stats().format())
@@ -356,6 +361,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kind", choices=["end-biased", "serial"], default="end-biased")
     p.add_argument("--buckets", type=int, default=10)
     p.add_argument("--probes", type=int, default=1000)
+    p.add_argument(
+        "--on-error",
+        choices=["fallback", "nan", "raise"],
+        default="fallback",
+        help="policy for unanswerable probes (see docs/API.md)",
+    )
+    p.add_argument(
+        "--unknown-probes",
+        type=int,
+        default=0,
+        help="append N probes against an un-ANALYZEd relation to exercise "
+        "the degradation counters",
+    )
     p.add_argument("--seed", type=int, default=1995)
     p.set_defaults(func=_cmd_serve_stats)
 

@@ -10,6 +10,7 @@ attribute) registry the optimizer consults.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Hashable, Optional
@@ -150,6 +151,14 @@ class StatsCatalog:
     (:class:`repro.serve.EstimationService`) keys its compiled-table cache on
     these counters, so refreshed statistics invalidate stale tables without
     any explicit notification.
+
+    The catalog is **thread-safe**: every mutation (``put``/``drop``) and
+    every read (``get``/``entries``/``relation_rows``) takes one internal
+    re-entrant lock, so concurrent ``ANALYZE`` writers and serving-layer
+    readers never observe a half-applied mutation.  It also maintains a
+    per-relation tuple-count index so :meth:`relation_rows` — the serving
+    layer's fallback row source — costs one dict lookup per call instead of
+    a scan over every catalog entry.
     """
 
     def __init__(self):
@@ -159,24 +168,34 @@ class StatsCatalog:
         # version sequence, or a cached compiled table keyed on the old
         # version could alias the new statistics and be served stale.
         self._tombstones: dict[tuple[str, str], int] = {}
+        # relation -> {attribute -> total_tuples}: the per-relation row index
+        # behind relation_rows(); kept exactly in sync with _entries.
+        self._relation_totals: dict[str, dict[str, float]] = {}
+        self._lock = threading.RLock()
 
     @property
     def version(self) -> int:
         """Monotonic counter bumped by every catalog mutation."""
-        return self._version
+        with self._lock:
+            return self._version
 
     def put(self, entry: CatalogEntry) -> CatalogEntry:
         """Insert or replace the entry, bumping its version on replacement."""
         key = (entry.relation, entry.attribute)
-        previous = self._entries.get(key)
-        base = previous.version if previous else self._tombstones.pop(key, 0)
-        entry.version = base + 1
-        self._entries[key] = entry
-        self._version += 1
-        return entry
+        with self._lock:
+            previous = self._entries.get(key)
+            base = previous.version if previous else self._tombstones.pop(key, 0)
+            entry.version = base + 1
+            self._entries[key] = entry
+            self._relation_totals.setdefault(entry.relation, {})[
+                entry.attribute
+            ] = float(entry.total_tuples)
+            self._version += 1
+            return entry
 
     def get(self, relation: str, attribute: str) -> Optional[CatalogEntry]:
-        return self._entries.get((relation, attribute))
+        with self._lock:
+            return self._entries.get((relation, attribute))
 
     def require(self, relation: str, attribute: str) -> CatalogEntry:
         entry = self.get(relation, attribute)
@@ -186,28 +205,59 @@ class StatsCatalog:
             )
         return entry
 
+    def relation_rows(self, relation: str) -> Optional[float]:
+        """Tuple count of *relation*, or ``None`` when nothing is analyzed.
+
+        The largest ``total_tuples`` over the relation's analyzed attributes
+        (attribute statistics may be collected at different times, so the
+        freshest/fullest count wins).  Backed by the per-relation index —
+        O(attributes of *relation*), never a full catalog scan.  This is the
+        non-raising row source the serving layer's fallback paths use;
+        callers that want a hard error use
+        :meth:`repro.serve.EstimationService.scan_cardinality`.
+        """
+        with self._lock:
+            totals = self._relation_totals.get(relation)
+            if not totals:
+                return None
+            return max(totals.values())
+
     def drop(self, relation: str, attribute: Optional[str] = None) -> int:
         """Drop statistics for one attribute or a whole relation."""
-        if attribute is not None:
-            dropped = self._entries.pop((relation, attribute), None)
-            if dropped is None:
-                return 0
-            self._tombstones[(relation, attribute)] = dropped.version
-            self._version += 1
-            return 1
-        keys = [k for k in self._entries if k[0] == relation]
-        for key in keys:
-            self._tombstones[key] = self._entries[key].version
-            del self._entries[key]
-        if keys:
-            self._version += 1
-        return len(keys)
+        with self._lock:
+            if attribute is not None:
+                dropped = self._entries.pop((relation, attribute), None)
+                if dropped is None:
+                    return 0
+                self._tombstones[(relation, attribute)] = dropped.version
+                self._discard_total(relation, attribute)
+                self._version += 1
+                return 1
+            keys = [k for k in self._entries if k[0] == relation]
+            for key in keys:
+                self._tombstones[key] = self._entries[key].version
+                del self._entries[key]
+                self._discard_total(*key)
+            if keys:
+                self._version += 1
+            return len(keys)
+
+    def _discard_total(self, relation: str, attribute: str) -> None:
+        totals = self._relation_totals.get(relation)
+        if totals is None:
+            return
+        totals.pop(attribute, None)
+        if not totals:
+            del self._relation_totals[relation]
 
     def entries(self) -> list[CatalogEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple[str, str]) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

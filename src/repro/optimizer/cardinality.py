@@ -43,6 +43,10 @@ class CardinalityEstimator:
         Optional pre-built :class:`~repro.serve.EstimationService` over the
         same catalog (e.g. a long-lived shared instance); by default a
         private service is created.
+    on_error:
+        Optional error policy (``"fallback" | "nan" | "raise"``) forwarded
+        to every estimate call; ``None`` (default) defers to the service's
+        own policy.
     """
 
     def __init__(
@@ -50,6 +54,7 @@ class CardinalityEstimator:
         catalog: StatsCatalog,
         *,
         service: Optional[EstimationService] = None,
+        on_error: Optional[str] = None,
     ):
         if not isinstance(catalog, StatsCatalog):
             raise TypeError(
@@ -61,6 +66,7 @@ class CardinalityEstimator:
             )
         self._catalog = catalog
         self._service = service if service is not None else EstimationService(catalog)
+        self._on_error = on_error
 
     @property
     def service(self) -> EstimationService:
@@ -72,12 +78,20 @@ class CardinalityEstimator:
     # ------------------------------------------------------------------
 
     def scan_cardinality(self, relation: str) -> float:
-        """Tuple count of *relation* according to the catalog."""
-        return self._service.scan_cardinality(relation)
+        """Tuple count of *relation* according to the catalog.
+
+        Deliberately strict like the service helper it forwards to: the DP
+        join orderer treats an un-ANALYZEd base relation as a planning
+        error, not an estimate to degrade.
+        """
+        # The strict introspection adapter itself; callers opt into KeyError.
+        return self._service.scan_cardinality(relation)  # repolint: disable=R006
 
     def equality_selection(self, relation: str, attribute: str, value: Hashable) -> float:
         """Estimated cardinality of ``σ_{attribute = value}(relation)``."""
-        return self._service.estimate_equality(relation, attribute, value)
+        return self._service.estimate_equality(
+            relation, attribute, value, on_error=self._on_error
+        )
 
     def range_selection(
         self,
@@ -92,7 +106,9 @@ class CardinalityEstimator:
         equality selections); falls back to a 1/3 selectivity guess without
         one, mirroring System R defaults.
         """
-        return self._service.estimate_range(relation, attribute, low, high)
+        return self._service.estimate_range(
+            relation, attribute, low, high, on_error=self._on_error
+        )
 
     # ------------------------------------------------------------------
     # Join estimates
@@ -107,7 +123,11 @@ class CardinalityEstimator:
     ) -> float:
         """Estimated equality-join cardinality between two base relations."""
         return self._service.estimate_join(
-            left_relation, left_attribute, right_relation, right_attribute
+            left_relation,
+            left_attribute,
+            right_relation,
+            right_attribute,
+            on_error=self._on_error,
         )
 
     def join_from_entries(self, left: CatalogEntry, right: CatalogEntry) -> float:
@@ -132,8 +152,10 @@ class CardinalityEstimator:
         from these per-edge selectivities (the classical independence
         assumption).
         """
-        rows_left = self.scan_cardinality(left_relation)
-        rows_right = self.scan_cardinality(right_relation)
+        # Selectivity needs the exact row counts; an unknown relation here
+        # is a planner-input error, not an estimate to degrade.
+        rows_left = self.scan_cardinality(left_relation)  # repolint: disable=R006
+        rows_right = self.scan_cardinality(right_relation)  # repolint: disable=R006
         if rows_left == 0 or rows_right == 0:
             return 0.0
         estimate = self.join_cardinality(

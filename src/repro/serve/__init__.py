@@ -13,15 +13,17 @@ and batched results are bit-identical to the scalar paths.
 
 from __future__ import annotations
 
-from repro.serve.metrics import ServiceMetrics
+from repro.serve.metrics import LATENCY_BUCKET_BOUNDS, PROBE_KINDS, ServiceMetrics
 from repro.serve.service import (
     DEFAULT_EQ_SELECTIVITY,
     DEFAULT_MAX_TABLES,
     DEFAULT_RANGE_SELECTIVITY,
+    ON_ERROR_POLICIES,
     EqualityProbe,
     EstimationService,
     JoinProbe,
     Probe,
+    ProbeTrace,
     RangeProbe,
 )
 from repro.serve.tables import (
@@ -35,12 +37,16 @@ __all__ = [
     "DEFAULT_EQ_SELECTIVITY",
     "DEFAULT_MAX_TABLES",
     "DEFAULT_RANGE_SELECTIVITY",
+    "LATENCY_BUCKET_BOUNDS",
+    "ON_ERROR_POLICIES",
+    "PROBE_KINDS",
     "CompiledCompact",
     "CompiledHistogram",
     "EqualityProbe",
     "EstimationService",
     "JoinProbe",
     "Probe",
+    "ProbeTrace",
     "RangeProbe",
     "ServiceMetrics",
     "compile_compact",

@@ -1,37 +1,193 @@
-"""Lightweight counters for the estimation service.
+"""Thread-safe, degradation-aware counters for the estimation service.
 
 A serving layer is only trustworthy when it can report what it did: how
 often compiled tables were reused versus rebuilt, how much time compilation
-cost, and how many probes were answered.  These counters are plain Python
-ints/floats — cheap enough to update on every probe — and are surfaced by
-``repro serve-stats`` and :mod:`benchmarks.bench_serve_batch`.
+cost, how many probes of each shape were answered — and, crucially, how
+many of those answers were **degraded**: served from a documented fallback
+because the statistics needed to answer them properly did not exist, or
+resolved through the service's ``on_error`` policy because the probe could
+not be answered at all (unknown relation, unorderable domain, unhashable
+value).
+
+All counters are guarded by one lock so concurrent service threads never
+lose updates; reads of individual fields are plain attribute access (ints
+are replaced atomically under the lock), and :meth:`ServiceMetrics.snapshot`
+takes a consistent point-in-time copy.  Surfaced by ``repro serve-stats``
+and :mod:`benchmarks.bench_serve_batch`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import threading
+
+#: Upper edges (seconds, inclusive) of the batch-latency histogram buckets;
+#: one final unbounded bucket catches everything slower.
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+#: The probe shapes the service distinguishes in its per-type counters.
+PROBE_KINDS: tuple[str, ...] = (
+    "equality",
+    "range",
+    "join",
+    "membership",
+    "not_equal",
+)
 
 
-@dataclass
+def latency_bucket_labels() -> tuple[str, ...]:
+    """Human-readable labels for the latency histogram buckets."""
+    labels = [f"<={bound:g}s" for bound in LATENCY_BUCKET_BOUNDS]
+    labels.append(f">{LATENCY_BUCKET_BOUNDS[-1]:g}s")
+    return tuple(labels)
+
+
 class ServiceMetrics:
-    """Cumulative counters for one :class:`~repro.serve.EstimationService`."""
+    """Cumulative counters for one :class:`~repro.serve.EstimationService`.
 
-    #: Probes answered from an already-compiled table.
-    table_hits: int = 0
-    #: Probes that had to (re)compile a table first (cold or stale).
-    table_misses: int = 0
-    #: Compiled tables discarded by the LRU bound.
-    tables_evicted: int = 0
-    #: Wall-clock seconds spent compiling lookup tables.
-    compile_seconds: float = 0.0
-    #: Individual probes answered (batch members count individually).
-    probes_served: int = 0
-    #: ``estimate_batch`` invocations.
-    batches_served: int = 0
+    Thread-safe: every ``record_*`` method takes the internal lock, so the
+    counters stay consistent when many threads probe one service.  The
+    invariant ``probes_served == equality_probes + range_probes +
+    join_probes + membership_probes + not_equal_probes`` holds on every
+    path — probes are counted once, *after* their answers are produced
+    (including answers resolved through the ``on_error`` policy), never
+    before a batch can still fail.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Probes answered from an already-compiled table.
+        self.table_hits = 0
+        #: Probes that had to (re)compile a table first (cold or stale).
+        self.table_misses = 0
+        #: Compiled tables discarded by the LRU bound.
+        self.tables_evicted = 0
+        #: Wall-clock seconds spent compiling lookup tables.
+        self.compile_seconds = 0.0
+        #: Individual probes answered (batch members count individually).
+        self.probes_served = 0
+        #: ``estimate_batch`` invocations that returned a result vector.
+        self.batches_served = 0
+        #: ``estimate_batch`` invocations that raised (``on_error="raise"``
+        #: or an invalid probe); their already-answered probes stay counted.
+        self.batches_failed = 0
+        #: Per-shape probe counters; they always sum to ``probes_served``.
+        self.equality_probes = 0
+        self.range_probes = 0
+        self.join_probes = 0
+        self.membership_probes = 0
+        self.not_equal_probes = 0
+        #: Probes answered from a documented no-statistics fallback (System
+        #: R magic constants): the relation is known but the statistics
+        #: needed for a first-class answer are missing.
+        self.fallback_probes = 0
+        #: Probes that could not be answered at all and were resolved
+        #: through the ``on_error`` policy (``"fallback"`` or ``"nan"``).
+        self.degraded_probes = 0
+        #: Degraded-probe counts keyed by reason string (e.g.
+        #: ``"unknown-relation"``, ``"unorderable-domain"``).
+        self.degradation_reasons: dict[str, int] = {}
+        #: Batch-latency histogram aligned with ``LATENCY_BUCKET_BOUNDS``
+        #: plus one unbounded tail bucket.
+        self.latency_counts: list[int] = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+
+    # ------------------------------------------------------------------
+    # Recording (all thread-safe)
+    # ------------------------------------------------------------------
+
+    def record_table_hit(self) -> None:
+        """Count one compiled-table cache hit."""
+        with self._lock:
+            self.table_hits += 1
+
+    def record_table_miss(self) -> None:
+        """Count one compiled-table cache miss (cold or stale)."""
+        with self._lock:
+            self.table_misses += 1
+
+    def record_eviction(self, count: int = 1) -> None:
+        """Count *count* compiled tables discarded by the LRU bound."""
+        with self._lock:
+            self.tables_evicted += count
+
+    def record_compile(self, seconds: float) -> None:
+        """Accumulate wall-clock table-compilation time."""
+        with self._lock:
+            self.compile_seconds += seconds
+
+    def record_probes(self, kind: str, count: int) -> None:
+        """Count *count* answered probes of *kind* (see ``PROBE_KINDS``)."""
+        if kind not in PROBE_KINDS:
+            raise ValueError(f"unknown probe kind {kind!r}; expected one of {PROBE_KINDS}")
+        with self._lock:
+            setattr(self, f"{kind}_probes", getattr(self, f"{kind}_probes") + count)
+            self.probes_served += count
+
+    def record_fallback(self, count: int = 1) -> None:
+        """Count *count* probes answered from a no-statistics fallback."""
+        with self._lock:
+            self.fallback_probes += count
+
+    def record_degraded(self, reason: str, count: int = 1) -> None:
+        """Count *count* probes resolved through the ``on_error`` policy."""
+        with self._lock:
+            self.degraded_probes += count
+            self.degradation_reasons[reason] = (
+                self.degradation_reasons.get(reason, 0) + count
+            )
+
+    def record_batch(self, *, failed: bool = False) -> None:
+        """Count one ``estimate_batch`` call (served or failed)."""
+        with self._lock:
+            if failed:
+                self.batches_failed += 1
+            else:
+                self.batches_served += 1
+
+    def record_latency(self, seconds: float) -> None:
+        """Place one batch latency into the histogram."""
+        index = len(LATENCY_BUCKET_BOUNDS)
+        for position, bound in enumerate(LATENCY_BUCKET_BOUNDS):
+            if seconds <= bound:
+                index = position
+                break
+        with self._lock:
+            self.latency_counts[index] += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
 
     def snapshot(self) -> "ServiceMetrics":
-        """An independent copy, for before/after comparisons."""
-        return replace(self)
+        """An independent, consistent copy for before/after comparisons."""
+        copy = ServiceMetrics()
+        with self._lock:
+            copy.table_hits = self.table_hits
+            copy.table_misses = self.table_misses
+            copy.tables_evicted = self.tables_evicted
+            copy.compile_seconds = self.compile_seconds
+            copy.probes_served = self.probes_served
+            copy.batches_served = self.batches_served
+            copy.batches_failed = self.batches_failed
+            copy.equality_probes = self.equality_probes
+            copy.range_probes = self.range_probes
+            copy.join_probes = self.join_probes
+            copy.membership_probes = self.membership_probes
+            copy.not_equal_probes = self.not_equal_probes
+            copy.fallback_probes = self.fallback_probes
+            copy.degraded_probes = self.degraded_probes
+            copy.degradation_reasons = dict(self.degradation_reasons)
+            copy.latency_counts = list(self.latency_counts)
+        return copy
+
+    def probe_type_total(self) -> int:
+        """Sum of the per-shape counters; always equals ``probes_served``."""
+        return (
+            self.equality_probes
+            + self.range_probes
+            + self.join_probes
+            + self.membership_probes
+            + self.not_equal_probes
+        )
 
     def hit_rate(self) -> float:
         """Fraction of table lookups served from cache (0 when untouched)."""
@@ -41,23 +197,57 @@ class ServiceMetrics:
         return self.table_hits / lookups
 
     def as_dict(self) -> dict[str, float]:
-        """Counter values keyed by field name."""
-        return {
+        """Counter values keyed by field name (reasons/latency flattened)."""
+        out: dict[str, float] = {
             "table_hits": self.table_hits,
             "table_misses": self.table_misses,
             "tables_evicted": self.tables_evicted,
             "compile_seconds": self.compile_seconds,
             "probes_served": self.probes_served,
             "batches_served": self.batches_served,
+            "batches_failed": self.batches_failed,
+            "equality_probes": self.equality_probes,
+            "range_probes": self.range_probes,
+            "join_probes": self.join_probes,
+            "membership_probes": self.membership_probes,
+            "not_equal_probes": self.not_equal_probes,
+            "fallback_probes": self.fallback_probes,
+            "degraded_probes": self.degraded_probes,
         }
+        for reason, count in sorted(self.degradation_reasons.items()):
+            out[f"degraded[{reason}]"] = count
+        for label, count in zip(latency_bucket_labels(), self.latency_counts):
+            out[f"latency[{label}]"] = count
+        return out
 
     def format(self) -> str:
         """A human-readable multi-line rendering for CLIs."""
-        return (
+        lines = [
             f"compiled-table cache: {self.table_hits} hits, "
             f"{self.table_misses} misses ({self.hit_rate():.1%} hit rate), "
-            f"{self.tables_evicted} evicted\n"
-            f"compile time: {self.compile_seconds * 1e3:.3f} ms\n"
+            f"{self.tables_evicted} evicted",
+            f"compile time: {self.compile_seconds * 1e3:.3f} ms",
             f"probes served: {self.probes_served} "
             f"in {self.batches_served} batches"
-        )
+            + (f" ({self.batches_failed} failed)" if self.batches_failed else ""),
+            "probe mix: "
+            + ", ".join(
+                f"{getattr(self, kind + '_probes')} {kind}" for kind in PROBE_KINDS
+            ),
+            f"degraded: {self.degraded_probes} via on_error policy, "
+            f"{self.fallback_probes} from no-statistics fallbacks",
+        ]
+        if self.degradation_reasons:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.degradation_reasons.items())
+            )
+            lines.append(f"degradation reasons: {reasons}")
+        if any(self.latency_counts):
+            histogram = ", ".join(
+                f"{label}: {count}"
+                for label, count in zip(latency_bucket_labels(), self.latency_counts)
+                if count
+            )
+            lines.append(f"batch latency: {histogram}")
+        return "\n".join(lines)

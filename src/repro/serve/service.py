@@ -7,23 +7,59 @@ against the compiled state.  :class:`EstimationService` is that layer:
 * each (relation, attribute) entry of a :class:`~repro.engine.catalog.StatsCatalog`
   is compiled on first touch into a :class:`~repro.serve.tables.CompiledHistogram`
   and/or :class:`~repro.serve.tables.CompiledCompact`;
-* compiled tables live in a bounded LRU keyed by the catalog's version
-  counters, so an ``ANALYZE`` or a maintenance publish invalidates exactly
-  the stale tables;
+* compiled tables live in a **lock-guarded** bounded LRU keyed by the
+  catalog's version counters, so an ``ANALYZE`` or a maintenance publish
+  invalidates exactly the stale tables, and concurrent reader threads
+  never observe a half-built cache;
 * :meth:`EstimationService.estimate_batch` accepts arrays of equality /
   range / join probes and returns one numpy vector of cardinalities,
   vectorizing each (relation, attribute) group in a single pass.
 
 Scalar convenience methods answer through the same compiled tables, so the
 batched and scalar paths return **bit-identical** floats.
+
+Fault isolation (the ``on_error`` policy)
+-----------------------------------------
+
+A probe that *cannot* be answered — its relation has no statistics at all,
+its range domain is not orderable, its equality value is unhashable or its
+range bound incomparable with the domain — never aborts the rest of a
+batch.  Each such probe resolves individually through the service-wide
+(or per-call) ``on_error`` policy:
+
+``"fallback"`` (default)
+    The probe resolves to a documented bounded fallback: ``0.0`` for an
+    unknown relation or an unhashable equality value (nothing stored can
+    match), and the System R ``|R|·1/3`` guess for an unanswerable range
+    over a known relation.  The resolution is counted in
+    ``ServiceMetrics.degraded_probes`` (keyed by reason).
+
+``"nan"``
+    The probe resolves to ``float("nan")`` so downstream consumers can
+    detect exactly which answers are missing; counted as degraded.
+
+``"raise"``
+    The pre-hardening behaviour: the underlying ``KeyError`` /
+    ``ValueError`` / ``TypeError`` propagates and the batch aborts.
+
+Probes over a *known* relation that merely lack the right statistics form
+(no histogram for a range, an un-ANALYZEd attribute) keep their classical
+System R magic-constant fallbacks; those are first-class answers, counted
+separately in ``ServiceMetrics.fallback_probes``.
+
+Pass ``trace=`` (any callable accepting a :class:`ProbeTrace`) to any
+estimate entry point to observe *why* each fallback or degraded answer was
+served, including the probe's position inside ``estimate_batch`` inputs.
 """
 
 from __future__ import annotations
 
+import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Hashable, Iterable, Optional, Sequence, Union
+from typing import Callable, Hashable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -41,6 +77,19 @@ DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 
 #: Default bound on the compiled-table LRU.
 DEFAULT_MAX_TABLES = 256
+
+#: The accepted ``on_error`` policies (see the module docstring).
+ON_ERROR_POLICIES: tuple[str, ...] = ("fallback", "nan", "raise")
+
+#: Degradation reasons reported through metrics and ``trace=`` hooks.
+REASON_UNKNOWN_RELATION = "unknown-relation"
+REASON_UNORDERABLE_DOMAIN = "unorderable-domain"
+REASON_UNHASHABLE_VALUE = "unhashable-value"
+REASON_INCOMPARABLE_BOUND = "incomparable-bound"
+#: Fallback (non-degraded) reasons: the relation is known, the statistics
+#: form needed for a first-class answer is not.
+REASON_NO_STATISTICS = "no-statistics"
+REASON_NO_HISTOGRAM = "no-histogram"
 
 
 @dataclass(frozen=True)
@@ -75,6 +124,41 @@ class JoinProbe:
 
 
 Probe = Union[EqualityProbe, RangeProbe, JoinProbe]
+
+
+@dataclass(frozen=True)
+class ProbeTrace:
+    """Why one probe's answer was served from a fallback or degraded.
+
+    Emitted through the ``trace=`` hook of the estimate entry points —
+    once per affected probe, never for probes answered first-class from
+    compiled statistics.
+    """
+
+    #: Probe shape: ``"equality"``, ``"range"``, ``"join"``,
+    #: ``"membership"``, or ``"not_equal"``.
+    kind: str
+    relation: str
+    attribute: Optional[str]
+    #: One of the ``REASON_*`` constants.
+    reason: str
+    #: The answer actually served (may be ``nan`` under the nan policy).
+    value: float
+    #: True when resolved through the ``on_error`` policy (the probe was
+    #: unanswerable); False for documented no-statistics fallbacks.
+    degraded: bool
+    #: Index into the ``estimate_batch`` input, when served from a batch.
+    position: Optional[int] = None
+
+
+#: Signature of the ``trace=`` hook.
+TraceHook = Callable[[ProbeTrace], None]
+
+
+def _probe_position(positions: Optional[Sequence[int]], index: int) -> Optional[int]:
+    if positions is None:
+        return None
+    return positions[index]
 
 
 @dataclass
@@ -140,6 +224,14 @@ class _CompiledSlot:
 class EstimationService:
     """Batched, cache-compiled cardinality estimation over a catalog.
 
+    Thread-safe: the compiled-table LRU is guarded by one re-entrant lock
+    (lookup, compile, insert, and eviction happen atomically), the catalog
+    is consulted through its own lock, and every metrics update is atomic —
+    so concurrent reader threads may share one service while an ``ANALYZE``
+    or maintenance ``publish`` refreshes the catalog underneath them.  The
+    version re-check on every probe guarantees that once a catalog mutation
+    completes, no later probe is answered from the stale compiled table.
+
     Parameters
     ----------
     catalog:
@@ -148,16 +240,33 @@ class EstimationService:
         the version counters.
     max_tables:
         LRU bound on concurrently cached compiled tables.
+    on_error:
+        Service-wide policy for probes that cannot be answered —
+        ``"fallback"`` (default), ``"nan"``, or ``"raise"``; see the
+        module docstring.  Every estimate entry point also accepts a
+        per-call ``on_error=`` override.
     """
 
-    def __init__(self, catalog: StatsCatalog, *, max_tables: int = DEFAULT_MAX_TABLES):
+    def __init__(
+        self,
+        catalog: StatsCatalog,
+        *,
+        max_tables: int = DEFAULT_MAX_TABLES,
+        on_error: str = "fallback",
+    ):
         if not isinstance(catalog, StatsCatalog):
             raise TypeError(
                 f"catalog must be a StatsCatalog, got {type(catalog).__name__}"
             )
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+            )
         self._catalog = catalog
         self._max_tables = ensure_positive_int(max_tables, "max_tables")
+        self._on_error = on_error
         self._slots: OrderedDict[tuple[str, str], _CompiledSlot] = OrderedDict()
+        self._lock = threading.RLock()
         self.metrics = ServiceMetrics()
 
     # ------------------------------------------------------------------
@@ -170,33 +279,49 @@ class EstimationService:
         return self._catalog
 
     @property
+    def on_error(self) -> str:
+        """The service-wide error policy (per-call overrides allowed)."""
+        return self._on_error
+
+    @property
+    def max_tables(self) -> int:
+        """The LRU bound on cached compiled tables."""
+        return self._max_tables
+
+    @property
     def cached_tables(self) -> int:
         """Number of compiled tables currently held."""
-        return len(self._slots)
+        with self._lock:
+            return len(self._slots)
 
     def invalidate(self) -> int:
         """Drop every compiled table; returns how many were discarded."""
-        dropped = len(self._slots)
-        self._slots.clear()
-        return dropped
+        with self._lock:
+            dropped = len(self._slots)
+            self._slots.clear()
+            return dropped
 
     def _slot_for_entry(self, entry: CatalogEntry) -> _CompiledSlot:
         key = (entry.relation, entry.attribute)
-        slot = self._slots.get(key)
-        if slot is not None and slot.version == entry.version:
-            self.metrics.table_hits += 1
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is not None and slot.version == entry.version:
+                self.metrics.record_table_hit()
+                self._slots.move_to_end(key)
+                return slot
+            self.metrics.record_table_miss()
+            started = perf_counter()
+            slot = _CompiledSlot.from_entry(entry)
+            self.metrics.record_compile(perf_counter() - started)
+            self._slots[key] = slot
             self._slots.move_to_end(key)
+            evicted = 0
+            while len(self._slots) > self._max_tables:
+                self._slots.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.metrics.record_eviction(evicted)
             return slot
-        self.metrics.table_misses += 1
-        started = perf_counter()
-        slot = _CompiledSlot.from_entry(entry)
-        self.metrics.compile_seconds += perf_counter() - started
-        self._slots[key] = slot
-        self._slots.move_to_end(key)
-        while len(self._slots) > self._max_tables:
-            self._slots.popitem(last=False)
-            self.metrics.tables_evicted += 1
-        return slot
 
     def _slot(self, relation: str, attribute: str) -> Optional[_CompiledSlot]:
         entry = self._catalog.get(relation, attribute)
@@ -205,46 +330,375 @@ class EstimationService:
         return self._slot_for_entry(entry)
 
     # ------------------------------------------------------------------
+    # Error-policy plumbing
+    # ------------------------------------------------------------------
+
+    def _resolve_policy(self, override: Optional[str]) -> str:
+        policy = self._on_error if override is None else override
+        if policy not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {policy!r}"
+            )
+        return policy
+
+    def _degrade(
+        self,
+        policy: str,
+        *,
+        kind: str,
+        relation: str,
+        attribute: Optional[str],
+        reason: str,
+        fallback: float,
+        error: Callable[[], Exception],
+        trace: Optional[TraceHook],
+        position: Optional[int],
+    ) -> float:
+        """Resolve one unanswerable probe through the error policy."""
+        if policy == "raise":
+            raise error()
+        value = math.nan if policy == "nan" else fallback
+        self.metrics.record_degraded(reason)
+        if trace is not None:
+            trace(
+                ProbeTrace(
+                    kind=kind,
+                    relation=relation,
+                    attribute=attribute,
+                    reason=reason,
+                    value=value,
+                    degraded=True,
+                    position=position,
+                )
+            )
+        return value
+
+    def _note_fallbacks(
+        self,
+        *,
+        kind: str,
+        relation: str,
+        attribute: Optional[str],
+        reason: str,
+        value: float,
+        trace: Optional[TraceHook],
+        positions: Optional[Sequence[int]],
+        count: int,
+    ) -> None:
+        """Count (and optionally trace) no-statistics fallback answers."""
+        self.metrics.record_fallback(count)
+        if trace is None:
+            return
+        for index in range(count):
+            trace(
+                ProbeTrace(
+                    kind=kind,
+                    relation=relation,
+                    attribute=attribute,
+                    reason=reason,
+                    value=value,
+                    degraded=False,
+                    position=_probe_position(positions, index),
+                )
+            )
+
+    @staticmethod
+    def _unknown_relation_error(relation: str) -> Callable[[], Exception]:
+        return lambda: KeyError(
+            f"no statistics for relation {relation!r}; run ANALYZE"
+        )
+
+    # ------------------------------------------------------------------
     # Scan and selection estimates
     # ------------------------------------------------------------------
 
     def scan_cardinality(self, relation: str) -> float:
-        """Tuple count of *relation* according to the catalog."""
-        totals = [
-            e.total_tuples for e in self._catalog.entries() if e.relation == relation
-        ]
-        if not totals:
+        """Tuple count of *relation* according to the catalog.
+
+        Deliberately strict: raises ``KeyError`` for a relation with no
+        statistics, regardless of the ``on_error`` policy — this is the
+        introspection entry point, not an estimate.  Estimate paths route
+        unknown relations through the policy instead (via the catalog's
+        per-relation row index, :meth:`StatsCatalog.relation_rows`).
+        """
+        rows = self._catalog.relation_rows(relation)
+        if rows is None:
             raise KeyError(f"no statistics for relation {relation!r}; run ANALYZE")
-        return max(totals)
+        return rows
+
+    def _answer_equalities(
+        self,
+        relation: str,
+        attribute: str,
+        values: Sequence[Hashable],
+        *,
+        policy: str,
+        trace: Optional[TraceHook],
+        positions: Optional[Sequence[int]] = None,
+        kind: str = "equality",
+    ) -> np.ndarray:
+        """Answer one (relation, attribute) equality group, fault-isolated."""
+        count = len(values)
+        out = np.empty(count, dtype=np.float64)
+        good_index: list[int] = []
+        good_values: list[Hashable] = []
+        for index, value in enumerate(values):
+            try:
+                hash(value)
+            except TypeError:
+                out[index] = self._degrade(
+                    policy,
+                    kind=kind,
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_UNHASHABLE_VALUE,
+                    fallback=0.0,
+                    error=lambda value=value: TypeError(
+                        f"unhashable probe value of type {type(value).__name__} "
+                        f"for {relation}.{attribute}"
+                    ),
+                    trace=trace,
+                    position=_probe_position(positions, index),
+                )
+            else:
+                good_index.append(index)
+                good_values.append(value)
+        if not good_values:
+            return out
+        slot = self._slot(relation, attribute)
+        if slot is not None:
+            answers = slot.frequency_batch(good_values)
+        else:
+            rows = self._catalog.relation_rows(relation)
+            if rows is None:
+                for index in good_index:
+                    out[index] = self._degrade(
+                        policy,
+                        kind=kind,
+                        relation=relation,
+                        attribute=attribute,
+                        reason=REASON_UNKNOWN_RELATION,
+                        fallback=0.0,
+                        error=self._unknown_relation_error(relation),
+                        trace=trace,
+                        position=_probe_position(positions, index),
+                    )
+                return out
+            fallback = rows * DEFAULT_EQ_SELECTIVITY
+            answers = np.full(len(good_values), fallback, dtype=np.float64)
+            self._note_fallbacks(
+                kind=kind,
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_NO_STATISTICS,
+                value=fallback,
+                trace=trace,
+                positions=(
+                    None
+                    if positions is None
+                    else [positions[index] for index in good_index]
+                ),
+                count=len(good_values),
+            )
+        if len(good_index) == count:
+            return np.asarray(answers, dtype=np.float64)
+        out[np.asarray(good_index, dtype=np.intp)] = answers
+        return out
 
     def estimate_equalities(
-        self, relation: str, attribute: str, values: Sequence[Hashable]
+        self,
+        relation: str,
+        attribute: str,
+        values: Sequence[Hashable],
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
     ) -> np.ndarray:
         """Equality-selection cardinalities for many probe values at once."""
+        policy = self._resolve_policy(on_error)
         values = list(values)
-        self.metrics.probes_served += len(values)
         if not values:
             return np.zeros(0, dtype=np.float64)
-        slot = self._slot(relation, attribute)
-        if slot is None:
-            fallback = self.scan_cardinality(relation) * DEFAULT_EQ_SELECTIVITY
-            return np.full(len(values), fallback, dtype=np.float64)
-        return slot.frequency_batch(values)
+        result = self._answer_equalities(
+            relation, attribute, values, policy=policy, trace=trace
+        )
+        self.metrics.record_probes("equality", len(values))
+        return result
 
-    def estimate_equality(self, relation: str, attribute: str, value: Hashable) -> float:
+    def estimate_equality(
+        self,
+        relation: str,
+        attribute: str,
+        value: Hashable,
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
+    ) -> float:
         """Scalar equality-selection estimate (same floats as the batch)."""
-        return float(self.estimate_equalities(relation, attribute, [value])[0])
+        return float(
+            self.estimate_equalities(
+                relation, attribute, [value], on_error=on_error, trace=trace
+            )[0]
+        )
 
     def estimate_membership(
-        self, relation: str, attribute: str, values: Iterable[Hashable]
+        self,
+        relation: str,
+        attribute: str,
+        values: Iterable[Hashable],
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
     ) -> float:
-        """Disjunctive (``IN``) selection mass over the *distinct* values."""
-        distinct = list(dict.fromkeys(values))
+        """Disjunctive (``IN``) selection mass over the *distinct* values.
+
+        Clamped to the relation's tuple count: each no-statistics value
+        contributes ``0.1·|R|``, so a long ``IN`` list would otherwise
+        estimate more tuples than the relation holds.
+        """
+        policy = self._resolve_policy(on_error)
+        distinct: list[Hashable] = []
+        seen: set[Hashable] = set()
+        for value in values:
+            try:
+                if value in seen:
+                    continue
+                seen.add(value)
+            except TypeError:
+                pass  # unhashable: cannot dedup; each occurrence degrades
+            distinct.append(value)
         if not distinct:
+            self.metrics.record_probes("membership", 1)
             return 0.0
-        return float(
-            np.sum(self.estimate_equalities(relation, attribute, distinct), dtype=np.float64)
+        mass = float(
+            np.sum(
+                self._answer_equalities(
+                    relation,
+                    attribute,
+                    distinct,
+                    policy=policy,
+                    trace=trace,
+                    kind="membership",
+                ),
+                dtype=np.float64,
+            )
         )
+        self.metrics.record_probes("membership", 1)
+        if math.isnan(mass):
+            return mass
+        rows = self._catalog.relation_rows(relation)
+        if rows is None:
+            return mass
+        return min(mass, rows)
+
+    def _answer_ranges(
+        self,
+        relation: str,
+        attribute: str,
+        lows: Sequence[Optional[Hashable]],
+        highs: Sequence[Optional[Hashable]],
+        include_low: bool,
+        include_high: bool,
+        *,
+        policy: str,
+        trace: Optional[TraceHook],
+        positions: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Answer one range group, isolating unanswerable probes."""
+        count = len(lows)
+        slot = self._slot(relation, attribute)
+        rows = self._catalog.relation_rows(relation)
+        if slot is None:
+            if rows is None:
+                out = np.empty(count, dtype=np.float64)
+                for index in range(count):
+                    out[index] = self._degrade(
+                        policy,
+                        kind="range",
+                        relation=relation,
+                        attribute=attribute,
+                        reason=REASON_UNKNOWN_RELATION,
+                        fallback=0.0,
+                        error=self._unknown_relation_error(relation),
+                        trace=trace,
+                        position=_probe_position(positions, index),
+                    )
+                return out
+            fallback = rows * DEFAULT_RANGE_SELECTIVITY
+            self._note_fallbacks(
+                kind="range",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_NO_STATISTICS,
+                value=fallback,
+                trace=trace,
+                positions=positions,
+                count=count,
+            )
+            return np.full(count, fallback, dtype=np.float64)
+        table = slot.histogram_table
+        guess = (
+            rows if rows is not None else slot.total_tuples
+        ) * DEFAULT_RANGE_SELECTIVITY
+        if table is None:
+            self._note_fallbacks(
+                kind="range",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_NO_HISTOGRAM,
+                value=guess,
+                trace=trace,
+                positions=positions,
+                count=count,
+            )
+            return np.full(count, guess, dtype=np.float64)
+        if not table.is_orderable:
+            out = np.empty(count, dtype=np.float64)
+            for index in range(count):
+                out[index] = self._degrade(
+                    policy,
+                    kind="range",
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_UNORDERABLE_DOMAIN,
+                    fallback=guess,
+                    error=lambda: ValueError(
+                        "range estimation needs an orderable domain; "
+                        f"the {relation}.{attribute} histogram's values are "
+                        "not mutually comparable"
+                    ),
+                    trace=trace,
+                    position=_probe_position(positions, index),
+                )
+            return out
+        try:
+            return table.range_batch(
+                lows, highs, include_low=include_low, include_high=include_high
+            )
+        except TypeError:
+            pass  # some bound is incomparable with the domain: isolate per probe
+        out = np.empty(count, dtype=np.float64)
+        for index, (low, high) in enumerate(zip(lows, highs)):
+            try:
+                out[index] = table.range_sum(
+                    low, high, include_low=include_low, include_high=include_high
+                )
+            except TypeError:
+                out[index] = self._degrade(
+                    policy,
+                    kind="range",
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_INCOMPARABLE_BOUND,
+                    fallback=guess,
+                    error=lambda low=low, high=high: TypeError(
+                        f"range bounds ({low!r}, {high!r}) are not comparable "
+                        f"with the {relation}.{attribute} domain"
+                    ),
+                    trace=trace,
+                    position=_probe_position(positions, index),
+                )
+        return out
 
     def estimate_ranges(
         self,
@@ -255,28 +709,35 @@ class EstimationService:
         *,
         include_low: bool = True,
         include_high: bool = True,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
     ) -> np.ndarray:
         """Range-selection cardinalities for many (low, high) probes.
 
         Requires a value-aware histogram; without one every probe falls
         back to the System R ``|R|/3`` guess.
         """
+        policy = self._resolve_policy(on_error)
         lows = list(lows)
         highs = list(highs)
         if len(lows) != len(highs):
             raise ValueError(
                 f"lows and highs must align, got {len(lows)} and {len(highs)}"
             )
-        self.metrics.probes_served += len(lows)
         if not lows:
             return np.zeros(0, dtype=np.float64)
-        slot = self._slot(relation, attribute)
-        if slot is None or slot.histogram_table is None:
-            fallback = self.scan_cardinality(relation) * DEFAULT_RANGE_SELECTIVITY
-            return np.full(len(lows), fallback, dtype=np.float64)
-        return slot.histogram_table.range_batch(
-            lows, highs, include_low=include_low, include_high=include_high
+        result = self._answer_ranges(
+            relation,
+            attribute,
+            lows,
+            highs,
+            include_low,
+            include_high,
+            policy=policy,
+            trace=trace,
         )
+        self.metrics.record_probes("range", len(lows))
+        return result
 
     def estimate_range(
         self,
@@ -287,6 +748,8 @@ class EstimationService:
         *,
         include_low: bool = True,
         include_high: bool = True,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
     ) -> float:
         """Scalar range-selection estimate (same floats as the batch)."""
         return float(
@@ -297,22 +760,84 @@ class EstimationService:
                 [high],
                 include_low=include_low,
                 include_high=include_high,
+                on_error=on_error,
+                trace=trace,
             )[0]
         )
 
     def estimate_not_equal(
-        self, relation: str, attribute: str, value: Hashable
+        self,
+        relation: str,
+        attribute: str,
+        value: Hashable,
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
     ) -> float:
-        """``attribute ≠ value`` — complement of the equality selection."""
+        """``attribute ≠ value`` — complement of the equality selection.
+
+        Clamped to the relation's tuple count, and counted in the metrics
+        on every path (including the no-statistics fallback).
+        """
+        policy = self._resolve_policy(on_error)
+        result = self._answer_not_equal(
+            relation, attribute, value, policy=policy, trace=trace
+        )
+        self.metrics.record_probes("not_equal", 1)
+        return result
+
+    def _answer_not_equal(
+        self,
+        relation: str,
+        attribute: str,
+        value: Hashable,
+        *,
+        policy: str,
+        trace: Optional[TraceHook],
+    ) -> float:
+        rows = self._catalog.relation_rows(relation)
         slot = self._slot(relation, attribute)
         if slot is None:
-            rows = self.scan_cardinality(relation)
-            return rows * (1.0 - DEFAULT_EQ_SELECTIVITY)
-        return max(
-            0.0,
-            slot.total_tuples
-            - self.estimate_equality(relation, attribute, value),
+            if rows is None:
+                return self._degrade(
+                    policy,
+                    kind="not_equal",
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_UNKNOWN_RELATION,
+                    fallback=0.0,
+                    error=self._unknown_relation_error(relation),
+                    trace=trace,
+                    position=None,
+                )
+            fallback = rows * (1.0 - DEFAULT_EQ_SELECTIVITY)
+            self._note_fallbacks(
+                kind="not_equal",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_NO_STATISTICS,
+                value=fallback,
+                trace=trace,
+                positions=None,
+                count=1,
+            )
+            return fallback
+        equality = float(
+            self._answer_equalities(
+                relation,
+                attribute,
+                [value],
+                policy=policy,
+                trace=trace,
+                kind="not_equal",
+            )[0]
         )
+        if math.isnan(equality):
+            return equality
+        result = max(0.0, slot.total_tuples - equality)
+        if rows is not None:
+            result = min(result, rows)
+        return result
 
     # ------------------------------------------------------------------
     # Join estimates
@@ -324,16 +849,66 @@ class EstimationService:
         left_attribute: str,
         right_relation: str,
         right_attribute: str,
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
     ) -> float:
         """Two-way equality-join cardinality between two base relations."""
-        self.metrics.probes_served += 1
+        policy = self._resolve_policy(on_error)
+        result = self._answer_join(
+            left_relation,
+            left_attribute,
+            right_relation,
+            right_attribute,
+            policy=policy,
+            trace=trace,
+            position=None,
+        )
+        self.metrics.record_probes("join", 1)
+        return result
+
+    def _answer_join(
+        self,
+        left_relation: str,
+        left_attribute: str,
+        right_relation: str,
+        right_attribute: str,
+        *,
+        policy: str,
+        trace: Optional[TraceHook],
+        position: Optional[int],
+    ) -> float:
         left = self._catalog.get(left_relation, left_attribute)
         right = self._catalog.get(right_relation, right_attribute)
-        if left is None or right is None:
-            rows_left = self.scan_cardinality(left_relation)
-            rows_right = self.scan_cardinality(right_relation)
-            return rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
-        return self.join_entries(left, right)
+        if left is not None and right is not None:
+            return self.join_entries(left, right)
+        rows_left = self._catalog.relation_rows(left_relation)
+        rows_right = self._catalog.relation_rows(right_relation)
+        if rows_left is None or rows_right is None:
+            missing = left_relation if rows_left is None else right_relation
+            return self._degrade(
+                policy,
+                kind="join",
+                relation=missing,
+                attribute=None,
+                reason=REASON_UNKNOWN_RELATION,
+                fallback=0.0,
+                error=self._unknown_relation_error(missing),
+                trace=trace,
+                position=position,
+            )
+        fallback = rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
+        self._note_fallbacks(
+            kind="join",
+            relation=left_relation,
+            attribute=left_attribute,
+            reason=REASON_NO_STATISTICS,
+            value=fallback,
+            trace=trace,
+            positions=None if position is None else [position],
+            count=1,
+        )
+        return fallback
 
     def join_entries(self, left: CatalogEntry, right: CatalogEntry) -> float:
         """Join estimate from two catalog entries.
@@ -380,15 +955,44 @@ class EstimationService:
     # Batch interface
     # ------------------------------------------------------------------
 
-    def estimate_batch(self, probes: Sequence[Probe]) -> np.ndarray:
+    def estimate_batch(
+        self,
+        probes: Sequence[Probe],
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[TraceHook] = None,
+    ) -> np.ndarray:
         """Answer a heterogeneous batch of probes in one pass.
 
         Probes are grouped by (relation, attribute) — and, for ranges, by
         bound inclusivity — so each group is answered by one vectorized
         sweep over its compiled table.  The result vector is aligned with
         the input order.
+
+        Fault-isolated: an unanswerable probe (unknown relation,
+        unorderable range domain, unhashable value) resolves individually
+        through the ``on_error`` policy and never aborts the batch under
+        the default ``"fallback"`` (or ``"nan"``) policy.  Batch latency
+        is recorded into ``ServiceMetrics.latency_counts``.
         """
+        policy = self._resolve_policy(on_error)
         probes = list(probes)
+        started = perf_counter()
+        try:
+            out = self._answer_batch(probes, policy, trace)
+        except Exception:
+            self.metrics.record_batch(failed=True)
+            raise
+        self.metrics.record_batch()
+        self.metrics.record_latency(perf_counter() - started)
+        return out
+
+    def _answer_batch(
+        self,
+        probes: Sequence[Probe],
+        policy: str,
+        trace: Optional[TraceHook],
+    ) -> np.ndarray:
         out = np.zeros(len(probes), dtype=np.float64)
         equality_groups: dict[tuple[str, str], tuple[list[int], list[Hashable]]] = {}
         range_groups: dict[
@@ -424,29 +1028,42 @@ class EstimationService:
                     "EqualityProbe, RangeProbe, or JoinProbe"
                 )
         for (relation, attribute), (positions, values) in equality_groups.items():
-            out[np.asarray(positions, dtype=np.intp)] = self.estimate_equalities(
-                relation, attribute, values
+            out[np.asarray(positions, dtype=np.intp)] = self._answer_equalities(
+                relation,
+                attribute,
+                values,
+                policy=policy,
+                trace=trace,
+                positions=positions,
             )
+            self.metrics.record_probes("equality", len(values))
         for (
             (relation, attribute, include_low, include_high),
             (positions, lows, highs),
         ) in range_groups.items():
-            out[np.asarray(positions, dtype=np.intp)] = self.estimate_ranges(
+            out[np.asarray(positions, dtype=np.intp)] = self._answer_ranges(
                 relation,
                 attribute,
                 lows,
                 highs,
-                include_low=include_low,
-                include_high=include_high,
+                include_low,
+                include_high,
+                policy=policy,
+                trace=trace,
+                positions=positions,
             )
+            self.metrics.record_probes("range", len(lows))
         for position, probe in joins:
-            out[position] = self.estimate_join(
+            out[position] = self._answer_join(
                 probe.left_relation,
                 probe.left_attribute,
                 probe.right_relation,
                 probe.right_attribute,
+                policy=policy,
+                trace=trace,
+                position=position,
             )
-        self.metrics.batches_served += 1
+            self.metrics.record_probes("join", 1)
         return out
 
     def stats(self) -> ServiceMetrics:

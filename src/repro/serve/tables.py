@@ -144,6 +144,11 @@ class CompiledHistogram:
         """True when probes go through the vectorized float64 fast path."""
         return self._numeric
 
+    @property
+    def is_orderable(self) -> bool:
+        """True when the domain is mutually comparable (ranges answerable)."""
+        return self._orderable
+
     def as_mapping(self) -> dict[Hashable, float]:
         """A fresh ``value -> approximation`` dict (legacy-compatible view)."""
         return dict(self._by_value)
@@ -406,7 +411,10 @@ class CompiledCompact:
 
     def frequency(self, value: Hashable, *, assume_in_domain: bool = True) -> float:
         """Approximate frequency of one value (the "missing bucket" rule)."""
-        found = self._explicit.get(value)
+        try:
+            found = self._explicit.get(value)
+        except TypeError:  # unhashable probe value: matches nothing stored
+            found = None
         if found is not None:
             return found
         if assume_in_domain and self.remainder_count > 0:

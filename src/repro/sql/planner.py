@@ -235,8 +235,15 @@ def plan_query(
     catalog: StatsCatalog,
     *,
     cost_model: Optional[CostModel] = None,
+    on_error: Optional[str] = None,
 ) -> PlannedQuery:
-    """Plan *statement* against *relations* using *catalog* statistics."""
+    """Plan *statement* against *relations* using *catalog* statistics.
+
+    ``on_error`` (``"fallback" | "nan" | "raise"``; ``None`` defers to the
+    estimation-service default) is forwarded to the cardinality estimator —
+    planning over a partially ANALYZEd catalog degrades per-probe instead
+    of aborting, per the serving layer's fault-isolation contract.
+    """
     bindings: dict[str, Relation] = {}
     base_names: dict[str, str] = {}
     for table in statement.tables:
@@ -307,7 +314,7 @@ def plan_query(
             )
 
     rebound = _rebind_catalog(catalog, bindings, base_names)
-    estimator = CardinalityEstimator(rebound)
+    estimator = CardinalityEstimator(rebound, on_error=on_error)
     service = estimator.service
 
     selectivities: dict[str, float] = {}

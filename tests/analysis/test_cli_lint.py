@@ -79,5 +79,5 @@ class TestErrorHandling:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005"):
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
             assert code in out

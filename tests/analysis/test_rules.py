@@ -188,6 +188,31 @@ class TestR005Annotations:
         assert codes(src, select="R005") == []
 
 
+class TestR006NoBareScanCardinality:
+    def test_flags_method_call(self):
+        src = FUTURE + "def f(service) -> float:\n    return service.scan_cardinality('R')\n"
+        assert "R006" in codes(src, select="R006")
+
+    def test_flags_bare_name_call(self):
+        src = FUTURE + "def f(scan_cardinality) -> float:\n    return scan_cardinality('R')\n"
+        assert "R006" in codes(src, select="R006")
+
+    def test_service_module_is_exempt(self):
+        src = FUTURE + "x = catalog.scan_cardinality('R')\n"
+        assert codes(src, path="src/repro/serve/service.py", select="R006") == []
+
+    def test_relation_rows_is_fine(self):
+        src = FUTURE + "def f(catalog) -> float:\n    return catalog.relation_rows('R')\n"
+        assert codes(src, select="R006") == []
+
+    def test_line_suppression(self):
+        src = FUTURE + (
+            "def f(service) -> float:\n"
+            "    return service.scan_cardinality('R')  # repolint: disable=R006\n"
+        )
+        assert codes(src, select="R006") == []
+
+
 class TestDirectives:
     def test_skip_file_silences_everything(self):
         src = "# repolint: skip-file\nimport random\n"

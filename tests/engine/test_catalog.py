@@ -159,3 +159,31 @@ class TestStatsCatalog:
         catalog.put(self._entry())
         assert ("R", "a") in catalog
         assert len(catalog.entries()) == 1
+
+    def test_relation_rows_unknown(self):
+        assert StatsCatalog().relation_rows("R") is None
+
+    def test_relation_rows_takes_freshest_attribute(self):
+        catalog = StatsCatalog()
+        catalog.put(CatalogEntry("R", "a", "trivial", None, None, 5, 50.0))
+        catalog.put(CatalogEntry("R", "b", "trivial", None, None, 5, 80.0))
+        # The largest per-attribute total wins (freshest/fullest ANALYZE).
+        assert catalog.relation_rows("R") == 80.0
+
+    def test_relation_rows_tracks_put_and_drop(self):
+        catalog = StatsCatalog()
+        catalog.put(CatalogEntry("R", "a", "trivial", None, None, 5, 50.0))
+        catalog.put(CatalogEntry("R", "b", "trivial", None, None, 5, 80.0))
+        catalog.drop("R", "b")
+        assert catalog.relation_rows("R") == 50.0
+        catalog.drop("R")
+        assert catalog.relation_rows("R") is None
+        # Re-publishing resurrects the index.
+        catalog.put(CatalogEntry("R", "a", "trivial", None, None, 5, 60.0))
+        assert catalog.relation_rows("R") == 60.0
+
+    def test_relation_rows_updates_on_replace(self):
+        catalog = StatsCatalog()
+        catalog.put(CatalogEntry("R", "a", "trivial", None, None, 5, 50.0))
+        catalog.put(CatalogEntry("R", "a", "trivial", None, None, 5, 30.0))
+        assert catalog.relation_rows("R") == 30.0

@@ -1,0 +1,85 @@
+"""Threaded stress test: concurrent readers against a publishing writer.
+
+The serving contract under concurrency (see ``EstimationService``):
+
+* **no lost updates** — every probe issued by every thread is counted
+  exactly once in the metrics;
+* **no stale-version serves** — once a catalog ``put`` (an ANALYZE /
+  maintenance publish) completes, no later probe is answered from the
+  previously compiled table;
+* **bounded cache** — ``cached_tables <= max_tables`` at every observable
+  point, even while many threads compile concurrently.
+
+Run by CI alongside the ``bench_serve_batch`` smoke to catch
+lock-contention and cache-coherence regressions.
+"""
+
+import threading
+
+from repro.core.biased import v_opt_bias_hist
+from repro.engine.catalog import CatalogEntry, StatsCatalog
+from repro.serve import EstimationService
+
+N_READERS = 4
+N_PROBES = 300
+N_PUBLISHES = 200
+MAX_TABLES = 4
+N_HOT_RELATIONS = 8  # twice the LRU bound, to force constant eviction
+
+
+def _published_entry(relation: str, total: int) -> CatalogEntry:
+    """A publishable entry whose equality answer equals its publish number."""
+    hist = v_opt_bias_hist([float(total)], 1, values=[1])
+    return CatalogEntry(relation, "a", "biased", hist, None, 1, float(total))
+
+
+def test_concurrent_readers_with_publishing_writer():
+    catalog = StatsCatalog()
+    catalog.put(_published_entry("W", 1))
+    for index in range(N_HOT_RELATIONS):
+        catalog.put(_published_entry(f"R{index}", 10 + index))
+    service = EstimationService(catalog, max_tables=MAX_TABLES)
+
+    errors: list[BaseException] = []
+    start = threading.Barrier(N_READERS + 1)
+
+    def writer():
+        start.wait()
+        try:
+            # Publishes with strictly growing totals: 2, 3, ..., N+1.
+            for publish in range(2, N_PUBLISHES + 2):
+                catalog.put(_published_entry("W", publish))
+        except BaseException as exc:
+            errors.append(exc)
+
+    def reader():
+        start.wait()
+        try:
+            last = 0.0
+            for index in range(N_PROBES):
+                seen = service.estimate_equality("W", "a", 1)
+                # Published totals only ever grow, so an answer smaller than
+                # one already observed means a stale table was served.
+                assert seen >= last, f"stale serve: {seen} after {last}"
+                last = seen
+                # Churn the LRU across more relations than it can hold.
+                service.estimate_equality(f"R{index % N_HOT_RELATIONS}", "a", 1)
+                assert service.cached_tables <= MAX_TABLES
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)]
+    threads += [threading.Thread(target=reader) for _ in range(N_READERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    # The quiesced service must serve the final published version.
+    assert service.estimate_equality("W", "a", 1) == float(N_PUBLISHES + 1)
+    stats = service.stats()
+    # No lost metric updates: every probe counted exactly once.
+    assert stats.probes_served == N_READERS * N_PROBES * 2 + 1
+    assert stats.probes_served == stats.probe_type_total()
+    assert service.cached_tables <= MAX_TABLES
