@@ -1,0 +1,125 @@
+"""Persistence benchmark: snapshot save/load and journal replay at scale.
+
+Crash safety must not make statistics maintenance unaffordable.  This
+bench builds a 100-relation catalog (a realistic warehouse-sized stats
+store), then times the three durability paths a production deployment
+exercises continuously:
+
+* atomic checksummed snapshot **save** (serialise + tmp + fsync + rename);
+* verified snapshot **load** (parse + per-entry checksum check);
+* write-ahead **append** (fsync per acknowledged delta) and the
+  **replay** of those deltas onto a freshly loaded snapshot.
+
+Alongside the timings it checks the round trip is exact and that
+recovery of the snapshot+journal pair reports clean.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from _reporting import record_report
+
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.journal import MaintenanceJournal, read_journal, replay_records
+from repro.engine.persist import catalog_to_dict, load_catalog, save_catalog
+from repro.experiments.report import format_table
+from repro.util.rng import derive_rng
+
+N_RELATIONS = 100
+EXPLICIT_PER_RELATION = 40
+N_DELTAS = 1_000
+
+
+def build_catalog(gen):
+    catalog = StatsCatalog()
+    for index in range(N_RELATIONS):
+        frequencies = gen.integers(1, 500, size=EXPLICIT_PER_RELATION)
+        explicit = {
+            f"v{value_index}": float(frequency)
+            for value_index, frequency in enumerate(frequencies)
+        }
+        compact = CompactEndBiased(
+            explicit=explicit,
+            remainder_count=int(gen.integers(10, 200)),
+            remainder_average=float(gen.integers(1, 20)),
+        )
+        catalog.put(
+            CatalogEntry(
+                relation=f"R{index}",
+                attribute="a",
+                kind="end-biased",
+                histogram=None,
+                compact=compact,
+                distinct_count=compact.distinct_count,
+                total_tuples=compact.total,
+            )
+        )
+    return catalog
+
+
+def run_persist_bench(tmp_path):
+    gen = derive_rng(2026)
+    catalog = build_catalog(gen)
+    snapshot = tmp_path / "catalog.json"
+    wal = tmp_path / "wal.jsonl"
+
+    started = perf_counter()
+    save_catalog(catalog, snapshot)
+    save_seconds = perf_counter() - started
+
+    started = perf_counter()
+    loaded = load_catalog(snapshot)
+    load_seconds = perf_counter() - started
+
+    journal = MaintenanceJournal(wal)
+    relations = [f"R{int(r)}" for r in gen.integers(0, N_RELATIONS, size=N_DELTAS)]
+    values = [f"v{int(v)}" for v in gen.integers(0, EXPLICIT_PER_RELATION, size=N_DELTAS)]
+    started = perf_counter()
+    for relation, value in zip(relations, values):
+        journal.append_insert(relation, "a", value)
+    append_seconds = perf_counter() - started
+
+    started = perf_counter()
+    records, torn = read_journal(wal)
+    stats = replay_records(loaded, records)
+    replay_seconds = perf_counter() - started
+
+    report = load_catalog(snapshot, recover=True, journal=wal)
+
+    return {
+        "round_trip_exact": catalog_to_dict(load_catalog(snapshot))
+        == catalog_to_dict(catalog),
+        "torn": torn,
+        "replay_applied": stats.applied,
+        "recovery_clean": report.clean,
+        "recovery_replayed": report.journal_replayed,
+        "save_seconds": save_seconds,
+        "load_seconds": load_seconds,
+        "append_seconds": append_seconds,
+        "replay_seconds": replay_seconds,
+    }
+
+
+def test_persist_throughput(benchmark, tmp_path):
+    result = benchmark.pedantic(run_persist_bench, args=(tmp_path,), rounds=1, iterations=1)
+
+    record_report(
+        f"Durability — {N_RELATIONS}-relation catalog snapshot + {N_DELTAS}-delta WAL",
+        format_table(
+            ["path", "seconds", "items/sec"],
+            [
+                ["snapshot save", result["save_seconds"], N_RELATIONS / result["save_seconds"]],
+                ["snapshot load", result["load_seconds"], N_RELATIONS / result["load_seconds"]],
+                ["journal append", result["append_seconds"], N_DELTAS / result["append_seconds"]],
+                ["journal replay", result["replay_seconds"], N_DELTAS / result["replay_seconds"]],
+            ],
+            precision=4,
+        ),
+    )
+
+    assert result["round_trip_exact"], "snapshot round trip must be exact"
+    assert not result["torn"]
+    assert result["replay_applied"] == N_DELTAS
+    assert result["recovery_clean"]
+    assert result["recovery_replayed"] == N_DELTAS

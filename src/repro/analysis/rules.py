@@ -1,4 +1,4 @@
-"""repolint rules: project-specific coding contracts, R001-R006.
+"""repolint rules: project-specific coding contracts, R001-R007.
 
 Each rule enforces a discipline that keeps the paper's algebraic guarantees
 true as the codebase grows:
@@ -21,6 +21,11 @@ true as the codebase grows:
   ``on_error`` policy isolates the failure) or
   :meth:`repro.engine.catalog.StatsCatalog.relation_rows`; deliberate strict
   call sites carry a justified ``# repolint: disable=R006``.
+* **R007** — statistics-store modules (``engine``, ``maint``, ``serve``)
+  must write files through :func:`repro.engine.durable.atomic_write_text`
+  (tmp + fsync + atomic ``os.replace``); a bare ``open(..., "w")`` or
+  ``write_text`` tears the catalog on a crash.  Append-only logs (the
+  maintenance journal) justify themselves with ``# repolint: disable=R007``.
 
 Rules are pure functions of a parsed :class:`~repro.analysis.linter.LintModule`;
 they never import the code under analysis.
@@ -498,6 +503,77 @@ class NoBareScanCardinalityRule(Rule):
             )
 
 
+#: The one module allowed to open files for writing in the statistics
+#: store: the atomic-write helper (tmp + fsync + os.replace) lives there.
+DURABLE_WRITE_HOME = ("repro/engine/durable.py",)
+
+#: Package path fragments whose writes must go through the durable helper.
+DURABLE_WRITE_SCOPES = ("repro/engine/", "repro/maint/", "repro/serve/")
+
+
+class AtomicCatalogWriteRule(Rule):
+    """R007: store-layer file writes must use the atomic-write helper."""
+
+    code = "R007"
+    name = "atomic-catalog-write"
+    summary = (
+        "engine/maint/serve modules must write files through "
+        "repro.engine.durable.atomic_write_text (crash-safe tmp + fsync + "
+        "os.replace), never bare open(..., 'w')/write_text; deliberate "
+        "append-only logs carry a justified `# repolint: disable=R007`"
+    )
+
+    #: Mode characters that make an ``open`` call a write.
+    _WRITE_MODE_CHARS = frozenset("wxa+")
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        posix = module.path.replace("\\", "/")
+        if not any(scope in posix for scope in DURABLE_WRITE_SCOPES):
+            return
+        if any(posix.endswith(home) for home in DURABLE_WRITE_HOME):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name == "open" and self._opens_for_write(node):
+                yield self.violation(
+                    module,
+                    node,
+                    "bare `open` for writing in the statistics store; a crash "
+                    "mid-write tears the file — use "
+                    "repro.engine.durable.atomic_write_text, or justify an "
+                    "append-only log with `# repolint: disable=R007`",
+                )
+            elif name in {"write_text", "write_bytes"} and isinstance(
+                func, ast.Attribute
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"`.{name}()` replaces the file non-atomically; use "
+                    "repro.engine.durable.atomic_write_text so readers never "
+                    "observe a half-written catalog",
+                )
+
+    @classmethod
+    def _opens_for_write(cls, node: ast.Call) -> bool:
+        mode: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return False  # default mode "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return any(ch in cls._WRITE_MODE_CHARS for ch in mode.value)
+        return True  # dynamic mode: assume the worst
+
+
 #: All rules, in code order. The linter instantiates from this registry.
 ALL_RULES: tuple[type[Rule], ...] = (
     RngDisciplineRule,
@@ -506,6 +582,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoCallerMutationRule,
     AnnotationsRule,
     NoBareScanCardinalityRule,
+    AtomicCatalogWriteRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

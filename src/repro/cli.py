@@ -9,6 +9,8 @@ Subcommands cover the common interactive uses:
 * ``chain`` — one row of the Figures 6-7 comparison;
 * ``table1`` — the construction-cost table;
 * ``serve-stats`` — batched estimation-service workload with cache metrics;
+* ``stats check`` / ``stats repair`` — verify or repair an on-disk
+  statistics catalog (checksums, journal replay, quarantine);
 * ``arrangements`` — the Section 3.1 arrangement study.
 
 Example::
@@ -222,6 +224,40 @@ def _cmd_serve_stats(args) -> int:
     return 0
 
 
+def _cmd_stats_check(args) -> int:
+    """Verify an on-disk catalog: checksums, format, journal health."""
+    from repro.engine.persist import load_catalog
+
+    report = load_catalog(args.catalog, recover=True, journal=args.journal)
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def _cmd_stats_repair(args) -> int:
+    """Rewrite a catalog snapshot keeping only verified (+replayed) entries."""
+    from repro.engine.journal import MaintenanceJournal
+    from repro.engine.persist import load_catalog, save_catalog
+
+    report = load_catalog(args.catalog, recover=True, journal=args.journal)
+    print(report.summary())
+    destination = args.output if args.output is not None else args.catalog
+    journal = (
+        MaintenanceJournal(args.journal) if args.journal is not None else None
+    )
+    save_catalog(report.catalog, destination, journal=journal)
+    print(
+        f"repaired snapshot written to {destination}: "
+        f"{len(report.catalog)} entries kept, "
+        f"{len(report.quarantined)} quarantined entries dropped"
+    )
+    if report.quarantined:
+        print(
+            "note: dropped statistics are gone; re-run ANALYZE for "
+            + ", ".join(sorted({q.label() for q in report.quarantined}))
+        )
+    return 0
+
+
 def _cmd_describe(args) -> int:
     from repro.data.zipf import zipf_frequencies
     from repro.util.stats import profile_frequencies
@@ -376,6 +412,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=1995)
     p.set_defaults(func=_cmd_serve_stats)
+
+    p = sub.add_parser(
+        "stats", help="inspect or repair an on-disk statistics catalog"
+    )
+    stats_sub = p.add_subparsers(dest="stats_command", required=True)
+    for name, func, help_text in (
+        (
+            "check",
+            _cmd_stats_check,
+            "verify checksums and journal health (exit 1 on findings)",
+        ),
+        (
+            "repair",
+            _cmd_stats_repair,
+            "rewrite the snapshot from verified entries + journal replay",
+        ),
+    ):
+        sp = stats_sub.add_parser(name, help=help_text)
+        sp.add_argument("catalog", help="path of the catalog snapshot file")
+        sp.add_argument(
+            "--journal",
+            default=None,
+            help="maintenance journal to replay (and, for repair, checkpoint)",
+        )
+        if name == "repair":
+            sp.add_argument(
+                "--output",
+                default=None,
+                help="write the repaired snapshot here instead of in place",
+            )
+        sp.set_defaults(func=func)
 
     p = sub.add_parser("lint", help="run repolint, the project static analyzer")
     p.add_argument(

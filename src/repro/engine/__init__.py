@@ -24,7 +24,25 @@ from repro.engine.executor import ChainJoinSpec, execute_chain_join, chain_join_
 from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
 from repro.engine.analyze import analyze_relation, analyze_database
 from repro.engine.sampling import SpaceSavingSketch, reservoir_sample, sampled_end_biased_histogram
-from repro.engine.persist import catalog_from_dict, catalog_to_dict, load_catalog, save_catalog
+from repro.engine.durable import atomic_write_text, canonical_json, checksum
+from repro.engine.journal import (
+    JournalFormatError,
+    JournalRecord,
+    JournalReplayError,
+    JournalReplayStats,
+    MaintenanceJournal,
+    read_journal,
+    replay_records,
+)
+from repro.engine.persist import (
+    CatalogFormatError,
+    QuarantinedEntry,
+    RecoveryReport,
+    catalog_from_dict,
+    catalog_to_dict,
+    load_catalog,
+    save_catalog,
+)
 from repro.engine.tuning import Recommendation, apply_recommendations, recommend_statistics, tune_database
 
 __all__ = [
@@ -46,6 +64,19 @@ __all__ = [
     "SpaceSavingSketch",
     "reservoir_sample",
     "sampled_end_biased_histogram",
+    "atomic_write_text",
+    "canonical_json",
+    "checksum",
+    "JournalFormatError",
+    "JournalRecord",
+    "JournalReplayError",
+    "JournalReplayStats",
+    "MaintenanceJournal",
+    "read_journal",
+    "replay_records",
+    "CatalogFormatError",
+    "QuarantinedEntry",
+    "RecoveryReport",
     "catalog_from_dict",
     "catalog_to_dict",
     "load_catalog",

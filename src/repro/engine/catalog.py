@@ -123,6 +123,11 @@ class CatalogEntry:
     distinct_count: int
     total_tuples: float
     version: int = 0
+    #: Write-ahead fence: the highest maintenance-journal sequence number
+    #: already folded into this entry's statistics.  Journal replay (see
+    #: :mod:`repro.engine.journal`) skips records at or below it, making
+    #: replay idempotent across snapshot/checkpoint crash windows.
+    journal_seq: int = 0
 
     def estimate_frequency(self, value: Hashable) -> float:
         """Approximate frequency of *value* from the best available form."""

@@ -1,0 +1,146 @@
+"""Crash-safe file IO primitives for the statistics store.
+
+Catalog snapshots and the maintenance journal must never be observable in a
+half-written state: a crash mid-write used to corrupt every relation's
+statistics at once.  This module is the single place on-disk catalog state
+is allowed to be written (enforced by repolint rule R007):
+
+* :func:`atomic_write_text` — write-to-temp, flush, ``fsync``, then an
+  atomic ``os.replace``, followed by a directory fsync, so readers only
+  ever see the old file or the complete new one;
+* :func:`canonical_json` / :func:`checksum` — the canonical encoding and
+  CRC32 scheme behind the per-entry checksums of the snapshot format and
+  the per-record checksums of the journal;
+* :func:`check_scalar` / :func:`check_finite` — the serialisation guards
+  (JSON-representable scalars only, non-finite floats rejected with a
+  clear error instead of emitting non-standard JSON).
+
+Every step carries a named fault-injection point (see
+:mod:`repro.testing.faults`); the chaos suite crashes at each of them and
+asserts the store always reloads to the last consistent state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import zlib
+from pathlib import Path
+from typing import Union
+
+from repro.testing.faults import (
+    POINT_PERSIST_DIRSYNC,
+    POINT_PERSIST_FLUSH,
+    POINT_PERSIST_REPLACE,
+    POINT_PERSIST_WRITE_TMP,
+    InjectedCrash,
+    fault_point,
+)
+
+PathLike = Union[str, Path]
+
+#: The attribute-value types the on-disk formats can represent.
+SCALAR_TYPES = (str, int, float, bool)
+
+
+def check_scalar(value: object, context: str) -> object:
+    """Return *value* if it is a JSON-representable scalar, else raise."""
+    if not isinstance(value, SCALAR_TYPES):
+        raise TypeError(
+            f"{context}: attribute value {value!r} of type "
+            f"{type(value).__name__} is not JSON-serialisable"
+        )
+    if isinstance(value, float):
+        check_finite(value, context)
+    return value
+
+
+def check_finite(number: float, context: str) -> float:
+    """Reject NaN/±inf, which ``json.dumps`` would emit as non-standard JSON."""
+    number = float(number)
+    if not math.isfinite(number):
+        raise ValueError(
+            f"{context}: non-finite value {number!r} cannot be persisted; "
+            "the JSON catalog format only represents finite numbers"
+        )
+    return number
+
+
+def canonical_json(payload: object) -> str:  # repolint: boundary-exempt — json.dumps rejects non-serialisable input
+    """The one byte-stable encoding checksums are computed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def checksum(text: str) -> int:
+    """CRC32 (unsigned) of *text* in UTF-8 — the format's checksum scheme."""
+    if not isinstance(text, str):
+        raise TypeError(f"checksum input must be str, got {type(text).__name__}")
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def temporary_path(path: PathLike) -> Path:
+    """The sibling temporary file :func:`atomic_write_text` stages into.
+
+    One fixed name per target keeps crash residue bounded: a later save
+    simply overwrites the stale temporary.
+    """
+    if not isinstance(path, (str, Path)):
+        raise TypeError(f"path must be str or Path, got {type(path).__name__}")
+    path = Path(path)
+    return path.parent / f".{path.name}.tmp"
+
+
+def fsync_directory(directory: Path) -> None:  # repolint: boundary-exempt — best-effort by contract
+    """Flush the directory entry so an ``os.replace`` survives power loss.
+
+    Best-effort: platforms that cannot open directories (or filesystems
+    that reject directory fsync) are silently tolerated — the rename
+    itself is still atomic there.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically replace *path* with *text* (tmp + fsync + ``os.replace``).
+
+    A reader concurrent with — or a crash during — this call observes
+    either the previous complete contents or the new complete contents,
+    never a prefix.  On an ordinary failure the temporary file is removed;
+    on a simulated power loss (:class:`~repro.testing.faults.InjectedCrash`)
+    it is deliberately left behind, as a real crash would leave it.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"text must be str, got {type(text).__name__}")
+    path = Path(path)
+    tmp = temporary_path(path)
+    fault_point(POINT_PERSIST_WRITE_TMP, path=str(tmp))
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            fault_point(POINT_PERSIST_FLUSH, path=str(tmp))
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point(POINT_PERSIST_REPLACE, path=str(path))
+        os.replace(tmp, path)
+    except InjectedCrash:
+        raise  # power loss: no cleanup may run
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fault_point(POINT_PERSIST_DIRSYNC, path=str(path.parent))
+    fsync_directory(path.parent)

@@ -24,6 +24,7 @@ from repro.core.biased import v_opt_bias_hist
 from repro.core.frequency import AttributeDistribution
 from repro.core.histogram import Histogram
 from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.journal import MaintenanceJournal
 from repro.engine.sampling import SpaceSavingSketch
 from repro.util.validation import ensure_in_range, ensure_positive_int
 
@@ -54,6 +55,13 @@ class MaintainedEndBiased:
     the value set of the implicit bucket so membership is exact;
     ``track_values=False`` stores only counters (the true catalog regime)
     and treats unseen values as new domain values.
+
+    With a :class:`~repro.engine.journal.MaintenanceJournal` attached (via
+    the constructor or :meth:`attach_journal`), every insert/delete is
+    durably appended to the write-ahead log **before** the in-memory
+    counters change — so a crash between snapshots loses no acknowledged
+    delta; ``load_catalog(..., journal=...)`` replays the log.  Journaled
+    values must be JSON scalars (str/int/float/bool).
     """
 
     def __init__(
@@ -63,12 +71,46 @@ class MaintainedEndBiased:
         *,
         policy: Optional[MaintenancePolicy] = None,
         track_values: bool = True,
+        journal: Optional[MaintenanceJournal] = None,
+        relation: Optional[str] = None,
+        attribute: Optional[str] = None,
     ):
         self._buckets = ensure_positive_int(buckets, "buckets")
         self.policy = policy or MaintenancePolicy()
         self._track_values = track_values
         self._sketch = SpaceSavingSketch(self.policy.sketch_capacity)
+        self._journal: Optional[MaintenanceJournal] = None
+        self._journal_relation: Optional[str] = None
+        self._journal_attribute: Optional[str] = None
+        if journal is not None:
+            if relation is None or attribute is None:
+                raise ValueError(
+                    "a journal needs the relation and attribute the deltas "
+                    "belong to; pass relation= and attribute= as well"
+                )
+            self.attach_journal(journal, relation, attribute)
         self._rebuild_from(distribution)
+
+    def attach_journal(
+        self, journal: MaintenanceJournal, relation: str, attribute: str
+    ) -> None:
+        """Write-ahead log every future delta as *relation*.*attribute*."""
+        if not isinstance(journal, MaintenanceJournal):
+            raise TypeError(
+                f"journal must be a MaintenanceJournal, got {type(journal).__name__}"
+            )
+        if not isinstance(relation, str) or not relation:
+            raise TypeError(f"relation must be a non-empty str, got {relation!r}")
+        if not isinstance(attribute, str) or not attribute:
+            raise TypeError(f"attribute must be a non-empty str, got {attribute!r}")
+        self._journal = journal
+        self._journal_relation = relation
+        self._journal_attribute = attribute
+
+    @property
+    def journal(self) -> Optional[MaintenanceJournal]:
+        """The attached write-ahead journal, if any."""
+        return self._journal
 
     def _rebuild_from(self, distribution: AttributeDistribution) -> None:
         buckets = min(self._buckets, distribution.domain_size)
@@ -141,6 +183,11 @@ class MaintainedEndBiased:
         :class:`repro.serve.EstimationService` over the catalog discards its
         compiled tables for this column and recompiles from the new snapshot
         on the next probe.
+
+        When a journal is attached for this (relation, attribute), the entry
+        is stamped with the journal's last acknowledged sequence number as
+        its ``journal_seq`` fence: the published statistics already include
+        every logged delta, so replay after a crash skips them.
         """
         entry = CatalogEntry(
             relation=relation,
@@ -151,6 +198,12 @@ class MaintainedEndBiased:
             distinct_count=self.distinct_count,
             total_tuples=float(self.total),
         )
+        if (
+            self._journal is not None
+            and self._journal_relation == relation
+            and self._journal_attribute == attribute
+        ):
+            entry.journal_seq = self._journal.last_seq
         catalog.put(entry)
         return entry
 
@@ -158,8 +211,27 @@ class MaintainedEndBiased:
     # Updates
     # ------------------------------------------------------------------
 
+    def _journal_delta(self, op: str, value: Hashable) -> None:
+        """Write-ahead log the delta; raises (and applies nothing) on failure."""
+        if self._journal is None:
+            return
+        if op == "insert":
+            self._journal.append_insert(
+                self._journal_relation, self._journal_attribute, value
+            )
+        else:
+            self._journal.append_delete(
+                self._journal_relation, self._journal_attribute, value
+            )
+
     def insert(self, value: Hashable) -> None:
-        """Propagate the insertion of one tuple with *value*."""
+        """Propagate the insertion of one tuple with *value*.
+
+        With a journal attached the delta is durably logged first; if the
+        append fails (disk error, crash) the in-memory state is untouched —
+        an unacknowledged update is a *rejected* update, never a silent one.
+        """
+        self._journal_delta("insert", value)
         self.updates_since_build += 1
         if value in self.explicit:
             self.explicit[value] += 1.0
@@ -175,17 +247,24 @@ class MaintainedEndBiased:
         self.remainder_total += 1.0
 
     def delete(self, value: Hashable) -> None:
-        """Propagate the deletion of one tuple with *value*."""
-        self.updates_since_build += 1
+        """Propagate the deletion of one tuple with *value*.
+
+        Validation runs before the write-ahead append, so an impossible
+        delete raises without polluting the journal.
+        """
         if value in self.explicit:
             if self.explicit[value] <= 0:
                 raise ValueError(f"no tuples left with value {value!r}")
+            self._journal_delta("delete", value)
+            self.updates_since_build += 1
             self.explicit[value] -= 1.0
             return
         if self._remainder_values is not None and value not in self._remainder_values:
             raise ValueError(f"value {value!r} is not in the histogram's domain")
         if self.remainder_total <= 0:
             raise ValueError("implicit bucket is already empty")
+        self._journal_delta("delete", value)
+        self.updates_since_build += 1
         self.remainder_total -= 1.0
 
     # ------------------------------------------------------------------

@@ -19,12 +19,15 @@ from repro.serve.service import (
     DEFAULT_MAX_TABLES,
     DEFAULT_RANGE_SELECTIVITY,
     ON_ERROR_POLICIES,
+    REASON_COMPILE_FAILED,
+    REASON_QUARANTINED,
     EqualityProbe,
     EstimationService,
     JoinProbe,
     Probe,
     ProbeTrace,
     RangeProbe,
+    TableCompileError,
 )
 from repro.serve.tables import (
     CompiledCompact,
@@ -40,6 +43,8 @@ __all__ = [
     "LATENCY_BUCKET_BOUNDS",
     "ON_ERROR_POLICIES",
     "PROBE_KINDS",
+    "REASON_COMPILE_FAILED",
+    "REASON_QUARANTINED",
     "CompiledCompact",
     "CompiledHistogram",
     "EqualityProbe",
@@ -49,6 +54,7 @@ __all__ = [
     "ProbeTrace",
     "RangeProbe",
     "ServiceMetrics",
+    "TableCompileError",
     "compile_compact",
     "compile_histogram",
 ]

@@ -86,6 +86,17 @@ class ServiceMetrics:
         #: Degraded-probe counts keyed by reason string (e.g.
         #: ``"unknown-relation"``, ``"unorderable-domain"``).
         self.degradation_reasons: dict[str, int] = {}
+        #: Probes refused because their statistics are quarantined (a
+        #: subset of ``degraded_probes``; reason ``quarantined-statistics``).
+        self.quarantined_probes = 0
+        #: Catalog entries a table compile raised on (served degraded).
+        self.compile_failures = 0
+        #: ``apply_recovery`` calls the service absorbed.
+        self.recoveries_applied = 0
+        #: Catalog entries quarantined across those recoveries.
+        self.entries_quarantined = 0
+        #: Journal deltas the absorbed recoveries had replayed.
+        self.journal_deltas_replayed = 0
         #: Batch-latency histogram aligned with ``LATENCY_BUCKET_BOUNDS``
         #: plus one unbounded tail bucket.
         self.latency_counts: list[int] = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
@@ -135,6 +146,23 @@ class ServiceMetrics:
                 self.degradation_reasons.get(reason, 0) + count
             )
 
+    def record_quarantined(self, count: int = 1) -> None:
+        """Count *count* probes refused because of quarantined statistics."""
+        with self._lock:
+            self.quarantined_probes += count
+
+    def record_compile_failure(self, count: int = 1) -> None:
+        """Count *count* catalog entries whose table compile raised."""
+        with self._lock:
+            self.compile_failures += count
+
+    def record_recovery(self, *, entries_quarantined: int, deltas_replayed: int) -> None:
+        """Absorb one :class:`~repro.engine.persist.RecoveryReport`."""
+        with self._lock:
+            self.recoveries_applied += 1
+            self.entries_quarantined += entries_quarantined
+            self.journal_deltas_replayed += deltas_replayed
+
     def record_batch(self, *, failed: bool = False) -> None:
         """Count one ``estimate_batch`` call (served or failed)."""
         with self._lock:
@@ -176,6 +204,11 @@ class ServiceMetrics:
             copy.fallback_probes = self.fallback_probes
             copy.degraded_probes = self.degraded_probes
             copy.degradation_reasons = dict(self.degradation_reasons)
+            copy.quarantined_probes = self.quarantined_probes
+            copy.compile_failures = self.compile_failures
+            copy.recoveries_applied = self.recoveries_applied
+            copy.entries_quarantined = self.entries_quarantined
+            copy.journal_deltas_replayed = self.journal_deltas_replayed
             copy.latency_counts = list(self.latency_counts)
         return copy
 
@@ -213,6 +246,11 @@ class ServiceMetrics:
             "not_equal_probes": self.not_equal_probes,
             "fallback_probes": self.fallback_probes,
             "degraded_probes": self.degraded_probes,
+            "quarantined_probes": self.quarantined_probes,
+            "compile_failures": self.compile_failures,
+            "recoveries_applied": self.recoveries_applied,
+            "entries_quarantined": self.entries_quarantined,
+            "journal_deltas_replayed": self.journal_deltas_replayed,
         }
         for reason, count in sorted(self.degradation_reasons.items()):
             out[f"degraded[{reason}]"] = count
@@ -243,6 +281,18 @@ class ServiceMetrics:
                 for reason, count in sorted(self.degradation_reasons.items())
             )
             lines.append(f"degradation reasons: {reasons}")
+        if self.quarantined_probes or self.compile_failures:
+            lines.append(
+                f"faulty statistics: {self.quarantined_probes} probes answered "
+                f"around quarantined entries, {self.compile_failures} compile "
+                "failures"
+            )
+        if self.recoveries_applied:
+            lines.append(
+                f"recovery: {self.recoveries_applied} reports applied, "
+                f"{self.entries_quarantined} entries quarantined, "
+                f"{self.journal_deltas_replayed} journal deltas replayed"
+            )
         if any(self.latency_counts):
             histogram = ", ".join(
                 f"{label}: {count}"

@@ -47,6 +47,14 @@ Probes over a *known* relation that merely lack the right statistics form
 System R magic-constant fallbacks; those are first-class answers, counted
 separately in ``ServiceMetrics.fallback_probes``.
 
+Statistics **quarantined** by crash recovery (fed in through
+:meth:`EstimationService.apply_recovery` from a
+:class:`~repro.engine.persist.RecoveryReport`) are never served: probes
+touching them resolve through the same ``on_error`` policy with reason
+``"quarantined-statistics"``.  An entry whose lookup-table *compile*
+raises is likewise isolated (reason ``"table-compile-failed"``) instead of
+aborting the batch; both are visible in the metrics.
+
 Pass ``trace=`` (any callable accepting a :class:`ProbeTrace`) to any
 estimate entry point to observe *why* each fallback or degraded answer was
 served, including the probe's position inside ``estimate_batch`` inputs.
@@ -64,8 +72,10 @@ from typing import Callable, Hashable, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.persist import RecoveryReport
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.tables import CompiledCompact, CompiledHistogram, compile_compact, compile_histogram
+from repro.testing.faults import POINT_SERVE_COMPILE, fault_point
 from repro.util.validation import ensure_positive_int
 
 #: Fallback equality-join/selection selectivity when no statistics exist —
@@ -86,10 +96,28 @@ REASON_UNKNOWN_RELATION = "unknown-relation"
 REASON_UNORDERABLE_DOMAIN = "unorderable-domain"
 REASON_UNHASHABLE_VALUE = "unhashable-value"
 REASON_INCOMPARABLE_BOUND = "incomparable-bound"
+#: The entry's statistics were quarantined by crash recovery (see
+#: :meth:`EstimationService.apply_recovery`) and must not be served.
+REASON_QUARANTINED = "quarantined-statistics"
+#: Compiling the entry's lookup table raised; the corrupt/buggy statistics
+#: are isolated instead of aborting the batch.
+REASON_COMPILE_FAILED = "table-compile-failed"
 #: Fallback (non-degraded) reasons: the relation is known, the statistics
 #: form needed for a first-class answer is not.
 REASON_NO_STATISTICS = "no-statistics"
 REASON_NO_HISTOGRAM = "no-histogram"
+
+
+class TableCompileError(RuntimeError):
+    """A catalog entry could not be compiled into a serving table.
+
+    Raised internally when :func:`~repro.serve.tables.compile_histogram` /
+    :func:`~repro.serve.tables.compile_compact` fail on an entry (corrupt
+    statistics that slipped past load-time checks, or an injected compile
+    fault).  Estimate paths catch it and resolve the affected probes
+    through the ``on_error`` policy with reason ``"table-compile-failed"``;
+    under ``on_error="raise"`` it propagates to the caller.
+    """
 
 
 @dataclass(frozen=True)
@@ -174,6 +202,9 @@ class _CompiledSlot:
 
     @classmethod
     def from_entry(cls, entry: CatalogEntry) -> "_CompiledSlot":
+        fault_point(
+            POINT_SERVE_COMPILE, detail=f"{entry.relation}.{entry.attribute}"
+        )
         histogram_table: Optional[CompiledHistogram] = None
         if entry.histogram is not None and entry.histogram.values is not None:
             histogram_table = compile_histogram(entry.histogram)
@@ -253,6 +284,7 @@ class EstimationService:
         *,
         max_tables: int = DEFAULT_MAX_TABLES,
         on_error: str = "fallback",
+        recovery: Optional[RecoveryReport] = None,
     ):
         if not isinstance(catalog, StatsCatalog):
             raise TypeError(
@@ -266,8 +298,14 @@ class EstimationService:
         self._max_tables = ensure_positive_int(max_tables, "max_tables")
         self._on_error = on_error
         self._slots: OrderedDict[tuple[str, str], _CompiledSlot] = OrderedDict()
+        # (relation, attribute) pairs recovery withheld; attribute None
+        # quarantines the whole relation.  Probes touching them degrade
+        # through the on_error policy with reason "quarantined-statistics".
+        self._quarantined: set[tuple[str, Optional[str]]] = set()
         self._lock = threading.RLock()
         self.metrics = ServiceMetrics()
+        if recovery is not None:
+            self.apply_recovery(recovery)
 
     # ------------------------------------------------------------------
     # Compiled-table cache
@@ -301,6 +339,90 @@ class EstimationService:
             self._slots.clear()
             return dropped
 
+    # ------------------------------------------------------------------
+    # Recovery and quarantine
+    # ------------------------------------------------------------------
+
+    @property
+    def quarantined(self) -> frozenset:
+        """The (relation, attribute) pairs currently quarantined.
+
+        An ``attribute`` of ``None`` means the whole relation is held.
+        """
+        with self._lock:
+            return frozenset(self._quarantined)
+
+    def apply_recovery(self, report: RecoveryReport) -> int:
+        """Absorb a crash-recovery report; returns entries newly quarantined.
+
+        Every entry the recovery load quarantined is registered so probes
+        against it resolve through the ``on_error`` policy (reason
+        ``"quarantined-statistics"``) instead of being served from corrupt
+        statistics, and the recovery is surfaced in the metrics
+        (``recoveries_applied`` / ``entries_quarantined`` /
+        ``journal_deltas_replayed``).
+        """
+        if not isinstance(report, RecoveryReport):
+            raise TypeError(
+                f"report must be a RecoveryReport, got {type(report).__name__}"
+            )
+        added = 0
+        with self._lock:
+            for item in report.quarantined:
+                if item.relation is None:
+                    continue
+                key = (item.relation, item.attribute)
+                if key not in self._quarantined:
+                    self._quarantined.add(key)
+                    self._slots.pop((item.relation, item.attribute), None)
+                    added += 1
+        self.metrics.record_recovery(
+            entries_quarantined=added, deltas_replayed=report.journal_replayed
+        )
+        return added
+
+    def quarantine(self, relation: str, attribute: Optional[str] = None) -> None:
+        """Manually hold *relation* (or one attribute) out of serving."""
+        if not isinstance(relation, str) or not relation:
+            raise TypeError(f"relation must be a non-empty str, got {relation!r}")
+        with self._lock:
+            self._quarantined.add((relation, attribute))
+            if attribute is None:
+                for key in [k for k in self._slots if k[0] == relation]:
+                    del self._slots[key]
+            else:
+                self._slots.pop((relation, attribute), None)
+
+    def clear_quarantine(
+        self, relation: str, attribute: Optional[str] = None
+    ) -> bool:
+        """Release a quarantine (after re-ANALYZE/repair); True if held."""
+        with self._lock:
+            try:
+                self._quarantined.remove((relation, attribute))
+                return True
+            except KeyError:
+                return False
+
+    def _is_quarantined(self, relation: str, attribute: Optional[str]) -> bool:
+        if not self._quarantined:
+            return False
+        with self._lock:
+            return (
+                (relation, attribute) in self._quarantined
+                or (relation, None) in self._quarantined
+            )
+
+    @staticmethod
+    def _quarantined_error(
+        relation: str, attribute: Optional[str]
+    ) -> Callable[[], Exception]:
+        target = relation if attribute is None else f"{relation}.{attribute}"
+        return lambda: RuntimeError(
+            f"statistics for {target} are quarantined after crash recovery; "
+            "re-run ANALYZE or `repro stats repair` before serving them"
+        )
+
     def _slot_for_entry(self, entry: CatalogEntry) -> _CompiledSlot:
         key = (entry.relation, entry.attribute)
         with self._lock:
@@ -311,7 +433,16 @@ class EstimationService:
                 return slot
             self.metrics.record_table_miss()
             started = perf_counter()
-            slot = _CompiledSlot.from_entry(entry)
+            try:
+                slot = _CompiledSlot.from_entry(entry)
+            except Exception as exc:
+                # Nothing is cached for a failed compile: a re-ANALYZE
+                # replaces the entry (new version) and compiles fresh.
+                self.metrics.record_compile_failure()
+                raise TableCompileError(
+                    f"failed to compile serving tables for "
+                    f"{entry.relation}.{entry.attribute}: {exc}"
+                ) from exc
             self.metrics.record_compile(perf_counter() - started)
             self._slots[key] = slot
             self._slots.move_to_end(key)
@@ -359,6 +490,8 @@ class EstimationService:
             raise error()
         value = math.nan if policy == "nan" else fallback
         self.metrics.record_degraded(reason)
+        if reason == REASON_QUARANTINED:
+            self.metrics.record_quarantined()
         if trace is not None:
             trace(
                 ProbeTrace(
@@ -440,6 +573,22 @@ class EstimationService:
         """Answer one (relation, attribute) equality group, fault-isolated."""
         count = len(values)
         out = np.empty(count, dtype=np.float64)
+        if self._is_quarantined(relation, attribute):
+            rows = self._catalog.relation_rows(relation)
+            fallback = 0.0 if rows is None else rows * DEFAULT_EQ_SELECTIVITY
+            for index in range(count):
+                out[index] = self._degrade(
+                    policy,
+                    kind=kind,
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_QUARANTINED,
+                    fallback=fallback,
+                    error=self._quarantined_error(relation, attribute),
+                    trace=trace,
+                    position=_probe_position(positions, index),
+                )
+            return out
         good_index: list[int] = []
         good_values: list[Hashable] = []
         for index, value in enumerate(values):
@@ -465,7 +614,24 @@ class EstimationService:
                 good_values.append(value)
         if not good_values:
             return out
-        slot = self._slot(relation, attribute)
+        try:
+            slot = self._slot(relation, attribute)
+        except TableCompileError as exc:
+            rows = self._catalog.relation_rows(relation)
+            fallback = 0.0 if rows is None else rows * DEFAULT_EQ_SELECTIVITY
+            for index in good_index:
+                out[index] = self._degrade(
+                    policy,
+                    kind=kind,
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_COMPILE_FAILED,
+                    fallback=fallback,
+                    error=lambda exc=exc: exc,
+                    trace=trace,
+                    position=_probe_position(positions, index),
+                )
+            return out
         if slot is not None:
             answers = slot.frequency_batch(good_values)
         else:
@@ -606,8 +772,41 @@ class EstimationService:
     ) -> np.ndarray:
         """Answer one range group, isolating unanswerable probes."""
         count = len(lows)
-        slot = self._slot(relation, attribute)
         rows = self._catalog.relation_rows(relation)
+        if self._is_quarantined(relation, attribute):
+            fallback = 0.0 if rows is None else rows * DEFAULT_RANGE_SELECTIVITY
+            out = np.empty(count, dtype=np.float64)
+            for index in range(count):
+                out[index] = self._degrade(
+                    policy,
+                    kind="range",
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_QUARANTINED,
+                    fallback=fallback,
+                    error=self._quarantined_error(relation, attribute),
+                    trace=trace,
+                    position=_probe_position(positions, index),
+                )
+            return out
+        try:
+            slot = self._slot(relation, attribute)
+        except TableCompileError as exc:
+            fallback = 0.0 if rows is None else rows * DEFAULT_RANGE_SELECTIVITY
+            out = np.empty(count, dtype=np.float64)
+            for index in range(count):
+                out[index] = self._degrade(
+                    policy,
+                    kind="range",
+                    relation=relation,
+                    attribute=attribute,
+                    reason=REASON_COMPILE_FAILED,
+                    fallback=fallback,
+                    error=lambda exc=exc: exc,
+                    trace=trace,
+                    position=_probe_position(positions, index),
+                )
+            return out
         if slot is None:
             if rows is None:
                 out = np.empty(count, dtype=np.float64)
@@ -796,7 +995,36 @@ class EstimationService:
         trace: Optional[TraceHook],
     ) -> float:
         rows = self._catalog.relation_rows(relation)
-        slot = self._slot(relation, attribute)
+        if self._is_quarantined(relation, attribute):
+            return self._degrade(
+                policy,
+                kind="not_equal",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_QUARANTINED,
+                fallback=(
+                    0.0 if rows is None else rows * (1.0 - DEFAULT_EQ_SELECTIVITY)
+                ),
+                error=self._quarantined_error(relation, attribute),
+                trace=trace,
+                position=None,
+            )
+        try:
+            slot = self._slot(relation, attribute)
+        except TableCompileError as exc:
+            return self._degrade(
+                policy,
+                kind="not_equal",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_COMPILE_FAILED,
+                fallback=(
+                    0.0 if rows is None else rows * (1.0 - DEFAULT_EQ_SELECTIVITY)
+                ),
+                error=lambda exc=exc: exc,
+                trace=trace,
+                position=None,
+            )
         if slot is None:
             if rows is None:
                 return self._degrade(
@@ -878,10 +1106,54 @@ class EstimationService:
         trace: Optional[TraceHook],
         position: Optional[int],
     ) -> float:
+        quarantined_side: Optional[tuple[str, str]] = None
+        if self._is_quarantined(left_relation, left_attribute):
+            quarantined_side = (left_relation, left_attribute)
+        elif self._is_quarantined(right_relation, right_attribute):
+            quarantined_side = (right_relation, right_attribute)
+        if quarantined_side is not None:
+            rows_left = self._catalog.relation_rows(left_relation)
+            rows_right = self._catalog.relation_rows(right_relation)
+            fallback = (
+                rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
+                if rows_left is not None and rows_right is not None
+                else 0.0
+            )
+            return self._degrade(
+                policy,
+                kind="join",
+                relation=quarantined_side[0],
+                attribute=quarantined_side[1],
+                reason=REASON_QUARANTINED,
+                fallback=fallback,
+                error=self._quarantined_error(*quarantined_side),
+                trace=trace,
+                position=position,
+            )
         left = self._catalog.get(left_relation, left_attribute)
         right = self._catalog.get(right_relation, right_attribute)
         if left is not None and right is not None:
-            return self.join_entries(left, right)
+            try:
+                return self.join_entries(left, right)
+            except TableCompileError as exc:
+                rows_left = self._catalog.relation_rows(left_relation)
+                rows_right = self._catalog.relation_rows(right_relation)
+                fallback = (
+                    rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
+                    if rows_left is not None and rows_right is not None
+                    else 0.0
+                )
+                return self._degrade(
+                    policy,
+                    kind="join",
+                    relation=left_relation,
+                    attribute=left_attribute,
+                    reason=REASON_COMPILE_FAILED,
+                    fallback=fallback,
+                    error=lambda exc=exc: exc,
+                    trace=trace,
+                    position=position,
+                )
         rows_left = self._catalog.relation_rows(left_relation)
         rows_right = self._catalog.relation_rows(right_relation)
         if rows_left is None or rows_right is None:

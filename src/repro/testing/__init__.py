@@ -1,0 +1,32 @@
+"""Deterministic test instrumentation compiled into the production paths.
+
+The crash-safety guarantees of the statistics store (atomic snapshots,
+write-ahead journaling, recovery with quarantine) are only as good as the
+ways they have been made to fail.  This package hosts the fault-injection
+framework the chaos suite drives: named injection points are compiled into
+the durable-IO, journal, and table-compile paths, and a
+:class:`~repro.testing.faults.FaultInjector` arms them deterministically —
+either at an exact call count or from a seeded random schedule.
+"""
+
+from __future__ import annotations
+
+from repro.testing.faults import (
+    FaultContext,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    fault_point,
+    register_injection_point,
+    registered_points,
+)
+
+__all__ = [
+    "FaultContext",
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedFault",
+    "fault_point",
+    "register_injection_point",
+    "registered_points",
+]

@@ -1,0 +1,291 @@
+"""Deterministic, seeded fault injection for crash-safety testing.
+
+Durability claims ("a crash mid-save never corrupts the catalog") cannot be
+tested by waiting for real crashes.  Instead, the production IO paths carry
+**named injection points** — :func:`fault_point` calls that are no-ops in
+normal operation.  A test arms a :class:`FaultInjector` and enters it as a
+context manager; while active, armed points raise a simulated failure at a
+deterministic moment:
+
+* :meth:`FaultInjector.fail_at` — fail on the *k*-th firing of one point
+  (the chaos suite iterates every registered point this way);
+* :meth:`FaultInjector.fail_randomly` — fail each firing with a seeded
+  probability, for randomized-but-reproducible crash storms.
+
+Two simulated failures exist.  :class:`InjectedFault` models an ordinary IO
+error (``OSError``): cleanup handlers run, as they would for a full disk.
+:class:`InjectedCrash` models a **power loss**: the durable-IO helpers
+deliberately skip their cleanup when they see it, so temporary-file residue
+survives exactly as it would after a hard crash.
+
+Injection points are declared here, in one registry, so the chaos suite can
+enumerate them without depending on import order — see
+:data:`ALL_INJECTION_POINTS` and :func:`registered_points`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.util.rng import RandomSource, derive_rng
+
+
+class InjectedFault(OSError):
+    """A simulated IO failure raised by an armed injection point."""
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated power loss: cleanup paths must not run after this.
+
+    The durable-IO helpers re-raise this without deleting temporary files,
+    so the on-disk state a test observes afterwards is the state a real
+    crash would have left behind.
+    """
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """What an injection point was doing when it fired."""
+
+    #: The registered point name, e.g. ``"persist.replace"``.
+    point: str
+    #: Path of the file being touched, when the point concerns a file.
+    path: Optional[str] = None
+    #: Free-form detail (relation.attribute for compile points, ...).
+    detail: Optional[str] = None
+    #: 1-based count of firings of this point within the active injector.
+    call: int = 1
+
+
+#: An armed behaviour: receives the context and (usually) raises.
+FaultAction = Callable[[FaultContext], None]
+
+_registry_lock = threading.Lock()
+_REGISTERED: set[str] = set()
+
+
+def register_injection_point(name: str) -> str:
+    """Register *name* as a known injection point and return it.
+
+    Arming an unregistered point is an error — this catches typos between
+    the production code and the chaos suite.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"injection point name must be a non-empty str, got {name!r}")
+    with _registry_lock:
+        _REGISTERED.add(name)
+    return name
+
+
+def registered_points() -> frozenset[str]:
+    """Every injection point name registered so far."""
+    with _registry_lock:
+        return frozenset(_REGISTERED)
+
+
+# ----------------------------------------------------------------------
+# The injection points compiled into the production paths.
+# ----------------------------------------------------------------------
+
+#: Before the snapshot payload is serialised (nothing written yet).
+POINT_PERSIST_SERIALIZE = register_injection_point("persist.serialize")
+#: After the temporary snapshot file is chosen, before its payload is written.
+POINT_PERSIST_WRITE_TMP = register_injection_point("persist.write-tmp")
+#: After the payload is written, before flush + fsync of the temporary file.
+POINT_PERSIST_FLUSH = register_injection_point("persist.flush")
+#: After fsync, before the atomic ``os.replace`` publishes the snapshot.
+POINT_PERSIST_REPLACE = register_injection_point("persist.replace")
+#: After the replace, before the directory entry is fsynced.
+POINT_PERSIST_DIRSYNC = register_injection_point("persist.dirsync")
+#: Before a journal record is written to the append-only log.
+POINT_JOURNAL_APPEND = register_injection_point("journal.append")
+#: After the record is written, before the journal flush + fsync.
+POINT_JOURNAL_FLUSH = register_injection_point("journal.flush")
+#: Before the journal checkpoint rewrites the log.
+POINT_JOURNAL_CHECKPOINT = register_injection_point("journal.checkpoint")
+#: Before a catalog entry is compiled into a serving lookup table.
+POINT_SERVE_COMPILE = register_injection_point("serve.compile")
+
+#: Every built-in injection point, in pipeline order — the chaos suite
+#: parametrizes over this tuple.
+ALL_INJECTION_POINTS: tuple[str, ...] = (
+    POINT_PERSIST_SERIALIZE,
+    POINT_PERSIST_WRITE_TMP,
+    POINT_PERSIST_FLUSH,
+    POINT_PERSIST_REPLACE,
+    POINT_PERSIST_DIRSYNC,
+    POINT_JOURNAL_APPEND,
+    POINT_JOURNAL_FLUSH,
+    POINT_JOURNAL_CHECKPOINT,
+    POINT_SERVE_COMPILE,
+)
+
+
+@dataclass
+class _Arm:
+    """One armed trigger: fire *action* on call number *on_call*."""
+
+    on_call: int
+    action: FaultAction
+
+
+_active_lock = threading.Lock()
+_active: Optional["FaultInjector"] = None
+
+
+def _crash_action(context: FaultContext) -> None:
+    raise InjectedCrash(f"injected crash at {context.point} (call {context.call})")
+
+
+def fault_point(
+    point: str, *, path: Optional[str] = None, detail: Optional[str] = None
+) -> None:
+    """Fire the injection point *point*; a no-op unless an injector is active.
+
+    Production call sites invoke this at every moment a crash could tear
+    state.  The cost when no injector is entered is one global read.
+    """
+    injector = _active
+    if injector is None:
+        return
+    injector._fire(point, path=path, detail=detail)
+
+
+@dataclass
+class FaultInjector:
+    """Arms injection points and records every firing, deterministically.
+
+    Use as a context manager; only the innermost entered injector is
+    consulted (they do not nest — entering a second one while another is
+    active raises, keeping chaos runs unambiguous).
+
+    ``calls`` counts firings per point; ``triggered`` records the contexts
+    whose armed action actually ran, so tests can assert the fault they
+    scheduled really happened.
+    """
+
+    calls: dict[str, int] = field(default_factory=dict)
+    triggered: list[FaultContext] = field(default_factory=list)
+    _arms: dict[str, list[_Arm]] = field(default_factory=dict)
+    _random_rate: float = 0.0
+    _random_points: Optional[frozenset[str]] = None
+    _random_action: Optional[FaultAction] = None
+    _rng: Optional[object] = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+
+    def fail_at(
+        self,
+        point: str,
+        *,
+        on_call: int = 1,
+        error: Optional[BaseException] = None,
+        action: Optional[FaultAction] = None,
+    ) -> "FaultInjector":
+        """Arm *point* to fail on its *on_call*-th firing (1-based).
+
+        By default the failure is an :class:`InjectedCrash` (simulated power
+        loss).  Pass ``error=`` to raise a specific exception instance (for
+        example a plain ``OSError`` whose cleanup handlers should run), or
+        ``action=`` for arbitrary behaviour such as truncating a file before
+        raising.  Returns ``self`` so arms can be chained.
+        """
+        if point not in registered_points():
+            raise ValueError(
+                f"unknown injection point {point!r}; registered points are "
+                f"{sorted(registered_points())}"
+            )
+        if on_call < 1:
+            raise ValueError(f"on_call must be >= 1, got {on_call}")
+        if error is not None and action is not None:
+            raise ValueError("pass either error= or action=, not both")
+        if error is not None:
+            def action(context: FaultContext, _error: BaseException = error) -> None:
+                raise _error
+        with self._lock:
+            self._arms.setdefault(point, []).append(
+                _Arm(on_call=on_call, action=action or _crash_action)
+            )
+        return self
+
+    def fail_randomly(
+        self,
+        *,
+        rate: float,
+        seed: RandomSource,
+        points: Optional[Iterable[str]] = None,
+        action: Optional[FaultAction] = None,
+    ) -> "FaultInjector":
+        """Arm a seeded random failure schedule over *points* (default: all).
+
+        Each firing of a matched point fails with probability *rate*, drawn
+        from a generator derived from *seed* — the schedule is a pure
+        function of the seed and the firing sequence, so a failing chaos
+        run replays exactly.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {rate}")
+        known = registered_points()
+        selected = known if points is None else frozenset(points)
+        unknown = selected - known
+        if unknown:
+            raise ValueError(f"unknown injection points: {sorted(unknown)}")
+        with self._lock:
+            self._random_rate = float(rate)
+            self._random_points = selected
+            self._random_action = action or _crash_action
+            self._rng = derive_rng(seed)
+        return self
+
+    # ------------------------------------------------------------------
+    # Firing (called from fault_point)
+    # ------------------------------------------------------------------
+
+    def _fire(self, point: str, *, path: Optional[str], detail: Optional[str]) -> None:
+        with self._lock:
+            call = self.calls.get(point, 0) + 1
+            self.calls[point] = call
+            context = FaultContext(point=point, path=path, detail=detail, call=call)
+            action: Optional[FaultAction] = None
+            arms = self._arms.get(point)
+            if arms is not None:
+                for arm in arms:
+                    if arm.on_call == call:
+                        action = arm.action
+                        break
+            if (
+                action is None
+                and self._random_points is not None
+                and point in self._random_points
+                and self._rng is not None
+                and float(self._rng.random()) < self._random_rate
+            ):
+                action = self._random_action
+            if action is not None:
+                self.triggered.append(context)
+        if action is not None:
+            action(context)
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        global _active
+        with _active_lock:
+            if _active is not None:
+                raise RuntimeError("another FaultInjector is already active")
+            _active = self
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        global _active
+        with _active_lock:
+            if _active is not self:
+                raise RuntimeError("FaultInjector exited out of order")
+            _active = None

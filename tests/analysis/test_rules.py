@@ -213,6 +213,49 @@ class TestR006NoBareScanCardinality:
         assert codes(src, select="R006") == []
 
 
+class TestR007AtomicCatalogWrite:
+    SCOPE = "src/repro/engine/persist_helper.py"
+
+    def test_flags_write_mode_open(self):
+        src = FUTURE + "h = open('catalog.json', 'w')\n"
+        assert "R007" in codes(src, path=self.SCOPE, select="R007")
+
+    def test_flags_append_mode_keyword(self):
+        src = FUTURE + "h = open('wal.jsonl', mode='ab')\n"
+        assert "R007" in codes(src, path=self.SCOPE, select="R007")
+
+    def test_flags_dynamic_mode(self):
+        src = FUTURE + "def f(m: str):\n    raise ValueError(m) if not m else open('x', m)\n"
+        assert "R007" in codes(src, path=self.SCOPE, select="R007")
+
+    def test_flags_write_text(self):
+        src = FUTURE + "path.write_text('{}')\n"
+        assert "R007" in codes(src, path=self.SCOPE, select="R007")
+
+    def test_flags_write_bytes(self):
+        src = FUTURE + "path.write_bytes(b'')\n"
+        assert "R007" in codes(src, path=self.SCOPE, select="R007")
+
+    def test_read_mode_open_is_fine(self):
+        src = FUTURE + "h = open('catalog.json')\ng = open('x', 'rb')\n"
+        assert codes(src, path=self.SCOPE, select="R007") == []
+
+    def test_atomic_helper_home_is_exempt(self):
+        src = FUTURE + "h = open('catalog.json', 'w')\n"
+        assert codes(src, path="src/repro/engine/durable.py", select="R007") == []
+
+    def test_out_of_scope_paths_unconstrained(self):
+        src = FUTURE + "h = open('notes.txt', 'w')\n"
+        assert codes(src, path="benchmarks/bench_persist.py", select="R007") == []
+        assert codes(src, path="src/repro/cli.py", select="R007") == []
+
+    def test_line_suppression(self):
+        src = FUTURE + (
+            "h = open('wal.jsonl', 'ab')  # repolint: disable=R007\n"
+        )
+        assert codes(src, path=self.SCOPE, select="R007") == []
+
+
 class TestDirectives:
     def test_skip_file_silences_everything(self):
         src = "# repolint: skip-file\nimport random\n"

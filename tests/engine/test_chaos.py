@@ -1,0 +1,250 @@
+"""Chaos suite: crash at every injection point, then prove recovery.
+
+Each test arms a deterministic :class:`~repro.testing.faults.FaultInjector`
+crash somewhere inside the persist → journal → serve pipeline and asserts
+the durability contract afterwards:
+
+* the on-disk store always reloads (``recover=True`` never raises);
+* every **acknowledged** operation (a ``save_catalog``/journal append that
+  returned) survives recovery; an in-flight operation may land or not,
+  never half-land;
+* no corrupt entry is ever served — the snapshot is old-or-new, and torn
+  journal tails truncate at the last intact record.
+"""
+
+import pytest
+
+from repro.core.frequency import AttributeDistribution
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.durable import temporary_path
+from repro.engine.journal import MaintenanceJournal
+from repro.engine.persist import load_catalog, save_catalog
+from repro.maint.update import MaintainedEndBiased
+from repro.serve import EstimationService
+from repro.testing.faults import (
+    ALL_INJECTION_POINTS,
+    POINT_JOURNAL_FLUSH,
+    FaultInjector,
+    InjectedFault,
+    registered_points,
+)
+
+#: Relation/attribute every chaos scenario maintains.
+KEY = ("R", "a")
+
+
+def build_maintained(journal: MaintenanceJournal) -> MaintainedEndBiased:
+    freqs = quantize_to_integers(zipf_frequencies(400, 20, 1.3)).astype(float)
+    distribution = AttributeDistribution(list(range(20)), freqs)
+    return MaintainedEndBiased(
+        distribution,
+        5,
+        track_values=False,
+        journal=journal,
+        relation=KEY[0],
+        attribute=KEY[1],
+    )
+
+
+def test_every_point_is_registered():
+    assert set(ALL_INJECTION_POINTS) <= registered_points()
+    assert len(ALL_INJECTION_POINTS) == len(set(ALL_INJECTION_POINTS))
+
+
+@pytest.mark.parametrize("point", ALL_INJECTION_POINTS)
+def test_crash_at_every_injection_point_is_recoverable(point, tmp_path):
+    """One full workday with a crash at *point*; the store must recover."""
+    snapshot = tmp_path / "catalog.json"
+    wal = tmp_path / "wal.jsonl"
+    journal = MaintenanceJournal(wal)
+    maintained = build_maintained(journal)
+    catalog = StatsCatalog()
+    maintained.publish(catalog, *KEY)
+    acknowledged_total = float(maintained.total)
+    first_save_done = False
+
+    injector = FaultInjector().fail_at(point)
+    with injector:
+        try:
+            save_catalog(catalog, snapshot, journal=journal)
+            first_save_done = True
+            for value in (0, 1, 2, "new-1", 3, "new-2", 0, 5):
+                maintained.insert(value)
+                acknowledged_total += 1.0
+            maintained.delete(0)
+            acknowledged_total -= 1.0
+            maintained.publish(catalog, *KEY)
+            save_catalog(catalog, snapshot, journal=journal)
+            service = EstimationService(catalog)
+            service.estimate_equality(*KEY, 0)
+        except InjectedFault:
+            pass  # the simulated crash; the process would have died here
+
+    assert injector.triggered, f"injection point {point} never fired"
+
+    # Invariant 1: whatever is on disk reloads without error.
+    report = load_catalog(snapshot, recover=True, journal=wal)
+    assert not report.quarantined  # crashes tear nothing that checksums see
+    assert not report.journal_torn
+
+    # Invariant 2: every acknowledged delta survives.  The one in-flight
+    # operation (crash after the journal bytes hit the file, before the
+    # append was acknowledged) may add at most one unit of slack.
+    entry = report.catalog.get(*KEY)
+    if entry is None:
+        # Only possible when the very first snapshot save crashed before
+        # publishing the file — nothing was ever acknowledged.
+        assert not first_save_done
+        assert not snapshot.exists()
+    else:
+        slack = 1.0 if point == POINT_JOURNAL_FLUSH else 0.0
+        assert abs(entry.total_tuples - acknowledged_total) <= slack
+
+    # Invariant 3: a strict reload of an existing snapshot never sees a
+    # half-written file (old-or-new, never a prefix).
+    if snapshot.exists():
+        load_catalog(snapshot)
+
+    # Invariant 4: crash residue (a stale temporary) never blocks — the
+    # next save cycle simply succeeds and cleans up.
+    save_catalog(report.catalog, snapshot, journal=MaintenanceJournal(wal))
+    assert not temporary_path(snapshot).exists()
+    assert load_catalog(snapshot).get(*KEY) is not None or entry is None
+
+
+@pytest.mark.parametrize("on_call", [1, 2, 3])
+def test_repeated_append_crashes_keep_prefix(on_call, tmp_path):
+    """Crashing the journal on its k-th append preserves appends 1..k-1."""
+    wal = tmp_path / "wal.jsonl"
+    journal = MaintenanceJournal(wal)
+    catalog = StatsCatalog()
+    compact = CompactEndBiased(
+        explicit={"x": 5.0}, remainder_count=1, remainder_average=2.0
+    )
+    catalog.put(
+        CatalogEntry(
+            relation=KEY[0],
+            attribute=KEY[1],
+            kind="end-biased",
+            histogram=None,
+            compact=compact,
+            distinct_count=compact.distinct_count,
+            total_tuples=compact.total,
+        )
+    )
+    snapshot = tmp_path / "catalog.json"
+    save_catalog(catalog, snapshot)
+    acknowledged = 0
+    with FaultInjector().fail_at("journal.append", on_call=on_call):
+        try:
+            for _ in range(5):
+                journal.append_insert(*KEY, "x")
+                acknowledged += 1
+        except InjectedFault:
+            pass
+    assert acknowledged == on_call - 1
+    report = load_catalog(snapshot, recover=True, journal=wal)
+    assert report.journal_replayed == acknowledged
+    entry = report.catalog.get(*KEY)
+    assert entry.compact.explicit["x"] == 5.0 + acknowledged
+
+
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_seeded_crash_storm_recovers_every_acknowledged_insert(seed, tmp_path):
+    """Random (but reproducible) crashes across many sessions.
+
+    Each "session" recovers from disk, appends inserts, and occasionally
+    snapshots — any step may crash.  At the end, the recovered total must
+    contain every acknowledged insert, with slack only for in-flight
+    appends whose bytes reached the file before the crash.
+    """
+    from repro.util.rng import derive_rng
+
+    snapshot = tmp_path / "catalog.json"
+    wal = tmp_path / "wal.jsonl"
+    rng = derive_rng(seed)
+
+    compact = CompactEndBiased(
+        explicit={"x": 5.0, "y": 3.0}, remainder_count=2, remainder_average=1.0
+    )
+    initial_total = compact.total
+    seeds_entry = CatalogEntry(
+        relation=KEY[0],
+        attribute=KEY[1],
+        kind="end-biased",
+        histogram=None,
+        compact=compact,
+        distinct_count=compact.distinct_count,
+        total_tuples=initial_total,
+    )
+    boot = StatsCatalog()
+    boot.put(seeds_entry)
+    save_catalog(boot, snapshot)
+
+    acknowledged = 0
+    uncertain = 0  # in-flight appends that may or may not have landed
+    injector = FaultInjector().fail_randomly(rate=0.08, seed=seed)
+    with injector:
+        for _session in range(6):
+            report = load_catalog(snapshot, recover=True, journal=wal)
+            assert not report.quarantined
+            catalog = report.catalog
+            journal = MaintenanceJournal(wal)
+            for _op in range(8):
+                value = ["x", "y", "z"][int(rng.integers(3))]
+                try:
+                    journal.append_insert(*KEY, value)
+                    acknowledged += 1
+                except InjectedFault as fault:
+                    # A crash after the bytes were written (flush point)
+                    # leaves a record recovery may legitimately replay.
+                    if injector.triggered[-1].point == POINT_JOURNAL_FLUSH:
+                        uncertain += 1
+                    break  # the session's process died
+            if rng.random() < 0.5:
+                try:
+                    save_catalog(catalog, snapshot, journal=journal)
+                except InjectedFault:
+                    pass
+
+    final = load_catalog(snapshot, recover=True, journal=wal)
+    entry = final.catalog.get(*KEY)
+    recovered_delta = entry.total_tuples - initial_total
+    assert acknowledged <= recovered_delta <= acknowledged + uncertain
+    # And the repaired store round-trips cleanly with no injector active.
+    save_catalog(final.catalog, snapshot, journal=MaintenanceJournal(wal))
+    clean = load_catalog(snapshot, recover=True, journal=wal)
+    assert clean.clean
+    assert clean.catalog.get(*KEY).total_tuples == entry.total_tuples
+
+
+def test_ordinary_io_error_cleans_up_tmp(tmp_path):
+    """A plain OSError (full disk) removes the temporary; a crash keeps it."""
+    snapshot = tmp_path / "catalog.json"
+    catalog = StatsCatalog()
+    with FaultInjector().fail_at(
+        "persist.replace", error=OSError("disk full")
+    ):
+        with pytest.raises(OSError, match="disk full"):
+            save_catalog(catalog, snapshot)
+    assert not temporary_path(snapshot).exists()
+
+    with FaultInjector().fail_at("persist.replace"):
+        with pytest.raises(InjectedFault):
+            save_catalog(catalog, snapshot)
+    assert temporary_path(snapshot).exists()  # power loss leaves residue
+    save_catalog(catalog, snapshot)  # ... which the next save overwrites
+    assert not temporary_path(snapshot).exists()
+
+
+def test_injector_refuses_unknown_point():
+    with pytest.raises(ValueError, match="unknown injection point"):
+        FaultInjector().fail_at("no.such.point")
+
+
+def test_injectors_do_not_nest():
+    with FaultInjector():
+        with pytest.raises(RuntimeError, match="already active"):
+            FaultInjector().__enter__()

@@ -1,6 +1,7 @@
-"""Tests for repro.engine.persist — catalog serialisation."""
+"""Tests for repro.engine.persist — catalog serialisation and recovery."""
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -8,14 +9,37 @@ import pytest
 from repro.data.quantize import quantize_to_integers
 from repro.data.zipf import zipf_frequencies
 from repro.engine.analyze import analyze_relation
-from repro.engine.catalog import StatsCatalog
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.durable import temporary_path
 from repro.engine.persist import (
+    CatalogFormatError,
+    RecoveryReport,
     catalog_from_dict,
     catalog_to_dict,
     load_catalog,
     save_catalog,
 )
 from repro.engine.relation import Relation
+
+
+def compact_entry(
+    relation="R", attribute="a", explicit=None, remainder=(2, 1.5)
+) -> CatalogEntry:
+    explicit = {"x": 5.0, "y": 3.0} if explicit is None else explicit
+    compact = CompactEndBiased(
+        explicit=explicit,
+        remainder_count=remainder[0],
+        remainder_average=remainder[1],
+    )
+    return CatalogEntry(
+        relation=relation,
+        attribute=attribute,
+        kind="end-biased",
+        histogram=None,
+        compact=compact,
+        distinct_count=compact.distinct_count,
+        total_tuples=compact.total,
+    )
 
 
 @pytest.fixture
@@ -101,3 +125,212 @@ class TestValidation:
         path = tmp_path / "empty.json"
         save_catalog(StatsCatalog(), path)
         assert len(load_catalog(path)) == 0
+
+    def test_rejects_nan_total_tuples(self):
+        catalog = StatsCatalog()
+        entry = compact_entry()
+        entry.total_tuples = float("nan")
+        catalog.put(entry)
+        with pytest.raises(ValueError, match="non-finite"):
+            catalog_to_dict(catalog)
+
+    def test_rejects_infinite_compact_frequency(self):
+        catalog = StatsCatalog()
+        catalog.put(compact_entry(explicit={"x": math.inf}))
+        with pytest.raises(ValueError, match="non-finite"):
+            catalog_to_dict(catalog)
+
+    def test_rejects_nan_explicit_value(self):
+        # A NaN *attribute value* (dict key) is as unrepresentable as a NaN
+        # frequency: allow_nan=True JSON would silently emit `NaN` tokens.
+        catalog = StatsCatalog()
+        catalog.put(compact_entry(explicit={float("nan"): 2.0}))
+        with pytest.raises(ValueError, match="non-finite"):
+            catalog_to_dict(catalog)
+
+    def test_load_rejects_nonstandard_json_constants(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        catalog = StatsCatalog()
+        catalog.put(compact_entry())
+        save_catalog(catalog, path)
+        path.write_text(path.read_text().replace("5.0", "NaN", 1))
+        with pytest.raises(CatalogFormatError, match="non-standard JSON|checksum"):
+            load_catalog(path)
+
+    def test_unknown_histogram_kind_is_typed_error(self):
+        data = {
+            "format": "repro-stats-catalog",
+            "version": 1,
+            "entries": [
+                {
+                    "relation": "R",
+                    "attribute": "a",
+                    "kind": "equi-width",
+                    "distinct_count": 2,
+                    "total_tuples": 4.0,
+                    "version": 1,
+                    "histogram": {
+                        "frequencies": [3.0, 1.0],
+                        "groups": [[0], [1]],
+                        "kind": "made-up-kind",
+                        "values": None,
+                    },
+                    "compact": None,
+                }
+            ],
+        }
+        with pytest.raises(CatalogFormatError, match="unknown histogram kind"):
+            catalog_from_dict(data)
+
+    def test_out_of_bounds_group_index_is_typed_error(self):
+        data = {
+            "format": "repro-stats-catalog",
+            "version": 1,
+            "entries": [
+                {
+                    "relation": "R",
+                    "attribute": "a",
+                    "kind": "equi-width",
+                    "distinct_count": 2,
+                    "total_tuples": 4.0,
+                    "version": 1,
+                    "histogram": {
+                        "frequencies": [3.0, 1.0],
+                        "groups": [[0], [7]],
+                        "kind": "equi-width",
+                        "values": None,
+                    },
+                    "compact": None,
+                }
+            ],
+        }
+        with pytest.raises(CatalogFormatError, match="out of bounds"):
+            catalog_from_dict(data)
+
+    def test_malformed_entry_payload_is_typed_error(self):
+        data = {
+            "format": "repro-stats-catalog",
+            "version": 1,
+            "entries": [{"relation": "R"}],
+        }
+        with pytest.raises(CatalogFormatError, match="missing key"):
+            catalog_from_dict(data)
+
+    def test_catalog_format_error_is_value_error(self):
+        assert issubclass(CatalogFormatError, ValueError)
+
+
+class TestChecksums:
+    def test_entries_are_checksummed(self, populated_catalog):
+        data = catalog_to_dict(populated_catalog)
+        assert data["version"] == 2
+        for item in data["entries"]:
+            assert set(item) == {"checksum", "payload"}
+
+    def test_strict_load_detects_corruption(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        data = json.loads(path.read_text())
+        data["entries"][0]["payload"]["total_tuples"] = 999999.0
+        path.write_text(json.dumps(data))
+        with pytest.raises(CatalogFormatError, match="checksum mismatch"):
+            load_catalog(path)
+
+    def test_recover_quarantines_corrupt_entry(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        data = json.loads(path.read_text())
+        data["entries"][0]["payload"]["total_tuples"] = 999999.0
+        corrupted = data["entries"][0]["payload"]
+        path.write_text(json.dumps(data))
+        report = load_catalog(path, recover=True)
+        assert isinstance(report, RecoveryReport)
+        assert not report.clean
+        assert len(report.quarantined) == 1
+        assert report.quarantined[0].relation == corrupted["relation"]
+        assert report.quarantined[0].attribute == corrupted["attribute"]
+        assert report.entries_loaded == len(populated_catalog) - 1
+        key = (corrupted["relation"], corrupted["attribute"])
+        assert report.catalog.get(*key) is None
+
+    def test_recover_on_clean_snapshot_is_clean(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        report = load_catalog(path, recover=True)
+        assert report.clean
+        assert report.entries_loaded == len(populated_catalog)
+        assert "clean" in report.summary()
+
+    def test_recover_missing_snapshot(self, tmp_path):
+        report = load_catalog(tmp_path / "absent.json", recover=True)
+        assert not report.snapshot_found
+        assert len(report.catalog) == 0
+        assert not report.clean
+
+    def test_recover_unparseable_snapshot(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text("{ this is not json")
+        report = load_catalog(path, recover=True)
+        assert report.snapshot_found and not report.snapshot_ok
+        assert len(report.catalog) == 0
+
+    def test_strict_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_catalog(tmp_path / "absent.json")
+
+
+class TestAtomicity:
+    def test_save_replaces_atomically(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        first = path.read_text()
+        catalog = StatsCatalog()
+        catalog.put(compact_entry())
+        save_catalog(catalog, path)
+        assert path.read_text() != first
+        assert len(load_catalog(path)) == 1
+
+    def test_no_temporary_residue_after_save(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        assert not temporary_path(path).exists()
+
+    def test_stale_tmp_residue_is_harmless(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        temporary_path(path).write_text("torn half-written snapshot")
+        save_catalog(populated_catalog, path)
+        assert len(load_catalog(path)) == len(populated_catalog)
+        assert not temporary_path(path).exists()
+
+    def test_version_counters_round_trip(self, populated_catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(populated_catalog, path)
+        restored = load_catalog(path)
+        for entry in populated_catalog.entries():
+            twin = restored.require(entry.relation, entry.attribute)
+            assert twin.version == entry.version
+            assert twin.journal_seq == entry.journal_seq
+
+
+class TestLegacyFormat:
+    def test_version_1_payloads_still_load(self, populated_catalog, tmp_path):
+        data = catalog_to_dict(populated_catalog)
+        legacy = {
+            "format": "repro-stats-catalog",
+            "version": 1,
+            "entries": [item["payload"] for item in data["entries"]],
+        }
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy))
+        restored = load_catalog(path)
+        assert len(restored) == len(populated_catalog)
+
+    def test_version_1_payload_without_journal_seq(self, tmp_path):
+        catalog = StatsCatalog()
+        catalog.put(compact_entry())
+        payload = catalog_to_dict(catalog)["entries"][0]["payload"]
+        del payload["journal_seq"]
+        legacy = {"format": "repro-stats-catalog", "version": 1, "entries": [payload]}
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy))
+        assert load_catalog(path).require("R", "a").journal_seq == 0

@@ -1,0 +1,134 @@
+"""Property-based tests for catalog persistence.
+
+The load/save pair must be an identity: for any catalog the engine can
+produce, ``load_catalog(save_catalog(c)) == c`` — including histogram
+entries, compact end-biased entries, per-entry version counters and
+journal fences.  Identity is checked on the canonical serialised form,
+which covers every persisted field at once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequency import AttributeDistribution
+from repro.core.heuristic import equi_depth_histogram, equi_width_histogram
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.persist import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_catalog,
+    save_catalog,
+)
+
+frequencies = st.lists(
+    st.floats(min_value=0.25, max_value=500.0, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=8,
+)
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=6
+)
+
+scalar_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet="abcdefxyz0123456789", min_size=1, max_size=6),
+)
+
+
+@st.composite
+def histogram_entries(draw, relation, attribute):
+    freqs = draw(frequencies)
+    beta = draw(st.integers(min_value=1, max_value=len(freqs)))
+    build = draw(st.sampled_from([equi_width_histogram, equi_depth_histogram]))
+    histogram = build(AttributeDistribution(list(range(len(freqs))), freqs), beta)
+    return CatalogEntry(
+        relation=relation,
+        attribute=attribute,
+        kind=histogram.kind,
+        histogram=histogram,
+        compact=None,
+        distinct_count=len(freqs),
+        total_tuples=float(sum(freqs)),
+    )
+
+
+@st.composite
+def compact_entries(draw, relation, attribute):
+    explicit_values = draw(
+        st.lists(scalar_values, min_size=0, max_size=6, unique=True)
+    )
+    explicit = {
+        value: draw(st.floats(min_value=0.5, max_value=100.0))
+        for value in explicit_values
+    }
+    remainder_count = draw(st.integers(min_value=0, max_value=20))
+    remainder_average = (
+        draw(st.floats(min_value=0.25, max_value=10.0)) if remainder_count else 0.0
+    )
+    compact = CompactEndBiased(
+        explicit=explicit,
+        remainder_count=remainder_count,
+        remainder_average=remainder_average,
+    )
+    return CatalogEntry(
+        relation=relation,
+        attribute=attribute,
+        kind="end-biased",
+        histogram=None,
+        compact=compact,
+        distinct_count=compact.distinct_count,
+        total_tuples=compact.total,
+    )
+
+
+@st.composite
+def catalogs(draw):
+    keys = draw(
+        st.lists(st.tuples(names, names), min_size=0, max_size=5, unique=True)
+    )
+    catalog = StatsCatalog()
+    for relation, attribute in keys:
+        maker = draw(st.sampled_from([histogram_entries, compact_entries]))
+        entry = draw(maker(relation, attribute))
+        catalog.put(entry)
+        # Persisted counters are arbitrary in a long-lived store.
+        entry.version = draw(st.integers(min_value=1, max_value=50))
+        entry.journal_seq = draw(st.integers(min_value=0, max_value=200))
+    return catalog
+
+
+class TestRoundTripIdentity:
+    @given(catalog=catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_save_then_load_is_identity(self, catalog, tmp_path_factory):
+        path = tmp_path_factory.mktemp("persist") / "catalog.json"
+        save_catalog(catalog, path)
+        restored = load_catalog(path)
+        assert catalog_to_dict(restored) == catalog_to_dict(catalog)
+
+    @given(catalog=catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip_is_identity(self, catalog):
+        first = catalog_to_dict(catalog)
+        assert catalog_to_dict(catalog_from_dict(first)) == first
+
+    @given(catalog=catalogs())
+    @settings(max_examples=40, deadline=None)
+    def test_recovery_load_of_clean_file_is_identity(
+        self, catalog, tmp_path_factory
+    ):
+        path = tmp_path_factory.mktemp("persist") / "catalog.json"
+        save_catalog(catalog, path)
+        report = load_catalog(path, recover=True)
+        assert report.clean
+        assert report.entries_loaded == len(list(catalog.entries()))
+        assert catalog_to_dict(report.catalog) == catalog_to_dict(catalog)
+
+    @given(catalog=catalogs())
+    @settings(max_examples=40, deadline=None)
+    def test_save_is_deterministic(self, catalog, tmp_path_factory):
+        base = tmp_path_factory.mktemp("persist")
+        save_catalog(catalog, base / "one.json")
+        save_catalog(catalog, base / "two.json")
+        assert (base / "one.json").read_text() == (base / "two.json").read_text()

@@ -121,3 +121,73 @@ class TestTuneCommand:
         out = capsys.readouterr().out
         assert "R0.a" in out and "R1.a" in out
         assert "catalog now holds 2 analyzed attributes" in out
+
+
+class TestStatsCommands:
+    @staticmethod
+    def _write_catalog(tmp_path):
+        import json
+
+        from repro.engine.analyze import analyze_relation
+        from repro.engine.catalog import StatsCatalog
+        from repro.engine.persist import save_catalog
+        from repro.engine.relation import Relation
+
+        catalog = StatsCatalog()
+        r = Relation.from_columns("R", {"a": [1] * 6 + [2] * 3 + [3]})
+        s = Relation.from_columns("S", {"b": [1] * 4 + [2] * 2})
+        analyze_relation(r, "a", catalog, kind="end-biased", buckets=2)
+        analyze_relation(s, "b", catalog, kind="end-biased", buckets=2)
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        return path, json
+
+    def test_check_clean_exits_zero(self, capsys, tmp_path):
+        path, _ = self._write_catalog(tmp_path)
+        assert main(["stats", "check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "status: clean" in out
+
+    def test_check_corrupt_exits_one(self, capsys, tmp_path):
+        path, json = self._write_catalog(tmp_path)
+        blob = json.loads(path.read_text())
+        blob["entries"][0]["payload"]["total_tuples"] = -1.0
+        path.write_text(json.dumps(blob))
+        assert main(["stats", "check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+
+    def test_check_reports_journal_replay(self, capsys, tmp_path):
+        from repro.engine.journal import MaintenanceJournal
+
+        path, _ = self._write_catalog(tmp_path)
+        wal = tmp_path / "wal.jsonl"
+        MaintenanceJournal(wal).append_insert("R", "a", 1)
+        assert main(["stats", "check", str(path), "--journal", str(wal)]) == 0
+        assert "replayed" in capsys.readouterr().out
+
+    def test_repair_writes_clean_snapshot(self, capsys, tmp_path):
+        path, json = self._write_catalog(tmp_path)
+        blob = json.loads(path.read_text())
+        blob["entries"][0]["payload"]["total_tuples"] = -1.0
+        path.write_text(json.dumps(blob))
+        fixed = tmp_path / "fixed.json"
+        assert main(["stats", "repair", str(path), "--output", str(fixed)]) == 0
+        out = capsys.readouterr().out
+        assert "repaired snapshot written" in out
+        assert "re-run ANALYZE" in out
+        capsys.readouterr()
+        assert main(["stats", "check", str(fixed)]) == 0
+
+    def test_repair_in_place(self, capsys, tmp_path):
+        path, json = self._write_catalog(tmp_path)
+        blob = json.loads(path.read_text())
+        blob["entries"][0]["payload"]["total_tuples"] = -1.0
+        path.write_text(json.dumps(blob))
+        assert main(["stats", "repair", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "check", str(path)]) == 0
+
+    def test_stats_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])

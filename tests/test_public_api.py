@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.serve",
     "repro.sql",
+    "repro.testing",
     "repro.util",
 ]
 
