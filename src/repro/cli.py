@@ -240,11 +240,21 @@ def _cmd_stats_repair(args) -> int:
 
     report = load_catalog(args.catalog, recover=True, journal=args.journal)
     print(report.summary())
-    destination = args.output if args.output is not None else args.catalog
+    in_place = args.output is None
+    destination = args.catalog if in_place else args.output
+    # Checkpointing drops journal records the *repaired* snapshot includes.
+    # That is only safe when the repaired snapshot replaces the original;
+    # repairing to --output must leave the original snapshot/journal pair
+    # untouched, or serving from the original path would lose those
+    # acknowledged deltas.
     journal = (
-        MaintenanceJournal(args.journal) if args.journal is not None else None
+        MaintenanceJournal(args.journal)
+        if args.journal is not None and in_place
+        else None
     )
     save_catalog(report.catalog, destination, journal=journal)
+    if args.journal is not None and not in_place:
+        print(f"journal {args.journal} left untouched (repairing to a copy)")
     print(
         f"repaired snapshot written to {destination}: "
         f"{len(report.catalog)} entries kept, "

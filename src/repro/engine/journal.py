@@ -17,11 +17,17 @@ contract:
   a crash between snapshot and checkpoint never double-applies a delta;
 * :meth:`MaintenanceJournal.checkpoint` compacts the log after a durable
   snapshot, atomically rewriting only the records still ahead of their
-  entry's fence.
+  entry's fence.  The rewritten log starts with a checksummed **header**
+  line carrying the sequence high-water mark, so sequence numbers never
+  regress below an entry's fence after a restart — without it, a
+  checkpoint that empties the log would silently reset numbering to 0 and
+  every later acknowledged append would be fenced out of replay.
 
 A torn tail (the crash leaving a half-written last record) is detected by
-the per-record CRC32 and, in recovery mode, truncates replay at the last
-intact record instead of failing the load.
+the per-record CRC32: recovery-mode replay truncates at the last intact
+record instead of failing the load, and reopening the journal for writing
+physically truncates the torn bytes first, so new acknowledged appends
+always extend an intact prefix that replay can reach.
 """
 
 from __future__ import annotations
@@ -121,6 +127,31 @@ def _encode_record(record: JournalRecord) -> bytes:
     return (line + "\n").encode("utf-8")
 
 
+def _encode_header(last_seq: int) -> bytes:
+    header = {"kind": "journal-header", "last_seq": last_seq}
+    line = canonical_json({"checksum": checksum(canonical_json(header)), "header": header})
+    return (line + "\n").encode("utf-8")
+
+
+def _decode_header(envelope: dict) -> int:
+    """Validate a header envelope and return its sequence high-water mark."""
+    header = envelope["header"]
+    stored = envelope.get("checksum")
+    actual = checksum(canonical_json(header))
+    if stored != actual:
+        raise JournalFormatError(
+            f"journal header checksum mismatch (stored {stored!r}, computed {actual})"
+        )
+    if not isinstance(header, dict) or header.get("kind") != "journal-header":
+        raise JournalFormatError(f"malformed journal header: {header!r}")
+    last_seq = header.get("last_seq")
+    if not isinstance(last_seq, int) or isinstance(last_seq, bool) or last_seq < 0:
+        raise JournalFormatError(
+            f"journal header last_seq must be an int >= 0, got {last_seq!r}"
+        )
+    return last_seq
+
+
 def _decode_line(line: str) -> JournalRecord:
     try:
         envelope = json.loads(line)
@@ -138,6 +169,98 @@ def _decode_line(line: str) -> JournalRecord:
     return JournalRecord.from_payload(payload)
 
 
+@dataclass
+class _JournalScan:
+    """Everything one pass over the journal file establishes."""
+
+    #: High-water mark from the checkpoint header (0 when absent).
+    header_seq: int = 0
+    #: The intact records, in file order.
+    records: list = None  # type: ignore[assignment]
+    #: True when an unreadable line cut the scan short.
+    torn: bool = False
+    #: Byte offset just past the last intact line (truncation target).
+    intact_end: int = 0
+    #: True when the last intact line is missing its terminating newline.
+    needs_newline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.records is None:
+            self.records = []
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence high-water mark the file as a whole establishes."""
+        tail = self.records[-1].seq if self.records else 0
+        return max(self.header_seq, tail)
+
+
+def _scan_journal(path: Path, *, strict: bool) -> _JournalScan:
+    """One pass over the journal: header, intact records, torn-tail extent.
+
+    Tracks byte offsets so a writer can truncate exactly the torn suffix.
+    With ``strict=True`` any unreadable line raises
+    :class:`JournalFormatError` instead of marking the scan torn.
+    """
+    scan = _JournalScan()
+    if not path.exists():
+        return scan
+    data = path.read_bytes()
+    first_content = True
+    last_seq = 0
+    offset = 0
+    for raw in data.splitlines(keepends=True):
+        consumed = len(raw)
+        body = raw.rstrip(b"\r\n")
+        has_newline = len(body) < consumed
+        try:
+            stripped = body.decode("utf-8").strip()
+        except UnicodeDecodeError as exc:
+            if strict:
+                raise JournalFormatError(
+                    f"undecodable journal line: {exc}"
+                ) from exc
+            scan.torn = True
+            break
+        if not stripped:
+            offset += consumed
+            scan.intact_end = offset
+            continue
+        try:
+            envelope = json.loads(stripped)
+            if isinstance(envelope, dict) and "header" in envelope:
+                if not first_content:
+                    raise JournalFormatError(
+                        "journal header is only valid as the first record"
+                    )
+                scan.header_seq = _decode_header(envelope)
+            else:
+                record = _decode_line(stripped)
+                if record.seq <= last_seq:
+                    raise JournalFormatError(
+                        f"journal seq went backwards ({last_seq} -> {record.seq})"
+                    )
+                scan.records.append(record)
+                last_seq = record.seq
+        except json.JSONDecodeError as exc:
+            if strict:
+                raise JournalFormatError(
+                    f"unparseable journal line: {exc}"
+                ) from exc
+            scan.torn = True
+            break
+        except JournalFormatError:
+            if strict:
+                raise
+            scan.torn = True
+            break
+        first_content = False
+        offset += consumed
+        scan.intact_end = offset
+        scan.needs_newline = not has_newline
+    return scan
+
+
 def read_journal(
     path: PathLike, *, strict: bool = False
 ) -> tuple[list[JournalRecord], bool]:
@@ -149,32 +272,12 @@ def read_journal(
     prefix is returned and ``torn`` is True; with ``strict=True`` a
     :class:`JournalFormatError` is raised.  Sequence numbers must be
     strictly increasing — a violation is corruption, not a torn tail.
+    The checkpoint header, when present, is validated but not returned.
     """
-    path = Path(path)
-    if not path.exists():
-        return [], False
-    records: list[JournalRecord] = []
-    torn = False
-    last_seq = 0
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = _decode_line(stripped)
-                if record.seq <= last_seq:
-                    raise JournalFormatError(
-                        f"journal seq went backwards ({last_seq} -> {record.seq})"
-                    )
-            except JournalFormatError:
-                if strict:
-                    raise
-                torn = True
-                break
-            records.append(record)
-            last_seq = record.seq
-    return records, torn
+    if not isinstance(path, (str, Path)):
+        raise TypeError(f"path must be str or Path, got {type(path).__name__}")
+    scan = _scan_journal(Path(path), strict=strict)
+    return scan.records, scan.torn
 
 
 @dataclass
@@ -293,8 +396,31 @@ class MaintenanceJournal:
     def __init__(self, path: PathLike, *, fsync: bool = True):
         self._path = Path(path)
         self._fsync = bool(fsync)
-        records, _ = read_journal(self._path, strict=False)
-        self._seq = records[-1].seq if records else 0
+        scan = _scan_journal(self._path, strict=False)
+        # The checkpoint header keeps the high-water mark alive across a
+        # checkpoint that empties the log: without it a restart would
+        # restart numbering at 0 and new appends would sit at or below the
+        # snapshot fences, silently invisible to replay.
+        self._seq = scan.last_seq
+        if scan.torn or scan.needs_newline:
+            self._repair_tail(scan)
+
+    def _repair_tail(self, scan: _JournalScan) -> None:
+        """Physically remove a torn tail before the first append.
+
+        Appending after a half-written line would strand the new —
+        acknowledged — records behind bytes :func:`read_journal` can never
+        get past.  Truncating to the last intact record restores the
+        append-only invariant that everything after an intact record is
+        intact.
+        """
+        with open(self._path, "r+b") as handle:  # repolint: disable=R007
+            handle.truncate(scan.intact_end)
+            if scan.needs_newline:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     @property
     def path(self) -> Path:
@@ -365,22 +491,32 @@ class MaintenanceJournal:
         With a *catalog*, records at or below their entry's ``journal_seq``
         fence — and records whose entry no longer exists — are dropped;
         records still ahead of their fence are kept (rewritten atomically).
-        Without a catalog the whole log is dropped.  Correctness never
-        depends on this call: replay fences make re-applying old records a
-        no-op, so a crash between snapshot and checkpoint is harmless.
+        Without a catalog the whole log is dropped.  The rewritten log
+        leads with a header carrying the sequence high-water mark (the max
+        of every seq ever appended and every fence in *catalog*), so a
+        journal reopened after the checkpoint resumes numbering above every
+        fence instead of regressing to 0.  Correctness never depends on
+        this call: replay fences make re-applying old records a no-op, so
+        a crash between snapshot and checkpoint is harmless.
         """
-        records, _ = read_journal(self._path, strict=False)
+        scan = _scan_journal(self._path, strict=False)
+        records = scan.records
         keep: list[JournalRecord] = []
+        last_seq = max(self._seq, scan.last_seq)
         if catalog is not None:
             if not isinstance(catalog, StatsCatalog):
                 raise TypeError(
                     f"catalog must be a StatsCatalog, got {type(catalog).__name__}"
                 )
+            for entry in catalog.entries():
+                last_seq = max(last_seq, entry.journal_seq)
             for record in records:
                 entry = catalog.get(record.relation, record.attribute)
                 if entry is not None and record.seq > entry.journal_seq:
                     keep.append(record)
         fault_point(POINT_JOURNAL_CHECKPOINT, path=str(self._path))
-        text = "".join(_encode_record(record).decode("utf-8") for record in keep)
-        atomic_write_text(self._path, text)
+        parts = [_encode_header(last_seq).decode("utf-8")] if last_seq else []
+        parts.extend(_encode_record(record).decode("utf-8") for record in keep)
+        atomic_write_text(self._path, "".join(parts))
+        self._seq = last_seq
         return len(records) - len(keep)

@@ -374,7 +374,16 @@ class EstimationService:
                 key = (item.relation, item.attribute)
                 if key not in self._quarantined:
                     self._quarantined.add(key)
-                    self._slots.pop((item.relation, item.attribute), None)
+                    if item.attribute is None:
+                        # A whole-relation hold must evict every compiled
+                        # slot under the relation, or stale tables would
+                        # outlive clear_quarantine.
+                        for slot_key in [
+                            k for k in self._slots if k[0] == item.relation
+                        ]:
+                            del self._slots[slot_key]
+                    else:
+                        self._slots.pop(key, None)
                     added += 1
         self.metrics.record_recovery(
             entries_quarantined=added, deltas_replayed=report.journal_replayed

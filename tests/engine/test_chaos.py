@@ -151,6 +151,71 @@ def test_repeated_append_crashes_keep_prefix(on_call, tmp_path):
     assert entry.compact.explicit["x"] == 5.0 + acknowledged
 
 
+def test_checkpoint_restart_append_crash_recovers_new_deltas(tmp_path):
+    """Checkpoint → restart → append: the exact window where a regressed
+    sequence counter used to fence acknowledged deltas out of replay."""
+    snapshot = tmp_path / "catalog.json"
+    wal = tmp_path / "wal.jsonl"
+    journal = MaintenanceJournal(wal)
+    maintained = build_maintained(journal)
+    catalog = StatsCatalog()
+    for value in (0, 1, "new-1"):
+        maintained.insert(value)
+    maintained.publish(catalog, *KEY)  # fences advance to the journal tip
+    save_catalog(catalog, snapshot, journal=journal)  # checkpoint empties the log
+    assert len(journal) == 0
+    snapshot_total = float(maintained.total)
+
+    # A new "process" reopens the journal and acknowledges more deltas,
+    # then crashes before any publish or snapshot.
+    restarted = MaintenanceJournal(wal)
+    assert restarted.last_seq == journal.last_seq
+    restarted.append_insert(*KEY, 0)
+    restarted.append_insert(*KEY, "new-2")
+
+    report = load_catalog(snapshot, recover=True, journal=wal)
+    assert report.journal_replayed == 2
+    assert report.journal_fenced == 0
+    entry = report.catalog.get(*KEY)
+    assert entry.total_tuples == pytest.approx(snapshot_total + 2.0)
+
+
+def test_half_written_tail_does_not_hide_later_appends(tmp_path):
+    """Real power loss mid-append leaves half a line; reopening must
+    truncate it so later acknowledged appends stay reachable by replay."""
+    snapshot = tmp_path / "catalog.json"
+    wal = tmp_path / "wal.jsonl"
+    compact = CompactEndBiased(
+        explicit={"x": 5.0}, remainder_count=1, remainder_average=2.0
+    )
+    catalog = StatsCatalog()
+    catalog.put(
+        CatalogEntry(
+            relation=KEY[0],
+            attribute=KEY[1],
+            kind="end-biased",
+            histogram=None,
+            compact=compact,
+            distinct_count=compact.distinct_count,
+            total_tuples=compact.total,
+        )
+    )
+    save_catalog(catalog, snapshot)
+    journal = MaintenanceJournal(wal)
+    journal.append_insert(*KEY, "x")  # seq 1, acknowledged
+    with open(wal, "ab") as handle:  # power loss mid-append of seq 2
+        handle.write(b'{"checksum":123,"payload":{"seq":2,')
+
+    restarted = MaintenanceJournal(wal)  # the next process reopens
+    assert restarted.last_seq == 1  # the torn record was never acknowledged
+    restarted.append_insert(*KEY, "x")  # seq 2, acknowledged
+
+    report = load_catalog(snapshot, recover=True, journal=wal)
+    assert not report.journal_torn  # reopening repaired the tail
+    assert report.journal_replayed == 2
+    assert report.catalog.get(*KEY).compact.explicit["x"] == 7.0
+
+
 @pytest.mark.parametrize("seed", [11, 22, 33])
 def test_seeded_crash_storm_recovers_every_acknowledged_insert(seed, tmp_path):
     """Random (but reproducible) crashes across many sessions.
@@ -188,10 +253,24 @@ def test_seeded_crash_storm_recovers_every_acknowledged_insert(seed, tmp_path):
     injector = FaultInjector().fail_randomly(rate=0.08, seed=seed)
     with injector:
         for _session in range(6):
+            if rng.random() < 0.25:
+                # Residue of a power loss mid-append in a prior life: a
+                # physically half-written tail line the next writer must
+                # truncate before appending.
+                with open(wal, "ab") as handle:
+                    handle.write(b'{"checksum":0,"payl')
             report = load_catalog(snapshot, recover=True, journal=wal)
             assert not report.quarantined
             catalog = report.catalog
             journal = MaintenanceJournal(wal)
+            if rng.random() < 0.5:
+                # Snapshot straight after recovery: the fences cover every
+                # record, so this checkpoint can empty the log outright —
+                # later sessions' appends must still land above the fences.
+                try:
+                    save_catalog(catalog, snapshot, journal=journal)
+                except InjectedFault:
+                    continue  # the session's process died
             for _op in range(8):
                 value = ["x", "y", "z"][int(rng.integers(3))]
                 try:

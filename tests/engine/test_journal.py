@@ -88,7 +88,9 @@ class TestTornTail:
         with pytest.raises(JournalFormatError):
             read_journal(path, strict=True)
 
-    def test_reopen_after_torn_tail_overwrites_safely(self, tmp_path):
+    def test_reopen_truncates_torn_tail_so_appends_stay_visible(self, tmp_path):
+        # Regression: appends after a torn line used to land behind bytes
+        # read_journal can never get past, losing acknowledged records.
         path = tmp_path / "wal.jsonl"
         journal = MaintenanceJournal(path)
         journal.append_insert("R", "a", "x")
@@ -97,8 +99,36 @@ class TestTornTail:
         reopened = MaintenanceJournal(path)
         assert reopened.last_seq == 1  # the torn record was never acknowledged
         reopened.append_insert("R", "a", "z")
-        records, _ = read_journal(path)
-        assert [r.seq for r in records] == [1]  # torn bytes still stop the scan
+        records, torn = read_journal(path)
+        assert not torn  # reopening truncated the half-written bytes
+        assert [r.seq for r in records] == [1, 2]
+        assert [r.value for r in records] == ["x", "z"]
+
+    def test_reopen_repairs_missing_trailing_newline(self, tmp_path):
+        # A record whose bytes all landed except the terminating newline is
+        # intact data; reopening must not let the next append glue onto it.
+        path = tmp_path / "wal.jsonl"
+        MaintenanceJournal(path).append_insert("R", "a", "x")
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        reopened = MaintenanceJournal(path)
+        assert reopened.last_seq == 1
+        reopened.append_insert("R", "a", "y")
+        records, torn = read_journal(path)
+        assert not torn
+        assert [r.seq for r in records] == [1, 2]
+
+    def test_read_only_access_never_mutates_a_torn_file(self, tmp_path):
+        # Truncation is a writer's repair; plain reads must leave the
+        # evidence in place for `repro stats check`.
+        path = tmp_path / "wal.jsonl"
+        journal = MaintenanceJournal(path)
+        journal.append_insert("R", "a", "x")
+        journal.append_insert("R", "a", "y")
+        torn_blob = path.read_bytes()[:-7]
+        path.write_bytes(torn_blob)
+        records, torn = read_journal(path)
+        assert torn and len(records) == 1
+        assert path.read_bytes() == torn_blob
 
     def test_missing_file_reads_empty(self, tmp_path):
         records, torn = read_journal(tmp_path / "absent.jsonl")
@@ -234,6 +264,53 @@ class TestCheckpoint:
         journal.append_insert("R", "a", "x")
         assert journal.checkpoint() == 1
         assert len(journal) == 0
+
+    def test_checkpoint_then_restart_does_not_regress_sequence(self, tmp_path):
+        # Regression: a checkpoint that emptied the log used to reset
+        # numbering to 0 on the next restart, so acknowledged appends got
+        # seq <= fence and replay silently skipped them.
+        path = tmp_path / "wal.jsonl"
+        catalog = StatsCatalog()
+        catalog.put(compact_entry())
+        journal = MaintenanceJournal(path)
+        journal.append_insert("R", "a", "x")
+        replay_records(catalog, journal.pending())  # fence -> 1
+        assert journal.checkpoint(catalog) == 1  # log now empty but fenced at 1
+        reopened = MaintenanceJournal(path)
+        assert reopened.last_seq == 1  # the header keeps the high-water mark
+        record = reopened.append_insert("R", "a", "y")
+        assert record.seq == 2  # above the fence: replay will apply it
+        stats = replay_records(catalog, reopened.pending())
+        assert stats.applied == 1 and stats.fenced == 0
+        assert catalog.require("R", "a").compact.explicit["y"] == 4.0
+
+    def test_checkpoint_header_covers_catalog_fences(self, tmp_path):
+        # Even a journal that never saw the earlier appends (e.g. the file
+        # was lost) must resume numbering above every snapshot fence.
+        path = tmp_path / "wal.jsonl"
+        catalog = StatsCatalog()
+        entry = compact_entry()
+        entry.journal_seq = 9
+        catalog.put(entry)
+        journal = MaintenanceJournal(path)
+        journal.checkpoint(catalog)
+        reopened = MaintenanceJournal(path)
+        assert reopened.last_seq == 9
+        assert reopened.append_insert("R", "a", "x").seq == 10
+
+    def test_header_is_checksummed(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = MaintenanceJournal(path)
+        journal.append_insert("R", "a", "x")
+        journal.checkpoint()
+        header_line = path.read_text().splitlines()[0]
+        assert "journal-header" in header_line
+        corrupted = header_line.replace('"last_seq":1', '"last_seq":0')
+        path.write_text(corrupted + "\n")
+        with pytest.raises(JournalFormatError, match="header checksum"):
+            read_journal(path, strict=True)
+        records, torn = read_journal(path)  # lenient: treated as torn
+        assert torn and records == []
 
     def test_save_catalog_checkpoints_journal(self, tmp_path):
         catalog = StatsCatalog()

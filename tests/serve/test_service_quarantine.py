@@ -124,6 +124,20 @@ class TestApplyRecovery:
         with pytest.raises(TypeError, match="RecoveryReport"):
             service.apply_recovery({"quarantined": []})
 
+    def test_relation_wide_recovery_evicts_every_cached_slot(
+        self, catalog, service
+    ):
+        # A whole-relation quarantine (attribute None) must drop all of the
+        # relation's per-attribute compiled tables, exactly like
+        # quarantine(); leaving them cached would outlive clear_quarantine.
+        service.estimate_equality("R", "a", 1)
+        service.estimate_equality("S", "a", 1)
+        assert service.cached_tables == 2
+        report = report_quarantining(catalog, relation="R", attribute=None)
+        assert service.apply_recovery(report) == 1
+        assert service.cached_tables == 1  # only S's table survives
+        assert ("R", None) in service.quarantined
+
 
 class TestQuarantineManagement:
     def test_clear_quarantine_restores_service(self, catalog, service):
