@@ -1,0 +1,147 @@
+"""Observability overhead: the instrumented serving path must stay cheap.
+
+The telemetry layer was built around one budget: spans and counters on
+the batch boundary, never per probe.  This bench drives the same
+10k-probe batch with instrumentation enabled and disabled
+(:func:`repro.obs.set_instrumentation`) and checks the enabled path
+costs at most 5% extra wall time (plus a small absolute epsilon so
+sub-millisecond jitter cannot fail the gate on fast machines).  The
+measured pair is also written to ``benchmarks/results/BENCH_obs.json``
+so overhead can be tracked across revisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+from _reporting import record_report
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.experiments.report import format_table
+from repro.obs import runtime
+from repro.serve import EqualityProbe, EstimationService, RangeProbe
+from repro.util.rng import derive_rng
+
+N_RELATIONS = 4
+TOTAL = 4000
+DOMAIN = 100
+N_PROBES = 10_000
+ROUNDS = 5
+MAX_OVERHEAD = 0.05
+EPSILON_SECONDS = 2e-3
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_obs.json"
+
+
+def build_service(gen):
+    catalog = StatsCatalog()
+    for index in range(N_RELATIONS):
+        freqs = quantize_to_integers(
+            zipf_frequencies(TOTAL, DOMAIN, 0.5 + 0.4 * index)
+        )
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        gen.shuffle(column)
+        relation = Relation.from_columns(f"R{index}", {"a": column})
+        analyze_relation(relation, "a", catalog, kind="end-biased", buckets=8)
+    return EstimationService(catalog, name="bench-obs")
+
+
+def build_probes(gen):
+    probes = []
+    for _ in range(N_PROBES):
+        relation = f"R{gen.integers(N_RELATIONS)}"
+        if gen.random() < 0.6:
+            probes.append(EqualityProbe(relation, "a", int(gen.integers(DOMAIN))))
+        else:
+            low, high = sorted(int(v) for v in gen.integers(0, DOMAIN, size=2))
+            probes.append(RangeProbe(relation, "a", low, high))
+    return probes
+
+
+def best_of(service, probes, rounds):
+    """Best-of-N wall time for one full batch (min damps scheduler noise)."""
+    best = float("inf")
+    answer = None
+    for _ in range(rounds):
+        started = perf_counter()
+        answer = service.estimate_batch(probes)
+        best = min(best, perf_counter() - started)
+    return best, answer
+
+
+def run_obs_overhead():
+    gen = derive_rng(1995)
+    service = build_service(gen)
+    probes = build_probes(gen)
+
+    # Warm the compiled-table cache so neither arm pays compile time.
+    service.estimate_batch(probes[:100])
+
+    try:
+        runtime.set_instrumentation(True)
+        on_seconds, on_answer = best_of(service, probes, ROUNDS)
+        runtime.set_instrumentation(False)
+        off_seconds, off_answer = best_of(service, probes, ROUNDS)
+    finally:
+        runtime.set_instrumentation(True)
+
+    return {
+        "on_seconds": on_seconds,
+        "off_seconds": off_seconds,
+        "on_answer": on_answer,
+        "off_answer": off_answer,
+        "stats": service.stats(),
+    }
+
+
+def test_obs_overhead_within_budget(benchmark):
+    result = benchmark.pedantic(run_obs_overhead, rounds=1, iterations=1)
+    on, off = result["on_seconds"], result["off_seconds"]
+    overhead = (on - off) / off if off > 0 else 0.0
+
+    record_report(
+        f"Observability overhead — {N_PROBES}-probe batch, instrumentation "
+        "on vs off (best of 5)",
+        format_table(
+            ["arm", "seconds", "probes/sec"],
+            [
+                ["instrumented", on, N_PROBES / on],
+                ["disabled", off, N_PROBES / off],
+                ["overhead", overhead, float("nan")],
+            ],
+            precision=4,
+        ),
+    )
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "obs_overhead",
+                "probes": N_PROBES,
+                "rounds": ROUNDS,
+                "instrumented_seconds": on,
+                "disabled_seconds": off,
+                "overhead_fraction": overhead,
+                "budget_fraction": MAX_OVERHEAD,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Estimates are identical with telemetry on or off.
+    assert np.array_equal(result["on_answer"], result["off_answer"])
+    # The off arm still keeps its plain ServiceMetrics counters.
+    assert result["stats"].probes_served >= (ROUNDS * 2 + 1) * 100
+    # The budget: within 5%, with an absolute epsilon for timing jitter.
+    assert on <= max(off * (1.0 + MAX_OVERHEAD), off + EPSILON_SECONDS), (
+        f"instrumentation overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(on={on:.4f}s off={off:.4f}s)"
+    )

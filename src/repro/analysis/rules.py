@@ -574,6 +574,106 @@ class AtomicCatalogWriteRule(Rule):
         return True  # dynamic mode: assume the worst
 
 
+#: Package path fragments whose timing code must use monotonic clocks:
+#: the instrumentation layer itself and every instrumented subsystem.
+MONOTONIC_CLOCK_SCOPES = (
+    "repro/obs/",
+    "repro/serve/",
+    "repro/engine/",
+    "repro/maint/",
+)
+
+#: Package path fragments whose per-value inner loops must not touch the
+#: metric registry (hot batch/replay loops run per value; instrument
+#: around the loop, not inside it).
+HOT_LOOP_SCOPES = ("repro/serve/", "repro/engine/")
+
+#: Method names that hit a registry instrument on every call.
+_INSTRUMENT_CALL_ATTRS = frozenset({"inc", "observe", "set_gauge", "record_event"})
+
+#: Dotted-call prefixes that resolve to the obs runtime helpers.
+_OBS_HELPER_CALLS = frozenset(
+    {
+        "obs.count",
+        "obs.observe",
+        "obs.set_gauge",
+        "obs.emit_event",
+        "runtime.count",
+        "runtime.observe",
+        "runtime.set_gauge",
+        "runtime.emit_event",
+    }
+)
+
+
+class MonotonicInstrumentationRule(Rule):
+    """R008: monotonic clocks in timing code; no registry calls in loops."""
+
+    code = "R008"
+    name = "monotonic-instrumentation"
+    summary = (
+        "span/latency instrumentation must use time.perf_counter()/"
+        "time.monotonic() (wall-clock time.time() goes backwards under NTP "
+        "steps), and serve/engine hot paths must not call the metric "
+        "registry inside per-value inner loops — hoist the count out of "
+        "the loop or justify with `# repolint: disable=R008`"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        posix = module.path.replace("\\", "/")
+        if not any(scope in posix for scope in MONOTONIC_CLOCK_SCOPES):
+            return
+        yield from self._check_wall_clock(module)
+        if any(scope in posix for scope in HOT_LOOP_SCOPES):
+            yield from self._check_loop_registry_calls(module)
+
+    def _check_wall_clock(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.violation(
+                            module,
+                            node,
+                            "`from time import time` imports the wall clock; "
+                            "instrument with time.perf_counter() or "
+                            "time.monotonic()",
+                        )
+            elif isinstance(node, ast.Call):
+                if _dotted_name(node.func) == "time.time":
+                    yield self.violation(
+                        module,
+                        node,
+                        "`time.time()` is a wall clock and can step backwards; "
+                        "durations must come from time.perf_counter() or "
+                        "time.monotonic()",
+                    )
+
+    def _check_loop_registry_calls(self, module: LintModule) -> Iterator[Violation]:
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted_name(node.func) or ""
+                is_helper = dotted in _OBS_HELPER_CALLS or dotted.startswith(
+                    ("repro.obs.", "registry.")
+                )
+                is_instrument = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _INSTRUMENT_CALL_ATTRS
+                )
+                if is_helper or is_instrument:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"registry call `{dotted or node.func.attr}` inside a "
+                        "per-value loop on a hot path; accumulate locally and "
+                        "record once after the loop",
+                    )
+
+
 #: All rules, in code order. The linter instantiates from this registry.
 ALL_RULES: tuple[type[Rule], ...] = (
     RngDisciplineRule,
@@ -583,6 +683,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AnnotationsRule,
     NoBareScanCardinalityRule,
     AtomicCatalogWriteRule,
+    MonotonicInstrumentationRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

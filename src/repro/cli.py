@@ -8,7 +8,10 @@ Subcommands cover the common interactive uses:
 * ``selfjoin`` — one row of the Figures 3-5 comparison;
 * ``chain`` — one row of the Figures 6-7 comparison;
 * ``table1`` — the construction-cost table;
-* ``serve-stats`` — batched estimation-service workload with cache metrics;
+* ``serve-stats`` — batched estimation-service workload with cache metrics
+  (``--obs`` appends the metric registry);
+* ``obs dump`` — drive a serve+maintain+recover workload and expose the
+  metric registry (Prometheus text or JSON);
 * ``stats check`` / ``stats repair`` — verify or repair an on-disk
   statistics catalog (checksums, journal replay, quarantine);
 * ``arrangements`` — the Section 3.1 arrangement study.
@@ -221,6 +224,122 @@ def _cmd_serve_stats(args) -> int:
     )
     print(f"catalog version: {catalog.version}")
     print(service.stats().format())
+    if args.obs:
+        from repro.obs import get_registry
+
+        print()
+        print("# --- metric registry (repro obs) ---")
+        sys.stdout.write(get_registry().to_prometheus())
+    return 0
+
+
+def _run_obs_workload(seed: int, probes: int) -> object:
+    """Drive a small serve + maintain + crash-recover workload.
+
+    Populates the default metric registry with live counters, span
+    histograms, events, and accuracy-monitor samples so ``repro obs dump``
+    has something real to expose: batched equality/range/join probes over
+    analyzed Zipf columns (each equality answer checked against the exact
+    column frequency), a journaled maintained histogram that publishes and
+    checkpoints through ``save_catalog``, a recovery load whose report the
+    service absorbs, and a Proposition 3.1 self-join cross-check.
+    """
+    import tempfile
+    from collections import Counter
+
+    from repro.core.biased import v_opt_bias_hist
+    from repro.core.frequency import AttributeDistribution
+    from repro.core.optimality import self_join_size
+    from repro.data.quantize import quantize_to_integers
+    from repro.data.zipf import zipf_frequencies
+    from repro.engine.analyze import analyze_relation
+    from repro.engine.catalog import StatsCatalog
+    from repro.engine.journal import MaintenanceJournal
+    from repro.engine.persist import load_catalog, save_catalog
+    from repro.engine.relation import Relation
+    from repro.maint.update import MaintainedEndBiased
+    from repro.obs import get_monitor
+    from repro.serve import EqualityProbe, EstimationService, JoinProbe, RangeProbe
+    from repro.util.rng import derive_rng
+
+    gen = derive_rng(seed)
+    catalog = StatsCatalog()
+    columns: dict[str, Counter] = {}
+    names = []
+    domain = 120
+    for index, z in enumerate((0.6, 1.2)):
+        freqs = quantize_to_integers(zipf_frequencies(4000.0, domain, z))
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        gen.shuffle(column)
+        relation = Relation.from_columns(f"R{index}", {"a": column})
+        analyze_relation(relation, "a", catalog, kind="end-biased", buckets=12)
+        columns[relation.name] = Counter(column)
+        names.append(relation.name)
+
+    monitor = get_monitor()
+    service = EstimationService(catalog, name="obs-workload")
+    eq_probes = [
+        EqualityProbe(
+            names[int(gen.integers(len(names)))], "a", int(gen.integers(domain))
+        )
+        for _ in range(probes)
+    ]
+    estimates = service.estimate_batch(eq_probes)
+    for probe, estimated in zip(eq_probes, estimates):
+        actual = float(columns[probe.relation].get(probe.value, 0))
+        monitor.record_observation(probe, float(estimated), actual)
+    service.estimate_batch(
+        [
+            RangeProbe(names[0], "a", 3, 40),
+            JoinProbe(names[0], "a", names[1], "a"),
+        ]
+    )
+
+    # Proposition 3.1 cross-check: S - S' = Σ p_i·v_i on a seeded Zipf set.
+    check_freqs = quantize_to_integers(zipf_frequencies(2000.0, 60, 1.0))
+    monitor.record_self_join(
+        "zipf-check", v_opt_bias_hist(check_freqs, 8), self_join_size(check_freqs)
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-") as scratch:
+        snapshot = Path(scratch) / "catalog.json"
+        journal_path = Path(scratch) / "catalog.journal"
+        journal = MaintenanceJournal(journal_path)
+        maint_freqs = quantize_to_integers(zipf_frequencies(1500.0, 40, 1.0))
+        distribution = AttributeDistribution(
+            list(range(len(maint_freqs))), maint_freqs
+        )
+        maintained = MaintainedEndBiased(
+            distribution, 6, journal=journal, relation="M0", attribute="a"
+        )
+        for _ in range(25):
+            maintained.insert(int(gen.integers(len(maint_freqs))))
+        maintained.publish(catalog, "M0", "a")
+        save_catalog(catalog, snapshot, journal=journal)
+        # Deltas after the snapshot are exactly what recovery must replay.
+        for _ in range(10):
+            maintained.insert(int(gen.integers(len(maint_freqs))))
+        report = load_catalog(snapshot, recover=True, journal=journal_path)
+        service.apply_recovery(report)
+        service.estimate_batch([EqualityProbe("M0", "a", 1)])
+    # The caller must keep the service alive through exposition: its
+    # metrics are exported via a weak registry collector.
+    return service
+
+
+def _cmd_obs_dump(args) -> int:
+    """Expose the default metric registry (after an optional workload)."""
+    from repro.obs import get_registry
+
+    service = None
+    if not args.no_workload:
+        service = _run_obs_workload(args.seed, args.probes)
+    registry = get_registry()
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prometheus())
+    else:
+        print(registry.to_json())
+    del service  # held alive until after exposition (weak collector)
     return 0
 
 
@@ -421,7 +540,37 @@ def build_parser() -> argparse.ArgumentParser:
         "the degradation counters",
     )
     p.add_argument("--seed", type=int, default=1995)
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="also dump the metric registry (Prometheus text) after the run",
+    )
     p.set_defaults(func=_cmd_serve_stats)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability: dump the metric registry, spans, and events",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    sp = obs_sub.add_parser(
+        "dump",
+        help="run a serve+maintain+recover workload and dump the registry",
+    )
+    sp.add_argument(
+        "--format",
+        choices=["prom", "json"],
+        default="prom",
+        help="exposition format (Prometheus text or JSON with events)",
+    )
+    sp.add_argument(
+        "--no-workload",
+        action="store_true",
+        help="dump whatever the registry already holds without driving "
+        "the built-in workload",
+    )
+    sp.add_argument("--probes", type=int, default=400)
+    sp.add_argument("--seed", type=int, default=1995)
+    sp.set_defaults(func=_cmd_obs_dump)
 
     p = sub.add_parser(
         "stats", help="inspect or repair an on-disk statistics catalog"

@@ -39,6 +39,8 @@ from pathlib import Path
 from typing import Hashable, Optional, Sequence
 
 from repro.engine.catalog import CompactEndBiased, StatsCatalog
+from repro.obs import runtime as obs
+from repro.obs.tracing import span
 from repro.engine.durable import (
     PathLike,
     atomic_write_text,
@@ -468,17 +470,20 @@ class MaintenanceJournal:
             seq=self._seq + 1, op=op, relation=relation, attribute=attribute, value=value
         )
         data = _encode_record(record)
-        fault_point(POINT_JOURNAL_APPEND, path=str(self._path))
-        # The one sanctioned non-atomic write: an append-only log is
-        # torn-tail safe by construction (per-record checksums), and
-        # appending through a rewrite would be O(log) per delta.
-        with open(self._path, "ab") as handle:  # repolint: disable=R007
-            handle.write(data)
-            fault_point(POINT_JOURNAL_FLUSH, path=str(self._path))
-            if self._fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
+        with span("journal.append", op=op):
+            fault_point(POINT_JOURNAL_APPEND, path=str(self._path))
+            # The one sanctioned non-atomic write: an append-only log is
+            # torn-tail safe by construction (per-record checksums), and
+            # appending through a rewrite would be O(log) per delta.
+            with open(self._path, "ab") as handle:  # repolint: disable=R007
+                handle.write(data)
+                fault_point(POINT_JOURNAL_FLUSH, path=str(self._path))
+                if self._fsync:
+                    with span("journal.fsync"):
+                        handle.flush()
+                        os.fsync(handle.fileno())
         self._seq = record.seq  # acknowledged only after the durable append
+        obs.count("repro_journal_appends_total", op=op)
         return record
 
     # ------------------------------------------------------------------
@@ -499,24 +504,34 @@ class MaintenanceJournal:
         this call: replay fences make re-applying old records a no-op, so
         a crash between snapshot and checkpoint is harmless.
         """
-        scan = _scan_journal(self._path, strict=False)
-        records = scan.records
-        keep: list[JournalRecord] = []
-        last_seq = max(self._seq, scan.last_seq)
-        if catalog is not None:
-            if not isinstance(catalog, StatsCatalog):
-                raise TypeError(
-                    f"catalog must be a StatsCatalog, got {type(catalog).__name__}"
-                )
-            for entry in catalog.entries():
-                last_seq = max(last_seq, entry.journal_seq)
-            for record in records:
-                entry = catalog.get(record.relation, record.attribute)
-                if entry is not None and record.seq > entry.journal_seq:
-                    keep.append(record)
-        fault_point(POINT_JOURNAL_CHECKPOINT, path=str(self._path))
-        parts = [_encode_header(last_seq).decode("utf-8")] if last_seq else []
-        parts.extend(_encode_record(record).decode("utf-8") for record in keep)
-        atomic_write_text(self._path, "".join(parts))
-        self._seq = last_seq
-        return len(records) - len(keep)
+        with span("journal.checkpoint"):
+            scan = _scan_journal(self._path, strict=False)
+            records = scan.records
+            keep: list[JournalRecord] = []
+            last_seq = max(self._seq, scan.last_seq)
+            if catalog is not None:
+                if not isinstance(catalog, StatsCatalog):
+                    raise TypeError(
+                        f"catalog must be a StatsCatalog, got {type(catalog).__name__}"
+                    )
+                for entry in catalog.entries():
+                    last_seq = max(last_seq, entry.journal_seq)
+                for record in records:
+                    entry = catalog.get(record.relation, record.attribute)
+                    if entry is not None and record.seq > entry.journal_seq:
+                        keep.append(record)
+            fault_point(POINT_JOURNAL_CHECKPOINT, path=str(self._path))
+            parts = [_encode_header(last_seq).decode("utf-8")] if last_seq else []
+            parts.extend(_encode_record(record).decode("utf-8") for record in keep)
+            atomic_write_text(self._path, "".join(parts))
+            self._seq = last_seq
+        dropped = len(records) - len(keep)
+        obs.count("repro_journal_checkpoints_total")
+        obs.emit_event(
+            "journal.checkpoint",
+            path=str(self._path),
+            dropped=dropped,
+            kept=len(keep),
+            last_seq=last_seq,
+        )
+        return dropped

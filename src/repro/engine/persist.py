@@ -55,6 +55,8 @@ from repro.engine.journal import (
     read_journal,
     replay_records,
 )
+from repro.obs import runtime as obs
+from repro.obs.tracing import span
 from repro.testing.faults import POINT_PERSIST_SERIALIZE, fault_point
 
 #: Format header values.
@@ -456,13 +458,15 @@ def save_catalog(
             f"journal must be a MaintenanceJournal, got {type(journal).__name__}"
         )
     path = Path(path)
-    fault_point(POINT_PERSIST_SERIALIZE, path=str(path))
-    payload = json.dumps(
-        catalog_to_dict(catalog), indent=2, sort_keys=True, allow_nan=False
-    )
-    atomic_write_text(path, payload)
-    if journal is not None:
-        journal.checkpoint(catalog)
+    with span("persist.save"):
+        fault_point(POINT_PERSIST_SERIALIZE, path=str(path))
+        payload = json.dumps(
+            catalog_to_dict(catalog), indent=2, sort_keys=True, allow_nan=False
+        )
+        atomic_write_text(path, payload)
+        if journal is not None:
+            journal.checkpoint(catalog)
+    obs.count("repro_persist_saves_total")
 
 
 # ----------------------------------------------------------------------
@@ -597,62 +601,79 @@ def load_catalog(
     """
     path = Path(path)
     if not recover:
-        if not path.exists():
-            raise FileNotFoundError(f"no stats catalog at {path}")
-        catalog = catalog_from_dict(_parse_snapshot_text(path.read_text()))
-        if journal is not None:
-            records, _ = read_journal(journal, strict=True)
-            replay_records(catalog, records, strict=True)
+        with span("persist.load"):
+            if not path.exists():
+                raise FileNotFoundError(f"no stats catalog at {path}")
+            catalog = catalog_from_dict(_parse_snapshot_text(path.read_text()))
+            if journal is not None:
+                records, _ = read_journal(journal, strict=True)
+                replay_records(catalog, records, strict=True)
+        obs.count("repro_persist_loads_total", mode="strict")
         return catalog
 
-    report = RecoveryReport(catalog=StatsCatalog(), snapshot_path=str(path))
-    if not path.exists():
-        report.snapshot_found = False
-        report.snapshot_ok = False
-    else:
-        try:
-            data = _parse_snapshot_text(path.read_text())
-            version = _check_header(data)
-            entries = data.get("entries")
-            if not isinstance(entries, list):
-                raise CatalogFormatError("catalog 'entries' must be a list")
-        except CatalogFormatError as exc:
+    with span("persist.recover"):
+        report = RecoveryReport(catalog=StatsCatalog(), snapshot_path=str(path))
+        if not path.exists():
+            report.snapshot_found = False
             report.snapshot_ok = False
-            report.quarantined.append(
-                QuarantinedEntry(relation=None, attribute=None, reason=str(exc))
-            )
-            entries = []
-            version = FORMAT_VERSION
-        for item in entries:
+        else:
             try:
-                entry = _load_entry_item(item, version)
+                data = _parse_snapshot_text(path.read_text())
+                version = _check_header(data)
+                entries = data.get("entries")
+                if not isinstance(entries, list):
+                    raise CatalogFormatError("catalog 'entries' must be a list")
             except CatalogFormatError as exc:
-                relation, attribute = _entry_key_hint(item)
+                report.snapshot_ok = False
                 report.quarantined.append(
-                    QuarantinedEntry(
-                        relation=relation, attribute=attribute, reason=str(exc)
-                    )
+                    QuarantinedEntry(relation=None, attribute=None, reason=str(exc))
                 )
-                continue
-            stored_version = entry.version
-            report.catalog.put(entry)
-            entry.version = stored_version
-            report.entries_loaded += 1
+                entries = []
+                version = FORMAT_VERSION
+            for item in entries:
+                try:
+                    entry = _load_entry_item(item, version)
+                except CatalogFormatError as exc:
+                    relation, attribute = _entry_key_hint(item)
+                    report.quarantined.append(
+                        QuarantinedEntry(
+                            relation=relation, attribute=attribute, reason=str(exc)
+                        )
+                    )
+                    continue
+                stored_version = entry.version
+                report.catalog.put(entry)
+                entry.version = stored_version
+                report.entries_loaded += 1
 
-    if journal is not None:
-        report.journal_path = str(Path(journal))
-        records, torn = read_journal(journal, strict=False)
-        report.journal_torn = torn
-        skip_keys = frozenset(
-            (q.relation, q.attribute)
-            for q in report.quarantined
-            if q.relation is not None and q.attribute is not None
-        )
-        stats: JournalReplayStats = replay_records(
-            report.catalog, records, strict=False, skip_keys=skip_keys
-        )
-        report.journal_replayed = stats.applied
-        report.journal_fenced = stats.fenced
-        report.journal_orphaned = stats.orphaned
-        report.journal_anomalies = stats.anomalies
+        if journal is not None:
+            report.journal_path = str(Path(journal))
+            records, torn = read_journal(journal, strict=False)
+            report.journal_torn = torn
+            skip_keys = frozenset(
+                (q.relation, q.attribute)
+                for q in report.quarantined
+                if q.relation is not None and q.attribute is not None
+            )
+            stats: JournalReplayStats = replay_records(
+                report.catalog, records, strict=False, skip_keys=skip_keys
+            )
+            report.journal_replayed = stats.applied
+            report.journal_fenced = stats.fenced
+            report.journal_orphaned = stats.orphaned
+            report.journal_anomalies = stats.anomalies
+
+    obs.count("repro_persist_loads_total", mode="recover")
+    obs.count("repro_recovery_entries_loaded_total", report.entries_loaded)
+    obs.count("repro_recovery_entries_quarantined_total", len(report.quarantined))
+    obs.count("repro_recovery_journal_deltas_replayed_total", report.journal_replayed)
+    obs.emit_event(
+        "persist.recover",
+        path=str(path),
+        clean=report.clean,
+        entries_loaded=report.entries_loaded,
+        quarantined=len(report.quarantined),
+        journal_replayed=report.journal_replayed,
+        journal_torn=report.journal_torn,
+    )
     return report

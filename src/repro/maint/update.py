@@ -26,6 +26,8 @@ from repro.core.histogram import Histogram
 from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
 from repro.engine.journal import MaintenanceJournal
 from repro.engine.sampling import SpaceSavingSketch
+from repro.obs import runtime as obs
+from repro.obs.tracing import span
 from repro.util.validation import ensure_in_range, ensure_positive_int
 
 
@@ -189,22 +191,24 @@ class MaintainedEndBiased:
         its ``journal_seq`` fence: the published statistics already include
         every logged delta, so replay after a crash skips them.
         """
-        entry = CatalogEntry(
-            relation=relation,
-            attribute=attribute,
-            kind="maintained-end-biased",
-            histogram=None,
-            compact=self.as_compact(),
-            distinct_count=self.distinct_count,
-            total_tuples=float(self.total),
-        )
-        if (
-            self._journal is not None
-            and self._journal_relation == relation
-            and self._journal_attribute == attribute
-        ):
-            entry.journal_seq = self._journal.last_seq
-        catalog.put(entry)
+        with span("maint.publish", relation=relation, attribute=attribute):
+            entry = CatalogEntry(
+                relation=relation,
+                attribute=attribute,
+                kind="maintained-end-biased",
+                histogram=None,
+                compact=self.as_compact(),
+                distinct_count=self.distinct_count,
+                total_tuples=float(self.total),
+            )
+            if (
+                self._journal is not None
+                and self._journal_relation == relation
+                and self._journal_attribute == attribute
+            ):
+                entry.journal_seq = self._journal.last_seq
+            catalog.put(entry)
+        obs.count("repro_maint_publishes_total")
         return entry
 
     # ------------------------------------------------------------------
@@ -232,6 +236,7 @@ class MaintainedEndBiased:
         an unacknowledged update is a *rejected* update, never a silent one.
         """
         self._journal_delta("insert", value)
+        obs.count("repro_maint_deltas_total", op="insert")
         self.updates_since_build += 1
         if value in self.explicit:
             self.explicit[value] += 1.0
@@ -256,6 +261,7 @@ class MaintainedEndBiased:
             if self.explicit[value] <= 0:
                 raise ValueError(f"no tuples left with value {value!r}")
             self._journal_delta("delete", value)
+            obs.count("repro_maint_deltas_total", op="delete")
             self.updates_since_build += 1
             self.explicit[value] -= 1.0
             return
@@ -264,6 +270,7 @@ class MaintainedEndBiased:
         if self.remainder_total <= 0:
             raise ValueError("implicit bucket is already empty")
         self._journal_delta("delete", value)
+        obs.count("repro_maint_deltas_total", op="delete")
         self.updates_since_build += 1
         self.remainder_total -= 1.0
 
@@ -286,4 +293,6 @@ class MaintainedEndBiased:
 
     def rebuild(self, distribution: AttributeDistribution) -> None:
         """Recompute the optimal end-biased histogram from fresh statistics."""
-        self._rebuild_from(distribution)
+        with span("maint.rebuild"):
+            self._rebuild_from(distribution)
+        obs.count("repro_maint_rebuilds_total")

@@ -1,0 +1,89 @@
+"""Unified telemetry for the repro statistics stack.
+
+Three layers, all thread-safe and all optional at runtime:
+
+* :mod:`repro.obs.registry` — metric instruments (counters, gauges,
+  histograms with labels), collectors, a bounded event ring buffer, and
+  Prometheus-text/JSON exposition;
+* :mod:`repro.obs.tracing` — ``span("serve.batch")`` context managers
+  over monotonic clocks with parent/child nesting and pluggable sinks;
+* :mod:`repro.obs.accuracy` — estimation-error accounting
+  (``record_observation(probe, estimated, actual)``) with the
+  Proposition 3.1 ``Σ p_i·v_i`` cross-check.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.obs.accuracy import (
+    AccuracyMonitor,
+    ErrorStats,
+    get_monitor,
+    probe_key,
+    reset_monitor,
+    theoretical_self_join_error,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKET_BOUNDS,
+    DEFAULT_MAX_EVENTS,
+    Counter,
+    Event,
+    Gauge,
+    HistogramMetric,
+    MetricRegistry,
+    Sample,
+)
+from repro.obs.runtime import (
+    count,
+    emit_event,
+    get_registry,
+    is_enabled,
+    observe,
+    reset,
+    set_gauge,
+    set_instrumentation,
+    set_registry,
+)
+from repro.obs.tracing import (
+    SPAN_NAMES,
+    SpanRecord,
+    add_span_sink,
+    clear_span_sinks,
+    current_span_name,
+    remove_span_sink,
+    span,
+)
+
+__all__ = [
+    "AccuracyMonitor",
+    "Counter",
+    "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_MAX_EVENTS",
+    "ErrorStats",
+    "Event",
+    "Gauge",
+    "HistogramMetric",
+    "MetricRegistry",
+    "SPAN_NAMES",
+    "Sample",
+    "SpanRecord",
+    "add_span_sink",
+    "clear_span_sinks",
+    "count",
+    "current_span_name",
+    "emit_event",
+    "get_monitor",
+    "get_registry",
+    "is_enabled",
+    "observe",
+    "probe_key",
+    "remove_span_sink",
+    "reset",
+    "reset_monitor",
+    "set_gauge",
+    "set_instrumentation",
+    "set_registry",
+    "span",
+    "theoretical_self_join_error",
+]

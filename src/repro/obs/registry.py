@@ -1,0 +1,549 @@
+"""The metric registry: thread-safe counters, gauges, and histograms.
+
+Production statistics serving needs more than an ad-hoc counter bag — it
+needs one place where every subsystem (the estimation service, the
+maintenance journal, the persistence layer) publishes what it did, in a
+form an operator can scrape.  :class:`MetricRegistry` is that place:
+
+* **instruments** — :class:`Counter`, :class:`Gauge`, and
+  :class:`HistogramMetric`, each keyed by a Prometheus-style name plus a
+  label set, created on first touch and shared thereafter.  Every
+  instrument guards its state with its own lock, so concurrent writers
+  never lose updates and a reader never observes a torn histogram (the
+  bucket counts, count, and sum move together under one lock);
+* **collectors** — callbacks that produce :class:`Sample` values at
+  exposition time from state owned elsewhere (e.g.
+  :class:`repro.serve.metrics.ServiceMetrics`), held through weak
+  references so registering an object never extends its lifetime;
+* an **event log** — a bounded ring buffer of recent structured events
+  (monotonic timestamps; the oldest events fall off the end), for the
+  "what just happened" questions counters cannot answer;
+* **exposition** — :meth:`MetricRegistry.to_prometheus` renders the
+  Prometheus text format, :meth:`MetricRegistry.to_json` a JSON document
+  with the same content plus the event log.
+
+Instrumented code does not use this class directly — it goes through the
+cheap guarded helpers in :mod:`repro.obs.runtime` (``count``, ``observe``,
+``emit_event``) and :func:`repro.obs.tracing.span`, which are no-ops when
+instrumentation is disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any, Callable, Iterable, Optional, Union
+
+#: Default upper bounds (seconds, inclusive) for duration histograms; one
+#: final ``+Inf`` bucket catches everything slower.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+#: Default capacity of the bounded event ring buffer.
+DEFAULT_MAX_EVENTS = 256
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: A label set in canonical (sorted, hashable) form.
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name must match {_NAME_RE.pattern!r}, got {name!r}"
+        )
+    return name
+
+
+def _canonical_labels(labels: dict[str, object]) -> LabelItems:
+    items = []
+    for key in sorted(labels):
+        if not isinstance(key, str) or not _LABEL_RE.match(key):
+            raise ValueError(
+                f"label name must match {_LABEL_RE.pattern!r}, got {key!r}"
+            )
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(items: LabelItems, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    merged = items + extra
+    if not merged:
+        return ""
+    parts = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in merged
+    )
+    return "{" + parts + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition-ready metric value (as produced by collectors).
+
+    ``kind`` is ``"counter"`` or ``"gauge"``; histograms are expanded into
+    cumulative-bucket counter samples by whoever produces them.
+    """
+
+    name: str
+    labels: LabelItems
+    value: float
+    kind: str = "gauge"
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        if self.kind not in ("counter", "gauge"):
+            raise ValueError(
+                f"sample kind must be 'counter' or 'gauge', got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Event:
+    """One entry of the bounded event ring buffer."""
+
+    #: Monotonic timestamp (``time.monotonic()``) — ordering, not wall time.
+    timestamp: float
+    name: str
+    fields: LabelItems = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "timestamp": self.timestamp,
+            "name": self.name,
+            "fields": dict(self.fields),
+        }
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by *amount* (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+
+class HistogramMetric:
+    """A fixed-bucket distribution (Prometheus histogram semantics).
+
+    ``observe`` updates the matching bucket, the total count, and the sum
+    under one lock, so a concurrent read never sees the three out of step.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_lock", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+    ):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram bounds must be a sorted non-empty sequence, got {bounds!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """A consistent ``(per-bucket counts, sum, count)`` triple."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+
+Instrument = Union[Counter, Gauge, HistogramMetric]
+
+
+@dataclass
+class _Collector:
+    """One registered sample producer, weakly bound to its owner."""
+
+    produce: Callable[..., Iterable[Sample]]
+    owner: Optional[weakref.ref] = None
+
+
+@dataclass
+class _Family:
+    """Every instrument sharing one metric name (one per label set)."""
+
+    kind: str
+    help: str
+    bounds: Optional[tuple[float, ...]] = None
+    children: dict[LabelItems, Instrument] = field(default_factory=dict)
+
+
+class MetricRegistry:
+    """Thread-safe home for instruments, collectors, and the event log."""
+
+    def __init__(self, *, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[_Collector] = []
+        self._events: deque[Event] = deque(maxlen=int(max_events))
+
+    # ------------------------------------------------------------------
+    # Instruments (get-or-create)
+    # ------------------------------------------------------------------
+
+    def _instrument(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labels: dict[str, object],
+        bounds: Optional[tuple[float, ...]] = None,
+    ) -> Instrument:
+        _check_name(name)
+        items = _canonical_labels(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind=kind, help=help, bounds=bounds)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family.kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+            elif help and not family.help:
+                family.help = help
+            child = family.children.get(items)
+            if child is None:
+                if kind == "counter":
+                    child = Counter(name, items)
+                elif kind == "gauge":
+                    child = Gauge(name, items)
+                else:
+                    child = HistogramMetric(
+                        name, items, family.bounds or DEFAULT_BUCKET_BOUNDS
+                    )
+                family.children[items] = child
+            return child
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        """The counter *name* with *labels*, created on first touch."""
+        return self._instrument("counter", name, help, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        """The gauge *name* with *labels*, created on first touch."""
+        return self._instrument("gauge", name, help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: Optional[tuple[float, ...]] = None,
+        **labels: object,
+    ) -> HistogramMetric:
+        """The histogram *name* with *labels*; *buckets* fixes the family's
+        bounds on first creation and is ignored afterwards."""
+        return self._instrument(  # type: ignore[return-value]
+            "histogram", name, help, labels, bounds=buckets
+        )
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def record_event(self, name: str, **fields: object) -> Event:
+        """Append one structured event to the bounded ring buffer."""
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"event name must be a non-empty str, got {name!r}")
+        event = Event(
+            timestamp=monotonic(),
+            name=name,
+            fields=tuple((str(k), str(v)) for k, v in sorted(fields.items())),
+        )
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    def events(self) -> list[Event]:
+        """The retained events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    # ------------------------------------------------------------------
+    # Collectors
+    # ------------------------------------------------------------------
+
+    def register_collector(
+        self,
+        produce: Callable[..., Iterable[Sample]],
+        *,
+        owner: Optional[object] = None,
+    ) -> None:
+        """Register a sample producer consulted at exposition time.
+
+        With *owner*, the registry holds only a weak reference: *produce*
+        is called as ``produce(owner)`` while the owner is alive and the
+        collector is silently dropped once it is garbage-collected — so
+        instrumented objects (services, monitors) never leak through the
+        registry.  Without an owner, *produce* is called with no
+        arguments and lives until the registry does.
+        """
+        if not callable(produce):
+            raise TypeError(f"collector must be callable, got {type(produce).__name__}")
+        ref = weakref.ref(owner) if owner is not None else None
+        with self._lock:
+            self._collectors.append(_Collector(produce=produce, owner=ref))
+
+    def collect(self) -> list[Sample]:
+        """Run every live collector; a raising collector is skipped.
+
+        Observer code must never fail the observed path — a collector
+        that raises is counted in ``repro_obs_collector_errors_total``
+        and its samples are simply absent from this exposition.
+        """
+        with self._lock:
+            collectors = list(self._collectors)
+        samples: list[Sample] = []
+        dead: list[_Collector] = []
+        errors = 0
+        for collector in collectors:
+            if collector.owner is not None:
+                target = collector.owner()
+                if target is None:
+                    dead.append(collector)
+                    continue
+                args: tuple = (target,)
+            else:
+                args = ()
+            try:
+                samples.extend(collector.produce(*args))
+            except Exception:
+                errors += 1
+        if dead:
+            with self._lock:
+                self._collectors = [c for c in self._collectors if c not in dead]
+        if errors:
+            self.counter(
+                "repro_obs_collector_errors_total",
+                "collector callbacks that raised during exposition",
+            ).inc(errors)
+        return samples
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def _family_snapshot(self) -> list[tuple[str, _Family, list[Instrument]]]:
+        with self._lock:
+            return [
+                (name, family, list(family.children.values()))
+                for name, family in sorted(self._families.items())
+            ]
+
+    def to_prometheus(self) -> str:
+        """Render everything in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name, family, children in self._family_snapshot():
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for child in children:
+                if isinstance(child, HistogramMetric):
+                    counts, total, count = child.snapshot()
+                    cumulative = 0
+                    for bound, bucket_count in zip(
+                        child.bounds + (math.inf,), counts
+                    ):
+                        cumulative += bucket_count
+                        lines.append(
+                            f"{name}_bucket"
+                            + _render_labels(
+                                child.labels, (("le", _format_value(bound)),)
+                            )
+                            + f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(child.labels)} "
+                        f"{_format_value(total)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(child.labels)} {count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(child.labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        collected: dict[str, list[Sample]] = {}
+        for sample in self.collect():
+            collected.setdefault(sample.name, []).append(sample)
+        for name in sorted(collected):
+            group = collected[name]
+            if group[0].help:
+                lines.append(f"# HELP {name} {group[0].help}")
+            lines.append(f"# TYPE {name} {group[0].kind}")
+            for sample in group:
+                lines.append(
+                    f"{name}{_render_labels(sample.labels)} "
+                    f"{_format_value(sample.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> dict[str, Any]:
+        """The full registry state as a JSON-compatible dictionary."""
+        metrics: list[dict[str, Any]] = []
+        for name, family, children in self._family_snapshot():
+            for child in children:
+                entry: dict[str, Any] = {
+                    "name": name,
+                    "type": family.kind,
+                    "labels": dict(child.labels),
+                }
+                if isinstance(child, HistogramMetric):
+                    counts, total, count = child.snapshot()
+                    entry["buckets"] = [
+                        {"le": bound, "count": bucket_count}
+                        for bound, bucket_count in zip(
+                            child.bounds + (math.inf,), counts
+                        )
+                    ]
+                    entry["sum"] = total
+                    entry["count"] = count
+                else:
+                    entry["value"] = child.value
+                metrics.append(entry)
+        for sample in self.collect():
+            metrics.append(
+                {
+                    "name": sample.name,
+                    "type": sample.kind,
+                    "labels": dict(sample.labels),
+                    "value": sample.value,
+                }
+            )
+        return {
+            "metrics": metrics,
+            "events": [event.as_dict() for event in self.events()],
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """Render :meth:`as_dict` as a JSON document."""
+        def _encode_inf(value: float) -> float | str:
+            return value
+
+        data = self.as_dict()
+        # json.dumps(allow_nan=True) would emit bare Infinity for the +Inf
+        # bucket bound; encode it as the string "+Inf" instead so the output
+        # is standard JSON.
+        for metric in data["metrics"]:
+            for bucket in metric.get("buckets", ()):
+                if bucket["le"] == math.inf:
+                    bucket["le"] = "+Inf"
+        return json.dumps(data, indent=indent, sort_keys=True, allow_nan=False)

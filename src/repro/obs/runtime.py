@@ -1,0 +1,130 @@
+"""Process-wide observability runtime: the default registry and cheap helpers.
+
+Instrumented code in the serve/engine/maint layers does not thread a
+registry through every call — it uses the module-global default registry
+via the helpers here.  Two properties make that safe for hot paths:
+
+* **disable switch** — :func:`set_instrumentation` flips one module-level
+  boolean; when off, :func:`count`, :func:`observe`, :func:`set_gauge`,
+  and :func:`emit_event` return immediately without touching the
+  registry (and :func:`repro.obs.tracing.span` yields a shared no-op).
+  This is what the overhead benchmark toggles.
+* **failure isolation** — observer code must never fail the observed
+  path.  Every helper swallows registry errors after counting them via a
+  best-effort internal counter; a broken metric name or label can make a
+  metric disappear, never an estimate.
+
+Tests swap the registry with :func:`set_registry` / :func:`reset` so
+assertions never race against another test's leftover counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.obs.registry import Event, MetricRegistry
+
+_state_lock = threading.Lock()
+_registry = MetricRegistry()
+_enabled = True
+
+
+def get_registry() -> MetricRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricRegistry) -> MetricRegistry:
+    """Replace the default registry; returns the previous one."""
+    global _registry
+    if not isinstance(registry, MetricRegistry):
+        raise TypeError(
+            f"expected a MetricRegistry, got {type(registry).__name__}"
+        )
+    with _state_lock:
+        previous = _registry
+        _registry = registry
+    return previous
+
+
+def reset(*, max_events: Optional[int] = None) -> MetricRegistry:
+    """Install a fresh empty registry (and re-enable instrumentation)."""
+    global _registry, _enabled
+    with _state_lock:
+        if max_events is None:
+            _registry = MetricRegistry()
+        else:
+            _registry = MetricRegistry(max_events=max_events)
+        _enabled = True
+        return _registry
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation helpers currently record anything."""
+    return _enabled
+
+
+def set_instrumentation(enabled: bool) -> bool:
+    """Turn instrumentation on or off process-wide; returns the old state."""
+    global _enabled
+    with _state_lock:
+        previous = _enabled
+        _enabled = bool(enabled)
+    return previous
+
+
+def _note_internal_error() -> None:
+    """Best-effort bump of the internal-error counter; never raises."""
+    try:
+        _registry.counter(
+            "repro_obs_internal_errors_total",
+            "instrumentation helper calls that raised and were swallowed",
+        ).inc()
+    except Exception:
+        pass
+
+
+def count(name: str, amount: float = 1.0, **labels: object) -> None:
+    """Increment counter *name* by *amount*; a no-op when disabled."""
+    if not _enabled:
+        return
+    try:
+        _registry.counter(name, **labels).inc(amount)
+    except Exception:
+        _note_internal_error()
+
+
+def observe(name: str, value: float, **labels: object) -> None:
+    """Record *value* into histogram *name*; a no-op when disabled."""
+    if not _enabled:
+        return
+    try:
+        _registry.histogram(name, **labels).observe(value)
+    except Exception:
+        _note_internal_error()
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    """Set gauge *name* to *value*; a no-op when disabled."""
+    if not _enabled:
+        return
+    try:
+        _registry.gauge(name, **labels).set(value)
+    except Exception:
+        _note_internal_error()
+
+
+def emit_event(name: str, **fields: object) -> Optional[Event]:
+    """Append an event to the default registry's ring buffer.
+
+    Returns the recorded :class:`Event`, or ``None`` when instrumentation
+    is disabled or recording failed.
+    """
+    if not _enabled:
+        return None
+    try:
+        return _registry.record_event(name, **fields)
+    except Exception:
+        _note_internal_error()
+        return None

@@ -1,0 +1,211 @@
+"""Lightweight tracing spans for the statistics-serving hot paths.
+
+A span brackets one unit of work — a served batch, a table compile, a
+WAL fsync — with :func:`time.perf_counter` timestamps (monotonic, so a
+wall-clock step never produces a negative duration).  Spans nest: a
+thread-local stack links each span to its parent, so ``journal.fsync``
+inside ``journal.append`` inside ``maint.publish`` comes out with the
+right parentage and depth even under concurrent serving threads.
+
+Usage::
+
+    with span("serve.batch", probes=len(batch)):
+        ...
+
+On exit every span (a) feeds the ``repro_span_duration_seconds``
+histogram and ``repro_span_total`` counter in the default registry
+(``repro_span_errors_total`` too when the body raised), and (b) is
+delivered as a :class:`SpanRecord` to every registered sink
+(:func:`add_span_sink`).  Sinks are observer code and must never fail
+the observed path: a raising sink is swallowed and counted in
+``repro_obs_sink_errors_total``.
+
+When instrumentation is disabled (:func:`repro.obs.runtime.set_instrumentation`)
+:func:`span` returns a shared no-op context manager and the hot path
+pays only one boolean check.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Optional
+
+from repro.obs import runtime
+
+#: Human-readable catalogue of every span name emitted by the repro tree.
+#: Kept here (and mirrored in docs/OBSERVABILITY.md) so tests can assert
+#: that instrumentation stays in sync with the documentation.
+SPAN_NAMES: tuple[str, ...] = (
+    "serve.batch",
+    "serve.table.compile",
+    "serve.layout.compile",
+    "journal.append",
+    "journal.fsync",
+    "journal.checkpoint",
+    "persist.save",
+    "persist.load",
+    "persist.recover",
+    "maint.publish",
+    "maint.rebuild",
+)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as delivered to sinks."""
+
+    name: str
+    #: perf_counter() at entry — monotonic, not wall time.
+    start: float
+    #: perf_counter() at exit.
+    end: float
+    #: Nesting depth (0 for a root span on its thread).
+    depth: int
+    #: Name of the enclosing span, or ``None`` for a root span.
+    parent: Optional[str]
+    #: Whether the span body raised.
+    error: bool
+    #: Free-form tags passed to :func:`span`.
+    tags: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (always >= 0)."""
+        return max(0.0, self.end - self.start)
+
+
+SpanSink = Callable[[SpanRecord], None]
+
+_sinks_lock = threading.Lock()
+_sinks: list[SpanSink] = []
+
+
+def add_span_sink(sink: SpanSink) -> None:
+    """Register *sink* to receive every finished :class:`SpanRecord`."""
+    if not callable(sink):
+        raise TypeError(f"span sink must be callable, got {type(sink).__name__}")
+    with _sinks_lock:
+        _sinks.append(sink)
+
+
+def remove_span_sink(sink: SpanSink) -> bool:
+    """Unregister *sink*; returns whether it was registered."""
+    with _sinks_lock:
+        try:
+            _sinks.remove(sink)
+        except ValueError:
+            return False
+        return True
+
+
+def clear_span_sinks() -> None:
+    """Remove every registered sink (test isolation helper)."""
+    with _sinks_lock:
+        _sinks.clear()
+
+
+class _SpanStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[str] = []
+
+
+_active = _SpanStack()
+
+
+def current_span_name() -> Optional[str]:
+    """Name of the innermost open span on this thread, if any."""
+    stack = _active.stack
+    return stack[-1] if stack else None
+
+
+class _NullSpan:
+    """Shared do-nothing context manager used when instrumentation is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; records itself into the registry and sinks on exit."""
+
+    __slots__ = ("name", "tags", "_start", "_depth", "_parent", "_entered")
+
+    def __init__(self, name: str, tags: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.tags = tags
+        self._start = 0.0
+        self._depth = 0
+        self._parent: Optional[str] = None
+        self._entered = False
+
+    def __enter__(self) -> "_Span":
+        stack = _active.stack
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._entered = True
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        end = perf_counter()
+        if self._entered:
+            stack = _active.stack
+            # Pop our own frame; tolerate a corrupted stack rather than
+            # masking the body's exception with ours.
+            if stack and stack[-1] == self.name:
+                stack.pop()
+            elif self.name in stack:
+                stack.remove(self.name)
+            self._entered = False
+        record = SpanRecord(
+            name=self.name,
+            start=self._start,
+            end=end,
+            depth=self._depth,
+            parent=self._parent,
+            error=exc_type is not None,
+            tags=self.tags,
+        )
+        _finish(record)
+        return False
+
+
+def _finish(record: SpanRecord) -> None:
+    runtime.observe(
+        "repro_span_duration_seconds", record.duration, span=record.name
+    )
+    runtime.count("repro_span_total", span=record.name)
+    if record.error:
+        runtime.count("repro_span_errors_total", span=record.name)
+    with _sinks_lock:
+        sinks = list(_sinks)
+    for sink in sinks:
+        try:
+            sink(record)
+        except Exception:
+            runtime.count("repro_obs_sink_errors_total", kind="span_sink")
+
+
+def span(name: str, **tags: object) -> _Span | _NullSpan:
+    """A context manager timing one named unit of work.
+
+    *tags* annotate the emitted :class:`SpanRecord` (they do not become
+    metric labels — label cardinality stays bounded by span name).  When
+    instrumentation is disabled this returns a shared no-op object.
+    """
+    if not runtime.is_enabled():
+        return _NULL_SPAN
+    if tags:
+        return _Span(name, tuple((str(k), str(v)) for k, v in sorted(tags.items())))
+    return _Span(name, ())

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.obs.registry import Sample
+
 #: Upper edges (seconds, inclusive) of the batch-latency histogram buckets;
 #: one final unbounded bucket catches everything slower.
 LATENCY_BUCKET_BOUNDS: tuple[float, ...] = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
@@ -97,6 +99,9 @@ class ServiceMetrics:
         self.entries_quarantined = 0
         #: Journal deltas the absorbed recoveries had replayed.
         self.journal_deltas_replayed = 0
+        #: ``trace=`` hooks that raised and were swallowed (observer code
+        #: must never fail the observed path).
+        self.trace_hook_errors = 0
         #: Batch-latency histogram aligned with ``LATENCY_BUCKET_BOUNDS``
         #: plus one unbounded tail bucket.
         self.latency_counts: list[int] = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
@@ -163,6 +168,11 @@ class ServiceMetrics:
             self.entries_quarantined += entries_quarantined
             self.journal_deltas_replayed += deltas_replayed
 
+    def record_trace_hook_error(self, count: int = 1) -> None:
+        """Count *count* ``trace=`` hook invocations that raised."""
+        with self._lock:
+            self.trace_hook_errors += count
+
     def record_batch(self, *, failed: bool = False) -> None:
         """Count one ``estimate_batch`` call (served or failed)."""
         with self._lock:
@@ -186,30 +196,25 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> "ServiceMetrics":
-        """An independent, consistent copy for before/after comparisons."""
+        """An independent, consistent copy for before/after comparisons.
+
+        The copy is fully detached: it carries its own lock and owns
+        fresh container objects, so mutating a snapshot (or the live
+        instance afterwards) never bleeds across.  Fields are copied
+        generically from ``__dict__`` so a counter added later can never
+        be silently missed.
+        """
         copy = ServiceMetrics()
         with self._lock:
-            copy.table_hits = self.table_hits
-            copy.table_misses = self.table_misses
-            copy.tables_evicted = self.tables_evicted
-            copy.compile_seconds = self.compile_seconds
-            copy.probes_served = self.probes_served
-            copy.batches_served = self.batches_served
-            copy.batches_failed = self.batches_failed
-            copy.equality_probes = self.equality_probes
-            copy.range_probes = self.range_probes
-            copy.join_probes = self.join_probes
-            copy.membership_probes = self.membership_probes
-            copy.not_equal_probes = self.not_equal_probes
-            copy.fallback_probes = self.fallback_probes
-            copy.degraded_probes = self.degraded_probes
-            copy.degradation_reasons = dict(self.degradation_reasons)
-            copy.quarantined_probes = self.quarantined_probes
-            copy.compile_failures = self.compile_failures
-            copy.recoveries_applied = self.recoveries_applied
-            copy.entries_quarantined = self.entries_quarantined
-            copy.journal_deltas_replayed = self.journal_deltas_replayed
-            copy.latency_counts = list(self.latency_counts)
+            for name, value in self.__dict__.items():
+                if name == "_lock":
+                    continue
+                if isinstance(value, dict):
+                    setattr(copy, name, dict(value))
+                elif isinstance(value, list):
+                    setattr(copy, name, list(value))
+                else:
+                    setattr(copy, name, value)
         return copy
 
     def probe_type_total(self) -> int:
@@ -251,12 +256,95 @@ class ServiceMetrics:
             "recoveries_applied": self.recoveries_applied,
             "entries_quarantined": self.entries_quarantined,
             "journal_deltas_replayed": self.journal_deltas_replayed,
+            "trace_hook_errors": self.trace_hook_errors,
         }
         for reason, count in sorted(self.degradation_reasons.items()):
             out[f"degraded[{reason}]"] = count
         for label, count in zip(latency_bucket_labels(), self.latency_counts):
             out[f"latency[{label}]"] = count
         return out
+
+    def collect(self, **labels: object) -> list[Sample]:
+        """Registry samples exporting every counter through *labels*.
+
+        This is how a service's metrics surface in
+        :meth:`repro.obs.MetricRegistry.to_prometheus` — the service
+        registers a weak collector at construction, so the hot probe
+        paths keep writing plain Python ints under one lock and the
+        conversion to samples happens only at exposition time.
+        """
+        frozen = self.snapshot()
+        label_items = tuple((str(k), str(v)) for k, v in sorted(labels.items()))
+        counters = (
+            ("repro_serve_table_hits_total", frozen.table_hits, "compiled-table cache hits"),
+            ("repro_serve_table_misses_total", frozen.table_misses, "compiled-table cache misses"),
+            ("repro_serve_tables_evicted_total", frozen.tables_evicted, "compiled tables discarded by the LRU bound"),
+            ("repro_serve_probes_total", frozen.probes_served, "individual probes answered"),
+            ("repro_serve_batches_total", frozen.batches_served, "estimate_batch calls that returned"),
+            ("repro_serve_batches_failed_total", frozen.batches_failed, "estimate_batch calls that raised"),
+            ("repro_serve_fallback_probes_total", frozen.fallback_probes, "probes answered from no-statistics fallbacks"),
+            ("repro_serve_degraded_probes_total", frozen.degraded_probes, "probes resolved through the on_error policy"),
+            ("repro_serve_quarantined_probes_total", frozen.quarantined_probes, "probes refused over quarantined statistics"),
+            ("repro_serve_compile_failures_total", frozen.compile_failures, "catalog entries whose table compile raised"),
+            ("repro_serve_recoveries_applied_total", frozen.recoveries_applied, "recovery reports absorbed"),
+            ("repro_serve_trace_hook_errors_total", frozen.trace_hook_errors, "trace= hooks that raised and were swallowed"),
+        )
+        samples = [
+            Sample(name=name, labels=label_items, value=float(value), kind="counter", help=help_text)
+            for name, value, help_text in counters
+        ]
+        samples.append(
+            Sample(
+                name="repro_serve_compile_seconds_total",
+                labels=label_items,
+                value=frozen.compile_seconds,
+                kind="counter",
+                help="wall-clock seconds spent compiling lookup tables",
+            )
+        )
+        samples.append(
+            Sample(
+                name="repro_serve_hit_rate",
+                labels=label_items,
+                value=frozen.hit_rate(),
+                kind="gauge",
+                help="fraction of table lookups served from cache",
+            )
+        )
+        for kind in PROBE_KINDS:
+            samples.append(
+                Sample(
+                    name="repro_serve_probe_kind_total",
+                    labels=label_items + (("kind", kind),),
+                    value=float(getattr(frozen, f"{kind}_probes")),
+                    kind="counter",
+                    help="answered probes by shape",
+                )
+            )
+        for reason, count in sorted(frozen.degradation_reasons.items()):
+            samples.append(
+                Sample(
+                    name="repro_serve_degraded_reason_total",
+                    labels=label_items + (("reason", reason),),
+                    value=float(count),
+                    kind="counter",
+                    help="degraded probes by on_error reason",
+                )
+            )
+        cumulative = 0
+        bucket_edges = [f"{bound!r}" for bound in LATENCY_BUCKET_BOUNDS] + ["+Inf"]
+        for edge, count in zip(bucket_edges, frozen.latency_counts):
+            cumulative += count
+            samples.append(
+                Sample(
+                    name="repro_serve_batch_latency_bucket",
+                    labels=label_items + (("le", edge),),
+                    value=float(cumulative),
+                    kind="counter",
+                    help="batch latencies at or under the bucket bound (seconds)",
+                )
+            )
+        return samples
 
     def format(self) -> str:
         """A human-readable multi-line rendering for CLIs."""
@@ -292,6 +380,10 @@ class ServiceMetrics:
                 f"recovery: {self.recoveries_applied} reports applied, "
                 f"{self.entries_quarantined} entries quarantined, "
                 f"{self.journal_deltas_replayed} journal deltas replayed"
+            )
+        if self.trace_hook_errors:
+            lines.append(
+                f"trace hooks: {self.trace_hook_errors} raised and were swallowed"
             )
         if any(self.latency_counts):
             histogram = ", ".join(

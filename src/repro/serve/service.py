@@ -62,6 +62,7 @@ served, including the probe's position inside ``estimate_batch`` inputs.
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 from collections import OrderedDict
@@ -73,6 +74,8 @@ import numpy as np
 
 from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
 from repro.engine.persist import RecoveryReport
+from repro.obs import runtime as obs
+from repro.obs.tracing import span
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.tables import CompiledCompact, CompiledHistogram, compile_compact, compile_histogram
 from repro.testing.faults import POINT_SERVE_COMPILE, fault_point
@@ -87,6 +90,10 @@ DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 
 #: Default bound on the compiled-table LRU.
 DEFAULT_MAX_TABLES = 256
+
+#: Source of the auto-generated ``service-N`` names used as the
+#: ``service`` metric label when no explicit name is given.
+_SERVICE_SEQ = itertools.count(1)
 
 #: The accepted ``on_error`` policies (see the module docstring).
 ON_ERROR_POLICIES: tuple[str, ...] = ("fallback", "nan", "raise")
@@ -285,6 +292,7 @@ class EstimationService:
         max_tables: int = DEFAULT_MAX_TABLES,
         on_error: str = "fallback",
         recovery: Optional[RecoveryReport] = None,
+        name: Optional[str] = None,
     ):
         if not isinstance(catalog, StatsCatalog):
             raise TypeError(
@@ -294,6 +302,8 @@ class EstimationService:
             raise ValueError(
                 f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
             )
+        if name is not None and not isinstance(name, str):
+            raise TypeError(f"name must be a str, got {type(name).__name__}")
         self._catalog = catalog
         self._max_tables = ensure_positive_int(max_tables, "max_tables")
         self._on_error = on_error
@@ -303,7 +313,17 @@ class EstimationService:
         # through the on_error policy with reason "quarantined-statistics".
         self._quarantined: set[tuple[str, Optional[str]]] = set()
         self._lock = threading.RLock()
+        self.name = name if name is not None else f"service-{next(_SERVICE_SEQ)}"
         self.metrics = ServiceMetrics()
+        # Export the counters through the default registry.  The collector
+        # holds only a weak reference to the metrics object (and the lambda
+        # captures just the name string), so registration never extends
+        # this service's lifetime; its samples disappear when it does.
+        service_label = self.name
+        obs.get_registry().register_collector(
+            lambda metrics: metrics.collect(service=service_label),
+            owner=self.metrics,
+        )
         if recovery is not None:
             self.apply_recovery(recovery)
 
@@ -443,7 +463,12 @@ class EstimationService:
             self.metrics.record_table_miss()
             started = perf_counter()
             try:
-                slot = _CompiledSlot.from_entry(entry)
+                with span(
+                    "serve.table.compile",
+                    relation=entry.relation,
+                    attribute=entry.attribute,
+                ):
+                    slot = _CompiledSlot.from_entry(entry)
             except Exception as exc:
                 # Nothing is cached for a failed compile: a re-ANALYZE
                 # replaces the entry (new version) and compiles fresh.
@@ -461,6 +486,12 @@ class EstimationService:
                 evicted += 1
             if evicted:
                 self.metrics.record_eviction(evicted)
+                obs.emit_event(
+                    "serve.table.evicted",
+                    service=self.name,
+                    count=evicted,
+                    cached=len(self._slots),
+                )
             return slot
 
     def _slot(self, relation: str, attribute: str) -> Optional[_CompiledSlot]:
@@ -480,6 +511,22 @@ class EstimationService:
                 f"on_error must be one of {ON_ERROR_POLICIES}, got {policy!r}"
             )
         return policy
+
+    def _emit_trace(self, trace: Optional[TraceHook], record: ProbeTrace) -> None:
+        """Deliver *record* to the ``trace=`` hook without letting it fail us.
+
+        Observer code must never fail the observed path: a hook that
+        raises would otherwise propagate out of the batch and abort its
+        sibling probes.  The exception is swallowed and counted in
+        ``ServiceMetrics.trace_hook_errors`` (exported as
+        ``repro_serve_trace_hook_errors_total``).
+        """
+        if trace is None:
+            return
+        try:
+            trace(record)
+        except Exception:
+            self.metrics.record_trace_hook_error()
 
     def _degrade(
         self,
@@ -501,18 +548,18 @@ class EstimationService:
         self.metrics.record_degraded(reason)
         if reason == REASON_QUARANTINED:
             self.metrics.record_quarantined()
-        if trace is not None:
-            trace(
-                ProbeTrace(
-                    kind=kind,
-                    relation=relation,
-                    attribute=attribute,
-                    reason=reason,
-                    value=value,
-                    degraded=True,
-                    position=position,
-                )
-            )
+        self._emit_trace(
+            trace,
+            ProbeTrace(
+                kind=kind,
+                relation=relation,
+                attribute=attribute,
+                reason=reason,
+                value=value,
+                degraded=True,
+                position=position,
+            ),
+        )
         return value
 
     def _note_fallbacks(
@@ -532,7 +579,8 @@ class EstimationService:
         if trace is None:
             return
         for index in range(count):
-            trace(
+            self._emit_trace(
+                trace,
                 ProbeTrace(
                     kind=kind,
                     relation=relation,
@@ -541,7 +589,7 @@ class EstimationService:
                     value=value,
                     degraded=False,
                     position=_probe_position(positions, index),
-                )
+                ),
             )
 
     @staticmethod
@@ -1259,11 +1307,12 @@ class EstimationService:
         policy = self._resolve_policy(on_error)
         probes = list(probes)
         started = perf_counter()
-        try:
-            out = self._answer_batch(probes, policy, trace)
-        except Exception:
-            self.metrics.record_batch(failed=True)
-            raise
+        with span("serve.batch", service=self.name, probes=len(probes)):
+            try:
+                out = self._answer_batch(probes, policy, trace)
+            except Exception:
+                self.metrics.record_batch(failed=True)
+                raise
         self.metrics.record_batch()
         self.metrics.record_latency(perf_counter() - started)
         return out

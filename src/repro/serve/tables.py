@@ -30,6 +30,8 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.tracing import span
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.histogram import Histogram
     from repro.engine.catalog import CompactEndBiased
@@ -463,7 +465,8 @@ def compile_histogram(histogram: "Histogram") -> CompiledHistogram:
     cached = getattr(histogram, "_compiled", None)
     if cached is not None:
         return cached
-    compiled = CompiledHistogram.from_histogram(histogram)
+    with span("serve.layout.compile", layout="histogram"):
+        compiled = CompiledHistogram.from_histogram(histogram)
     histogram._compiled = compiled
     return compiled
 
@@ -476,4 +479,5 @@ def compile_compact(compact: "CompactEndBiased") -> CompiledCompact:
         raise TypeError(
             f"expected a CompactEndBiased, got {type(compact).__name__}"
         )
-    return CompiledCompact.from_compact(compact)
+    with span("serve.layout.compile", layout="compact"):
+        return CompiledCompact.from_compact(compact)

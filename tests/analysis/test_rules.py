@@ -256,6 +256,71 @@ class TestR007AtomicCatalogWrite:
         assert codes(src, path=self.SCOPE, select="R007") == []
 
 
+class TestR008MonotonicInstrumentation:
+    CLOCK_SCOPE = "src/repro/obs/tracing_helper.py"
+    HOT_SCOPE = "src/repro/serve/service_helper.py"
+
+    def test_flags_time_time_call(self):
+        src = FUTURE + "import time\nstart = time.time()\n"
+        assert "R008" in codes(src, path=self.CLOCK_SCOPE, select="R008")
+
+    def test_flags_from_time_import_time(self):
+        src = FUTURE + "from time import time\n"
+        assert "R008" in codes(src, path=self.CLOCK_SCOPE, select="R008")
+
+    def test_perf_counter_is_fine(self):
+        src = FUTURE + "import time\nstart = time.perf_counter()\nmono = time.monotonic()\n"
+        assert codes(src, path=self.CLOCK_SCOPE, select="R008") == []
+
+    def test_flags_obs_helper_inside_loop_on_hot_path(self):
+        src = FUTURE + (
+            "from repro.obs import runtime as obs\n"
+            "def f(values) -> None:\n"
+            "    for value in values:\n"
+            "        obs.count('repro_values_total')\n"
+        )
+        assert "R008" in codes(src, path=self.HOT_SCOPE, select="R008")
+
+    def test_flags_instrument_method_inside_while_loop(self):
+        src = FUTURE + (
+            "def f(histogram, values) -> None:\n"
+            "    while values:\n"
+            "        histogram.observe(values.pop())\n"
+        )
+        assert "R008" in codes(src, path=self.HOT_SCOPE, select="R008")
+
+    def test_hoisted_count_after_loop_is_fine(self):
+        src = FUTURE + (
+            "from repro.obs import runtime as obs\n"
+            "def f(values) -> None:\n"
+            "    total = 0\n"
+            "    for value in values:\n"
+            "        total += 1\n"
+            "    obs.count('repro_values_total', amount=total)\n"
+        )
+        assert codes(src, path=self.HOT_SCOPE, select="R008") == []
+
+    def test_loop_rule_does_not_apply_outside_hot_paths(self):
+        src = FUTURE + (
+            "from repro.obs import runtime as obs\n"
+            "def f(values) -> None:\n"
+            "    for value in values:\n"
+            "        obs.count('repro_values_total')\n"
+        )
+        assert codes(src, path="src/repro/obs/accuracy_helper.py", select="R008") == []
+
+    def test_out_of_scope_paths_unconstrained(self):
+        src = FUTURE + "import time\nstart = time.time()\n"
+        assert codes(src, path="benchmarks/bench_obs.py", select="R008") == []
+        assert codes(src, path="src/repro/data/zipf.py", select="R008") == []
+
+    def test_line_suppression(self):
+        src = FUTURE + (
+            "import time\nstart = time.time()  # repolint: disable=R008\n"
+        )
+        assert codes(src, path=self.CLOCK_SCOPE, select="R008") == []
+
+
 class TestDirectives:
     def test_skip_file_silences_everything(self):
         src = "# repolint: skip-file\nimport random\n"

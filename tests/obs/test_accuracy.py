@@ -1,0 +1,206 @@
+"""Accuracy-monitor tests, anchored to Proposition 3.1.
+
+The key identity: for any bucketed histogram answering self-joins with the
+uniform-within-bucket formula ``S' = Σ T_i²/p_i``, the error against the
+exact ``S = Σ f_i²`` is **exactly** ``S - S' = Σ p_i·v_i`` — the quantity
+:func:`repro.obs.theoretical_self_join_error` computes from the buckets.
+The monitor's measured signed error must therefore agree with the
+theoretical prediction to float precision on a seeded Zipf fixture.
+"""
+
+import math
+
+import pytest
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.optimality import self_join_size
+from repro.core.serial import v_optimal_serial_histogram
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.obs import runtime
+from repro.obs.accuracy import (
+    AccuracyMonitor,
+    ErrorStats,
+    probe_key,
+    theoretical_self_join_error,
+)
+from repro.serve import EqualityProbe, JoinProbe, RangeProbe
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+class TestErrorStats:
+    def test_aggregates(self):
+        stats = ErrorStats()
+        stats.record(estimated=10.0, actual=12.0)  # signed +2
+        stats.record(estimated=10.0, actual=6.0)  # signed -4
+        assert stats.count == 2
+        assert stats.mean_signed_error == pytest.approx(-1.0)
+        assert stats.mean_absolute_error == pytest.approx(3.0)
+        assert stats.mean_squared_error == pytest.approx((4.0 + 16.0) / 2)
+        assert stats.mean_relative_error == pytest.approx(
+            (2.0 / 12.0 + 4.0 / 6.0) / 2
+        )
+
+    def test_empty_stats_are_zero(self):
+        stats = ErrorStats()
+        assert stats.mean_signed_error == 0.0
+        assert stats.mean_squared_error == 0.0
+
+
+class TestProbeKey:
+    def test_equality_probe(self):
+        assert probe_key(EqualityProbe("R", "a", 3)) == ("equality", "R", "a")
+
+    def test_range_probe(self):
+        assert probe_key(RangeProbe("R", "a", 1, 5)) == ("range", "R", "a")
+
+    def test_open_range_probe_still_keys_as_range(self):
+        assert probe_key(RangeProbe("R", "a")) == ("range", "R", "a")
+
+    def test_join_probe(self):
+        key = probe_key(JoinProbe("L", "x", "R", "y"))
+        assert key == ("join", "L⋈R", "x=y")
+
+    def test_tuple_and_string_fallbacks(self):
+        assert probe_key(("R", "a")) == ("other", "R", "a")
+        assert probe_key("R") == ("other", "R", "unknown")
+        assert probe_key(object()) == ("other", "unknown", "unknown")
+
+
+class TestTheoreticalSelfJoinError:
+    def test_matches_histogram_self_join_error(self):
+        freqs = quantize_to_integers(zipf_frequencies(2000.0, 50, 1.2))
+        histogram = v_opt_bias_hist(freqs, 6)
+        assert theoretical_self_join_error(histogram) == pytest.approx(
+            histogram.self_join_error()
+        )
+
+    @pytest.mark.parametrize("z", [0.0, 0.5, 1.0, 2.0])
+    @pytest.mark.parametrize("buckets", [2, 5, 10])
+    def test_proposition_31_identity_on_seeded_zipf(self, z, buckets):
+        """Measured S - S' equals Σ p_i·v_i exactly (Proposition 3.1)."""
+        freqs = quantize_to_integers(zipf_frequencies(3000.0, 40, z))
+        for histogram in (
+            v_opt_bias_hist(freqs, buckets),
+            v_optimal_serial_histogram(freqs, min(buckets, 5), method="dp"),
+        ):
+            measured = self_join_size(freqs) - histogram.self_join_estimate()
+            predicted = theoretical_self_join_error(histogram)
+            assert measured == pytest.approx(predicted, rel=1e-9, abs=1e-6)
+
+    def test_rejects_non_histograms(self):
+        with pytest.raises(TypeError, match="buckets"):
+            theoretical_self_join_error(42)
+
+
+class TestAccuracyMonitor:
+    def test_record_observation_accumulates_per_key(self):
+        monitor = AccuracyMonitor()
+        probe = EqualityProbe("R", "a", 1)
+        monitor.record_observation(probe, estimated=10.0, actual=12.0)
+        monitor.record_observation(probe, estimated=8.0, actual=8.0)
+        stats = monitor.stats(("equality", "R", "a"))
+        assert stats.count == 2
+        assert stats.mean_signed_error == pytest.approx(1.0)
+
+    def test_non_finite_observations_are_dropped(self):
+        monitor = AccuracyMonitor()
+        probe = EqualityProbe("R", "a", 1)
+        monitor.record_observation(probe, estimated=math.nan, actual=5.0)
+        monitor.record_observation(probe, estimated=1.0, actual=math.inf)
+        assert monitor.stats(("equality", "R", "a")) is None
+
+    def test_stats_returns_detached_copy(self):
+        monitor = AccuracyMonitor()
+        probe = EqualityProbe("R", "a", 1)
+        monitor.record_observation(probe, estimated=1.0, actual=2.0)
+        copy = monitor.stats(("equality", "R", "a"))
+        copy.record(estimated=0.0, actual=100.0)
+        assert monitor.stats(("equality", "R", "a")).count == 1
+
+    def test_measured_self_join_error_matches_proposition_31(self):
+        """Acceptance: the monitor's signed error equals Σ p_i·v_i."""
+        freqs = quantize_to_integers(zipf_frequencies(2000.0, 60, 1.0))
+        histogram = v_opt_bias_hist(freqs, 8)
+        monitor = AccuracyMonitor()
+        key = monitor.record_self_join("R", histogram, self_join_size(freqs))
+        stats = monitor.stats(key)
+        assert stats.count == 1
+        assert stats.sum_signed == pytest.approx(
+            theoretical_self_join_error(histogram), rel=1e-9, abs=1e-6
+        )
+
+    def test_collect_emits_samples_for_each_key(self):
+        monitor = AccuracyMonitor()
+        monitor.record_observation(EqualityProbe("R", "a", 1), 1.0, 2.0)
+        samples = monitor.collect()
+        names = {sample.name for sample in samples}
+        assert "repro_accuracy_observations_total" in names
+        assert "repro_accuracy_mean_squared_error" in names
+        labels = dict(samples[0].labels)
+        assert labels == {"attribute": "a", "kind": "equality", "relation": "R"}
+
+    def test_bound_monitor_appears_in_registry_dump(self):
+        registry = runtime.get_registry()
+        monitor = AccuracyMonitor()
+        monitor.bind(registry)
+        monitor.record_observation(EqualityProbe("R", "a", 1), 1.0, 2.0)
+        assert "repro_accuracy_observations_total" in registry.to_prometheus()
+
+    def test_as_dict_keys_are_readable(self):
+        monitor = AccuracyMonitor()
+        monitor.record_observation(EqualityProbe("R", "a", 1), 1.0, 2.0)
+        assert "equality/R/a" in monitor.as_dict()
+
+
+class TestTruthBackedAccuracy:
+    """Feed the monitor real (estimate, exact) pairs via optimizer.truth."""
+
+    def _build(self):
+        from repro.engine.analyze import analyze_relation
+        from repro.engine.catalog import StatsCatalog
+        from repro.engine.relation import Relation
+        from repro.optimizer.joinorder import JoinEdge, JoinGraph
+        from repro.serve import EstimationService
+        from repro.util.rng import derive_rng
+
+        gen = derive_rng(20260806)
+        catalog = StatsCatalog()
+        relations = []
+        for index, z in enumerate((0.8, 1.4)):
+            freqs = quantize_to_integers(zipf_frequencies(800.0, 30, z))
+            column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+            gen.shuffle(column)
+            relation = Relation.from_columns(f"R{index}", {"a": column})
+            analyze_relation(
+                relation, "a", catalog, kind="end-biased", buckets=8
+            )
+            relations.append(relation)
+        graph = JoinGraph(
+            relations, [JoinEdge("R0", "a", "R1", "a")]
+        )
+        return EstimationService(catalog), graph
+
+    def test_join_observation_against_counted_truth(self):
+        from repro.optimizer.truth import CountedTruth
+
+        service, graph = self._build()
+        probe = JoinProbe("R0", "a", "R1", "a")
+        (estimated,) = service.estimate_batch([probe])
+        actual = CountedTruth(graph).subset_cardinality(frozenset({"R0", "R1"}))
+        monitor = AccuracyMonitor()
+        key = monitor.record_observation(probe, float(estimated), actual)
+        stats = monitor.stats(key)
+        assert key == ("join", "R0⋈R1", "a=a")
+        assert stats.count == 1
+        # The estimate is a real estimate of a real cardinality: both sides
+        # are positive and within an order of magnitude of each other.
+        assert actual > 0
+        assert estimated > 0
+        assert stats.mean_relative_error < 1.0

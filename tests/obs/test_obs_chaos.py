@@ -1,0 +1,119 @@
+"""Chaos coverage: telemetry keeps reporting through injected crashes.
+
+A crash mid-snapshot must not take the observability layer down with it:
+the aborted ``persist.save`` span still lands (flagged as an error), the
+acknowledged journal appends stay counted, and the subsequent recovery
+load emits its ``persist.recover`` span, counters, and ring-buffer event.
+"""
+
+import pytest
+
+from repro.core.frequency import AttributeDistribution
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.catalog import StatsCatalog
+from repro.engine.journal import MaintenanceJournal
+from repro.engine.persist import load_catalog, save_catalog
+from repro.maint.update import MaintainedEndBiased
+from repro.obs import runtime
+from repro.testing.faults import (
+    POINT_PERSIST_FLUSH,
+    POINT_PERSIST_REPLACE,
+    FaultInjector,
+    InjectedFault,
+)
+
+KEY = ("R", "a")
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+def build_maintained(journal):
+    freqs = quantize_to_integers(zipf_frequencies(400, 20, 1.3)).astype(float)
+    distribution = AttributeDistribution(list(range(20)), freqs)
+    return MaintainedEndBiased(
+        distribution,
+        5,
+        track_values=False,
+        journal=journal,
+        relation=KEY[0],
+        attribute=KEY[1],
+    )
+
+
+@pytest.mark.parametrize("point", [POINT_PERSIST_FLUSH, POINT_PERSIST_REPLACE])
+def test_crash_mid_snapshot_still_emits_spans_and_counters(point, tmp_path):
+    registry = runtime.get_registry()
+    snapshot = tmp_path / "catalog.json"
+    wal = tmp_path / "wal.jsonl"
+    journal = MaintenanceJournal(wal)
+    maintained = build_maintained(journal)
+    catalog = StatsCatalog()
+
+    appended = 0
+    with FaultInjector().fail_at(point):
+        for value in (0, 1, 2, 3):
+            maintained.insert(value)
+            appended += 1
+        maintained.publish(catalog, *KEY)
+        with pytest.raises(InjectedFault):
+            save_catalog(catalog, snapshot, journal=journal)
+
+    # The aborted save's span landed, marked as an error.
+    assert (
+        registry.counter("repro_span_errors_total", span="persist.save").value == 1.0
+    )
+    assert registry.counter("repro_span_total", span="persist.save").value == 1.0
+    # Every acknowledged append was counted before the crash.
+    assert (
+        registry.counter("repro_journal_appends_total", op="insert").value
+        == appended
+    )
+    # The snapshot never published, so no save was counted as completed.
+    assert registry.counter("repro_persist_saves_total").value == 0.0
+
+    # Recovery after the crash emits its own span, counters, and event.
+    report = load_catalog(snapshot, recover=True, journal=wal)
+    assert report.snapshot_found is False
+    assert report.journal_replayed == 0  # deltas orphaned: entry never landed
+    assert (
+        registry.counter("repro_persist_loads_total", mode="recover").value == 1.0
+    )
+    assert (
+        registry.histogram("repro_span_duration_seconds", span="persist.recover").count
+        == 1
+    )
+    events = [event for event in registry.events() if event.name == "persist.recover"]
+    assert len(events) == 1
+    assert dict(events[0].fields)["clean"] == "False"
+
+
+def test_clean_save_then_recover_counts_replayed_deltas(tmp_path):
+    registry = runtime.get_registry()
+    snapshot = tmp_path / "catalog.json"
+    wal = tmp_path / "wal.jsonl"
+    journal = MaintenanceJournal(wal)
+    maintained = build_maintained(journal)
+    catalog = StatsCatalog()
+    maintained.publish(catalog, *KEY)
+    save_catalog(catalog, snapshot, journal=journal)
+    for value in (0, 1, 2):
+        maintained.insert(value)
+
+    report = load_catalog(snapshot, recover=True, journal=wal)
+    assert report.clean
+    assert report.journal_replayed == 3
+    assert (
+        registry.counter("repro_recovery_journal_deltas_replayed_total").value == 3.0
+    )
+    assert registry.counter("repro_persist_saves_total").value == 1.0
+    assert registry.counter("repro_journal_checkpoints_total").value == 1.0
+    checkpoint_events = [
+        event for event in registry.events() if event.name == "journal.checkpoint"
+    ]
+    assert len(checkpoint_events) == 1

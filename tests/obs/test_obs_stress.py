@@ -1,0 +1,135 @@
+"""Threaded stress: concurrent writers and dumpers see consistent values.
+
+Satellite coverage for ISSUE 5: many threads hammer counters and a
+histogram while other threads repeatedly render the exposition.  Every
+dump must observe monotonically non-decreasing counters and non-torn
+histograms (bucket counts, count, and sum move together), and the final
+totals must show no lost updates.
+"""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.registry import MetricRegistry
+
+WRITERS = 8
+INCREMENTS = 2_000
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+def test_concurrent_increments_and_dumps_are_consistent():
+    registry = MetricRegistry()
+    start = threading.Barrier(WRITERS + 2)
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def writer(index: int) -> None:
+        start.wait()
+        counter = registry.counter("repro_stress_total", worker=str(index))
+        shared = registry.counter("repro_stress_shared_total")
+        histogram = registry.histogram("repro_stress_seconds")
+        for step in range(INCREMENTS):
+            counter.inc()
+            shared.inc()
+            histogram.observe(step * 1e-6)
+
+    def dumper() -> None:
+        start.wait()
+        last_shared = 0.0
+        pattern = re.compile(r"^repro_stress_shared_total (\d+)", re.MULTILINE)
+        while not stop.is_set():
+            text = registry.to_prometheus()
+            match = pattern.search(text)
+            if match:
+                value = float(match.group(1))
+                if value < last_shared:
+                    failures.append(
+                        f"shared counter went backwards: {last_shared} -> {value}"
+                    )
+                last_shared = value
+            data = json.loads(registry.to_json())
+            for metric in data["metrics"]:
+                if "buckets" not in metric:
+                    continue
+                bucket_total = sum(b["count"] for b in metric["buckets"])
+                if bucket_total != metric["count"]:
+                    failures.append(
+                        f"torn histogram {metric['name']}: buckets sum to "
+                        f"{bucket_total}, count is {metric['count']}"
+                    )
+
+    threads = [
+        threading.Thread(target=writer, args=(index,)) for index in range(WRITERS)
+    ]
+    threads += [threading.Thread(target=dumper) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads[:WRITERS]:
+        thread.join()
+    stop.set()
+    for thread in threads[WRITERS:]:
+        thread.join()
+
+    assert failures == []
+    assert registry.counter("repro_stress_shared_total").value == WRITERS * INCREMENTS
+    for index in range(WRITERS):
+        assert (
+            registry.counter("repro_stress_total", worker=str(index)).value
+            == INCREMENTS
+        )
+    histogram = registry.histogram("repro_stress_seconds")
+    counts, _, count = histogram.snapshot()
+    assert count == WRITERS * INCREMENTS
+    assert sum(counts) == count
+
+
+def test_concurrent_instrument_creation_under_exposition():
+    """Creating new label children mid-dump never corrupts the registry."""
+    registry = MetricRegistry()
+    start = threading.Barrier(4)
+    errors: list[BaseException] = []
+
+    def creator(index: int) -> None:
+        start.wait()
+        try:
+            for step in range(500):
+                registry.counter(
+                    "repro_stress_children_total", child=str((index * 500) + step)
+                ).inc()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def dumper() -> None:
+        start.wait()
+        try:
+            for _ in range(50):
+                registry.to_prometheus()
+                registry.as_dict()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=creator, args=(i,)) for i in range(3)]
+    threads.append(threading.Thread(target=dumper))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    total = sum(
+        child.value
+        for child in [
+            registry.counter("repro_stress_children_total", child=str(n))
+            for n in range(1500)
+        ]
+    )
+    assert total == 1500

@@ -1,0 +1,241 @@
+"""Unit tests for the metric registry: instruments, events, exposition."""
+
+import gc
+import json
+import math
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricRegistry,
+    Sample,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        registry = MetricRegistry()
+        counter = registry.counter("repro_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("repro_things_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("repro_depth")
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.value == 3.0
+
+    def test_labels_identify_children(self):
+        registry = MetricRegistry()
+        a = registry.counter("repro_ops_total", op="insert")
+        b = registry.counter("repro_ops_total", op="delete")
+        a.inc()
+        assert a is not b
+        assert b.value == 0.0
+
+    def test_label_order_is_canonical(self):
+        registry = MetricRegistry()
+        a = registry.counter("repro_ops_total", op="x", table="t")
+        b = registry.counter("repro_ops_total", table="t", op="x")
+        assert a is b
+
+    def test_same_name_same_instrument(self):
+        registry = MetricRegistry()
+        assert registry.counter("repro_a_total") is registry.counter("repro_a_total")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_a_total")
+
+    def test_bad_metric_name_rejected(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError, match="metric name"):
+            registry.counter("bad name!")
+
+    def test_bad_label_name_rejected(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError, match="label name"):
+            registry.counter("repro_a_total", **{"bad-label": "x"})
+
+    def test_histogram_buckets_and_sum(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        counts, total, count = histogram.snapshot()
+        assert counts == [1, 1, 1]
+        assert count == 3
+        assert total == pytest.approx(2.55)
+
+    def test_histogram_bounds_must_be_sorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            HistogramMetric("repro_x", (), bounds=(1.0, 0.1))
+
+
+class TestEvents:
+    def test_ring_buffer_is_bounded(self):
+        registry = MetricRegistry(max_events=3)
+        for index in range(10):
+            registry.record_event("tick", n=index)
+        events = registry.events()
+        assert len(events) == 3
+        assert [dict(e.fields)["n"] for e in events] == ["7", "8", "9"]
+
+    def test_timestamps_are_monotonic(self):
+        registry = MetricRegistry()
+        registry.record_event("a")
+        registry.record_event("b")
+        first, second = registry.events()
+        assert second.timestamp >= first.timestamp
+
+
+class TestCollectors:
+    def test_collector_samples_appear_in_exposition(self):
+        registry = MetricRegistry()
+        registry.register_collector(
+            lambda: [Sample(name="repro_custom", labels=(), value=7.0)]
+        )
+        assert "repro_custom 7" in registry.to_prometheus()
+
+    def test_owner_weakref_prunes_dead_collectors(self):
+        registry = MetricRegistry()
+
+        class Owner:
+            def produce(self):
+                return [Sample(name="repro_owned", labels=(), value=1.0)]
+
+        owner = Owner()
+        registry.register_collector(Owner.produce, owner=owner)
+        assert "repro_owned" in registry.to_prometheus()
+        del owner
+        gc.collect()
+        assert "repro_owned" not in registry.to_prometheus()
+
+    def test_raising_collector_is_isolated_and_counted(self):
+        registry = MetricRegistry()
+
+        def bad():
+            raise RuntimeError("observer bug")
+
+        registry.register_collector(bad)
+        registry.counter("repro_fine_total").inc()
+        text = registry.to_prometheus()
+        assert "repro_fine_total 1" in text
+        assert registry.counter("repro_obs_collector_errors_total").value >= 1
+
+    def test_non_callable_rejected(self):
+        registry = MetricRegistry()
+        with pytest.raises(TypeError, match="callable"):
+            registry.register_collector("nope")
+
+
+class TestExposition:
+    def test_prometheus_format_shape(self):
+        registry = MetricRegistry()
+        registry.counter("repro_ops_total", "operations", op="insert").inc(2)
+        text = registry.to_prometheus()
+        assert "# HELP repro_ops_total operations" in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{op="insert"} 2' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricRegistry()
+        registry.counter("repro_ops_total", path='a"b\\c\nd').inc()
+        text = registry.to_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_histogram_exposes_cumulative_buckets(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.to_prometheus()
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_seconds_count 2" in text
+
+    def test_json_is_standard_and_complete(self):
+        registry = MetricRegistry()
+        registry.counter("repro_ops_total", op="x").inc()
+        registry.histogram("repro_lat_seconds").observe(0.5)
+        registry.record_event("checkpoint", dropped=3)
+        data = json.loads(registry.to_json())
+        names = {metric["name"] for metric in data["metrics"]}
+        assert {"repro_ops_total", "repro_lat_seconds"} <= names
+        histogram = next(
+            m for m in data["metrics"] if m["name"] == "repro_lat_seconds"
+        )
+        assert histogram["buckets"][-1]["le"] == "+Inf"
+        assert data["events"][0]["name"] == "checkpoint"
+        assert data["events"][0]["fields"] == {"dropped": "3"}
+
+
+class TestRuntimeHelpers:
+    def test_helpers_record_into_default_registry(self):
+        runtime.count("repro_helper_total", 2, op="x")
+        runtime.observe("repro_helper_seconds", 0.5)
+        runtime.set_gauge("repro_helper_depth", 4)
+        runtime.emit_event("helper.event")
+        registry = runtime.get_registry()
+        assert registry.counter("repro_helper_total", op="x").value == 2.0
+        assert registry.histogram("repro_helper_seconds").count == 1
+        assert registry.gauge("repro_helper_depth").value == 4.0
+        assert registry.events()[-1].name == "helper.event"
+
+    def test_disabled_helpers_are_no_ops(self):
+        runtime.set_instrumentation(False)
+        try:
+            runtime.count("repro_helper_total")
+            runtime.observe("repro_helper_seconds", 0.5)
+            assert runtime.emit_event("helper.event") is None
+        finally:
+            runtime.set_instrumentation(True)
+        registry = runtime.get_registry()
+        assert registry.counter("repro_helper_total").value == 0.0
+        assert registry.events() == []
+
+    def test_broken_helper_call_never_raises(self):
+        runtime.count("not a valid name!!!")
+        registry = runtime.get_registry()
+        assert registry.counter("repro_obs_internal_errors_total").value >= 1
+
+    def test_set_registry_swaps_and_returns_previous(self):
+        original = runtime.get_registry()
+        replacement = MetricRegistry()
+        previous = runtime.set_registry(replacement)
+        try:
+            assert previous is original
+            assert runtime.get_registry() is replacement
+        finally:
+            runtime.set_registry(original)
+
+    def test_set_registry_type_checked(self):
+        with pytest.raises(TypeError, match="MetricRegistry"):
+            runtime.set_registry(object())
+
+    def test_infinity_formatting(self):
+        registry = MetricRegistry()
+        registry.gauge("repro_inf").set(math.inf)
+        assert "repro_inf +Inf" in registry.to_prometheus()

@@ -1,0 +1,155 @@
+"""Unit tests for tracing spans: nesting, sinks, failure isolation."""
+
+import threading
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.tracing import (
+    SPAN_NAMES,
+    add_span_sink,
+    clear_span_sinks,
+    current_span_name,
+    remove_span_sink,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    runtime.reset()
+    clear_span_sinks()
+    yield
+    runtime.reset()
+    clear_span_sinks()
+
+
+@pytest.fixture()
+def records():
+    captured = []
+    add_span_sink(captured.append)
+    return captured
+
+
+class TestSpans:
+    def test_span_times_with_monotonic_clock(self, records):
+        with span("serve.batch"):
+            pass
+        (record,) = records
+        assert record.name == "serve.batch"
+        assert record.end >= record.start
+        assert record.duration >= 0.0
+        assert record.error is False
+
+    def test_nesting_links_parent_and_depth(self, records):
+        with span("maint.publish"):
+            with span("journal.append"):
+                with span("journal.fsync"):
+                    assert current_span_name() == "journal.fsync"
+        by_name = {record.name: record for record in records}
+        assert by_name["maint.publish"].parent is None
+        assert by_name["maint.publish"].depth == 0
+        assert by_name["journal.append"].parent == "maint.publish"
+        assert by_name["journal.append"].depth == 1
+        assert by_name["journal.fsync"].parent == "journal.append"
+        assert by_name["journal.fsync"].depth == 2
+        assert current_span_name() is None
+
+    def test_exception_marks_error_and_propagates(self, records):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("serve.batch"):
+                raise RuntimeError("boom")
+        (record,) = records
+        assert record.error is True
+        registry = runtime.get_registry()
+        assert (
+            registry.counter("repro_span_errors_total", span="serve.batch").value
+            == 1.0
+        )
+        # The stack unwound: the next span is a root again.
+        with span("persist.save"):
+            pass
+        assert records[-1].parent is None
+
+    def test_tags_are_attached(self, records):
+        with span("serve.batch", probes=10, service="svc"):
+            pass
+        assert dict(records[0].tags) == {"probes": "10", "service": "svc"}
+
+    def test_span_feeds_registry_histogram(self):
+        with span("persist.load"):
+            pass
+        registry = runtime.get_registry()
+        histogram = registry.histogram(
+            "repro_span_duration_seconds", span="persist.load"
+        )
+        assert histogram.count == 1
+        assert registry.counter("repro_span_total", span="persist.load").value == 1.0
+
+    def test_threads_have_independent_stacks(self, records):
+        ready = threading.Barrier(2)
+
+        def worker():
+            ready.wait()
+            with span("journal.append"):
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(records) == 2
+        assert all(record.parent is None for record in records)
+        assert all(record.depth == 0 for record in records)
+
+
+class TestSinks:
+    def test_raising_sink_is_swallowed_and_counted(self, records):
+        def bad_sink(record):
+            raise RuntimeError("observer bug")
+
+        add_span_sink(bad_sink)
+        with span("serve.batch"):
+            pass
+        # The good sink still got the record and the body was unharmed.
+        assert len(records) == 1
+        registry = runtime.get_registry()
+        assert (
+            registry.counter("repro_obs_sink_errors_total", kind="span_sink").value
+            == 1.0
+        )
+
+    def test_remove_span_sink(self, records):
+        assert remove_span_sink(records.append) is True
+        assert remove_span_sink(records.append) is False
+        with span("serve.batch"):
+            pass
+        assert records == []
+
+    def test_sink_must_be_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            add_span_sink("nope")
+
+
+class TestDisabled:
+    def test_disabled_span_is_a_shared_no_op(self, records):
+        runtime.set_instrumentation(False)
+        first = span("serve.batch")
+        second = span("journal.append", op="insert")
+        assert first is second
+        with first:
+            assert current_span_name() is None
+        assert records == []
+
+    def test_reenabling_restores_spans(self, records):
+        runtime.set_instrumentation(False)
+        runtime.set_instrumentation(True)
+        with span("serve.batch"):
+            pass
+        assert len(records) == 1
+
+
+def test_span_catalogue_is_unique_and_dotted():
+    assert len(SPAN_NAMES) == len(set(SPAN_NAMES))
+    assert all("." in name for name in SPAN_NAMES)

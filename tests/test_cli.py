@@ -191,3 +191,57 @@ class TestStatsCommands:
     def test_stats_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["stats"])
+
+
+class TestObsCommands:
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        from repro.obs import runtime
+
+        runtime.reset()
+        yield
+        runtime.reset()
+
+    def test_dump_prom_exposes_live_workload(self, capsys):
+        assert main(["obs", "dump", "--format", "prom", "--probes", "50"]) == 0
+        out = capsys.readouterr().out
+        # Spans, serve-layer counters, accuracy samples, and recovery
+        # metrics all come from one real serve+maintain+recover workload.
+        assert "repro_span_total" in out
+        assert 'repro_span_duration_seconds_bucket{span="serve.batch",le="+Inf"}' in out
+        assert 'repro_serve_probes_total{service="obs-workload"}' in out
+        assert "repro_accuracy_observations_total" in out
+        assert "repro_maint_deltas_total" in out
+        assert 'repro_persist_loads_total{mode="recover"}' in out
+        assert "# TYPE repro_span_duration_seconds histogram" in out
+
+    def test_dump_json_parses_and_carries_events(self, capsys):
+        import json
+
+        assert main(["obs", "dump", "--format", "json", "--probes", "50"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = {metric["name"] for metric in data["metrics"]}
+        assert "repro_span_duration_seconds" in names
+        assert "repro_journal_appends_total" in names
+        event_names = {event["name"] for event in data["events"]}
+        assert "journal.checkpoint" in event_names
+        assert "persist.recover" in event_names
+
+    def test_dump_without_workload_is_quietly_empty(self, capsys):
+        assert main(["obs", "dump", "--no-workload"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_probes_total" not in out
+
+    def test_serve_stats_obs_appends_registry(self, capsys):
+        code = main(
+            ["serve-stats", "--total", "500", "--domain", "20",
+             "--z-values", "1.0", "--probes", "20", "--obs"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_probes_total" in out
+        assert "repro_span_duration_seconds" in out
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["obs"])
