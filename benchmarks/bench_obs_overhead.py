@@ -33,9 +33,14 @@ N_RELATIONS = 4
 TOTAL = 4000
 DOMAIN = 100
 N_PROBES = 10_000
-ROUNDS = 5
+ROUNDS = 15
 MAX_OVERHEAD = 0.05
-EPSILON_SECONDS = 2e-3
+#: Absolute slack for scheduler jitter only.  This must stay well under
+#: ``off_seconds * MAX_OVERHEAD`` (≈250µs for the ~5ms batch measured
+#: here) or the fractional budget is dead code and a real regression
+#: passes silently — which is exactly what happened when this was 2ms:
+#: a 7.6% overhead sailed through the gate.
+EPSILON_SECONDS = 2e-4
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_obs.json"
 
 
@@ -64,15 +69,10 @@ def build_probes(gen):
     return probes
 
 
-def best_of(service, probes, rounds):
-    """Best-of-N wall time for one full batch (min damps scheduler noise)."""
-    best = float("inf")
-    answer = None
-    for _ in range(rounds):
-        started = perf_counter()
-        answer = service.estimate_batch(probes)
-        best = min(best, perf_counter() - started)
-    return best, answer
+def _timed_batch(service, probes):
+    started = perf_counter()
+    answer = service.estimate_batch(probes)
+    return perf_counter() - started, answer
 
 
 def run_obs_overhead():
@@ -83,11 +83,21 @@ def run_obs_overhead():
     # Warm the compiled-table cache so neither arm pays compile time.
     service.estimate_batch(probes[:100])
 
+    # Interleave the arms round by round: background-load drift then hits
+    # both arms equally instead of landing on whichever arm ran second,
+    # and best-of-N damps whatever jitter remains.  Measured sequentially
+    # on a single-core box, the on-vs-off delta wobbled by ±8% — far
+    # above the 5% budget this gate enforces.
+    on_seconds = off_seconds = float("inf")
+    on_answer = off_answer = None
     try:
-        runtime.set_instrumentation(True)
-        on_seconds, on_answer = best_of(service, probes, ROUNDS)
-        runtime.set_instrumentation(False)
-        off_seconds, off_answer = best_of(service, probes, ROUNDS)
+        for _ in range(ROUNDS):
+            runtime.set_instrumentation(True)
+            elapsed, on_answer = _timed_batch(service, probes)
+            on_seconds = min(on_seconds, elapsed)
+            runtime.set_instrumentation(False)
+            elapsed, off_answer = _timed_batch(service, probes)
+            off_seconds = min(off_seconds, elapsed)
     finally:
         runtime.set_instrumentation(True)
 
@@ -107,7 +117,7 @@ def test_obs_overhead_within_budget(benchmark):
 
     record_report(
         f"Observability overhead — {N_PROBES}-probe batch, instrumentation "
-        "on vs off (best of 5)",
+        f"on vs off (interleaved, best of {ROUNDS})",
         format_table(
             ["arm", "seconds", "probes/sec"],
             [
@@ -140,7 +150,9 @@ def test_obs_overhead_within_budget(benchmark):
     assert np.array_equal(result["on_answer"], result["off_answer"])
     # The off arm still keeps its plain ServiceMetrics counters.
     assert result["stats"].probes_served >= (ROUNDS * 2 + 1) * 100
-    # The budget: within 5%, with an absolute epsilon for timing jitter.
+    # The budget: within 5%, plus jitter-sized absolute slack.  The
+    # epsilon is deliberately small relative to the batch time so an
+    # over-budget run fails here instead of hiding inside the slack.
     assert on <= max(off * (1.0 + MAX_OVERHEAD), off + EPSILON_SECONDS), (
         f"instrumentation overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
         f"(on={on:.4f}s off={off:.4f}s)"

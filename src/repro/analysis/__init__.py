@@ -28,12 +28,19 @@ from repro.analysis.contracts import (
     require,
     returns_estimate,
 )
+from repro.analysis.concurrency import (
+    ModuleConcurrency,
+    analyze_source,
+    lock_order_violations,
+    module_concurrency,
+)
 from repro.analysis.diagnostics import Severity, Violation, format_report
 from repro.analysis.linter import (
     LintConfig,
     LintError,
     LintModule,
     build_module,
+    discover_changed_files,
     discover_files,
     exit_code,
     lint_module,
@@ -42,6 +49,12 @@ from repro.analysis.linter import (
     parse_rule_selection,
 )
 from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
+from repro.analysis.sarif import (
+    SarifValidationError,
+    to_sarif,
+    to_sarif_json,
+    validate_sarif,
+)
 
 __all__ = [
     "CONTRACTS_ENV",
@@ -62,14 +75,23 @@ __all__ = [
     "LintConfig",
     "LintError",
     "LintModule",
+    "ModuleConcurrency",
+    "analyze_source",
     "build_module",
+    "discover_changed_files",
     "discover_files",
     "exit_code",
     "lint_module",
     "lint_paths",
     "lint_source",
+    "lock_order_violations",
+    "module_concurrency",
     "parse_rule_selection",
     "ALL_RULES",
     "RULES_BY_CODE",
     "Rule",
+    "SarifValidationError",
+    "to_sarif",
+    "to_sarif_json",
+    "validate_sarif",
 ]

@@ -1,0 +1,782 @@
+"""Concurrency-discipline analysis: lock-guard inference and lock ordering.
+
+The serve/obs/engine layers share mutable state across threads behind
+``threading.Lock``/``RLock`` attributes.  Nothing ties an attribute to its
+lock in the source, so the discipline "touch ``self._slots`` only under
+``self._lock``" lives in reviewers' heads.  This module recovers it from
+the AST, RacerD-style:
+
+* **Guard inference (R009)** — for every class, find the lock attributes
+  (``self._lock = threading.Lock()`` assignments or dataclass
+  ``field(default_factory=threading.Lock)`` fields) and every access to a
+  private ``self._*`` attribute together with the set of locks held at the
+  access site (lexically via ``with self._lock:``, or inherited when a
+  private helper is only ever called from lock-holding sites).  An
+  attribute written at least once under a lock outside construction is
+  *inferred guarded* by the locks every such write holds; any other access
+  that does not hold the guard is a violation.
+* **Lock-order graph (R010)** — every nested acquisition (``with a:`` …
+  ``with b:``) and every cross-class call made while holding a lock
+  (``self.metrics.record(...)`` inside ``with self._lock:`` where the
+  callee acquires its own lock) contributes a directed edge ``a -> b``.
+  The edges from every module are merged into one graph; a cycle means two
+  threads can acquire the same pair of locks in opposite orders and
+  deadlock.  Re-acquiring a non-reentrant lock already held is reported as
+  a self-deadlock.
+
+Each module reduces to a picklable :class:`ModuleConcurrency` summary so
+the parallel linter (``repro lint --jobs N``) can analyze files in worker
+processes and run the tree-wide ordering pass in the parent.
+
+Known limits, by design: lock keys are resolved statically
+(``ClassName._attr`` / ``modulestem._name``), attribute types come from
+``self.x = ClassName(...)`` constructor calls and annotated ``__init__``
+parameters, and only ``with``-statement acquisitions count (bare
+``.acquire()`` calls are invisible).  The runtime sanitizer
+(:mod:`repro.testing.locksan`) covers the dynamic remainder.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.diagnostics import Severity, Violation
+
+#: Dotted callables that construct a non-reentrant lock.
+LOCK_FACTORIES = frozenset({"threading.Lock", "Lock"})
+
+#: Dotted callables that construct a reentrant lock.
+RLOCK_FACTORIES = frozenset({"threading.RLock", "RLock"})
+
+#: Method names that mutate their receiver: calling one on ``self._x`` is a
+#: *write* to ``_x`` for guard-inference purposes.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+        "move_to_end",
+        "rotate",
+        "write",
+        "writelines",
+        "truncate",
+    }
+)
+
+#: Methods whose accesses are construction-time and run before the object
+#: is shared between threads; they neither establish guards nor violate.
+CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__init_subclass__", "__set_name__", "__del__"}
+)
+
+R009_CODE = "R009"
+R010_CODE = "R010"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _innermost_self_attr(node: ast.AST) -> Optional[str]:
+    """The ``self``-rooted attribute a store/mutation ultimately lands on.
+
+    ``self._a`` -> ``_a``; ``self._a.b[k]`` -> ``_a`` (mutating a nested
+    container still mutates state reachable from ``self._a``).
+    """
+    while True:
+        direct = _is_self_attr(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+            continue
+        return None
+
+
+def _lock_kind(call: ast.AST) -> Optional[bool]:
+    """``threading.Lock()`` -> False, ``threading.RLock()`` -> True, else None."""
+    if not isinstance(call, ast.Call):
+        return None
+    dotted = _dotted(call.func)
+    if dotted in LOCK_FACTORIES:
+        return False
+    if dotted in RLOCK_FACTORIES:
+        return True
+    # dataclass idiom: field(default_factory=threading.Lock)
+    func = _dotted(call.func)
+    if func is not None and func.split(".")[-1] == "field":
+        for kw in call.keywords:
+            if kw.arg == "default_factory":
+                factory = _dotted(kw.value)
+                if factory in LOCK_FACTORIES:
+                    return False
+                if factory in RLOCK_FACTORIES:
+                    return True
+    return None
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """A directed ``source``-held-while-acquiring-``target`` observation."""
+
+    source: str
+    target: str
+    path: str
+    line: int
+    col: int
+    via: str
+
+
+@dataclass(frozen=True)
+class PendingCall:
+    """A method call made while holding locks, resolved at tree time."""
+
+    held: tuple[str, ...]
+    callee_class: str
+    method: str
+    path: str
+    line: int
+    col: int
+
+
+@dataclass
+class ClassSummary:
+    """What the tree pass needs to know about one class."""
+
+    name: str
+    #: lock attribute name -> reentrant?
+    locks: dict[str, bool] = field(default_factory=dict)
+    #: method name -> lock keys it acquires (lexically plus via ``self.m()``
+    #: calls to sibling methods, one intra-class closure deep).
+    method_acquires: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleConcurrency:
+    """Picklable per-module summary feeding the tree-wide R010 pass."""
+
+    path: str
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    #: module-level lock name -> reentrant?
+    module_locks: dict[str, bool] = field(default_factory=dict)
+    guard_violations: list[Violation] = field(default_factory=list)
+    edges: list[LockEdge] = field(default_factory=list)
+    pending_calls: list[PendingCall] = field(default_factory=list)
+
+
+@dataclass
+class _Access:
+    """One touch of a private ``self._*`` attribute inside a method."""
+
+    attr: str
+    method: str
+    line: int
+    col: int
+    write: bool
+    held: frozenset[str]
+
+
+class _ClassAnalyzer:
+    """Walks one class body, collecting accesses, acquisitions, and calls."""
+
+    def __init__(
+        self,
+        module_stem: str,
+        path: str,
+        class_name: str,
+        locks: dict[str, bool],
+        module_locks: dict[str, bool],
+        attr_types: dict[str, str],
+    ) -> None:
+        self.module_stem = module_stem
+        self.path = path
+        self.class_name = class_name
+        self.locks = locks
+        self.module_locks = module_locks
+        self.attr_types = attr_types
+        self.accesses: dict[tuple[str, int, int], _Access] = {}
+        self.edges: list[LockEdge] = []
+        self.pending_calls: list[PendingCall] = []
+        #: (caller_method, callee_method, held-at-site) for ``self.m()`` calls.
+        self.internal_calls: list[tuple[str, str, frozenset[str]]] = []
+        #: method -> lexically acquired lock keys.
+        self.method_acquires: dict[str, set[str]] = {}
+        self._method = ""
+
+    # -- lock keys -----------------------------------------------------
+
+    def _key_for(self, node: ast.expr) -> Optional[str]:
+        attr = _is_self_attr(node)
+        if attr is not None and attr in self.locks:
+            return f"{self.class_name}.{attr}"
+        if isinstance(node, ast.Name) and node.id in self.module_locks:
+            return f"{self.module_stem}.{node.id}"
+        return None
+
+    # -- recording -----------------------------------------------------
+
+    def _record_access(
+        self, attr: str, node: ast.AST, write: bool, held: frozenset[str]
+    ) -> None:
+        if not attr.startswith("_") or attr.startswith("__"):
+            return
+        if attr in self.locks:
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        key = (attr, line, col)
+        prior = self.accesses.get(key)
+        if prior is None:
+            self.accesses[key] = _Access(
+                attr=attr, method=self._method, line=line, col=col, write=write, held=held
+            )
+        else:
+            prior.write = prior.write or write
+            prior.held = prior.held & held
+
+    def _record_edge(self, source: str, target: str, node: ast.AST, via: str) -> None:
+        self.edges.append(
+            LockEdge(
+                source=source,
+                target=target,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                via=via,
+            )
+        )
+
+    # -- traversal -----------------------------------------------------
+
+    def walk_method(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._method = node.name
+        self.method_acquires.setdefault(node.name, set())
+        for stmt in node.body:
+            self._visit(stmt, frozenset())
+
+    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node, held)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._visit_target(target, held)
+            self._visit(node.value, held)
+        elif isinstance(node, ast.AugAssign):
+            self._visit_target(node.target, held)
+            self._visit(node.value, held)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._visit_target(node.target, held)
+                self._visit(node.value, held)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._visit_target(target, held)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node, held)
+        elif isinstance(node, ast.Attribute):
+            attr = _is_self_attr(node)
+            if attr is not None:
+                self._record_access(attr, node, write=False, held=held)
+            else:
+                self._visit(node.value, held)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested callable may run long after the enclosing block has
+            # released its locks; analyze its body as holding nothing.
+            for default in getattr(node.args, "defaults", []):
+                self._visit(default, held)
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                self._visit(stmt, frozenset())
+        else:
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, held)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith, held: frozenset[str]) -> None:
+        current = held
+        for item in node.items:
+            self._visit(item.context_expr, current)
+            if item.optional_vars is not None:
+                self._visit_target(item.optional_vars, current)
+            key = self._key_for(item.context_expr)
+            if key is None:
+                continue
+            if key in current:
+                # Re-acquiring a lock already held: a self-edge the tree
+                # pass turns into a deadlock finding for plain Locks.
+                self._record_edge(key, key, item.context_expr, "re-entered with-block")
+            else:
+                for outer in sorted(current):
+                    self._record_edge(outer, key, item.context_expr, "nested with-block")
+                self.method_acquires.setdefault(self._method, set()).add(key)
+                current = current | {key}
+        for stmt in node.body:
+            self._visit(stmt, current)
+
+    def _visit_target(self, target: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._visit_target(elt, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._visit_target(target.value, held)
+            return
+        attr = _innermost_self_attr(target)
+        if attr is not None:
+            self._record_access(attr, target, write=True, held=held)
+        # Index expressions and non-self bases are ordinary reads.
+        if isinstance(target, ast.Subscript):
+            self._visit(target.slice, held)
+            if attr is None:
+                self._visit(target.value, held)
+        elif isinstance(target, ast.Attribute) and attr is None:
+            self._visit(target.value, held)
+
+    def _visit_call(self, node: ast.Call, held: frozenset[str]) -> None:
+        func = node.func
+        skip_receiver = False
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            receiver = func.value
+            receiver_attr = _is_self_attr(receiver)
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                # self.m(...): intra-class call — feeds both the
+                # inherited-held fixpoint and the lock-order graph.
+                self.internal_calls.append((self._method, method, held))
+                if held:
+                    self.pending_calls.append(
+                        PendingCall(
+                            held=tuple(sorted(held)),
+                            callee_class=self.class_name,
+                            method=method,
+                            path=self.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+                    )
+                skip_receiver = True
+            elif receiver_attr is not None:
+                if method in MUTATING_METHODS:
+                    self._record_access(receiver_attr, receiver, write=True, held=held)
+                else:
+                    self._record_access(receiver_attr, receiver, write=False, held=held)
+                skip_receiver = True
+                callee_class = self.attr_types.get(receiver_attr)
+                if held and callee_class is not None:
+                    self.pending_calls.append(
+                        PendingCall(
+                            held=tuple(sorted(held)),
+                            callee_class=callee_class,
+                            method=method,
+                            path=self.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+                    )
+            else:
+                mutated = _innermost_self_attr(receiver)
+                if mutated is not None and method in MUTATING_METHODS:
+                    self._record_access(mutated, receiver, write=True, held=held)
+                    skip_receiver = True
+        if not skip_receiver:
+            self._visit(func, held)
+        for arg in node.args:
+            self._visit(arg, held)
+        for keyword in node.keywords:
+            self._visit(keyword.value, held)
+
+
+class _ModuleFunctionAnalyzer(_ClassAnalyzer):
+    """Module-level functions: no ``self`` state, but module locks nest."""
+
+    def __init__(self, module_stem: str, path: str, module_locks: dict[str, bool]) -> None:
+        super().__init__(
+            module_stem=module_stem,
+            path=path,
+            class_name="",
+            locks={},
+            module_locks=module_locks,
+            attr_types={},
+        )
+
+    def _record_access(
+        self, attr: str, node: ast.AST, write: bool, held: frozenset[str]
+    ) -> None:
+        # Guard inference is class-scoped; module functions only feed edges.
+        return
+
+
+def _collect_class_locks(class_node: ast.ClassDef) -> dict[str, bool]:
+    locks: dict[str, bool] = {}
+    for stmt in class_node.body:
+        # dataclass field: ``_lock: threading.Lock = field(default_factory=...)``
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            kind = _lock_kind(stmt.value) if stmt.value is not None else None
+            if kind is None:
+                annotation = _dotted(stmt.annotation)
+                if annotation in LOCK_FACTORIES:
+                    kind = False
+                elif annotation in RLOCK_FACTORIES:
+                    kind = True
+            if kind is not None:
+                locks[stmt.target.id] = kind
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.Assign):
+            kind = _lock_kind(node.value)
+            if kind is None:
+                continue
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    locks[attr] = kind
+    return locks
+
+
+def _annotation_class(node: ast.AST) -> Optional[str]:
+    """The class named by an annotation: ``B``, ``pkg.B``, or ``"B"``."""
+    dotted = _dotted(node)
+    if dotted is not None:
+        return dotted.split(".")[-1]
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if text.replace(".", "").replace("_", "").isalnum():
+            return text.split(".")[-1]
+    return None
+
+
+def _collect_attr_types(class_node: ast.ClassDef) -> dict[str, str]:
+    """``self.x = ClassName(...)`` and annotated ``__init__`` params -> types."""
+    types: dict[str, str] = {}
+    param_types: dict[str, str] = {}
+    for stmt in class_node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for arg in stmt.args.args + stmt.args.kwonlyargs:
+                if arg.annotation is not None:
+                    annotation = _annotation_class(arg.annotation)
+                    if annotation is not None:
+                        param_types[arg.arg] = annotation
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            attr = _is_self_attr(target)
+            if attr is None:
+                continue
+            if isinstance(node.value, ast.Call):
+                callee = _dotted(node.value.func)
+                if callee is not None:
+                    types.setdefault(attr, callee.split(".")[-1])
+            elif isinstance(node.value, ast.Name) and node.value.id in param_types:
+                types.setdefault(attr, param_types[node.value.id])
+    return types
+
+
+def _collect_module_locks(tree: ast.Module) -> dict[str, bool]:
+    locks: dict[str, bool] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            kind = _lock_kind(stmt.value)
+            if kind is None:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    locks[target.id] = kind
+    return locks
+
+
+def _inherited_held(
+    methods: Iterable[str],
+    internal_calls: list[tuple[str, str, frozenset[str]]],
+    acquired_lexically: dict[str, set[str]],
+) -> dict[str, frozenset[str]]:
+    """Fixpoint: locks a private method always holds on entry.
+
+    A private method called only from sites that hold a lock inherits that
+    lock — ``StatsCatalog._discard_total`` is guarded because ``drop``
+    calls it under ``self._lock``.  Public methods inherit nothing (any
+    caller may enter them bare).
+    """
+    sites: dict[str, list[tuple[str, frozenset[str]]]] = {}
+    for caller, callee, held in internal_calls:
+        sites.setdefault(callee, []).append((caller, held))
+    inherited: dict[str, frozenset[str]] = {name: frozenset() for name in methods}
+    for _ in range(len(inherited) + 1):
+        changed = False
+        for name in inherited:
+            if not name.startswith("_") or name.startswith("__"):
+                continue
+            call_sites = sites.get(name)
+            if not call_sites:
+                continue
+            candidate: Optional[frozenset[str]] = None
+            for caller, held in call_sites:
+                effective = held | inherited.get(caller, frozenset())
+                candidate = effective if candidate is None else candidate & effective
+            if candidate and candidate != inherited[name]:
+                inherited[name] = candidate
+                changed = True
+        if not changed:
+            break
+    return inherited
+
+
+def _infer_guard_violations(
+    analyzer: _ClassAnalyzer, class_name: str
+) -> Iterator[Violation]:
+    methods = set(analyzer.method_acquires)
+    inherited = _inherited_held(
+        methods, analyzer.internal_calls, analyzer.method_acquires
+    )
+    by_attr: dict[str, list[tuple[_Access, frozenset[str]]]] = {}
+    for access in analyzer.accesses.values():
+        if access.method in CONSTRUCTION_METHODS:
+            continue
+        effective = access.held | inherited.get(access.method, frozenset())
+        by_attr.setdefault(access.attr, []).append((access, effective))
+    for attr in sorted(by_attr):
+        records = by_attr[attr]
+        guard: Optional[frozenset[str]] = None
+        for access, effective in records:
+            if access.write and effective:
+                guard = effective if guard is None else guard & effective
+        if not guard:
+            continue
+        guard_names = " and ".join(f"`{name}`" for name in sorted(guard))
+        for access, effective in records:
+            if guard & effective:
+                continue
+            action = "written" if access.write else "read"
+            yield Violation(
+                path=analyzer.path,
+                line=access.line,
+                col=access.col,
+                rule=R009_CODE,
+                message=(
+                    f"`self.{attr}` of `{class_name}` is inferred lock-guarded "
+                    f"(every locked write holds {guard_names}) but is {action} "
+                    f"here without the lock; wrap in `with` or justify with "
+                    f"`# repolint: disable=R009`"
+                ),
+                severity=Severity.ERROR,
+            )
+
+
+def analyze_source(tree: ast.Module, path: str) -> ModuleConcurrency:
+    """Reduce one parsed module to its :class:`ModuleConcurrency` summary."""
+    stem = Path(path).stem or "<module>"
+    module_locks = _collect_module_locks(tree)
+    summary = ModuleConcurrency(path=path, module_locks=module_locks)
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            walker = _ModuleFunctionAnalyzer(stem, path, module_locks)
+            walker.walk_method(stmt)
+            summary.edges.extend(walker.edges)
+        elif isinstance(stmt, ast.ClassDef):
+            locks = _collect_class_locks(stmt)
+            attr_types = _collect_attr_types(stmt)
+            analyzer = _ClassAnalyzer(
+                module_stem=stem,
+                path=path,
+                class_name=stmt.name,
+                locks=locks,
+                module_locks=module_locks,
+                attr_types=attr_types,
+            )
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    analyzer.walk_method(item)
+            summary.guard_violations.extend(_infer_guard_violations(analyzer, stmt.name))
+            summary.edges.extend(analyzer.edges)
+            summary.pending_calls.extend(analyzer.pending_calls)
+
+            # Intra-class closure: a method "acquires" what the sibling
+            # methods it calls acquire, one call level at a time.
+            acquires = {name: set(keys) for name, keys in analyzer.method_acquires.items()}
+            for _ in range(len(acquires) + 1):
+                changed = False
+                for caller, callee, _held in analyzer.internal_calls:
+                    gained = acquires.get(callee, set()) - acquires.setdefault(caller, set())
+                    if gained:
+                        acquires[caller] |= gained
+                        changed = True
+                if not changed:
+                    break
+            summary.classes[stmt.name] = ClassSummary(
+                name=stmt.name,
+                locks=locks,
+                method_acquires={
+                    name: tuple(sorted(keys)) for name, keys in acquires.items() if keys
+                },
+            )
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Tree-wide lock-order pass (R010)
+# ----------------------------------------------------------------------
+
+
+def _reentrancy_table(summaries: Iterable[ModuleConcurrency]) -> dict[str, bool]:
+    table: dict[str, bool] = {}
+    for summary in summaries:
+        stem = Path(summary.path).stem or "<module>"
+        for name, reentrant in summary.module_locks.items():
+            table[f"{stem}.{name}"] = reentrant
+        for cls in summary.classes.values():
+            for attr, reentrant in cls.locks.items():
+                table[f"{cls.name}.{attr}"] = reentrant
+    return table
+
+
+def _resolve_call_edges(
+    summaries: list[ModuleConcurrency],
+) -> list[LockEdge]:
+    classes: dict[str, ClassSummary] = {}
+    for summary in summaries:
+        classes.update(summary.classes)
+    edges: list[LockEdge] = []
+    for summary in summaries:
+        for call in summary.pending_calls:
+            cls = classes.get(call.callee_class)
+            if cls is None:
+                continue
+            for target in cls.method_acquires.get(call.method, ()):
+                for source in call.held:
+                    edges.append(
+                        LockEdge(
+                            source=source,
+                            target=target,
+                            path=call.path,
+                            line=call.line,
+                            col=call.col,
+                            via=f"call to {call.callee_class}.{call.method}()",
+                        )
+                    )
+    return edges
+
+
+def lock_order_violations(
+    summaries: Iterable[ModuleConcurrency],
+) -> list[Violation]:
+    """Merge every module's edges and report ordering cycles (R010)."""
+    summaries = list(summaries)
+    reentrancy = _reentrancy_table(summaries)
+    raw_edges: list[LockEdge] = []
+    for summary in summaries:
+        raw_edges.extend(summary.edges)
+    raw_edges.extend(_resolve_call_edges(summaries))
+
+    violations: list[Violation] = []
+    seen_self: set[tuple[str, str, int]] = set()
+    adjacency: dict[str, set[str]] = {}
+    first_edge: dict[tuple[str, str], LockEdge] = {}
+    for edge in raw_edges:
+        if edge.source == edge.target:
+            if reentrancy.get(edge.source, False):
+                continue  # RLock re-entry is legal
+            marker = (edge.source, edge.path, edge.line)
+            if marker not in seen_self:
+                seen_self.add(marker)
+                violations.append(
+                    Violation(
+                        path=edge.path,
+                        line=edge.line,
+                        col=edge.col,
+                        rule=R010_CODE,
+                        message=(
+                            f"non-reentrant lock `{edge.source}` acquired while "
+                            f"already held ({edge.via}): guaranteed self-deadlock"
+                        ),
+                        severity=Severity.ERROR,
+                    )
+                )
+            continue
+        adjacency.setdefault(edge.source, set()).add(edge.target)
+        first_edge.setdefault((edge.source, edge.target), edge)
+
+    def _witness(start: str, goal: str) -> Optional[list[str]]:
+        parents: dict[str, Optional[str]] = {start: None}
+        queue = [start]
+        while queue:
+            node = queue.pop(0)
+            if node == goal:
+                chain = [node]
+                while parents[chain[-1]] is not None:
+                    chain.append(parents[chain[-1]])  # type: ignore[arg-type]
+                return list(reversed(chain))
+            for succ in sorted(adjacency.get(node, ())):
+                if succ not in parents:
+                    parents[succ] = node
+                    queue.append(succ)
+        return None
+
+    reported: set[tuple[str, str, str, int]] = set()
+    for (source, target), edge in sorted(first_edge.items()):
+        chain = _witness(target, source)
+        if chain is None:
+            continue
+        counter = first_edge.get((chain[0], chain[1]))
+        site = f"{counter.path}:{counter.line}" if counter is not None else "elsewhere"
+        marker = (source, target, edge.path, edge.line)
+        if marker in reported:
+            continue
+        reported.add(marker)
+        cycle = " -> ".join([source, *chain])
+        violations.append(
+            Violation(
+                path=edge.path,
+                line=edge.line,
+                col=edge.col,
+                rule=R010_CODE,
+                message=(
+                    f"lock-order inversion: `{target}` acquired while holding "
+                    f"`{source}` ({edge.via}), but the opposite order is taken "
+                    f"at {site}; cycle {cycle} can deadlock"
+                ),
+                severity=Severity.ERROR,
+            )
+        )
+    return violations
+
+
+def module_concurrency(module: "LintModule") -> ModuleConcurrency:  # noqa: F821
+    """Per-:class:`~repro.analysis.linter.LintModule` summary, memoized."""
+    cached = getattr(module, "_concurrency_summary", None)
+    if cached is None:
+        cached = analyze_source(module.tree, module.path)
+        module._concurrency_summary = cached
+    return cached

@@ -8,22 +8,34 @@ comments + path-based classification) and runs the rule registry from
 
 Suppression and classification directives are magic comments:
 
-* ``# repolint: disable=R001,R004`` — suppress those rules on that line;
+* ``# repolint: disable=R001,R004`` — suppress those rules on that line
+  (a comment on any physical line of a multi-line statement covers the
+  whole statement; on a compound-statement header, the header region);
+* ``# repolint: disable-file=R009`` — suppress those rules everywhere in
+  the file (unlike ``skip-file``, the other rules still run);
 * ``# repolint: boundary-exempt`` — on or just above a ``def``, exempt the
   function from R002;
 * ``# repolint: skip-file`` — anywhere, skip the whole file;
 * ``# repolint: hot-path`` / ``# repolint: boundary`` / ``# repolint:
   rng-module`` — force the file's classification regardless of its path.
+
+Tree rules (R010's lock-order graph) need every file's summary at once,
+so :func:`lint_paths` runs in two stages: per-file module rules — in
+worker processes when ``jobs > 1`` — then the tree pass over the collected
+:class:`~repro.analysis.concurrency.ModuleConcurrency` summaries.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
+from repro.analysis.concurrency import ModuleConcurrency, module_concurrency
 from repro.analysis.diagnostics import Severity, Violation
 from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
 
@@ -74,6 +86,7 @@ class LintModule:
     tree: ast.Module
     lines: list[str]
     suppressed: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressed: set[str] = field(default_factory=set)
     directives: set[str] = field(default_factory=set)
     is_hot_path: bool = False
     is_boundary: bool = False
@@ -81,8 +94,7 @@ class LintModule:
     is_public_api: bool = False
 
     def is_suppressed(self, violation: Violation) -> bool:
-        codes = self.suppressed.get(violation.line)
-        return bool(codes) and (violation.rule in codes or "*" in codes)
+        return _is_suppressed(self.suppressed, self.file_suppressed, violation)
 
     def function_is_exempt(self, node: ast.AST, marker: str) -> bool:
         """True when *marker* appears in the function's signature region.
@@ -106,8 +118,22 @@ class LintError(Exception):
     """A file could not be linted (unreadable or unparseable)."""
 
 
-def _parse_directives(lines: Sequence[str]) -> tuple[dict[int, set[str]], set[str]]:
+def _is_suppressed(
+    suppressed: dict[int, set[str]],
+    file_suppressed: set[str],
+    violation: Violation,
+) -> bool:
+    if violation.rule in file_suppressed or "*" in file_suppressed:
+        return True
+    codes = suppressed.get(violation.line)
+    return bool(codes) and (violation.rule in codes or "*" in codes)
+
+
+def _parse_directives(
+    lines: Sequence[str],
+) -> tuple[dict[int, set[str]], set[str], set[str]]:
     suppressed: dict[int, set[str]] = {}
+    file_suppressed: set[str] = set()
     file_directives: set[str] = set()
     for lineno, line in enumerate(lines, start=1):
         match = _DIRECTIVE_RE.search(line)
@@ -117,12 +143,66 @@ def _parse_directives(lines: Sequence[str]) -> tuple[dict[int, set[str]], set[st
         for clause in re.split(r"[;\s]+", body):
             if not clause:
                 continue
-            if clause.startswith("disable="):
+            if clause.startswith("disable-file="):
+                codes = {c.strip() for c in clause[len("disable-file=") :].split(",")}
+                file_suppressed.update(c for c in codes if c)
+            elif clause.startswith("disable="):
                 codes = {c.strip() for c in clause[len("disable=") :].split(",")}
                 suppressed.setdefault(lineno, set()).update(c for c in codes if c)
             else:
                 file_directives.add(clause)
-    return suppressed, file_directives
+    return suppressed, file_suppressed, file_directives
+
+
+#: Compound statements whose ``disable=`` comments cover only the header
+#: region (``lineno`` through the line before the first body statement);
+#: everything else is a simple statement and the comment covers its whole
+#: source span, however many physical lines it wraps across.
+_COMPOUND_STMTS = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+def _propagate_multiline_suppressions(
+    tree: ast.Module, suppressed: dict[int, set[str]]
+) -> None:
+    """Spread ``disable=`` codes across each multi-line statement's span.
+
+    A violation anchors at the statement's first line, but a trailing
+    suppression comment naturally lands on the last physical line of a
+    wrapped call — without this pass such comments silently do nothing.
+    """
+    if not suppressed:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(node, _COMPOUND_STMTS) and body:
+            end = body[0].lineno - 1
+        elif isinstance(node, _COMPOUND_STMTS) or isinstance(node, ast.Match):
+            end = start
+        else:
+            end = getattr(node, "end_lineno", None) or start
+        if end <= start:
+            continue
+        span_codes: set[str] = set()
+        for lineno in range(start, end + 1):
+            span_codes.update(suppressed.get(lineno, ()))
+        if not span_codes:
+            continue
+        for lineno in range(start, end + 1):
+            suppressed.setdefault(lineno, set()).update(span_codes)
 
 
 def build_module(
@@ -135,13 +215,15 @@ def build_module(
     except SyntaxError as exc:
         raise LintError(f"{path}: cannot parse: {exc}") from exc
     lines = source.splitlines()
-    suppressed, directives = _parse_directives(lines)
+    suppressed, file_suppressed, directives = _parse_directives(lines)
+    _propagate_multiline_suppressions(tree, suppressed)
     posix = path.replace("\\", "/")
     module = LintModule(
         path=path,
         tree=tree,
         lines=lines,
         suppressed=suppressed,
+        file_suppressed=file_suppressed,
         directives=directives,
     )
     module.is_hot_path = "hot-path" in directives or any(
@@ -160,12 +242,18 @@ def build_module(
 
 
 def lint_module(module: LintModule, config: Optional[LintConfig] = None) -> list[Violation]:
-    """Run the selected rules over one parsed module."""
+    """Run the selected per-module rules over one parsed module.
+
+    Tree rules are skipped here; they need every module's summary at once
+    and run in :func:`lint_paths` / :func:`lint_source`.
+    """
     config = config or LintConfig()
     if "skip-file" in module.directives:
         return []
     violations: list[Violation] = []
     for rule in config.rules():
+        if rule.scope != "module":
+            continue
         for violation in rule.check(module):
             if not module.is_suppressed(violation):
                 violations.append(violation)
@@ -175,9 +263,24 @@ def lint_module(module: LintModule, config: Optional[LintConfig] = None) -> list
 def lint_source(
     source: str, path: str = "<string>", config: Optional[LintConfig] = None
 ) -> list[Violation]:
-    """Lint an in-memory source string (fixture tests enter here)."""
+    """Lint an in-memory source string (fixture tests enter here).
+
+    Tree rules run over this one module's summary, so single-file
+    fixtures still exercise R010.
+    """
     config = config or LintConfig()
-    return lint_module(build_module(source, path, config), config)
+    module = build_module(source, path, config)
+    if "skip-file" in module.directives:
+        return []
+    violations = lint_module(module, config)
+    tree_rules = [rule for rule in config.rules() if rule.scope == "tree"]
+    if tree_rules:
+        summary = module_concurrency(module)
+        for rule in tree_rules:
+            for violation in rule.check_tree([summary]):
+                if not module.is_suppressed(violation):
+                    violations.append(violation)
+    return sorted(violations)
 
 
 def discover_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -196,20 +299,126 @@ def discover_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield candidate
 
 
+@dataclass
+class FileLintResult:
+    """One file's worth of work, shippable back from a worker process."""
+
+    path: str
+    violations: list[Violation]
+    summary: Optional[ModuleConcurrency]
+    suppressed: dict[int, set[str]]
+    file_suppressed: set[str]
+    skipped: bool
+
+
+def _lint_file_worker(task: tuple[str, LintConfig, bool]) -> FileLintResult:
+    """Parse, lint, and summarize one file (runs in the pool workers)."""
+    path_str, config, want_summary = task
+    try:
+        source = Path(path_str).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{path_str}: cannot read: {exc}") from exc
+    module = build_module(source, path_str, config)
+    if "skip-file" in module.directives:
+        return FileLintResult(path_str, [], None, {}, set(), True)
+    violations = lint_module(module, config)
+    summary = module_concurrency(module) if want_summary else None
+    return FileLintResult(
+        path=path_str,
+        violations=violations,
+        summary=summary,
+        suppressed=module.suppressed,
+        file_suppressed=module.file_suppressed,
+        skipped=False,
+    )
+
+
 def lint_paths(
-    paths: Sequence[Path | str], config: Optional[LintConfig] = None
+    paths: Sequence[Path | str],
+    config: Optional[LintConfig] = None,
+    jobs: int = 1,
 ) -> list[Violation]:
-    """Lint every Python file under *paths* and return sorted violations."""
+    """Lint every Python file under *paths* and return sorted violations.
+
+    With ``jobs > 1`` the per-file work fans out over a process pool; the
+    tree-wide pass (R010's lock-order graph) always runs in the parent,
+    over the per-file summaries the workers send back.
+    """
     config = config or LintConfig()
-    violations: list[Violation] = []
-    for file_path in discover_files([Path(p) for p in paths]):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise LintError(f"{file_path}: cannot read: {exc}") from exc
-        module = build_module(source, str(file_path), config)
-        violations.extend(lint_module(module, config))
+    tree_rules = [rule for rule in config.rules() if rule.scope == "tree"]
+    files = [str(p) for p in discover_files([Path(p) for p in paths])]
+    tasks = [(path, config, bool(tree_rules)) for path in files]
+    if jobs > 1 and len(files) > 1:
+        workers = min(jobs, len(files))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk = max(1, len(files) // (workers * 4))
+            results = list(pool.map(_lint_file_worker, tasks, chunksize=chunk))
+    else:
+        results = [_lint_file_worker(task) for task in tasks]
+    violations = [v for result in results for v in result.violations]
+    if tree_rules:
+        summaries = [r.summary for r in results if r.summary is not None]
+        by_path = {r.path: r for r in results}
+        for rule in tree_rules:
+            for violation in rule.check_tree(summaries):
+                anchor = by_path.get(violation.path)
+                if anchor is not None and _is_suppressed(
+                    anchor.suppressed, anchor.file_suppressed, violation
+                ):
+                    continue
+                violations.append(violation)
     return sorted(violations)
+
+
+def discover_changed_files(
+    base: str = "HEAD", roots: Optional[Sequence[Path | str]] = None
+) -> list[Path]:
+    """Python files differing from ``git merge-base HEAD <base>``.
+
+    With the default ``base="HEAD"`` this is the pre-commit view: staged
+    plus unstaged modifications, and untracked files.  With a branch name
+    (``--changed origin/main``) it is the files the branch touched.  When
+    *roots* is given, only files under one of those directories survive.
+    """
+
+    def _git(*argv: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, check=True
+            )
+        except FileNotFoundError as exc:
+            raise LintError("--changed requires git on PATH") from exc
+        except subprocess.CalledProcessError as exc:
+            detail = (exc.stderr or "").strip() or f"exit {exc.returncode}"
+            raise LintError(f"git {' '.join(argv)}: {detail}") from exc
+        return proc.stdout
+
+    top = Path(_git("rev-parse", "--show-toplevel").strip())
+    if base == "HEAD":
+        merge_base = "HEAD"
+    else:
+        merge_base = _git("merge-base", "HEAD", base).strip()
+    names = _git("diff", "--name-only", "-z", merge_base).split("\0")
+    names += _git("ls-files", "--others", "--exclude-standard", "-z").split("\0")
+    resolved_roots = (
+        [Path(root).resolve() for root in roots] if roots is not None else None
+    )
+    changed: set[Path] = set()
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        candidate = top / name
+        if not candidate.is_file():
+            continue  # deleted in the working tree
+        if resolved_roots is not None:
+            resolved = candidate.resolve()
+            if not any(
+                resolved == root or resolved.is_relative_to(root)
+                for root in resolved_roots
+            ):
+                continue
+        changed.add(candidate)
+    return sorted(changed)
 
 
 def exit_code(violations: Sequence[Violation], strict: bool = False) -> int:

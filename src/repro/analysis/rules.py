@@ -1,4 +1,4 @@
-"""repolint rules: project-specific coding contracts, R001-R007.
+"""repolint rules: project-specific coding contracts, R001-R010.
 
 Each rule enforces a discipline that keeps the paper's algebraic guarantees
 true as the codebase grows:
@@ -26,6 +26,14 @@ true as the codebase grows:
   (tmp + fsync + atomic ``os.replace``); a bare ``open(..., "w")`` or
   ``write_text`` tears the catalog on a crash.  Append-only logs (the
   maintenance journal) justify themselves with ``# repolint: disable=R007``.
+* **R009** — attributes inferred lock-guarded (written under ``with
+  self._lock:``) must always be accessed under that lock; see
+  :mod:`repro.analysis.concurrency`.
+* **R010** — the tree-wide lock-order graph must stay acyclic, and plain
+  ``Lock`` objects must never be re-acquired while held.
+
+(R008 is the monotonic-instrumentation rule below; the numbering is the
+registry order.)
 
 Rules are pure functions of a parsed :class:`~repro.analysis.linter.LintModule`;
 they never import the code under analysis.
@@ -39,6 +47,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from repro.analysis.diagnostics import Severity, Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.concurrency import ModuleConcurrency
     from repro.analysis.linter import LintModule
 
 #: numpy.random attributes that are types/plumbing, not stochastic calls.
@@ -119,8 +128,16 @@ class Rule:
     name: str = ""
     severity: Severity = Severity.ERROR
     summary: str = ""
+    #: ``"module"`` rules see one file at a time via :meth:`check`;
+    #: ``"tree"`` rules see every module's concurrency summary at once via
+    #: :meth:`check_tree` (after all files are parsed, so ``--jobs`` workers
+    #: can summarize in parallel and the parent merges).
+    scope: str = "module"
 
     def check(self, module: LintModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def check_tree(self, summaries: "list[ModuleConcurrency]") -> Iterator[Violation]:
         raise NotImplementedError
 
     def violation(self, module: LintModule, node: ast.AST, message: str) -> Violation:
@@ -674,6 +691,57 @@ class MonotonicInstrumentationRule(Rule):
                     )
 
 
+class LockGuardRule(Rule):
+    """R009: accesses to inferred lock-guarded attributes must hold the lock.
+
+    The inference lives in :mod:`repro.analysis.concurrency`: an attribute
+    ``self._x`` written under ``with self._lock:`` (outside ``__init__``)
+    is guarded, and every other touch of it must hold the same lock —
+    lexically, or by being a private helper only called from lock-holding
+    sites.  Intentional lock-free fast paths carry a justified
+    ``# repolint: disable=R009``.
+    """
+
+    code = "R009"
+    name = "lock-guard-discipline"
+    summary = (
+        "private attributes written under a lock must always be accessed "
+        "under that lock; unguarded touches race with concurrent maintenance"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        from repro.analysis.concurrency import module_concurrency
+
+        yield from module_concurrency(module).guard_violations
+
+
+class LockOrderRule(Rule):
+    """R010: the tree-wide lock-order graph must be acyclic.
+
+    Every nested ``with`` and every cross-class call made while holding a
+    lock contributes an edge; a cycle means two threads can take the same
+    locks in opposite orders and deadlock.  Runs as a tree rule over every
+    module's :class:`~repro.analysis.concurrency.ModuleConcurrency`
+    summary so ``--jobs`` workers stay file-parallel.
+    """
+
+    code = "R010"
+    name = "lock-order"
+    scope = "tree"
+    summary = (
+        "locks must be acquired in one global order; inconsistent nesting "
+        "across the tree (or re-acquiring a plain Lock) can deadlock"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        return iter(())
+
+    def check_tree(self, summaries: "list[ModuleConcurrency]") -> Iterator[Violation]:
+        from repro.analysis.concurrency import lock_order_violations
+
+        yield from lock_order_violations(summaries)
+
+
 #: All rules, in code order. The linter instantiates from this registry.
 ALL_RULES: tuple[type[Rule], ...] = (
     RngDisciplineRule,
@@ -684,6 +752,8 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoBareScanCardinalityRule,
     AtomicCatalogWriteRule,
     MonotonicInstrumentationRule,
+    LockGuardRule,
+    LockOrderRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,197 @@
+"""SARIF 2.1.0 emission for repolint findings.
+
+``repro lint --format sarif`` renders the violation list as a Static
+Analysis Results Interchange Format document so GitHub code scanning (via
+``github/codeql-action/upload-sarif``) and SARIF-aware editors can
+annotate the offending lines.  The emitter covers the core of the spec:
+one run, one tool driver with per-rule metadata, one result per finding
+with a physical location.  :func:`validate_sarif` is a structural checker
+for the subset we emit — the tests run every generated document through
+it, and it doubles as an executable reading of the spec's MUST clauses
+(§3.13-3.28) without needing a JSON-Schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.diagnostics import Severity, Violation
+from repro.analysis.rules import ALL_RULES, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+TOOL_NAME = "repolint"
+TOOL_INFORMATION_URI = "https://github.com/ioannidis-poosala-repro"
+
+#: repolint severity -> SARIF result level (§3.27.10).
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _relative_uri(path: str, base: Optional[Path]) -> str:
+    """Render *path* as a forward-slash URI, relative to *base* if under it."""
+    candidate = Path(path)
+    if base is not None:
+        try:
+            candidate = candidate.resolve().relative_to(base.resolve())
+        except (ValueError, OSError):
+            pass
+    return candidate.as_posix()
+
+
+def _rule_descriptor(rule: type[Rule]) -> dict[str, object]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary or rule.name},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    *,
+    rules: Iterable[type[Rule]] = ALL_RULES,
+    base_dir: Optional[Path | str] = None,
+) -> dict[str, object]:
+    """Build a SARIF 2.1.0 document (as a plain dict) from *violations*.
+
+    Every registered rule is described in the driver metadata even when it
+    produced no findings, so rule indices stay stable across runs and
+    dashboards can distinguish "clean" from "not checked".  Paths are
+    emitted relative to *base_dir* (default: the current directory) so the
+    artifact URIs match the repository layout code scanning expects.
+    """
+    base = Path.cwd() if base_dir is None else Path(base_dir)
+    rule_list = list(rules)
+    rule_index = {rule.code: index for index, rule in enumerate(rule_list)}
+    results: list[dict[str, object]] = []
+    for violation in sorted(violations):
+        result: dict[str, object] = {
+            "ruleId": violation.rule,
+            "level": _LEVELS[violation.severity],
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(violation.path, base),
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            # repolint columns are 0-based; SARIF is 1-based.
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.rule in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_INFORMATION_URI,
+                        "rules": [_rule_descriptor(rule) for rule in rule_list],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    violations: Sequence[Violation],
+    *,
+    rules: Iterable[type[Rule]] = ALL_RULES,
+    base_dir: Optional[Path | str] = None,
+) -> str:
+    """The SARIF document serialized with a trailing newline."""
+    document = to_sarif(violations, rules=rules, base_dir=base_dir)
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+class SarifValidationError(ValueError):
+    """The document violates a SARIF 2.1.0 structural requirement."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SarifValidationError(message)
+
+
+def validate_sarif(document: object) -> None:
+    """Check the SARIF 2.1.0 structural constraints the emitter relies on.
+
+    Raises :class:`SarifValidationError` naming the first failed clause.
+    This is not a full JSON-Schema validation — it enforces the MUST
+    requirements for the subset of the format we produce: top-level
+    version/runs, driver name, rule descriptors with stable ids, and for
+    each result a ruleId, level, message text, and 1-based region.
+    """
+    _require(isinstance(document, dict), "document must be a JSON object")
+    assert isinstance(document, dict)
+    _require(document.get("version") == SARIF_VERSION, "version must be '2.1.0'")
+    runs = document.get("runs")
+    _require(isinstance(runs, list) and len(runs) >= 1, "runs must be a non-empty array")
+    for run in runs:  # type: ignore[union-attr]
+        _require(isinstance(run, dict), "each run must be an object")
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        _require(isinstance(driver, dict), "run.tool.driver is required")
+        _require(
+            isinstance(driver.get("name"), str) and bool(driver["name"]),
+            "driver.name must be a non-empty string",
+        )
+        rule_ids = set()
+        for rule in driver.get("rules", []):
+            _require(isinstance(rule, dict), "each rule descriptor must be an object")
+            _require(isinstance(rule.get("id"), str), "rule.id must be a string")
+            _require(rule["id"] not in rule_ids, f"duplicate rule id {rule['id']!r}")
+            rule_ids.add(rule["id"])
+        results = run.get("results", [])
+        _require(isinstance(results, list), "run.results must be an array")
+        for result in results:
+            _require(isinstance(result, dict), "each result must be an object")
+            _require(isinstance(result.get("ruleId"), str), "result.ruleId is required")
+            _require(
+                result.get("level") in {"none", "note", "warning", "error"},
+                "result.level must be a SARIF level",
+            )
+            message = result.get("message")
+            _require(
+                isinstance(message, dict) and isinstance(message.get("text"), str),
+                "result.message.text is required",
+            )
+            if "ruleIndex" in result:
+                index = result["ruleIndex"]
+                rules_array = driver.get("rules", [])
+                _require(
+                    isinstance(index, int)
+                    and 0 <= index < len(rules_array)
+                    and rules_array[index].get("id") == result["ruleId"],
+                    "result.ruleIndex must point at the descriptor for ruleId",
+                )
+            for location in result.get("locations", []):
+                physical = location.get("physicalLocation", {})
+                artifact = physical.get("artifactLocation", {})
+                uri = artifact.get("uri")
+                _require(isinstance(uri, str) and bool(uri), "artifactLocation.uri required")
+                _require(not uri.startswith("/"), "artifact uri must be relative")
+                _require("\\" not in uri, "artifact uri must use forward slashes")
+                region = physical.get("region", {})
+                for key in ("startLine", "startColumn"):
+                    if key in region:
+                        _require(
+                            isinstance(region[key], int) and region[key] >= 1,
+                            f"region.{key} must be a positive integer",
+                        )

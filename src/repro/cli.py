@@ -401,11 +401,13 @@ def _cmd_lint(args) -> int:
     from repro.analysis.linter import (
         LintConfig,
         LintError,
+        discover_changed_files,
         exit_code,
         lint_paths,
         parse_rule_selection,
     )
     from repro.analysis.rules import ALL_RULES
+    from repro.analysis.sarif import to_sarif_json
 
     if args.list_rules:
         for rule in ALL_RULES:
@@ -416,12 +418,24 @@ def _cmd_lint(args) -> int:
         print("repro lint: no lintable paths found", file=sys.stderr)
         return 2
     try:
+        if args.changed is not False:
+            base = args.changed if args.changed is not None else "HEAD"
+            paths = discover_changed_files(base, roots=paths)
+            if not paths:
+                if args.format == "text":
+                    print("repolint: clean (no changed files)")
+                else:
+                    print(to_sarif_json([]), end="")
+                return 0
         config = LintConfig(select=parse_rule_selection(args.rules))
-        violations = lint_paths(paths, config)
+        violations = lint_paths(paths, config, jobs=args.jobs)
     except LintError as error:
         print(f"repro lint: {error}", file=sys.stderr)
         return 2
-    print(format_report(violations))
+    if args.format == "sarif":
+        print(to_sarif_json(violations), end="")
+    else:
+        print(format_report(violations))
     return exit_code(violations, strict=args.strict)
 
 
@@ -624,6 +638,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print every rule with its severity and summary, then exit",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="report format: human-readable text (default) or SARIF 2.1.0 "
+        "for GitHub code scanning",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files with N worker processes (tree-wide rules such as "
+        "R010 still merge in the parent)",
+    )
+    p.add_argument(
+        "--changed",
+        nargs="?",
+        const=None,
+        default=False,
+        metavar="BASE",
+        help="lint only files differing from git merge-base with BASE "
+        "(default HEAD: staged, unstaged, and untracked files)",
     )
     p.set_defaults(func=_cmd_lint)
 

@@ -21,13 +21,23 @@ assertions never race against another test's leftover counters.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Any, Optional
 
 from repro.obs.registry import Event, MetricRegistry
 
 _state_lock = threading.Lock()
 _registry = MetricRegistry()
 _enabled = True
+
+#: Memoized instrument handles, keyed by (kind, name, canonical labels).
+#: Resolving a child through :class:`MetricRegistry` costs a name-regex
+#: match, a label sort, and the registry lock on every call — measurable
+#: on hot paths like span finish (two lookups per span).  The cache turns
+#: the steady state into one dict probe.  It is invalidated whenever the
+#: default registry changes and capped so unbounded label cardinality
+#: cannot leak memory (past the cap, calls fall back to direct lookup).
+_handles: dict[tuple, Any] = {}
+_MAX_CACHED_HANDLES = 4096
 
 
 def get_registry() -> MetricRegistry:
@@ -45,6 +55,7 @@ def set_registry(registry: MetricRegistry) -> MetricRegistry:
     with _state_lock:
         previous = _registry
         _registry = registry
+        _handles.clear()
     return previous
 
 
@@ -57,7 +68,38 @@ def reset(*, max_events: Optional[int] = None) -> MetricRegistry:
         else:
             _registry = MetricRegistry(max_events=max_events)
         _enabled = True
+        _handles.clear()
         return _registry
+
+
+def _handle(kind: str, name: str, labels: dict[str, object]) -> Any:
+    """The cached instrument for (*kind*, *name*, *labels*).
+
+    The fast path is a single read of an immutable dict entry (atomic in
+    CPython, so no lock).  A miss resolves through the registry and
+    publishes the handle under the state lock; a registry swap between
+    the read and the publish at worst caches a handle one call used —
+    the next call re-resolves because the cache was cleared.
+    """
+    key = (
+        kind,
+        name,
+        tuple(sorted((label, str(value)) for label, value in labels.items())),
+    )
+    handle = _handles.get(key)
+    if handle is not None:
+        return handle
+    registry = _registry
+    if kind == "counter":
+        handle = registry.counter(name, **labels)
+    elif kind == "gauge":
+        handle = registry.gauge(name, **labels)
+    else:
+        handle = registry.histogram(name, **labels)
+    with _state_lock:
+        if registry is _registry and len(_handles) < _MAX_CACHED_HANDLES:
+            _handles[key] = handle
+    return handle
 
 
 def is_enabled() -> bool:
@@ -90,7 +132,7 @@ def count(name: str, amount: float = 1.0, **labels: object) -> None:
     if not _enabled:
         return
     try:
-        _registry.counter(name, **labels).inc(amount)
+        _handle("counter", name, labels).inc(amount)
     except Exception:
         _note_internal_error()
 
@@ -100,7 +142,7 @@ def observe(name: str, value: float, **labels: object) -> None:
     if not _enabled:
         return
     try:
-        _registry.histogram(name, **labels).observe(value)
+        _handle("histogram", name, labels).observe(value)
     except Exception:
         _note_internal_error()
 
@@ -110,7 +152,7 @@ def set_gauge(name: str, value: float, **labels: object) -> None:
     if not _enabled:
         return
     try:
-        _registry.gauge(name, **labels).set(value)
+        _handle("gauge", name, labels).set(value)
     except Exception:
         _note_internal_error()
 

@@ -36,6 +36,11 @@ PROBE_KINDS: tuple[str, ...] = (
 )
 
 
+#: Probe kind → counter attribute, precomputed so the per-batch hot path
+#: does one dict probe instead of building two f-strings per call.
+_PROBE_KIND_ATTRS: dict[str, str] = {kind: f"{kind}_probes" for kind in PROBE_KINDS}
+
+
 def latency_bucket_labels() -> tuple[str, ...]:
     """Human-readable labels for the latency histogram buckets."""
     labels = [f"<={bound:g}s" for bound in LATENCY_BUCKET_BOUNDS]
@@ -132,10 +137,11 @@ class ServiceMetrics:
 
     def record_probes(self, kind: str, count: int) -> None:
         """Count *count* answered probes of *kind* (see ``PROBE_KINDS``)."""
-        if kind not in PROBE_KINDS:
+        attr = _PROBE_KIND_ATTRS.get(kind)
+        if attr is None:
             raise ValueError(f"unknown probe kind {kind!r}; expected one of {PROBE_KINDS}")
         with self._lock:
-            setattr(self, f"{kind}_probes", getattr(self, f"{kind}_probes") + count)
+            setattr(self, attr, getattr(self, attr) + count)
             self.probes_served += count
 
     def record_fallback(self, count: int = 1) -> None:
@@ -213,6 +219,8 @@ class ServiceMetrics:
                     setattr(copy, name, dict(value))
                 elif isinstance(value, list):
                     setattr(copy, name, list(value))
+                elif isinstance(value, set):
+                    setattr(copy, name, set(value))
                 else:
                     setattr(copy, name, value)
         return copy

@@ -434,7 +434,10 @@ class EstimationService:
                 return False
 
     def _is_quarantined(self, relation: str, attribute: Optional[str]) -> bool:
-        if not self._quarantined:
+        # Lock-free emptiness probe: quarantine is rare, and a stale read
+        # only delays (or briefly extends) quarantine by one request — the
+        # authoritative check below retakes the lock before answering.
+        if not self._quarantined:  # repolint: disable=R009
             return False
         with self._lock:
             return (

@@ -7,6 +7,12 @@ framework the chaos suite drives: named injection points are compiled into
 the durable-IO, journal, and table-compile paths, and a
 :class:`~repro.testing.faults.FaultInjector` arms them deterministically —
 either at an exact call count or from a seeded random schedule.
+
+It also hosts the runtime lock sanitizer (:mod:`repro.testing.locksan`):
+set ``REPRO_LOCKSAN=1`` and the test session wraps every newly created
+``threading.Lock``/``RLock`` to detect lock-order inversions,
+self-deadlocks, and contention hot spots while the threaded stress and
+chaos suites run.
 """
 
 from __future__ import annotations
@@ -20,13 +26,21 @@ from repro.testing.faults import (
     register_injection_point,
     registered_points,
 )
+from repro.testing.locksan import (
+    LOCKSAN_ENV,
+    LockSanFinding,
+    locksan_requested,
+)
 
 __all__ = [
     "FaultContext",
     "FaultInjector",
     "InjectedCrash",
     "InjectedFault",
+    "LOCKSAN_ENV",
+    "LockSanFinding",
     "fault_point",
+    "locksan_requested",
     "register_injection_point",
     "registered_points",
 ]

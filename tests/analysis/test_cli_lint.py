@@ -81,3 +81,53 @@ class TestErrorHandling:
         out = capsys.readouterr().out
         for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
             assert code in out
+
+
+class TestJobsAndChanged:
+    def test_jobs_flag_matches_serial_output(self, tmp_path, capsys):
+        for name in ("a", "b", "c"):
+            (tmp_path / f"{name}.py").write_text("import random\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        serial = capsys.readouterr().out
+        assert main(["lint", "--jobs", "2", str(tmp_path)]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_changed_lints_only_dirty_files(self, tmp_path, capsys, monkeypatch):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.name=t", "-c", "user.email=t@example.com", *argv],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        (tmp_path / "clean.py").write_text("import random\n")  # committed R001
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        (tmp_path / "dirty.py").write_text("import random\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(tmp_path), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py" in out and "clean.py" not in out
+
+    def test_changed_with_nothing_dirty_is_clean(self, tmp_path, capsys, monkeypatch):
+        import subprocess
+
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@example.com",
+             "add", "."],
+            cwd=tmp_path, check=True,
+        )
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@example.com",
+             "commit", "-q", "-m", "seed"],
+            cwd=tmp_path, check=True,
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(tmp_path), "--changed"]) == 0
+        assert "no changed files" in capsys.readouterr().out

@@ -1,0 +1,316 @@
+"""Tests for the concurrency-discipline pass: R009 guard inference and
+R010 lock-order analysis, plus the :func:`analyze_source` summaries the
+tree pass is built from.
+
+The acceptance fixtures live here: a seeded unguarded shared write and a
+seeded lock-order inversion, each of which the static pass must catch
+(the runtime half is exercised in ``tests/testing/test_locksan.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.concurrency import analyze_source, lock_order_violations
+from repro.analysis.linter import LintConfig, lint_source
+
+R009 = LintConfig(select=frozenset({"R009"}))
+R010 = LintConfig(select=frozenset({"R010"}))
+
+UNGUARDED = """\
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, n):
+        with self._lock:
+            self._total += n
+
+    def peek(self):
+        return self._total
+
+    def reset(self):
+        self._total = 0
+"""
+
+INVERSION = """\
+import threading
+
+
+class Ledger:
+    def __init__(self, peer: "Mirror"):
+        self._lock = threading.Lock()
+        self._peer = peer
+
+    def forward(self):
+        with self._lock:
+            self._peer.locked()
+
+    def locked(self):
+        with self._lock:
+            pass
+
+
+class Mirror:
+    def __init__(self, peer: "Ledger"):
+        self._lock = threading.Lock()
+        self._peer = peer
+
+    def forward(self):
+        with self._lock:
+            self._peer.locked()
+
+    def locked(self):
+        with self._lock:
+            pass
+"""
+
+
+class TestGuardInference:
+    def test_seeded_unguarded_read_and_write_are_caught(self):
+        violations = lint_source(UNGUARDED, "fixture.py", R009)
+        assert [v.rule for v in violations] == ["R009", "R009"]
+        lines = {v.line for v in violations}
+        assert lines == {14, 17}  # peek's read and reset's write
+        assert all("_total" in v.message for v in violations)
+
+    def test_fully_guarded_class_is_clean(self):
+        src = UNGUARDED.replace(
+            "    def peek(self):\n        return self._total\n",
+            "    def peek(self):\n        with self._lock:\n            return self._total\n",
+        ).replace(
+            "    def reset(self):\n        self._total = 0\n",
+            "    def reset(self):\n        with self._lock:\n            self._total = 0\n",
+        )
+        assert lint_source(src, "fixture.py", R009) == []
+
+    def test_constructor_writes_do_not_need_the_lock(self):
+        # __init__ writes _total bare in every fixture above; only the
+        # post-construction accesses produce findings.
+        violations = lint_source(UNGUARDED, "fixture.py", R009)
+        assert all(v.line > 7 for v in violations)
+
+    def test_no_guard_without_a_locked_write(self):
+        src = (
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self._x = 0\n"
+            "    def bump(self):\n"
+            "        self._x += 1\n"
+            "    def peek(self):\n"
+            "        return self._x\n"
+        )
+        assert lint_source(src, "fixture.py", R009) == []
+
+    def test_private_method_inherits_callers_lock(self):
+        src = (
+            "import threading\n"
+            "class Catalog:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = {}\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._items[k] = v\n"
+            "    def drop(self, k):\n"
+            "        with self._lock:\n"
+            "            self._discard(k)\n"
+            "    def _discard(self, k):\n"
+            "        self._items.pop(k, None)\n"
+        )
+        assert lint_source(src, "fixture.py", R009) == []
+
+    def test_public_method_inherits_nothing(self):
+        # Same shape, but the helper is public: any caller may enter it
+        # bare, so its mutating access is a violation.
+        src = (
+            "import threading\n"
+            "class Catalog:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = {}\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._items[k] = v\n"
+            "    def drop(self, k):\n"
+            "        with self._lock:\n"
+            "            self.discard(k)\n"
+            "    def discard(self, k):\n"
+            "        self._items.pop(k, None)\n"
+        )
+        violations = lint_source(src, "fixture.py", R009)
+        assert [v.line for v in violations] == [13]
+
+    def test_mutating_method_call_counts_as_write(self):
+        src = (
+            "import threading\n"
+            "class Journal:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._entries = []\n"
+            "    def append(self, e):\n"
+            "        with self._lock:\n"
+            "            self._entries.append(e)\n"
+            "    def drain(self):\n"
+            "        self._entries.clear()\n"
+        )
+        violations = lint_source(src, "fixture.py", R009)
+        assert [v.line for v in violations] == [10]
+        assert "written" in violations[0].message
+
+    def test_line_suppression(self):
+        src = UNGUARDED.replace(
+            "        return self._total",
+            "        return self._total  # repolint: disable=R009",
+        )
+        violations = lint_source(src, "fixture.py", R009)
+        assert [v.line for v in violations] == [17]  # only reset's write left
+
+
+class TestLockOrder:
+    def test_seeded_inversion_is_caught_at_both_edges(self):
+        violations = lint_source(INVERSION, "fixture.py", R010)
+        assert {v.rule for v in violations} == {"R010"}
+        assert len(violations) == 2
+        assert all("order" in v.message.lower() for v in violations)
+
+    def test_consistent_order_is_clean(self):
+        # Drop Mirror.forward: only Ledger -> Mirror remains.
+        src = INVERSION.replace(
+            "    def forward(self):\n"
+            "        with self._lock:\n"
+            "            self._peer.locked()\n"
+            "\n"
+            "    def locked(self):\n"
+            "        with self._lock:\n"
+            "            pass\n",
+            "    def locked(self):\n"
+            "        with self._lock:\n"
+            "            pass\n",
+            1,
+        )
+        # The replace above rewrote Ledger; rebuild with Mirror neutered
+        # instead so one direction survives.
+        src = INVERSION.replace(
+            "class Mirror:",
+            "class MirrorBase:",
+        ).replace(
+            'def __init__(self, peer: "Ledger"):',
+            "def __init__(self, peer):",
+        )
+        assert lint_source(src, "fixture.py", R010) == []
+
+    def test_self_deadlock_on_nonreentrant_lock(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            self.inner()\n"
+            "    def inner(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+        )
+        violations = lint_source(src, "fixture.py", R010)
+        assert len(violations) == 1
+        assert "deadlock" in violations[0].message.lower()
+
+    def test_rlock_reentry_is_clean(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            self.inner()\n"
+            "    def inner(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+        )
+        assert lint_source(src, "fixture.py", R010) == []
+
+    def test_module_level_lock_inversion(self):
+        src = (
+            "import threading\n"
+            "lock_a = threading.Lock()\n"
+            "lock_b = threading.Lock()\n"
+            "def one():\n"
+            "    with lock_a:\n"
+            "        with lock_b:\n"
+            "            pass\n"
+            "def two():\n"
+            "    with lock_b:\n"
+            "        with lock_a:\n"
+            "            pass\n"
+        )
+        violations = lint_source(src, "fixture.py", R010)
+        assert len(violations) == 2
+
+    def test_cross_module_inversion(self):
+        # Split the two-class fixture across modules: each module alone
+        # sees only an unresolved call to a foreign class (no edge), and
+        # the cycle appears only in the merged tree graph — exactly what
+        # the tree-scoped pass exists for.
+        header, mirror_half = INVERSION.split("class Mirror:")
+        ledger_src = header
+        mirror_src = "import threading\n\n\nclass Mirror:" + mirror_half
+        s1 = analyze_source(ast.parse(ledger_src), "ledger.py")
+        s2 = analyze_source(ast.parse(mirror_src), "mirror.py")
+        assert lock_order_violations([s1]) == []
+        assert lock_order_violations([s2]) == []
+        violations = lock_order_violations([s1, s2])
+        assert len(violations) == 2
+        assert {v.path for v in violations} == {"ledger.py", "mirror.py"}
+
+
+class TestAnalyzeSource:
+    def test_class_summary_records_locks_and_acquisitions(self):
+        summary = analyze_source(ast.parse(UNGUARDED), "fixture.py")
+        counter = summary.classes["Counter"]
+        assert counter.locks == {"_lock": False}
+        assert "Counter._lock" in counter.method_acquires["add"]
+
+    def test_rlock_marked_reentrant(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+        )
+        summary = analyze_source(ast.parse(src), "fixture.py")
+        assert summary.classes["C"].locks == {"_lock": True}
+
+    def test_dataclass_field_lock_detected(self):
+        src = (
+            "import threading\n"
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class D:\n"
+            "    _lock: threading.Lock = field(default_factory=threading.Lock)\n"
+        )
+        summary = analyze_source(ast.parse(src), "fixture.py")
+        assert summary.classes["D"].locks == {"_lock": False}
+
+    def test_module_locks_collected(self):
+        src = (
+            "import threading\n"
+            "_guard = threading.Lock()\n"
+            "_reent = threading.RLock()\n"
+        )
+        summary = analyze_source(ast.parse(src), "fixture.py")
+        assert summary.module_locks == {"_guard": False, "_reent": True}
+
+    def test_seeded_fixtures_produce_edges(self):
+        summary = analyze_source(ast.parse(INVERSION), "fixture.py")
+        assert summary.pending_calls  # cross-class calls await tree merge
+        assert {c.callee_class for c in summary.pending_calls} == {
+            "Ledger",
+            "Mirror",
+        }

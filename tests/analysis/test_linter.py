@@ -6,6 +6,7 @@ lint clean under ``--strict``, which is what CI enforces.
 
 from __future__ import annotations
 
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -15,6 +16,7 @@ from repro.analysis.linter import (
     LintConfig,
     LintError,
     build_module,
+    discover_changed_files,
     discover_files,
     exit_code,
     lint_paths,
@@ -126,3 +128,104 @@ class TestExitCodeAndReport:
 
     def test_clean_report(self):
         assert "clean" in format_report([])
+
+
+class TestParallelLint:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\n")
+        (tmp_path / "b.py").write_text(
+            "import numpy as np\nr = np.random.default_rng()\n"
+        )
+        (tmp_path / "c.py").write_text(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._x = 0\n"
+            "    def add(self):\n"
+            "        with self._lock:\n"
+            "            self._x += 1\n"
+            "    def peek(self):\n"
+            "        return self._x\n"
+        )
+        return tmp_path
+
+    def test_jobs_match_serial_results(self, tree):
+        serial = lint_paths([tree], jobs=1)
+        parallel = lint_paths([tree], jobs=2)
+        assert parallel == serial
+        assert {v.rule for v in serial} >= {"R001", "R009"}
+
+    def test_suppressions_survive_the_pool(self, tree):
+        (tree / "c.py").write_text(
+            (tree / "c.py").read_text().replace(
+                "        return self._x",
+                "        return self._x  # repolint: disable=R009",
+            )
+        )
+        parallel = lint_paths([tree], jobs=2)
+        assert "R009" not in {v.rule for v in parallel}
+
+
+class TestChangedFiles:
+    @pytest.fixture
+    def repo(self, tmp_path, monkeypatch):
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.name=t", "-c", "user.email=t@example.com", *argv],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        (tmp_path / "committed.py").write_text("x = 1\n")
+        (tmp_path / "untouched.py").write_text("y = 2\n")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        git("branch", "-m", "main")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_untracked_and_modified_files_are_found(self, repo):
+        (repo / "fresh.py").write_text("import random\n")
+        (repo / "committed.py").write_text("x = 2\n")
+        changed = discover_changed_files()
+        assert {p.name for p in changed} == {"fresh.py", "committed.py"}
+
+    def test_clean_tree_yields_nothing(self, repo):
+        assert discover_changed_files() == []
+
+    def test_non_python_and_deleted_files_are_skipped(self, repo):
+        (repo / "notes.txt").write_text("prose\n")
+        (repo / "committed.py").unlink()
+        assert discover_changed_files() == []
+
+    def test_roots_filter(self, repo):
+        (repo / "pkg").mkdir()
+        (repo / "pkg" / "inside.py").write_text("a = 1\n")
+        (repo / "outside.py").write_text("b = 2\n")
+        changed = discover_changed_files(roots=[repo / "pkg"])
+        assert {p.name for p in changed} == {"inside.py"}
+
+    def test_branch_base_sees_committed_work(self, repo):
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.name=t", "-c", "user.email=t@example.com", *argv],
+                cwd=repo,
+                check=True,
+                capture_output=True,
+            )
+
+        git("checkout", "-q", "-b", "feature")
+        (repo / "committed.py").write_text("x = 3\n")
+        git("add", ".")
+        git("commit", "-q", "-m", "change")
+        assert discover_changed_files() == []  # working tree is clean
+        changed = discover_changed_files(base="main")
+        assert {p.name for p in changed} == {"committed.py"}
+
+    def test_missing_base_raises_lint_error(self, repo):
+        with pytest.raises(LintError, match="git"):
+            discover_changed_files(base="no-such-ref")

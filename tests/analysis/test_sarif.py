@@ -1,0 +1,162 @@
+"""Tests for the SARIF 2.1.0 emitter and its structural validator."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import Severity, Violation
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    TOOL_NAME,
+    SarifValidationError,
+    to_sarif,
+    to_sarif_json,
+    validate_sarif,
+)
+from repro.cli import main
+
+
+def _violation(**overrides) -> Violation:
+    base = dict(
+        path="src/repro/core/serial.py",
+        line=12,
+        col=4,
+        rule="R001",
+        message="unseeded RNG",
+        severity=Severity.ERROR,
+    )
+    base.update(overrides)
+    return Violation(**base)
+
+
+class TestEmitter:
+    def test_document_skeleton(self):
+        doc = to_sarif([_violation()])
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == SARIF_VERSION
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == [rule.code for rule in ALL_RULES]
+        assert "R009" in rule_ids and "R010" in rule_ids
+
+    def test_result_fields_and_one_based_region(self):
+        doc = to_sarif([_violation(line=12, col=4)])
+        result = doc["runs"][0]["results"][0]
+        assert result["ruleId"] == "R001"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "unseeded RNG"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        # Violations carry 0-based columns; SARIF regions are 1-based.
+        assert region["startLine"] == 12
+        assert region["startColumn"] == 5
+
+    def test_warning_level_mapping(self):
+        doc = to_sarif([_violation(rule="R005", severity=Severity.WARNING)])
+        assert doc["runs"][0]["results"][0]["level"] == "warning"
+
+    def test_rule_index_points_into_driver_rules(self):
+        doc = to_sarif([_violation(rule="R010")])
+        run = doc["runs"][0]
+        result = run["results"][0]
+        indexed = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert indexed["id"] == "R010"
+
+    def test_uris_are_relative_posix(self, tmp_path):
+        absolute = tmp_path / "pkg" / "mod.py"
+        doc = to_sarif([_violation(path=str(absolute))], base_dir=tmp_path)
+        uri = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "pkg/mod.py"
+
+    def test_json_round_trip_validates(self):
+        text = to_sarif_json([_violation(), _violation(rule="R009", line=30)])
+        validate_sarif(json.loads(text))
+
+    def test_empty_run_validates(self):
+        doc = to_sarif([])
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestValidator:
+    def _valid(self) -> dict:
+        return to_sarif([_violation()])
+
+    def test_rejects_wrong_version(self):
+        doc = self._valid()
+        doc["version"] = "2.0.0"
+        with pytest.raises(SarifValidationError):
+            validate_sarif(doc)
+
+    def test_rejects_missing_message_text(self):
+        doc = self._valid()
+        del doc["runs"][0]["results"][0]["message"]["text"]
+        with pytest.raises(SarifValidationError):
+            validate_sarif(doc)
+
+    def test_rejects_inconsistent_rule_index(self):
+        doc = self._valid()
+        doc["runs"][0]["results"][0]["ruleIndex"] = 3  # points at R004
+        with pytest.raises(SarifValidationError):
+            validate_sarif(doc)
+
+    def test_rejects_absolute_uri(self):
+        doc = self._valid()
+        location = doc["runs"][0]["results"][0]["locations"][0]
+        location["physicalLocation"]["artifactLocation"]["uri"] = "/abs/mod.py"
+        with pytest.raises(SarifValidationError):
+            validate_sarif(doc)
+
+    def test_rejects_zero_based_region(self):
+        doc = self._valid()
+        region = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+            "region"
+        ]
+        region["startColumn"] = 0
+        with pytest.raises(SarifValidationError):
+            validate_sarif(doc)
+
+    def test_rejects_non_document(self):
+        with pytest.raises(SarifValidationError):
+            validate_sarif(["not", "a", "sarif", "log"])
+
+
+class TestCli:
+    def test_lint_format_sarif_emits_valid_document(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Run from the directory being linted, as CI does from the repo
+        # root: artifact URIs then come out repository-relative.
+        planted = tmp_path / "planted.py"
+        planted.write_text(
+            "# repolint: hot-path\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--format", "sarif", "planted.py"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_sarif(doc)
+        results = doc["runs"][0]["results"]
+        assert "R001" in {r["ruleId"] for r in results}
+        uris = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in results
+        }
+        assert uris == {"planted.py"}
+
+    def test_clean_tree_emits_empty_results(self, tmp_path, capsys, monkeypatch):
+        clean = tmp_path / "clean.py"
+        clean.write_text("from __future__ import annotations\nx = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--format", "sarif", "clean.py"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"] == []

@@ -1,0 +1,196 @@
+"""Edge cases for ``# repolint: disable=`` suppression comments.
+
+Covers file-level vs line-level scope, unknown rule codes, multi-line
+statements (where the trailing comment lands on a later physical line
+than the violation anchor), and interaction with the concurrency rules.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.linter import LintConfig, lint_source
+
+R001 = LintConfig(select=frozenset({"R001"}))
+R009 = LintConfig(select=frozenset({"R009"}))
+R010 = LintConfig(select=frozenset({"R010"}))
+
+RNG = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+class TestFileLevel:
+    def test_disable_file_suppresses_everywhere(self):
+        src = (
+            "# repolint: disable-file=R001\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng()\n"
+            "b = np.random.default_rng()\n"
+        )
+        assert lint_source(src, "x.py", R001) == []
+
+    def test_disable_file_leaves_other_rules_alone(self):
+        src = (
+            "# repolint: disable-file=R005\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng()\n"
+        )
+        violations = lint_source(src, "x.py", LintConfig())
+        assert "R001" in {v.rule for v in violations}
+        assert "R005" not in {v.rule for v in violations}
+
+    def test_disable_file_anywhere_in_file(self):
+        # The directive is file-scoped wherever it appears, so a
+        # violation *above* the comment is suppressed too.
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng()\n"
+            "# repolint: disable-file=R001\n"
+        )
+        assert lint_source(src, "x.py", R001) == []
+
+
+class TestLineLevel:
+    def test_only_the_commented_line_is_suppressed(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng()  # repolint: disable=R001\n"
+            "b = np.random.default_rng()\n"
+        )
+        violations = lint_source(src, "x.py", R001)
+        assert [v.line for v in violations] == [3]
+
+    def test_directive_on_its_own_line_does_not_leak(self):
+        # A bare comment line suppresses nothing above or below it.
+        src = (
+            "import numpy as np\n"
+            "# repolint: disable=R001\n"
+            "a = np.random.default_rng()\n"
+        )
+        violations = lint_source(src, "x.py", R001)
+        assert [v.line for v in violations] == [3]
+
+    def test_multiple_codes_on_one_line(self):
+        # The target code is honored wherever it sits in the comma list.
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng()  # repolint: disable=R005,R001\n"
+        )
+        assert lint_source(src, "x.py", R001) == []
+
+
+class TestUnknownCodes:
+    def test_unknown_code_is_harmless(self):
+        src = RNG.replace(
+            "rng = np.random.default_rng()",
+            "rng = np.random.default_rng()  # repolint: disable=R999",
+        )
+        violations = lint_source(src, "x.py", R001)
+        assert [v.rule for v in violations] == ["R001"]
+
+    def test_unknown_code_next_to_a_real_one_still_works(self):
+        src = RNG.replace(
+            "rng = np.random.default_rng()",
+            "rng = np.random.default_rng()  # repolint: disable=R999,R001",
+        )
+        assert lint_source(src, "x.py", R001) == []
+
+
+class TestMultiLineStatements:
+    def test_trailing_comment_on_wrapped_call(self):
+        # The violation anchors at the first line of the statement; the
+        # comment naturally lands on the closing-paren line.
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            ")  # repolint: disable=R001\n"
+        )
+        assert lint_source(src, "x.py", R001) == []
+
+    def test_comment_on_first_line_of_wrapped_call(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(  # repolint: disable=R001\n"
+            ")\n"
+        )
+        assert lint_source(src, "x.py", R001) == []
+
+    def test_span_does_not_swallow_the_next_statement(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng(\n"
+            ")  # repolint: disable=R001\n"
+            "b = np.random.default_rng()\n"
+        )
+        violations = lint_source(src, "x.py", R001)
+        assert [v.line for v in violations] == [4]
+
+    def test_compound_header_comment_does_not_leak_into_body(self):
+        # A disable on the `if` line must not suppress violations inside
+        # the block — only the header region is one statement span.
+        src = (
+            "import numpy as np\n"
+            "if True:  # repolint: disable=R001\n"
+            "    a = np.random.default_rng()\n"
+        )
+        violations = lint_source(src, "x.py", R001)
+        assert [v.line for v in violations] == [3]
+
+
+class TestConcurrencyRuleInteraction:
+    GUARDED = (
+        "import threading\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._total = 0\n"
+        "    def add(self, n):\n"
+        "        with self._lock:\n"
+        "            self._total += n\n"
+    )
+
+    def test_r009_multi_line_write_suppression(self):
+        src = self.GUARDED + (
+            "    def reset(self):\n"
+            "        self._total = (\n"
+            "            0\n"
+            "        )  # repolint: disable=R009\n"
+        )
+        assert lint_source(src, "x.py", R009) == []
+
+    def test_r009_file_level_suppression(self):
+        src = "# repolint: disable-file=R009\n" + self.GUARDED + (
+            "    def reset(self):\n"
+            "        self._total = 0\n"
+        )
+        assert lint_source(src, "x.py", R009) == []
+
+    def test_r010_file_level_suppression(self):
+        src = (
+            "# repolint: disable-file=R010\n"
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            self.inner()\n"
+            "    def inner(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+        )
+        assert lint_source(src, "x.py", R010) == []
+
+    def test_r010_line_level_suppression_at_the_violation_anchor(self):
+        # The self-deadlock anchors at the re-acquiring call site; a
+        # disable on that line silences it.
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            self.inner()  # repolint: disable=R010\n"
+            "    def inner(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+        )
+        assert lint_source(src, "x.py", R010) == []

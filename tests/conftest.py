@@ -7,6 +7,34 @@ import pytest
 
 from repro.core.frequency import AttributeDistribution
 from repro.data.zipf import zipf_frequencies
+from repro.testing import locksan
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_sanitizer():
+    """Arm the runtime lock sanitizer for the whole session.
+
+    Active only under ``REPRO_LOCKSAN=1`` (CI runs the threaded stress and
+    chaos suites this way).  Every ``threading.Lock``/``RLock`` created
+    during the session is wrapped; at teardown, any recorded lock-order
+    inversion or self-deadlock fails the run.  Advisory findings
+    (long holds, contention) are reported but do not fail.
+    """
+    if not locksan.locksan_requested():
+        yield
+        return
+    locksan.install()
+    locksan.reset()
+    try:
+        yield
+        fatal = locksan.fatal_findings()
+        if fatal:
+            raise RuntimeError(
+                "lock sanitizer recorded discipline violations:\n"
+                + locksan.format_findings(fatal)
+            )
+    finally:
+        locksan.uninstall()
 
 
 @pytest.fixture

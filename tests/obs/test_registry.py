@@ -239,3 +239,53 @@ class TestRuntimeHelpers:
         registry = MetricRegistry()
         registry.gauge("repro_inf").set(math.inf)
         assert "repro_inf +Inf" in registry.to_prometheus()
+
+
+class TestHandleCache:
+    def test_repeat_calls_reuse_one_child(self):
+        runtime.count("repro_cached_total", op="x")
+        cached = runtime._handles[
+            ("counter", "repro_cached_total", (("op", "x"),))
+        ]
+        runtime.count("repro_cached_total", op="x")
+        assert cached.value == 2.0
+        assert runtime.get_registry().counter("repro_cached_total", op="x") is cached
+
+    def test_label_order_shares_the_handle(self):
+        runtime.count("repro_cached_total", a="1", b="2")
+        runtime.count("repro_cached_total", b="2", a="1")
+        assert (
+            runtime.get_registry().counter("repro_cached_total", a="1", b="2").value
+            == 2.0
+        )
+        cache_keys = [k for k in runtime._handles if k[1] == "repro_cached_total"]
+        assert len(cache_keys) == 1
+
+    def test_registry_swap_invalidates_the_cache(self):
+        runtime.count("repro_cached_total")
+        assert runtime._handles
+        original = runtime.set_registry(MetricRegistry())
+        try:
+            assert runtime._handles == {}
+            runtime.count("repro_cached_total", 5)
+            assert (
+                runtime.get_registry().counter("repro_cached_total").value == 5.0
+            )
+        finally:
+            runtime.set_registry(original)
+
+    def test_cache_size_is_bounded(self):
+        runtime._handles.clear()
+        for index in range(3):
+            runtime.count("repro_cardinality_total", key=str(index))
+        assert len(runtime._handles) <= runtime._MAX_CACHED_HANDLES
+        # Past the cap, recording still works — it just skips the cache.
+        original_cap = runtime._MAX_CACHED_HANDLES
+        runtime._MAX_CACHED_HANDLES = 0
+        try:
+            runtime._handles.clear()
+            runtime.count("repro_uncached_total")
+            assert runtime._handles == {}
+            assert runtime.get_registry().counter("repro_uncached_total").value == 1.0
+        finally:
+            runtime._MAX_CACHED_HANDLES = original_cap

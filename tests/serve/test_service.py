@@ -376,6 +376,18 @@ class TestMetricsInvariants:
         assert before.probes_served == 0
         assert service.stats().probes_served == 1
 
+    def test_snapshot_copies_future_container_counters(self, service):
+        # The generic __dict__ copy must detach any container a later
+        # change adds — including sets (e.g. sanitizer-observed sites).
+        live = service.metrics
+        live.observed_sites = {"a"}  # type: ignore[attr-defined]
+        try:
+            frozen = live.snapshot()
+            live.observed_sites.add("b")
+            assert frozen.observed_sites == {"a"}
+        finally:
+            del live.observed_sites
+
 
 class TestFaultIsolatedBatches:
     def test_mixed_known_unknown_relation_batch(self, service):

@@ -1,0 +1,1 @@
+"""Tests for the deterministic test-instrumentation package."""

@@ -1,0 +1,208 @@
+"""Tests for the runtime lock sanitizer.
+
+The acceptance fixtures: a seeded lock-order inversion and a seeded
+self-deadlock, both of which the sanitizer must catch dynamically (the
+static halves live in ``tests/analysis/test_concurrency.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import runtime
+from repro.testing import locksan
+
+
+@pytest.fixture
+def sanitizer(monkeypatch):
+    """Install the sanitizer for one test and leave no trace behind.
+
+    Findings are cleared at teardown so a fatal finding seeded here can
+    never leak into the session-level ``REPRO_LOCKSAN=1`` gate.
+    """
+    monkeypatch.setenv(locksan.LOCKSAN_ENV, "1")
+    locksan.install()
+    locksan.reset()
+    try:
+        yield locksan
+    finally:
+        locksan.reset()
+        locksan.uninstall()
+
+
+class TestInstallation:
+    def test_install_wraps_and_uninstall_restores(self):
+        before = threading.Lock
+        locksan.install()
+        try:
+            assert threading.Lock is not before
+            assert isinstance(threading.Lock(), locksan._SanitizedLock)
+        finally:
+            locksan.uninstall()
+        assert threading.Lock is before
+
+    def test_install_is_refcounted(self):
+        before = threading.Lock
+        locksan.install()
+        locksan.install()
+        locksan.uninstall()
+        try:
+            assert threading.Lock is not before  # one install still active
+        finally:
+            locksan.uninstall()
+        assert threading.Lock is before
+
+    def test_locksan_requested_reads_env(self, monkeypatch):
+        monkeypatch.delenv(locksan.LOCKSAN_ENV, raising=False)
+        assert not locksan.locksan_requested()
+        monkeypatch.setenv(locksan.LOCKSAN_ENV, "1")
+        assert locksan.locksan_requested()
+        monkeypatch.setenv(locksan.LOCKSAN_ENV, "0")
+        assert not locksan.locksan_requested()
+
+
+class TestSeededViolations:
+    def test_lock_order_inversion_is_caught(self, sanitizer):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        found = sanitizer.findings("lock-order-inversion")
+        assert len(found) == 1
+        assert found[0] in sanitizer.fatal_findings()
+
+    def test_inversion_across_threads(self, sanitizer):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        first = threading.Thread(target=forward)
+        first.start()
+        first.join()
+        second = threading.Thread(target=backward)
+        second.start()
+        second.join()
+        assert len(sanitizer.findings("lock-order-inversion")) == 1
+
+    def test_self_deadlock_detected_without_hanging(self, sanitizer):
+        lock = threading.Lock()
+        assert lock.acquire()
+        try:
+            # Blocking re-acquire of a non-reentrant lock: the check runs
+            # *before* the call blocks, so a short timeout probes safely.
+            assert not lock.acquire(timeout=0.05)
+        finally:
+            lock.release()
+        found = sanitizer.findings("self-deadlock")
+        assert len(found) == 1
+        assert found[0] in sanitizer.fatal_findings()
+
+    def test_consistent_order_is_clean(self, sanitizer):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert sanitizer.fatal_findings() == []
+
+    def test_rlock_reentry_is_clean(self, sanitizer):
+        rlock = threading.RLock()
+        with rlock:
+            with rlock:
+                pass
+        assert sanitizer.fatal_findings() == []
+
+    def test_trylock_defines_no_ordering_commitment(self, sanitizer):
+        # The deadlock-avoidance idiom: non-blocking attempts must not
+        # poison the order graph or self-deadlock-report.
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        with lock_a:
+            assert lock_b.acquire(blocking=False)
+            lock_b.release()
+        with lock_b:
+            assert lock_a.acquire(blocking=False)
+            lock_a.release()
+        assert sanitizer.findings() == []
+
+
+class TestAdvisoryFindings:
+    def test_contention_is_advisory(self, sanitizer, monkeypatch):
+        monkeypatch.setattr(locksan, "CONTENTION_WAIT_SECONDS", 0.0)
+        lock = threading.Lock()
+        with lock:
+            pass
+        contended = sanitizer.findings("contention")
+        assert contended
+        assert sanitizer.fatal_findings() == []
+
+    def test_long_hold_is_advisory(self, sanitizer, monkeypatch):
+        monkeypatch.setattr(locksan, "LONG_HOLD_SECONDS", 0.0)
+        lock = threading.Lock()
+        with lock:
+            pass
+        assert sanitizer.findings("long-hold")
+        assert sanitizer.fatal_findings() == []
+
+    def test_counters_track_acquisitions(self, sanitizer):
+        lock = threading.Lock()
+        for _ in range(4):
+            with lock:
+                pass
+        assert sanitizer.counters()["locksan_acquisitions_total"] == 4
+
+
+class TestObsIntegration:
+    def test_kill_switch_degrades_to_plain_delegation(self, sanitizer):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        runtime.set_instrumentation(False)
+        try:
+            with lock_a:
+                with lock_b:
+                    pass
+            with lock_b:
+                with lock_a:
+                    pass
+        finally:
+            runtime.set_instrumentation(True)
+        assert sanitizer.findings() == []
+        assert sanitizer.counters() == {}
+
+    def test_findings_mirror_into_the_metric_registry(self, sanitizer):
+        registry = runtime.reset()
+        lock = threading.Lock()
+        lock.acquire()
+        try:
+            lock.acquire(timeout=0.01)
+        finally:
+            lock.release()
+        exposition = registry.to_prometheus()
+        assert "repro_locksan_findings_total" in exposition
+        assert 'kind="self-deadlock"' in exposition
+
+    def test_format_findings_renders_clean_and_dirty(self, sanitizer):
+        assert "clean" in sanitizer.format_findings()
+        lock = threading.Lock()
+        lock.acquire()
+        try:
+            lock.acquire(timeout=0.01)
+        finally:
+            lock.release()
+        assert "self-deadlock" in sanitizer.format_findings()
