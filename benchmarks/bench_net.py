@@ -1,0 +1,165 @@
+"""Network front-end throughput: probes/sec and batch latency over loopback.
+
+Drives the asyncio estimation server with 1, 8, and 64 concurrent sync
+SDK clients (one thread each, the supported concurrency model) submitting
+mixed equality/range batches, and records probes/sec plus p50/p99 batch
+latency per concurrency level into ``benchmarks/results/BENCH_net.json``.
+
+Smoke-friendly: ``REPRO_BENCH_NET_BATCHES`` caps the per-client batch
+count so CI can run the full concurrency ladder in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+from _reporting import record_report
+
+from repro.data.quantize import quantize_to_integers
+from repro.data.zipf import zipf_frequencies
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import StatsCatalog
+from repro.engine.relation import Relation
+from repro.experiments.report import format_table
+from repro.net import EstimationClient, serve_in_thread
+from repro.serve import EqualityProbe, EstimationService, RangeProbe
+from repro.util.rng import derive_rng
+
+N_RELATIONS = 4
+TOTAL = 4000
+DOMAIN = 100
+BATCH_PROBES = 500
+CONCURRENCY_LEVELS = (1, 8, 64)
+BATCHES_PER_CLIENT = int(os.environ.get("REPRO_BENCH_NET_BATCHES", "20"))
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_net.json"
+
+
+def build_service(gen):
+    catalog = StatsCatalog()
+    for index in range(N_RELATIONS):
+        freqs = quantize_to_integers(
+            zipf_frequencies(TOTAL, DOMAIN, 0.5 + 0.4 * index)
+        )
+        column = [v for v, f in enumerate(freqs) for _ in range(int(f))]
+        gen.shuffle(column)
+        relation = Relation.from_columns(f"R{index}", {"a": column})
+        analyze_relation(relation, "a", catalog, kind="end-biased", buckets=8)
+    return EstimationService(catalog, name="bench-net")
+
+
+def build_batch(gen):
+    probes = []
+    for _ in range(BATCH_PROBES):
+        relation = f"R{gen.integers(N_RELATIONS)}"
+        if gen.random() < 0.6:
+            probes.append(EqualityProbe(relation, "a", int(gen.integers(DOMAIN))))
+        else:
+            low, high = sorted(int(v) for v in gen.integers(0, DOMAIN, size=2))
+            probes.append(RangeProbe(relation, "a", low, high))
+    return probes
+
+
+def _drive_client(address, probes, latencies, failures):
+    host, port = address
+    try:
+        with EstimationClient(host, port) as client:
+            for _ in range(BATCHES_PER_CLIENT):
+                started = perf_counter()
+                out = client.estimate_batch(probes)
+                latencies.append(perf_counter() - started)
+                assert out.shape == (len(probes),)
+    except Exception as exc:  # collected, not swallowed: the test asserts
+        failures.append(exc)
+
+
+def _run_level(address, probes, clients):
+    latencies: list[float] = []
+    failures: list[Exception] = []
+    threads = [
+        threading.Thread(
+            target=_drive_client, args=(address, probes, latencies, failures)
+        )
+        for _ in range(clients)
+    ]
+    started = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - started
+    if failures:
+        raise failures[0]
+    total_probes = clients * BATCHES_PER_CLIENT * BATCH_PROBES
+    lat = np.asarray(sorted(latencies))
+    return {
+        "clients": clients,
+        "batches": clients * BATCHES_PER_CLIENT,
+        "probes": total_probes,
+        "seconds": elapsed,
+        "probes_per_sec": total_probes / elapsed,
+        "p50_batch_seconds": float(np.quantile(lat, 0.50)),
+        "p99_batch_seconds": float(np.quantile(lat, 0.99)),
+    }
+
+
+def run_net_throughput():
+    gen = derive_rng(1995)
+    service = build_service(gen)
+    probes = build_batch(gen)
+    # Warm the compiled-table cache so the first client doesn't pay it.
+    service.estimate_batch(probes[:50])
+    levels = []
+    with serve_in_thread(service, name="bench-net") as handle:
+        for clients in CONCURRENCY_LEVELS:
+            levels.append(_run_level(handle.address, probes, clients))
+    return {"levels": levels, "stats": service.stats()}
+
+
+def test_net_throughput(benchmark):
+    result = benchmark.pedantic(run_net_throughput, rounds=1, iterations=1)
+    levels = result["levels"]
+
+    record_report(
+        f"Network serving throughput — {BATCH_PROBES}-probe batches, "
+        f"{BATCHES_PER_CLIENT} per client, sync SDK over loopback",
+        format_table(
+            ["clients", "probes/sec", "p50 batch (s)", "p99 batch (s)"],
+            [
+                [
+                    level["clients"],
+                    level["probes_per_sec"],
+                    level["p50_batch_seconds"],
+                    level["p99_batch_seconds"],
+                ]
+                for level in levels
+            ],
+            precision=4,
+        ),
+    )
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "net_throughput",
+                "batch_probes": BATCH_PROBES,
+                "batches_per_client": BATCHES_PER_CLIENT,
+                "levels": levels,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert [level["clients"] for level in levels] == list(CONCURRENCY_LEVELS)
+    # Every batch at every level was answered in full.
+    expected = sum(c * BATCHES_PER_CLIENT * BATCH_PROBES for c in CONCURRENCY_LEVELS)
+    assert result["stats"].probes_served >= expected
+    for level in levels:
+        assert level["probes_per_sec"] > 0
+        assert level["p50_batch_seconds"] <= level["p99_batch_seconds"]

@@ -25,6 +25,9 @@ Layers
 * **engine** — relations, ANALYZE, and the statistics catalog;
 * **serving** — compiled lookup tables and batched estimation
   (:class:`EstimationService`), the layer every estimator answers through;
+* **network serving** — the wire boundary around the service
+  (:class:`EstimationServer`, the sync/async client SDK, and the
+  versioned wire schema; see ``docs/NETWORK.md``);
 * **optimizer / SQL** — cardinality estimation, planning, and the
   in-memory :class:`Database`.
 """
@@ -84,6 +87,22 @@ from repro.serve import (
     compile_histogram,
 )
 
+# Network serving ------------------------------------------------------------
+from repro.net import (
+    WIRE_SCHEMA_VERSION,
+    AsyncEstimationClient,
+    EstimationClient,
+    EstimationServer,
+    TenantConfig,
+    connect,
+    connect_async,
+    probe_from_wire,
+    probe_to_wire,
+    probes_from_wire,
+    probes_to_wire,
+    serve_in_thread,
+)
+
 # Optimizer and SQL ---------------------------------------------------------
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.sql.database import Database
@@ -135,6 +154,19 @@ __all__ = [
     "RangeProbe",
     "ServiceMetrics",
     "compile_histogram",
+    # network serving
+    "WIRE_SCHEMA_VERSION",
+    "AsyncEstimationClient",
+    "EstimationClient",
+    "EstimationServer",
+    "TenantConfig",
+    "connect",
+    "connect_async",
+    "probe_from_wire",
+    "probe_to_wire",
+    "probes_from_wire",
+    "probes_to_wire",
+    "serve_in_thread",
     # optimizer / SQL
     "CardinalityEstimator",
     "Database",

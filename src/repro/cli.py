@@ -9,7 +9,10 @@ Subcommands cover the common interactive uses:
 * ``chain`` — one row of the Figures 6-7 comparison;
 * ``table1`` — the construction-cost table;
 * ``serve-stats`` — batched estimation-service workload with cache metrics
-  (``--obs`` appends the metric registry);
+  (``--obs`` appends the metric registry; ``--emit-wire``/``--probes-from``
+  write and replay wire-schema batch artifacts);
+* ``serve`` — the asyncio network front-end over a synthetic analyzed
+  catalog (length-prefixed frames + HTTP shim; see docs/NETWORK.md);
 * ``obs dump`` — drive a serve+maintain+recover workload and expose the
   metric registry (Prometheus text or JSON);
 * ``stats check`` / ``stats repair`` — verify or repair an on-disk
@@ -176,19 +179,14 @@ def _cmd_tune(args) -> int:
     return 0
 
 
-def _cmd_serve_stats(args) -> int:
-    """Run a synthetic batched workload and report service cache metrics."""
-    import numpy as np
-
+def _build_synthetic_catalog(args, gen):
+    """Analyzed Zipf columns R0..Rn shared by ``serve-stats`` and ``serve``."""
     from repro.data.quantize import quantize_to_integers
     from repro.data.zipf import zipf_frequencies
     from repro.engine.analyze import analyze_relation
     from repro.engine.catalog import StatsCatalog
     from repro.engine.relation import Relation
-    from repro.serve import EqualityProbe, EstimationService, JoinProbe, RangeProbe
-    from repro.util.rng import derive_rng
 
-    gen = derive_rng(args.seed)
     catalog = StatsCatalog()
     names = []
     for index, z in enumerate(args.z_values):
@@ -198,8 +196,13 @@ def _cmd_serve_stats(args) -> int:
         relation = Relation.from_columns(f"R{index}", {"a": column})
         analyze_relation(relation, "a", catalog, kind=args.kind, buckets=args.buckets)
         names.append(relation.name)
+    return catalog, names
 
-    service = EstimationService(catalog, on_error=args.on_error)
+
+def _build_synthetic_probes(args, gen, names):
+    """The mixed equality/range/join workload the serve commands drive."""
+    from repro.serve import EqualityProbe, JoinProbe, RangeProbe
+
     probes = []
     for _ in range(args.probes):
         name = names[int(gen.integers(len(names)))]
@@ -214,8 +217,63 @@ def _cmd_serve_stats(args) -> int:
             probes.append(JoinProbe(name, "a", other, "a"))
     # Poison the tail with unknown-relation probes to demonstrate the
     # degradation accounting (--unknown-probes 0 keeps the batch clean).
-    for index in range(args.unknown_probes):
+    for index in range(getattr(args, "unknown_probes", 0)):
         probes.append(EqualityProbe("UNANALYZED", "a", index))
+    return probes
+
+
+def _load_wire_probes(path: str):
+    """Read a wire-schema probe batch (see ``repro serve-stats --emit-wire``)."""
+    import json
+
+    from repro.net import probes_from_wire
+    from repro.net.protocol import check_version
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        check_version(payload)
+        entries = payload.get("probes", [])
+    else:
+        entries = payload
+    return probes_from_wire(entries)
+
+
+def _dump_wire_probes(probes, path: str) -> None:
+    """Write *probes* as a replayable wire-schema batch artifact."""
+    import json
+
+    from repro.net import probes_to_wire
+    from repro.net.protocol import message
+
+    payload = message("batch", probes=probes_to_wire(probes))
+    text = json.dumps(payload, indent=2, allow_nan=False)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _cmd_serve_stats(args) -> int:
+    """Run a batched workload (synthetic or replayed) and report metrics."""
+    import numpy as np
+
+    from repro.serve import EstimationService
+    from repro.util.rng import derive_rng
+
+    gen = derive_rng(args.seed)
+    catalog, names = _build_synthetic_catalog(args, gen)
+    service = EstimationService(catalog, on_error=args.on_error)
+    if args.probes_from:
+        probes = _load_wire_probes(args.probes_from)
+        print(f"replaying {len(probes)} probes from {args.probes_from}")
+    else:
+        probes = _build_synthetic_probes(args, gen, names)
+    if args.emit_wire:
+        _dump_wire_probes(probes, args.emit_wire)
+        if args.emit_wire != "-":
+            print(f"wrote wire batch artifact to {args.emit_wire}")
     estimates = service.estimate_batch(probes)
     finite = estimates[np.isfinite(estimates)]
     print(
@@ -230,6 +288,64 @@ def _cmd_serve_stats(args) -> int:
         print()
         print("# --- metric registry (repro obs) ---")
         sys.stdout.write(get_registry().to_prometheus())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve a synthetic analyzed catalog over the network protocol.
+
+    Binds the asyncio estimation server (length-prefixed frames + the
+    HTTP/JSON shim on one port), prints the bound address, and serves
+    until ``--duration`` elapses or Ctrl-C.  Tenants come from repeated
+    ``--tenant NAME=TOKEN`` flags; without any, the server is open.
+    """
+    import asyncio
+
+    from repro.net import EstimationServer, TenantConfig
+    from repro.serve import EstimationService
+    from repro.util.rng import derive_rng
+
+    gen = derive_rng(args.seed)
+    catalog, names = _build_synthetic_catalog(args, gen)
+    service = EstimationService(catalog, on_error=args.on_error)
+    tenants = []
+    for spec in args.tenant or []:
+        name, sep, token = spec.partition("=")
+        if not sep or not name or not token:
+            print(f"--tenant must look like NAME=TOKEN, got {spec!r}", file=sys.stderr)
+            return 2
+        tenants.append(
+            TenantConfig(
+                name=name,
+                token=token,
+                max_probes_per_batch=args.quota_batch,
+                max_pending_probes=args.quota_pending,
+            )
+        )
+    server = EstimationServer(
+        service,
+        host=args.host,
+        port=args.port,
+        tenants=tenants or None,
+        chunk_probes=args.chunk_probes,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"serving {len(names)} analyzed columns on {host}:{port}", flush=True)
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    print(service.stats().format())
     return 0
 
 
@@ -294,6 +410,30 @@ def _run_obs_workload(seed: int, probes: int) -> object:
             JoinProbe(names[0], "a", names[1], "a"),
         ]
     )
+
+    # One loopback round-trip through the network front-end so the
+    # net.* spans and per-tenant counters land in the registry too.
+    from time import perf_counter, sleep
+
+    from repro.net import EstimationClient, TenantConfig, serve_in_thread
+    from repro.obs import get_registry
+
+    with serve_in_thread(
+        service,
+        tenants=[TenantConfig(name="obs-tenant", token="obs")],
+        name="obs-net",
+    ) as handle:
+        host, port = handle.address
+        with EstimationClient(host, port, token="obs") as client:
+            client.estimate_batch(eq_probes[:64])
+        # The net.accept span closes when the server finishes tearing
+        # down the connection we just left; wait for it (bounded) so the
+        # dump reliably includes the whole span family.
+        deadline = perf_counter() + 2.0
+        while perf_counter() < deadline:
+            if 'span="net.accept"' in get_registry().to_prometheus():
+                break
+            sleep(0.02)
 
     # Proposition 3.1 cross-check: S - S' = Σ p_i·v_i on a seeded Zipf set.
     check_freqs = quantize_to_integers(zipf_frequencies(2000.0, 60, 1.0))
@@ -559,7 +699,66 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also dump the metric registry (Prometheus text) after the run",
     )
+    p.add_argument(
+        "--probes-from",
+        metavar="FILE.json",
+        default=None,
+        help="replay a wire-schema probe batch instead of generating one "
+        "(see --emit-wire and docs/NETWORK.md)",
+    )
+    p.add_argument(
+        "--emit-wire",
+        metavar="FILE.json",
+        default=None,
+        help="write the driven probe batch as a replayable wire-schema "
+        "artifact ('-' for stdout)",
+    )
     p.set_defaults(func=_cmd_serve_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a synthetic analyzed catalog over the network protocol",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p.add_argument("--total", type=float, default=10_000.0)
+    p.add_argument("--domain", type=int, default=200)
+    p.add_argument("--z-values", type=float, nargs="+", default=[0.5, 1.0, 2.0])
+    p.add_argument("--kind", choices=["end-biased", "serial"], default="end-biased")
+    p.add_argument("--buckets", type=int, default=10)
+    p.add_argument(
+        "--on-error",
+        choices=["fallback", "nan", "raise"],
+        default="fallback",
+        help="service-wide policy for unanswerable probes",
+    )
+    p.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME=TOKEN",
+        help="register a tenant (repeatable); omit for an open server",
+    )
+    p.add_argument(
+        "--quota-batch",
+        type=int,
+        default=0,
+        help="max probes per batch per tenant (0 = unlimited)",
+    )
+    p.add_argument(
+        "--quota-pending",
+        type=int,
+        default=0,
+        help="max probes in flight per tenant (0 = unlimited)",
+    )
+    p.add_argument("--chunk-probes", type=int, default=2048)
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="serve for N seconds then exit (0 = until Ctrl-C)",
+    )
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "obs",

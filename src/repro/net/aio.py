@@ -1,0 +1,274 @@
+"""The asynchronous client SDK flavor.
+
+Same SDK as :mod:`repro.net.client` — same :class:`~repro.net.client.BatchCall`
+core, same frames, same bit-identical answers — over asyncio streams::
+
+    from repro.net import connect_async
+
+    client = await connect_async("127.0.0.1", 9919, token="s3cret")
+    try:
+        estimates = await client.estimate_batch(probes)
+    finally:
+        await client.close()
+
+or as an async context manager::
+
+    async with AsyncEstimationClient(host, port, token=token) as client:
+        async for start, chunk in client.stream_batch(probes):
+            ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.net import protocol
+from repro.net.client import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT,
+    AuthenticationError,
+    BatchCall,
+    ClientError,
+    ConnectionFailedError,
+    ProtocolError,
+    backoff_delays,
+)
+from repro.serve.service import Probe, ProbeTrace
+
+
+class AsyncEstimationClient:
+    """Asyncio SDK flavor; one instance owns one connection.
+
+    Not safe for concurrent use from multiple tasks — frames of
+    interleaved requests would interleave on one stream.  Create one
+    client per task (the server handles many connections concurrently);
+    that is also how the concurrency benchmark drives it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        on_error: Optional[str] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.token = token
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        #: Default ``on_error`` policy sent with every batch.
+        self.on_error = on_error
+        self.tenant: Optional[str] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 1
+
+    # -- connection lifecycle ------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """True while a handshaken connection is held."""
+        return self._writer is not None
+
+    async def connect(self) -> "AsyncEstimationClient":
+        """Open the connection and handshake; retried with backoff."""
+        if self._writer is not None:
+            return self
+        failure: Optional[Exception] = None
+        delays = list(backoff_delays(self.retries, self.backoff))
+        for attempt in range(self.retries + 1):
+            try:
+                await self._open_once()
+                return self
+            except AuthenticationError:
+                raise
+            except (OSError, asyncio.TimeoutError, ClientError) as exc:
+                failure = exc
+                await self._teardown()
+                if attempt < len(delays):
+                    await asyncio.sleep(delays[attempt])
+        raise ConnectionFailedError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts: {failure}"
+        ) from failure
+
+    async def _open_once(self) -> None:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout=self.timeout
+        )
+        self._reader, self._writer = reader, writer
+        try:
+            await self._send(protocol.hello_request(token=self.token))
+            welcome = await self._recv_frame()
+            protocol.check_version(welcome)
+            if welcome.get("op") == "error":
+                code = str(welcome.get("code", "error"))
+                if code == protocol.REASON_AUTH_FAILED:
+                    raise AuthenticationError(
+                        f"server refused token: {welcome.get('detail', '')}"
+                    )
+                raise ProtocolError(f"handshake failed: {welcome}")
+            if welcome.get("op") != "welcome":
+                raise ProtocolError(
+                    f"expected a welcome frame, got {welcome.get('op')!r}"
+                )
+            self.tenant = welcome.get("tenant")
+        except BaseException:
+            await self._teardown()
+            raise
+
+    async def _teardown(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def close(self) -> None:
+        """Close the connection (reconnects transparently on next use)."""
+        await self._teardown()
+
+    async def __aenter__(self) -> "AsyncEstimationClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- wire helpers ---------------------------------------------------
+
+    async def _send(self, obj: dict) -> None:
+        assert self._writer is not None
+        self._writer.write(protocol.encode_frame(obj))
+        await self._writer.drain()
+
+    async def _recv_frame(self) -> dict:
+        assert self._reader is not None
+        try:
+            prefix = await asyncio.wait_for(
+                self._reader.readexactly(4), timeout=self.timeout
+            )
+            length = protocol.read_frame_length(prefix)
+            payload = await asyncio.wait_for(
+                self._reader.readexactly(length), timeout=self.timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionFailedError("server closed the connection") from exc
+        return protocol.decode_frame(payload)
+
+    # -- operations -----------------------------------------------------
+
+    async def ping(self) -> bool:
+        """Round-trip a ping frame; True on pong."""
+        await self.connect()
+        await self._send(protocol.message("ping"))
+        return (await self._recv_frame()).get("op") == "pong"
+
+    async def estimate_batch(
+        self,
+        probes: Sequence[Probe],
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[Callable[[ProbeTrace], None]] = None,
+    ) -> np.ndarray:
+        """Submit one batch; returns the assembled float64 vector.
+
+        Same semantics (and same bits) as the sync flavor: idempotent
+        resubmission on connection failure, :class:`RemoteBatchError`
+        passed through untouched.
+        """
+        probes = list(probes)
+        failure: Optional[Exception] = None
+        delays = list(backoff_delays(self.retries, self.backoff))
+        for attempt in range(self.retries + 1):
+            await self.connect()
+            call = BatchCall(
+                probes,
+                request_id=self._take_id(),
+                on_error=on_error if on_error is not None else self.on_error,
+                trace=trace,
+            )
+            try:
+                await self._send(call.request())
+                while not call.consume(await self._recv_frame()):
+                    pass
+                return call.result()
+            except (ConnectionFailedError, OSError, asyncio.TimeoutError) as exc:
+                failure = exc
+                await self._teardown()
+                if attempt < len(delays):
+                    await asyncio.sleep(delays[attempt])
+        raise ConnectionFailedError(
+            f"batch submission to {self.host}:{self.port} failed after "
+            f"{self.retries + 1} attempts: {failure}"
+        ) from failure
+
+    async def stream_batch(
+        self,
+        probes: Sequence[Probe],
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[Callable[[ProbeTrace], None]] = None,
+    ) -> AsyncIterator[tuple[int, np.ndarray]]:
+        """Yield ``(start, estimates_slice)`` chunks as they arrive.
+
+        No mid-stream retry, matching the sync flavor: once chunks have
+        been yielded the consumer owns partial state.
+        """
+        await self.connect()
+        call = BatchCall(
+            list(probes),
+            request_id=self._take_id(),
+            on_error=on_error if on_error is not None else self.on_error,
+            trace=trace,
+        )
+        try:
+            await self._send(call.request())
+            done = False
+            while not done:
+                frame = await self._recv_frame()
+                done = call.consume(frame)
+                chunk = protocol.decode_estimates(frame["estimates"])
+                yield int(frame.get("start", 0)), chunk
+        except (ConnectionFailedError, OSError, asyncio.TimeoutError):
+            await self._teardown()
+            raise
+
+    def _take_id(self) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        return request_id
+
+
+async def connect_async(
+    host: str,
+    port: int,
+    *,
+    token: Optional[str] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    on_error: Optional[str] = None,
+) -> AsyncEstimationClient:
+    """Connect an :class:`AsyncEstimationClient` (and handshake)."""
+    client = AsyncEstimationClient(
+        host,
+        port,
+        token=token,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        on_error=on_error,
+    )
+    return await client.connect()

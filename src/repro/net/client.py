@@ -1,0 +1,416 @@
+"""The synchronous client SDK (and the core both SDK flavors share).
+
+Usage::
+
+    from repro.net import connect
+    from repro.serve import EqualityProbe
+
+    with connect("127.0.0.1", 9919, token="s3cret") as client:
+        estimates = client.estimate_batch([EqualityProbe("R0", "a", 7)])
+
+Both flavors — this module's :class:`EstimationClient` and
+:class:`~repro.net.aio.AsyncEstimationClient` — are thin transports
+around one sans-IO core (:class:`BatchCall`): the core builds request
+frames, consumes response frames, reassembles streamed chunks into one
+float64 vector, and surfaces degradation traces.  Keeping every protocol
+decision in the shared core is what makes the two flavors answer
+bit-identically.
+
+Degradation reasons are *surfaced, never swallowed*: pass ``trace=`` to
+receive decoded :class:`~repro.serve.ProbeTrace` records (including the
+server-side admission rejections ``quota-exceeded`` / ``backpressure``),
+exactly as an in-process ``estimate_batch(trace=...)`` caller would.
+
+Retries: connection establishment and idempotent submissions retry with
+exponential backoff (estimation is read-only, so resubmitting a batch
+after a broken connection is always safe).  Typed failures:
+:class:`AuthenticationError` (bad token — not retried),
+:class:`RemoteBatchError` (the server answered with a per-batch error,
+e.g. ``on_error="raise"`` propagating — not retried),
+:class:`ConnectionFailedError` (retries exhausted).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.net import protocol
+from repro.serve.service import Probe, ProbeTrace
+
+#: Default connect/read timeout (seconds).
+DEFAULT_TIMEOUT = 30.0
+#: Default number of *re*-tries after the first failed attempt.
+DEFAULT_RETRIES = 3
+#: First backoff delay; doubles per retry.
+DEFAULT_BACKOFF = 0.05
+
+
+class ClientError(RuntimeError):
+    """Base class of every SDK failure."""
+
+
+class ConnectionFailedError(ClientError):
+    """Could not reach the server (after the configured retries)."""
+
+
+class AuthenticationError(ClientError):
+    """The server refused our token; retrying would not help."""
+
+
+class ProtocolError(ClientError):
+    """The peer sent something outside the wire schema."""
+
+
+class RemoteBatchError(ClientError):
+    """The server answered the batch with a typed error frame.
+
+    Carries the server-side exception type name in ``error_type`` (e.g.
+    ``"KeyError"`` when ``on_error="raise"`` propagated an unknown
+    relation).
+    """
+
+    def __init__(self, code: str, detail: str, error_type: Optional[str] = None):
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+        self.error_type = error_type
+
+
+def backoff_delays(retries: int, base: float) -> Iterator[float]:
+    """The delay before each retry attempt: ``base * 2**k``."""
+    for attempt in range(retries):
+        yield base * (2.0**attempt)
+
+
+class BatchCall:
+    """Sans-IO state machine for one batch request/response exchange.
+
+    The transport sends :meth:`request` and feeds every response frame to
+    :meth:`consume` until it returns True (eof); :meth:`result` then
+    holds the assembled float64 vector.  Raises :class:`RemoteBatchError`
+    on a server error frame and :class:`ProtocolError` on schema junk —
+    identically for both transports.
+    """
+
+    def __init__(
+        self,
+        probes: Sequence[Probe],
+        *,
+        request_id: int,
+        on_error: Optional[str],
+        trace: Optional[Callable[[ProbeTrace], None]],
+    ):
+        self._count = len(probes)
+        self._request = protocol.batch_request(
+            protocol.probes_to_wire(probes),
+            request_id=request_id,
+            on_error=on_error,
+            want_traces=trace is not None,
+        )
+        self._request_id = request_id
+        self._trace = trace
+        self._chunks: list[np.ndarray] = []
+        self._received = 0
+        self._total: Optional[int] = None
+
+    def request(self) -> dict:
+        """The envelope to send."""
+        return self._request
+
+    def consume(self, frame: dict) -> bool:
+        """Absorb one response frame; True when the stream is complete."""
+        protocol.check_version(frame)
+        op = frame.get("op")
+        if op == "error":
+            raise RemoteBatchError(
+                code=str(frame.get("code", "error")),
+                detail=str(frame.get("detail", "")),
+                error_type=frame.get("error_type"),
+            )
+        if op != "chunk":
+            raise ProtocolError(f"expected a chunk frame, got op={op!r}")
+        if frame.get("id") != self._request_id:
+            raise ProtocolError(
+                f"response id {frame.get('id')!r} does not match request "
+                f"id {self._request_id}"
+            )
+        try:
+            chunk = protocol.decode_estimates(frame["estimates"])
+        except (KeyError, protocol.WireCodecError) as exc:
+            raise ProtocolError(f"bad chunk frame: {exc}") from exc
+        if frame.get("start") != self._received:
+            raise ProtocolError(
+                f"out-of-order chunk: start={frame.get('start')!r}, "
+                f"expected {self._received}"
+            )
+        self._total = int(frame.get("count", self._count))
+        self._chunks.append(chunk)
+        self._received += chunk.size
+        if self._trace is not None:
+            for wire_trace in frame.get("traces", []):
+                self._trace(protocol.trace_from_wire(wire_trace))
+        return bool(frame.get("eof"))
+
+    def result(self) -> np.ndarray:
+        """The assembled estimate vector (after eof)."""
+        if self._total is not None and self._received != self._total:
+            raise ProtocolError(
+                f"stream ended after {self._received} of {self._total} estimates"
+            )
+        if not self._chunks:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(self._chunks)
+
+
+class EstimationClient:
+    """Synchronous SDK over a plain TCP socket.
+
+    Lazily connects on first use; usable as a context manager.  One
+    client owns one connection and is **not** thread-safe — give each
+    thread its own client (connections are cheap; the server is
+    concurrent).
+
+    Parameters mirror :func:`connect`, the preferred spelling.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        on_error: Optional[str] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.token = token
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        #: Default ``on_error`` policy sent with every batch (None defers
+        #: to the server-side service default).
+        self.on_error = on_error
+        self.tenant: Optional[str] = None
+        self._sock: Optional[socket.socket] = None
+        self._decoder = protocol.FrameDecoder()
+        #: Frames received ahead of their reader (pipelined responses).
+        self._pending: list[dict] = []
+        self._next_id = 1
+
+    # -- connection lifecycle ------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """True while a handshaken connection is held."""
+        return self._sock is not None
+
+    def connect(self) -> "EstimationClient":
+        """Open the connection and complete the hello handshake.
+
+        Idempotent; retried with exponential backoff.  Returns ``self``
+        for chaining.
+        """
+        if self._sock is not None:
+            return self
+        failure: Optional[Exception] = None
+        delays = list(backoff_delays(self.retries, self.backoff))
+        for attempt in range(self.retries + 1):
+            try:
+                self._open_once()
+                return self
+            except AuthenticationError:
+                raise
+            except (OSError, ClientError) as exc:
+                failure = exc
+                self._teardown()
+                if attempt < len(delays):
+                    time.sleep(delays[attempt])
+        raise ConnectionFailedError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts: {failure}"
+        ) from failure
+
+    def _open_once(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            self._decoder = protocol.FrameDecoder()
+            self._pending.clear()
+            self._sock = sock
+            self._send(protocol.hello_request(token=self.token))
+            welcome = self._recv_frame()
+            protocol.check_version(welcome)
+            if welcome.get("op") == "error":
+                code = str(welcome.get("code", "error"))
+                if code == protocol.REASON_AUTH_FAILED:
+                    raise AuthenticationError(
+                        f"server refused token: {welcome.get('detail', '')}"
+                    )
+                raise ProtocolError(f"handshake failed: {welcome}")
+            if welcome.get("op") != "welcome":
+                raise ProtocolError(
+                    f"expected a welcome frame, got {welcome.get('op')!r}"
+                )
+            self.tenant = welcome.get("tenant")
+        except BaseException:
+            self._sock = None
+            sock.close()
+            raise
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the connection (reconnects transparently on next use)."""
+        self._teardown()
+
+    def __enter__(self) -> "EstimationClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- wire helpers ---------------------------------------------------
+
+    def _send(self, obj: dict) -> None:
+        assert self._sock is not None
+        self._sock.sendall(protocol.encode_frame(obj))
+
+    def _recv_frame(self) -> dict:
+        assert self._sock is not None
+        while True:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionFailedError("server closed the connection")
+            frames = self._decoder.feed(data)
+            if frames:
+                self._pending.extend(frames[1:])
+                return frames[0]
+
+    # -- operations -----------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip a ping frame; True on pong."""
+        self.connect()
+        self._send(protocol.message("ping"))
+        return self._next_frames_one().get("op") == "pong"
+
+    def _next_frames_one(self) -> dict:
+        if self._pending:
+            return self._pending.pop(0)
+        return self._recv_frame()
+
+    def estimate_batch(
+        self,
+        probes: Sequence[Probe],
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[Callable[[ProbeTrace], None]] = None,
+    ) -> np.ndarray:
+        """Submit one batch; returns the assembled float64 vector.
+
+        Bit-identical to ``EstimationService.estimate_batch`` on the
+        server's service.  A broken connection is retried from scratch
+        (idempotent); a server-side batch error raises
+        :class:`RemoteBatchError` without retrying.
+        """
+        probes = list(probes)
+        failure: Optional[Exception] = None
+        delays = list(backoff_delays(self.retries, self.backoff))
+        for attempt in range(self.retries + 1):
+            self.connect()
+            call = BatchCall(
+                probes,
+                request_id=self._take_id(),
+                on_error=on_error if on_error is not None else self.on_error,
+                trace=trace,
+            )
+            try:
+                self._send(call.request())
+                while not call.consume(self._next_frames_one()):
+                    pass
+                return call.result()
+            except (ConnectionFailedError, OSError) as exc:
+                failure = exc
+                self._teardown()
+                if attempt < len(delays):
+                    time.sleep(delays[attempt])
+        raise ConnectionFailedError(
+            f"batch submission to {self.host}:{self.port} failed after "
+            f"{self.retries + 1} attempts: {failure}"
+        ) from failure
+
+    def stream_batch(
+        self,
+        probes: Sequence[Probe],
+        *,
+        on_error: Optional[str] = None,
+        trace: Optional[Callable[[ProbeTrace], None]] = None,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Submit one batch and yield ``(start, estimates_slice)`` chunks.
+
+        The streaming spelling of :meth:`estimate_batch` for results too
+        large to hold comfortably: chunks arrive in order as the server
+        produces them.  No mid-stream retry — a connection failure after
+        chunks were yielded raises (the consumer has partial state only
+        it can roll back).
+        """
+        self.connect()
+        call = BatchCall(
+            list(probes),
+            request_id=self._take_id(),
+            on_error=on_error if on_error is not None else self.on_error,
+            trace=trace,
+        )
+        try:
+            self._send(call.request())
+            done = False
+            while not done:
+                frame = self._next_frames_one()
+                done = call.consume(frame)
+                chunk = protocol.decode_estimates(frame["estimates"])
+                yield int(frame.get("start", 0)), chunk
+        except (ConnectionFailedError, OSError):
+            self._teardown()
+            raise
+
+    def _take_id(self) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        return request_id
+
+
+def connect(
+    host: str,
+    port: int,
+    *,
+    token: Optional[str] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    on_error: Optional[str] = None,
+) -> EstimationClient:
+    """Connect a synchronous :class:`EstimationClient` (and handshake)."""
+    client = EstimationClient(
+        host,
+        port,
+        token=token,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        on_error=on_error,
+    )
+    return client.connect()

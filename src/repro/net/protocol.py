@@ -1,0 +1,550 @@
+"""The versioned wire schema shared verbatim by the server and the SDK.
+
+Serialization-first redesign of the probe API: every probe shape
+(:class:`~repro.serve.EqualityProbe`, :class:`~repro.serve.RangeProbe`,
+:class:`~repro.serve.JoinProbe`), the :class:`~repro.serve.ProbeTrace`
+record, and the :class:`~repro.engine.persist.RecoveryReport` summary
+gain ``to_wire`` / ``from_wire`` codecs here.  Both ends of the wire use
+*these exact functions*, so an in-process answer and an over-the-wire
+answer are built from identical probe objects — the foundation of the
+bit-identity guarantee in ``docs/NETWORK.md``.
+
+Design rules
+------------
+
+* **Versioned.** Every envelope carries ``{"v": WIRE_SCHEMA_VERSION}``;
+  decoding a frame from a different major version raises
+  :class:`WireVersionError` instead of guessing.
+* **Lossless values.** JSON alone cannot round-trip Python probe values
+  (it conflates ``1`` and ``1.0``, loses tuples, and cannot carry NaN).
+  Values travel in a tagged encoding — plain JSON strings for the common
+  string-domain case, ``{"t": <type>, "v": ...}`` otherwise — with
+  floats as C99 hex literals (``float.hex``) so every finite float64
+  round-trips bit-exactly.  Non-numeric and mixed domains (strings,
+  bytes, tuples, ``None`` bounds) are first-class.
+* **NaN/±inf rejected at encode.** A NaN probe value is almost always a
+  data bug, and NaN never equals anything (the probe could only return
+  0).  :func:`encode_value` raises :class:`WireCodecError` for
+  non-finite floats so the mistake surfaces at the call site, not as a
+  silent zero three machines away.
+* **Bit-exact result vectors.** Estimate vectors are float64 and *may*
+  legitimately contain NaN (the ``on_error="nan"`` policy), so they
+  travel as base64 of the raw little-endian float64 buffer
+  (:func:`encode_estimates`), never as JSON numbers.
+* **Length-prefixed frames.** A frame is a 4-byte big-endian length
+  followed by UTF-8 JSON (``allow_nan=False``).  :class:`FrameDecoder`
+  reassembles frames incrementally from arbitrary byte chunks for the
+  sync client; the asyncio side reads the prefix directly.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.persist import QuarantinedEntry, RecoveryReport
+from repro.serve.service import (
+    EqualityProbe,
+    JoinProbe,
+    Probe,
+    ProbeTrace,
+    RangeProbe,
+)
+
+#: Current wire schema version.  Bump on any incompatible change to the
+#: envelope, the probe encodings, or the value tagging.
+WIRE_SCHEMA_VERSION = 1
+
+#: Hard bound on one frame's JSON payload (16 MiB).  A length prefix
+#: beyond this is treated as a protocol error — it is far more likely a
+#: corrupt or non-protocol peer than a legitimate 16 MiB batch chunk.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Degradation reason for probes rejected by server-side admission
+#: control before reaching the service (also see the service-level
+#: ``REASON_QUOTA_EXCEEDED`` / ``REASON_BACKPRESSURE``).
+REASON_AUTH_FAILED = "auth-failed"
+#: Degradation reason for a probe entry that could not be decoded from
+#: its wire form (the rest of the batch is still answered).
+REASON_WIRE_DECODE = "wire-decode-failed"
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireCodecError(ValueError):
+    """A value, probe, or frame could not be encoded/decoded."""
+
+
+class WireVersionError(WireCodecError):
+    """The peer speaks a different wire schema version."""
+
+
+# ---------------------------------------------------------------------------
+# Tagged value codec
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one probe value (or range bound) into its wire form.
+
+    Strings pass through unchanged (the common non-numeric-domain case);
+    every other supported type is tagged.  Raises :class:`WireCodecError`
+    for NaN/±inf floats and for unsupported types.
+    """
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return {"t": "null"}
+    # bool must precede int: isinstance(True, int) is True.
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": str(value)}
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise WireCodecError(
+                f"non-finite probe value {value!r} is not encodable; NaN/±inf "
+                "never match stored data — fix the producer instead"
+            )
+        return {"t": "float", "v": value.hex()}
+    if isinstance(value, (bytes, bytearray)):
+        return {"t": "bytes", "v": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [encode_value(item) for item in value]}
+    raise WireCodecError(
+        f"probe values of type {type(value).__name__} have no wire encoding; "
+        "supported: str, int, float, bool, bytes, tuple, None"
+    )
+
+
+def decode_value(wire: Any) -> Any:
+    """Invert :func:`encode_value`; raises :class:`WireCodecError` on junk."""
+    if isinstance(wire, str):
+        return wire
+    if not isinstance(wire, dict):
+        raise WireCodecError(
+            f"malformed wire value {wire!r}: expected a string or a tagged object"
+        )
+    tag = wire.get("t")
+    if tag == "null":
+        return None
+    if tag == "bool":
+        payload = wire.get("v")
+        if not isinstance(payload, bool):
+            raise WireCodecError(f"malformed bool wire value {wire!r}")
+        return payload
+    if tag == "int":
+        try:
+            return int(wire["v"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireCodecError(f"malformed int wire value {wire!r}") from exc
+    if tag == "float":
+        try:
+            return float.fromhex(wire["v"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireCodecError(f"malformed float wire value {wire!r}") from exc
+    if tag == "bytes":
+        try:
+            return base64.b64decode(wire["v"], validate=True)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireCodecError(f"malformed bytes wire value {wire!r}") from exc
+    if tag == "tuple":
+        payload = wire.get("v")
+        if not isinstance(payload, list):
+            raise WireCodecError(f"malformed tuple wire value {wire!r}")
+        return tuple(decode_value(item) for item in payload)
+    raise WireCodecError(f"unknown wire value tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Probe codecs
+# ---------------------------------------------------------------------------
+
+_PROBE_KINDS = ("equality", "range", "join")
+
+
+def probe_to_wire(probe: Probe) -> dict:
+    """One probe's wire form (no envelope; see :func:`probes_to_wire`)."""
+    if isinstance(probe, EqualityProbe):
+        return {
+            "kind": "equality",
+            "relation": probe.relation,
+            "attribute": probe.attribute,
+            "value": encode_value(probe.value),
+        }
+    if isinstance(probe, RangeProbe):
+        return {
+            "kind": "range",
+            "relation": probe.relation,
+            "attribute": probe.attribute,
+            "low": encode_value(probe.low),
+            "high": encode_value(probe.high),
+            "include_low": probe.include_low,
+            "include_high": probe.include_high,
+        }
+    if isinstance(probe, JoinProbe):
+        return {
+            "kind": "join",
+            "left_relation": probe.left_relation,
+            "left_attribute": probe.left_attribute,
+            "right_relation": probe.right_relation,
+            "right_attribute": probe.right_attribute,
+        }
+    raise WireCodecError(
+        f"unsupported probe type {type(probe).__name__}; expected "
+        "EqualityProbe, RangeProbe, or JoinProbe"
+    )
+
+
+def _require_str(wire: dict, field: str) -> str:
+    value = wire.get(field)
+    if not isinstance(value, str):
+        raise WireCodecError(
+            f"probe field {field!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def probe_from_wire(wire: Any) -> Probe:
+    """Rebuild one probe from its wire form."""
+    if not isinstance(wire, dict):
+        raise WireCodecError(f"malformed wire probe {wire!r}: expected an object")
+    kind = wire.get("kind")
+    if kind == "equality":
+        return EqualityProbe(
+            relation=_require_str(wire, "relation"),
+            attribute=_require_str(wire, "attribute"),
+            value=decode_value(wire.get("value", {"t": "null"})),
+        )
+    if kind == "range":
+        include_low = wire.get("include_low", True)
+        include_high = wire.get("include_high", True)
+        if not isinstance(include_low, bool) or not isinstance(include_high, bool):
+            raise WireCodecError(
+                f"range probe inclusivity flags must be booleans, got "
+                f"{include_low!r}/{include_high!r}"
+            )
+        return RangeProbe(
+            relation=_require_str(wire, "relation"),
+            attribute=_require_str(wire, "attribute"),
+            low=decode_value(wire.get("low", {"t": "null"})),
+            high=decode_value(wire.get("high", {"t": "null"})),
+            include_low=include_low,
+            include_high=include_high,
+        )
+    if kind == "join":
+        return JoinProbe(
+            left_relation=_require_str(wire, "left_relation"),
+            left_attribute=_require_str(wire, "left_attribute"),
+            right_relation=_require_str(wire, "right_relation"),
+            right_attribute=_require_str(wire, "right_attribute"),
+        )
+    raise WireCodecError(
+        f"unknown probe kind {kind!r}; expected one of {_PROBE_KINDS}"
+    )
+
+
+def probes_to_wire(probes: Iterable[Probe]) -> list[dict]:
+    """Encode a probe sequence (the payload of a batch request)."""
+    return [probe_to_wire(probe) for probe in probes]
+
+
+def probes_from_wire(wire: Sequence[Any]) -> list[Probe]:
+    """Decode a batch request payload; raises on the first bad entry.
+
+    The server decodes entries individually instead (so one poisoned
+    entry degrades alone); this strict form is for replayable artifacts
+    (``repro serve-stats --probes-from``) where silence would hide bugs.
+    """
+    if not isinstance(wire, (list, tuple)):
+        raise WireCodecError(
+            f"probe list must be a JSON array, got {type(wire).__name__}"
+        )
+    return [probe_from_wire(item) for item in wire]
+
+
+# ---------------------------------------------------------------------------
+# Trace and recovery-report codecs
+# ---------------------------------------------------------------------------
+
+
+def trace_to_wire(trace: ProbeTrace) -> dict:
+    """Wire form of one degradation/fallback trace record.
+
+    The served ``value`` uses the same hex-float encoding as probe
+    values but *allows* NaN (legitimate under ``on_error="nan"``) —
+    ``float.hex`` round-trips it exactly.
+    """
+    if not isinstance(trace, ProbeTrace):
+        raise WireCodecError(
+            f"expected a ProbeTrace, got {type(trace).__name__}"
+        )
+    return {
+        "kind": trace.kind,
+        "relation": trace.relation,
+        "attribute": trace.attribute,
+        "reason": trace.reason,
+        "value": float(trace.value).hex(),
+        "degraded": trace.degraded,
+        "position": trace.position,
+    }
+
+
+def trace_from_wire(wire: Any) -> ProbeTrace:
+    """Rebuild one :class:`~repro.serve.ProbeTrace` from its wire form."""
+    if not isinstance(wire, dict):
+        raise WireCodecError(f"malformed wire trace {wire!r}")
+    try:
+        position = wire.get("position")
+        if position is not None:
+            position = int(position)
+        attribute = wire.get("attribute")
+        if attribute is not None and not isinstance(attribute, str):
+            raise WireCodecError(f"malformed trace attribute {attribute!r}")
+        return ProbeTrace(
+            kind=str(wire["kind"]),
+            relation=str(wire["relation"]),
+            attribute=attribute,
+            reason=str(wire["reason"]),
+            value=float.fromhex(wire["value"]),
+            degraded=bool(wire["degraded"]),
+            position=position,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireCodecError(f"malformed wire trace {wire!r}") from exc
+
+
+def recovery_report_to_wire(report: RecoveryReport) -> dict:
+    """Summary wire form of a crash-recovery report.
+
+    Carries everything :meth:`EstimationService.apply_recovery` consumes
+    (the quarantine list and journal-replay counters) plus the health
+    flags — **not** the recovered catalog itself, which stays with the
+    process that owns the statistics directory.  This is how a serving
+    node tells its peers (or an operator console) what recovery withheld.
+    """
+    if not isinstance(report, RecoveryReport):
+        raise WireCodecError(
+            f"expected a RecoveryReport, got {type(report).__name__}"
+        )
+    return {
+        "v": WIRE_SCHEMA_VERSION,
+        "snapshot_path": report.snapshot_path,
+        "snapshot_found": report.snapshot_found,
+        "snapshot_ok": report.snapshot_ok,
+        "entries_loaded": report.entries_loaded,
+        "quarantined": [
+            {
+                "relation": item.relation,
+                "attribute": item.attribute,
+                "reason": item.reason,
+            }
+            for item in report.quarantined
+        ],
+        "journal_path": report.journal_path,
+        "journal_torn": report.journal_torn,
+        "journal_replayed": report.journal_replayed,
+        "journal_fenced": report.journal_fenced,
+        "journal_orphaned": report.journal_orphaned,
+        "journal_anomalies": report.journal_anomalies,
+    }
+
+
+def recovery_report_from_wire(wire: Any) -> RecoveryReport:
+    """Rebuild a summary :class:`RecoveryReport` from its wire form.
+
+    The attached catalog is a fresh empty :class:`StatsCatalog` — the
+    wire form is a *summary*; feed the report to ``apply_recovery`` (which
+    only reads the quarantine list and counters), not to serving.
+    """
+    from repro.engine.catalog import StatsCatalog
+
+    if not isinstance(wire, dict):
+        raise WireCodecError(f"malformed wire recovery report {wire!r}")
+    check_version(wire)
+    try:
+        quarantined = [
+            QuarantinedEntry(
+                relation=item.get("relation"),
+                attribute=item.get("attribute"),
+                reason=str(item.get("reason", "unknown")),
+            )
+            for item in wire.get("quarantined", [])
+        ]
+        return RecoveryReport(
+            catalog=StatsCatalog(),
+            snapshot_path=str(wire["snapshot_path"]),
+            snapshot_found=bool(wire.get("snapshot_found", True)),
+            snapshot_ok=bool(wire.get("snapshot_ok", True)),
+            entries_loaded=int(wire.get("entries_loaded", 0)),
+            quarantined=quarantined,
+            journal_path=wire.get("journal_path"),
+            journal_torn=bool(wire.get("journal_torn", False)),
+            journal_replayed=int(wire.get("journal_replayed", 0)),
+            journal_fenced=int(wire.get("journal_fenced", 0)),
+            journal_orphaned=int(wire.get("journal_orphaned", 0)),
+            journal_anomalies=int(wire.get("journal_anomalies", 0)),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise WireCodecError(
+            f"malformed wire recovery report {wire!r}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Result-vector codec
+# ---------------------------------------------------------------------------
+
+
+def encode_estimates(estimates: np.ndarray) -> dict:
+    """Base64 of the raw little-endian float64 buffer — bit-exact, NaN-safe."""
+    array = np.ascontiguousarray(estimates, dtype="<f8")
+    return {
+        "dtype": "<f8",
+        "n": int(array.size),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_estimates(wire: Any) -> np.ndarray:
+    """Invert :func:`encode_estimates`."""
+    if not isinstance(wire, dict) or wire.get("dtype") != "<f8":
+        raise WireCodecError(f"malformed estimates payload {wire!r}")
+    try:
+        raw = base64.b64decode(wire["data"], validate=True)
+        count = int(wire["n"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireCodecError(f"malformed estimates payload {wire!r}") from exc
+    if len(raw) != count * 8:
+        raise WireCodecError(
+            f"estimates payload length mismatch: {len(raw)} bytes for n={count}"
+        )
+    return np.frombuffer(raw, dtype="<f8").astype(np.float64, copy=True)
+
+
+# ---------------------------------------------------------------------------
+# Envelopes and framing
+# ---------------------------------------------------------------------------
+
+
+def message(op: str, **fields: Any) -> dict:
+    """A protocol envelope: ``op`` plus the schema-version tag."""
+    body = {"v": WIRE_SCHEMA_VERSION, "op": op}
+    body.update(fields)
+    return body
+
+
+def check_version(wire: dict) -> None:
+    """Raise :class:`WireVersionError` unless *wire* tags our version."""
+    version = wire.get("v")
+    if version != WIRE_SCHEMA_VERSION:
+        raise WireVersionError(
+            f"peer speaks wire schema version {version!r}, this build speaks "
+            f"{WIRE_SCHEMA_VERSION}"
+        )
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Length-prefixed UTF-8 JSON frame (``allow_nan=False`` throughout)."""
+    payload = json.dumps(
+        obj, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireCodecError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}); chunk the batch"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict:
+    """Decode one frame *payload* (without the length prefix)."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireCodecError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise WireCodecError(
+            f"frame payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+class FrameDecoder:
+    """Incremental frame reassembly from arbitrary byte chunks.
+
+    Feed it whatever ``recv`` returned; it yields every complete frame
+    and buffers the rest.  Used by the sync client (the asyncio side
+    reads exact lengths directly from the stream).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb *data*; return every frame it completed, in order."""
+        self._buffer.extend(data)
+        frames: list[dict] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return frames
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise WireCodecError(
+                    f"frame length prefix {length} exceeds MAX_FRAME_BYTES "
+                    f"({MAX_FRAME_BYTES}); peer is not speaking this protocol"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return frames
+            payload = bytes(self._buffer[_LENGTH.size : end])
+            del self._buffer[:end]
+            frames.append(decode_frame(payload))
+
+
+def read_frame_length(prefix: bytes) -> int:
+    """Validate and unpack a 4-byte length prefix (asyncio read path)."""
+    if len(prefix) != _LENGTH.size:
+        raise WireCodecError(
+            f"truncated frame length prefix ({len(prefix)} bytes)"
+        )
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise WireCodecError(
+            f"frame length prefix {length} exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}); peer is not speaking this protocol"
+        )
+    return length
+
+
+def batch_request(
+    probes_wire: Sequence[dict],
+    *,
+    request_id: int,
+    on_error: Optional[str] = None,
+    want_traces: bool = False,
+) -> dict:
+    """The batch-submit envelope both SDK flavors send."""
+    body = message(
+        "batch", id=int(request_id), probes=list(probes_wire), traces=bool(want_traces)
+    )
+    if on_error is not None:
+        body["on_error"] = on_error
+    return body
+
+
+def hello_request(*, token: Optional[str] = None) -> dict:
+    """The connection-opening envelope (token auth happens here)."""
+    body = message("hello")
+    if token is not None:
+        body["token"] = token
+    return body

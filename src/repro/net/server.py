@@ -1,0 +1,732 @@
+"""The asyncio estimation server: frames in, bit-identical answers out.
+
+One :class:`EstimationServer` wraps one in-process
+:class:`~repro.serve.EstimationService` and serves it over TCP:
+
+* **Framed protocol** — length-prefixed JSON frames (see
+  :mod:`repro.net.protocol`): a ``hello`` handshake (token auth), then
+  any number of ``batch`` requests per connection, each answered by a
+  stream of ``chunk`` frames carrying raw-float64 estimate slices and
+  the trace records for those positions.
+* **HTTP/JSON shim** — the same port also answers one-shot
+  ``POST /v1/batch`` requests (token via ``Authorization: Bearer``), so
+  a plain ``curl`` can probe the service without the SDK.
+* **Admission, not amputation** — per-tenant quotas (probes per batch)
+  and a backpressure bound (probes in flight across the tenant's
+  connections) reject *probes*, not connections: refused probes resolve
+  through the service's ``on_error`` policy with the typed reasons
+  ``REASON_QUOTA_EXCEEDED`` / ``REASON_BACKPRESSURE`` via the
+  ``admission=`` hook, exactly like today's unanswerable probes.  A
+  malformed probe entry degrades alone (``REASON_WIRE_DECODE``); the
+  rest of its batch is answered.
+* **Instrumented** — ``net.accept`` / ``net.batch`` / ``net.stream``
+  spans, and per-tenant labeled counters in the default metric registry
+  (``repro_net_batches_total{tenant=...}`` and friends).
+
+The CPU-bound estimation itself runs on the default executor so slow
+batches never stall the event loop's accept path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.net import protocol
+from repro.obs import runtime as obs
+from repro.obs.tracing import span
+from repro.serve.service import (
+    REASON_BACKPRESSURE,
+    REASON_QUOTA_EXCEEDED,
+    EstimationService,
+    Probe,
+    ProbeTrace,
+)
+from repro.util.validation import ensure_positive_int
+
+#: Probes per ``chunk`` frame when streaming a batch result.  2048
+#: float64 values are ~22 KiB base64 — large enough to amortize framing,
+#: small enough that a 10k-probe result streams in a handful of frames.
+DEFAULT_CHUNK_PROBES = 2048
+
+#: Placeholder relation recorded in traces for undecodable probe slots.
+_INVALID_RELATION = "<undecodable>"
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Auth and admission limits for one tenant.
+
+    ``max_probes_per_batch`` rejects the *tail* of an oversized batch
+    (the prefix inside quota is still answered); ``max_pending_probes``
+    bounds the tenant's probes concurrently in flight across all its
+    connections — the backpressure knob.  Either limit at ``0`` means
+    unlimited.
+    """
+
+    name: str
+    token: str
+    max_probes_per_batch: int = 0
+    max_pending_probes: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"tenant name must be a non-empty str, got {self.name!r}")
+        if not isinstance(self.token, str) or not self.token:
+            raise ValueError(f"tenant token must be a non-empty str, got {self.token!r}")
+        if self.max_probes_per_batch < 0 or self.max_pending_probes < 0:
+            raise ValueError("tenant limits must be >= 0 (0 means unlimited)")
+
+
+@dataclass
+class _TenantState:
+    """Mutable per-tenant admission state (event-loop confined)."""
+
+    config: TenantConfig
+    pending_probes: int = 0
+
+
+@dataclass
+class _DecodedBatch:
+    """One batch request after per-entry decode + admission."""
+
+    probes: list[Probe] = field(default_factory=list)
+    #: Aligned rejection reasons (``None`` = admitted).  Decode failures
+    #: are pre-marked here and carry a placeholder probe.
+    verdicts: list[Optional[str]] = field(default_factory=list)
+    decode_failures: int = 0
+
+
+class EstimationServer:
+    """Serve one :class:`EstimationService` over asyncio TCP.
+
+    Parameters
+    ----------
+    service:
+        The in-process service to answer from.  The server adds no
+        estimation logic of its own — bit-identity with in-process
+        answers follows from sharing the service and the wire codecs.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    tenants:
+        Iterable of :class:`TenantConfig`.  When given, every framed
+        connection must open with a ``hello`` carrying a known token,
+        and HTTP requests need ``Authorization: Bearer <token>``.  When
+        omitted, the server is open and all traffic is accounted to the
+        ``"public"`` tenant with no limits.
+    chunk_probes:
+        Probes per streamed ``chunk`` frame.
+    """
+
+    def __init__(
+        self,
+        service: EstimationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenants: Optional[Sequence[TenantConfig]] = None,
+        chunk_probes: int = DEFAULT_CHUNK_PROBES,
+        name: Optional[str] = None,
+    ):
+        if not isinstance(service, EstimationService):
+            raise TypeError(
+                f"service must be an EstimationService, got {type(service).__name__}"
+            )
+        self.service = service
+        self.host = host
+        self.port = port
+        self.name = name if name is not None else f"net-{service.name}"
+        self._chunk_probes = ensure_positive_int(chunk_probes, "chunk_probes")
+        self._tenants_by_token: dict[str, _TenantState] = {}
+        self._open_tenant: Optional[_TenantState] = None
+        if tenants:
+            for config in tenants:
+                if not isinstance(config, TenantConfig):
+                    raise TypeError(
+                        f"tenants must be TenantConfig, got {type(config).__name__}"
+                    )
+                if config.token in self._tenants_by_token:
+                    raise ValueError(
+                        f"duplicate tenant token for {config.name!r}"
+                    )
+                self._tenants_by_token[config.token] = _TenantState(config)
+        else:
+            self._open_tenant = _TenantState(
+                TenantConfig(name="public", token="-")
+            )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        address = self.address
+        obs.emit_event(
+            "net.server.started", server=self.name, host=address[0], port=address[1]
+        )
+        return address
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening sockets."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        obs.emit_event("net.server.stopped", server=self.name)
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _authenticate(self, token: Optional[str]) -> Optional[_TenantState]:
+        if self._open_tenant is not None:
+            return self._open_tenant
+        if token is None:
+            return None
+        return self._tenants_by_token.get(token)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        obs.count("repro_net_connections_total", server=self.name)
+        try:
+            with span("net.accept", server=self.name):
+                first = await reader.read(4)
+                if not first:
+                    return
+                if _looks_like_http(first):
+                    await self._handle_http(first, reader, writer)
+                    return
+                await self._handle_framed(first, reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            protocol.WireCodecError,
+        ):
+            # A peer that vanishes or talks garbage mid-frame cannot be
+            # answered; everything answerable was already answered.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_frame(
+        self, reader: asyncio.StreamReader, *, prefix: Optional[bytes] = None
+    ) -> Optional[dict]:
+        """Read one frame; ``None`` on clean EOF at a frame boundary."""
+        if prefix is None:
+            prefix = await reader.read(4)
+            if not prefix:
+                return None
+            if len(prefix) < 4:
+                prefix += await reader.readexactly(4 - len(prefix))
+        length = protocol.read_frame_length(prefix)
+        payload = await reader.readexactly(length)
+        return protocol.decode_frame(payload)
+
+    async def _send_frame(self, writer: asyncio.StreamWriter, obj: dict) -> None:
+        writer.write(protocol.encode_frame(obj))
+        await writer.drain()
+
+    async def _handle_framed(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        hello = await self._read_frame(reader, prefix=first)
+        if hello is None:
+            return
+        try:
+            protocol.check_version(hello)
+        except protocol.WireVersionError as exc:
+            await self._send_frame(
+                writer,
+                protocol.message("error", code="wire-version", detail=str(exc)),
+            )
+            return
+        if hello.get("op") != "hello":
+            await self._send_frame(
+                writer,
+                protocol.message(
+                    "error",
+                    code="protocol-error",
+                    detail="connection must open with a hello frame",
+                ),
+            )
+            return
+        tenant = self._authenticate(hello.get("token"))
+        if tenant is None:
+            # Auth failure is answered with a typed error frame and a
+            # clean close — a refusal the client can report, not a reset.
+            obs.count("repro_net_auth_failures_total", server=self.name)
+            await self._send_frame(
+                writer,
+                protocol.message(
+                    "error",
+                    code=protocol.REASON_AUTH_FAILED,
+                    detail="unknown tenant token",
+                ),
+            )
+            return
+        await self._send_frame(
+            writer,
+            protocol.message(
+                "welcome", tenant=tenant.config.name, server=self.name
+            ),
+        )
+        while True:
+            request = await self._read_frame(reader)
+            if request is None:
+                return
+            op = request.get("op")
+            if op == "ping":
+                await self._send_frame(writer, protocol.message("pong"))
+                continue
+            if op == "batch":
+                await self._handle_batch(request, tenant, writer)
+                continue
+            await self._send_frame(
+                writer,
+                protocol.message(
+                    "error", code="unknown-op", detail=f"unknown op {op!r}"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Batch execution (shared by the framed and HTTP paths)
+    # ------------------------------------------------------------------
+
+    def _decode_batch(
+        self, entries: Sequence[object], tenant: _TenantState
+    ) -> _DecodedBatch:
+        """Decode probes entry-by-entry and apply admission limits.
+
+        Runs on the event loop (admission state is loop-confined); the
+        heavy estimation work happens in the executor afterwards.
+        """
+        batch = _DecodedBatch()
+        limits = tenant.config
+        for index, entry in enumerate(entries):
+            try:
+                probe = protocol.probe_from_wire(entry)
+                verdict: Optional[str] = None
+            except protocol.WireCodecError:
+                probe = _invalid_probe()
+                verdict = protocol.REASON_WIRE_DECODE
+                batch.decode_failures += 1
+            if verdict is None and limits.max_probes_per_batch:
+                if index >= limits.max_probes_per_batch:
+                    verdict = REASON_QUOTA_EXCEEDED
+            if verdict is None and limits.max_pending_probes:
+                if tenant.pending_probes >= limits.max_pending_probes:
+                    verdict = REASON_BACKPRESSURE
+                else:
+                    tenant.pending_probes += 1
+            batch.probes.append(probe)
+            batch.verdicts.append(verdict)
+        return batch
+
+    def _release_pending(self, batch: _DecodedBatch, tenant: _TenantState) -> None:
+        if not tenant.config.max_pending_probes:
+            return
+        admitted = sum(1 for verdict in batch.verdicts if verdict is None)
+        tenant.pending_probes -= admitted
+
+    def _run_batch(
+        self,
+        batch: _DecodedBatch,
+        tenant_name: str,
+        on_error: Optional[str],
+    ) -> tuple[np.ndarray, list[ProbeTrace]]:
+        """Answer the decoded batch through the shared service (executor)."""
+        traces: list[ProbeTrace] = []
+        if any(verdict is not None for verdict in batch.verdicts):
+            admission = lambda probes: batch.verdicts  # noqa: E731
+        else:
+            admission = None
+        estimates = self.service.estimate_batch(
+            batch.probes,
+            on_error=on_error,
+            trace=traces.append,
+            admission=admission,
+        )
+        obs.count(
+            "repro_net_probes_total",
+            len(batch.probes),
+            server=self.name,
+            tenant=tenant_name,
+        )
+        rejected = sum(1 for verdict in batch.verdicts if verdict is not None)
+        if rejected:
+            obs.count(
+                "repro_net_rejected_probes_total",
+                rejected,
+                server=self.name,
+                tenant=tenant_name,
+            )
+        return estimates, traces
+
+    async def _execute_batch(
+        self,
+        entries: Sequence[object],
+        tenant: _TenantState,
+        on_error: Optional[str],
+    ) -> tuple[np.ndarray, list[ProbeTrace]]:
+        batch = self._decode_batch(entries, tenant)
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                None, self._run_batch, batch, tenant.config.name, on_error
+            )
+        finally:
+            self._release_pending(batch, tenant)
+
+    async def _handle_batch(
+        self,
+        request: dict,
+        tenant: _TenantState,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        request_id = request.get("id", 0)
+        entries = request.get("probes")
+        if not isinstance(entries, list):
+            await self._send_frame(
+                writer,
+                protocol.message(
+                    "error",
+                    id=request_id,
+                    code="protocol-error",
+                    detail="batch.probes must be an array",
+                ),
+            )
+            return
+        on_error = request.get("on_error")
+        want_traces = bool(request.get("traces"))
+        with span(
+            "net.batch",
+            server=self.name,
+            tenant=tenant.config.name,
+            probes=len(entries),
+        ):
+            obs.count(
+                "repro_net_batches_total",
+                server=self.name,
+                tenant=tenant.config.name,
+            )
+            try:
+                estimates, traces = await self._execute_batch(
+                    entries, tenant, on_error
+                )
+            except Exception as exc:
+                # on_error="raise" (or an invalid policy string) surfaces
+                # as a typed per-batch error frame; the connection and its
+                # other requests live on.
+                await self._send_frame(
+                    writer,
+                    protocol.message(
+                        "error",
+                        id=request_id,
+                        code="batch-failed",
+                        error_type=type(exc).__name__,
+                        detail=str(exc),
+                    ),
+                )
+                return
+            await self._stream_result(
+                writer, request_id, estimates, traces if want_traces else None
+            )
+
+    async def _stream_result(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: object,
+        estimates: np.ndarray,
+        traces: Optional[list[ProbeTrace]],
+    ) -> None:
+        """Stream one result as ``chunk`` frames (always at least one)."""
+        total = int(estimates.size)
+        chunk = self._chunk_probes
+        with span("net.stream", server=self.name, probes=total):
+            start = 0
+            while True:
+                end = min(start + chunk, total)
+                frame = protocol.message(
+                    "chunk",
+                    id=request_id,
+                    start=start,
+                    count=total,
+                    estimates=protocol.encode_estimates(estimates[start:end]),
+                    eof=end >= total,
+                )
+                if traces is not None:
+                    frame["traces"] = [
+                        protocol.trace_to_wire(trace)
+                        for trace in traces
+                        if trace.position is not None and start <= trace.position < end
+                    ]
+                    # Position-less traces (scalar paths never produce
+                    # them here, but be safe) ride the first chunk.
+                    if start == 0:
+                        frame["traces"].extend(
+                            protocol.trace_to_wire(trace)
+                            for trace in traces
+                            if trace.position is None
+                        )
+                await self._send_frame(writer, frame)
+                if end >= total:
+                    return
+                start = end
+
+    # ------------------------------------------------------------------
+    # HTTP/JSON shim
+    # ------------------------------------------------------------------
+
+    async def _handle_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Answer one HTTP/1.1 request on the shared port, then close.
+
+        Supports ``POST /v1/batch`` with the batch-request JSON as body
+        and ``GET /v1/health``.  Estimates come back in the same
+        bit-exact base64-float64 encoding as the framed protocol.
+        """
+        try:
+            header_blob = first + await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return
+        head = header_blob.decode("latin-1")
+        request_line, _, header_text = head.partition("\r\n")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for line in header_text.split("\r\n"):
+            key, sep, value = line.partition(":")
+            if sep:
+                headers[key.strip().lower()] = value.strip()
+        if method == "GET" and path == "/v1/health":
+            await _http_respond(writer, 200, {"status": "ok", "server": self.name})
+            return
+        if method != "POST" or path != "/v1/batch":
+            await _http_respond(
+                writer, 404, {"error": f"unknown endpoint {method} {path}"}
+            )
+            return
+        token: Optional[str] = None
+        auth = headers.get("authorization", "")
+        if auth.lower().startswith("bearer "):
+            token = auth[7:].strip()
+        tenant = self._authenticate(token)
+        if tenant is None:
+            obs.count("repro_net_auth_failures_total", server=self.name)
+            await _http_respond(
+                writer, 401, {"error": protocol.REASON_AUTH_FAILED}
+            )
+            return
+        try:
+            length = int(headers.get("content-length", "0"))
+            body = await reader.readexactly(length) if length else b""
+            request = protocol.decode_frame(body)
+            protocol.check_version(request)
+        except (
+            ValueError,
+            asyncio.IncompleteReadError,
+            protocol.WireCodecError,
+        ) as exc:
+            await _http_respond(writer, 400, {"error": str(exc)})
+            return
+        entries = request.get("probes")
+        if not isinstance(entries, list):
+            await _http_respond(
+                writer, 400, {"error": "batch.probes must be an array"}
+            )
+            return
+        with span(
+            "net.batch",
+            server=self.name,
+            tenant=tenant.config.name,
+            probes=len(entries),
+            transport="http",
+        ):
+            obs.count(
+                "repro_net_batches_total",
+                server=self.name,
+                tenant=tenant.config.name,
+            )
+            try:
+                estimates, traces = await self._execute_batch(
+                    entries, tenant, request.get("on_error")
+                )
+            except Exception as exc:
+                await _http_respond(
+                    writer,
+                    422,
+                    {"error": str(exc), "error_type": type(exc).__name__},
+                )
+                return
+        payload = protocol.message(
+            "result",
+            count=int(estimates.size),
+            estimates=protocol.encode_estimates(estimates),
+        )
+        if request.get("traces"):
+            payload["traces"] = [protocol.trace_to_wire(t) for t in traces]
+        await _http_respond(writer, 200, payload)
+
+
+def _invalid_probe() -> Probe:
+    """Placeholder for an undecodable wire entry.
+
+    Never reaches an estimator — its admission verdict is always
+    ``REASON_WIRE_DECODE`` — but keeps result-vector positions aligned.
+    """
+    from repro.serve.service import EqualityProbe
+
+    return EqualityProbe(_INVALID_RELATION, _INVALID_RELATION, None)
+
+
+def _looks_like_http(first: bytes) -> bool:
+    """Heuristic shim dispatch: HTTP methods vs. a 4-byte length prefix.
+
+    A framed peer's first 4 bytes are a big-endian length well under
+    :data:`~repro.net.protocol.MAX_FRAME_BYTES` (so the first byte is
+    ``\\x00``); every HTTP method starts with an uppercase ASCII letter.
+    """
+    return bool(first) and first[:1].isalpha()
+
+
+async def _http_respond(
+    writer: asyncio.StreamWriter, status: int, payload: dict
+) -> None:
+    import json
+
+    reasons = {200: "OK", 400: "Bad Request", 401: "Unauthorized", 404: "Not Found", 422: "Unprocessable Entity"}
+    body = json.dumps(payload, separators=(",", ":"), allow_nan=False).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Threaded harness (tests, CLI, benchmarks)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A running server on a background event-loop thread.
+
+    Returned by :func:`serve_in_thread`; usable as a context manager.
+    ``address`` is ready as soon as the constructor returns.
+    """
+
+    def __init__(self, server: EstimationServer):
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-net-{server.name}", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("server thread failed to start in 30s")
+        if isinstance(self._startup, BaseException):
+            raise self._startup
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+            self._startup: object = None
+        except BaseException as exc:  # startup failure surfaces in __init__
+            self._startup = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the background server is bound to."""
+        return self.server.address
+
+    def stop(self) -> None:
+        """Stop the server and join the loop thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    service: EstimationService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    tenants: Optional[Sequence[TenantConfig]] = None,
+    chunk_probes: int = DEFAULT_CHUNK_PROBES,
+    name: Optional[str] = None,
+) -> ServerHandle:
+    """Start an :class:`EstimationServer` on a daemon event-loop thread."""
+    server = EstimationServer(
+        service,
+        host=host,
+        port=port,
+        tenants=tenants,
+        chunk_probes=chunk_probes,
+        name=name,
+    )
+    return ServerHandle(server)

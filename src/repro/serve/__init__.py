@@ -19,8 +19,11 @@ from repro.serve.service import (
     DEFAULT_MAX_TABLES,
     DEFAULT_RANGE_SELECTIVITY,
     ON_ERROR_POLICIES,
+    REASON_BACKPRESSURE,
     REASON_COMPILE_FAILED,
     REASON_QUARANTINED,
+    REASON_QUOTA_EXCEEDED,
+    AdmissionHook,
     EqualityProbe,
     EstimationService,
     JoinProbe,
@@ -43,8 +46,11 @@ __all__ = [
     "LATENCY_BUCKET_BOUNDS",
     "ON_ERROR_POLICIES",
     "PROBE_KINDS",
+    "REASON_BACKPRESSURE",
     "REASON_COMPILE_FAILED",
     "REASON_QUARANTINED",
+    "REASON_QUOTA_EXCEEDED",
+    "AdmissionHook",
     "CompiledCompact",
     "CompiledHistogram",
     "EqualityProbe",

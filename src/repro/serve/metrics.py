@@ -93,6 +93,14 @@ class ServiceMetrics:
         #: Degraded-probe counts keyed by reason string (e.g.
         #: ``"unknown-relation"``, ``"unorderable-domain"``).
         self.degradation_reasons: dict[str, int] = {}
+        #: Probes refused by admission control (quota/backpressure via the
+        #: ``admission=`` hook of ``estimate_batch``) — a subset of
+        #: ``degraded_probes``, counted separately so operators can tell
+        #: "tenant over quota" from "statistics missing" at a glance.
+        self.rejected_probes = 0
+        #: Admission rejections keyed by reason (``"quota-exceeded"``,
+        #: ``"backpressure"``, ...).
+        self.rejection_reasons: dict[str, int] = {}
         #: Probes refused because their statistics are quarantined (a
         #: subset of ``degraded_probes``; reason ``quarantined-statistics``).
         self.quarantined_probes = 0
@@ -155,6 +163,14 @@ class ServiceMetrics:
             self.degraded_probes += count
             self.degradation_reasons[reason] = (
                 self.degradation_reasons.get(reason, 0) + count
+            )
+
+    def record_rejected(self, reason: str, count: int = 1) -> None:
+        """Count *count* probes refused by admission control."""
+        with self._lock:
+            self.rejected_probes += count
+            self.rejection_reasons[reason] = (
+                self.rejection_reasons.get(reason, 0) + count
             )
 
     def record_quarantined(self, count: int = 1) -> None:
@@ -259,6 +275,7 @@ class ServiceMetrics:
             "not_equal_probes": self.not_equal_probes,
             "fallback_probes": self.fallback_probes,
             "degraded_probes": self.degraded_probes,
+            "rejected_probes": self.rejected_probes,
             "quarantined_probes": self.quarantined_probes,
             "compile_failures": self.compile_failures,
             "recoveries_applied": self.recoveries_applied,
@@ -268,6 +285,8 @@ class ServiceMetrics:
         }
         for reason, count in sorted(self.degradation_reasons.items()):
             out[f"degraded[{reason}]"] = count
+        for reason, count in sorted(self.rejection_reasons.items()):
+            out[f"rejected[{reason}]"] = count
         for label, count in zip(latency_bucket_labels(), self.latency_counts):
             out[f"latency[{label}]"] = count
         return out
@@ -292,6 +311,7 @@ class ServiceMetrics:
             ("repro_serve_batches_failed_total", frozen.batches_failed, "estimate_batch calls that raised"),
             ("repro_serve_fallback_probes_total", frozen.fallback_probes, "probes answered from no-statistics fallbacks"),
             ("repro_serve_degraded_probes_total", frozen.degraded_probes, "probes resolved through the on_error policy"),
+            ("repro_serve_rejected_probes_total", frozen.rejected_probes, "probes refused by admission control"),
             ("repro_serve_quarantined_probes_total", frozen.quarantined_probes, "probes refused over quarantined statistics"),
             ("repro_serve_compile_failures_total", frozen.compile_failures, "catalog entries whose table compile raised"),
             ("repro_serve_recoveries_applied_total", frozen.recoveries_applied, "recovery reports absorbed"),
@@ -339,6 +359,16 @@ class ServiceMetrics:
                     help="degraded probes by on_error reason",
                 )
             )
+        for reason, count in sorted(frozen.rejection_reasons.items()):
+            samples.append(
+                Sample(
+                    name="repro_serve_rejected_reason_total",
+                    labels=label_items + (("reason", reason),),
+                    value=float(count),
+                    kind="counter",
+                    help="admission-rejected probes by reason",
+                )
+            )
         cumulative = 0
         bucket_edges = [f"{bound!r}" for bound in LATENCY_BUCKET_BOUNDS] + ["+Inf"]
         for edge, count in zip(bucket_edges, frozen.latency_counts):
@@ -377,6 +407,15 @@ class ServiceMetrics:
                 for reason, count in sorted(self.degradation_reasons.items())
             )
             lines.append(f"degradation reasons: {reasons}")
+        if self.rejected_probes:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.rejection_reasons.items())
+            )
+            lines.append(
+                f"admission control: {self.rejected_probes} probes rejected "
+                f"({reasons})"
+            )
         if self.quarantined_probes or self.compile_failures:
             lines.append(
                 f"faulty statistics: {self.quarantined_probes} probes answered "

@@ -109,6 +109,11 @@ REASON_QUARANTINED = "quarantined-statistics"
 #: Compiling the entry's lookup table raised; the corrupt/buggy statistics
 #: are isolated instead of aborting the batch.
 REASON_COMPILE_FAILED = "table-compile-failed"
+#: Admission control (quota/backpressure) rejected the probe before it
+#: reached the estimators — typed so network tenants see *why* in their
+#: SDK traces and per-tenant metrics, never a dropped connection.
+REASON_QUOTA_EXCEEDED = "quota-exceeded"
+REASON_BACKPRESSURE = "backpressure"
 #: Fallback (non-degraded) reasons: the relation is known, the statistics
 #: form needed for a first-class answer is not.
 REASON_NO_STATISTICS = "no-statistics"
@@ -188,6 +193,15 @@ class ProbeTrace:
 
 #: Signature of the ``trace=`` hook.
 TraceHook = Callable[[ProbeTrace], None]
+
+#: Signature of the ``admission=`` hook accepted by
+#: :meth:`EstimationService.estimate_batch`.  Called once per batch with
+#: the probe sequence; returns ``None`` to admit everything, or a
+#: sequence aligned with the probes where each non-``None`` entry is a
+#: rejection reason string (e.g. :data:`REASON_QUOTA_EXCEEDED`).
+#: Rejected probes resolve through the ``on_error`` policy exactly like
+#: unanswerable probes — per-probe degradation, never a dropped batch.
+AdmissionHook = Callable[[Sequence["Probe"]], Optional[Sequence[Optional[str]]]]
 
 
 def _probe_position(positions: Optional[Sequence[int]], index: int) -> Optional[int]:
@@ -1293,6 +1307,7 @@ class EstimationService:
         *,
         on_error: Optional[str] = None,
         trace: Optional[TraceHook] = None,
+        admission: Optional[AdmissionHook] = None,
     ) -> np.ndarray:
         """Answer a heterogeneous batch of probes in one pass.
 
@@ -1306,13 +1321,21 @@ class EstimationService:
         through the ``on_error`` policy and never aborts the batch under
         the default ``"fallback"`` (or ``"nan"``) policy.  Batch latency
         is recorded into ``ServiceMetrics.latency_counts``.
+
+        ``admission=`` plugs quota/backpressure control into the same
+        degradation machinery: the hook sees the whole batch up front and
+        names a rejection reason per refused probe (see
+        :data:`AdmissionHook`); refused probes resolve through the
+        ``on_error`` policy with that reason and are counted in
+        ``ServiceMetrics.rejected_probes`` — the network server's
+        per-tenant quotas ride this hook.
         """
         policy = self._resolve_policy(on_error)
         probes = list(probes)
         started = perf_counter()
         with span("serve.batch", service=self.name, probes=len(probes)):
             try:
-                out = self._answer_batch(probes, policy, trace)
+                out = self._answer_batch(probes, policy, trace, admission)
             except Exception:
                 self.metrics.record_batch(failed=True)
                 raise
@@ -1320,13 +1343,93 @@ class EstimationService:
         self.metrics.record_latency(perf_counter() - started)
         return out
 
+    def _probe_kind(self, probe: Probe) -> str:
+        if isinstance(probe, EqualityProbe):
+            return "equality"
+        if isinstance(probe, RangeProbe):
+            return "range"
+        return "join"
+
+    def _rejected_fallback(self, probe: Probe) -> float:
+        """The bounded fallback served for an admission-rejected probe.
+
+        Mirrors the unanswerable-probe fallbacks: the System R magic
+        constants over known relation sizes, ``0.0`` when even the sizes
+        are unknown.
+        """
+        if isinstance(probe, JoinProbe):
+            rows_left = self._catalog.relation_rows(probe.left_relation)
+            rows_right = self._catalog.relation_rows(probe.right_relation)
+            if rows_left is None or rows_right is None:
+                return 0.0
+            return rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
+        rows = self._catalog.relation_rows(probe.relation)
+        if rows is None:
+            return 0.0
+        if isinstance(probe, RangeProbe):
+            return rows * DEFAULT_RANGE_SELECTIVITY
+        return rows * DEFAULT_EQ_SELECTIVITY
+
+    def _reject_probe(
+        self,
+        probe: Probe,
+        reason: str,
+        *,
+        policy: str,
+        trace: Optional[TraceHook],
+        position: int,
+    ) -> float:
+        """Resolve one admission-rejected probe through the error policy."""
+        kind = self._probe_kind(probe)
+        if isinstance(probe, JoinProbe):
+            relation = probe.left_relation
+            attribute: Optional[str] = probe.left_attribute
+        else:
+            relation = probe.relation
+            attribute = probe.attribute
+        self.metrics.record_rejected(reason)
+        value = self._degrade(
+            policy,
+            kind=kind,
+            relation=relation,
+            attribute=attribute,
+            reason=reason,
+            fallback=self._rejected_fallback(probe),
+            error=lambda reason=reason: PermissionError(
+                f"probe rejected by admission control: {reason}"
+            ),
+            trace=trace,
+            position=position,
+        )
+        self.metrics.record_probes(kind, 1)
+        return value
+
+    def _apply_admission(
+        self,
+        probes: Sequence[Probe],
+        admission: Optional[AdmissionHook],
+    ) -> Optional[Sequence[Optional[str]]]:
+        if admission is None:
+            return None
+        verdicts = admission(probes)
+        if verdicts is None:
+            return None
+        if len(verdicts) != len(probes):
+            raise ValueError(
+                f"admission hook returned {len(verdicts)} verdicts for "
+                f"{len(probes)} probes; they must align"
+            )
+        return verdicts
+
     def _answer_batch(
         self,
         probes: Sequence[Probe],
         policy: str,
         trace: Optional[TraceHook],
+        admission: Optional[AdmissionHook] = None,
     ) -> np.ndarray:
         out = np.zeros(len(probes), dtype=np.float64)
+        verdicts = self._apply_admission(probes, admission)
         equality_groups: dict[tuple[str, str], tuple[list[int], list[Hashable]]] = {}
         range_groups: dict[
             tuple[str, str, bool, bool],
@@ -1334,6 +1437,20 @@ class EstimationService:
         ] = {}
         joins: list[tuple[int, JoinProbe]] = []
         for position, probe in enumerate(probes):
+            if not isinstance(probe, (EqualityProbe, RangeProbe, JoinProbe)):
+                raise TypeError(
+                    f"unsupported probe type {type(probe).__name__}; expected "
+                    "EqualityProbe, RangeProbe, or JoinProbe"
+                )
+            if verdicts is not None and verdicts[position] is not None:
+                out[position] = self._reject_probe(
+                    probe,
+                    str(verdicts[position]),
+                    policy=policy,
+                    trace=trace,
+                    position=position,
+                )
+                continue
             if isinstance(probe, EqualityProbe):
                 positions, values = equality_groups.setdefault(
                     (probe.relation, probe.attribute), ([], [])
@@ -1353,13 +1470,8 @@ class EstimationService:
                 positions.append(position)
                 lows.append(probe.low)
                 highs.append(probe.high)
-            elif isinstance(probe, JoinProbe):
-                joins.append((position, probe))
             else:
-                raise TypeError(
-                    f"unsupported probe type {type(probe).__name__}; expected "
-                    "EqualityProbe, RangeProbe, or JoinProbe"
-                )
+                joins.append((position, probe))
         for (relation, attribute), (positions, values) in equality_groups.items():
             out[np.asarray(positions, dtype=np.intp)] = self._answer_equalities(
                 relation,

@@ -1,0 +1,489 @@
+"""Loopback tests: asyncio server + both SDK flavors against one service.
+
+The acceptance bar for the network front-end: a mixed 10k batch answered
+through the sync SDK, the async SDK, and the in-process service must
+produce three bit-identical float64 vectors — including degraded entries
+and their trace reasons — and admission control must surface as typed
+per-probe degradation, never as a dropped connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import math
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.biased import v_opt_bias_hist
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import CatalogEntry, StatsCatalog
+from repro.engine.relation import Relation
+from repro.net import (
+    AsyncEstimationClient,
+    AuthenticationError,
+    EstimationClient,
+    RemoteBatchError,
+    TenantConfig,
+    protocol,
+    serve_in_thread,
+)
+from repro.net.protocol import probes_to_wire
+from repro.obs import runtime
+from repro.obs.tracing import add_span_sink, clear_span_sinks
+from repro.serve import (
+    EqualityProbe,
+    EstimationService,
+    JoinProbe,
+    RangeProbe,
+)
+from repro.serve.service import REASON_BACKPRESSURE, REASON_QUOTA_EXCEEDED
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    runtime.reset()
+    clear_span_sinks()
+    yield
+    runtime.reset()
+    clear_span_sinks()
+
+
+@pytest.fixture
+def catalog():
+    catalog = StatsCatalog()
+    r = Relation.from_columns(
+        "R", {"a": [1] * 40 + [2] * 25 + [3] * 20 + [4] * 10 + [5] * 5}
+    )
+    s = Relation.from_columns("S", {"a": [1] * 10 + [2] * 10 + [3] * 10})
+    analyze_relation(r, "a", catalog, kind="serial", buckets=3)
+    analyze_relation(s, "a", catalog, kind="end-biased", buckets=2)
+    # A non-numeric domain: ranges answer first-class for string bounds
+    # and degrade (incomparable-bound) for numeric ones.
+    hist = v_opt_bias_hist([6.0, 3.0, 1.0], 2, values=["a", "b", "c"])
+    catalog.put(CatalogEntry("T", "s", "biased", hist, None, 3, 10.0))
+    return catalog
+
+
+@pytest.fixture
+def service(catalog):
+    return EstimationService(catalog)
+
+
+@pytest.fixture
+def server(service):
+    with serve_in_thread(service, name="test-net") as handle:
+        yield handle
+
+
+def mixed_probes(n):
+    """A deterministic mixed batch: healthy and poisoned, every kind."""
+    probes = []
+    for i in range(n):
+        pick = i % 10
+        if pick < 3:
+            probes.append(EqualityProbe("R", "a", (i % 7)))
+        elif pick < 5:
+            low = None if i % 4 == 0 else (i % 5)
+            high = None if i % 6 == 0 else (i % 5) + 2
+            probes.append(RangeProbe("R", "a", low, high, include_low=i % 2 == 0))
+        elif pick == 5:
+            probes.append(JoinProbe("R", "a", "S", "a"))
+        elif pick == 6:
+            probes.append(EqualityProbe("T", "s", "abc"[i % 3]))
+        elif pick == 7:
+            # Numeric bound over a string domain: incomparable-bound.
+            probes.append(RangeProbe("T", "s", 1, None))
+        elif pick == 8:
+            probes.append(EqualityProbe("ZZZ", "a", 1))  # unknown-relation
+        else:
+            probes.append(JoinProbe("ZZZ", "a", "R", "a"))  # unknown-relation
+    return probes
+
+
+def trace_key(trace):
+    value = "nan" if math.isnan(trace.value) else float(trace.value).hex()
+    return (
+        trace.position,
+        trace.kind,
+        trace.relation,
+        trace.attribute,
+        trace.reason,
+        trace.degraded,
+        value,
+    )
+
+
+class TestLoopbackBitIdentity:
+    @pytest.mark.parametrize("on_error", ["fallback", "nan"])
+    def test_10k_mixed_batch_three_ways(self, service, server, on_error):
+        """Sync SDK, async SDK, and in-process: three bit-identical
+        vectors and identical trace streams for a 10k mixed batch."""
+        probes = mixed_probes(10_000)
+        host, port = server.address
+
+        local_traces = []
+        local = service.estimate_batch(
+            probes, on_error=on_error, trace=local_traces.append
+        )
+
+        sync_traces = []
+        with EstimationClient(host, port) as client:
+            via_sync = client.estimate_batch(
+                probes, on_error=on_error, trace=sync_traces.append
+            )
+
+        async_traces = []
+
+        async def drive():
+            async with AsyncEstimationClient(host, port) as client:
+                return await client.estimate_batch(
+                    probes, on_error=on_error, trace=async_traces.append
+                )
+
+        via_async = asyncio.run(drive())
+
+        assert local.dtype == via_sync.dtype == via_async.dtype == np.float64
+        assert via_sync.tobytes() == local.tobytes()
+        assert via_async.tobytes() == local.tobytes()
+
+        # Degradations really happened (the batch is poisoned on purpose)…
+        assert local_traces
+        reasons = {trace.reason for trace in local_traces}
+        assert "unknown-relation" in reasons
+        assert "incomparable-bound" in reasons
+        # …and the wire carried every trace with its reason, bit-exact.
+        expected = sorted(trace_key(t) for t in local_traces)
+        assert sorted(trace_key(t) for t in sync_traces) == expected
+        assert sorted(trace_key(t) for t in async_traces) == expected
+
+    def test_raise_policy_is_a_typed_remote_error(self, service, server):
+        host, port = server.address
+        probes = [EqualityProbe("R", "a", 1), EqualityProbe("ZZZ", "a", 1)]
+        with EstimationClient(host, port) as client:
+            with pytest.raises(RemoteBatchError) as excinfo:
+                client.estimate_batch(probes, on_error="raise")
+            assert excinfo.value.code == "batch-failed"
+            assert excinfo.value.error_type == "KeyError"
+            # The connection survives the failed batch.
+            follow_up = client.estimate_batch([EqualityProbe("R", "a", 1)])
+            assert follow_up.shape == (1,)
+
+        async def drive():
+            async with AsyncEstimationClient(host, port) as client:
+                with pytest.raises(RemoteBatchError):
+                    await client.estimate_batch(probes, on_error="raise")
+                return await client.estimate_batch([EqualityProbe("R", "a", 1)])
+
+        assert asyncio.run(drive()).shape == (1,)
+
+    def test_empty_batch(self, server):
+        host, port = server.address
+        with EstimationClient(host, port) as client:
+            out = client.estimate_batch([])
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+    def test_ping(self, server):
+        host, port = server.address
+        with EstimationClient(host, port) as client:
+            assert client.ping() is True
+
+
+class TestStreaming:
+    def test_multi_chunk_stream_reassembles_bit_exactly(self, service):
+        probes = mixed_probes(50)
+        local = service.estimate_batch(probes)
+        with serve_in_thread(service, chunk_probes=7) as handle:
+            host, port = handle.address
+            with EstimationClient(host, port) as client:
+                chunks = list(client.stream_batch(probes))
+            assert [start for start, _ in chunks] == list(range(0, 50, 7))
+            assert all(chunk.size <= 7 for _, chunk in chunks)
+            joined = np.concatenate([chunk for _, chunk in chunks])
+            assert joined.tobytes() == local.tobytes()
+
+            async def drive():
+                collected = []
+                async with AsyncEstimationClient(host, port) as client:
+                    async for start, chunk in client.stream_batch(probes):
+                        collected.append((start, chunk))
+                return collected
+
+            async_chunks = asyncio.run(drive())
+            joined = np.concatenate([chunk for _, chunk in async_chunks])
+            assert joined.tobytes() == local.tobytes()
+
+
+class TestAuthentication:
+    def test_bad_token_is_refused_not_reset(self, service):
+        tenants = [TenantConfig(name="acme", token="s3cret")]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            host, port = handle.address
+            with pytest.raises(AuthenticationError):
+                EstimationClient(host, port, token="wrong").connect()
+            with pytest.raises(AuthenticationError):
+                asyncio.run(
+                    AsyncEstimationClient(host, port, token=None).connect()
+                )
+            with EstimationClient(host, port, token="s3cret") as client:
+                assert client.tenant == "acme"
+                out = client.estimate_batch([EqualityProbe("R", "a", 1)])
+            assert out.shape == (1,)
+
+
+class TestAdmission:
+    def test_quota_rejects_tail_probes_not_the_connection(self, service):
+        tenants = [
+            TenantConfig(name="acme", token="tok", max_probes_per_batch=5)
+        ]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            host, port = handle.address
+            probes = [EqualityProbe("R", "a", 1)] * 8
+            in_process = service.estimate_batch(probes[:5])
+            with EstimationClient(host, port, token="tok") as client:
+                traces = []
+                out = client.estimate_batch(probes, trace=traces.append)
+                # The prefix inside quota answers bit-identically…
+                assert out[:5].tobytes() == in_process.tobytes()
+                # …the tail degrades with the typed reason.
+                rejected = [t for t in traces if t.reason == REASON_QUOTA_EXCEEDED]
+                assert sorted(t.position for t in rejected) == [5, 6, 7]
+                assert all(t.degraded for t in rejected)
+                # Rejected equality probes fall back to |R| * 0.1.
+                assert np.all(out[5:] == pytest.approx(10.0))
+                # The connection survives and the next batch is answered.
+                again = client.estimate_batch(probes[:3], trace=traces.append)
+                assert again.tobytes() == in_process[:3].tobytes()
+
+    def test_quota_rejection_under_nan_policy(self, service):
+        tenants = [
+            TenantConfig(name="acme", token="tok", max_probes_per_batch=2)
+        ]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            host, port = handle.address
+            with EstimationClient(host, port, token="tok") as client:
+                out = client.estimate_batch(
+                    [EqualityProbe("R", "a", 1)] * 4, on_error="nan"
+                )
+            assert np.all(np.isfinite(out[:2]))
+            assert np.all(np.isnan(out[2:]))
+
+    def test_backpressure_bounds_pending_probes(self, service):
+        tenants = [
+            TenantConfig(name="acme", token="tok", max_pending_probes=4)
+        ]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            host, port = handle.address
+            probes = [EqualityProbe("R", "a", i % 5) for i in range(10)]
+            with EstimationClient(host, port, token="tok") as client:
+                for _ in range(2):  # pending releases between batches
+                    traces = []
+                    out = client.estimate_batch(probes, trace=traces.append)
+                    rejected = [
+                        t for t in traces if t.reason == REASON_BACKPRESSURE
+                    ]
+                    assert sorted(t.position for t in rejected) == list(range(4, 10))
+                    assert out.shape == (10,)
+
+    def test_rejections_surface_in_service_metrics(self, service):
+        tenants = [
+            TenantConfig(name="acme", token="tok", max_probes_per_batch=1)
+        ]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            host, port = handle.address
+            with EstimationClient(host, port, token="tok") as client:
+                client.estimate_batch([EqualityProbe("R", "a", 1)] * 3)
+        stats = service.stats()
+        assert stats.rejected_probes == 2
+        assert stats.rejection_reasons == {REASON_QUOTA_EXCEEDED: 2}
+        assert stats.probes_served == 3
+        assert "admission control" in stats.format()
+
+
+class TestMalformedWire:
+    def _framed_exchange(self, address, frames):
+        """Send frames over a raw socket; return every reply frame."""
+        with socket.create_connection(address, timeout=10) as sock:
+            for frame in frames:
+                sock.sendall(protocol.encode_frame(frame))
+            decoder = protocol.FrameDecoder()
+            received = []
+            sock.settimeout(10)
+            while True:
+                try:
+                    data = sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not data:
+                    break
+                received.extend(decoder.feed(data))
+                if any(f.get("op") == "error" or f.get("eof") for f in received):
+                    break
+            return received
+
+    def test_undecodable_probe_degrades_alone(self, service, server):
+        """A malformed entry resolves as wire-decode-failed; its batch
+        siblings are answered bit-identically to in-process."""
+        good = [EqualityProbe("R", "a", 1), EqualityProbe("R", "a", 2)]
+        local = service.estimate_batch(good)
+        wire_probes = probes_to_wire(good)
+        wire_probes.insert(1, {"kind": "mystery"})
+        request = protocol.batch_request(
+            wire_probes, request_id=7, on_error=None, want_traces=True
+        )
+        frames = self._framed_exchange(
+            server.address, [protocol.hello_request(token=None), request]
+        )
+        assert frames[0]["op"] == "welcome"
+        chunks = [f for f in frames if f.get("op") == "chunk"]
+        assert chunks and chunks[-1]["eof"]
+        estimates = np.concatenate(
+            [protocol.decode_estimates(f["estimates"]) for f in chunks]
+        )
+        assert estimates.shape == (3,)
+        assert estimates[0] == local[0]
+        assert estimates[2] == local[1]
+        traces = [
+            protocol.trace_from_wire(t)
+            for f in chunks
+            for t in f.get("traces", [])
+        ]
+        assert [t.reason for t in traces] == [protocol.REASON_WIRE_DECODE]
+        assert traces[0].position == 1
+        assert service.stats().rejection_reasons == {
+            protocol.REASON_WIRE_DECODE: 1
+        }
+
+    def test_version_mismatch_answered_with_typed_error(self, server):
+        frames = self._framed_exchange(
+            server.address, [{"v": 999, "op": "hello", "token": None}]
+        )
+        assert frames[0]["op"] == "error"
+        assert frames[0]["code"] == "wire-version"
+
+    def test_unknown_op_answered_not_dropped(self, server):
+        frames = self._framed_exchange(
+            server.address,
+            [protocol.hello_request(token=None), protocol.message("dance")],
+        )
+        assert frames[0]["op"] == "welcome"
+        assert frames[1]["op"] == "error"
+        assert frames[1]["code"] == "unknown-op"
+
+
+class TestHttpShim:
+    def test_health(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("GET", "/v1/health")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert json.loads(response.read())["status"] == "ok"
+
+    def test_batch_is_bit_identical(self, service, server):
+        probes = mixed_probes(64)
+        local = service.estimate_batch(probes)
+        host, port = server.address
+        body = json.dumps(
+            protocol.batch_request(
+                probes_to_wire(probes), request_id=1, on_error=None,
+                want_traces=True,
+            )
+        )
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("POST", "/v1/batch", body=body)
+        response = conn.getresponse()
+        assert response.status == 200
+        payload = json.loads(response.read())
+        estimates = protocol.decode_estimates(payload["estimates"])
+        assert estimates.tobytes() == local.tobytes()
+        assert payload["traces"]
+
+    def test_auth_required_when_tenanted(self, service):
+        tenants = [TenantConfig(name="acme", token="tok")]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            host, port = handle.address
+            body = json.dumps(
+                protocol.batch_request(
+                    [], request_id=1, on_error=None, want_traces=False
+                )
+            )
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("POST", "/v1/batch", body=body)
+            assert conn.getresponse().status == 401
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request(
+                "POST",
+                "/v1/batch",
+                body=body,
+                headers={"Authorization": "Bearer tok"},
+            )
+            assert conn.getresponse().status == 200
+
+    def test_unknown_endpoint_404(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("GET", "/v2/nope")
+        assert conn.getresponse().status == 404
+
+    def test_invalid_policy_422(self, service, server):
+        host, port = server.address
+        body = json.dumps(
+            protocol.batch_request(
+                probes_to_wire([EqualityProbe("R", "a", 1)]),
+                request_id=1,
+                on_error="explode",
+                want_traces=False,
+            )
+        )
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("POST", "/v1/batch", body=body)
+        response = conn.getresponse()
+        assert response.status == 422
+        assert json.loads(response.read())["error_type"] == "ValueError"
+
+
+class TestInstrumentation:
+    def test_net_spans_and_per_tenant_counters(self, service):
+        records = []
+        add_span_sink(records.append)
+        tenants = [TenantConfig(name="acme", token="tok")]
+        with serve_in_thread(service, tenants=tenants, name="obs-net") as handle:
+            host, port = handle.address
+            with EstimationClient(host, port, token="tok") as client:
+                client.estimate_batch(mixed_probes(8))
+                # A ping round-trip guarantees the batch/stream spans
+                # (closed before the pong is written) have been sunk.
+                client.ping()
+        # The connection is closed now, so net.accept has ended too.
+        deadline = 50
+        while deadline and "net.accept" not in {r.name for r in records}:
+            deadline -= 1
+            time.sleep(0.05)
+        names = {record.name for record in records}
+        assert {"net.accept", "net.batch", "net.stream"} <= names
+        batch_span = next(r for r in records if r.name == "net.batch")
+        assert dict(batch_span.tags)["tenant"] == "acme"
+        text = runtime.get_registry().to_prometheus()
+        assert "repro_net_connections_total" in text
+        assert "repro_net_batches_total" in text
+        assert 'tenant="acme"' in text
+        assert "repro_net_probes_total" in text
+
+    def test_rejected_counter_exported(self, service):
+        tenants = [
+            TenantConfig(name="acme", token="tok", max_probes_per_batch=1)
+        ]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            host, port = handle.address
+            with EstimationClient(host, port, token="tok") as client:
+                client.estimate_batch([EqualityProbe("R", "a", 1)] * 4)
+        text = runtime.get_registry().to_prometheus()
+        assert "repro_net_rejected_probes_total" in text
+        assert "repro_serve_rejected_probes_total" in text
+        assert 'reason="quota-exceeded"' in text

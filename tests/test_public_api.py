@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.queries",
     "repro.maint",
     "repro.experiments",
+    "repro.net",
     "repro.serve",
     "repro.sql",
     "repro.testing",
