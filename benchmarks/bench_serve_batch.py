@@ -1,23 +1,39 @@
-"""Serving-layer benchmark: batched probes vs the scalar estimation loop.
+"""Serving-layer benchmark: scalar loop vs batch vs pre-grouped frame.
 
 The batched interface exists to amortize per-probe Python dispatch:
 :meth:`~repro.serve.EstimationService.estimate_batch` groups probes by
-(relation, attribute) and answers each group with one vectorized sweep
-over the compiled tables.  This bench drives 10k mixed equality/range
-probes (plus a sprinkle of joins) through both paths and checks the
-three serving guarantees:
+(relation, attribute, kind) and answers each group with one vectorized
+sweep over the compiled tables.  Since the hot path went array-native,
+the grouping walk itself is the remaining Python-object cost — callers
+with a stable workload skip even that by pre-building a
+:class:`~repro.serve.ProbeFrame` once and re-answering it.
 
-* the batch answer vector is **bit-identical** to the scalar loop
-  (both paths read the same compiled tables);
-* the batch path is at least an order of magnitude faster;
+This bench drives 10k mixed equality/range probes (plus a sprinkle of
+joins) through all three arms — scalar loop, ``estimate_batch(list)``,
+``estimate_batch(frame)`` — interleaved round by round (the
+``bench_obs_overhead`` pattern: background-load drift hits every arm
+equally) and checks the serving guarantees:
+
+* all three arms are **bit-identical** (they read the same compiled
+  tables through the same code paths);
+* the batch path amortizes dispatch (``MIN_LIST_SPEEDUP``) and the frame
+  path additionally amortizes grouping (``MIN_FRAME_SPEEDUP``,
+  ``MIN_FRAME_VS_LIST``);
 * repeated batches never recompile — the table-miss counter stays flat;
 * a poisoned batch (unknown relations sprinkled in) still completes under
   the default ``on_error`` policy, with healthy positions bit-identical to
   the clean run and the degraded counter accounting for the poison.
+
+Medians land in ``benchmarks/results/BENCH_serve.json`` (alongside the
+pre-vectorization in-tree reference) so the speedup is tracked across
+revisions; CI's perf job gates on this file.
 """
 
 from __future__ import annotations
 
+import json
+import statistics
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
@@ -29,14 +45,36 @@ from repro.engine.analyze import analyze_relation
 from repro.engine.catalog import StatsCatalog
 from repro.engine.relation import Relation
 from repro.experiments.report import format_table
-from repro.serve import EqualityProbe, EstimationService, JoinProbe, RangeProbe
+from repro.serve import (
+    EqualityProbe,
+    EstimationService,
+    JoinProbe,
+    ProbeFrame,
+    RangeProbe,
+)
 from repro.util.rng import derive_rng
 
 N_RELATIONS = 4
 TOTAL = 4000
 DOMAIN = 100
 N_PROBES = 10_000
-MIN_SPEEDUP = 10.0
+#: Interleaved measurement rounds per arm (medians are reported).
+ROUNDS = 9
+#: estimate_batch(list) vs the scalar loop.
+MIN_LIST_SPEEDUP = 10.0
+#: estimate_batch(prebuilt frame) vs the scalar loop.
+MIN_FRAME_SPEEDUP = 40.0
+#: The frame arm must beat the list arm by enough to prove the answer
+#: sweep itself (not just dispatch amortization) went array-native.
+#: Measured on the reference box: list ≈5.5ms, frame ≈1.1–1.3ms (≈4–5x),
+#: vs the 6.5ms pre-vectorization in-tree batch (≈5x+).
+MIN_FRAME_VS_LIST = 3.0
+#: The batch seconds recorded in-tree before the hot path went
+#: array-native (benchmarks/results/serving-layer-…txt) — kept in the
+#: JSON so the cross-revision speedup stays visible.  Absolute seconds
+#: are machine-specific, so no gate compares against this directly.
+RECORDED_BASELINE_BATCH_SECONDS = 0.0065
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serve.json"
 
 
 def zipf_column(total, domain, z, gen):
@@ -108,19 +146,33 @@ def run_serve_batch():
     service = build_service(gen)
     probes = build_probes(gen)
 
-    # Warm the compiled-table cache so neither path pays compile time.
+    # Warm the compiled-table cache so no arm pays compile time.
     service.estimate_batch(probes[:100])
     misses_after_warmup = service.stats().table_misses
 
-    started = perf_counter()
-    scalar = scalar_loop(service, probes)
-    scalar_seconds = perf_counter() - started
+    frame = ProbeFrame.from_probes(probes)
 
-    started = perf_counter()
-    batched = service.estimate_batch(probes)
-    batch_seconds = perf_counter() - started
+    scalar_times, list_times, frame_times, build_times = [], [], [], []
+    scalar = batched = framed = None
+    for round_index in range(ROUNDS):
+        # The scalar loop is ~50x the batch time; three rounds bound the
+        # bench's wall clock while still damping jitter on its median.
+        if round_index < 3:
+            started = perf_counter()
+            scalar = scalar_loop(service, probes)
+            scalar_times.append(perf_counter() - started)
 
-    repeat = service.estimate_batch(probes)
+        started = perf_counter()
+        batched = service.estimate_batch(probes)
+        list_times.append(perf_counter() - started)
+
+        started = perf_counter()
+        framed = service.estimate_batch(frame)
+        frame_times.append(perf_counter() - started)
+
+        started = perf_counter()
+        ProbeFrame.from_probes(probes)
+        build_times.append(perf_counter() - started)
 
     # Fault-isolation smoke: poison every 100th slot with an unknown
     # relation; the batch must still complete with the healthy positions
@@ -136,12 +188,14 @@ def run_serve_batch():
     return {
         "scalar": scalar,
         "batched": batched,
-        "repeat": repeat,
+        "framed": framed,
         "poisoned_out": poisoned_out,
         "poison_positions": list(poison_positions),
         "degraded_delta": degraded_delta,
-        "scalar_seconds": scalar_seconds,
-        "batch_seconds": batch_seconds,
+        "scalar_seconds": statistics.median(scalar_times),
+        "list_seconds": statistics.median(list_times),
+        "frame_seconds": statistics.median(frame_times),
+        "build_seconds": statistics.median(build_times),
         "misses_after_warmup": misses_after_warmup,
         "misses_final": service.stats().table_misses,
     }
@@ -149,33 +203,66 @@ def run_serve_batch():
 
 def test_serve_batch_speedup(benchmark):
     result = benchmark.pedantic(run_serve_batch, rounds=1, iterations=1)
-    speedup = result["scalar_seconds"] / result["batch_seconds"]
+    scalar_s = result["scalar_seconds"]
+    list_s = result["list_seconds"]
+    frame_s = result["frame_seconds"]
+    list_speedup = scalar_s / list_s
+    frame_speedup = scalar_s / frame_s
+    frame_vs_list = list_s / frame_s
 
     record_report(
         f"Serving layer — {N_PROBES} mixed probes over {N_RELATIONS} relations: "
-        "scalar loop vs estimate_batch",
+        "scalar loop vs estimate_batch vs prebuilt frame",
         format_table(
-            ["path", "seconds", "probes/sec"],
+            ["path", "seconds", "probes/sec", "speedup vs scalar"],
             [
+                ["scalar loop", scalar_s, N_PROBES / scalar_s, 1.0],
+                ["estimate_batch(list)", list_s, N_PROBES / list_s, list_speedup],
+                ["estimate_batch(frame)", frame_s, N_PROBES / frame_s, frame_speedup],
                 [
-                    "scalar loop",
-                    result["scalar_seconds"],
-                    N_PROBES / result["scalar_seconds"],
+                    "frame build (one-time)",
+                    result["build_seconds"],
+                    N_PROBES / result["build_seconds"],
+                    float("nan"),
                 ],
-                [
-                    "estimate_batch",
-                    result["batch_seconds"],
-                    N_PROBES / result["batch_seconds"],
-                ],
-                ["speedup", speedup, float("nan")],
             ],
             precision=4,
         ),
     )
 
-    # Bit-identical answers: both paths read the same compiled tables.
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "serve_batch",
+                "probes": N_PROBES,
+                "relations": N_RELATIONS,
+                "rounds": ROUNDS,
+                "scalar_seconds": scalar_s,
+                "list_batch_seconds": list_s,
+                "frame_batch_seconds": frame_s,
+                "frame_build_seconds": result["build_seconds"],
+                "list_speedup_vs_scalar": list_speedup,
+                "frame_speedup_vs_scalar": frame_speedup,
+                "frame_speedup_vs_list": frame_vs_list,
+                "recorded_baseline_batch_seconds": RECORDED_BASELINE_BATCH_SECONDS,
+                "frame_speedup_vs_recorded_baseline": (
+                    RECORDED_BASELINE_BATCH_SECONDS / frame_s
+                ),
+                "gates": {
+                    "min_list_speedup": MIN_LIST_SPEEDUP,
+                    "min_frame_speedup": MIN_FRAME_SPEEDUP,
+                    "min_frame_vs_list": MIN_FRAME_VS_LIST,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Bit-identical answers: all arms read the same compiled tables.
     assert np.array_equal(result["scalar"], result["batched"])
-    assert np.array_equal(result["batched"], result["repeat"])
+    assert np.array_equal(result["batched"], result["framed"])
     # Repeated batches never recompile.
     assert result["misses_final"] == result["misses_after_warmup"]
     # Fault isolation: poisoned positions degrade to the documented 0.0
@@ -188,6 +275,16 @@ def test_serve_batch_speedup(benchmark):
             assert value == 0.0
         else:
             assert value == result["batched"][position]
-    assert speedup >= MIN_SPEEDUP, (
-        f"estimate_batch only {speedup:.1f}x faster than the scalar loop"
+    assert list_speedup >= MIN_LIST_SPEEDUP, (
+        f"estimate_batch(list) only {list_speedup:.1f}x faster than the "
+        f"scalar loop (needs {MIN_LIST_SPEEDUP:.0f}x)"
+    )
+    assert frame_speedup >= MIN_FRAME_SPEEDUP, (
+        f"estimate_batch(frame) only {frame_speedup:.1f}x faster than the "
+        f"scalar loop (needs {MIN_FRAME_SPEEDUP:.0f}x)"
+    )
+    assert frame_vs_list >= MIN_FRAME_VS_LIST, (
+        f"prebuilt frame only {frame_vs_list:.1f}x faster than the list "
+        f"path (needs {MIN_FRAME_VS_LIST:.0f}x) — the answer sweep is "
+        "paying per-probe costs again"
     )

@@ -118,6 +118,9 @@ def estimate_membership(
     Repeated probe values are deduplicated (keeping first-occurrence
     order, so the summation order — and hence the float result — is
     deterministic): ``a IN (c, c)`` selects each matching tuple once.
+    Unhashable probe values contribute 0.0 mass — nothing stored in a
+    histogram can equal them — matching :func:`estimate_equality` instead
+    of raising.
     """
     return _compiled(histogram).membership(values)
 

@@ -13,6 +13,8 @@ and batched results are bit-identical to the scalar paths.
 
 from __future__ import annotations
 
+from repro.serve.frame import ProbeFrame
+from repro.serve.index import TreeBucketIndex
 from repro.serve.metrics import LATENCY_BUCKET_BOUNDS, PROBE_KINDS, ServiceMetrics
 from repro.serve.service import (
     DEFAULT_EQ_SELECTIVITY,
@@ -57,10 +59,12 @@ __all__ = [
     "EstimationService",
     "JoinProbe",
     "Probe",
+    "ProbeFrame",
     "ProbeTrace",
     "RangeProbe",
     "ServiceMetrics",
     "TableCompileError",
+    "TreeBucketIndex",
     "compile_compact",
     "compile_histogram",
 ]

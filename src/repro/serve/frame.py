@@ -1,0 +1,437 @@
+"""Columnar probe batches: the array-native front door of the service.
+
+"Selectivity Estimation of Inequality Joins In Databases" (PAPERS.md)
+works on per-relation histograms held as plain arrays, with every
+operation a whole-column pass.  This module brings the same shape to the
+serving hot path: a heterogeneous probe batch is converted **once** into
+a :class:`ProbeFrame` — probes bucketed by (relation, attribute, kind)
+through index arrays, values/bounds pre-converted to numeric columns
+where possible — and :meth:`EstimationService.estimate_batch
+<repro.serve.service.EstimationService.estimate_batch>` then answers
+each group with one vectorized table call and scatters the results back
+by position.
+
+Building a frame is the only part of a batch that must walk Python
+objects (one attribute extraction per probe).  Callers with a stable
+probe workload can build the frame once with
+:meth:`ProbeFrame.from_probes` and pass it to ``estimate_batch``
+repeatedly: every later call skips the grouping entirely and runs as a
+handful of numpy array operations per group.
+
+The probe dataclasses themselves live here (the service module re-exports
+them, so ``from repro.serve.service import EqualityProbe`` keeps working).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.serve.tables import probe_code_array, range_bound_arrays
+
+
+@dataclass(frozen=True)
+class EqualityProbe:
+    """One ``σ_{attribute = value}(relation)`` cardinality request."""
+
+    relation: str
+    attribute: str
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class RangeProbe:
+    """One range-selection cardinality request (``None`` bounds are open)."""
+
+    relation: str
+    attribute: str
+    low: Optional[Hashable] = None
+    high: Optional[Hashable] = None
+    include_low: bool = True
+    include_high: bool = True
+
+
+@dataclass(frozen=True)
+class JoinProbe:
+    """One two-way equality-join cardinality request."""
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+
+
+Probe = Union[EqualityProbe, RangeProbe, JoinProbe]
+
+_KIND_EQUALITY = 0
+_KIND_RANGE = 1
+_KIND_JOIN = 2
+
+#: Exact-type dispatch for the hot conversion loop; subclasses fall back
+#: to the isinstance path below (and are memoized here afterwards).
+_KIND_BY_TYPE: dict[type, int] = {
+    EqualityProbe: _KIND_EQUALITY,
+    RangeProbe: _KIND_RANGE,
+    JoinProbe: _KIND_JOIN,
+}
+
+
+def _kind_code(probe: object) -> int:
+    if isinstance(probe, EqualityProbe):
+        code = _KIND_EQUALITY
+    elif isinstance(probe, RangeProbe):
+        code = _KIND_RANGE
+    elif isinstance(probe, JoinProbe):
+        code = _KIND_JOIN
+    else:
+        raise TypeError(
+            f"unsupported probe type {type(probe).__name__}; expected "
+            "EqualityProbe, RangeProbe, or JoinProbe"
+        )
+    _KIND_BY_TYPE[type(probe)] = code
+    return code
+
+
+class EqualityGroup:
+    """One (relation, attribute) equality bucket of a frame."""
+
+    __slots__ = ("relation", "attribute", "positions", "values")
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        positions: np.ndarray,
+        values: Union[np.ndarray, list],
+    ):
+        self.relation = relation
+        self.attribute = attribute
+        #: Indices into the original batch (the scatter targets).
+        self.positions = positions
+        #: Probe values: a numeric ndarray when the whole equality column
+        #: vectorizes, a plain list otherwise.
+        self.values = values
+
+
+class RangeGroup:
+    """One (relation, attribute, inclusivity) range bucket of a frame."""
+
+    __slots__ = (
+        "relation",
+        "attribute",
+        "include_low",
+        "include_high",
+        "positions",
+        "lows",
+        "highs",
+        "low_codes",
+        "high_codes",
+        "low_open",
+        "high_open",
+    )
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        include_low: bool,
+        include_high: bool,
+        positions: np.ndarray,
+        lows: list,
+        highs: list,
+        low_codes: Optional[np.ndarray],
+        high_codes: Optional[np.ndarray],
+        low_open: Optional[np.ndarray] = None,
+        high_open: Optional[np.ndarray] = None,
+    ):
+        self.relation = relation
+        self.attribute = attribute
+        self.include_low = include_low
+        self.include_high = include_high
+        self.positions = positions
+        #: Original bounds (needed for exact-path tables and error text).
+        self.lows = lows
+        self.highs = highs
+        #: Pre-converted float64 bound columns (open bounds at ±inf), or
+        #: ``None`` when some bound is not numeric.
+        self.low_codes = low_codes
+        self.high_codes = high_codes
+        #: Open-bound masks matching the code columns (``None`` when that
+        #: side has no ``None`` bound).
+        self.low_open = low_open
+        self.high_open = high_open
+
+
+class JoinGroup:
+    """One distinct join key of a frame (computed once, scattered to all)."""
+
+    __slots__ = (
+        "left_relation",
+        "left_attribute",
+        "right_relation",
+        "right_attribute",
+        "positions",
+    )
+
+    def __init__(
+        self,
+        left_relation: str,
+        left_attribute: str,
+        right_relation: str,
+        right_attribute: str,
+        positions: np.ndarray,
+    ):
+        self.left_relation = left_relation
+        self.left_attribute = left_attribute
+        self.right_relation = right_relation
+        self.right_attribute = right_attribute
+        self.positions = positions
+
+
+def _intern(names: list) -> tuple[list, Optional[dict]]:
+    """Distinct names in first-occurrence order, plus a name -> id map."""
+    distinct = list(dict.fromkeys(names))
+    if len(distinct) == 1:
+        return distinct, None
+    return distinct, {name: i for i, name in enumerate(distinct)}
+
+
+def _group_slices(gids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(order, starts, ends) partitioning ``gids`` into equal-id runs."""
+    order = np.argsort(gids, kind="stable")
+    sorted_gids = gids[order]
+    cuts = np.nonzero(sorted_gids[1:] != sorted_gids[:-1])[0] + 1
+    starts = np.concatenate(([0], cuts))
+    ends = np.concatenate((cuts, [gids.size]))
+    return order, starts, ends
+
+
+def _group_equalities(
+    probes: list, positions: np.ndarray
+) -> list[EqualityGroup]:
+    rels = [p.relation for p in probes]
+    attrs = [p.attribute for p in probes]
+    values = [p.value for p in probes]
+    rel_names, rel_ids = _intern(rels)
+    attr_names, attr_ids = _intern(attrs)
+    if rel_ids is None and attr_ids is None:
+        arr = probe_code_array(values)
+        return [
+            EqualityGroup(
+                rel_names[0],
+                attr_names[0],
+                positions,
+                values if arr is None else arr,
+            )
+        ]
+    n_attr = len(attr_names)
+    if rel_ids is None:
+        gids = np.fromiter(
+            map(attr_ids.__getitem__, attrs), dtype=np.int64, count=len(attrs)
+        )
+    else:
+        gids = np.fromiter(
+            map(rel_ids.__getitem__, rels), dtype=np.int64, count=len(rels)
+        )
+        if attr_ids is not None:
+            gids *= n_attr
+            gids += np.fromiter(
+                map(attr_ids.__getitem__, attrs), dtype=np.int64, count=len(attrs)
+            )
+    order, starts, ends = _group_slices(gids)
+    positions_sorted = positions[order]
+    arr = probe_code_array(values)
+    values_sorted = arr[order] if arr is not None else None
+    order_list = order.tolist()
+    groups: list[EqualityGroup] = []
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        # The run's first probe is its representative: the grouping key
+        # is constant within the run.
+        head = probes[order_list[start]]
+        if values_sorted is not None:
+            group_values: Union[np.ndarray, list] = values_sorted[start:end]
+        else:
+            group_values = [values[i] for i in order_list[start:end]]
+        groups.append(
+            EqualityGroup(
+                head.relation,
+                head.attribute,
+                positions_sorted[start:end],
+                group_values,
+            )
+        )
+    return groups
+
+
+def _group_ranges(probes: list, positions: np.ndarray) -> list[RangeGroup]:
+    rels = [p.relation for p in probes]
+    attrs = [p.attribute for p in probes]
+    lows = [p.low for p in probes]
+    highs = [p.high for p in probes]
+    incl_low = [p.include_low for p in probes]
+    incl_high = [p.include_high for p in probes]
+    rel_names, rel_ids = _intern(rels)
+    attr_names, attr_ids = _intern(attrs)
+    count = len(probes)
+    single_incl = all(incl_low) or not any(incl_low)
+    single_inch = all(incl_high) or not any(incl_high)
+    if rel_ids is None and attr_ids is None and single_incl and single_inch:
+        bounds = range_bound_arrays(lows, highs)
+        if bounds is None:
+            bounds = (None, None, None, None)
+        return [
+            RangeGroup(
+                rel_names[0],
+                attr_names[0],
+                bool(incl_low[0]),
+                bool(incl_high[0]),
+                positions,
+                lows,
+                highs,
+                *bounds,
+            )
+        ]
+    n_attr = len(attr_names)
+    if rel_ids is None:
+        gids = np.zeros(count, dtype=np.int64)
+    else:
+        gids = np.fromiter(
+            map(rel_ids.__getitem__, rels), dtype=np.int64, count=count
+        )
+    if attr_ids is not None:
+        gids = gids * n_attr + np.fromiter(
+            map(attr_ids.__getitem__, attrs), dtype=np.int64, count=count
+        )
+    # Inclusivity bits are usually uniform across a workload; encode them
+    # into the group id only when they actually vary.
+    if not single_incl:
+        gids = gids * 2 + np.fromiter(incl_low, dtype=np.int64, count=count)
+    if not single_inch:
+        gids = gids * 2 + np.fromiter(incl_high, dtype=np.int64, count=count)
+    order, starts, ends = _group_slices(gids)
+    positions_sorted = positions[order]
+    order_list = order.tolist()
+    groups: list[RangeGroup] = []
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        indices = order_list[start:end]
+        # The run's first probe is its representative: every encoded
+        # grouping key is constant within the run.
+        head = probes[indices[0]]
+        group_lows = [lows[i] for i in indices]
+        group_highs = [highs[i] for i in indices]
+        bounds = range_bound_arrays(group_lows, group_highs)
+        if bounds is None:
+            bounds = (None, None, None, None)
+        groups.append(
+            RangeGroup(
+                head.relation,
+                head.attribute,
+                bool(head.include_low),
+                bool(head.include_high),
+                positions_sorted[start:end],
+                group_lows,
+                group_highs,
+                *bounds,
+            )
+        )
+    return groups
+
+
+def _group_joins(probes: list, positions: np.ndarray) -> list[JoinGroup]:
+    buckets: dict[tuple, list[int]] = {}
+    for offset, probe in enumerate(probes):
+        key = (
+            probe.left_relation,
+            probe.left_attribute,
+            probe.right_relation,
+            probe.right_attribute,
+        )
+        buckets.setdefault(key, []).append(offset)
+    return [
+        JoinGroup(*key, positions[np.asarray(offsets, dtype=np.intp)])
+        for key, offsets in buckets.items()
+    ]
+
+
+class ProbeFrame:
+    """A probe batch in columnar, pre-grouped form.
+
+    Construction walks the Python probe objects exactly once; answering a
+    frame is then pure per-group array work, and the same frame can be
+    answered repeatedly (each call returns a fresh result vector).
+    """
+
+    __slots__ = ("probes", "equality_groups", "range_groups", "join_groups", "_length")
+
+    def __init__(
+        self,
+        probes: list,
+        equality_groups: list[EqualityGroup],
+        range_groups: list[RangeGroup],
+        join_groups: list[JoinGroup],
+    ):
+        self.probes = probes
+        self.equality_groups = equality_groups
+        self.range_groups = range_groups
+        self.join_groups = join_groups
+        self._length = len(probes)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def group_count(self) -> int:
+        """Total number of (relation, attribute, kind) buckets."""
+        return (
+            len(self.equality_groups)
+            + len(self.range_groups)
+            + len(self.join_groups)
+        )
+
+    @classmethod
+    def from_probes(cls, probes: Union[Sequence[Probe], Iterable[Probe]]) -> "ProbeFrame":
+        """Group a probe sequence into its columnar serving form.
+
+        Raises ``TypeError`` for any element that is not an
+        ``EqualityProbe``, ``RangeProbe``, or ``JoinProbe`` — the same
+        contract the per-probe dispatch loop used to enforce.
+        """
+        probe_list = probes if isinstance(probes, list) else list(probes)
+        n = len(probe_list)
+        if n == 0:
+            return cls(probe_list, [], [], [])
+        try:
+            kinds = np.fromiter(
+                map(_KIND_BY_TYPE.__getitem__, map(type, probe_list)),
+                dtype=np.uint8,
+                count=n,
+            )
+        except KeyError:
+            # Unknown or subclassed probe type: resolve per probe (and
+            # memoize subclasses), raising the documented TypeError for
+            # anything that is not a probe at all.
+            kinds = np.fromiter(
+                map(_kind_code, probe_list), dtype=np.uint8, count=n
+            )
+        counts = np.bincount(kinds, minlength=3)
+        equality_groups: list[EqualityGroup] = []
+        range_groups: list[RangeGroup] = []
+        join_groups: list[JoinGroup] = []
+        for kind, count in enumerate(counts.tolist()):
+            if not count:
+                continue
+            if count == n:
+                positions = np.arange(n, dtype=np.intp)
+                subset = probe_list
+            else:
+                positions = np.nonzero(kinds == kind)[0]
+                subset = [probe_list[i] for i in positions.tolist()]
+            if kind == _KIND_EQUALITY:
+                equality_groups = _group_equalities(subset, positions)
+            elif kind == _KIND_RANGE:
+                range_groups = _group_ranges(subset, positions)
+            else:
+                join_groups = _group_joins(subset, positions)
+        return cls(probe_list, equality_groups, range_groups, join_groups)

@@ -1,0 +1,117 @@
+"""Tree-like bucket index over a compiled table's sorted code array.
+
+"Enhancing Histograms by Tree-Like Bucket Indices" (PAPERS.md) observes
+that a histogram whose buckets carry a small search tree answers range
+and inequality lookups sublinearly in the bucket count instead of
+scanning buckets.  The serving layer's compiled tables keep their whole
+domain in one sorted float64 ``codes`` array; this module adds the tree
+layer on top of it:
+
+* a contiguous *fence* array holding the maximum code of each
+  fixed-fanout chunk (the tree's one internal level — for the domain
+  sizes histograms reach, two levels are always enough);
+* a first ``np.searchsorted`` over the fences locates each probe's
+  chunk in C;
+* a fully vectorized binary search refines every probe inside its
+  chunk simultaneously — ``ceil(log2(fanout)) + 1`` array passes,
+  independent of the domain size.
+
+The index is a drop-in replacement for ``np.searchsorted`` over the
+same codes and is required to be **bit-identical** to it for both
+``side="left"`` and ``side="right"``, including NaN probes and NaN
+codes (property-tested in ``tests/serve/test_index.py``).  Compiled
+tables engage it only above :data:`TREE_INDEX_MIN_SIZE` codes, where
+the fence array's cache locality pays for the extra bookkeeping; below
+that the flat binary search is already effectively free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+#: Chunk width of the fence level.  64 float64 codes per chunk keeps a
+#: chunk inside one or two cache lines' worth of fences while bounding
+#: the vectorized refinement at seven passes.
+DEFAULT_FANOUT = 64
+
+#: Smallest ``codes`` array for which compiled tables build the index.
+TREE_INDEX_MIN_SIZE = 4096
+
+
+class TreeBucketIndex:
+    """Two-level searchsorted over one sorted float64 code array."""
+
+    __slots__ = ("_codes", "_fences", "_fanout", "_depth")
+
+    def __init__(self, codes: Union[np.ndarray, Sequence[float]], fanout: int = DEFAULT_FANOUT):
+        codes = np.asarray(codes, dtype=np.float64)
+        if codes.ndim != 1:
+            raise ValueError(f"codes must be one-dimensional, got shape {codes.shape}")
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        self._codes = codes
+        self._fanout = int(fanout)
+        # Fences are chunk maxima: codes[f-1], codes[2f-1], ... — the tail
+        # chunk (possibly short) needs no fence, its window is clamped to n.
+        self._fences = codes[self._fanout - 1 :: self._fanout]
+        depth = 1
+        while (1 << depth) < self._fanout:
+            depth += 1
+        # A window of w elements converges in ceil(log2(w + 1)) halvings.
+        self._depth = depth + 1
+
+    @property
+    def size(self) -> int:
+        """Number of codes indexed."""
+        return int(self._codes.size)
+
+    @property
+    def fanout(self) -> int:
+        """Chunk width of the fence level."""
+        return self._fanout
+
+    @property
+    def fence_count(self) -> int:
+        """Number of internal-level fences."""
+        return int(self._fences.size)
+
+    def searchsorted(
+        self, probes: Union[np.ndarray, Sequence[float]], side: str = "left"
+    ) -> np.ndarray:
+        """Insertion positions of *probes*, bit-identical to numpy's.
+
+        Equivalent to ``np.searchsorted(codes, probes, side=side)`` —
+        the flat search is the specification, the tree is the layout.
+        """
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        probes = np.asarray(probes, dtype=np.float64)
+        if probes.ndim != 1:
+            raise ValueError(f"probes must be one-dimensional, got shape {probes.shape}")
+        codes = self._codes
+        n = codes.size
+        chunk = np.searchsorted(self._fences, probes, side=side)
+        lo = chunk * self._fanout
+        np.minimum(lo, n, out=lo)
+        hi = np.minimum(lo + self._fanout, n)
+        for _ in range(self._depth):
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) >> 1
+            vals = codes[np.minimum(mid, n - 1)]
+            if side == "left":
+                go_right = vals < probes
+            else:
+                go_right = vals <= probes
+            go_right &= active
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+        nan_probes = np.isnan(probes)
+        if nan_probes.any():
+            # NaN compares false both ways, which would pin a NaN probe to
+            # its window start; numpy orders NaN after every other value.
+            lo[nan_probes] = np.searchsorted(codes, probes[nan_probes], side=side)
+        return lo

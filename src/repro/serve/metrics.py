@@ -12,8 +12,11 @@ value).
 All counters are guarded by one lock so concurrent service threads never
 lose updates; reads of individual fields are plain attribute access (ints
 are replaced atomically under the lock), and :meth:`ServiceMetrics.snapshot`
-takes a consistent point-in-time copy.  Surfaced by ``repro serve-stats``
-and :mod:`benchmarks.bench_serve_batch`.
+takes a consistent point-in-time copy.  Recording is **batch-level**: the
+service calls each ``record_*`` method once per (kind, group) with a
+``count``, never once per probe, so the lock is taken O(groups) times per
+batch while the counter values stay probe-granular.  Surfaced by
+``repro serve-stats`` and :mod:`benchmarks.bench_serve_batch`.
 """
 
 from __future__ import annotations

@@ -76,8 +76,22 @@ from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
 from repro.engine.persist import RecoveryReport
 from repro.obs import runtime as obs
 from repro.obs.tracing import span
+from repro.serve.frame import (
+    EqualityProbe,
+    JoinProbe,
+    Probe,
+    ProbeFrame,
+    RangeProbe,
+)
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.tables import CompiledCompact, CompiledHistogram, compile_compact, compile_histogram
+from repro.serve.tables import (
+    CompiledCompact,
+    CompiledHistogram,
+    compile_compact,
+    compile_histogram,
+    probe_code_array,
+    range_bound_arrays,
+)
 from repro.testing.faults import POINT_SERVE_COMPILE, fault_point
 from repro.util.validation import ensure_positive_int
 
@@ -132,38 +146,10 @@ class TableCompileError(RuntimeError):
     """
 
 
-@dataclass(frozen=True)
-class EqualityProbe:
-    """One ``σ_{attribute = value}(relation)`` cardinality request."""
-
-    relation: str
-    attribute: str
-    value: Hashable
-
-
-@dataclass(frozen=True)
-class RangeProbe:
-    """One range-selection cardinality request (``None`` bounds are open)."""
-
-    relation: str
-    attribute: str
-    low: Optional[Hashable] = None
-    high: Optional[Hashable] = None
-    include_low: bool = True
-    include_high: bool = True
-
-
-@dataclass(frozen=True)
-class JoinProbe:
-    """One two-way equality-join cardinality request."""
-
-    left_relation: str
-    left_attribute: str
-    right_relation: str
-    right_attribute: str
-
-
-Probe = Union[EqualityProbe, RangeProbe, JoinProbe]
+# EqualityProbe / RangeProbe / JoinProbe / Probe / ProbeFrame live in
+# :mod:`repro.serve.frame` (imported above and re-exported here for
+# compatibility — ``from repro.serve.service import EqualityProbe`` keeps
+# working).
 
 
 @dataclass(frozen=True)
@@ -207,7 +193,9 @@ AdmissionHook = Callable[[Sequence["Probe"]], Optional[Sequence[Optional[str]]]]
 def _probe_position(positions: Optional[Sequence[int]], index: int) -> Optional[int]:
     if positions is None:
         return None
-    return positions[index]
+    # Positions may live in an intp index array; traces (and their JSON
+    # wire form) carry plain Python ints.
+    return int(positions[index])
 
 
 @dataclass
@@ -545,6 +533,50 @@ class EstimationService:
         except Exception:
             self.metrics.record_trace_hook_error()
 
+    def _degrade_group(
+        self,
+        policy: str,
+        *,
+        kind: str,
+        relation: str,
+        attribute: Optional[str],
+        reason: str,
+        fallback: float,
+        error: Callable[[], Exception],
+        trace: Optional[TraceHook],
+        positions: Optional[Sequence[int]],
+        count: int,
+    ) -> float:
+        """Resolve a whole group of unanswerable probes through the policy.
+
+        Metrics are batch-level — one counter add for the *count* probes,
+        never one per probe; the per-probe loop exists only when a
+        ``trace=`` hook wants individual positions.  Returns the one value
+        every probe in the group resolves to (callers scatter it with a
+        mask/fancy-index assignment).
+        """
+        if policy == "raise":
+            raise error()
+        value = math.nan if policy == "nan" else fallback
+        self.metrics.record_degraded(reason, count)
+        if reason == REASON_QUARANTINED:
+            self.metrics.record_quarantined(count)
+        if trace is not None:
+            for index in range(count):
+                self._emit_trace(
+                    trace,
+                    ProbeTrace(
+                        kind=kind,
+                        relation=relation,
+                        attribute=attribute,
+                        reason=reason,
+                        value=value,
+                        degraded=True,
+                        position=_probe_position(positions, index),
+                    ),
+                )
+        return value
+
     def _degrade(
         self,
         policy: str,
@@ -559,25 +591,18 @@ class EstimationService:
         position: Optional[int],
     ) -> float:
         """Resolve one unanswerable probe through the error policy."""
-        if policy == "raise":
-            raise error()
-        value = math.nan if policy == "nan" else fallback
-        self.metrics.record_degraded(reason)
-        if reason == REASON_QUARANTINED:
-            self.metrics.record_quarantined()
-        self._emit_trace(
-            trace,
-            ProbeTrace(
-                kind=kind,
-                relation=relation,
-                attribute=attribute,
-                reason=reason,
-                value=value,
-                degraded=True,
-                position=position,
-            ),
+        return self._degrade_group(
+            policy,
+            kind=kind,
+            relation=relation,
+            attribute=attribute,
+            reason=reason,
+            fallback=fallback,
+            error=error,
+            trace=trace,
+            positions=None if position is None else [position],
+            count=1,
         )
-        return value
 
     def _note_fallbacks(
         self,
@@ -644,75 +669,105 @@ class EstimationService:
         positions: Optional[Sequence[int]] = None,
         kind: str = "equality",
     ) -> np.ndarray:
-        """Answer one (relation, attribute) equality group, fault-isolated."""
+        """Answer one (relation, attribute) equality group, fault-isolated.
+
+        ``values`` may be a plain sequence or a pre-converted numeric
+        ndarray (the frame fast path); a numeric array skips the
+        per-value hashability scan outright — nothing in it can be
+        unhashable.  Degradations resolve mask-based: one
+        :meth:`_degrade_group` per (reason, group), scattered with a
+        single fancy-index assignment.
+        """
         count = len(values)
-        out = np.empty(count, dtype=np.float64)
         if self._is_quarantined(relation, attribute):
             rows = self._catalog.relation_rows(relation)
             fallback = 0.0 if rows is None else rows * DEFAULT_EQ_SELECTIVITY
-            for index in range(count):
-                out[index] = self._degrade(
-                    policy,
-                    kind=kind,
-                    relation=relation,
-                    attribute=attribute,
-                    reason=REASON_QUARANTINED,
-                    fallback=fallback,
-                    error=self._quarantined_error(relation, attribute),
-                    trace=trace,
-                    position=_probe_position(positions, index),
-                )
-            return out
-        good_index: list[int] = []
-        good_values: list[Hashable] = []
-        for index, value in enumerate(values):
-            try:
-                hash(value)
-            except TypeError:
-                out[index] = self._degrade(
-                    policy,
-                    kind=kind,
-                    relation=relation,
-                    attribute=attribute,
-                    reason=REASON_UNHASHABLE_VALUE,
-                    fallback=0.0,
-                    error=lambda value=value: TypeError(
-                        f"unhashable probe value of type {type(value).__name__} "
-                        f"for {relation}.{attribute}"
-                    ),
-                    trace=trace,
-                    position=_probe_position(positions, index),
-                )
-            else:
-                good_index.append(index)
-                good_values.append(value)
-        if not good_values:
-            return out
+            value = self._degrade_group(
+                policy,
+                kind=kind,
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_QUARANTINED,
+                fallback=fallback,
+                error=self._quarantined_error(relation, attribute),
+                trace=trace,
+                positions=positions,
+                count=count,
+            )
+            return np.full(count, value, dtype=np.float64)
+        arr = probe_code_array(values)
+        if arr is not None:
+            good_index: Optional[list[int]] = None
+            bad_index: list[int] = []
+            good_values: Union[np.ndarray, list[Hashable]] = arr
+        else:
+            good_index = []
+            bad_index = []
+            good_list: list[Hashable] = []
+            for index, value in enumerate(values):
+                try:
+                    hash(value)
+                except TypeError:
+                    bad_index.append(index)
+                else:
+                    good_index.append(index)
+                    good_list.append(value)
+            good_values = good_list
+        out: Optional[np.ndarray] = None
+        if bad_index:
+            out = np.empty(count, dtype=np.float64)
+            first_bad = values[bad_index[0]]
+            bad_value = self._degrade_group(
+                policy,
+                kind=kind,
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_UNHASHABLE_VALUE,
+                fallback=0.0,
+                error=lambda value=first_bad: TypeError(
+                    f"unhashable probe value of type {type(value).__name__} "
+                    f"for {relation}.{attribute}"
+                ),
+                trace=trace,
+                positions=(
+                    None
+                    if positions is None
+                    else [positions[index] for index in bad_index]
+                ),
+                count=len(bad_index),
+            )
+            out[np.asarray(bad_index, dtype=np.intp)] = bad_value
+            if not good_values:
+                return out
+        good_count = len(good_values)
+        good_positions = positions
+        if positions is not None and good_index is not None and bad_index:
+            good_positions = [positions[index] for index in good_index]
         try:
             slot = self._slot(relation, attribute)
         except TableCompileError as exc:
             rows = self._catalog.relation_rows(relation)
             fallback = 0.0 if rows is None else rows * DEFAULT_EQ_SELECTIVITY
-            for index in good_index:
-                out[index] = self._degrade(
-                    policy,
-                    kind=kind,
-                    relation=relation,
-                    attribute=attribute,
-                    reason=REASON_COMPILE_FAILED,
-                    fallback=fallback,
-                    error=lambda exc=exc: exc,
-                    trace=trace,
-                    position=_probe_position(positions, index),
-                )
-            return out
-        if slot is not None:
-            answers = slot.frequency_batch(good_values)
+            value = self._degrade_group(
+                policy,
+                kind=kind,
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_COMPILE_FAILED,
+                fallback=fallback,
+                error=lambda exc=exc: exc,
+                trace=trace,
+                positions=good_positions,
+                count=good_count,
+            )
+            answers: np.ndarray = np.full(good_count, value, dtype=np.float64)
         else:
-            rows = self._catalog.relation_rows(relation)
-            if rows is None:
-                for index in good_index:
-                    out[index] = self._degrade(
+            if slot is not None:
+                answers = slot.frequency_batch(good_values)
+            else:
+                rows = self._catalog.relation_rows(relation)
+                if rows is None:
+                    value = self._degrade_group(
                         policy,
                         kind=kind,
                         relation=relation,
@@ -721,26 +776,24 @@ class EstimationService:
                         fallback=0.0,
                         error=self._unknown_relation_error(relation),
                         trace=trace,
-                        position=_probe_position(positions, index),
+                        positions=good_positions,
+                        count=good_count,
                     )
-                return out
-            fallback = rows * DEFAULT_EQ_SELECTIVITY
-            answers = np.full(len(good_values), fallback, dtype=np.float64)
-            self._note_fallbacks(
-                kind=kind,
-                relation=relation,
-                attribute=attribute,
-                reason=REASON_NO_STATISTICS,
-                value=fallback,
-                trace=trace,
-                positions=(
-                    None
-                    if positions is None
-                    else [positions[index] for index in good_index]
-                ),
-                count=len(good_values),
-            )
-        if len(good_index) == count:
+                    answers = np.full(good_count, value, dtype=np.float64)
+                else:
+                    fallback = rows * DEFAULT_EQ_SELECTIVITY
+                    answers = np.full(good_count, fallback, dtype=np.float64)
+                    self._note_fallbacks(
+                        kind=kind,
+                        relation=relation,
+                        attribute=attribute,
+                        reason=REASON_NO_STATISTICS,
+                        value=fallback,
+                        trace=trace,
+                        positions=good_positions,
+                        count=good_count,
+                    )
+        if not bad_index:
             return np.asarray(answers, dtype=np.float64)
         out[np.asarray(good_index, dtype=np.intp)] = answers
         return out
@@ -754,10 +807,15 @@ class EstimationService:
         on_error: Optional[str] = None,
         trace: Optional[TraceHook] = None,
     ) -> np.ndarray:
-        """Equality-selection cardinalities for many probe values at once."""
+        """Equality-selection cardinalities for many probe values at once.
+
+        ``values`` may be a numeric ndarray, which is answered without
+        any per-value Python iteration (the array-native fast path).
+        """
         policy = self._resolve_policy(on_error)
-        values = list(values)
-        if not values:
+        if not isinstance(values, np.ndarray):
+            values = list(values)
+        if len(values) == 0:
             return np.zeros(0, dtype=np.float64)
         result = self._answer_equalities(
             relation, attribute, values, policy=policy, trace=trace
@@ -843,60 +901,71 @@ class EstimationService:
         policy: str,
         trace: Optional[TraceHook],
         positions: Optional[Sequence[int]] = None,
+        low_codes: Optional[np.ndarray] = None,
+        high_codes: Optional[np.ndarray] = None,
+        low_open: Optional[np.ndarray] = None,
+        high_open: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Answer one range group, isolating unanswerable probes."""
+        """Answer one range group, isolating unanswerable probes.
+
+        ``low_codes``/``high_codes`` are optional pre-converted float64
+        bound columns (open bounds at ±inf) from a
+        :class:`~repro.serve.frame.ProbeFrame`, with
+        ``low_open``/``high_open`` their open-bound masks; they are
+        consulted only when the compiled table itself is numeric, so
+        demoted/exact tables keep comparing the *original* bounds
+        exactly.  Degradations are mask-based: one :meth:`_degrade_group`
+        call per (reason, group).
+        """
         count = len(lows)
         rows = self._catalog.relation_rows(relation)
         if self._is_quarantined(relation, attribute):
             fallback = 0.0 if rows is None else rows * DEFAULT_RANGE_SELECTIVITY
-            out = np.empty(count, dtype=np.float64)
-            for index in range(count):
-                out[index] = self._degrade(
-                    policy,
-                    kind="range",
-                    relation=relation,
-                    attribute=attribute,
-                    reason=REASON_QUARANTINED,
-                    fallback=fallback,
-                    error=self._quarantined_error(relation, attribute),
-                    trace=trace,
-                    position=_probe_position(positions, index),
-                )
-            return out
+            value = self._degrade_group(
+                policy,
+                kind="range",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_QUARANTINED,
+                fallback=fallback,
+                error=self._quarantined_error(relation, attribute),
+                trace=trace,
+                positions=positions,
+                count=count,
+            )
+            return np.full(count, value, dtype=np.float64)
         try:
             slot = self._slot(relation, attribute)
         except TableCompileError as exc:
             fallback = 0.0 if rows is None else rows * DEFAULT_RANGE_SELECTIVITY
-            out = np.empty(count, dtype=np.float64)
-            for index in range(count):
-                out[index] = self._degrade(
+            value = self._degrade_group(
+                policy,
+                kind="range",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_COMPILE_FAILED,
+                fallback=fallback,
+                error=lambda exc=exc: exc,
+                trace=trace,
+                positions=positions,
+                count=count,
+            )
+            return np.full(count, value, dtype=np.float64)
+        if slot is None:
+            if rows is None:
+                value = self._degrade_group(
                     policy,
                     kind="range",
                     relation=relation,
                     attribute=attribute,
-                    reason=REASON_COMPILE_FAILED,
-                    fallback=fallback,
-                    error=lambda exc=exc: exc,
+                    reason=REASON_UNKNOWN_RELATION,
+                    fallback=0.0,
+                    error=self._unknown_relation_error(relation),
                     trace=trace,
-                    position=_probe_position(positions, index),
+                    positions=positions,
+                    count=count,
                 )
-            return out
-        if slot is None:
-            if rows is None:
-                out = np.empty(count, dtype=np.float64)
-                for index in range(count):
-                    out[index] = self._degrade(
-                        policy,
-                        kind="range",
-                        relation=relation,
-                        attribute=attribute,
-                        reason=REASON_UNKNOWN_RELATION,
-                        fallback=0.0,
-                        error=self._unknown_relation_error(relation),
-                        trace=trace,
-                        position=_probe_position(positions, index),
-                    )
-                return out
+                return np.full(count, value, dtype=np.float64)
             fallback = rows * DEFAULT_RANGE_SELECTIVITY
             self._note_fallbacks(
                 kind="range",
@@ -926,51 +995,82 @@ class EstimationService:
             )
             return np.full(count, guess, dtype=np.float64)
         if not table.is_orderable:
-            out = np.empty(count, dtype=np.float64)
-            for index in range(count):
-                out[index] = self._degrade(
-                    policy,
-                    kind="range",
-                    relation=relation,
-                    attribute=attribute,
-                    reason=REASON_UNORDERABLE_DOMAIN,
-                    fallback=guess,
-                    error=lambda: ValueError(
-                        "range estimation needs an orderable domain; "
-                        f"the {relation}.{attribute} histogram's values are "
-                        "not mutually comparable"
-                    ),
-                    trace=trace,
-                    position=_probe_position(positions, index),
-                )
-            return out
-        try:
-            return table.range_batch(
-                lows, highs, include_low=include_low, include_high=include_high
+            value = self._degrade_group(
+                policy,
+                kind="range",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_UNORDERABLE_DOMAIN,
+                fallback=guess,
+                error=lambda: ValueError(
+                    "range estimation needs an orderable domain; "
+                    f"the {relation}.{attribute} histogram's values are "
+                    "not mutually comparable"
+                ),
+                trace=trace,
+                positions=positions,
+                count=count,
             )
-        except TypeError:
-            pass  # some bound is incomparable with the domain: isolate per probe
+            return np.full(count, value, dtype=np.float64)
+        if table.is_numeric:
+            bounds = (
+                (low_codes, high_codes, low_open, high_open)
+                if low_codes is not None and high_codes is not None
+                else range_bound_arrays(lows, highs)
+            )
+            if bounds is not None:
+                # Pure array path: numeric bounds over a numeric table
+                # cannot raise, so no per-probe isolation is needed.
+                return table.range_batch(
+                    bounds[0],
+                    bounds[1],
+                    include_low=include_low,
+                    include_high=include_high,
+                    low_open=bounds[2],
+                    high_open=bounds[3],
+                )
+        else:
+            try:
+                return table.range_batch(
+                    lows, highs, include_low=include_low, include_high=include_high
+                )
+            except TypeError:
+                pass  # some bound is incomparable with the domain
+        # Mixed-quality bounds: isolate per probe, then resolve every
+        # incomparable bound through the policy in one group call.
         out = np.empty(count, dtype=np.float64)
+        failed_index: list[int] = []
+        first_error: Optional[tuple] = None
         for index, (low, high) in enumerate(zip(lows, highs)):
             try:
                 out[index] = table.range_sum(
                     low, high, include_low=include_low, include_high=include_high
                 )
-            except TypeError:
-                out[index] = self._degrade(
-                    policy,
-                    kind="range",
-                    relation=relation,
-                    attribute=attribute,
-                    reason=REASON_INCOMPARABLE_BOUND,
-                    fallback=guess,
-                    error=lambda low=low, high=high: TypeError(
-                        f"range bounds ({low!r}, {high!r}) are not comparable "
-                        f"with the {relation}.{attribute} domain"
-                    ),
-                    trace=trace,
-                    position=_probe_position(positions, index),
-                )
+            except (TypeError, OverflowError):
+                failed_index.append(index)
+                if first_error is None:
+                    first_error = (low, high)
+        if failed_index:
+            value = self._degrade_group(
+                policy,
+                kind="range",
+                relation=relation,
+                attribute=attribute,
+                reason=REASON_INCOMPARABLE_BOUND,
+                fallback=guess,
+                error=lambda pair=first_error: TypeError(
+                    f"range bounds ({pair[0]!r}, {pair[1]!r}) are not "
+                    f"comparable with the {relation}.{attribute} domain"
+                ),
+                trace=trace,
+                positions=(
+                    None
+                    if positions is None
+                    else [positions[index] for index in failed_index]
+                ),
+                count=len(failed_index),
+            )
+            out[np.asarray(failed_index, dtype=np.intp)] = value
         return out
 
     def estimate_ranges(
@@ -1164,7 +1264,7 @@ class EstimationService:
             right_attribute,
             policy=policy,
             trace=trace,
-            position=None,
+            positions=None,
         )
         self.metrics.record_probes("join", 1)
         return result
@@ -1178,8 +1278,10 @@ class EstimationService:
         *,
         policy: str,
         trace: Optional[TraceHook],
-        position: Optional[int],
+        positions: Optional[Sequence[int]],
+        count: int = 1,
     ) -> float:
+        """Answer one join group (identical probes share one computation)."""
         quarantined_side: Optional[tuple[str, str]] = None
         if self._is_quarantined(left_relation, left_attribute):
             quarantined_side = (left_relation, left_attribute)
@@ -1193,7 +1295,7 @@ class EstimationService:
                 if rows_left is not None and rows_right is not None
                 else 0.0
             )
-            return self._degrade(
+            return self._degrade_group(
                 policy,
                 kind="join",
                 relation=quarantined_side[0],
@@ -1202,7 +1304,8 @@ class EstimationService:
                 fallback=fallback,
                 error=self._quarantined_error(*quarantined_side),
                 trace=trace,
-                position=position,
+                positions=positions,
+                count=count,
             )
         left = self._catalog.get(left_relation, left_attribute)
         right = self._catalog.get(right_relation, right_attribute)
@@ -1217,7 +1320,7 @@ class EstimationService:
                     if rows_left is not None and rows_right is not None
                     else 0.0
                 )
-                return self._degrade(
+                return self._degrade_group(
                     policy,
                     kind="join",
                     relation=left_relation,
@@ -1226,13 +1329,14 @@ class EstimationService:
                     fallback=fallback,
                     error=lambda exc=exc: exc,
                     trace=trace,
-                    position=position,
+                    positions=positions,
+                    count=count,
                 )
         rows_left = self._catalog.relation_rows(left_relation)
         rows_right = self._catalog.relation_rows(right_relation)
         if rows_left is None or rows_right is None:
             missing = left_relation if rows_left is None else right_relation
-            return self._degrade(
+            return self._degrade_group(
                 policy,
                 kind="join",
                 relation=missing,
@@ -1241,7 +1345,8 @@ class EstimationService:
                 fallback=0.0,
                 error=self._unknown_relation_error(missing),
                 trace=trace,
-                position=position,
+                positions=positions,
+                count=count,
             )
         fallback = rows_left * rows_right * DEFAULT_EQ_SELECTIVITY
         self._note_fallbacks(
@@ -1251,8 +1356,8 @@ class EstimationService:
             reason=REASON_NO_STATISTICS,
             value=fallback,
             trace=trace,
-            positions=None if position is None else [position],
-            count=1,
+            positions=positions,
+            count=count,
         )
         return fallback
 
@@ -1303,7 +1408,7 @@ class EstimationService:
 
     def estimate_batch(
         self,
-        probes: Sequence[Probe],
+        probes: Union[Sequence[Probe], ProbeFrame],
         *,
         on_error: Optional[str] = None,
         trace: Optional[TraceHook] = None,
@@ -1316,11 +1421,19 @@ class EstimationService:
         sweep over its compiled table.  The result vector is aligned with
         the input order.
 
+        Accepts either a probe sequence or a pre-built
+        :class:`~repro.serve.frame.ProbeFrame`.  Passing a frame skips
+        the per-probe grouping pass entirely, so a frame built once can
+        be re-answered (e.g. against refreshed statistics) at pure
+        array-sweep cost.
+
         Fault-isolated: an unanswerable probe (unknown relation,
         unorderable range domain, unhashable value) resolves individually
         through the ``on_error`` policy and never aborts the batch under
         the default ``"fallback"`` (or ``"nan"``) policy.  Batch latency
-        is recorded into ``ServiceMetrics.latency_counts``.
+        is recorded into ``ServiceMetrics.latency_counts``; metric and
+        trace bookkeeping is batch-level — one counter update per
+        (kind, group), never per probe.
 
         ``admission=`` plugs quota/backpressure control into the same
         degradation machinery: the hook sees the whole batch up front and
@@ -1331,11 +1444,11 @@ class EstimationService:
         per-tenant quotas ride this hook.
         """
         policy = self._resolve_policy(on_error)
-        probes = list(probes)
+        frame = probes if isinstance(probes, ProbeFrame) else ProbeFrame.from_probes(probes)
         started = perf_counter()
-        with span("serve.batch", service=self.name, probes=len(probes)):
+        with span("serve.batch", service=self.name, probes=len(frame)):
             try:
-                out = self._answer_batch(probes, policy, trace, admission)
+                out = self._answer_frame(frame, policy, trace, admission)
             except Exception:
                 self.metrics.record_batch(failed=True)
                 raise
@@ -1423,92 +1536,125 @@ class EstimationService:
 
     def _answer_batch(
         self,
-        probes: Sequence[Probe],
+        probes: Union[Sequence[Probe], ProbeFrame],
         policy: str,
         trace: Optional[TraceHook],
         admission: Optional[AdmissionHook] = None,
     ) -> np.ndarray:
-        out = np.zeros(len(probes), dtype=np.float64)
-        verdicts = self._apply_admission(probes, admission)
-        equality_groups: dict[tuple[str, str], tuple[list[int], list[Hashable]]] = {}
-        range_groups: dict[
-            tuple[str, str, bool, bool],
-            tuple[list[int], list[Optional[Hashable]], list[Optional[Hashable]]],
-        ] = {}
-        joins: list[tuple[int, JoinProbe]] = []
-        for position, probe in enumerate(probes):
-            if not isinstance(probe, (EqualityProbe, RangeProbe, JoinProbe)):
-                raise TypeError(
-                    f"unsupported probe type {type(probe).__name__}; expected "
-                    "EqualityProbe, RangeProbe, or JoinProbe"
-                )
-            if verdicts is not None and verdicts[position] is not None:
-                out[position] = self._reject_probe(
-                    probe,
-                    str(verdicts[position]),
-                    policy=policy,
-                    trace=trace,
-                    position=position,
-                )
-                continue
-            if isinstance(probe, EqualityProbe):
-                positions, values = equality_groups.setdefault(
-                    (probe.relation, probe.attribute), ([], [])
-                )
-                positions.append(position)
-                values.append(probe.value)
-            elif isinstance(probe, RangeProbe):
-                positions, lows, highs = range_groups.setdefault(
-                    (
-                        probe.relation,
-                        probe.attribute,
-                        probe.include_low,
-                        probe.include_high,
-                    ),
-                    ([], [], []),
-                )
-                positions.append(position)
-                lows.append(probe.low)
-                highs.append(probe.high)
-            else:
-                joins.append((position, probe))
-        for (relation, attribute), (positions, values) in equality_groups.items():
-            out[np.asarray(positions, dtype=np.intp)] = self._answer_equalities(
-                relation,
-                attribute,
+        frame = probes if isinstance(probes, ProbeFrame) else ProbeFrame.from_probes(probes)
+        return self._answer_frame(frame, policy, trace, admission)
+
+    def _answer_frame(
+        self,
+        frame: ProbeFrame,
+        policy: str,
+        trace: Optional[TraceHook],
+        admission: Optional[AdmissionHook] = None,
+    ) -> np.ndarray:
+        """Answer a pre-grouped frame: one vectorized sweep per group.
+
+        The hot path never touches individual probes — groups carry
+        contiguous position/value arrays built by
+        :meth:`ProbeFrame.from_probes`, each is answered by one batch
+        table call, and the answers are scattered back by position.
+        Admission rejections (cold path) are handled up front through a
+        boolean mask; surviving group members are sliced out with it.
+        """
+        out = np.zeros(len(frame), dtype=np.float64)
+        verdicts = self._apply_admission(frame.probes, admission)
+        rejected: Optional[np.ndarray] = None
+        if verdicts is not None:
+            mask = np.zeros(len(frame), dtype=bool)
+            for position, verdict in enumerate(verdicts):
+                if verdict is not None:
+                    mask[position] = True
+                    out[position] = self._reject_probe(
+                        frame.probes[position],
+                        str(verdict),
+                        policy=policy,
+                        trace=trace,
+                        position=position,
+                    )
+            if mask.any():
+                rejected = mask
+        for group in frame.equality_groups:
+            positions = group.positions
+            values = group.values
+            if rejected is not None:
+                keep = ~rejected[positions]
+                if not keep.all():
+                    if not keep.any():
+                        continue
+                    positions = positions[keep]
+                    if isinstance(values, np.ndarray):
+                        values = values[keep]
+                    else:
+                        values = [values[i] for i in np.nonzero(keep)[0]]
+            out[positions] = self._answer_equalities(
+                group.relation,
+                group.attribute,
                 values,
                 policy=policy,
                 trace=trace,
                 positions=positions,
             )
-            self.metrics.record_probes("equality", len(values))
-        for (
-            (relation, attribute, include_low, include_high),
-            (positions, lows, highs),
-        ) in range_groups.items():
-            out[np.asarray(positions, dtype=np.intp)] = self._answer_ranges(
-                relation,
-                attribute,
+            self.metrics.record_probes("equality", len(positions))
+        for group in frame.range_groups:
+            positions = group.positions
+            lows = group.lows
+            highs = group.highs
+            low_codes = group.low_codes
+            high_codes = group.high_codes
+            low_open = group.low_open
+            high_open = group.high_open
+            if rejected is not None:
+                keep = ~rejected[positions]
+                if not keep.all():
+                    if not keep.any():
+                        continue
+                    keep_index = np.nonzero(keep)[0]
+                    positions = positions[keep]
+                    lows = [lows[i] for i in keep_index]
+                    highs = [highs[i] for i in keep_index]
+                    low_codes = None if low_codes is None else low_codes[keep]
+                    high_codes = None if high_codes is None else high_codes[keep]
+                    low_open = None if low_open is None else low_open[keep]
+                    high_open = None if high_open is None else high_open[keep]
+            out[positions] = self._answer_ranges(
+                group.relation,
+                group.attribute,
                 lows,
                 highs,
-                include_low,
-                include_high,
+                group.include_low,
+                group.include_high,
                 policy=policy,
                 trace=trace,
                 positions=positions,
+                low_codes=low_codes,
+                high_codes=high_codes,
+                low_open=low_open,
+                high_open=high_open,
             )
-            self.metrics.record_probes("range", len(lows))
-        for position, probe in joins:
-            out[position] = self._answer_join(
-                probe.left_relation,
-                probe.left_attribute,
-                probe.right_relation,
-                probe.right_attribute,
+            self.metrics.record_probes("range", len(positions))
+        for group in frame.join_groups:
+            positions = group.positions
+            if rejected is not None:
+                keep = ~rejected[positions]
+                if not keep.all():
+                    if not keep.any():
+                        continue
+                    positions = positions[keep]
+            out[positions] = self._answer_join(
+                group.left_relation,
+                group.left_attribute,
+                group.right_relation,
+                group.right_attribute,
                 policy=policy,
                 trace=trace,
-                position=position,
+                positions=positions,
+                count=len(positions),
             )
-            self.metrics.record_probes("join", 1)
+            self.metrics.record_probes("join", len(positions))
         return out
 
     def stats(self) -> ServiceMetrics:

@@ -4,18 +4,46 @@ The paper's practicality argument (Section 4) is that a histogram's cost must
 be paid at *construction* time, not at *lookup* time.  The estimation helpers
 in :mod:`repro.core.estimator` historically rebuilt a ``value -> bucket
 average`` dict on every call; this module compiles each value-aware histogram
-**once** into vectorized lookup state:
+**once** into fully array-native lookup state:
 
-* ``codes`` — the domain values, sorted (a float64 array when the domain is
-  numeric, a plain sorted sequence otherwise);
-* ``approx`` — the per-value bucket-average approximations aligned with the
-  sorted order;
+* ``codes`` — the domain values as one contiguous sorted float64 array;
+* ``approx`` — the per-value bucket-average approximations (a float64
+  column aligned with the sorted order);
 * ``prefix`` — exclusive prefix sums of ``approx``, so any range selection is
   two binary searches and one subtraction (Section 6 reduces ranges to
-  disjunctive equality selections — a contiguous slice of the sorted domain).
+  disjunctive equality selections — a contiguous slice of the sorted domain);
+* above :data:`~repro.serve.index.TREE_INDEX_MIN_SIZE` codes, a
+  :class:`~repro.serve.index.TreeBucketIndex` so range/inequality position
+  lookups go through a two-level fence tree instead of one flat binary
+  search over every bucketed value.
 
-:class:`CompiledCompact` is the analogous form for the catalog's end-biased
-layout (explicit values + implicit remainder, Section 4.1/4.2).
+The legacy ``value -> approximation`` dict is retained only as the **exact
+fallback** for domains the float64 fast path cannot represent faithfully
+(see :func:`probe_code_array` and the compile-time collapse check below).
+
+Numeric fast-path domain rules
+------------------------------
+
+A table vectorizes only when the conversion to float64 codes is *lossless*:
+
+* every domain value is a real number (``int``/``float``/numpy scalars;
+  ``bool`` is excluded — it is an identity-preserving dict key, not a code);
+* every value fits a float64 (an ``int`` beyond its range overflows the
+  conversion and demotes the table);
+* no two **distinct** domain values collapse onto one float64 code.
+  Distinct integers at or beyond 2**53 can round to the same code, which
+  would let ``equality_batch`` match a probe to its neighbour and would
+  silently violate ``np.intersect1d(assume_unique=True)`` in
+  :meth:`CompiledHistogram.join_with`.  Collapse is detected at compile
+  time (equal adjacent sorted codes) and routes the table to the exact
+  dict path.
+
+Probe batches vectorize under the mirror-image rules, checked by
+:func:`probe_code_array`: numeric dtype, and — for integer probes that
+survived conversion — a per-element exact re-check of any *hit* at or
+beyond 2**53, so a lossy probe code can never match a neighbouring domain
+value.  NaN probes are defined as 0-mass in both the scalar and batched
+paths (NaN equals nothing, including itself).
 
 Both the scalar estimators and the batched
 :class:`~repro.serve.service.EstimationService` answer probes from the same
@@ -31,6 +59,7 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.obs.tracing import span
+from repro.serve.index import TREE_INDEX_MIN_SIZE, TreeBucketIndex
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.histogram import Histogram
@@ -38,6 +67,14 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 #: Scalar types eligible for the vectorized (``searchsorted``) fast path.
 _NUMERIC_TYPES = (int, float, np.integer, np.floating)
+
+#: First magnitude at which float64 stops representing every integer.
+_TWO53 = 9007199254740992.0
+_TWO53_INT = 9007199254740992
+
+#: Probe-array dtype kinds the fast path accepts (signed/unsigned ints,
+#: floats, bools).
+_FAST_DTYPE_KINDS = "iufb"
 
 
 def _is_numeric_domain(values: Iterable[Hashable]) -> bool:
@@ -47,13 +84,119 @@ def _is_numeric_domain(values: Iterable[Hashable]) -> bool:
     )
 
 
+def _is_nan_like(value: object) -> bool:
+    """True for values that compare unequal to themselves (NaN family)."""
+    try:
+        return bool(value != value)
+    except (TypeError, ValueError):
+        # Arrays and exotic __ne__ results: not a NaN scalar.
+        return False
+
+
+def _codes_are_lossless(values: Iterable[Hashable]) -> bool:
+    """True when every value *is* its float64 code (exact round-trip).
+
+    A large integer float64 must round (|v| > 2**53, odd steps) gets a
+    code that no longer equals the value.  Even when such codes stay
+    unique within one table, they are wrong *across* tables — a rounded
+    2**53 + 1 collides with another table's exact 2**53 in ``join_with``
+    — and they false-match float probes whose code lands on the rounded
+    value.  Domains carrying any lossy code serve via the exact path.
+    """
+    for value in values:
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            as_int = int(value)
+            if as_int >= _TWO53_INT or as_int <= -_TWO53_INT:
+                try:
+                    if float(as_int) != as_int:
+                        return False
+                except OverflowError:
+                    return False
+    return True
+
+
+def probe_code_array(values: Sequence[Hashable]) -> Optional[np.ndarray]:  # repolint: boundary-exempt — returning None *is* the rejection path
+    """The 1-D numeric array form of a probe batch, or ``None``.
+
+    Returns an array (original dtype preserved) only when every probe can
+    ride the float64 fast path.  A ``None`` means the caller must answer
+    through the exact per-value path: mixed/object/string inputs, nested
+    sequences, integers beyond the int64/uint64 range, or — the subtle
+    case — a float-inferred array whose *input* held a Python/numpy
+    integer at or beyond 2**53, which numpy would have rounded silently.
+    """
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        try:
+            # Dtype deliberately inferred: the int-vs-float distinction of
+            # the input decides whether the 2**53 exactness scan is needed.
+            arr = np.asarray(values)  # repolint: disable=R003
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if (
+            arr.dtype.kind == "f"
+            and arr.size
+            and bool(np.any(np.abs(arr) >= _TWO53))
+        ):
+            # Inference to float64 may have rounded a large integer in the
+            # input list; only an exact per-element check can tell.
+            for value in values:
+                if (
+                    isinstance(value, (int, np.integer))
+                    and not isinstance(value, bool)
+                    and (value >= _TWO53_INT or value <= -_TWO53_INT)
+                ):
+                    return None
+    if arr.ndim != 1 or arr.dtype.kind not in _FAST_DTYPE_KINDS:
+        return None
+    return arr
+
+
+def range_bound_arrays(  # repolint: boundary-exempt — returning None *is* the rejection path
+    lows: Sequence[Optional[Hashable]], highs: Sequence[Optional[Hashable]]
+) -> Optional[tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]]:
+    """Float64 bound columns plus open-bound masks, or ``None``.
+
+    Returns ``(low_codes, high_codes, low_open, high_open)``.  Open
+    (``None``) bounds are encoded as ±inf in the code columns, but the
+    scalar path answers them with the prefix-sum *endpoints* — which an
+    ±inf ``searchsorted`` does not reproduce when the domain itself
+    contains ±inf or NaN codes.  The boolean masks (``None`` when a side
+    has no open bound) let the vectorized path pin those rows to the
+    exact endpoint indices, preserving bit-identity.  A top-level
+    ``None`` means some bound is not numeric (or overflows float64) and
+    the caller must fall back to the per-probe exact path.
+    """
+    try:
+        low_arr = np.asarray(
+            [(-np.inf if v is None else v) for v in lows], dtype=np.float64
+        )
+        high_arr = np.asarray(
+            [(np.inf if v is None else v) for v in highs], dtype=np.float64
+        )
+    except (TypeError, ValueError, OverflowError):
+        return None
+    low_open = None
+    if any(v is None for v in lows):
+        low_open = np.fromiter((v is None for v in lows), dtype=bool, count=len(lows))
+    high_open = None
+    if any(v is None for v in highs):
+        high_open = np.fromiter(
+            (v is None for v in highs), dtype=bool, count=len(highs)
+        )
+    return low_arr, high_arr, low_open, high_open
+
+
 class CompiledHistogram:
     """Vectorized lookup state compiled from one value-aware histogram.
 
-    All estimation answers derive from three aligned arrays (sorted values,
+    All estimation answers derive from three aligned arrays (sorted codes,
     per-value approximations, and their prefix sums), so equality probes are
     one binary search, range probes are two, and joins are a sorted-domain
-    intersection followed by a dot product.
+    intersection followed by a dot product.  Domains the float64 code space
+    cannot represent faithfully (see the module docstring) answer through
+    the exact dict fallback instead.
     """
 
     __slots__ = (
@@ -62,6 +205,7 @@ class CompiledHistogram:
         "_codes",
         "_approx",
         "_prefix",
+        "_tree",
         "_numeric",
         "_orderable",
     )
@@ -78,19 +222,40 @@ class CompiledHistogram:
         for value, approx in zip(values, approximations):
             by_value[value] = float(approx)
         self._by_value = by_value
-        self._numeric = _is_numeric_domain(by_value)
-        if self._numeric:
-            codes = np.asarray(list(by_value), dtype=np.float64)
-            order = np.argsort(codes, kind="stable")
-            self._codes = codes[order]
-            ordered = list(by_value.items())
-            self._sorted_values = [ordered[int(i)][0] for i in order]
-            approx_sorted = np.asarray(
-                [ordered[int(i)][1] for i in order], dtype=np.float64
-            )
-            self._orderable = True
-        else:
-            self._codes = None
+        self._numeric = False
+        self._codes = None
+        self._tree = None
+        approx_sorted: Optional[np.ndarray] = None
+        if _is_numeric_domain(by_value) and _codes_are_lossless(by_value):
+            try:
+                codes = np.asarray(list(by_value), dtype=np.float64)
+            except (TypeError, ValueError, OverflowError):
+                # An int beyond the float64 range has no lossless code.
+                codes = None
+            if codes is not None:
+                order = np.argsort(codes, kind="stable")
+                sorted_codes = codes[order]
+                if codes.size > 1 and bool(
+                    np.any(sorted_codes[1:] == sorted_codes[:-1])
+                ):
+                    # Float64 collapse: two distinct domain values share a
+                    # code (integers at/beyond 2**53).  The vectorized path
+                    # would match probes to neighbours and violate the
+                    # uniqueness contract of intersect1d in join_with —
+                    # serve this table through the exact path instead.
+                    codes = None
+                else:
+                    self._numeric = True
+                    self._codes = sorted_codes
+                    ordered = list(by_value.items())
+                    self._sorted_values = [ordered[int(i)][0] for i in order]
+                    approx_sorted = np.asarray(
+                        [ordered[int(i)][1] for i in order], dtype=np.float64
+                    )
+                    self._orderable = True
+                    if sorted_codes.size >= TREE_INDEX_MIN_SIZE:
+                        self._tree = TreeBucketIndex(sorted_codes)
+        if not self._numeric:
             try:
                 self._sorted_values = sorted(by_value)
                 self._orderable = True
@@ -143,7 +308,12 @@ class CompiledHistogram:
 
     @property
     def is_numeric(self) -> bool:
-        """True when probes go through the vectorized float64 fast path."""
+        """True when probes go through the vectorized float64 fast path.
+
+        False for non-numeric domains *and* for numeric domains demoted at
+        compile time because float64 codes would be lossy (the collapse /
+        overflow rules in the module docstring).
+        """
         return self._numeric
 
     @property
@@ -151,34 +321,67 @@ class CompiledHistogram:
         """True when the domain is mutually comparable (ranges answerable)."""
         return self._orderable
 
+    @property
+    def bucket_index(self) -> Optional[TreeBucketIndex]:
+        """The tree-like bucket index, when the domain is large enough."""
+        return self._tree
+
     def as_mapping(self) -> dict[Hashable, float]:
         """A fresh ``value -> approximation`` dict (legacy-compatible view)."""
         return dict(self._by_value)
+
+    def _positions(self, codes: np.ndarray, side: str) -> np.ndarray:
+        """Sorted-code insertion positions, through the tree when built."""
+        if self._tree is not None:
+            return self._tree.searchsorted(codes, side=side)
+        return np.searchsorted(self._codes, codes, side=side)
 
     # ------------------------------------------------------------------
     # Equality
     # ------------------------------------------------------------------
 
     def equality(self, value: Hashable) -> float:
-        """Approximate frequency of one value (0 outside the domain)."""
+        """Approximate frequency of one value (0 outside the domain).
+
+        NaN probes are 0-mass by definition (NaN equals nothing) — without
+        the guard a NaN could hit the dict through object identity while
+        the batched ``searchsorted`` path always misses.
+        """
         try:
+            if value != value:  # NaN-like probe
+                return 0.0
             return self._by_value.get(value, 0.0)
-        except TypeError:  # unhashable probe value
+        except (TypeError, ValueError):  # unhashable or array-like probe
             return 0.0
+
+    def _equality_codes(self, arr: np.ndarray) -> np.ndarray:
+        """Fast-path equality answers for one numeric probe array."""
+        codes = arr.astype(np.float64, copy=False)
+        size = self._codes.size
+        if size == 0:
+            return np.zeros(codes.size, dtype=np.float64)
+        pos = self._positions(codes, "left")
+        clipped = np.minimum(pos, size - 1)
+        hit = (pos < size) & (self._codes[clipped] == codes)
+        out = np.where(hit, self._approx[clipped], 0.0)
+        if arr.dtype.kind in "iu":
+            # An integer probe at/beyond 2**53 may have rounded onto a
+            # neighbouring domain value's code: re-check each such hit
+            # exactly.  (A miss needs no check — an exact match would have
+            # produced the very same code, hence a hit.)
+            suspect = hit & (np.abs(codes) >= _TWO53)
+            if suspect.any():
+                by_value = self._by_value
+                for index in np.nonzero(suspect)[0].tolist():
+                    out[index] = by_value.get(arr[index].item(), 0.0)
+        return out
 
     def equality_batch(self, values: Sequence[Hashable]) -> np.ndarray:
         """Approximate frequencies for many probe values in one pass."""
         if self._numeric:
-            try:
-                probes = np.asarray(values, dtype=np.float64)
-            except (TypeError, ValueError):
-                probes = None
-            if probes is not None and probes.ndim == 1:
-                size = self._codes.size
-                pos = np.searchsorted(self._codes, probes)
-                clipped = np.minimum(pos, size - 1)
-                hit = (pos < size) & (self._codes[clipped] == probes)
-                return np.where(hit, self._approx[clipped], 0.0)
+            arr = probe_code_array(values)
+            if arr is not None:
+                return self._equality_codes(arr)
         return np.asarray([self.equality(v) for v in values], dtype=np.float64)
 
     def membership(self, values: Iterable[Hashable]) -> float:
@@ -186,8 +389,22 @@ class CompiledHistogram:
 
         Repeated probes are deduplicated (first occurrence wins the
         position), because ``a IN (c, c)`` selects each matching tuple once.
+        Unhashable probe values contribute 0 mass — the same degradation
+        contract as :meth:`equality` — instead of aborting the whole
+        membership probe with a ``TypeError``.
         """
-        distinct = list(dict.fromkeys(values))
+        distinct: list[Hashable] = []
+        seen: set[Hashable] = set()
+        for value in values:
+            try:
+                if value in seen:
+                    continue
+                seen.add(value)
+            except TypeError:
+                # Unhashable: nothing stored can match it (0 mass), and it
+                # cannot be deduplicated — skip it entirely.
+                continue
+            distinct.append(value)
         if not distinct:
             return 0.0
         return float(np.sum(self.equality_batch(distinct), dtype=np.float64))
@@ -273,30 +490,42 @@ class CompiledHistogram:
         *,
         include_low: bool = True,
         include_high: bool = True,
+        low_open: Optional[np.ndarray] = None,
+        high_open: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Masses of many range selections sharing one inclusivity setting."""
+        """Masses of many range selections sharing one inclusivity setting.
+
+        ``lows``/``highs`` may be pre-converted float64 bound columns (open
+        bounds already at ±inf, as produced by :func:`range_bound_arrays`);
+        the conversion is then skipped entirely.  ``low_open``/``high_open``
+        are that function's open-bound masks and must accompany
+        pre-converted columns that contain any ``None`` bound.
+        """
         if len(lows) != len(highs):
             raise ValueError(
                 f"lows and highs must align, got {len(lows)} and {len(highs)}"
             )
         if self._numeric and self._orderable:
-            try:
-                low_arr = np.asarray(
-                    [(-np.inf if v is None else v) for v in lows], dtype=np.float64
-                )
-                high_arr = np.asarray(
-                    [(np.inf if v is None else v) for v in highs], dtype=np.float64
-                )
-            except (TypeError, ValueError):
-                low_arr = None
-                high_arr = None
-            if low_arr is not None:
-                lo = np.searchsorted(
-                    self._codes, low_arr, side="left" if include_low else "right"
-                )
-                hi = np.searchsorted(
-                    self._codes, high_arr, side="right" if include_high else "left"
-                )
+            if (
+                isinstance(lows, np.ndarray)
+                and isinstance(highs, np.ndarray)
+                and lows.dtype == np.float64
+                and highs.dtype == np.float64
+            ):
+                bounds = (lows, highs, low_open, high_open)
+            else:
+                bounds = range_bound_arrays(lows, highs)
+            if bounds is not None:
+                low_arr, high_arr, low_open, high_open = bounds
+                lo = self._positions(low_arr, "left" if include_low else "right")
+                hi = self._positions(high_arr, "right" if include_high else "left")
+                # An open bound is the prefix endpoint itself — not the
+                # ±inf searchsorted, which lands short of trailing NaN
+                # (or, side-dependent, ±inf) codes.
+                if low_open is not None:
+                    lo[low_open] = 0
+                if high_open is not None:
+                    hi[high_open] = self._codes.size
                 mass = self._prefix[hi] - self._prefix[lo]
                 return np.where(hi > lo, mass, 0.0)
         return np.asarray(
@@ -317,7 +546,10 @@ class CompiledHistogram:
         """Two-way equality-join estimate against another compiled table.
 
         ``Σ_v f̂_left(v) · f̂_right(v)`` over the domain intersection —
-        Theorem 2.1 applied to the two histogram matrices.
+        Theorem 2.1 applied to the two histogram matrices.  The vectorized
+        intersection requires *both* code arrays to be collision-free,
+        which the compile-time collapse check guarantees; demoted tables
+        join through the exact dict path.
         """
         if not isinstance(other, CompiledHistogram):
             raise TypeError(
@@ -335,6 +567,8 @@ class CompiledHistogram:
         )
         total = 0.0
         for value, freq in small._by_value.items():
+            if _is_nan_like(value):
+                continue  # NaN joins nothing, mirroring the vectorized path
             match = big._by_value.get(value)
             if match is not None:
                 total += freq * match
@@ -347,13 +581,18 @@ class CompiledCompact:
     Mirrors :class:`repro.engine.catalog.CompactEndBiased` semantics exactly
     — explicitly stored values answer with their exact frequency; any other
     probe falls into the implicit remainder bucket — but answers batches of
-    probes through one vectorized pass when the domain is numeric.
+    probes through one vectorized pass when the domain is numeric.  The
+    same fast-path domain rules as :class:`CompiledHistogram` apply: a
+    domain whose float64 codes would be lossy is demoted to the exact dict
+    path at compile time, and NaN probes are 0-mass (never the remainder —
+    NaN is not a domain value).
     """
 
     __slots__ = (
         "_explicit",
         "_codes",
         "_freqs",
+        "_tree",
         "_numeric",
         "remainder_count",
         "remainder_average",
@@ -372,16 +611,35 @@ class CompiledCompact:
         self._explicit = {value: float(freq) for value, freq in explicit.items()}
         self.remainder_count = int(remainder_count)
         self.remainder_average = float(remainder_average)
-        self._numeric = _is_numeric_domain(self._explicit)
-        if self._numeric and self._explicit:
-            codes = np.asarray(list(self._explicit), dtype=np.float64)
-            order = np.argsort(codes, kind="stable")
-            freqs = np.asarray(list(self._explicit.values()), dtype=np.float64)
-            self._codes = codes[order]
-            self._freqs = freqs[order]
-        else:
-            self._codes = None
-            self._freqs = None
+        self._numeric = False
+        self._codes = None
+        self._freqs = None
+        self._tree = None
+        if (
+            self._explicit
+            and _is_numeric_domain(self._explicit)
+            and _codes_are_lossless(self._explicit)
+        ):
+            try:
+                codes = np.asarray(list(self._explicit), dtype=np.float64)
+            except (TypeError, ValueError, OverflowError):
+                codes = None
+            if codes is not None:
+                order = np.argsort(codes, kind="stable")
+                sorted_codes = codes[order]
+                if codes.size > 1 and bool(
+                    np.any(sorted_codes[1:] == sorted_codes[:-1])
+                ):
+                    codes = None  # float64 collapse: exact path only
+                else:
+                    freqs = np.asarray(
+                        list(self._explicit.values()), dtype=np.float64
+                    )
+                    self._numeric = True
+                    self._codes = sorted_codes
+                    self._freqs = freqs[order]
+                    if sorted_codes.size >= TREE_INDEX_MIN_SIZE:
+                        self._tree = TreeBucketIndex(sorted_codes)
 
     @classmethod
     def from_compact(cls, compact: "CompactEndBiased") -> "CompiledCompact":
@@ -394,6 +652,11 @@ class CompiledCompact:
     def explicit_count(self) -> int:
         """Number of explicitly stored values."""
         return len(self._explicit)
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when probes go through the vectorized float64 fast path."""
+        return self._numeric
 
     @property
     def total(self) -> float:
@@ -412,10 +675,17 @@ class CompiledCompact:
         return value in self._explicit
 
     def frequency(self, value: Hashable, *, assume_in_domain: bool = True) -> float:
-        """Approximate frequency of one value (the "missing bucket" rule)."""
+        """Approximate frequency of one value (the "missing bucket" rule).
+
+        NaN probes return 0.0 unconditionally: NaN is not a domain value,
+        so it gets neither an explicit frequency nor the remainder bucket —
+        in the scalar *and* the batched path.
+        """
         try:
+            if value != value:  # NaN-like probe: 0-mass, never the remainder
+                return 0.0
             found = self._explicit.get(value)
-        except TypeError:  # unhashable probe value: matches nothing stored
+        except (TypeError, ValueError):  # unhashable or array-like probe
             found = None
         if found is not None:
             return found
@@ -432,17 +702,32 @@ class CompiledCompact:
             if (assume_in_domain and self.remainder_count > 0)
             else 0.0
         )
-        if self._numeric and self._codes is not None:
-            try:
-                probes = np.asarray(values, dtype=np.float64)
-            except (TypeError, ValueError):
-                probes = None
-            if probes is not None and probes.ndim == 1:
+        if self._numeric:
+            arr = probe_code_array(values)
+            if arr is not None:
+                codes = arr.astype(np.float64, copy=False)
                 size = self._codes.size
-                pos = np.searchsorted(self._codes, probes)
+                pos = (
+                    self._tree.searchsorted(codes, side="left")
+                    if self._tree is not None
+                    else np.searchsorted(self._codes, codes)
+                )
                 clipped = np.minimum(pos, size - 1)
-                hit = (pos < size) & (self._codes[clipped] == probes)
-                return np.where(hit, self._freqs[clipped], miss)
+                hit = (pos < size) & (self._codes[clipped] == codes)
+                out = np.where(hit, self._freqs[clipped], miss)
+                if arr.dtype.kind == "f":
+                    nan_probes = np.isnan(codes)
+                    if nan_probes.any():
+                        out[nan_probes] = 0.0  # NaN: 0-mass, never remainder
+                elif arr.dtype.kind in "iu":
+                    suspect = hit & (np.abs(codes) >= _TWO53)
+                    if suspect.any():
+                        for index in np.nonzero(suspect)[0].tolist():
+                            out[index] = self.frequency(
+                                arr[index].item(),
+                                assume_in_domain=assume_in_domain,
+                            )
+                return out
         return np.asarray(
             [self.frequency(v, assume_in_domain=assume_in_domain) for v in values],
             dtype=np.float64,

@@ -27,6 +27,7 @@ from repro.optimizer.cardinality import (
     CardinalityEstimator,
 )
 from repro.optimizer.cost import CostModel
+from repro.serve.frame import EqualityProbe, Probe, RangeProbe
 from repro.serve.service import EstimationService
 from repro.optimizer.joinorder import JoinEdge, JoinGraph, optimal_join_order
 from repro.optimizer.plans import Plan
@@ -170,6 +171,86 @@ def _rebind_catalog(
     return rebound
 
 
+#: How a deferred probe's mass becomes a selectivity factor.
+_COMBINE_MASS = "mass"  # min(1, mass/total)
+_COMBINE_NEGATED = "negated"  # max(0, 1 - mass/total)
+
+
+def _combine_selectivity(combine: str, mass: float, total: float) -> float:
+    if combine == _COMBINE_NEGATED:
+        return max(0.0, 1.0 - mass / total)
+    return min(1.0, mass / total)
+
+
+def _selection_probe(
+    pred: Predicate,
+    binding: str,
+    attribute: str,
+    entry: Optional[CatalogEntry],
+    service: EstimationService,
+) -> tuple[Optional[float], Optional[tuple[Probe, str, float]]]:
+    """Classify *pred* into an immediate selectivity or a deferred probe.
+
+    Returns ``(selectivity, None)`` when the answer needs no histogram
+    mass (magic-constant fallbacks, constant predicates) or is served by
+    a scalar-only entry point (``IN`` membership, which dedups and clamps
+    internally), and ``(None, (probe, combine, total))`` when the mass
+    should be fetched through the service's batched probe interface —
+    ``plan_query`` collects every deferred probe of a statement into
+    **one** ``estimate_batch`` call.
+    """
+    if entry is None or entry.total_tuples <= 0:
+        if isinstance(pred, Comparison) and pred.operator == "=":
+            return DEFAULT_EQ_SELECTIVITY, None
+        return DEFAULT_RANGE_SELECTIVITY, None
+    total = entry.total_tuples
+    has_histogram = entry.histogram is not None and entry.histogram.values is not None
+
+    if isinstance(pred, Comparison):
+        assert isinstance(pred.right, Literal)
+        value = pred.right.value
+        if pred.operator == "=":
+            return None, (
+                EqualityProbe(binding, attribute, value),
+                _COMBINE_MASS,
+                total,
+            )
+        if pred.operator in ("<>", "!="):
+            return None, (
+                EqualityProbe(binding, attribute, value),
+                _COMBINE_NEGATED,
+                total,
+            )
+        if not has_histogram:
+            return DEFAULT_RANGE_SELECTIVITY, None
+        bounds = {
+            "<": dict(high=value, include_high=False),
+            "<=": dict(high=value, include_high=True),
+            ">": dict(low=value, include_low=False),
+            ">=": dict(low=value, include_low=True),
+        }[pred.operator]
+        return None, (
+            RangeProbe(binding, attribute, **bounds),
+            _COMBINE_MASS,
+            total,
+        )
+    if isinstance(pred, InPredicate):
+        mass = service.estimate_membership(
+            binding, attribute, [v.value for v in pred.values]
+        )
+        fraction = min(1.0, mass / total)
+        return (max(0.0, 1.0 - fraction) if pred.negated else fraction), None
+    if isinstance(pred, BetweenPredicate):
+        if not has_histogram:
+            return DEFAULT_RANGE_SELECTIVITY, None
+        return None, (
+            RangeProbe(binding, attribute, pred.low.value, pred.high.value),
+            _COMBINE_MASS,
+            total,
+        )
+    raise SqlPlanError(f"unsupported predicate {pred!r}")
+
+
 def _selection_selectivity(
     pred: Predicate,
     binding: str,
@@ -179,54 +260,17 @@ def _selection_selectivity(
 ) -> float:
     """Estimated fraction of a relation's tuples satisfying *pred*.
 
-    All frequency/range masses are answered by the estimation *service* —
-    one compiled lookup table per (binding, attribute), shared with the
-    join orderer — rather than per-call histogram walks.  ``IN`` lists are
-    answered as one deduplicated batch probe.
+    The scalar form of :func:`_selection_probe`: a deferred probe is
+    answered through a one-element ``estimate_batch`` call, so this
+    returns bit-identical floats to the batched planning path.
     """
-    if entry is None or entry.total_tuples <= 0:
-        if isinstance(pred, Comparison) and pred.operator == "=":
-            return DEFAULT_EQ_SELECTIVITY
-        return DEFAULT_RANGE_SELECTIVITY
-    total = entry.total_tuples
-    has_histogram = entry.histogram is not None and entry.histogram.values is not None
-
-    if isinstance(pred, Comparison):
-        assert isinstance(pred.right, Literal)
-        value = pred.right.value
-        if pred.operator == "=":
-            return min(
-                1.0, service.estimate_equality(binding, attribute, value) / total
-            )
-        if pred.operator in ("<>", "!="):
-            return max(
-                0.0,
-                1.0 - service.estimate_equality(binding, attribute, value) / total,
-            )
-        if not has_histogram:
-            return DEFAULT_RANGE_SELECTIVITY
-        bounds = {
-            "<": dict(high=value, include_high=False),
-            "<=": dict(high=value, include_high=True),
-            ">": dict(low=value, include_low=False),
-            ">=": dict(low=value, include_low=True),
-        }[pred.operator]
-        mass = service.estimate_range(binding, attribute, **bounds)
-        return min(1.0, mass / total)
-    if isinstance(pred, InPredicate):
-        mass = service.estimate_membership(
-            binding, attribute, [v.value for v in pred.values]
-        )
-        fraction = min(1.0, mass / total)
-        return max(0.0, 1.0 - fraction) if pred.negated else fraction
-    if isinstance(pred, BetweenPredicate):
-        if not has_histogram:
-            return DEFAULT_RANGE_SELECTIVITY
-        mass = service.estimate_range(
-            binding, attribute, pred.low.value, pred.high.value
-        )
-        return min(1.0, mass / total)
-    raise SqlPlanError(f"unsupported predicate {pred!r}")
+    selectivity, deferred = _selection_probe(pred, binding, attribute, entry, service)
+    if deferred is None:
+        assert selectivity is not None
+        return selectivity
+    probe, combine, total = deferred
+    mass = float(service.estimate_batch([probe])[0])
+    return _combine_selectivity(combine, mass, total)
 
 
 def plan_query(
@@ -317,26 +361,57 @@ def plan_query(
     estimator = CardinalityEstimator(rebound, on_error=on_error)
     service = estimator.service
 
-    selectivities: dict[str, float] = {}
+    # One pass classifies every selection predicate; the deferred
+    # histogram probes of the whole statement are answered by a single
+    # estimate_batch call, and the factors are then multiplied in the
+    # original per-predicate order (so the floats match the scalar path
+    # exactly).
+    factor_sources: dict[str, list[Union[float, int]]] = {}
+    deferred_probes: list[Probe] = []
+    deferred_combines: list[tuple[str, float]] = []
     for binding, preds in selections.items():
-        selectivity = 1.0
+        sources: list[Union[float, int]] = []
         for pred in preds:
             if isinstance(pred, Comparison) and pred.is_join():
                 # Same-table column comparison: heuristic selectivity.
                 if pred.operator == "=":
                     entry = rebound.get(binding, pred.left.column)
                     distinct = entry.distinct_count if entry else 10
-                    selectivity *= 1.0 / max(distinct, 1)
+                    sources.append(1.0 / max(distinct, 1))
                 else:
-                    selectivity *= DEFAULT_RANGE_SELECTIVITY
+                    sources.append(DEFAULT_RANGE_SELECTIVITY)
                 continue
             attribute = (
                 pred.left.column if isinstance(pred, Comparison) else pred.column.column
             )
             entry = rebound.get(binding, attribute)
-            selectivity *= _selection_selectivity(
+            immediate, deferred = _selection_probe(
                 pred, binding, attribute, entry, service
             )
+            if deferred is None:
+                assert immediate is not None
+                sources.append(immediate)
+            else:
+                probe, combine, total = deferred
+                sources.append(len(deferred_probes))
+                deferred_probes.append(probe)
+                deferred_combines.append((combine, total))
+        factor_sources[binding] = sources
+
+    masses = (
+        service.estimate_batch(deferred_probes) if deferred_probes else None
+    )
+    selectivities: dict[str, float] = {}
+    for binding, sources in factor_sources.items():
+        selectivity = 1.0
+        for source in sources:
+            if isinstance(source, float):
+                selectivity *= source
+            else:
+                combine, total = deferred_combines[source]
+                selectivity *= _combine_selectivity(
+                    combine, float(masses[source]), total
+                )
         selectivities[binding] = selectivity
 
     join_plan: Optional[Plan] = None
