@@ -11,11 +11,15 @@ exercises continuously:
   **replay** of those deltas onto a freshly loaded snapshot.
 
 Alongside the timings it checks the round trip is exact and that
-recovery of the snapshot+journal pair reports clean.
+recovery of the snapshot+journal pair reports clean.  Medians land in
+``benchmarks/results/BENCH_persist.json`` (like BENCH_serve.json and
+BENCH_net.json) so regressions are diffable across runs.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from time import perf_counter
 
 from _reporting import record_report
@@ -29,6 +33,8 @@ from repro.util.rng import derive_rng
 N_RELATIONS = 100
 EXPLICIT_PER_RELATION = 40
 N_DELTAS = 1_000
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_persist.json"
 
 
 def build_catalog(gen):
@@ -116,6 +122,30 @@ def test_persist_throughput(benchmark, tmp_path):
             ],
             precision=4,
         ),
+    )
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "persist",
+                "relations": N_RELATIONS,
+                "explicit_per_relation": EXPLICIT_PER_RELATION,
+                "deltas": N_DELTAS,
+                "save_seconds": result["save_seconds"],
+                "load_seconds": result["load_seconds"],
+                "append_seconds": result["append_seconds"],
+                "replay_seconds": result["replay_seconds"],
+                "saves_per_sec": N_RELATIONS / result["save_seconds"],
+                "loads_per_sec": N_RELATIONS / result["load_seconds"],
+                "appends_per_sec": N_DELTAS / result["append_seconds"],
+                "replays_per_sec": N_DELTAS / result["replay_seconds"],
+                "recovery_clean": result["recovery_clean"],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
     )
 
     assert result["round_trip_exact"], "snapshot round trip must be exact"

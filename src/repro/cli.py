@@ -17,7 +17,14 @@ Subcommands cover the common interactive uses:
   metric registry (Prometheus text or JSON);
 * ``stats check`` / ``stats repair`` — verify or repair an on-disk
   statistics catalog (checksums, journal replay, quarantine);
+* ``agent run|status|enqueue|dead-letter`` — the durable maintenance
+  agent and its job queue (see docs/MAINTENANCE.md);
 * ``arrangements`` — the Section 3.1 arrangement study.
+
+Exit codes for the scripting-oriented commands (``stats``, ``agent``)
+are documented in docs/PERSISTENCE.md: 0 success, 1 findings
+(``stats check``), 2 usage, :data:`EXIT_CORRUPTION` (3) when corruption
+was found, :data:`EXIT_IO_ERROR` (4) when the storage itself failed.
 
 Example::
 
@@ -30,6 +37,12 @@ import argparse
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
+
+#: Exit codes shared by the scripting-oriented subcommands so CI can tell
+#: outcomes apart (documented in docs/PERSISTENCE.md).  0 = success,
+#: 1 = findings reported (``stats check``), 2 = usage error (argparse).
+EXIT_CORRUPTION = 3
+EXIT_IO_ERROR = 4
 
 
 def _add_zipf_arguments(parser: argparse.ArgumentParser) -> None:
@@ -487,17 +500,30 @@ def _cmd_stats_check(args) -> int:
     """Verify an on-disk catalog: checksums, format, journal health."""
     from repro.engine.persist import load_catalog
 
-    report = load_catalog(args.catalog, recover=True, journal=args.journal)
+    try:
+        report = load_catalog(args.catalog, recover=True, journal=args.journal)
+    except OSError as exc:
+        print(f"repro stats check: I/O error: {exc}", file=sys.stderr)
+        return EXIT_IO_ERROR
     print(report.summary())
     return 0 if report.clean else 1
 
 
 def _cmd_stats_repair(args) -> int:
-    """Rewrite a catalog snapshot keeping only verified (+replayed) entries."""
+    """Rewrite a catalog snapshot keeping only verified (+replayed) entries.
+
+    Exit codes: 0 when the input was already clean, :data:`EXIT_CORRUPTION`
+    when corruption was found (and repaired away), :data:`EXIT_IO_ERROR`
+    when the storage itself failed.
+    """
     from repro.engine.journal import MaintenanceJournal
     from repro.engine.persist import load_catalog, save_catalog
 
-    report = load_catalog(args.catalog, recover=True, journal=args.journal)
+    try:
+        report = load_catalog(args.catalog, recover=True, journal=args.journal)
+    except OSError as exc:
+        print(f"repro stats repair: I/O error: {exc}", file=sys.stderr)
+        return EXIT_IO_ERROR
     print(report.summary())
     in_place = args.output is None
     destination = args.catalog if in_place else args.output
@@ -506,12 +532,16 @@ def _cmd_stats_repair(args) -> int:
     # repairing to --output must leave the original snapshot/journal pair
     # untouched, or serving from the original path would lose those
     # acknowledged deltas.
-    journal = (
-        MaintenanceJournal(args.journal)
-        if args.journal is not None and in_place
-        else None
-    )
-    save_catalog(report.catalog, destination, journal=journal)
+    try:
+        journal = (
+            MaintenanceJournal(args.journal)
+            if args.journal is not None and in_place
+            else None
+        )
+        save_catalog(report.catalog, destination, journal=journal)
+    except OSError as exc:
+        print(f"repro stats repair: I/O error: {exc}", file=sys.stderr)
+        return EXIT_IO_ERROR
     if args.journal is not None and not in_place:
         print(f"journal {args.journal} left untouched (repairing to a copy)")
     print(
@@ -524,7 +554,160 @@ def _cmd_stats_repair(args) -> int:
             "note: dropped statistics are gone; re-run ANALYZE for "
             + ", ".join(sorted({q.label() for q in report.quarantined}))
         )
-    return 0
+    return 0 if report.clean else EXIT_CORRUPTION
+
+
+def _run_agent_command(body) -> int:
+    """Run one ``repro agent`` handler body under the shared exit-code map."""
+    from repro.engine.eventlog import LogFormatError
+    from repro.engine.persist import CatalogFormatError
+
+    try:
+        return body()
+    except (LogFormatError, CatalogFormatError) as exc:
+        print(f"repro agent: corruption: {exc}", file=sys.stderr)
+        return EXIT_CORRUPTION
+    except OSError as exc:
+        print(f"repro agent: I/O error: {exc}", file=sys.stderr)
+        return EXIT_IO_ERROR
+
+
+def _open_queue(args):
+    from repro.maint.queue import DurableJobQueue
+
+    return DurableJobQueue(args.queue, lease_duration=args.lease)
+
+
+def _cmd_agent_run(args) -> int:
+    """Run the maintenance agent over a durable queue until drained/stopped."""
+
+    def body() -> int:
+        from repro.engine.catalog import StatsCatalog
+        from repro.engine.journal import MaintenanceJournal
+        from repro.engine.persist import load_catalog
+        from repro.maint.agent import AgentContext, DriftPolicy, MaintenanceAgent
+
+        queue = _open_queue(args)
+        snapshot_path = Path(args.catalog) if args.catalog else None
+        if snapshot_path is not None and snapshot_path.exists():
+            catalog = load_catalog(snapshot_path, journal=args.journal)
+        else:
+            catalog = StatsCatalog()
+        journal = (
+            MaintenanceJournal(args.journal) if args.journal is not None else None
+        )
+        context = AgentContext(
+            queue=queue,
+            catalog=catalog,
+            snapshot_path=snapshot_path,
+            journal=journal,
+            buckets=args.buckets,
+            drift=DriftPolicy(
+                max_relative_error=args.drift_threshold,
+                min_observations=args.drift_min_observations,
+            ),
+        )
+        agent = MaintenanceAgent(context, name=args.name)
+        if args.max_jobs is not None:
+            resolved = agent.run(max_jobs=args.max_jobs)
+        else:
+            try:
+                resolved = agent.run()
+            except KeyboardInterrupt:
+                agent.stop()
+                resolved = agent.drain()
+        print(
+            f"agent {args.name}: resolved {resolved} job(s); "
+            f"queue depth now {queue.depth()} "
+            f"(pending={queue.depth('pending')}, dead={queue.depth('dead')})"
+        )
+        return 0
+
+    return _run_agent_command(body)
+
+
+def _cmd_agent_status(args) -> int:
+    """Read-only queue diagnosis; exit 3 on any log damage (strict scan)."""
+
+    def body() -> int:
+        from repro.engine.eventlog import scan_log
+        from repro.maint.queue import JOB_STATUSES, _validate_event
+
+        # Strict scan first: status must *report* damage, never repair it.
+        scan_log(args.queue, strict=True, validate=_validate_event)
+        queue = _open_queue(args)
+        print(f"queue: {args.queue}")
+        depths = " ".join(
+            f"{status}={queue.depth(status)}" for status in JOB_STATUSES
+        )
+        print(f"jobs: total={queue.depth()} {depths}")
+        print(f"oldest pending age: {queue.oldest_pending_age():.1f}s")
+        for job in queue.jobs():
+            if job["status"] == "done" and not args.all:
+                continue
+            line = (
+                f"  {job['id']} {job['kind']} {job['status']} "
+                f"attempts={job['attempts']}"
+            )
+            if job["owner"]:
+                line += f" owner={job['owner']}"
+            if job["last_error"]:
+                line += f" error={job['last_error']!r}"
+            print(line)
+        return 0
+
+    return _run_agent_command(body)
+
+
+def _cmd_agent_enqueue(args) -> int:
+    """Durably enqueue one maintenance job (idempotent with --dedupe-key)."""
+
+    def body() -> int:
+        queue = _open_queue(args)
+        params: dict = {}
+        if args.relation is not None:
+            params["relation"] = args.relation
+        if args.attribute is not None:
+            params["attribute"] = args.attribute
+        if args.threshold is not None:
+            params["threshold"] = args.threshold
+        dedupe_key = args.dedupe_key
+        if dedupe_key is None and args.kind == "rebuild" and params:
+            dedupe_key = (
+                f"rebuild:{params.get('relation')}.{params.get('attribute')}"
+            )
+        job = queue.enqueue(args.kind, params or None, dedupe_key=dedupe_key)
+        print(f"enqueued {job.id} ({job.kind})")
+        return 0
+
+    return _run_agent_command(body)
+
+
+def _cmd_agent_dead_letter(args) -> int:
+    """List the dead-letter lane, or requeue one job out of it."""
+
+    def body() -> int:
+        queue = _open_queue(args)
+        if args.requeue is not None:
+            try:
+                job = queue.requeue_dead(args.requeue)
+            except ValueError as exc:
+                print(f"repro agent: {exc}", file=sys.stderr)
+                return 2
+            print(f"requeued {job.id} ({job.kind})")
+            return 0
+        lane = queue.dead_letters()
+        if not lane:
+            print("dead-letter lane is empty")
+            return 0
+        for job in lane:
+            print(
+                f"{job['id']} {job['kind']} attempts={job['attempts']} "
+                f"error={job['last_error']!r}"
+            )
+        return 0
+
+    return _run_agent_command(body)
 
 
 def _cmd_describe(args) -> int:
@@ -815,6 +998,95 @@ def build_parser() -> argparse.ArgumentParser:
                 help="write the repaired snapshot here instead of in place",
             )
         sp.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "agent",
+        help="durable maintenance agent: run, inspect, and feed its job queue",
+    )
+    agent_sub = p.add_subparsers(dest="agent_command", required=True)
+
+    def _add_agent_queue_arguments(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("queue", help="path of the durable job-queue log")
+        sp.add_argument(
+            "--lease",
+            type=float,
+            default=30.0,
+            help="lease duration in seconds for claimed jobs",
+        )
+
+    sp = agent_sub.add_parser(
+        "run", help="consume the queue until stopped (or --max-jobs resolved)"
+    )
+    _add_agent_queue_arguments(sp)
+    sp.add_argument(
+        "--catalog",
+        default=None,
+        help="catalog snapshot rebuilds/checkpoints republish to",
+    )
+    sp.add_argument(
+        "--journal",
+        default=None,
+        help="maintenance journal checkpointed with snapshot writes",
+    )
+    sp.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="resolve at most N jobs, then exit (drain mode: an empty "
+        "queue also exits)",
+    )
+    sp.add_argument("--buckets", type=int, default=16)
+    sp.add_argument(
+        "--name", default="maintenance-agent", help="worker name on claims"
+    )
+    sp.add_argument("--drift-threshold", type=float, default=0.5)
+    sp.add_argument("--drift-min-observations", type=int, default=20)
+    sp.set_defaults(func=_cmd_agent_run)
+
+    sp = agent_sub.add_parser(
+        "status",
+        help="read-only queue report (exit 3 on log damage, 4 on I/O error)",
+    )
+    _add_agent_queue_arguments(sp)
+    sp.add_argument(
+        "--all",
+        action="store_true",
+        help="also list completed jobs (hidden by default)",
+    )
+    sp.set_defaults(func=_cmd_agent_status)
+
+    sp = agent_sub.add_parser("enqueue", help="durably add one job")
+    _add_agent_queue_arguments(sp)
+    sp.add_argument(
+        "kind",
+        choices=("rebuild", "checkpoint", "quarantine-repair", "drift-audit"),
+    )
+    sp.add_argument("--relation", default=None)
+    sp.add_argument("--attribute", default=None)
+    sp.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="drift-audit override for the mean-relative-error line",
+    )
+    sp.add_argument(
+        "--dedupe-key",
+        default=None,
+        help="idempotency key (rebuilds default to rebuild:REL.ATTR)",
+    )
+    sp.set_defaults(func=_cmd_agent_enqueue)
+
+    sp = agent_sub.add_parser(
+        "dead-letter", help="list the dead-letter lane or requeue out of it"
+    )
+    _add_agent_queue_arguments(sp)
+    sp.add_argument(
+        "--requeue",
+        metavar="JOB_ID",
+        default=None,
+        help="return this dead job to the pending lane, attempts reset",
+    )
+    sp.set_defaults(func=_cmd_agent_dead_letter)
 
     p = sub.add_parser("lint", help="run repolint, the project static analyzer")
     p.add_argument(

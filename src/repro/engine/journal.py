@@ -23,17 +23,16 @@ contract:
   checkpoint that empties the log would silently reset numbering to 0 and
   every later acknowledged append would be fenced out of replay.
 
-A torn tail (the crash leaving a half-written last record) is detected by
-the per-record CRC32: recovery-mode replay truncates at the last intact
-record instead of failing the load, and reopening the journal for writing
-physically truncates the torn bytes first, so new acknowledged appends
-always extend an intact prefix that replay can reach.
+The log mechanics — per-record CRC32 checksums, torn-tail detection and
+physical repair, fsync-before-acknowledge appends, the checkpoint header
+— live in :class:`repro.engine.eventlog.ChecksummedLog`, which this
+journal shares with the maintenance agent's durable job queue
+(:mod:`repro.maint.queue`).  This module layers the *delta* domain on
+top: the record schema, replay fencing, and catalog re-application.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Hashable, Optional, Sequence
@@ -41,25 +40,19 @@ from typing import Hashable, Optional, Sequence
 from repro.engine.catalog import CompactEndBiased, StatsCatalog
 from repro.obs import runtime as obs
 from repro.obs.tracing import span
-from repro.engine.durable import (
-    PathLike,
-    atomic_write_text,
-    canonical_json,
-    check_scalar,
-    checksum,
-)
+from repro.engine.durable import PathLike, check_scalar
+from repro.engine.eventlog import ChecksummedLog, LogFormatError, scan_log
 from repro.testing.faults import (
     POINT_JOURNAL_APPEND,
     POINT_JOURNAL_CHECKPOINT,
     POINT_JOURNAL_FLUSH,
-    fault_point,
 )
 
 #: The delta operations the journal records.
 JOURNAL_OPS: tuple[str, ...] = ("insert", "delete")
 
 
-class JournalFormatError(ValueError):
+class JournalFormatError(LogFormatError):
     """The journal file violates the record format (beyond a torn tail)."""
 
 
@@ -123,144 +116,9 @@ class JournalRecord:
         return cls(seq=seq, op=op, relation=relation, attribute=attribute, value=value)
 
 
-def _encode_record(record: JournalRecord) -> bytes:
-    payload_text = canonical_json(record.payload())
-    line = canonical_json({"checksum": checksum(payload_text), "payload": record.payload()})
-    return (line + "\n").encode("utf-8")
-
-
-def _encode_header(last_seq: int) -> bytes:
-    header = {"kind": "journal-header", "last_seq": last_seq}
-    line = canonical_json({"checksum": checksum(canonical_json(header)), "header": header})
-    return (line + "\n").encode("utf-8")
-
-
-def _decode_header(envelope: dict) -> int:
-    """Validate a header envelope and return its sequence high-water mark."""
-    header = envelope["header"]
-    stored = envelope.get("checksum")
-    actual = checksum(canonical_json(header))
-    if stored != actual:
-        raise JournalFormatError(
-            f"journal header checksum mismatch (stored {stored!r}, computed {actual})"
-        )
-    if not isinstance(header, dict) or header.get("kind") != "journal-header":
-        raise JournalFormatError(f"malformed journal header: {header!r}")
-    last_seq = header.get("last_seq")
-    if not isinstance(last_seq, int) or isinstance(last_seq, bool) or last_seq < 0:
-        raise JournalFormatError(
-            f"journal header last_seq must be an int >= 0, got {last_seq!r}"
-        )
-    return last_seq
-
-
-def _decode_line(line: str) -> JournalRecord:
-    try:
-        envelope = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise JournalFormatError(f"unparseable journal line: {exc}") from exc
-    if not isinstance(envelope, dict) or "payload" not in envelope:
-        raise JournalFormatError("journal line lacks a payload envelope")
-    payload = envelope["payload"]
-    stored = envelope.get("checksum")
-    actual = checksum(canonical_json(payload))
-    if stored != actual:
-        raise JournalFormatError(
-            f"journal record checksum mismatch (stored {stored!r}, computed {actual})"
-        )
-    return JournalRecord.from_payload(payload)
-
-
-@dataclass
-class _JournalScan:
-    """Everything one pass over the journal file establishes."""
-
-    #: High-water mark from the checkpoint header (0 when absent).
-    header_seq: int = 0
-    #: The intact records, in file order.
-    records: list = None  # type: ignore[assignment]
-    #: True when an unreadable line cut the scan short.
-    torn: bool = False
-    #: Byte offset just past the last intact line (truncation target).
-    intact_end: int = 0
-    #: True when the last intact line is missing its terminating newline.
-    needs_newline: bool = False
-
-    def __post_init__(self) -> None:
-        if self.records is None:
-            self.records = []
-
-    @property
-    def last_seq(self) -> int:
-        """The sequence high-water mark the file as a whole establishes."""
-        tail = self.records[-1].seq if self.records else 0
-        return max(self.header_seq, tail)
-
-
-def _scan_journal(path: Path, *, strict: bool) -> _JournalScan:
-    """One pass over the journal: header, intact records, torn-tail extent.
-
-    Tracks byte offsets so a writer can truncate exactly the torn suffix.
-    With ``strict=True`` any unreadable line raises
-    :class:`JournalFormatError` instead of marking the scan torn.
-    """
-    scan = _JournalScan()
-    if not path.exists():
-        return scan
-    data = path.read_bytes()
-    first_content = True
-    last_seq = 0
-    offset = 0
-    for raw in data.splitlines(keepends=True):
-        consumed = len(raw)
-        body = raw.rstrip(b"\r\n")
-        has_newline = len(body) < consumed
-        try:
-            stripped = body.decode("utf-8").strip()
-        except UnicodeDecodeError as exc:
-            if strict:
-                raise JournalFormatError(
-                    f"undecodable journal line: {exc}"
-                ) from exc
-            scan.torn = True
-            break
-        if not stripped:
-            offset += consumed
-            scan.intact_end = offset
-            continue
-        try:
-            envelope = json.loads(stripped)
-            if isinstance(envelope, dict) and "header" in envelope:
-                if not first_content:
-                    raise JournalFormatError(
-                        "journal header is only valid as the first record"
-                    )
-                scan.header_seq = _decode_header(envelope)
-            else:
-                record = _decode_line(stripped)
-                if record.seq <= last_seq:
-                    raise JournalFormatError(
-                        f"journal seq went backwards ({last_seq} -> {record.seq})"
-                    )
-                scan.records.append(record)
-                last_seq = record.seq
-        except json.JSONDecodeError as exc:
-            if strict:
-                raise JournalFormatError(
-                    f"unparseable journal line: {exc}"
-                ) from exc
-            scan.torn = True
-            break
-        except JournalFormatError:
-            if strict:
-                raise
-            scan.torn = True
-            break
-        first_content = False
-        offset += consumed
-        scan.intact_end = offset
-        scan.needs_newline = not has_newline
-    return scan
+def _validate_payload(payload: dict) -> None:
+    """Event-log validation hook: every payload must decode as a record."""
+    JournalRecord.from_payload(payload)
 
 
 def read_journal(
@@ -278,8 +136,16 @@ def read_journal(
     """
     if not isinstance(path, (str, Path)):
         raise TypeError(f"path must be str or Path, got {type(path).__name__}")
-    scan = _scan_journal(Path(path), strict=strict)
-    return scan.records, scan.torn
+    try:
+        scan = scan_log(Path(path), strict=strict, validate=_validate_payload)
+    except JournalFormatError:
+        raise
+    except LogFormatError as exc:
+        # Generic log-format failures surface under the journal's own
+        # error type so callers keep one exception to catch.
+        raise JournalFormatError(str(exc)) from exc
+    records = [JournalRecord.from_payload(payload) for payload in scan.payloads]
+    return records, scan.torn
 
 
 @dataclass
@@ -396,50 +262,29 @@ class MaintenanceJournal:
     """
 
     def __init__(self, path: PathLike, *, fsync: bool = True):
-        self._path = Path(path)
-        self._fsync = bool(fsync)
-        scan = _scan_journal(self._path, strict=False)
-        # The checkpoint header keeps the high-water mark alive across a
-        # checkpoint that empties the log: without it a restart would
-        # restart numbering at 0 and new appends would sit at or below the
-        # snapshot fences, silently invisible to replay.
-        self._seq = scan.last_seq
-        if scan.torn or scan.needs_newline:
-            self._repair_tail(scan)
-
-    def _repair_tail(self, scan: _JournalScan) -> None:
-        """Physically remove a torn tail before the first append.
-
-        Appending after a half-written line would strand the new —
-        acknowledged — records behind bytes :func:`read_journal` can never
-        get past.  Truncating to the last intact record restores the
-        append-only invariant that everything after an intact record is
-        intact.
-        """
-        with open(self._path, "r+b") as handle:  # repolint: disable=R007
-            handle.truncate(scan.intact_end)
-            if scan.needs_newline:
-                handle.seek(0, os.SEEK_END)
-                handle.write(b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._log = ChecksummedLog(
+            path,
+            fsync=fsync,
+            validate=_validate_payload,
+            fsync_span="journal.fsync",
+        )
 
     @property
     def path(self) -> Path:
         """Where the journal lives."""
-        return self._path
+        return self._log.path
 
     @property
     def last_seq(self) -> int:
         """Sequence number of the last acknowledged record (0 when empty)."""
-        return self._seq
+        return self._log.last_seq
 
     def __len__(self) -> int:
         return len(self.pending())
 
     def pending(self) -> list[JournalRecord]:
         """Every intact record currently in the log."""
-        records, _ = read_journal(self._path, strict=False)
+        records, _ = read_journal(self._log.path, strict=False)
         return records
 
     # ------------------------------------------------------------------
@@ -466,23 +311,13 @@ class MaintenanceJournal:
         if not isinstance(attribute, str) or not attribute:
             raise TypeError(f"attribute must be a non-empty str, got {attribute!r}")
         check_scalar(value, f"journal delta for {relation}.{attribute}")
-        record = JournalRecord(
-            seq=self._seq + 1, op=op, relation=relation, attribute=attribute, value=value
-        )
-        data = _encode_record(record)
         with span("journal.append", op=op):
-            fault_point(POINT_JOURNAL_APPEND, path=str(self._path))
-            # The one sanctioned non-atomic write: an append-only log is
-            # torn-tail safe by construction (per-record checksums), and
-            # appending through a rewrite would be O(log) per delta.
-            with open(self._path, "ab") as handle:  # repolint: disable=R007
-                handle.write(data)
-                fault_point(POINT_JOURNAL_FLUSH, path=str(self._path))
-                if self._fsync:
-                    with span("journal.fsync"):
-                        handle.flush()
-                        os.fsync(handle.fileno())
-        self._seq = record.seq  # acknowledged only after the durable append
+            stamped = self._log.append(
+                {"op": op, "relation": relation, "attribute": attribute, "value": value},
+                fault_append=POINT_JOURNAL_APPEND,
+                fault_flush=POINT_JOURNAL_FLUSH,
+            )
+        record = JournalRecord.from_payload(stamped)
         obs.count("repro_journal_appends_total", op=op)
         return record
 
@@ -505,10 +340,10 @@ class MaintenanceJournal:
         a crash between snapshot and checkpoint is harmless.
         """
         with span("journal.checkpoint"):
-            scan = _scan_journal(self._path, strict=False)
-            records = scan.records
+            scan = self._log.scan(strict=False)
+            records = [JournalRecord.from_payload(p) for p in scan.payloads]
             keep: list[JournalRecord] = []
-            last_seq = max(self._seq, scan.last_seq)
+            last_seq = max(self._log.last_seq, scan.last_seq)
             if catalog is not None:
                 if not isinstance(catalog, StatsCatalog):
                     raise TypeError(
@@ -520,18 +355,18 @@ class MaintenanceJournal:
                     entry = catalog.get(record.relation, record.attribute)
                     if entry is not None and record.seq > entry.journal_seq:
                         keep.append(record)
-            fault_point(POINT_JOURNAL_CHECKPOINT, path=str(self._path))
-            parts = [_encode_header(last_seq).decode("utf-8")] if last_seq else []
-            parts.extend(_encode_record(record).decode("utf-8") for record in keep)
-            atomic_write_text(self._path, "".join(parts))
-            self._seq = last_seq
+            self._log.rewrite(
+                [record.payload() for record in keep],
+                last_seq=last_seq,
+                fault_rewrite=POINT_JOURNAL_CHECKPOINT,
+            )
         dropped = len(records) - len(keep)
         obs.count("repro_journal_checkpoints_total")
         obs.emit_event(
             "journal.checkpoint",
-            path=str(self._path),
+            path=str(self.path),
             dropped=dropped,
             kept=len(keep),
-            last_seq=last_seq,
+            last_seq=self._log.last_seq,
         )
         return dropped

@@ -1,7 +1,37 @@
-"""Histogram maintenance under database updates (Section 2.3 discussion)."""
+"""Histogram maintenance under database updates (Section 2.3 discussion).
+
+Two layers: :mod:`repro.maint.update` keeps one histogram consistent
+under inline inserts/deletes, and :mod:`repro.maint.queue` +
+:mod:`repro.maint.agent` run maintenance autonomously — a durable,
+crash-safe job queue consumed by a long-lived agent that rebuilds,
+checkpoints, repairs quarantines, and audits drift.
+"""
 
 from __future__ import annotations
 
+from repro.maint.queue import (
+    JOB_KINDS,
+    JOB_STATUSES,
+    DurableJobQueue,
+    Job,
+    JobLease,
+    JobState,
+    LeaseLostError,
+    QueueFormatError,
+    RetryPolicy,
+)
 from repro.maint.update import MaintainedEndBiased, MaintenancePolicy
 
-__all__ = ["MaintainedEndBiased", "MaintenancePolicy"]
+__all__ = [
+    "DurableJobQueue",
+    "JOB_KINDS",
+    "JOB_STATUSES",
+    "Job",
+    "JobLease",
+    "JobState",
+    "LeaseLostError",
+    "MaintainedEndBiased",
+    "MaintenancePolicy",
+    "QueueFormatError",
+    "RetryPolicy",
+]

@@ -1,0 +1,47 @@
+"""The autonomous maintenance agent.
+
+A long-running worker over the durable job queue
+(:class:`repro.maint.queue.DurableJobQueue`): rebuilds drifted
+histograms, lands checkpoints, repairs quarantined entries, and audits
+observed estimation error — each as a crash-safe, lease-fenced job.  See
+``docs/MAINTENANCE.md`` for the lifecycle state machine and operational
+guidance.
+"""
+
+from __future__ import annotations
+
+from repro.maint.agent.actions import (
+    HANDLERS,
+    AgentActionError,
+    AgentContext,
+    DriftPolicy,
+    StatisticsSource,
+    run_checkpoint,
+    run_drift_audit,
+    run_quarantine_repair,
+    run_rebuild,
+)
+from repro.maint.agent.runner import (
+    OUTCOME_DEAD,
+    OUTCOME_DONE,
+    OUTCOME_LOST,
+    OUTCOME_RETRY,
+    MaintenanceAgent,
+)
+
+__all__ = [
+    "AgentActionError",
+    "AgentContext",
+    "DriftPolicy",
+    "HANDLERS",
+    "MaintenanceAgent",
+    "OUTCOME_DEAD",
+    "OUTCOME_DONE",
+    "OUTCOME_LOST",
+    "OUTCOME_RETRY",
+    "StatisticsSource",
+    "run_checkpoint",
+    "run_drift_audit",
+    "run_quarantine_repair",
+    "run_rebuild",
+]

@@ -1,0 +1,291 @@
+"""The maintenance agent's job handlers.
+
+One handler per :data:`repro.maint.queue.JOB_KINDS` entry, dispatched by
+:class:`repro.maint.agent.runner.MaintenanceAgent` through
+:data:`HANDLERS`.  Every handler takes the shared :class:`AgentContext`
+plus the claimed :class:`~repro.maint.queue.Job` and returns a
+JSON-friendly result dict (surfaced through ``repro agent`` and the
+event log).
+
+Handlers are written to be **idempotent**: the queue guarantees each job
+is *resolved* exactly once, but a crash mid-execution means the work may
+*run* more than once after a lease reclaim.  Rebuilds republish a full
+snapshot through the catalog + WAL (re-publishing the same statistics is
+a no-op for correctness), checkpoints re-checkpoint, audits re-audit.
+
+The serving contract during a rebuild: :func:`run_rebuild` marks the
+pair as rebuilding on the :class:`~repro.serve.EstimationService`, which
+**only** refines the degradation reason of an *already quarantined* pair
+to ``"rebuild-in-progress"`` — a healthy pair keeps serving the last
+published snapshot untouched, and picks up the rebuilt entry through the
+catalog version bump when ``put`` lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import AttributeDistribution
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.journal import MaintenanceJournal
+from repro.engine.persist import save_catalog
+from repro.maint.queue import DurableJobQueue, Job
+from repro.obs import runtime as obs
+from repro.obs.accuracy import AccuracyMonitor, get_monitor
+
+
+class AgentActionError(RuntimeError):
+    """A job cannot run as parameterized/configured (retryable)."""
+
+
+#: Source of fresh statistics for a rebuild: ``(relation, attribute) ->``
+#: :class:`~repro.core.frequency.AttributeDistribution`.  In production
+#: this re-scans (or samples) the base table; tests inject fakes.
+StatisticsSource = Callable[[str, str], AttributeDistribution]
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """When observed estimation error warrants an autonomous rebuild.
+
+    A ``(kind, relation, attribute)`` crosses the drift line when its
+    :class:`~repro.obs.accuracy.ErrorStats` has seen at least
+    ``min_observations`` probes **and** its mean relative error is at or
+    above ``max_relative_error``.  Raise the threshold for workloads
+    where estimates feed only coarse decisions; lower it (with a higher
+    observation floor, to keep noise out) when plans are sensitive.
+    """
+
+    max_relative_error: float = 0.5
+    min_observations: int = 20
+
+    def __post_init__(self) -> None:
+        if self.max_relative_error <= 0.0:
+            raise ValueError(
+                f"max_relative_error must be > 0, got {self.max_relative_error}"
+            )
+        if self.min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+
+
+@dataclass
+class AgentContext:
+    """Everything the handlers share: the store, the loop, the knobs."""
+
+    queue: DurableJobQueue
+    catalog: StatsCatalog
+    #: Where checkpoints/rebuilds republish the snapshot (optional: an
+    #: in-memory catalog still rebuilds, it just is not durable).
+    snapshot_path: Optional[Path] = None
+    #: The WAL checkpointed alongside snapshot writes.
+    journal: Optional[MaintenanceJournal] = None
+    #: The serving front-end to annotate (quarantine/rebuilding marks).
+    service: Optional[object] = None
+    #: Fresh-statistics provider for rebuild jobs.
+    source: Optional[StatisticsSource] = None
+    #: Explicit-bucket budget for rebuilt end-biased histograms.
+    buckets: int = 16
+    drift: DriftPolicy = field(default_factory=DriftPolicy)
+    #: Error stats feeding drift audits (default: the process monitor).
+    monitor: Optional[AccuracyMonitor] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.queue, DurableJobQueue):
+            raise TypeError(
+                f"queue must be a DurableJobQueue, got {type(self.queue).__name__}"
+            )
+        if not isinstance(self.catalog, StatsCatalog):
+            raise TypeError(
+                f"catalog must be a StatsCatalog, got {type(self.catalog).__name__}"
+            )
+        if self.buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {self.buckets}")
+
+    def accuracy_monitor(self) -> AccuracyMonitor:
+        return self.monitor if self.monitor is not None else get_monitor()
+
+
+def _job_target(job: Job) -> tuple[str, str]:
+    relation = job.params.get("relation")
+    attribute = job.params.get("attribute")
+    if not isinstance(relation, str) or not relation:
+        raise AgentActionError(f"{job.id} ({job.kind}) lacks a relation param")
+    if not isinstance(attribute, str) or not attribute:
+        raise AgentActionError(f"{job.id} ({job.kind}) lacks an attribute param")
+    return relation, attribute
+
+
+def run_rebuild(ctx: AgentContext, job: Job) -> dict:
+    """Recompute one column's end-biased histogram and republish it.
+
+    The republish path is the same WAL-coupled snapshot write the rest
+    of the tree uses: ``catalog.put`` bumps the version (serving caches
+    recompile lazily from the *new* entry; until then probes answer from
+    the prior snapshot), then :func:`save_catalog` lands the snapshot
+    atomically and checkpoints the journal.  Finishing a rebuild releases
+    the pair's quarantine — the statistics are fresh by construction.
+    """
+    relation, attribute = _job_target(job)
+    if ctx.source is None:
+        raise AgentActionError(
+            f"{job.id} needs a statistics source; construct the AgentContext "
+            "with source="
+        )
+    service = ctx.service
+    if service is not None:
+        service.mark_rebuilding(relation, attribute)
+    try:
+        distribution = ctx.source(relation, attribute)
+        if not isinstance(distribution, AttributeDistribution):
+            raise AgentActionError(
+                f"statistics source returned "
+                f"{type(distribution).__name__}, expected AttributeDistribution"
+            )
+        buckets = min(ctx.buckets, distribution.domain_size)
+        histogram = v_opt_bias_hist(
+            distribution.frequencies, buckets, values=distribution.values
+        )
+        compact = CompactEndBiased.from_histogram(histogram)
+        entry = CatalogEntry(
+            relation=relation,
+            attribute=attribute,
+            kind="maintained-end-biased",
+            histogram=None,
+            compact=compact,
+            distinct_count=len(compact.explicit) + compact.remainder_count,
+            total_tuples=float(distribution.total),
+        )
+        if ctx.journal is not None:
+            # The rebuilt statistics are current as of now: fence out every
+            # already-acknowledged delta so replay cannot double-apply.
+            entry.journal_seq = ctx.journal.last_seq
+        ctx.catalog.put(entry)
+        if ctx.snapshot_path is not None:
+            save_catalog(ctx.catalog, ctx.snapshot_path, journal=ctx.journal)
+        if service is not None:
+            service.clear_quarantine(relation, attribute)
+        obs.count("repro_agent_rebuilds_total")
+        return {
+            "relation": relation,
+            "attribute": attribute,
+            "total_tuples": float(distribution.total),
+            "catalog_version": ctx.catalog.version,
+        }
+    finally:
+        if service is not None:
+            service.clear_rebuilding(relation, attribute)
+
+
+def run_checkpoint(ctx: AgentContext, job: Job) -> dict:
+    """Land a durable snapshot, checkpoint the WAL, compact the queue."""
+    if ctx.snapshot_path is not None:
+        save_catalog(ctx.catalog, ctx.snapshot_path, journal=ctx.journal)
+    dropped = ctx.queue.checkpoint()
+    return {
+        "snapshot": None if ctx.snapshot_path is None else str(ctx.snapshot_path),
+        "queue_events_dropped": dropped,
+        "catalog_version": ctx.catalog.version,
+    }
+
+
+def run_quarantine_repair(ctx: AgentContext, job: Job) -> dict:
+    """Fan the service's quarantine set out into rebuild jobs.
+
+    Whole-relation holds (attribute ``None``) are first narrowed to
+    per-attribute holds over the relation's cataloged attributes, so each
+    finishing rebuild releases exactly its own column.  Enqueues are
+    deduped — re-running the repair while rebuilds are pending adds
+    nothing.
+    """
+    service = ctx.service
+    if service is None:
+        return {"enqueued": []}
+    pairs: set[tuple[str, str]] = set()
+    for relation, attribute in sorted(
+        service.quarantined, key=lambda item: (item[0], item[1] or "")
+    ):
+        if attribute is not None:
+            pairs.add((relation, attribute))
+            continue
+        attributes = [
+            entry.attribute
+            for entry in ctx.catalog.entries()
+            if entry.relation == relation
+        ]
+        if not attributes:
+            continue  # nothing cataloged to rebuild; keep the coarse hold
+        for narrowed in attributes:
+            service.quarantine(relation, narrowed)
+            pairs.add((relation, narrowed))
+        service.clear_quarantine(relation, None)
+    enqueued = []
+    for relation, attribute in sorted(pairs):
+        enqueued.append(
+            ctx.queue.enqueue(
+                "rebuild",
+                {"relation": relation, "attribute": attribute},
+                dedupe_key=f"rebuild:{relation}.{attribute}",
+            ).id
+        )
+    return {"enqueued": enqueued}
+
+
+def run_drift_audit(ctx: AgentContext, job: Job) -> dict:
+    """Close the accuracy feedback loop: high observed error → rebuild.
+
+    Reads the per-(kind, relation, attribute) error stats from the
+    accuracy monitor and enqueues a deduped ``rebuild`` for every
+    cataloged column whose mean relative error crossed the drift line
+    (``params["threshold"]`` overrides the context policy per audit).
+    Join and self-join keys aggregate over column pairs, so they never
+    map to one rebuild target and are skipped.
+    """
+    threshold = job.params.get("threshold", ctx.drift.max_relative_error)
+    if not isinstance(threshold, (int, float)) or threshold <= 0.0:
+        raise AgentActionError(
+            f"{job.id} threshold must be a positive number, got {threshold!r}"
+        )
+    monitor = ctx.accuracy_monitor()
+    enqueued: list[str] = []
+    examined = 0
+    for (kind, relation, attribute), stats in monitor.items():
+        examined += 1
+        if kind not in ("equality", "range"):
+            continue
+        if stats.count < ctx.drift.min_observations:
+            continue
+        if stats.mean_relative_error < float(threshold):
+            continue
+        if ctx.catalog.get(relation, attribute) is None:
+            continue
+        enqueued.append(
+            ctx.queue.enqueue(
+                "rebuild",
+                {"relation": relation, "attribute": attribute},
+                dedupe_key=f"rebuild:{relation}.{attribute}",
+            ).id
+        )
+        obs.count(
+            "repro_agent_drift_triggers_total",
+            relation=relation,
+            attribute=attribute,
+        )
+    return {
+        "threshold": float(threshold),
+        "examined": examined,
+        "enqueued": enqueued,
+    }
+
+
+#: Job-kind dispatch used by the runner.
+HANDLERS: dict[str, Callable[[AgentContext, Job], dict]] = {
+    "rebuild": run_rebuild,
+    "checkpoint": run_checkpoint,
+    "quarantine-repair": run_quarantine_repair,
+    "drift-audit": run_drift_audit,
+}

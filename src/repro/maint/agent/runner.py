@@ -1,0 +1,219 @@
+"""The long-running maintenance agent loop.
+
+:class:`MaintenanceAgent` is the single worker a deployment runs next to
+its serving processes: it claims jobs off the durable queue, executes
+the matching handler from :mod:`repro.maint.agent.actions`, and resolves
+each claim with exactly one ack / retry / dead-letter event.  The
+crash-safety story lives in the queue — the agent is deliberately
+stateless, so killing it at any instant loses nothing: its lease expires
+and the next incarnation reclaims the job.
+
+While a handler runs, a **heartbeat thread** renews the lease at a third
+of the lease duration, so long rebuilds are not reclaimed out from under
+a healthy worker.  If the heartbeat ever observes
+:class:`~repro.maint.queue.LeaseLostError` — the agent stalled past its
+lease and someone else took the job — the job's effects stop being ours
+to report: the agent skips the ack and moves on (the effects themselves
+are idempotent by the handler contract).
+
+Shutdown is **graceful by construction**: :meth:`MaintenanceAgent.stop`
+flips an event the main loop checks between jobs, so the in-flight job
+always drains to a logged resolution before :meth:`run` returns.
+
+A simulated power loss (:class:`~repro.testing.faults.InjectedCrash`)
+propagates out of the loop un-handled — the chaos suite uses it to kill
+the "process" at exact queue-event boundaries; treating it as a mere job
+failure would retry the job inside a process that is supposed to be
+dead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.maint.agent.actions import HANDLERS, AgentContext
+from repro.maint.queue import Job, JobLease, LeaseLostError
+from repro.obs import runtime as obs
+from repro.obs.tracing import span
+from repro.testing.faults import InjectedCrash
+
+#: Outcomes :meth:`MaintenanceAgent.run_once` can report for one job.
+OUTCOME_DONE = "done"
+OUTCOME_RETRY = "retry"
+OUTCOME_DEAD = "dead"
+OUTCOME_LOST = "lost"
+
+
+class MaintenanceAgent:
+    """One queue-consuming maintenance worker (see the module docstring)."""
+
+    def __init__(
+        self,
+        context: AgentContext,
+        *,
+        name: str = "maintenance-agent",
+        poll_interval: float = 0.05,
+        handlers: Optional[dict[str, Callable[[AgentContext, Job], dict]]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not isinstance(context, AgentContext):
+            raise TypeError(
+                f"context must be an AgentContext, got {type(context).__name__}"
+            )
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"name must be a non-empty str, got {name!r}")
+        if poll_interval <= 0.0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        self.context = context
+        self.queue = context.queue
+        self.name = name
+        self.poll_interval = float(poll_interval)
+        self.handlers = dict(HANDLERS) if handlers is None else dict(handlers)
+        self._sleep = sleep
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request a graceful shutdown: finish the in-flight job, claim no more."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def run(self, *, max_jobs: Optional[int] = None) -> int:
+        """The agent main loop; returns the number of jobs resolved.
+
+        Runs until :meth:`stop` is called (or *max_jobs* jobs resolved,
+        for tests and one-shot CLI drains).  Idle polls sleep
+        ``poll_interval`` between claims.
+        """
+        resolved = 0
+        while not self._stop.is_set():
+            if max_jobs is not None and resolved >= max_jobs:
+                break
+            outcome = self.run_once()
+            if outcome is None:
+                if max_jobs is not None:
+                    break  # drain mode: an empty queue is completion
+                self._sleep(self.poll_interval)
+                continue
+            resolved += 1
+        return resolved
+
+    def drain(self) -> int:
+        """Resolve every currently-eligible job, then return the count."""
+        with span("agent.drain"):
+            drained = 0
+            while not self._stop.is_set():
+                if self.run_once() is None:
+                    break
+                drained += 1
+            return drained
+
+    # ------------------------------------------------------------------
+    # One job
+    # ------------------------------------------------------------------
+
+    def run_once(self) -> Optional[str]:
+        """Claim and resolve one job; ``None`` when nothing is eligible."""
+        lease = self.queue.claim(self.name)
+        if lease is None:
+            return None
+        return self._execute(lease)
+
+    def _execute(self, lease: JobLease) -> str:
+        job = lease.job
+        handler = self.handlers.get(job.kind)
+        heartbeat = _Heartbeat(self.queue, lease)
+        heartbeat.start()
+        try:
+            if handler is None:
+                raise LookupError(f"no handler for job kind {job.kind!r}")
+            with span("agent.job", kind=job.kind, job=job.id):
+                result = handler(self.context, job)
+            error: Optional[str] = None
+        except InjectedCrash:
+            raise  # simulated power loss: die here, the lease will expire
+        except Exception as exc:  # noqa: BLE001 — the queue owns retry policy
+            result = None
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            heartbeat.cancel()
+        current = heartbeat.lease
+        if heartbeat.lost:
+            obs.count("repro_agent_jobs_total", kind=job.kind, outcome="lost")
+            return OUTCOME_LOST
+        if error is None:
+            try:
+                self.queue.ack(current)
+            except LeaseLostError:
+                obs.count("repro_agent_jobs_total", kind=job.kind, outcome="lost")
+                return OUTCOME_LOST
+            obs.emit_event("agent.job", job=job.id, kind=job.kind, result=result)
+            return OUTCOME_DONE
+        obs.count("repro_agent_job_failures_total", kind=job.kind)
+        try:
+            status = self.queue.fail(current, error)
+        except LeaseLostError:
+            obs.count("repro_agent_jobs_total", kind=job.kind, outcome="lost")
+            return OUTCOME_LOST
+        obs.emit_event("agent.job", job=job.id, kind=job.kind, error=error)
+        return OUTCOME_DEAD if status == "dead" else OUTCOME_RETRY
+
+
+class _Heartbeat:
+    """Renews one lease from a helper thread until cancelled.
+
+    Renewal interval is a third of the queue's lease duration — two
+    missed beats of headroom before an expiry.  A failed renewal
+    (:class:`LeaseLostError`, or any exception: the queue may be mid
+    fault-injection) stops the thread; ``lost`` reports whether the lease
+    is known to be gone so the worker can skip its ack.
+    """
+
+    def __init__(self, queue, lease: JobLease):
+        self._queue = queue
+        self._cancel = threading.Event()
+        self._lock = threading.Lock()
+        self._lease = lease
+        self._lost = False
+        self._interval = max(queue.lease_duration / 3.0, 0.001)
+        self._thread = threading.Thread(
+            target=self._beat, name=f"heartbeat-{lease.job.id}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def cancel(self) -> None:
+        self._cancel.set()
+        self._thread.join()
+
+    @property
+    def lease(self) -> JobLease:
+        with self._lock:
+            return self._lease
+
+    @property
+    def lost(self) -> bool:
+        with self._lock:
+            return self._lost
+
+    def _beat(self) -> None:
+        while not self._cancel.wait(self._interval):
+            try:
+                renewed = self._queue.renew(self.lease)
+            except LeaseLostError:
+                with self._lock:
+                    self._lost = True
+                return
+            except Exception:  # noqa: BLE001 — e.g. an injected IO fault
+                return  # stop heartbeating; the ack path decides the outcome
+            with self._lock:
+                self._lease = renewed

@@ -37,6 +37,7 @@ from repro.net.client import (
     EstimationClient,
     ProtocolError,
     RemoteBatchError,
+    RetrySchedule,
     connect,
 )
 from repro.net.protocol import (
@@ -85,6 +86,7 @@ __all__ = [
     "FrameDecoder",
     "ProtocolError",
     "RemoteBatchError",
+    "RetrySchedule",
     "ServerHandle",
     "TenantConfig",
     "WireCodecError",

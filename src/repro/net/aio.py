@@ -28,6 +28,8 @@ import numpy as np
 from repro.net import protocol
 from repro.net.client import (
     DEFAULT_BACKOFF,
+    DEFAULT_JITTER,
+    DEFAULT_MAX_ELAPSED,
     DEFAULT_RETRIES,
     DEFAULT_TIMEOUT,
     AuthenticationError,
@@ -35,7 +37,7 @@ from repro.net.client import (
     ClientError,
     ConnectionFailedError,
     ProtocolError,
-    backoff_delays,
+    RetrySchedule,
 )
 from repro.serve.service import Probe, ProbeTrace
 
@@ -58,6 +60,8 @@ class AsyncEstimationClient:
         timeout: float = DEFAULT_TIMEOUT,
         retries: int = DEFAULT_RETRIES,
         backoff: float = DEFAULT_BACKOFF,
+        jitter: float = DEFAULT_JITTER,
+        max_elapsed: Optional[float] = DEFAULT_MAX_ELAPSED,
         on_error: Optional[str] = None,
     ):
         self.host = host
@@ -66,6 +70,8 @@ class AsyncEstimationClient:
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.jitter = float(jitter)
+        self.max_elapsed = max_elapsed
         #: Default ``on_error`` policy sent with every batch.
         self.on_error = on_error
         self.tenant: Optional[str] = None
@@ -85,8 +91,9 @@ class AsyncEstimationClient:
         if self._writer is not None:
             return self
         failure: Optional[Exception] = None
-        delays = list(backoff_delays(self.retries, self.backoff))
-        for attempt in range(self.retries + 1):
+        schedule = self._schedule()
+        attempt = 0
+        while True:
             try:
                 await self._open_once()
                 return self
@@ -95,12 +102,23 @@ class AsyncEstimationClient:
             except (OSError, asyncio.TimeoutError, ClientError) as exc:
                 failure = exc
                 await self._teardown()
-                if attempt < len(delays):
-                    await asyncio.sleep(delays[attempt])
+                delay = schedule.next_delay(attempt)
+                if delay is None:
+                    break
+                await asyncio.sleep(delay)
+                attempt += 1
         raise ConnectionFailedError(
             f"could not connect to {self.host}:{self.port} after "
-            f"{self.retries + 1} attempts: {failure}"
+            f"{attempt + 1} attempts ({schedule.elapsed():.1f}s): {failure}"
         ) from failure
+
+    def _schedule(self) -> RetrySchedule:
+        return RetrySchedule(
+            self.retries,
+            self.backoff,
+            jitter=self.jitter,
+            max_elapsed=self.max_elapsed,
+        )
 
     async def _open_once(self) -> None:
         reader, writer = await asyncio.wait_for(
@@ -190,8 +208,9 @@ class AsyncEstimationClient:
         """
         probes = list(probes)
         failure: Optional[Exception] = None
-        delays = list(backoff_delays(self.retries, self.backoff))
-        for attempt in range(self.retries + 1):
+        schedule = self._schedule()
+        attempt = 0
+        while True:
             await self.connect()
             call = BatchCall(
                 probes,
@@ -207,11 +226,14 @@ class AsyncEstimationClient:
             except (ConnectionFailedError, OSError, asyncio.TimeoutError) as exc:
                 failure = exc
                 await self._teardown()
-                if attempt < len(delays):
-                    await asyncio.sleep(delays[attempt])
+                delay = schedule.next_delay(attempt)
+                if delay is None:
+                    break
+                await asyncio.sleep(delay)
+                attempt += 1
         raise ConnectionFailedError(
             f"batch submission to {self.host}:{self.port} failed after "
-            f"{self.retries + 1} attempts: {failure}"
+            f"{attempt + 1} attempts ({schedule.elapsed():.1f}s): {failure}"
         ) from failure
 
     async def stream_batch(
@@ -259,6 +281,8 @@ async def connect_async(
     timeout: float = DEFAULT_TIMEOUT,
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    jitter: float = DEFAULT_JITTER,
+    max_elapsed: Optional[float] = DEFAULT_MAX_ELAPSED,
     on_error: Optional[str] = None,
 ) -> AsyncEstimationClient:
     """Connect an :class:`AsyncEstimationClient` (and handshake)."""
@@ -269,6 +293,8 @@ async def connect_async(
         timeout=timeout,
         retries=retries,
         backoff=backoff,
+        jitter=jitter,
+        max_elapsed=max_elapsed,
         on_error=on_error,
     )
     return await client.connect()

@@ -23,7 +23,11 @@ exactly as an in-process ``estimate_batch(trace=...)`` caller would.
 
 Retries: connection establishment and idempotent submissions retry with
 exponential backoff (estimation is read-only, so resubmitting a batch
-after a broken connection is always safe).  Typed failures:
+after a broken connection is always safe).  Each delay is jittered
+(±``jitter`` multiplicatively) so a fleet of clients losing one server
+does not reconnect in lockstep, and the whole retry loop is bounded by
+``max_elapsed`` wall seconds — a slow network cannot stretch a handful
+of retries into an unbounded stall.  Typed failures:
 :class:`AuthenticationError` (bad token — not retried),
 :class:`RemoteBatchError` (the server answered with a per-batch error,
 e.g. ``on_error="raise"`` propagating — not retried),
@@ -47,6 +51,10 @@ DEFAULT_TIMEOUT = 30.0
 DEFAULT_RETRIES = 3
 #: First backoff delay; doubles per retry.
 DEFAULT_BACKOFF = 0.05
+#: Default multiplicative jitter applied to every backoff delay.
+DEFAULT_JITTER = 0.25
+#: Default cap on total wall time spent inside one retry loop (seconds).
+DEFAULT_MAX_ELAPSED = 30.0
 
 
 class ClientError(RuntimeError):
@@ -84,6 +92,71 @@ def backoff_delays(retries: int, base: float) -> Iterator[float]:
     """The delay before each retry attempt: ``base * 2**k``."""
     for attempt in range(retries):
         yield base * (2.0**attempt)
+
+
+class RetrySchedule:
+    """One retry loop's delays: exponential, jittered, elapsed-capped.
+
+    Construct one per operation (it anchors its elapsed budget at
+    construction time), then ask :meth:`next_delay` before each retry:
+
+    * ``base * 2**attempt`` gives the nominal delay;
+    * the delay is multiplied by ``U[1 - jitter, 1 + jitter]`` so many
+      clients recovering from the same outage spread their reconnects;
+    * ``None`` is returned — retrying must stop — once the configured
+      retries are spent **or** the total wall time since construction
+      would exceed ``max_elapsed`` (the last delay is clamped to the
+      remaining budget rather than overshooting it).
+
+    *clock* and *rng* are injectable for deterministic tests; the clock
+    only ever measures durations, so a monotonic source is the default.
+    """
+
+    def __init__(
+        self,
+        retries: int,
+        base: float,
+        *,
+        jitter: float = DEFAULT_JITTER,
+        max_elapsed: Optional[float] = DEFAULT_MAX_ELAPSED,
+        rng: object = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if base < 0.0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if max_elapsed is not None and max_elapsed <= 0.0:
+            raise ValueError(f"max_elapsed must be > 0, got {max_elapsed}")
+        from repro.util.rng import derive_rng
+
+        self.retries = int(retries)
+        self.base = float(base)
+        self.jitter = float(jitter)
+        self.max_elapsed = None if max_elapsed is None else float(max_elapsed)
+        self._rng = derive_rng(rng)
+        self._clock = clock
+        self._start = float(clock())
+
+    def elapsed(self) -> float:
+        """Wall seconds since this schedule was constructed."""
+        return float(self._clock()) - self._start
+
+    def next_delay(self, attempt: int) -> Optional[float]:
+        """The sleep before retry *attempt* (0-based), or ``None`` to stop."""
+        if attempt >= self.retries:
+            return None
+        delay = self.base * (2.0**attempt)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * float(self._rng.random()) - 1.0)
+        if self.max_elapsed is not None:
+            remaining = self.max_elapsed - self.elapsed()
+            if remaining <= 0.0:
+                return None
+            delay = min(delay, remaining)
+        return delay
 
 
 class BatchCall:
@@ -186,6 +259,8 @@ class EstimationClient:
         timeout: float = DEFAULT_TIMEOUT,
         retries: int = DEFAULT_RETRIES,
         backoff: float = DEFAULT_BACKOFF,
+        jitter: float = DEFAULT_JITTER,
+        max_elapsed: Optional[float] = DEFAULT_MAX_ELAPSED,
         on_error: Optional[str] = None,
     ):
         self.host = host
@@ -194,6 +269,8 @@ class EstimationClient:
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.jitter = float(jitter)
+        self.max_elapsed = max_elapsed
         #: Default ``on_error`` policy sent with every batch (None defers
         #: to the server-side service default).
         self.on_error = on_error
@@ -220,8 +297,9 @@ class EstimationClient:
         if self._sock is not None:
             return self
         failure: Optional[Exception] = None
-        delays = list(backoff_delays(self.retries, self.backoff))
-        for attempt in range(self.retries + 1):
+        schedule = self._schedule()
+        attempt = 0
+        while True:
             try:
                 self._open_once()
                 return self
@@ -230,12 +308,23 @@ class EstimationClient:
             except (OSError, ClientError) as exc:
                 failure = exc
                 self._teardown()
-                if attempt < len(delays):
-                    time.sleep(delays[attempt])
+                delay = schedule.next_delay(attempt)
+                if delay is None:
+                    break
+                time.sleep(delay)
+                attempt += 1
         raise ConnectionFailedError(
             f"could not connect to {self.host}:{self.port} after "
-            f"{self.retries + 1} attempts: {failure}"
+            f"{attempt + 1} attempts ({schedule.elapsed():.1f}s): {failure}"
         ) from failure
+
+    def _schedule(self) -> RetrySchedule:
+        return RetrySchedule(
+            self.retries,
+            self.backoff,
+            jitter=self.jitter,
+            max_elapsed=self.max_elapsed,
+        )
 
     def _open_once(self) -> None:
         sock = socket.create_connection(
@@ -329,8 +418,9 @@ class EstimationClient:
         """
         probes = list(probes)
         failure: Optional[Exception] = None
-        delays = list(backoff_delays(self.retries, self.backoff))
-        for attempt in range(self.retries + 1):
+        schedule = self._schedule()
+        attempt = 0
+        while True:
             self.connect()
             call = BatchCall(
                 probes,
@@ -346,11 +436,14 @@ class EstimationClient:
             except (ConnectionFailedError, OSError) as exc:
                 failure = exc
                 self._teardown()
-                if attempt < len(delays):
-                    time.sleep(delays[attempt])
+                delay = schedule.next_delay(attempt)
+                if delay is None:
+                    break
+                time.sleep(delay)
+                attempt += 1
         raise ConnectionFailedError(
             f"batch submission to {self.host}:{self.port} failed after "
-            f"{self.retries + 1} attempts: {failure}"
+            f"{attempt + 1} attempts ({schedule.elapsed():.1f}s): {failure}"
         ) from failure
 
     def stream_batch(
@@ -401,6 +494,8 @@ def connect(
     timeout: float = DEFAULT_TIMEOUT,
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    jitter: float = DEFAULT_JITTER,
+    max_elapsed: Optional[float] = DEFAULT_MAX_ELAPSED,
     on_error: Optional[str] = None,
 ) -> EstimationClient:
     """Connect a synchronous :class:`EstimationClient` (and handshake)."""
@@ -411,6 +506,8 @@ def connect(
         timeout=timeout,
         retries=retries,
         backoff=backoff,
+        jitter=jitter,
+        max_elapsed=max_elapsed,
         on_error=on_error,
     )
     return client.connect()

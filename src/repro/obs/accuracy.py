@@ -219,6 +219,21 @@ class AccuracyMonitor:
             items = [(key, stats.as_dict()) for key, stats in self._stats.items()]
         return {"/".join(key): summary for key, summary in sorted(items)}
 
+    def items(self) -> list[tuple[AccuracyKey, ErrorStats]]:
+        """Detached ``(key, stats)`` pairs for every tracked key.
+
+        The consumer loop of the maintenance agent's drift audit: typed
+        keys (not the joined strings of :meth:`as_dict`) and stat copies
+        that cannot race with concurrent recording.
+        """
+        with self._lock:
+            keys = list(self._stats)
+        return [
+            (key, stats)
+            for key in sorted(keys)
+            if (stats := self.stats(key)) is not None
+        ]
+
     def collect(self) -> list[Sample]:
         """Registry samples for every tracked key (collector callback)."""
         with self._lock:

@@ -49,6 +49,8 @@ SPAN_NAMES: tuple[str, ...] = (
     "persist.recover",
     "maint.publish",
     "maint.rebuild",
+    "agent.job",
+    "agent.drain",
 )
 
 

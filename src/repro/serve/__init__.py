@@ -25,6 +25,7 @@ from repro.serve.service import (
     REASON_COMPILE_FAILED,
     REASON_QUARANTINED,
     REASON_QUOTA_EXCEEDED,
+    REASON_REBUILD_IN_PROGRESS,
     AdmissionHook,
     EqualityProbe,
     EstimationService,
@@ -52,6 +53,7 @@ __all__ = [
     "REASON_COMPILE_FAILED",
     "REASON_QUARANTINED",
     "REASON_QUOTA_EXCEEDED",
+    "REASON_REBUILD_IN_PROGRESS",
     "AdmissionHook",
     "CompiledCompact",
     "CompiledHistogram",

@@ -120,6 +120,13 @@ REASON_INCOMPARABLE_BOUND = "incomparable-bound"
 #: The entry's statistics were quarantined by crash recovery (see
 #: :meth:`EstimationService.apply_recovery`) and must not be served.
 REASON_QUARANTINED = "quarantined-statistics"
+#: A maintenance rebuild is underway for an entry that was **already
+#: quarantined** — the refined form of ``"quarantined-statistics"``
+#: telling callers the outage is being repaired autonomously.  A rebuild
+#: of a *healthy* entry never degrades anything: the service keeps
+#: serving the last published snapshot until the new one lands in the
+#: catalog (see :meth:`EstimationService.mark_rebuilding`).
+REASON_REBUILD_IN_PROGRESS = "rebuild-in-progress"
 #: Compiling the entry's lookup table raised; the corrupt/buggy statistics
 #: are isolated instead of aborting the batch.
 REASON_COMPILE_FAILED = "table-compile-failed"
@@ -314,6 +321,10 @@ class EstimationService:
         # quarantines the whole relation.  Probes touching them degrade
         # through the on_error policy with reason "quarantined-statistics".
         self._quarantined: set[tuple[str, Optional[str]]] = set()
+        # Pairs the maintenance agent is actively rebuilding.  Refines the
+        # degradation reason of *quarantined* pairs to "rebuild-in-progress";
+        # healthy pairs in this set serve normally from the last snapshot.
+        self._rebuilding: set[tuple[str, Optional[str]]] = set()
         self._lock = threading.RLock()
         self.name = name if name is not None else f"service-{next(_SERVICE_SEQ)}"
         self.metrics = ServiceMetrics()
@@ -434,6 +445,50 @@ class EstimationService:
                 return True
             except KeyError:
                 return False
+
+    def mark_rebuilding(
+        self, relation: str, attribute: Optional[str] = None
+    ) -> None:
+        """Note that a maintenance rebuild of *relation* is underway.
+
+        This never degrades serving by itself: probes against a healthy
+        entry keep answering from the last published snapshot until the
+        rebuilt one is ``put`` into the catalog (the version bump then
+        recompiles tables lazily).  Only when the pair is *also*
+        quarantined does the degradation reason refine from
+        ``"quarantined-statistics"`` to ``"rebuild-in-progress"``.
+        """
+        if not isinstance(relation, str) or not relation:
+            raise TypeError(f"relation must be a non-empty str, got {relation!r}")
+        with self._lock:
+            self._rebuilding.add((relation, attribute))
+
+    def clear_rebuilding(
+        self, relation: str, attribute: Optional[str] = None
+    ) -> bool:
+        """The rebuild finished (or failed); True if it was marked."""
+        with self._lock:
+            try:
+                self._rebuilding.remove((relation, attribute))
+                return True
+            except KeyError:
+                return False
+
+    @property
+    def rebuilding(self) -> frozenset:
+        """The (relation, attribute) pairs with a rebuild underway."""
+        with self._lock:
+            return frozenset(self._rebuilding)
+
+    def _quarantine_reason(self, relation: str, attribute: Optional[str]) -> str:
+        """The degradation reason for a quarantined pair right now."""
+        with self._lock:
+            if (
+                (relation, attribute) in self._rebuilding
+                or (relation, None) in self._rebuilding
+            ):
+                return REASON_REBUILD_IN_PROGRESS
+        return REASON_QUARANTINED
 
     def _is_quarantined(self, relation: str, attribute: Optional[str]) -> bool:
         # Lock-free emptiness probe: quarantine is rare, and a stale read
@@ -559,7 +614,7 @@ class EstimationService:
             raise error()
         value = math.nan if policy == "nan" else fallback
         self.metrics.record_degraded(reason, count)
-        if reason == REASON_QUARANTINED:
+        if reason in (REASON_QUARANTINED, REASON_REBUILD_IN_PROGRESS):
             self.metrics.record_quarantined(count)
         if trace is not None:
             for index in range(count):
@@ -687,7 +742,7 @@ class EstimationService:
                 kind=kind,
                 relation=relation,
                 attribute=attribute,
-                reason=REASON_QUARANTINED,
+                reason=self._quarantine_reason(relation, attribute),
                 fallback=fallback,
                 error=self._quarantined_error(relation, attribute),
                 trace=trace,
@@ -926,7 +981,7 @@ class EstimationService:
                 kind="range",
                 relation=relation,
                 attribute=attribute,
-                reason=REASON_QUARANTINED,
+                reason=self._quarantine_reason(relation, attribute),
                 fallback=fallback,
                 error=self._quarantined_error(relation, attribute),
                 trace=trace,
@@ -1175,7 +1230,7 @@ class EstimationService:
                 kind="not_equal",
                 relation=relation,
                 attribute=attribute,
-                reason=REASON_QUARANTINED,
+                reason=self._quarantine_reason(relation, attribute),
                 fallback=(
                     0.0 if rows is None else rows * (1.0 - DEFAULT_EQ_SELECTIVITY)
                 ),
@@ -1300,7 +1355,7 @@ class EstimationService:
                 kind="join",
                 relation=quarantined_side[0],
                 attribute=quarantined_side[1],
-                reason=REASON_QUARANTINED,
+                reason=self._quarantine_reason(*quarantined_side),
                 fallback=fallback,
                 error=self._quarantined_error(*quarantined_side),
                 trace=trace,

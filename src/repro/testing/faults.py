@@ -107,10 +107,27 @@ POINT_JOURNAL_FLUSH = register_injection_point("journal.flush")
 POINT_JOURNAL_CHECKPOINT = register_injection_point("journal.checkpoint")
 #: Before a catalog entry is compiled into a serving lookup table.
 POINT_SERVE_COMPILE = register_injection_point("serve.compile")
+#: Before an enqueue event is written to the durable job queue log.
+POINT_QUEUE_ENQUEUE = register_injection_point("queue.enqueue")
+#: Before a claim event (lease grant) is written to the queue log.
+POINT_QUEUE_CLAIM = register_injection_point("queue.claim")
+#: Before a lease-renewal (heartbeat) event is written to the queue log.
+POINT_QUEUE_LEASE_RENEW = register_injection_point("queue.lease-renew")
+#: Before an ack (job completed) event is written to the queue log.
+POINT_QUEUE_ACK = register_injection_point("queue.ack")
+#: Before a retry (failure + backoff) event is written to the queue log.
+POINT_QUEUE_RETRY = register_injection_point("queue.retry")
+#: Before a dead-letter event is written to the queue log.
+POINT_QUEUE_DEAD_LETTER = register_injection_point("queue.dead-letter")
+#: After a queue event is written, before the log flush + fsync.
+POINT_QUEUE_FLUSH = register_injection_point("queue.flush")
+#: Before the queue checkpoint rewrites the log.
+POINT_QUEUE_CHECKPOINT = register_injection_point("queue.checkpoint")
 
-#: Every built-in injection point, in pipeline order — the chaos suite
-#: parametrizes over this tuple.
-ALL_INJECTION_POINTS: tuple[str, ...] = (
+#: The persistence-pipeline injection points, in pipeline order — the
+#: snapshot/WAL chaos suite parametrizes over this tuple (its workload
+#: exercises exactly these points, every one of which must fire).
+PERSISTENCE_INJECTION_POINTS: tuple[str, ...] = (
     POINT_PERSIST_SERIALIZE,
     POINT_PERSIST_WRITE_TMP,
     POINT_PERSIST_FLUSH,
@@ -120,6 +137,24 @@ ALL_INJECTION_POINTS: tuple[str, ...] = (
     POINT_JOURNAL_FLUSH,
     POINT_JOURNAL_CHECKPOINT,
     POINT_SERVE_COMPILE,
+)
+
+#: The durable-job-queue injection points, in event order — the agent
+#: chaos suite parametrizes over this tuple.
+QUEUE_INJECTION_POINTS: tuple[str, ...] = (
+    POINT_QUEUE_ENQUEUE,
+    POINT_QUEUE_CLAIM,
+    POINT_QUEUE_LEASE_RENEW,
+    POINT_QUEUE_ACK,
+    POINT_QUEUE_RETRY,
+    POINT_QUEUE_DEAD_LETTER,
+    POINT_QUEUE_FLUSH,
+    POINT_QUEUE_CHECKPOINT,
+)
+
+#: Every built-in injection point.
+ALL_INJECTION_POINTS: tuple[str, ...] = (
+    PERSISTENCE_INJECTION_POINTS + QUEUE_INJECTION_POINTS
 )
 
 

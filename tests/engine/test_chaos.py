@@ -25,6 +25,7 @@ from repro.maint.update import MaintainedEndBiased
 from repro.serve import EstimationService
 from repro.testing.faults import (
     ALL_INJECTION_POINTS,
+    PERSISTENCE_INJECTION_POINTS,
     POINT_JOURNAL_FLUSH,
     FaultInjector,
     InjectedFault,
@@ -53,9 +54,14 @@ def test_every_point_is_registered():
     assert len(ALL_INJECTION_POINTS) == len(set(ALL_INJECTION_POINTS))
 
 
-@pytest.mark.parametrize("point", ALL_INJECTION_POINTS)
+@pytest.mark.parametrize("point", PERSISTENCE_INJECTION_POINTS)
 def test_crash_at_every_injection_point_is_recoverable(point, tmp_path):
-    """One full workday with a crash at *point*; the store must recover."""
+    """One full workday with a crash at *point*; the store must recover.
+
+    Parametrized over the persistence pipeline's points only — this
+    workload never touches the job queue, whose points get the same
+    treatment in ``tests/maint/test_agent_chaos.py``.
+    """
     snapshot = tmp_path / "catalog.json"
     wal = tmp_path / "wal.jsonl"
     journal = MaintenanceJournal(wal)

@@ -1,0 +1,387 @@
+"""Unit tests for the maintenance agent: handlers, runner, heartbeat.
+
+The end-to-end contract under test: drift observed by the accuracy
+monitor turns into a rebuild job, the rebuild republishes fresh
+statistics through the catalog + WAL while serving keeps answering from
+the prior snapshot, and every job resolves to exactly one of
+done/retry/dead/lost.
+"""
+
+import time
+
+import pytest
+
+from repro.core.biased import v_opt_bias_hist
+from repro.core.frequency import AttributeDistribution
+from repro.engine.catalog import CatalogEntry, CompactEndBiased, StatsCatalog
+from repro.engine.journal import MaintenanceJournal
+from repro.engine.persist import load_catalog
+from repro.maint.agent import (
+    OUTCOME_DEAD,
+    OUTCOME_DONE,
+    OUTCOME_RETRY,
+    AgentContext,
+    DriftPolicy,
+    MaintenanceAgent,
+)
+from repro.maint.queue import DurableJobQueue, RetryPolicy
+from repro.obs.accuracy import AccuracyMonitor
+from repro.serve import (
+    REASON_QUARANTINED,
+    REASON_REBUILD_IN_PROGRESS,
+    EqualityProbe,
+    EstimationService,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1_000.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+def put_entry(catalog, relation="R", attribute="a", freq=5.0, domain=10):
+    """Seed one (stale) uniform end-biased entry the tests rebuild over."""
+    distribution = AttributeDistribution(
+        list(range(domain)), [float(freq)] * domain
+    )
+    histogram = v_opt_bias_hist(
+        distribution.frequencies, 4, values=distribution.values
+    )
+    compact = CompactEndBiased.from_histogram(histogram)
+    catalog.put(
+        CatalogEntry(
+            relation=relation,
+            attribute=attribute,
+            kind="end-biased",
+            histogram=None,
+            compact=compact,
+            distinct_count=len(compact.explicit) + compact.remainder_count,
+            total_tuples=distribution.total,
+        )
+    )
+
+
+def fresh_source(relation, attribute):
+    """The 'rescan': every value now occurs 50 times."""
+    return AttributeDistribution(list(range(10)), [50.0] * 10)
+
+
+def build_context(tmp_path, clock, **overrides):
+    queue = overrides.pop(
+        "queue",
+        DurableJobQueue(
+            tmp_path / "queue.jsonl",
+            lease_duration=30.0,
+            retry=RetryPolicy(base=0.1, max_attempts=2),
+            clock=clock,
+            rng=11,
+        ),
+    )
+    catalog = overrides.pop("catalog", None)
+    if catalog is None:
+        catalog = StatsCatalog()
+        put_entry(catalog)
+    defaults = dict(
+        queue=queue,
+        catalog=catalog,
+        snapshot_path=tmp_path / "catalog.json",
+        journal=MaintenanceJournal(tmp_path / "wal.jsonl"),
+        source=fresh_source,
+    )
+    defaults.update(overrides)
+    return AgentContext(**defaults)
+
+
+class TestContextValidation:
+    def test_queue_and_catalog_are_type_checked(self, tmp_path):
+        with pytest.raises(TypeError, match="queue"):
+            AgentContext(queue=object(), catalog=StatsCatalog())
+        queue = DurableJobQueue(tmp_path / "q.jsonl")
+        with pytest.raises(TypeError, match="catalog"):
+            AgentContext(queue=queue, catalog={})
+        with pytest.raises(ValueError, match="buckets"):
+            AgentContext(queue=queue, catalog=StatsCatalog(), buckets=0)
+
+    def test_drift_policy_validation(self):
+        with pytest.raises(ValueError):
+            DriftPolicy(max_relative_error=0.0)
+        with pytest.raises(ValueError):
+            DriftPolicy(min_observations=0)
+
+    def test_agent_validation(self, tmp_path):
+        context = build_context(tmp_path, FakeClock())
+        with pytest.raises(TypeError, match="context"):
+            MaintenanceAgent("nope")
+        with pytest.raises(TypeError, match="name"):
+            MaintenanceAgent(context, name="")
+        with pytest.raises(ValueError, match="poll_interval"):
+            MaintenanceAgent(context, poll_interval=0.0)
+
+
+class TestRebuild:
+    def test_rebuild_republishes_through_catalog_and_snapshot(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        service = EstimationService(context.catalog)
+        context.service = service
+        assert service.estimate_equality("R", "a", 0) == pytest.approx(5.0)
+        version_before = context.catalog.version
+
+        context.queue.enqueue(
+            "rebuild",
+            {"relation": "R", "attribute": "a"},
+            dedupe_key="rebuild:R.a",
+        )
+        agent = MaintenanceAgent(context)
+        assert agent.run_once() == OUTCOME_DONE
+        assert context.catalog.version > version_before
+        # Serving now answers from the rebuilt statistics.
+        assert service.estimate_equality("R", "a", 0) == pytest.approx(50.0)
+        # And the snapshot on disk carries the rebuilt entry.
+        reloaded = load_catalog(context.snapshot_path)
+        entry = reloaded.get("R", "a")
+        assert entry is not None
+        assert entry.kind == "maintained-end-biased"
+        assert entry.total_tuples == pytest.approx(500.0)
+
+    def test_rebuild_fences_acknowledged_journal_deltas(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        context.journal.append_insert("R", "a", 3)
+        context.queue.enqueue("rebuild", {"relation": "R", "attribute": "a"})
+        assert MaintenanceAgent(context).run_once() == OUTCOME_DONE
+        # The rebuilt entry's fence covers the pre-rebuild delta, so
+        # recovery replay cannot double-apply it.
+        report = load_catalog(
+            context.snapshot_path, recover=True, journal=context.journal.path
+        )
+        assert report.clean
+        assert report.catalog.get("R", "a").total_tuples == pytest.approx(500.0)
+
+    def test_rebuild_without_source_retries_then_dead_letters(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock, source=None)
+        context.queue.enqueue("rebuild", {"relation": "R", "attribute": "a"})
+        agent = MaintenanceAgent(context)
+        assert agent.run_once() == OUTCOME_RETRY
+        clock.advance(10.0)
+        assert agent.run_once() == OUTCOME_DEAD
+        lane = context.queue.dead_letters()
+        assert len(lane) == 1
+        assert "statistics source" in lane[0]["last_error"]
+
+    def test_rebuild_requires_target_params(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        context.queue.enqueue("rebuild", {"relation": "R"})
+        assert MaintenanceAgent(context).run_once() == OUTCOME_RETRY
+        assert "attribute" in context.queue.jobs()[0]["last_error"]
+
+
+class TestServingDegradation:
+    def collect_reason(self, service):
+        traces = []
+        service.estimate_equality("R", "a", 0, trace=traces.append)
+        return traces[0].reason
+
+    def test_rebuilding_refines_quarantined_reason_only(self, tmp_path):
+        catalog = StatsCatalog()
+        put_entry(catalog)
+        service = EstimationService(catalog)
+        # Healthy pair: marking a rebuild never degrades it.
+        service.mark_rebuilding("R", "a")
+        traces = []
+        estimate = service.estimate_equality("R", "a", 0, trace=traces.append)
+        assert estimate == pytest.approx(5.0)
+        assert traces == []  # no degradation trace for a healthy pair
+        # Quarantined pair: the reason refines to rebuild-in-progress.
+        service.quarantine("R", "a")
+        assert self.collect_reason(service) == REASON_REBUILD_IN_PROGRESS
+        service.clear_rebuilding("R", "a")
+        assert self.collect_reason(service) == REASON_QUARANTINED
+
+    def test_rebuild_job_clears_quarantine(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        service = EstimationService(context.catalog)
+        context.service = service
+        service.quarantine("R", "a")
+        assert self.collect_reason(service) == REASON_QUARANTINED
+        context.queue.enqueue("rebuild", {"relation": "R", "attribute": "a"})
+        assert MaintenanceAgent(context).run_once() == OUTCOME_DONE
+        assert service.quarantined == frozenset()
+        assert service.rebuilding == frozenset()
+        assert service.estimate_equality("R", "a", 0) == pytest.approx(50.0)
+
+
+class TestDriftAudit:
+    def feed(self, monitor, probe, estimated, actual, times):
+        for _ in range(times):
+            monitor.record_observation(probe, estimated, actual)
+
+    def test_drift_audit_enqueues_rebuilds_past_threshold(self, tmp_path):
+        clock = FakeClock()
+        monitor = AccuracyMonitor()
+        catalog = StatsCatalog()
+        put_entry(catalog, "R", "a")
+        put_entry(catalog, "S", "b")
+        context = build_context(
+            tmp_path,
+            clock,
+            catalog=catalog,
+            monitor=monitor,
+            drift=DriftPolicy(max_relative_error=0.5, min_observations=20),
+        )
+        # R.a drifted badly (est 5 vs actual 50); S.b is accurate;
+        # T.c drifted but is not cataloged; U.d drifted but has too few
+        # observations to trust.
+        self.feed(monitor, EqualityProbe("R", "a", 0), 5.0, 50.0, 25)
+        self.feed(monitor, EqualityProbe("S", "b", 0), 50.0, 50.0, 25)
+        self.feed(monitor, EqualityProbe("T", "c", 0), 5.0, 50.0, 25)
+        self.feed(monitor, EqualityProbe("U", "d", 0), 5.0, 50.0, 5)
+
+        context.queue.enqueue("drift-audit")
+        agent = MaintenanceAgent(context)
+        resolved = agent.drain()
+        assert resolved == 2  # the audit plus exactly one triggered rebuild
+        states = {j["id"]: j for j in context.queue.jobs()}
+        kinds = sorted(
+            (j["kind"], j["status"]) for j in states.values()
+        )
+        assert kinds == [("drift-audit", "done"), ("rebuild", "done")]
+        assert context.catalog.get("R", "a").kind == "maintained-end-biased"
+        # The accurate pair was left alone.
+        assert context.catalog.get("S", "b").kind == "end-biased"
+
+    def test_drift_audit_is_idempotent_via_dedupe(self, tmp_path):
+        clock = FakeClock()
+        monitor = AccuracyMonitor()
+        context = build_context(tmp_path, clock, monitor=monitor)
+        self.feed(monitor, EqualityProbe("R", "a", 0), 5.0, 50.0, 25)
+        context.queue.enqueue("drift-audit", dedupe_key="audit")
+        agent = MaintenanceAgent(context)
+        assert agent.run_once() == OUTCOME_DONE  # audit enqueues rebuild:R.a
+        # A second audit before the rebuild runs adds nothing.
+        context.queue.enqueue("drift-audit", dedupe_key="audit")
+        assert agent.run_once() == OUTCOME_DONE
+        rebuilds = [
+            j for j in context.queue.jobs() if j["kind"] == "rebuild"
+        ]
+        assert len(rebuilds) == 1
+
+    def test_threshold_param_overrides_policy(self, tmp_path):
+        clock = FakeClock()
+        monitor = AccuracyMonitor()
+        context = build_context(tmp_path, clock, monitor=monitor)
+        # Mean relative error is (50-45)/50 = 0.1: under the default 0.5.
+        self.feed(monitor, EqualityProbe("R", "a", 0), 45.0, 50.0, 25)
+        context.queue.enqueue("drift-audit", {"threshold": 0.05})
+        assert MaintenanceAgent(context).run_once() == OUTCOME_DONE
+        assert any(j["kind"] == "rebuild" for j in context.queue.jobs())
+
+    def test_bad_threshold_is_a_job_failure(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock, monitor=AccuracyMonitor())
+        context.queue.enqueue("drift-audit", {"threshold": -1.0})
+        assert MaintenanceAgent(context).run_once() == OUTCOME_RETRY
+
+
+class TestQuarantineRepair:
+    def test_relation_wide_hold_narrows_to_attributes(self, tmp_path):
+        clock = FakeClock()
+        catalog = StatsCatalog()
+        put_entry(catalog, "R", "a")
+        put_entry(catalog, "R", "b")
+        context = build_context(tmp_path, clock, catalog=catalog)
+        service = EstimationService(catalog)
+        context.service = service
+        service.quarantine("R", None)
+        context.queue.enqueue("quarantine-repair")
+        agent = MaintenanceAgent(context)
+        assert agent.run_once() == OUTCOME_DONE
+        # The coarse hold became per-attribute holds plus rebuild jobs.
+        assert ("R", None) not in service.quarantined
+        assert {("R", "a"), ("R", "b")} <= set(service.quarantined)
+        rebuilds = [j for j in context.queue.jobs() if j["kind"] == "rebuild"]
+        assert sorted(j["params"]["attribute"] for j in rebuilds) == ["a", "b"]
+        # Draining the rebuilds releases everything.
+        agent.drain()
+        assert service.quarantined == frozenset()
+
+    def test_repair_without_service_is_a_noop(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock, service=None)
+        context.queue.enqueue("quarantine-repair")
+        assert MaintenanceAgent(context).run_once() == OUTCOME_DONE
+        assert context.queue.depth("pending") == 0
+
+
+class TestRunnerLifecycle:
+    def test_checkpoint_job_compacts_queue_and_snapshots(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        context.queue.enqueue("rebuild", {"relation": "R", "attribute": "a"})
+        agent = MaintenanceAgent(context)
+        assert agent.run_once() == OUTCOME_DONE
+        context.queue.enqueue("checkpoint")
+        assert agent.run_once() == OUTCOME_DONE
+        # The finished rebuild's events were compacted away; only the
+        # checkpoint job itself remains (it was live during compaction).
+        assert context.queue.depth() == 1
+        assert context.snapshot_path.exists()
+
+    def test_unknown_kind_fails_through_retry_policy(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        context.queue.enqueue("checkpoint")
+        agent = MaintenanceAgent(context, handlers={})
+        assert agent.run_once() == OUTCOME_RETRY
+        assert "no handler" in context.queue.jobs()[0]["last_error"]
+
+    def test_run_with_max_jobs_drains_and_exits(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        for _ in range(3):
+            context.queue.enqueue("checkpoint")
+        agent = MaintenanceAgent(context)
+        assert agent.run(max_jobs=10) == 3  # empty queue ends drain mode
+        assert context.queue.depth("pending") == 0
+        # Each checkpoint job compacts its predecessors away, so only the
+        # last one survives in the log.
+        assert context.queue.depth("done") == 1
+
+    def test_stop_prevents_further_claims(self, tmp_path):
+        clock = FakeClock()
+        context = build_context(tmp_path, clock)
+        context.queue.enqueue("checkpoint")
+        agent = MaintenanceAgent(context)
+        agent.stop()
+        assert agent.run() == 0
+        assert context.queue.depth("pending") == 1
+
+    def test_heartbeat_keeps_slow_job_leased(self, tmp_path):
+        # Real clocks on purpose: the heartbeat thread renews against
+        # wall time while the handler outlives several lease durations.
+        queue = DurableJobQueue(tmp_path / "q.jsonl", lease_duration=0.09)
+        catalog = StatsCatalog()
+        put_entry(catalog)
+        context = build_context(
+            tmp_path, FakeClock(), queue=queue, catalog=catalog
+        )
+
+        def slow_checkpoint(ctx, job):
+            time.sleep(0.35)  # ~4 lease durations
+            return {}
+
+        agent = MaintenanceAgent(context, handlers={"checkpoint": slow_checkpoint})
+        queue.enqueue("checkpoint")
+        assert agent.run_once() == OUTCOME_DONE
+        state = queue.jobs()[0]
+        assert state["status"] == "done"
+        assert state["attempts"] == 1  # never reclaimed mid-run

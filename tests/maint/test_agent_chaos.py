@@ -1,0 +1,358 @@
+"""Chaos suite for the durable job queue and the maintenance agent.
+
+Three layers of crash testing, mirroring the persistence chaos suite in
+``tests/engine/test_chaos.py``:
+
+* **every queue injection point**: a workload that exercises every
+  queue-log event type crashes at each registered point in turn; the
+  reopened queue must replay to a state where every *acknowledged*
+  transition survives and the in-flight one either landed whole or not
+  at all — never half;
+* **mid-rebuild kill**: the agent dies between publishing a rebuild and
+  logging its ack; after the lease expires, a restarted agent reclaims
+  the job, re-runs the idempotent rebuild, and resolves it exactly once;
+* **seeded crash-restart storm**: hundreds of randomized
+  crash-and-restart schedules (pure functions of their seed) must each
+  end with every enqueued job completed exactly once.
+"""
+
+import pytest
+
+from repro.core.frequency import AttributeDistribution
+from repro.engine.catalog import StatsCatalog
+from repro.engine.persist import load_catalog
+from repro.maint.agent import (
+    OUTCOME_DONE,
+    AgentContext,
+    MaintenanceAgent,
+)
+from repro.maint.queue import DurableJobQueue, RetryPolicy
+from repro.testing.faults import (
+    QUEUE_INJECTION_POINTS,
+    POINT_QUEUE_ACK,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+)
+
+from tests.maint.test_agent import FakeClock, fresh_source, put_entry
+
+#: Statuses a job can replay into (plus "absent" after compaction).
+ABSENT = "absent"
+
+
+def make_queue(path, clock):
+    return DurableJobQueue(
+        path,
+        lease_duration=5.0,
+        retry=RetryPolicy(base=0.1, jitter=0.0, max_attempts=2),
+        clock=clock,
+        rng=5,
+    )
+
+
+class Driver:
+    """Runs the every-event-type workload one step at a time."""
+
+    def __init__(self, path, clock):
+        self.queue = make_queue(path, clock)
+        self.clock = clock
+        self.lease_a = None
+        self.lease_b = None
+
+    # Each step returns {job_id: status_after_this_step}.
+
+    def enqueue_a(self):
+        self.queue.enqueue("rebuild", {"relation": "R", "attribute": "a"})
+        return {"job-1": "pending"}
+
+    def claim_a(self):
+        self.lease_a = self.queue.claim("w")
+        return {"job-1": "claimed"}
+
+    def renew_a(self):
+        self.lease_a = self.queue.renew(self.lease_a)
+        return {"job-1": "claimed"}
+
+    def ack_a(self):
+        self.queue.ack(self.lease_a)
+        return {"job-1": "done"}
+
+    def enqueue_b(self):
+        self.queue.enqueue("checkpoint")
+        return {"job-5": "pending"}
+
+    def claim_b(self):
+        self.lease_b = self.queue.claim("w")
+        return {"job-5": "claimed"}
+
+    def fail_b_transient(self):
+        assert self.queue.fail(self.lease_b, "transient") == "pending"
+        return {"job-5": "pending"}
+
+    def reclaim_b(self):
+        self.clock.advance(1.0)  # past the 0.1 s backoff deadline
+        self.lease_b = self.queue.claim("w")
+        return {"job-5": "claimed"}
+
+    def fail_b_fatal(self):
+        assert self.queue.fail(self.lease_b, "fatal") == "dead"
+        return {"job-5": "dead"}
+
+    def checkpoint(self):
+        self.queue.checkpoint()
+        return {"job-1": ABSENT}
+
+    STEPS = (
+        enqueue_a,
+        claim_a,
+        renew_a,
+        ack_a,
+        enqueue_b,
+        claim_b,
+        fail_b_transient,
+        reclaim_b,
+        fail_b_fatal,
+        checkpoint,
+    )
+
+
+@pytest.mark.parametrize("point", QUEUE_INJECTION_POINTS)
+def test_crash_at_every_queue_point_is_replayable(point, tmp_path):
+    """Crash at *point*; the reopened queue must hold every acked event."""
+    clock = FakeClock()
+    driver = Driver(tmp_path / "queue.jsonl", clock)
+
+    #: job -> set of statuses the post-crash replay is allowed to show.
+    allowed: dict = {}
+    crashed = None
+    injector = FaultInjector().fail_at(point)
+    with injector:
+        try:
+            for step in Driver.STEPS:
+                effects = step(driver)
+                for job, status in effects.items():
+                    allowed[job] = {status}
+        except InjectedFault:
+            crashed = step  # the loop variable at raise time
+    assert injector.triggered, f"injection point {point} never fired"
+    if crashed is not None:
+        # The in-flight step may have landed (crash after the write, e.g.
+        # at queue.flush) or not (crash before it) — both are legal
+        # outcomes; half-landing is not.
+        for job, status in _step_effects(crashed).items():
+            allowed.setdefault(job, {ABSENT}).add(status)
+
+    reopened = make_queue(driver.queue.path, clock)
+    states = {j["id"]: j["status"] for j in reopened.jobs()}
+    for job, statuses in allowed.items():
+        actual = states.get(job, ABSENT)
+        assert actual in statuses, (
+            f"after crash at {point}, {job} replayed to {actual!r}; "
+            f"allowed {sorted(statuses)}"
+        )
+    # The queue stays fully operational after recovery.
+    job = reopened.enqueue("drift-audit")
+    lease = reopened.claim("after-crash")
+    # Claim order is FIFO over eligible jobs; resolve until our probe job
+    # is done, proving claims/acks still work end to end.
+    for _ in range(len(reopened.jobs())):
+        if lease is None:
+            break
+        reopened.ack(lease)
+        if lease.job.id == job.id:
+            break
+        lease = reopened.claim("after-crash")
+    assert states_get(reopened, job.id) == "done"
+
+
+def _step_effects(step):
+    """A step's declared effects without running it (status targets)."""
+    return {
+        Driver.enqueue_a: {"job-1": "pending"},
+        Driver.claim_a: {"job-1": "claimed"},
+        Driver.renew_a: {"job-1": "claimed"},
+        Driver.ack_a: {"job-1": "done"},
+        Driver.enqueue_b: {"job-5": "pending"},
+        Driver.claim_b: {"job-5": "claimed"},
+        Driver.fail_b_transient: {"job-5": "pending"},
+        Driver.reclaim_b: {"job-5": "claimed"},
+        Driver.fail_b_fatal: {"job-5": "dead"},
+        Driver.checkpoint: {"job-1": ABSENT},
+    }[step]
+
+
+def states_get(queue, job_id):
+    for job in queue.jobs():
+        if job["id"] == job_id:
+            return job["status"]
+    return ABSENT
+
+
+def build_agent(tmp_path, clock, queue=None):
+    if queue is None:
+        queue = make_queue(tmp_path / "queue.jsonl", clock)
+    snapshot = tmp_path / "catalog.json"
+    if snapshot.exists():
+        catalog = load_catalog(snapshot)
+    else:
+        catalog = StatsCatalog()
+        put_entry(catalog)
+    context = AgentContext(
+        queue=queue,
+        catalog=catalog,
+        snapshot_path=snapshot,
+        source=fresh_source,
+    )
+    return MaintenanceAgent(context), context
+
+
+def test_agent_killed_mid_rebuild_completes_exactly_once(tmp_path):
+    """Kill the agent between the rebuild's publish and its ack.
+
+    The first incarnation publishes the rebuilt snapshot but dies before
+    the ack event lands; its lease expires, the restarted agent reclaims
+    the job, re-runs the idempotent rebuild, and wins the one ack.
+    """
+    clock = FakeClock()
+    agent, context = build_agent(tmp_path, clock)
+    context.queue.enqueue(
+        "rebuild", {"relation": "R", "attribute": "a"}, dedupe_key="rebuild:R.a"
+    )
+
+    injector = FaultInjector().fail_at(POINT_QUEUE_ACK)
+    with injector:
+        with pytest.raises(InjectedCrash):
+            agent.run_once()  # the simulated process death
+    assert injector.triggered
+    # The publish happened (idempotent effect), the ack did not.
+    assert load_catalog(tmp_path / "catalog.json").get("R", "a") is not None
+    assert states_get(context.queue, "job-1") == "claimed"
+
+    # Restart: a fresh process over the same log.  Before the lease
+    # expires the job is untouchable; afterwards it is reclaimed.
+    restarted = make_queue(context.queue.path, clock)
+    assert restarted.claim("second-agent") is None
+    clock.advance(6.0)
+    agent2, context2 = build_agent(tmp_path, clock, queue=restarted)
+    assert agent2.run_once() == OUTCOME_DONE
+    state = [j for j in restarted.jobs() if j["id"] == "job-1"][0]
+    assert state["status"] == "done"
+    assert state["attempts"] == 2  # two executions, exactly one completion
+    assert context2.catalog.get("R", "a").total_tuples == pytest.approx(500.0)
+    # A third reopen replays to the same resolved state: nothing lost,
+    # nothing double-applied.
+    assert states_get(make_queue(restarted.path, clock), "job-1") == "done"
+
+
+#: Storm scale: the acceptance gate asks for >= 200 seeded runs.
+STORM_RUNS = 200
+STORM_JOBS = 3
+STORM_FAULT_RATE = 0.12
+
+
+def run_storm(seed, base_dir):
+    """One randomized crash-and-restart schedule; pure in *seed*."""
+    clock = FakeClock()
+    queue_path = base_dir / "queue.jsonl"
+    queue = DurableJobQueue(
+        queue_path,
+        lease_duration=5.0,
+        retry=RetryPolicy(base=0.1, jitter=0.0, max_attempts=1_000),
+        clock=clock,
+        rng=seed,
+    )
+    catalog = StatsCatalog()
+    for index in range(STORM_JOBS):
+        put_entry(catalog, f"R{index}", "a")
+
+    def fresh_context(queue):
+        return AgentContext(
+            queue=queue,
+            catalog=catalog,
+            source=fresh_source,
+        )
+
+    agent = MaintenanceAgent(fresh_context(queue))
+    enqueued = []
+    restarts = 0
+
+    with FaultInjector().fail_randomly(
+        rate=STORM_FAULT_RATE, seed=seed, points=QUEUE_INJECTION_POINTS
+    ):
+        for index in range(STORM_JOBS):
+            while True:
+                try:
+                    job = queue.enqueue(
+                        "rebuild",
+                        {"relation": f"R{index}", "attribute": "a"},
+                        dedupe_key=f"rebuild:R{index}.a",
+                    )
+                    enqueued.append(job.id)
+                    break
+                except InjectedFault:
+                    restarts += 1
+                    queue = DurableJobQueue(
+                        queue_path,
+                        lease_duration=5.0,
+                        retry=RetryPolicy(
+                            base=0.1, jitter=0.0, max_attempts=1_000
+                        ),
+                        clock=clock,
+                        rng=seed,
+                    )
+                    agent = MaintenanceAgent(fresh_context(queue))
+        for _ in range(400):
+            if queue.depth("done") == STORM_JOBS:
+                break
+            try:
+                outcome = agent.run_once()
+            except InjectedFault:
+                restarts += 1
+                clock.advance(6.0)  # the dead worker's lease expires
+                queue = DurableJobQueue(
+                    queue_path,
+                    lease_duration=5.0,
+                    retry=RetryPolicy(base=0.1, jitter=0.0, max_attempts=1_000),
+                    clock=clock,
+                    rng=seed,
+                )
+                agent = MaintenanceAgent(fresh_context(queue))
+                continue
+            if outcome is None:
+                clock.advance(1.0)  # pass any backoff deadline
+
+    # Storm over: every enqueued job completed exactly once.
+    states = {j["id"]: j for j in queue.jobs()}
+    assert len(enqueued) == STORM_JOBS
+    done = [job_id for job_id in enqueued if states[job_id]["status"] == "done"]
+    assert sorted(done) == sorted(enqueued), (
+        f"seed {seed}: {len(done)}/{STORM_JOBS} jobs completed "
+        f"after {restarts} restarts"
+    )
+    # And a final restart replays to the identical resolved state.
+    replayed = DurableJobQueue(queue_path, clock=clock)
+    assert {j["id"]: j["status"] for j in replayed.jobs()} == {
+        job_id: "done" for job_id in enqueued
+    }
+    return restarts
+
+
+def test_crash_restart_storm_completes_every_job_exactly_once(tmp_path):
+    total_restarts = 0
+    for seed in range(STORM_RUNS):
+        run_dir = tmp_path / f"storm-{seed}"
+        run_dir.mkdir()
+        total_restarts += run_storm(seed, run_dir)
+    # Sanity on the storm itself: with ~12% fault rate over hundreds of
+    # runs a schedule with zero crashes everywhere would mean the
+    # injector never armed — the gate requires real crashes.
+    assert total_restarts >= STORM_RUNS
+
+
+def test_fresh_source_is_deterministic():
+    """The storm's idempotence argument rests on a deterministic source."""
+    first = fresh_source("R0", "a")
+    second = fresh_source("R0", "a")
+    assert isinstance(first, AttributeDistribution)
+    assert list(first.frequencies) == list(second.frequencies)

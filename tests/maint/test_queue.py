@@ -1,0 +1,306 @@
+"""Unit tests for the durable maintenance job queue.
+
+Every behavioural claim in ``repro/maint/queue.py`` gets a direct test
+here: idempotent enqueue, FIFO claims, lease fencing and reclaim,
+backoff-with-jitter retries, the dead-letter lane, checkpoint
+compaction, and — the durability core — that a reopened queue replays to
+exactly the state the acknowledged events built.  Crash-at-every-point
+coverage lives in ``tests/maint/test_agent_chaos.py``.
+"""
+
+import pytest
+
+from repro.maint.queue import (
+    JOB_KINDS,
+    DurableJobQueue,
+    LeaseLostError,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    """Deterministic wall clock the tests advance by hand."""
+
+    def __init__(self, now: float = 1_000.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def queue(tmp_path, clock):
+    return DurableJobQueue(
+        tmp_path / "queue.jsonl", lease_duration=30.0, clock=clock, rng=7
+    )
+
+
+def reopen(queue, clock, **kwargs):
+    """A 'process restart': a fresh queue over the same log file."""
+    return DurableJobQueue(queue.path, clock=clock, rng=7, **kwargs)
+
+
+class TestEnqueue:
+    def test_ids_are_sequential_and_params_copied(self, queue):
+        params = {"relation": "R", "attribute": "a"}
+        first = queue.enqueue("rebuild", params)
+        second = queue.enqueue("checkpoint")
+        params["relation"] = "mutated"
+        assert first.id == "job-1"
+        assert second.id == "job-2"
+        assert first.params == {"relation": "R", "attribute": "a"}
+        assert queue.depth() == 2
+        assert queue.depth("pending") == 2
+
+    def test_rejects_unknown_kind_and_bad_params(self, queue):
+        with pytest.raises(ValueError, match="job kind"):
+            queue.enqueue("vacuum")
+        with pytest.raises((TypeError, ValueError)):
+            queue.enqueue("rebuild", {"relation": object()})
+        with pytest.raises(TypeError, match="dedupe_key"):
+            queue.enqueue("rebuild", dedupe_key=7)
+        assert queue.depth() == 0
+
+    def test_dedupe_returns_live_job(self, queue):
+        first = queue.enqueue("rebuild", {"relation": "R"}, dedupe_key="k")
+        again = queue.enqueue("rebuild", {"relation": "R"}, dedupe_key="k")
+        assert again.id == first.id
+        assert queue.depth() == 1
+
+    def test_dedupe_covers_claimed_but_not_resolved(self, queue):
+        job = queue.enqueue("rebuild", {"relation": "R"}, dedupe_key="k")
+        lease = queue.claim("w")
+        assert queue.enqueue("rebuild", dedupe_key="k").id == job.id
+        queue.ack(lease)
+        fresh = queue.enqueue("rebuild", dedupe_key="k")
+        assert fresh.id != job.id
+
+    def test_enqueued_at_uses_injected_clock(self, queue, clock):
+        clock.advance(5.0)
+        job = queue.enqueue("drift-audit")
+        assert job.enqueued_at == pytest.approx(1_005.0)
+
+
+class TestClaimAndLease:
+    def test_fifo_order(self, queue):
+        ids = [queue.enqueue(kind).id for kind in JOB_KINDS]
+        claimed = [queue.claim("w").job.id for _ in ids]
+        assert claimed == ids
+        assert queue.claim("w") is None
+
+    def test_claim_validates_owner(self, queue):
+        with pytest.raises(TypeError, match="owner"):
+            queue.claim("")
+
+    def test_lease_blocks_second_claimer_until_expiry(self, queue, clock):
+        queue.enqueue("rebuild")
+        first = queue.claim("alpha")
+        assert queue.claim("beta") is None
+        clock.advance(30.0)  # exactly the lease duration: expired
+        second = queue.claim("beta")
+        assert second is not None
+        assert second.reclaimed is True
+        assert second.job.id == first.job.id
+        # The fenced-out token can no longer resolve the job.
+        with pytest.raises(LeaseLostError):
+            queue.ack(first)
+        queue.ack(second)
+        assert queue.depth("done") == 1
+
+    def test_renew_extends_the_deadline(self, queue, clock):
+        queue.enqueue("rebuild")
+        lease = queue.claim("w")
+        clock.advance(20.0)
+        renewed = queue.renew(lease)
+        assert renewed.expires == pytest.approx(clock.now + 30.0)
+        clock.advance(20.0)  # 40s after claim, 20s after renew: still held
+        assert queue.claim("thief") is None
+        queue.ack(renewed)
+
+    def test_renew_after_reclaim_raises(self, queue, clock):
+        queue.enqueue("rebuild")
+        stale = queue.claim("w")
+        clock.advance(31.0)
+        queue.claim("thief")
+        with pytest.raises(LeaseLostError):
+            queue.renew(stale)
+
+    def test_ack_is_single_shot(self, queue):
+        queue.enqueue("rebuild")
+        lease = queue.claim("w")
+        queue.ack(lease)
+        with pytest.raises(LeaseLostError):
+            queue.ack(lease)
+
+    def test_lease_type_checked(self, queue):
+        with pytest.raises(TypeError, match="lease"):
+            queue.ack("job-1")
+
+
+class TestRetryAndDeadLetter:
+    def test_retry_schedules_jittered_backoff(self, tmp_path, clock):
+        retry = RetryPolicy(base=8.0, cap=300.0, jitter=0.25, max_attempts=5)
+        queue = DurableJobQueue(
+            tmp_path / "q.jsonl", retry=retry, clock=clock, rng=3
+        )
+        queue.enqueue("rebuild")
+        lease = queue.claim("w")
+        assert queue.fail(lease, "boom") == "pending"
+        state = queue.jobs()[0]
+        assert state["status"] == "pending"
+        assert state["last_error"] == "boom"
+        delay = state["not_before"] - clock.now
+        assert 8.0 * 0.75 <= delay <= 8.0 * 1.25
+        # Not claimable until the backoff deadline passes.
+        assert queue.claim("w") is None
+        clock.advance(delay)
+        second = queue.claim("w")
+        assert second is not None
+        # Second failure backs off exponentially from 2 * base.
+        queue.fail(second, "boom again")
+        delay2 = queue.jobs()[0]["not_before"] - clock.now
+        assert 16.0 * 0.75 <= delay2 <= 16.0 * 1.25
+
+    def test_dead_letter_after_max_attempts(self, tmp_path, clock):
+        queue = DurableJobQueue(
+            tmp_path / "q.jsonl",
+            retry=RetryPolicy(base=0.1, max_attempts=2),
+            clock=clock,
+            rng=1,
+        )
+        queue.enqueue("rebuild", dedupe_key="k")
+        outcomes = []
+        for _ in range(2):
+            clock.advance(10.0)
+            lease = queue.claim("w")
+            outcomes.append(queue.fail(lease, "no source"))
+        assert outcomes == ["pending", "dead"]
+        lane = queue.dead_letters()
+        assert [j["id"] for j in lane] == ["job-1"]
+        assert lane[0]["last_error"] == "no source"
+        # Dead jobs do not hold their dedupe key.
+        assert queue.enqueue("rebuild", dedupe_key="k").id != "job-1"
+
+    def test_requeue_dead_resets_attempts(self, tmp_path, clock):
+        queue = DurableJobQueue(
+            tmp_path / "q.jsonl",
+            retry=RetryPolicy(base=0.1, max_attempts=1),
+            clock=clock,
+        )
+        queue.enqueue("rebuild")
+        queue.fail(queue.claim("w"), "x")
+        assert queue.depth("dead") == 1
+        job = queue.requeue_dead("job-1")
+        assert job.id == "job-1"
+        state = queue.jobs()[0]
+        assert state["status"] == "pending"
+        assert state["attempts"] == 0
+
+    def test_requeue_rejects_non_dead(self, queue):
+        queue.enqueue("rebuild")
+        with pytest.raises(ValueError, match="dead-letter"):
+            queue.requeue_dead("job-1")
+        with pytest.raises(ValueError, match="dead-letter"):
+            queue.requeue_dead("job-99")
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base=2.0, cap=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestDurability:
+    def test_restart_replays_identical_state(self, queue, clock):
+        queue.enqueue("rebuild", {"relation": "R", "attribute": "a"})
+        queue.enqueue("checkpoint", dedupe_key="ckpt")
+        queue.enqueue("drift-audit")
+        queue.ack(queue.claim("w"))
+        queue.fail(queue.claim("w"), "transient")
+        queue.claim("w")  # drift-audit held under a live lease
+        before = queue.jobs()
+        reopened = reopen(queue, clock)
+        assert reopened.jobs() == before
+        assert reopened.depth("done") == 1
+        assert reopened.depth("claimed") == 1
+
+    def test_lease_survives_restart_until_wall_deadline(self, queue, clock):
+        queue.enqueue("rebuild")
+        queue.claim("w")
+        reopened = reopen(queue, clock)
+        # The worker may still be alive: its lease holds across a queue
+        # reopen until the wall-clock deadline actually passes.
+        assert reopened.claim("thief") is None
+        clock.advance(31.0)
+        lease = reopened.claim("thief")
+        assert lease is not None and lease.reclaimed
+
+    def test_durable_renew_respected_after_restart(self, queue, clock):
+        queue.enqueue("rebuild")
+        lease = queue.claim("w")
+        clock.advance(25.0)
+        queue.renew(lease)
+        reopened = reopen(queue, clock)
+        clock.advance(10.0)  # 35s after claim, 10s after the logged renew
+        assert reopened.claim("thief") is None
+
+    def test_dedupe_index_rebuilt_on_restart(self, queue, clock):
+        job = queue.enqueue("rebuild", dedupe_key="k")
+        reopened = reopen(queue, clock)
+        assert reopened.enqueue("rebuild", dedupe_key="k").id == job.id
+
+    def test_checkpoint_drops_done_keeps_live_and_dead(self, tmp_path, clock):
+        queue = DurableJobQueue(
+            tmp_path / "q.jsonl",
+            retry=RetryPolicy(base=0.1, max_attempts=1),
+            clock=clock,
+        )
+        queue.enqueue("rebuild")  # -> done
+        queue.enqueue("checkpoint")  # -> dead
+        queue.enqueue("drift-audit")  # stays pending
+        queue.ack(queue.claim("w"))
+        queue.fail(queue.claim("w"), "x")
+        dropped = queue.checkpoint()
+        assert dropped == 3  # the done job's enqueue + claim + ack
+        assert queue.depth("done") == 0
+        assert queue.depth("dead") == 1
+        assert queue.depth("pending") == 1
+        reopened = reopen(queue, clock, retry=RetryPolicy(base=0.1, max_attempts=1))
+        assert reopened.jobs() == queue.jobs()
+        # Attempt counters replay exactly for surviving jobs.
+        assert reopened.dead_letters()[0]["attempts"] == 1
+
+    def test_job_ids_never_collide_after_checkpoint(self, queue, clock):
+        queue.enqueue("rebuild")
+        queue.ack(queue.claim("w"))
+        queue.checkpoint()
+        fresh = queue.enqueue("checkpoint")
+        # The header carries the seq high-water mark across the rewrite.
+        assert int(fresh.id.split("-")[1]) > 1
+        reopened = reopen(queue, clock)
+        assert reopened.enqueue("drift-audit").id != fresh.id
+
+
+class TestIntrospection:
+    def test_depth_validates_status(self, queue):
+        with pytest.raises(ValueError, match="status"):
+            queue.depth("zombie")
+
+    def test_oldest_pending_age(self, queue, clock):
+        assert queue.oldest_pending_age() == 0.0
+        queue.enqueue("rebuild")
+        clock.advance(12.5)
+        queue.enqueue("checkpoint")
+        assert queue.oldest_pending_age() == pytest.approx(12.5)

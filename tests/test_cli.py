@@ -172,7 +172,10 @@ class TestStatsCommands:
         blob["entries"][0]["payload"]["total_tuples"] = -1.0
         path.write_text(json.dumps(blob))
         fixed = tmp_path / "fixed.json"
-        assert main(["stats", "repair", str(path), "--output", str(fixed)]) == 0
+        # Corruption was found (and repaired): the distinct exit code 3
+        # lets scripts tell "had to repair" apart from "was clean" and
+        # from an I/O failure (4); see docs/PERSISTENCE.md.
+        assert main(["stats", "repair", str(path), "--output", str(fixed)]) == 3
         out = capsys.readouterr().out
         assert "repaired snapshot written" in out
         assert "re-run ANALYZE" in out
@@ -184,9 +187,12 @@ class TestStatsCommands:
         blob = json.loads(path.read_text())
         blob["entries"][0]["payload"]["total_tuples"] = -1.0
         path.write_text(json.dumps(blob))
-        assert main(["stats", "repair", str(path)]) == 0
+        assert main(["stats", "repair", str(path)]) == 3
         capsys.readouterr()
         assert main(["stats", "check", str(path)]) == 0
+        capsys.readouterr()
+        # A second repair over the now-clean snapshot finds nothing: exit 0.
+        assert main(["stats", "repair", str(path)]) == 0
 
     def test_stats_requires_subcommand(self):
         with pytest.raises(SystemExit):
