@@ -15,6 +15,8 @@ Subcommands cover the common interactive uses:
   catalog (length-prefixed frames + HTTP shim; see docs/NETWORK.md);
 * ``obs dump`` — drive a serve+maintain+recover workload and expose the
   metric registry (Prometheus text or JSON);
+* ``obs trace dump|tree|slowest`` — inspect a JSONL span-sink file
+  (raw spans, assembled trace trees, slowest traces);
 * ``stats check`` / ``stats repair`` — verify or repair an on-disk
   statistics catalog (checksums, journal replay, quarantine);
 * ``agent run|status|enqueue|dead-letter`` — the durable maintenance
@@ -496,6 +498,50 @@ def _cmd_obs_dump(args) -> int:
     return 0
 
 
+def _cmd_obs_trace(args) -> int:
+    """Inspect a JSONL span sink: raw spans, assembled trees, slowest."""
+    import json
+
+    from repro.obs.export import (
+        assemble_traces,
+        read_spans,
+        render_trace_tree,
+        slowest_traces,
+        span_to_wire,
+        trace_summary,
+    )
+
+    try:
+        records, dropped = read_spans(args.file)
+    except OSError as exc:
+        print(f"repro obs trace: I/O error: {exc}", file=sys.stderr)
+        return EXIT_IO_ERROR
+    if dropped:
+        print(
+            f"repro obs trace: skipped {dropped} malformed line(s)",
+            file=sys.stderr,
+        )
+    if args.mode == "dump":
+        for record in records:
+            print(json.dumps(span_to_wire(record), sort_keys=True))
+        return 0
+    traces = assemble_traces(records)
+    if args.mode == "slowest":
+        traces = slowest_traces(traces, limit=args.limit)
+    elif args.limit:
+        traces = traces[: args.limit]
+    for trace in traces:
+        summary = trace_summary(trace)
+        duration_ms = summary["duration_seconds"] * 1000.0
+        print(
+            f"trace {summary['trace_id'] or '<untraced>'}: "
+            f"{summary['spans']} spans, {duration_ms:.3f} ms"
+            + (" [error]" if summary["error"] else "")
+        )
+        print(render_trace_tree(trace))
+    return 0
+
+
 def _cmd_stats_check(args) -> int:
     """Verify an on-disk catalog: checksums, format, journal health."""
     from repro.engine.persist import load_catalog
@@ -967,6 +1013,24 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--probes", type=int, default=400)
     sp.add_argument("--seed", type=int, default=1995)
     sp.set_defaults(func=_cmd_obs_dump)
+    sp = obs_sub.add_parser(
+        "trace",
+        help="inspect a JSONL span-sink file (see docs/OBSERVABILITY.md)",
+    )
+    sp.add_argument(
+        "mode",
+        choices=["dump", "tree", "slowest"],
+        help="dump raw span JSONL, render assembled trace trees, or show "
+        "the slowest traces",
+    )
+    sp.add_argument("file", help="path of the JSONL span-sink file")
+    sp.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="traces shown by tree/slowest (0 = all for tree)",
+    )
+    sp.set_defaults(func=_cmd_obs_trace)
 
     p = sub.add_parser(
         "stats", help="inspect or repair an on-disk statistics catalog"

@@ -268,6 +268,10 @@ def run_drift_audit(ctx: AgentContext, job: Job) -> dict:
                 "rebuild",
                 {"relation": relation, "attribute": attribute},
                 dedupe_key=f"rebuild:{relation}.{attribute}",
+                # Link the rebuild back to the probe batch whose error
+                # crossed the line (falls back to this audit's own trace
+                # context when the monitor never saw a traced request).
+                trace_id=stats.last_trace_id or None,
             ).id
         )
         obs.count(

@@ -31,12 +31,14 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import ExitStack
 from typing import Callable, Optional
 
 from repro.maint.agent.actions import HANDLERS, AgentContext
 from repro.maint.queue import Job, JobLease, LeaseLostError
 from repro.obs import runtime as obs
-from repro.obs.tracing import span
+from repro.obs import tracing
+from repro.obs.tracing import TraceContext, span
 from repro.testing.faults import InjectedCrash
 
 #: Outcomes :meth:`MaintenanceAgent.run_once` can report for one job.
@@ -130,12 +132,27 @@ class MaintenanceAgent:
     def _execute(self, lease: JobLease) -> str:
         job = lease.job
         handler = self.handlers.get(job.kind)
-        heartbeat = _Heartbeat(self.queue, lease)
+        # Re-join the trace that caused this job (recorded at enqueue
+        # time), so the agent.job span — and anything the handler
+        # enqueues in turn — links back to the originating request.  The
+        # job runs inside tracing.scope: a fresh span stack under the
+        # job's context, so the loop's own spans (agent.drain) cannot
+        # graft the job into their trace.  The heartbeat thread below
+        # captures the same context.
+        context = (
+            TraceContext(trace_id=job.trace_id, sampled=True)
+            if job.trace_id
+            else None
+        )
+        heartbeat = _Heartbeat(self.queue, lease, context=context)
         heartbeat.start()
         try:
             if handler is None:
                 raise LookupError(f"no handler for job kind {job.kind!r}")
-            with span("agent.job", kind=job.kind, job=job.id):
+            with ExitStack() as stack:
+                if context is not None:
+                    stack.enter_context(tracing.scope(context))
+                stack.enter_context(span("agent.job", kind=job.kind, job=job.id))
                 result = handler(self.context, job)
             error: Optional[str] = None
         except InjectedCrash:
@@ -177,12 +194,17 @@ class _Heartbeat:
     is known to be gone so the worker can skip its ack.
     """
 
-    def __init__(self, queue, lease: JobLease):
+    def __init__(
+        self, queue, lease: JobLease, *, context: Optional[TraceContext] = None
+    ):
         self._queue = queue
         self._cancel = threading.Event()
         self._lock = threading.Lock()
         self._lease = lease
         self._lost = False
+        #: The job's trace context, re-attached on the heartbeat thread so
+        #: any spans its renewals emit stay inside the job's trace.
+        self._context = context
         self._interval = max(queue.lease_duration / 3.0, 0.001)
         self._thread = threading.Thread(
             target=self._beat, name=f"heartbeat-{lease.job.id}", daemon=True
@@ -206,14 +228,19 @@ class _Heartbeat:
             return self._lost
 
     def _beat(self) -> None:
-        while not self._cancel.wait(self._interval):
-            try:
-                renewed = self._queue.renew(self.lease)
-            except LeaseLostError:
+        token = tracing.attach(self._context) if self._context is not None else None
+        try:
+            while not self._cancel.wait(self._interval):
+                try:
+                    renewed = self._queue.renew(self.lease)
+                except LeaseLostError:
+                    with self._lock:
+                        self._lost = True
+                    return
+                except Exception:  # noqa: BLE001 — e.g. an injected IO fault
+                    return  # stop heartbeating; the ack path decides the outcome
                 with self._lock:
-                    self._lost = True
-                return
-            except Exception:  # noqa: BLE001 — e.g. an injected IO fault
-                return  # stop heartbeating; the ack path decides the outcome
-            with self._lock:
-                self._lease = renewed
+                    self._lease = renewed
+        finally:
+            if self._context is not None:
+                tracing.detach(token)

@@ -62,6 +62,7 @@ if TYPE_CHECKING:
 from repro.engine.durable import PathLike, canonical_json
 from repro.engine.eventlog import ChecksummedLog, LogFormatError
 from repro.obs import runtime as obs
+from repro.obs import tracing
 from repro.testing.faults import (
     POINT_QUEUE_ACK,
     POINT_QUEUE_CHECKPOINT,
@@ -130,6 +131,11 @@ class Job:
     dedupe_key: Optional[str]
     #: Wall-clock enqueue time.
     enqueued_at: float
+    #: Trace ID of the request whose activity caused this job ("" when
+    #: unknown) — the agent re-joins this trace when it runs the job, so
+    #: a drift-triggered rebuild's ``agent.job`` span links back to the
+    #: probe batch that crossed the threshold.
+    trace_id: str = ""
 
 
 @dataclass
@@ -156,6 +162,7 @@ class JobState:
             "kind": self.job.kind,
             "params": dict(self.job.params),
             "dedupe_key": self.job.dedupe_key,
+            "trace_id": self.job.trace_id,
             "status": self.status,
             "attempts": self.attempts,
             "owner": self.owner,
@@ -223,6 +230,11 @@ def _validate_event(payload: dict) -> None:
             )
         if not isinstance(payload.get("params"), dict):
             raise QueueFormatError("queue enqueue event lacks a params object")
+        trace = payload.get("trace")
+        if trace is not None and (not isinstance(trace, str) or not trace):
+            raise QueueFormatError(
+                f"queue enqueue trace must be a non-empty string, got {trace!r}"
+            )
     else:
         job = payload.get("job")
         if not isinstance(job, str) or not job.startswith("job-"):
@@ -301,6 +313,7 @@ class DurableJobQueue:
                 params=dict(payload["params"]),
                 dedupe_key=payload.get("dedupe"),
                 enqueued_at=float(payload.get("at", 0.0)),
+                trace_id=payload.get("trace") or "",
             )
             if job.id in self._jobs:
                 return False
@@ -391,12 +404,17 @@ class DurableJobQueue:
         params: Optional[dict] = None,
         *,
         dedupe_key: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Job:
         """Durably add a job; idempotent under *dedupe_key*.
 
         If a live (pending or claimed) job already carries *dedupe_key*,
         that job is returned and nothing is logged.  Completed or
         dead-lettered jobs do not block a fresh enqueue.
+
+        *trace_id* records the trace that caused the job, for end-to-end
+        continuity; when omitted, the enqueueing thread's current trace
+        context (if any) is captured automatically.
         """
         if kind not in JOB_KINDS:
             raise ValueError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
@@ -405,6 +423,13 @@ class DurableJobQueue:
         if dedupe_key is not None and not isinstance(dedupe_key, str):
             raise TypeError(
                 f"dedupe_key must be a str, got {type(dedupe_key).__name__}"
+            )
+        if trace_id is None:
+            context = tracing.current_trace_context()
+            trace_id = context.trace_id if context is not None else ""
+        elif not isinstance(trace_id, str):
+            raise TypeError(
+                f"trace_id must be a str, got {type(trace_id).__name__}"
             )
         with self._lock:
             if dedupe_key is not None:
@@ -420,6 +445,8 @@ class DurableJobQueue:
             }
             if dedupe_key is not None:
                 payload["dedupe"] = dedupe_key
+            if trace_id:
+                payload["trace"] = trace_id
             stamped = self._append(payload, fault=POINT_QUEUE_ENQUEUE)
             return self._jobs[f"job-{stamped['seq']}"].job
 

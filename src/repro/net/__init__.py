@@ -42,8 +42,10 @@ from repro.net.client import (
 )
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
+    MIN_WIRE_SCHEMA_VERSION,
     REASON_AUTH_FAILED,
     REASON_WIRE_DECODE,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_SCHEMA_VERSION,
     FrameDecoder,
     WireCodecError,
@@ -60,23 +62,31 @@ from repro.net.protocol import (
     probes_to_wire,
     recovery_report_from_wire,
     recovery_report_to_wire,
+    trace_context_from_wire,
+    trace_context_to_wire,
     trace_from_wire,
     trace_to_wire,
 )
 from repro.net.server import (
     DEFAULT_CHUNK_PROBES,
     EstimationServer,
+    ReadinessCheck,
     ServerHandle,
     TenantConfig,
+    agent_lease_check,
     serve_in_thread,
 )
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "MIN_WIRE_SCHEMA_VERSION",
     "REASON_AUTH_FAILED",
     "REASON_WIRE_DECODE",
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_SCHEMA_VERSION",
     "DEFAULT_CHUNK_PROBES",
+    "ReadinessCheck",
+    "agent_lease_check",
     "AsyncEstimationClient",
     "AuthenticationError",
     "ClientError",
@@ -106,6 +116,8 @@ __all__ = [
     "recovery_report_from_wire",
     "recovery_report_to_wire",
     "serve_in_thread",
+    "trace_context_from_wire",
+    "trace_context_to_wire",
     "trace_from_wire",
     "trace_to_wire",
 ]

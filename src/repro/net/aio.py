@@ -39,6 +39,8 @@ from repro.net.client import (
     ProtocolError,
     RetrySchedule,
 )
+from repro.obs import tracing
+from repro.obs.tracing import span
 from repro.serve.service import Probe, ProbeTrace
 
 
@@ -78,6 +80,13 @@ class AsyncEstimationClient:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._next_id = 1
+        #: Negotiated wire schema (see the sync flavor's docstring).
+        self._wire_version = protocol.WIRE_SCHEMA_VERSION
+
+    @property
+    def wire_version(self) -> int:
+        """The negotiated wire schema version for this connection."""
+        return self._wire_version
 
     # -- connection lifecycle ------------------------------------------
 
@@ -126,7 +135,9 @@ class AsyncEstimationClient:
         )
         self._reader, self._writer = reader, writer
         try:
-            await self._send(protocol.hello_request(token=self.token))
+            await self._send(
+                protocol.hello_request(token=self.token, version=self._wire_version)
+            )
             welcome = await self._recv_frame()
             protocol.check_version(welcome)
             if welcome.get("op") == "error":
@@ -135,6 +146,15 @@ class AsyncEstimationClient:
                     raise AuthenticationError(
                         f"server refused token: {welcome.get('detail', '')}"
                     )
+                if (
+                    code == "wire-version"
+                    and self._wire_version > protocol.MIN_WIRE_SCHEMA_VERSION
+                ):
+                    # Older server: downgrade and redo the handshake.
+                    self._wire_version = protocol.MIN_WIRE_SCHEMA_VERSION
+                    await self._teardown()
+                    await self._open_once()
+                    return
                 raise ProtocolError(f"handshake failed: {welcome}")
             if welcome.get("op") != "welcome":
                 raise ProtocolError(
@@ -190,7 +210,7 @@ class AsyncEstimationClient:
     async def ping(self) -> bool:
         """Round-trip a ping frame; True on pong."""
         await self.connect()
-        await self._send(protocol.message("ping"))
+        await self._send(protocol.message("ping", version=self._wire_version))
         return (await self._recv_frame()).get("op") == "pong"
 
     async def estimate_batch(
@@ -210,27 +230,41 @@ class AsyncEstimationClient:
         failure: Optional[Exception] = None
         schedule = self._schedule()
         attempt = 0
-        while True:
-            await self.connect()
-            call = BatchCall(
-                probes,
-                request_id=self._take_id(),
-                on_error=on_error if on_error is not None else self.on_error,
-                trace=trace,
-            )
-            try:
-                await self._send(call.request())
-                while not call.consume(await self._recv_frame()):
-                    pass
-                return call.result()
-            except (ConnectionFailedError, OSError, asyncio.TimeoutError) as exc:
-                failure = exc
-                await self._teardown()
-                delay = schedule.next_delay(attempt)
-                if delay is None:
-                    break
-                await asyncio.sleep(delay)
-                attempt += 1
+        # Detached span: concurrent tasks share this thread, so a
+        # stack-based span would leak into sibling tasks' parentage.
+        context = tracing.current_trace_context()
+        if context is None:
+            context = tracing.new_trace()
+        with span(
+            "net.client.batch",
+            context=context,
+            host=self.host,
+            port=self.port,
+            probes=len(probes),
+        ) as client_span:
+            while True:
+                await self.connect()
+                call = BatchCall(
+                    probes,
+                    request_id=self._take_id(),
+                    on_error=on_error if on_error is not None else self.on_error,
+                    trace=trace,
+                    trace_context=client_span.context,
+                    wire_version=self._wire_version,
+                )
+                try:
+                    await self._send(call.request())
+                    while not call.consume(await self._recv_frame()):
+                        pass
+                    return call.result()
+                except (ConnectionFailedError, OSError, asyncio.TimeoutError) as exc:
+                    failure = exc
+                    await self._teardown()
+                    delay = schedule.next_delay(attempt)
+                    if delay is None:
+                        break
+                    await asyncio.sleep(delay)
+                    attempt += 1
         raise ConnectionFailedError(
             f"batch submission to {self.host}:{self.port} failed after "
             f"{attempt + 1} attempts ({schedule.elapsed():.1f}s): {failure}"
@@ -254,6 +288,10 @@ class AsyncEstimationClient:
             request_id=self._take_id(),
             on_error=on_error if on_error is not None else self.on_error,
             trace=trace,
+            # Matches the sync flavor: no client span around a generator,
+            # but the stream joins the surrounding trace when one exists.
+            trace_context=tracing.current_trace_context(),
+            wire_version=self._wire_version,
         )
         try:
             await self._send(call.request())

@@ -43,6 +43,8 @@ from typing import Callable, Iterator, Optional, Sequence
 import numpy as np
 
 from repro.net import protocol
+from repro.obs import tracing
+from repro.obs.tracing import TraceContext, span
 from repro.serve.service import Probe, ProbeTrace
 
 #: Default connect/read timeout (seconds).
@@ -176,6 +178,8 @@ class BatchCall:
         request_id: int,
         on_error: Optional[str],
         trace: Optional[Callable[[ProbeTrace], None]],
+        trace_context: Optional[TraceContext] = None,
+        wire_version: Optional[int] = None,
     ):
         self._count = len(probes)
         self._request = protocol.batch_request(
@@ -183,6 +187,8 @@ class BatchCall:
             request_id=request_id,
             on_error=on_error,
             want_traces=trace is not None,
+            trace_context=trace_context,
+            version=wire_version,
         )
         self._request_id = request_id
         self._trace = trace
@@ -280,6 +286,16 @@ class EstimationClient:
         #: Frames received ahead of their reader (pipelined responses).
         self._pending: list[dict] = []
         self._next_id = 1
+        #: The wire schema this connection speaks.  Starts at this
+        #: build's native version; a "wire-version" refusal during the
+        #: handshake downgrades it to the oldest supported version (an
+        #: old server, new client) and redoes the hello.
+        self._wire_version = protocol.WIRE_SCHEMA_VERSION
+
+    @property
+    def wire_version(self) -> int:
+        """The negotiated wire schema version for this connection."""
+        return self._wire_version
 
     # -- connection lifecycle ------------------------------------------
 
@@ -334,7 +350,9 @@ class EstimationClient:
             self._decoder = protocol.FrameDecoder()
             self._pending.clear()
             self._sock = sock
-            self._send(protocol.hello_request(token=self.token))
+            self._send(
+                protocol.hello_request(token=self.token, version=self._wire_version)
+            )
             welcome = self._recv_frame()
             protocol.check_version(welcome)
             if welcome.get("op") == "error":
@@ -343,6 +361,18 @@ class EstimationClient:
                     raise AuthenticationError(
                         f"server refused token: {welcome.get('detail', '')}"
                     )
+                if (
+                    code == "wire-version"
+                    and self._wire_version > protocol.MIN_WIRE_SCHEMA_VERSION
+                ):
+                    # An older server refused our native version: fall
+                    # back to the oldest schema we speak and redo the
+                    # handshake on a fresh connection.
+                    self._wire_version = protocol.MIN_WIRE_SCHEMA_VERSION
+                    self._sock = None
+                    sock.close()
+                    self._open_once()
+                    return
                 raise ProtocolError(f"handshake failed: {welcome}")
             if welcome.get("op") != "welcome":
                 raise ProtocolError(
@@ -394,7 +424,7 @@ class EstimationClient:
     def ping(self) -> bool:
         """Round-trip a ping frame; True on pong."""
         self.connect()
-        self._send(protocol.message("ping"))
+        self._send(protocol.message("ping", version=self._wire_version))
         return self._next_frames_one().get("op") == "pong"
 
     def _next_frames_one(self) -> dict:
@@ -420,27 +450,39 @@ class EstimationClient:
         failure: Optional[Exception] = None
         schedule = self._schedule()
         attempt = 0
-        while True:
-            self.connect()
-            call = BatchCall(
-                probes,
-                request_id=self._take_id(),
-                on_error=on_error if on_error is not None else self.on_error,
-                trace=trace,
-            )
-            try:
-                self._send(call.request())
-                while not call.consume(self._next_frames_one()):
-                    pass
-                return call.result()
-            except (ConnectionFailedError, OSError) as exc:
-                failure = exc
-                self._teardown()
-                delay = schedule.next_delay(attempt)
-                if delay is None:
-                    break
-                time.sleep(delay)
-                attempt += 1
+        # The client-side span for this batch: the request carries its
+        # context (at wire v2+), so the server's net.batch span — and
+        # everything under it, including maintenance jobs the batch
+        # triggers — joins THIS trace.
+        with span(
+            "net.client.batch",
+            host=self.host,
+            port=self.port,
+            probes=len(probes),
+        ) as client_span:
+            while True:
+                self.connect()
+                call = BatchCall(
+                    probes,
+                    request_id=self._take_id(),
+                    on_error=on_error if on_error is not None else self.on_error,
+                    trace=trace,
+                    trace_context=client_span.context,
+                    wire_version=self._wire_version,
+                )
+                try:
+                    self._send(call.request())
+                    while not call.consume(self._next_frames_one()):
+                        pass
+                    return call.result()
+                except (ConnectionFailedError, OSError) as exc:
+                    failure = exc
+                    self._teardown()
+                    delay = schedule.next_delay(attempt)
+                    if delay is None:
+                        break
+                    time.sleep(delay)
+                    attempt += 1
         raise ConnectionFailedError(
             f"batch submission to {self.host}:{self.port} failed after "
             f"{attempt + 1} attempts ({schedule.elapsed():.1f}s): {failure}"
@@ -467,6 +509,10 @@ class EstimationClient:
             request_id=self._take_id(),
             on_error=on_error if on_error is not None else self.on_error,
             trace=trace,
+            # A generator outlives its call frame, so no span is opened
+            # here; the stream still joins the caller's trace if any.
+            trace_context=tracing.current_trace_context(),
+            wire_version=self._wire_version,
         )
         try:
             self._send(call.request())

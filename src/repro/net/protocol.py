@@ -47,6 +47,7 @@ from typing import Any, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.engine.persist import QuarantinedEntry, RecoveryReport
+from repro.obs.tracing import TraceContext
 from repro.serve.service import (
     EqualityProbe,
     JoinProbe,
@@ -57,7 +58,24 @@ from repro.serve.service import (
 
 #: Current wire schema version.  Bump on any incompatible change to the
 #: envelope, the probe encodings, or the value tagging.
-WIRE_SCHEMA_VERSION = 1
+#:
+#: * v1 — framed protocol + HTTP shim, probe/value codecs, chunked
+#:   streaming.
+#: * v2 — adds the *optional* ``trace_context`` field on batch requests
+#:   (framed and HTTP).  Responses are unchanged; a v2 speaker answers a
+#:   v1 peer with v1-stamped frames, bit-identically to a v1 build.
+WIRE_SCHEMA_VERSION = 2
+
+#: Every wire schema version this build can speak.  A v2 server accepts
+#: v1 hellos/requests (and mirrors the peer's version in its responses);
+#: a v2 client downgrades to v1 when an old server refuses its hello.
+SUPPORTED_WIRE_VERSIONS = frozenset({1, 2})
+
+#: The lowest version still supported (the downgrade target).
+MIN_WIRE_SCHEMA_VERSION = min(SUPPORTED_WIRE_VERSIONS)
+
+#: First wire schema version that carries ``trace_context`` on batches.
+TRACE_CONTEXT_MIN_VERSION = 2
 
 #: Hard bound on one frame's JSON payload (16 MiB).  A length prefix
 #: beyond this is treated as a protocol error — it is far more likely a
@@ -431,21 +449,67 @@ def decode_estimates(wire: Any) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
-def message(op: str, **fields: Any) -> dict:
-    """A protocol envelope: ``op`` plus the schema-version tag."""
-    body = {"v": WIRE_SCHEMA_VERSION, "op": op}
+def message(op: str, *, version: Optional[int] = None, **fields: Any) -> dict:
+    """A protocol envelope: ``op`` plus the schema-version tag.
+
+    *version* overrides the stamped schema version — how a v2 speaker
+    answers a v1 peer with frames the old build accepts verbatim.
+    """
+    body = {"v": WIRE_SCHEMA_VERSION if version is None else int(version), "op": op}
     body.update(fields)
     return body
 
 
-def check_version(wire: dict) -> None:
-    """Raise :class:`WireVersionError` unless *wire* tags our version."""
+def check_version(wire: dict) -> int:
+    """Raise :class:`WireVersionError` unless *wire* tags a supported version.
+
+    Returns the (validated) version so callers can mirror it back.
+    """
     version = wire.get("v")
-    if version != WIRE_SCHEMA_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise WireVersionError(
             f"peer speaks wire schema version {version!r}, this build speaks "
-            f"{WIRE_SCHEMA_VERSION}"
+            f"{sorted(SUPPORTED_WIRE_VERSIONS)}"
         )
+    return int(version)
+
+
+def trace_context_to_wire(context: TraceContext) -> dict:
+    """The wire form of a trace context (v2+ ``trace_context`` field)."""
+    body = {"trace_id": context.trace_id, "span_id": context.span_id}
+    if not context.sampled:
+        body["sampled"] = False
+    return body
+
+
+def trace_context_from_wire(wire: Any) -> Optional[TraceContext]:
+    """Decode an optional ``trace_context`` field.
+
+    ``None`` input means the peer sent no context (start a new trace) and
+    maps to ``None``.  A malformed field raises :class:`WireCodecError`.
+    """
+    if wire is None:
+        return None
+    if not isinstance(wire, dict):
+        raise WireCodecError(
+            f"trace_context must be an object, got {type(wire).__name__}"
+        )
+    trace_id = wire.get("trace_id", "")
+    span_id = wire.get("span_id", "")
+    sampled = wire.get("sampled", True)
+    if not isinstance(trace_id, str) or not trace_id:
+        raise WireCodecError(
+            f"trace_context.trace_id must be a non-empty string, got {trace_id!r}"
+        )
+    if not isinstance(span_id, str):
+        raise WireCodecError(
+            f"trace_context.span_id must be a string, got {span_id!r}"
+        )
+    if not isinstance(sampled, bool):
+        raise WireCodecError(
+            f"trace_context.sampled must be a boolean, got {sampled!r}"
+        )
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=sampled)
 
 
 def encode_frame(obj: dict) -> bytes:
@@ -532,19 +596,37 @@ def batch_request(
     request_id: int,
     on_error: Optional[str] = None,
     want_traces: bool = False,
+    trace_context: Optional[TraceContext] = None,
+    version: Optional[int] = None,
 ) -> dict:
-    """The batch-submit envelope both SDK flavors send."""
+    """The batch-submit envelope both SDK flavors send.
+
+    ``trace_context`` joins the request into an existing trace; it is
+    only emitted at wire schema v2+ (and never as ``null`` — a request
+    without a context simply omits the field, so v1 peers see the exact
+    bytes a v1 build would send).
+    """
     body = message(
-        "batch", id=int(request_id), probes=list(probes_wire), traces=bool(want_traces)
+        "batch",
+        version=version,
+        id=int(request_id),
+        probes=list(probes_wire),
+        traces=bool(want_traces),
     )
     if on_error is not None:
         body["on_error"] = on_error
+    if trace_context is not None and (
+        version is None or int(version) >= TRACE_CONTEXT_MIN_VERSION
+    ):
+        body["trace_context"] = trace_context_to_wire(trace_context)
     return body
 
 
-def hello_request(*, token: Optional[str] = None) -> dict:
+def hello_request(
+    *, token: Optional[str] = None, version: Optional[int] = None
+) -> dict:
     """The connection-opening envelope (token auth happens here)."""
-    body = message("hello")
+    body = message("hello", version=version)
     if token is not None:
         body["token"] = token
     return body

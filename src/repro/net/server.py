@@ -10,7 +10,10 @@ One :class:`EstimationServer` wraps one in-process
   the trace records for those positions.
 * **HTTP/JSON shim** — the same port also answers one-shot
   ``POST /v1/batch`` requests (token via ``Authorization: Bearer``), so
-  a plain ``curl`` can probe the service without the SDK.
+  a plain ``curl`` can probe the service without the SDK — plus the ops
+  surface: ``GET /v1/metrics`` (Prometheus text with trace-ID
+  exemplars), ``GET /v1/ready`` (deep readiness, named checks, 503
+  while unready), and ``GET /v1/tracez`` (recent sampled traces).
 * **Admission, not amputation** — per-tenant quotas (probes per batch)
   and a backpressure bound (probes in flight across the tenant's
   connections) reject *probes*, not connections: refused probes resolve
@@ -31,14 +34,18 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.net import protocol
 from repro.obs import runtime as obs
-from repro.obs.tracing import span
+from repro.obs import tracing
+from repro.obs.export import assemble_traces, render_trace_tree, trace_summary
+from repro.obs.tracing import SpanRecord, TraceContext, span
 from repro.serve.service import (
     REASON_BACKPRESSURE,
     REASON_QUOTA_EXCEEDED,
@@ -48,6 +55,9 @@ from repro.serve.service import (
 )
 from repro.util.validation import ensure_positive_int
 
+if TYPE_CHECKING:  # import cycle: repro.maint imports repro.obs via net
+    from repro.maint.queue import DurableJobQueue
+
 #: Probes per ``chunk`` frame when streaming a batch result.  2048
 #: float64 values are ~22 KiB base64 — large enough to amortize framing,
 #: small enough that a 10k-probe result streams in a handful of frames.
@@ -55,6 +65,42 @@ DEFAULT_CHUNK_PROBES = 2048
 
 #: Placeholder relation recorded in traces for undecodable probe slots.
 _INVALID_RELATION = "<undecodable>"
+
+#: Spans retained in memory for the ``/v1/tracez`` endpoint.
+DEFAULT_TRACEZ_SPANS = 512
+
+#: Traces shown per ``/v1/tracez`` response.
+DEFAULT_TRACEZ_TRACES = 20
+
+#: A readiness probe: returns ``(ok, detail)``.  Raising counts as
+#: failing — a readiness check must never take the server down.
+ReadinessCheck = Callable[[], tuple[bool, str]]
+
+
+def agent_lease_check(
+    queue: "DurableJobQueue", *, clock: Callable[[], float] = time.time
+) -> ReadinessCheck:
+    """A readiness check asserting the maintenance agent's leases are fresh.
+
+    Passes while no claimed job's lease has expired — an expired lease
+    means the agent that claimed it stopped heartbeating (crashed or
+    stalled) and maintenance is effectively down until a new incarnation
+    reclaims the job.  Wire it up with
+    :meth:`EstimationServer.add_readiness_check`.
+    """
+
+    def check() -> tuple[bool, str]:
+        now = clock()
+        stale = [
+            state["id"]
+            for state in queue.jobs()
+            if state["status"] == "claimed" and state["lease_expires"] < now
+        ]
+        if stale:
+            return False, f"expired leases on {', '.join(sorted(stale))}"
+        return True, "all claimed leases fresh"
+
+    return check
 
 
 @dataclass(frozen=True)
@@ -160,6 +206,17 @@ class EstimationServer:
             )
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections = 0
+        # Ops surface state: named readiness checks (deep /v1/ready) and
+        # the bounded recent-span buffer behind /v1/tracez.  The deque is
+        # appended from whatever thread finishes a span (append is
+        # atomic); readers snapshot with list().
+        self._readiness_checks: list[tuple[str, ReadinessCheck]] = [
+            ("catalog-published", self._check_catalog_published),
+            ("quarantine-empty", self._check_quarantine_empty),
+            ("cache-warm", self._check_cache_warm),
+        ]
+        self._recent_spans: deque[SpanRecord] = deque(maxlen=DEFAULT_TRACEZ_SPANS)
+        self._tracez_sink_installed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -181,6 +238,9 @@ class EstimationServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
+        if not self._tracez_sink_installed:
+            tracing.add_span_sink(self._record_tracez_span)
+            self._tracez_sink_installed = True
         address = self.address
         obs.emit_event(
             "net.server.started", server=self.name, host=address[0], port=address[1]
@@ -194,6 +254,9 @@ class EstimationServer:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self._tracez_sink_installed:
+            tracing.remove_span_sink(self._record_tracez_span)
+            self._tracez_sink_installed = False
         obs.emit_event("net.server.stopped", server=self.name)
 
     async def serve_forever(self) -> None:
@@ -214,13 +277,91 @@ class EstimationServer:
             return None
         return self._tenants_by_token.get(token)
 
+    # ------------------------------------------------------------------
+    # Ops surface: readiness checks and recent traces
+    # ------------------------------------------------------------------
+
+    def add_readiness_check(self, name: str, check: ReadinessCheck) -> None:
+        """Register a named deep-readiness probe for ``GET /v1/ready``.
+
+        *check* returns ``(ok, detail)``; a raising check reports as
+        failing with the exception text.  Names must be unique — e.g.
+        ``server.add_readiness_check("agent-lease-fresh",
+        agent_lease_check(queue))``.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"check name must be a non-empty str, got {name!r}")
+        if not callable(check):
+            raise TypeError(f"check must be callable, got {type(check).__name__}")
+        if any(existing == name for existing, _ in self._readiness_checks):
+            raise ValueError(f"readiness check {name!r} already registered")
+        self._readiness_checks.append((name, check))
+
+    def readiness(self) -> tuple[bool, list[dict]]:
+        """Run every readiness check; ``(all ok, per-check reports)``."""
+        reports: list[dict] = []
+        ready = True
+        for name, check in list(self._readiness_checks):
+            try:
+                ok, detail = check()
+            except Exception as exc:  # a probe must never take the server down
+                ok, detail = False, f"{type(exc).__name__}: {exc}"
+            ok = bool(ok)
+            ready = ready and ok
+            reports.append({"name": name, "ok": ok, "detail": str(detail)})
+        return ready, reports
+
+    def _check_catalog_published(self) -> tuple[bool, str]:
+        catalog = self.service.catalog
+        entries = len(catalog)
+        if entries == 0:
+            return False, "catalog has no published entries"
+        return True, f"{entries} entries at version {catalog.version}"
+
+    def _check_quarantine_empty(self) -> tuple[bool, str]:
+        quarantined = self.service.quarantined
+        if quarantined:
+            names = ", ".join(
+                f"{relation}.{attribute if attribute is not None else '*'}"
+                for relation, attribute in sorted(
+                    quarantined, key=lambda item: (item[0], item[1] or "")
+                )
+            )
+            return False, f"quarantined: {names}"
+        return True, "no quarantined entries"
+
+    def _check_cache_warm(self) -> tuple[bool, str]:
+        cached = self.service.cached_tables
+        if cached == 0:
+            return False, "no compiled tables cached yet"
+        return True, f"{cached} compiled tables cached"
+
+    def _record_tracez_span(self, record: SpanRecord) -> None:
+        # deque.append with a maxlen is atomic — safe from any thread.
+        self._recent_spans.append(record)
+
+    def recent_traces(self, limit: int = DEFAULT_TRACEZ_TRACES) -> list[dict]:
+        """Assembled summaries of recent sampled traces, newest first."""
+        traces = assemble_traces(list(self._recent_spans))
+        traces.reverse()
+        rows = []
+        for trace in traces[: max(1, int(limit))]:
+            row = trace_summary(trace)
+            row["tree"] = render_trace_tree(trace)
+            rows.append(row)
+        return rows
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections += 1
         obs.count("repro_net_connections_total", server=self.name)
         try:
-            with span("net.accept", server=self.name):
+            # Detached span: connections are concurrent tasks on one
+            # thread, so a stack-based span here would cross-contaminate
+            # parentage between peers.  Each connection gets its own
+            # trace; per-request spans join the *client's* trace instead.
+            with span("net.accept", context=tracing.new_trace(), server=self.name):
                 first = await reader.read(4)
                 if not first:
                     return
@@ -271,18 +412,29 @@ class EstimationServer:
         if hello is None:
             return
         try:
-            protocol.check_version(hello)
+            conn_version = protocol.check_version(hello)
         except protocol.WireVersionError as exc:
+            # Stamp the refusal with the *oldest* supported version so a
+            # strict old peer can still parse it.
             await self._send_frame(
                 writer,
-                protocol.message("error", code="wire-version", detail=str(exc)),
+                protocol.message(
+                    "error",
+                    version=protocol.MIN_WIRE_SCHEMA_VERSION,
+                    code="wire-version",
+                    detail=str(exc),
+                ),
             )
             return
+        # Every response frame mirrors the peer's negotiated version: a
+        # v1 client checks strict equality on frames it reads, so a v2
+        # server must keep speaking v1 on that connection.
         if hello.get("op") != "hello":
             await self._send_frame(
                 writer,
                 protocol.message(
                     "error",
+                    version=conn_version,
                     code="protocol-error",
                     detail="connection must open with a hello frame",
                 ),
@@ -297,6 +449,7 @@ class EstimationServer:
                 writer,
                 protocol.message(
                     "error",
+                    version=conn_version,
                     code=protocol.REASON_AUTH_FAILED,
                     detail="unknown tenant token",
                 ),
@@ -305,7 +458,10 @@ class EstimationServer:
         await self._send_frame(
             writer,
             protocol.message(
-                "welcome", tenant=tenant.config.name, server=self.name
+                "welcome",
+                version=conn_version,
+                tenant=tenant.config.name,
+                server=self.name,
             ),
         )
         while True:
@@ -314,15 +470,20 @@ class EstimationServer:
                 return
             op = request.get("op")
             if op == "ping":
-                await self._send_frame(writer, protocol.message("pong"))
+                await self._send_frame(
+                    writer, protocol.message("pong", version=conn_version)
+                )
                 continue
             if op == "batch":
-                await self._handle_batch(request, tenant, writer)
+                await self._handle_batch(request, tenant, writer, conn_version)
                 continue
             await self._send_frame(
                 writer,
                 protocol.message(
-                    "error", code="unknown-op", detail=f"unknown op {op!r}"
+                    "error",
+                    version=conn_version,
+                    code="unknown-op",
+                    detail=f"unknown op {op!r}",
                 ),
             )
 
@@ -366,13 +527,52 @@ class EstimationServer:
         admitted = sum(1 for verdict in batch.verdicts if verdict is None)
         tenant.pending_probes -= admitted
 
+    def _request_trace_context(
+        self, request: dict, tenant: _TenantState
+    ) -> TraceContext:
+        """The trace this request belongs to: the client's, or a new one.
+
+        An absent ``trace_context`` field (every v1 peer) starts a new
+        trace; a *malformed* one is counted and ignored rather than
+        refused — tracing is an observability concern and must never
+        fail a batch that would otherwise be answered.
+        """
+        wire = request.get("trace_context")
+        context: Optional[TraceContext] = None
+        if wire is not None:
+            try:
+                context = protocol.trace_context_from_wire(wire)
+            except protocol.WireCodecError:
+                obs.count(
+                    "repro_net_invalid_trace_context_total", server=self.name
+                )
+        if context is None:
+            context = tracing.new_trace(tenant=tenant.config.name)
+        return context
+
     def _run_batch(
         self,
         batch: _DecodedBatch,
         tenant_name: str,
         on_error: Optional[str],
+        context: Optional[TraceContext] = None,
     ) -> tuple[np.ndarray, list[ProbeTrace]]:
         """Answer the decoded batch through the shared service (executor)."""
+        # Re-attach the request's trace on this executor thread so the
+        # service's serve.batch span parents to our net.batch span.
+        token = tracing.attach(context) if context is not None else None
+        try:
+            return self._run_batch_traced(batch, tenant_name, on_error)
+        finally:
+            if context is not None:
+                tracing.detach(token)
+
+    def _run_batch_traced(
+        self,
+        batch: _DecodedBatch,
+        tenant_name: str,
+        on_error: Optional[str],
+    ) -> tuple[np.ndarray, list[ProbeTrace]]:
         traces: list[ProbeTrace] = []
         if any(verdict is not None for verdict in batch.verdicts):
             admission = lambda probes: batch.verdicts  # noqa: E731
@@ -405,12 +605,13 @@ class EstimationServer:
         entries: Sequence[object],
         tenant: _TenantState,
         on_error: Optional[str],
+        context: Optional[TraceContext] = None,
     ) -> tuple[np.ndarray, list[ProbeTrace]]:
         batch = self._decode_batch(entries, tenant)
         loop = asyncio.get_running_loop()
         try:
             return await loop.run_in_executor(
-                None, self._run_batch, batch, tenant.config.name, on_error
+                None, self._run_batch, batch, tenant.config.name, on_error, context
             )
         finally:
             self._release_pending(batch, tenant)
@@ -420,6 +621,7 @@ class EstimationServer:
         request: dict,
         tenant: _TenantState,
         writer: asyncio.StreamWriter,
+        version: int,
     ) -> None:
         request_id = request.get("id", 0)
         entries = request.get("probes")
@@ -428,6 +630,7 @@ class EstimationServer:
                 writer,
                 protocol.message(
                     "error",
+                    version=version,
                     id=request_id,
                     code="protocol-error",
                     detail="batch.probes must be an array",
@@ -436,12 +639,16 @@ class EstimationServer:
             return
         on_error = request.get("on_error")
         want_traces = bool(request.get("traces"))
+        # Detached span (concurrent tasks share this thread) joining the
+        # client's trace when the request carried one.
+        context = self._request_trace_context(request, tenant)
         with span(
             "net.batch",
+            context=context,
             server=self.name,
             tenant=tenant.config.name,
             probes=len(entries),
-        ):
+        ) as batch_span:
             obs.count(
                 "repro_net_batches_total",
                 server=self.name,
@@ -449,7 +656,7 @@ class EstimationServer:
             )
             try:
                 estimates, traces = await self._execute_batch(
-                    entries, tenant, on_error
+                    entries, tenant, on_error, batch_span.context
                 )
             except Exception as exc:
                 # on_error="raise" (or an invalid policy string) surfaces
@@ -459,6 +666,7 @@ class EstimationServer:
                     writer,
                     protocol.message(
                         "error",
+                        version=version,
                         id=request_id,
                         code="batch-failed",
                         error_type=type(exc).__name__,
@@ -467,7 +675,12 @@ class EstimationServer:
                 )
                 return
             await self._stream_result(
-                writer, request_id, estimates, traces if want_traces else None
+                writer,
+                request_id,
+                estimates,
+                traces if want_traces else None,
+                version=version,
+                context=batch_span.context,
             )
 
     async def _stream_result(
@@ -476,16 +689,20 @@ class EstimationServer:
         request_id: object,
         estimates: np.ndarray,
         traces: Optional[list[ProbeTrace]],
+        *,
+        version: Optional[int] = None,
+        context: Optional[TraceContext] = None,
     ) -> None:
         """Stream one result as ``chunk`` frames (always at least one)."""
         total = int(estimates.size)
         chunk = self._chunk_probes
-        with span("net.stream", server=self.name, probes=total):
+        with span("net.stream", context=context, server=self.name, probes=total):
             start = 0
             while True:
                 end = min(start + chunk, total)
                 frame = protocol.message(
                     "chunk",
+                    version=version,
                     id=request_id,
                     start=start,
                     count=total,
@@ -547,6 +764,33 @@ class EstimationServer:
         if method == "GET" and path == "/v1/health":
             await _http_respond(writer, 200, {"status": "ok", "server": self.name})
             return
+        if method == "GET" and path == "/v1/metrics":
+            # Prometheus text exposition (with trace-ID exemplars on
+            # latency-histogram buckets).  Unauthenticated, like /v1/health:
+            # the ops surface is for the scraper next door.
+            from repro.obs import get_registry
+
+            await _http_respond_text(writer, 200, get_registry().to_prometheus())
+            return
+        if method == "GET" and path == "/v1/ready":
+            ready, checks = self.readiness()
+            await _http_respond(
+                writer,
+                200 if ready else 503,
+                {
+                    "status": "ok" if ready else "unready",
+                    "server": self.name,
+                    "checks": checks,
+                },
+            )
+            return
+        if method == "GET" and path == "/v1/tracez":
+            await _http_respond(
+                writer,
+                200,
+                {"server": self.name, "traces": self.recent_traces()},
+            )
+            return
         if method != "POST" or path != "/v1/batch":
             await _http_respond(
                 writer, 404, {"error": f"unknown endpoint {method} {path}"}
@@ -567,7 +811,7 @@ class EstimationServer:
             length = int(headers.get("content-length", "0"))
             body = await reader.readexactly(length) if length else b""
             request = protocol.decode_frame(body)
-            protocol.check_version(request)
+            req_version = protocol.check_version(request)
         except (
             ValueError,
             asyncio.IncompleteReadError,
@@ -581,13 +825,15 @@ class EstimationServer:
                 writer, 400, {"error": "batch.probes must be an array"}
             )
             return
+        context = self._request_trace_context(request, tenant)
         with span(
             "net.batch",
+            context=context,
             server=self.name,
             tenant=tenant.config.name,
             probes=len(entries),
             transport="http",
-        ):
+        ) as batch_span:
             obs.count(
                 "repro_net_batches_total",
                 server=self.name,
@@ -595,7 +841,7 @@ class EstimationServer:
             )
             try:
                 estimates, traces = await self._execute_batch(
-                    entries, tenant, request.get("on_error")
+                    entries, tenant, request.get("on_error"), batch_span.context
                 )
             except Exception as exc:
                 await _http_respond(
@@ -606,6 +852,7 @@ class EstimationServer:
                 return
         payload = protocol.message(
             "result",
+            version=req_version,
             count=int(estimates.size),
             estimates=protocol.encode_estimates(estimates),
         )
@@ -635,16 +882,39 @@ def _looks_like_http(first: bytes) -> bool:
     return bool(first) and first[:1].isalpha()
 
 
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    422: "Unprocessable Entity",
+    503: "Service Unavailable",
+}
+
+
 async def _http_respond(
     writer: asyncio.StreamWriter, status: int, payload: dict
 ) -> None:
     import json
 
-    reasons = {200: "OK", 400: "Bad Request", 401: "Unauthorized", 404: "Not Found", 422: "Unprocessable Entity"}
     body = json.dumps(payload, separators=(",", ":"), allow_nan=False).encode("utf-8")
+    await _http_respond_raw(writer, status, body, "application/json")
+
+
+async def _http_respond_text(
+    writer: asyncio.StreamWriter, status: int, text: str
+) -> None:
+    await _http_respond_raw(
+        writer, status, text.encode("utf-8"), "text/plain; charset=utf-8"
+    )
+
+
+async def _http_respond_raw(
+    writer: asyncio.StreamWriter, status: int, body: bytes, content_type: str
+) -> None:
     head = (
-        f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
-        "Content-Type: application/json\r\n"
+        f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Error')}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n\r\n"
     ).encode("latin-1")

@@ -1,15 +1,21 @@
 """Unified telemetry for the repro statistics stack.
 
-Three layers, all thread-safe and all optional at runtime:
+Four layers, all thread-safe and all optional at runtime:
 
 * :mod:`repro.obs.registry` — metric instruments (counters, gauges,
-  histograms with labels), collectors, a bounded event ring buffer, and
-  Prometheus-text/JSON exposition;
+  histograms with labels and per-bucket exemplars), collectors, a
+  bounded event ring buffer, and Prometheus-text/JSON exposition;
 * :mod:`repro.obs.tracing` — ``span("serve.batch")`` context managers
-  over monotonic clocks with parent/child nesting and pluggable sinks;
+  over monotonic clocks with parent/child nesting, distributed trace
+  context (trace/span IDs, ``attach``/``detach`` propagation, head
+  sampling), and pluggable sinks;
+* :mod:`repro.obs.export` — the bounded JSONL span sink, the trace
+  assembler turning interleaved span streams back into trees, and the
+  renderers behind ``repro obs trace``;
 * :mod:`repro.obs.accuracy` — estimation-error accounting
   (``record_observation(probe, estimated, actual)``) with the
-  Proposition 3.1 ``Σ p_i·v_i`` cross-check.
+  Proposition 3.1 ``Σ p_i·v_i`` cross-check, now tagging each key with
+  the trace that last touched it.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric catalogue.
 """
@@ -47,12 +53,35 @@ from repro.obs.runtime import (
 )
 from repro.obs.tracing import (
     SPAN_NAMES,
+    HeadSampler,
     SpanRecord,
+    TraceContext,
+    TraceIdSource,
     add_span_sink,
+    attach,
     clear_span_sinks,
     current_span_name,
+    current_trace_context,
+    detach,
+    get_sampler,
+    new_trace,
     remove_span_sink,
+    scope,
+    set_id_source,
+    set_sampler,
     span,
+)
+from repro.obs.export import (
+    JsonlSpanSink,
+    Trace,
+    TraceNode,
+    assemble_traces,
+    read_spans,
+    render_trace_tree,
+    slowest_traces,
+    span_from_wire,
+    span_to_wire,
+    trace_summary,
 )
 
 __all__ = [
@@ -63,27 +92,48 @@ __all__ = [
     "ErrorStats",
     "Event",
     "Gauge",
+    "HeadSampler",
     "HistogramMetric",
+    "JsonlSpanSink",
     "MetricRegistry",
     "SPAN_NAMES",
     "Sample",
     "SpanRecord",
+    "Trace",
+    "TraceContext",
+    "TraceIdSource",
+    "TraceNode",
     "add_span_sink",
+    "assemble_traces",
+    "attach",
     "clear_span_sinks",
     "count",
     "current_span_name",
+    "current_trace_context",
+    "detach",
     "emit_event",
     "get_monitor",
     "get_registry",
+    "get_sampler",
     "is_enabled",
+    "new_trace",
     "observe",
     "probe_key",
+    "read_spans",
     "remove_span_sink",
+    "scope",
+    "render_trace_tree",
     "reset",
     "reset_monitor",
     "set_gauge",
+    "set_id_source",
     "set_instrumentation",
     "set_registry",
+    "set_sampler",
+    "slowest_traces",
     "span",
+    "span_from_wire",
+    "span_to_wire",
     "theoretical_self_join_error",
+    "trace_summary",
 ]

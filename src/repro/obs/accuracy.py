@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
+from repro.obs import tracing
 from repro.obs.registry import MetricRegistry, Sample
 
 #: Fallback key component when a probe's relation/attribute is unknown.
@@ -54,6 +55,10 @@ class ErrorStats:
     sum_squared: float = 0.0
     #: Σ |actual - estimated| / max(actual, 1).
     sum_relative: float = 0.0
+    #: Trace ID of the most recent observation recorded under an active
+    #: trace context ("" when none yet) — how a drift-triggered rebuild
+    #: links back to the probe batch whose error crossed the threshold.
+    last_trace_id: str = ""
 
     def record(self, estimated: float, actual: float) -> None:
         """Fold one observation into the aggregates."""
@@ -171,12 +176,16 @@ class AccuracyMonitor:
         act = float(actual)
         if not (math.isfinite(est) and math.isfinite(act)):
             return key
+        context = tracing.current_trace_context()
+        trace_id = context.trace_id if context is not None else ""
         with self._lock:
             stats = self._stats.get(key)
             if stats is None:
                 stats = ErrorStats()
                 self._stats[key] = stats
             stats.record(est, act)
+            if trace_id:
+                stats.last_trace_id = trace_id
         return key
 
     def record_self_join(self, relation: str, histogram: object, actual: float) -> AccuracyKey:
@@ -211,6 +220,7 @@ class AccuracyMonitor:
                 sum_abs=current.sum_abs,
                 sum_squared=current.sum_squared,
                 sum_relative=current.sum_relative,
+                last_trace_id=current.last_trace_id,
             )
 
     def as_dict(self) -> dict[str, dict[str, float]]:

@@ -1,0 +1,377 @@
+"""Span export and trace assembly: JSONL sink, tree builder, renderers.
+
+The tracing layer (:mod:`repro.obs.tracing`) emits flat
+:class:`~repro.obs.tracing.SpanRecord` values, in whatever order spans
+*finish* — a child always closes before its parent, concurrent requests
+interleave freely, and records from different processes (server,
+agent) land in the same stream.  This module turns that stream back
+into something an operator can read:
+
+* :class:`JsonlSpanSink` — a bounded span sink persisting the most
+  recent records as JSON lines.  Writes go through
+  :func:`repro.engine.durable.atomic_write_text` (write-temp, fsync,
+  rename), so the file is always a well-formed prefix-free snapshot —
+  a reader never sees a torn line.  The sink honors the
+  :func:`repro.obs.runtime.set_instrumentation` kill-switch: when
+  instrumentation is disabled it drops records without touching the
+  filesystem.
+* :func:`assemble_traces` — reconstructs per-trace span forests from
+  *any* interleaved, shuffled, duplicated, or truncated record stream.
+  Spans whose parent never arrived (sampled away, crashed mid-flight,
+  or cut off by the bounded sink) are promoted to roots rather than
+  dropped, and parent-link cycles in adversarial input are broken
+  deterministically — the output is always a forest.
+* :func:`render_trace_tree` / :func:`slowest_traces` — the text views
+  behind the ``repro obs trace`` CLI and the server's ``/v1/tracez``
+  endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.engine.durable import PathLike, atomic_write_text
+from repro.obs import runtime
+from repro.obs.tracing import SpanRecord
+
+#: JSONL schema version stamped on every exported span line.
+SPAN_WIRE_VERSION = 1
+
+
+def span_to_wire(record: SpanRecord) -> dict:
+    """The JSON-ready form of one :class:`SpanRecord`."""
+    return {
+        "v": SPAN_WIRE_VERSION,
+        "name": record.name,
+        "trace_id": record.trace_id,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "parent": record.parent,
+        "depth": record.depth,
+        "start": record.start,
+        "end": record.end,
+        "error": record.error,
+        "sampled": record.sampled,
+        "tags": dict(record.tags),
+    }
+
+
+def span_from_wire(wire: dict) -> SpanRecord:
+    """Rebuild a :class:`SpanRecord` from its JSONL form.
+
+    Raises ``ValueError`` on structurally invalid input; unknown extra
+    keys are ignored so newer writers stay readable.
+    """
+    if not isinstance(wire, dict):
+        raise ValueError(f"span line must be a JSON object, got {type(wire).__name__}")
+    name = wire.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"span line missing a non-empty 'name', got {name!r}")
+    tags = wire.get("tags", {})
+    if not isinstance(tags, dict):
+        raise ValueError(f"span tags must be an object, got {type(tags).__name__}")
+    parent = wire.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        raise ValueError(f"span parent must be a string or null, got {parent!r}")
+    return SpanRecord(
+        name=name,
+        start=float(wire.get("start", 0.0)),
+        end=float(wire.get("end", 0.0)),
+        depth=int(wire.get("depth", 0)),
+        parent=parent,
+        error=bool(wire.get("error", False)),
+        tags={str(k): str(v) for k, v in tags.items()},
+        trace_id=str(wire.get("trace_id", "")),
+        span_id=str(wire.get("span_id", "")),
+        parent_id=str(wire.get("parent_id", "")),
+        sampled=bool(wire.get("sampled", True)),
+    )
+
+
+def read_spans(path: PathLike) -> tuple[list[SpanRecord], int]:
+    """Load span records from a JSONL file.
+
+    Returns ``(records, dropped)`` — malformed lines (a torn tail from a
+    non-atomic writer, foreign junk) are counted, never fatal.
+    """
+    records: list[SpanRecord] = []
+    dropped = 0
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(span_from_wire(json.loads(line)))
+        except (ValueError, TypeError):
+            dropped += 1
+    return records, dropped
+
+
+class JsonlSpanSink:
+    """A bounded span sink persisting recent spans as JSON lines.
+
+    Keeps the newest *max_spans* records and rewrites the whole file
+    atomically every *flush_every* appended spans (and on
+    :meth:`flush`/:meth:`close`), so the on-disk file is always
+    well-formed — the atomic-write discipline of the persistence layer
+    applied to telemetry.  Register it with
+    :func:`repro.obs.tracing.add_span_sink`; unsampled spans never reach
+    sinks, and when instrumentation is disabled the sink performs no
+    file I/O at all.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        max_spans: int = 4096,
+        flush_every: int = 32,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self._path = Path(path)
+        self._lock = threading.Lock()
+        self._records: deque[SpanRecord] = deque(maxlen=int(max_spans))
+        self._flush_every = int(flush_every)
+        self._pending = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __call__(self, record: SpanRecord) -> None:
+        # The kill-switch gate: disabling instrumentation must stop file
+        # I/O too, even for records already in flight.
+        if not runtime.is_enabled():
+            return
+        with self._lock:
+            self._records.append(record)
+            self._pending += 1
+            if self._pending >= self._flush_every:
+                self._flush_locked()
+
+    def flush(self) -> None:
+        """Force the current buffer onto disk (atomic rewrite)."""
+        if not runtime.is_enabled():
+            return
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        text = "".join(
+            json.dumps(span_to_wire(record), sort_keys=True) + "\n"
+            for record in self._records
+        )
+        atomic_write_text(self._path, text)
+        self._pending = 0
+
+    def close(self) -> None:
+        """Flush; the sink stays usable (idempotent)."""
+        self.flush()
+
+    def __enter__(self) -> "JsonlSpanSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class TraceNode:
+    """One span inside an assembled trace tree."""
+
+    record: SpanRecord
+    children: list["TraceNode"] = field(default_factory=list)
+    #: True when this span's ``parent_id`` named a span that is absent
+    #: from the stream — it was promoted to a root instead of dropped.
+    orphan: bool = False
+
+
+@dataclass
+class Trace:
+    """All spans sharing one trace ID, assembled into a forest."""
+
+    trace_id: str
+    roots: list[TraceNode]
+    spans: list[SpanRecord]
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def duration(self) -> float:
+        """max(end) - min(start) over the member spans (>= 0)."""
+        if not self.spans:
+            return 0.0
+        return max(0.0, max(r.end for r in self.spans) - min(r.start for r in self.spans))
+
+    @property
+    def error(self) -> bool:
+        return any(r.error for r in self.spans)
+
+    def names(self) -> list[str]:
+        """Distinct span names in the trace, sorted."""
+        return sorted({r.name for r in self.spans})
+
+
+def _sort_key(record: SpanRecord) -> tuple:
+    return (record.start, record.span_id, record.name)
+
+
+def assemble_traces(records: Iterable[SpanRecord]) -> list[Trace]:
+    """Reconstruct per-trace forests from an arbitrary span stream.
+
+    Tolerates everything a real stream does: arbitrary order (children
+    finish first), duplicates (first record per span ID wins), missing
+    parents (promoted to orphan roots), records without IDs (grouped
+    under the ``""`` trace as independent roots), and adversarial
+    parent-link cycles (broken at the earliest-starting member, which
+    becomes a root).  The result is always a list of well-formed
+    forests, ordered by trace start time.
+    """
+    by_trace: dict[str, dict[str, TraceNode]] = {}
+    anonymous: list[TraceNode] = []
+    for record in records:
+        node = TraceNode(record=record)
+        if not record.span_id:
+            anonymous.append(node)
+            continue
+        nodes = by_trace.setdefault(record.trace_id, {})
+        # First record per span ID wins — re-reading a rewritten JSONL
+        # snapshot must not double spans.
+        nodes.setdefault(record.span_id, node)
+
+    traces: list[Trace] = []
+    for trace_id, nodes in by_trace.items():
+        roots: list[TraceNode] = []
+        for node in nodes.values():
+            parent_id = node.record.parent_id
+            if not parent_id or parent_id == node.record.span_id:
+                # A self-parenting span is a degenerate cycle: it becomes
+                # a root but is flagged — its claimed parent is not real.
+                node.orphan = bool(parent_id)
+                roots.append(node)
+            else:
+                parent = nodes.get(parent_id)
+                if parent is None:
+                    node.orphan = True
+                    roots.append(node)
+                else:
+                    parent.children.append(node)
+        # Any node not reachable from a root sits on a parent cycle.
+        visited: set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            node = frontier.pop()
+            if node.record.span_id in visited:
+                continue
+            visited.add(node.record.span_id)
+            frontier.extend(node.children)
+        missing = [n for n in nodes.values() if n.record.span_id not in visited]
+        while missing:
+            # Break the cycle at its earliest-starting member: detach it
+            # from its parent and promote it to a root.
+            breaker = min(missing, key=lambda n: _sort_key(n.record))
+            parent = nodes.get(breaker.record.parent_id)
+            if parent is not None and breaker in parent.children:
+                parent.children.remove(breaker)
+            breaker.orphan = True
+            roots.append(breaker)
+            frontier = [breaker]
+            while frontier:
+                node = frontier.pop()
+                if node.record.span_id in visited:
+                    continue
+                visited.add(node.record.span_id)
+                frontier.extend(node.children)
+            missing = [n for n in missing if n.record.span_id not in visited]
+
+        def _order(node: TraceNode) -> None:
+            node.children.sort(key=lambda n: _sort_key(n.record))
+            for child in node.children:
+                _order(child)
+
+        roots.sort(key=lambda n: _sort_key(n.record))
+        for root in roots:
+            _order(root)
+        spans = sorted((n.record for n in nodes.values()), key=_sort_key)
+        traces.append(Trace(trace_id=trace_id, roots=roots, spans=spans))
+
+    for node in anonymous:
+        traces.append(
+            Trace(trace_id="", roots=[node], spans=[node.record])
+        )
+
+    traces.sort(
+        key=lambda t: (min((r.start for r in t.spans), default=0.0), t.trace_id)
+    )
+    return traces
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def render_trace_tree(trace: Trace) -> str:
+    """An ASCII tree of one assembled trace."""
+    lines = [
+        f"trace {trace.trace_id or '(no id)'} — {trace.span_count} span"
+        f"{'s' if trace.span_count != 1 else ''}, {_format_duration(trace.duration)}"
+        + (" [error]" if trace.error else "")
+    ]
+
+    def _walk(node: TraceNode, prefix: str, is_last: bool) -> None:
+        record = node.record
+        connector = "└─ " if is_last else "├─ "
+        marks = ""
+        if record.error:
+            marks += " !error"
+        if node.orphan:
+            marks += " ~orphan"
+        tags = ""
+        if record.tags:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(dict(record.tags).items()))
+            tags = f" [{inner}]"
+        lines.append(
+            f"{prefix}{connector}{record.name} "
+            f"{_format_duration(record.duration)}{tags}{marks}"
+        )
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(node.children):
+            _walk(child, child_prefix, index == len(node.children) - 1)
+
+    for index, root in enumerate(trace.roots):
+        _walk(root, "", index == len(trace.roots) - 1)
+    return "\n".join(lines)
+
+
+def slowest_traces(traces: Sequence[Trace], limit: int = 10) -> list[Trace]:
+    """The *limit* longest traces, slowest first (ties by trace ID)."""
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    return sorted(traces, key=lambda t: (-t.duration, t.trace_id))[:limit]
+
+
+def trace_summary(trace: Trace) -> dict:
+    """JSON-ready summary of one trace (the ``/v1/tracez`` row shape)."""
+    return {
+        "trace_id": trace.trace_id,
+        "spans": trace.span_count,
+        "duration_seconds": trace.duration,
+        "error": trace.error,
+        "names": trace.names(),
+        "roots": [node.record.name for node in trace.roots],
+    }

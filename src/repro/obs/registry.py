@@ -207,9 +207,25 @@ class HistogramMetric:
 
     ``observe`` updates the matching bucket, the total count, and the sum
     under one lock, so a concurrent read never sees the three out of step.
+
+    An observation may carry an **exemplar** — a tiny label set (e.g.
+    ``trace_id``) pinning a concrete traced request to the bucket it
+    landed in.  The histogram keeps the most recent exemplar per bucket
+    and :meth:`MetricRegistry.to_prometheus` renders it in the
+    OpenMetrics style (``... # {trace_id="..."} value``), which is how
+    operators jump from a latency bucket to one representative trace.
     """
 
-    __slots__ = ("name", "labels", "bounds", "_lock", "_counts", "_sum", "_count")
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "_lock",
+        "_counts",
+        "_sum",
+        "_count",
+        "_exemplars",
+    )
 
     kind = "histogram"
 
@@ -230,9 +246,19 @@ class HistogramMetric:
         self._counts = [0] * (len(self.bounds) + 1)
         self._sum = 0.0
         self._count = 0
+        self._exemplars: dict[int, tuple[LabelItems, float]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[LabelItems] = None,
+    ) -> None:
+        """Record one observation, optionally pinning an exemplar.
+
+        *exemplar* is a canonical label-items tuple (e.g.
+        ``(("trace_id", "4f2a..."),)``); the latest exemplar per bucket
+        wins.
+        """
         index = len(self.bounds)
         for position, bound in enumerate(self.bounds):
             if value <= bound:
@@ -242,11 +268,18 @@ class HistogramMetric:
             self._counts[index] += 1
             self._count += 1
             self._sum += value
+            if exemplar:
+                self._exemplars[index] = (tuple(exemplar), float(value))
 
     def snapshot(self) -> tuple[list[int], float, int]:
         """A consistent ``(per-bucket counts, sum, count)`` triple."""
         with self._lock:
             return list(self._counts), self._sum, self._count
+
+    def exemplars(self) -> dict[int, tuple[LabelItems, float]]:
+        """Latest ``(labels, observed value)`` exemplar per bucket index."""
+        with self._lock:
+            return dict(self._exemplars)
 
     @property
     def count(self) -> int:
@@ -457,18 +490,27 @@ class MetricRegistry:
             for child in children:
                 if isinstance(child, HistogramMetric):
                     counts, total, count = child.snapshot()
+                    exemplars = child.exemplars()
                     cumulative = 0
-                    for bound, bucket_count in zip(
-                        child.bounds + (math.inf,), counts
+                    for index, (bound, bucket_count) in enumerate(
+                        zip(child.bounds + (math.inf,), counts)
                     ):
                         cumulative += bucket_count
-                        lines.append(
+                        line = (
                             f"{name}_bucket"
                             + _render_labels(
                                 child.labels, (("le", _format_value(bound)),)
                             )
                             + f" {cumulative}"
                         )
+                        exemplar = exemplars.get(index)
+                        if exemplar is not None:
+                            exemplar_labels, observed = exemplar
+                            line += (
+                                f" # {_render_labels(exemplar_labels)} "
+                                f"{_format_value(observed)}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{name}_sum{_render_labels(child.labels)} "
                         f"{_format_value(total)}"
@@ -508,12 +550,21 @@ class MetricRegistry:
                 }
                 if isinstance(child, HistogramMetric):
                     counts, total, count = child.snapshot()
-                    entry["buckets"] = [
-                        {"le": bound, "count": bucket_count}
-                        for bound, bucket_count in zip(
-                            child.bounds + (math.inf,), counts
-                        )
-                    ]
+                    exemplars = child.exemplars()
+                    buckets = []
+                    for index, (bound, bucket_count) in enumerate(
+                        zip(child.bounds + (math.inf,), counts)
+                    ):
+                        bucket: dict[str, Any] = {"le": bound, "count": bucket_count}
+                        exemplar = exemplars.get(index)
+                        if exemplar is not None:
+                            exemplar_labels, observed = exemplar
+                            bucket["exemplar"] = {
+                                "labels": dict(exemplar_labels),
+                                "value": observed,
+                            }
+                        buckets.append(bucket)
+                    entry["buckets"] = buckets
                     entry["sum"] = total
                     entry["count"] = count
                 else:

@@ -137,12 +137,23 @@ def count(name: str, amount: float = 1.0, **labels: object) -> None:
         _note_internal_error()
 
 
-def observe(name: str, value: float, **labels: object) -> None:
-    """Record *value* into histogram *name*; a no-op when disabled."""
+def observe(
+    name: str,
+    value: float,
+    *,
+    exemplar: Optional[tuple[tuple[str, str], ...]] = None,
+    **labels: object,
+) -> None:
+    """Record *value* into histogram *name*; a no-op when disabled.
+
+    *exemplar* is an optional canonical label-items tuple (e.g.
+    ``(("trace_id", "..."),)``) pinned to the bucket the value lands in
+    — see :meth:`repro.obs.registry.HistogramMetric.observe`.
+    """
     if not _enabled:
         return
     try:
-        _handle("histogram", name, labels).observe(value)
+        _handle("histogram", name, labels).observe(value, exemplar=exemplar)
     except Exception:
         _note_internal_error()
 

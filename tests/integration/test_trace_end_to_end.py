@@ -1,0 +1,128 @@
+"""The distributed-tracing acceptance test: one trace, whole stack.
+
+A traced SDK batch travels client → wire → server → executor, its
+observed estimation error crosses the drift line, the maintenance agent
+rebuilds the drifted histogram — and every one of those spans, recorded
+from three different threads into one JSONL sink, assembles into a
+single trace: ``net.client.batch``, ``net.batch``, ``net.stream``,
+``serve.batch``, and the later ``agent.job`` rebuild, verified both via
+the assembler API and through the ``repro obs trace tree`` CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.engine.catalog import StatsCatalog
+from repro.maint.agent import AgentContext, DriftPolicy, MaintenanceAgent
+from repro.maint.queue import DurableJobQueue
+from repro.net import EstimationClient, serve_in_thread
+from repro.obs import runtime, tracing
+from repro.obs.accuracy import AccuracyMonitor
+from repro.obs.export import JsonlSpanSink, assemble_traces, read_spans
+from repro.obs.tracing import clear_span_sinks
+from repro.serve import EqualityProbe, EstimationService
+
+from tests.maint.test_agent import FakeClock, fresh_source, put_entry
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    runtime.reset()
+    clear_span_sinks()
+    yield
+    runtime.reset()
+    clear_span_sinks()
+
+
+def test_one_trace_spans_request_serving_and_maintenance(tmp_path, capsys):
+    catalog = StatsCatalog()
+    put_entry(catalog, "R", "a")  # stale: claims 5 rows per value
+    service = EstimationService(catalog)
+    monitor = AccuracyMonitor()
+    queue = DurableJobQueue(
+        tmp_path / "queue.jsonl", lease_duration=30.0, clock=FakeClock(), rng=5
+    )
+    sink = JsonlSpanSink(tmp_path / "spans.jsonl", flush_every=1)
+    tracing.add_span_sink(sink)
+
+    # --- The traced request: an application unit of work that submits a
+    # batch over the wire and feeds the observed actuals back.
+    probe = EqualityProbe("R", "a", 0)
+    with serve_in_thread(service) as handle:
+        with tracing.span("probe.batch") as unit:
+            trace_id = unit.trace_id
+            with EstimationClient(*handle.address) as client:
+                estimates = client.estimate_batch([probe] * 10)
+            for estimate in estimates:
+                # The rescan truth: every value now occurs 50 times.
+                monitor.record_observation(probe, float(estimate), 50.0)
+    assert estimates == pytest.approx([5.0] * 10)
+
+    # --- The maintenance turn: drift audit finds R.a out of tolerance
+    # and the rebuild job re-joins the originating trace.
+    context = AgentContext(
+        queue=queue,
+        catalog=catalog,
+        service=service,
+        source=fresh_source,
+        monitor=monitor,
+        drift=DriftPolicy(max_relative_error=0.5, min_observations=5),
+    )
+    queue.enqueue("drift-audit")
+    assert MaintenanceAgent(context).drain() == 2  # audit + rebuild
+    rebuild = next(j for j in queue.jobs() if j["kind"] == "rebuild")
+    assert rebuild["trace_id"] == trace_id
+    sink.close()
+
+    # --- Assembly: the whole story is ONE trace in the sink.
+    records, dropped = read_spans(sink.path)
+    assert dropped == 0
+    traces = {t.trace_id: t for t in assemble_traces(records)}
+    story = traces[trace_id]
+    names = {node.record.name for root in story.roots for node in _walk(root)}
+    assert {
+        "probe.batch",
+        "net.client.batch",
+        "net.batch",
+        "net.stream",
+        "serve.batch",
+        "agent.job",
+    } <= names
+    # The causal chain holds inside the tree: serve.batch descends from
+    # net.batch, which descends from the client span.
+    by_name = {n.record.name: n for r in story.roots for n in _walk(r)}
+    assert _ancestors(by_name["serve.batch"], records) >= {
+        "net.batch",
+        "net.client.batch",
+        "probe.batch",
+    }
+    agent_job = [
+        n for r in story.roots for n in _walk(r) if n.record.name == "agent.job"
+    ]
+    assert all(n.record.trace_id == trace_id for n in agent_job)
+
+    # --- And the operator's view agrees: `repro obs trace tree`.
+    assert main(["obs", "trace", "tree", str(sink.path)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace {trace_id}:" in out
+    for name in ("net.client.batch", "net.batch", "serve.batch", "agent.job"):
+        assert name in out
+
+
+def _walk(node):
+    yield node
+    for child in node.children:
+        yield from _walk(child)
+
+
+def _ancestors(node, records):
+    """Span names on the parent chain above *node* (via parent_id links)."""
+    by_id = {r.span_id: r for r in records}
+    names = set()
+    cursor = by_id.get(node.record.parent_id)
+    while cursor is not None:
+        names.add(cursor.name)
+        cursor = by_id.get(cursor.parent_id)
+    return names

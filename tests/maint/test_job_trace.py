@@ -1,0 +1,190 @@
+"""Trace continuity through the durable job queue and the agent.
+
+The end-to-end story: a traced request whose observed error crosses the
+drift line enqueues a rebuild carrying the originating trace ID; the
+agent re-joins that trace when it executes the job, so the rebuild's
+``agent.job`` span assembles into the same trace as the probe batch
+that caused it — across the queue's crash/replay boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.catalog import StatsCatalog
+from repro.maint.agent import (
+    OUTCOME_DONE,
+    AgentContext,
+    DriftPolicy,
+    MaintenanceAgent,
+)
+from repro.maint.queue import DurableJobQueue, QueueFormatError
+from repro.obs import runtime, tracing
+from repro.obs.accuracy import AccuracyMonitor
+from repro.obs.tracing import TraceContext, clear_span_sinks, span
+from repro.serve import EqualityProbe
+
+from tests.maint.test_agent import FakeClock, fresh_source, put_entry
+
+TRACE = "ab" * 8
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    runtime.reset()
+    clear_span_sinks()
+    yield
+    runtime.reset()
+    clear_span_sinks()
+
+
+def make_queue(tmp_path, clock=None):
+    return DurableJobQueue(
+        tmp_path / "queue.jsonl",
+        lease_duration=30.0,
+        clock=clock or FakeClock(),
+        rng=7,
+    )
+
+
+class TestQueueTraceField:
+    def test_explicit_trace_id_persists_and_replays(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = queue.enqueue("checkpoint", trace_id=TRACE)
+        assert job.trace_id == TRACE
+        (state,) = queue.jobs()
+        assert state["trace_id"] == TRACE
+        # Crash/replay: a fresh open rebuilds the trace link from the log.
+        reopened = make_queue(tmp_path)
+        (state,) = reopened.jobs()
+        assert state["trace_id"] == TRACE
+
+    def test_enqueue_auto_captures_the_active_trace(self, tmp_path):
+        queue = make_queue(tmp_path)
+        with span("serve.batch") as outer:
+            job = queue.enqueue("checkpoint")
+        assert job.trace_id == outer.context.trace_id
+
+    def test_untraced_enqueue_carries_no_trace(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = queue.enqueue("checkpoint")
+        assert job.trace_id == ""
+        # Absent, not null/empty, in the durable log record.
+        log_text = (tmp_path / "queue.jsonl").read_text()
+        assert '"trace"' not in log_text
+
+    def test_non_string_trace_id_is_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        with pytest.raises(TypeError, match="trace_id"):
+            queue.enqueue("checkpoint", trace_id=123)
+
+    def test_corrupt_trace_field_fails_validation(self, tmp_path):
+        """A checksum-intact enqueue record with a non-string trace is
+        rejected by domain validation (not just by the CRC layer): the
+        validator raises, and recovery treats the record as torn —
+        truncated away rather than replayed into a half-valid job."""
+        from repro.engine.eventlog import encode_payload
+        from repro.maint.queue import _validate_event
+
+        bad = {
+            "seq": 1,
+            "event": "enqueue",
+            "job": "job-0000000000000001",
+            "kind": "checkpoint",
+            "params": {},
+            "at": 1000.0,
+            "trace": 17,
+        }
+        with pytest.raises(QueueFormatError, match="trace"):
+            _validate_event(bad)
+        path = tmp_path / "queue.jsonl"
+        path.write_bytes(encode_payload(bad))
+        queue = DurableJobQueue(path, lease_duration=30.0)
+        assert queue.jobs() == []
+        assert path.read_bytes() == b""  # the bad record was truncated
+
+
+class TestAgentTraceContinuity:
+    def build_context(self, tmp_path, monitor=None):
+        catalog = StatsCatalog()
+        put_entry(catalog, "R", "a")
+        return AgentContext(
+            queue=make_queue(tmp_path),
+            catalog=catalog,
+            source=fresh_source,
+            monitor=monitor,
+            drift=DriftPolicy(max_relative_error=0.5, min_observations=5),
+        )
+
+    def test_agent_job_span_joins_the_recorded_trace(self, tmp_path):
+        context = self.build_context(tmp_path)
+        context.queue.enqueue(
+            "rebuild", {"relation": "R", "attribute": "a"}, trace_id=TRACE
+        )
+        records = []
+        tracing.add_span_sink(records.append)
+        agent = MaintenanceAgent(context)
+        assert agent.run_once() == OUTCOME_DONE
+        job_spans = [r for r in records if r.name == "agent.job"]
+        assert job_spans and all(r.trace_id == TRACE for r in job_spans)
+
+    def test_untraced_job_starts_its_own_trace(self, tmp_path):
+        context = self.build_context(tmp_path)
+        context.queue.enqueue("rebuild", {"relation": "R", "attribute": "a"})
+        records = []
+        tracing.add_span_sink(records.append)
+        agent = MaintenanceAgent(context)
+        assert agent.run_once() == OUTCOME_DONE
+        (job_span,) = [r for r in records if r.name == "agent.job"]
+        assert job_span.trace_id not in ("", TRACE)
+
+    def test_drift_audit_links_rebuild_to_the_observed_trace(self, tmp_path):
+        """The full feedback loop: observations recorded under a trace →
+        drift audit → rebuild job carrying that trace → agent.job span
+        in the originating trace."""
+        monitor = AccuracyMonitor()
+        context = self.build_context(tmp_path, monitor=monitor)
+        observed = TraceContext(trace_id=TRACE)
+        token = tracing.attach(observed)
+        try:
+            for _ in range(10):
+                monitor.record_observation(EqualityProbe("R", "a", 0), 5.0, 50.0)
+        finally:
+            tracing.detach(token)
+        context.queue.enqueue("drift-audit")
+        records = []
+        tracing.add_span_sink(records.append)
+        agent = MaintenanceAgent(context)
+        assert agent.drain() == 2  # the audit plus the triggered rebuild
+        rebuild = next(
+            j for j in context.queue.jobs() if j["kind"] == "rebuild"
+        )
+        assert rebuild["trace_id"] == TRACE
+        rebuild_spans = [
+            r
+            for r in records
+            if r.name == "agent.job" and r.tags.get("kind") == "rebuild"
+        ]
+        assert rebuild_spans and rebuild_spans[0].trace_id == TRACE
+
+    def test_handler_enqueues_inherit_the_job_trace(self, tmp_path):
+        """Work a traced job spawns (here: via the attached context)
+        carries the same trace forward — the chain does not break at one
+        hop."""
+        context = self.build_context(tmp_path)
+
+        def chaining_handler(ctx, job):
+            follow_up = ctx.queue.enqueue("checkpoint")
+            return {"enqueued": follow_up.id}
+
+        context.queue.enqueue(
+            "rebuild", {"relation": "R", "attribute": "a"}, trace_id=TRACE
+        )
+        agent = MaintenanceAgent(
+            context, handlers={"rebuild": chaining_handler}
+        )
+        assert agent.run_once() == OUTCOME_DONE
+        follow_up = next(
+            j for j in context.queue.jobs() if j["kind"] == "checkpoint"
+        )
+        assert follow_up["trace_id"] == TRACE

@@ -1,0 +1,230 @@
+"""The ops surface: /v1/metrics, /v1/ready, /v1/tracez, readiness checks."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.biased import v_opt_bias_hist
+from repro.engine.analyze import analyze_relation
+from repro.engine.catalog import CatalogEntry, StatsCatalog
+from repro.engine.relation import Relation
+from repro.maint.queue import DurableJobQueue
+from repro.net import (
+    EstimationClient,
+    agent_lease_check,
+    serve_in_thread,
+)
+from repro.obs import runtime
+from repro.obs.tracing import clear_span_sinks
+from repro.serve import EqualityProbe, EstimationService
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    runtime.reset()
+    clear_span_sinks()
+    yield
+    runtime.reset()
+    clear_span_sinks()
+
+
+class FakeClock:
+    def __init__(self, now: float = 1_000.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+@pytest.fixture
+def service():
+    catalog = StatsCatalog()
+    r = Relation.from_columns("R", {"a": [1] * 40 + [2] * 25 + [3] * 20})
+    analyze_relation(r, "a", catalog, kind="serial", buckets=3)
+    hist = v_opt_bias_hist([6.0, 3.0, 1.0], 2, values=["a", "b", "c"])
+    catalog.put(CatalogEntry("T", "s", "biased", hist, None, 3, 10.0))
+    return EstimationService(catalog)
+
+
+def http_get(address, path):
+    conn = http.client.HTTPConnection(*address, timeout=30.0)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def check_by_name(payload, name):
+    return next(c for c in payload["checks"] if c["name"] == name)
+
+
+class TestReadiness:
+    def test_cold_cache_is_unready_then_ready_after_first_batch(self, service):
+        with serve_in_thread(service) as handle:
+            status, body = http_get(handle.address, "/v1/ready")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["status"] == "unready"
+            assert check_by_name(payload, "cache-warm")["ok"] is False
+            # Catalog and quarantine checks pass independently.
+            assert check_by_name(payload, "catalog-published")["ok"] is True
+            assert check_by_name(payload, "quarantine-empty")["ok"] is True
+
+            with EstimationClient(*handle.address) as client:
+                client.estimate_batch([EqualityProbe("R", "a", 1)])
+
+            status, body = http_get(handle.address, "/v1/ready")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert all(c["ok"] for c in payload["checks"])
+
+    def test_quarantine_flips_unready_and_names_the_pair(self, service):
+        with serve_in_thread(service) as handle:
+            with EstimationClient(*handle.address) as client:
+                client.estimate_batch([EqualityProbe("R", "a", 1)])
+            service.quarantine("R", "a")
+            status, body = http_get(handle.address, "/v1/ready")
+            payload = json.loads(body)
+            assert status == 503
+            failing = check_by_name(payload, "quarantine-empty")
+            assert failing["ok"] is False
+            assert "R.a" in failing["detail"]
+            # Repair: clear the hold and serve one probe (quarantining
+            # evicted the compiled table, so the cache must re-warm).
+            service.clear_quarantine("R", "a")
+            with EstimationClient(*handle.address) as client:
+                client.estimate_batch([EqualityProbe("R", "a", 1)])
+            status, body = http_get(handle.address, "/v1/ready")
+            assert status == 200
+
+    def test_empty_catalog_is_unready(self):
+        service = EstimationService(StatsCatalog())
+        with serve_in_thread(service) as handle:
+            status, body = http_get(handle.address, "/v1/ready")
+            payload = json.loads(body)
+            assert status == 503
+            assert check_by_name(payload, "catalog-published")["ok"] is False
+
+    def test_agent_lease_check_flags_expired_leases(self, service, tmp_path):
+        clock = FakeClock()
+        queue = DurableJobQueue(
+            tmp_path / "queue.jsonl", lease_duration=30.0, clock=clock, rng=3
+        )
+        check = agent_lease_check(queue, clock=clock)
+        assert check() == (True, "all claimed leases fresh")
+        queue.enqueue("checkpoint")
+        lease = queue.claim("worker-1")
+        assert check()[0] is True  # claimed but fresh
+        clock.advance(31.0)
+        ok, detail = check()
+        assert ok is False
+        assert lease.job.id in detail
+
+    def test_add_readiness_check_over_http(self, service, tmp_path):
+        clock = FakeClock()
+        queue = DurableJobQueue(
+            tmp_path / "queue.jsonl", lease_duration=30.0, clock=clock, rng=3
+        )
+        queue.enqueue("checkpoint")
+        queue.claim("worker-1")
+        clock.advance(31.0)
+        with serve_in_thread(service) as handle:
+            handle.server.add_readiness_check(
+                "agent-lease-fresh", agent_lease_check(queue, clock=clock)
+            )
+            status, body = http_get(handle.address, "/v1/ready")
+            payload = json.loads(body)
+            assert status == 503
+            failing = check_by_name(payload, "agent-lease-fresh")
+            assert failing["ok"] is False
+            assert "expired lease" in failing["detail"]
+
+    def test_raising_check_reports_failing_not_fatal(self, service):
+        with serve_in_thread(service) as handle:
+            def boom():
+                raise RuntimeError("probe exploded")
+
+            handle.server.add_readiness_check("explosive", boom)
+            status, body = http_get(handle.address, "/v1/ready")
+            payload = json.loads(body)
+            assert status == 503
+            failing = check_by_name(payload, "explosive")
+            assert failing["ok"] is False
+            assert "probe exploded" in failing["detail"]
+            # The server is still serving.
+            assert http_get(handle.address, "/v1/health")[0] == 200
+
+    def test_check_registration_validation(self, service):
+        with serve_in_thread(service) as handle:
+            server = handle.server
+            with pytest.raises(ValueError, match="already registered"):
+                server.add_readiness_check("cache-warm", lambda: (True, ""))
+            with pytest.raises(ValueError, match="non-empty"):
+                server.add_readiness_check("", lambda: (True, ""))
+            with pytest.raises(TypeError, match="callable"):
+                server.add_readiness_check("x", "not-callable")
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_with_trace_exemplars(self, service):
+        with serve_in_thread(service) as handle:
+            with EstimationClient(*handle.address) as client:
+                client.estimate_batch([EqualityProbe("R", "a", 1)])
+            status, body = http_get(handle.address, "/v1/metrics")
+        assert status == 200
+        assert "repro_net_batches_total" in body
+        assert "repro_span_duration_seconds" in body
+        # Latency-histogram exemplars link buckets to sampled trace IDs.
+        exemplar_lines = [
+            line
+            for line in body.splitlines()
+            if "_bucket" in line and '# {trace_id="' in line
+        ]
+        assert exemplar_lines, "no trace exemplars on histogram buckets"
+
+    def test_metrics_needs_no_auth(self, service):
+        from repro.net import TenantConfig
+
+        tenants = [TenantConfig(name="t1", token="s3cret")]
+        with serve_in_thread(service, tenants=tenants) as handle:
+            assert http_get(handle.address, "/v1/metrics")[0] == 200
+            assert http_get(handle.address, "/v1/ready")[0] in (200, 503)
+
+
+class TestTracezEndpoint:
+    def test_recent_traces_include_batch_spans(self, service):
+        with serve_in_thread(service) as handle:
+            with EstimationClient(*handle.address) as client:
+                client.estimate_batch([EqualityProbe("R", "a", 1)])
+            status, body = http_get(handle.address, "/v1/tracez")
+        assert status == 200
+        payload = json.loads(body)
+        names = {name for row in payload["traces"] for name in row["names"]}
+        assert "net.batch" in names
+        assert "serve.batch" in names
+        batch_rows = [r for r in payload["traces"] if "net.batch" in r["names"]]
+        assert all(row["trace_id"] for row in batch_rows)
+        assert all("net.batch" in row["tree"] for row in batch_rows)
+
+    def test_tracez_empty_before_traffic(self, service):
+        with serve_in_thread(service) as handle:
+            status, body = http_get(handle.address, "/v1/tracez")
+        assert status == 200
+        payload = json.loads(body)
+        # Only this request's own connection span can be present.
+        assert all(
+            set(row["names"]) <= {"net.accept"} for row in payload["traces"]
+        )
+
+    def test_unknown_endpoint_is_404(self, service):
+        with serve_in_thread(service) as handle:
+            assert http_get(handle.address, "/v1/nope")[0] == 404

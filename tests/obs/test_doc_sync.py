@@ -1,0 +1,49 @@
+"""Doc-sync guard: the span taxonomy in the docs matches the code.
+
+`SPAN_NAMES` is the single source of truth for instrumented span names;
+the table in ``docs/OBSERVABILITY.md`` is its human-facing mirror.  This
+test fails the build when either side drifts, naming exactly what is
+missing where.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.tracing import SPAN_NAMES
+
+DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+
+def documented_span_names() -> list[str]:
+    """First-column code spans of the `| Span | Emitted from |` table."""
+    text = DOC_PATH.read_text(encoding="utf-8")
+    match = re.search(
+        r"^\| Span \| Emitted from \|\n\|[-| ]+\|\n((?:\|.*\|\n)+)",
+        text,
+        flags=re.MULTILINE,
+    )
+    assert match is not None, "span table not found in docs/OBSERVABILITY.md"
+    names = []
+    for row in match.group(1).strip().splitlines():
+        cell = row.split("|")[1].strip()
+        inner = re.fullmatch(r"`([^`]+)`", cell)
+        assert inner is not None, f"malformed span-table row: {row!r}"
+        names.append(inner.group(1))
+    return names
+
+
+def test_span_table_matches_span_names_exactly():
+    documented = documented_span_names()
+    in_code = set(SPAN_NAMES)
+    in_docs = set(documented)
+    assert len(documented) == len(in_docs), "duplicate rows in the span table"
+    missing_from_docs = sorted(in_code - in_docs)
+    missing_from_code = sorted(in_docs - in_code)
+    assert not missing_from_docs, (
+        f"spans missing a docs/OBSERVABILITY.md table row: {missing_from_docs}"
+    )
+    assert not missing_from_code, (
+        f"documented spans absent from SPAN_NAMES: {missing_from_code}"
+    )

@@ -1,0 +1,255 @@
+"""Span export: wire codec, JSONL sink, trace assembly, rendering, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.export import (
+    JsonlSpanSink,
+    assemble_traces,
+    read_spans,
+    render_trace_tree,
+    slowest_traces,
+    span_from_wire,
+    span_to_wire,
+    trace_summary,
+)
+from repro.obs.tracing import (
+    SpanRecord,
+    add_span_sink,
+    clear_span_sinks,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    runtime.reset()
+    clear_span_sinks()
+    yield
+    runtime.reset()
+    clear_span_sinks()
+
+
+def make_record(
+    name="serve.batch",
+    *,
+    start=1.0,
+    end=2.0,
+    trace_id="aa" * 8,
+    span_id="bb" * 8,
+    parent_id="",
+    error=False,
+    tags=None,
+):
+    return SpanRecord(
+        name=name,
+        start=start,
+        end=end,
+        depth=0,
+        parent=None,
+        error=error,
+        tags=dict(tags or {}),
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+    )
+
+
+class TestWireCodec:
+    def test_round_trip(self):
+        record = make_record(tags={"tenant": "t1"}, error=True)
+        wire = span_to_wire(record)
+        back = span_from_wire(wire)
+        assert back == record
+
+    def test_json_round_trip(self):
+        record = make_record()
+        back = span_from_wire(json.loads(json.dumps(span_to_wire(record))))
+        assert back == record
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            "not a dict",
+            {"name": 7},
+            {"name": "x", "start": "soon"},
+            {"name": "x", "start": 0.0, "end": 1.0, "tags": ["nope"]},
+        ],
+    )
+    def test_malformed_wire_raises(self, corrupt):
+        with pytest.raises((ValueError, TypeError)):
+            span_from_wire(corrupt)
+
+
+class TestJsonlSink:
+    def test_spans_round_trip_through_the_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlSpanSink(path, flush_every=1) as sink:
+            add_span_sink(sink)
+            with span("serve.batch", tenant="t1"):
+                pass
+        records, dropped = read_spans(path)
+        assert dropped == 0
+        assert [r.name for r in records] == ["serve.batch"]
+        assert records[0].tags == {"tenant": "t1"}
+        assert records[0].trace_id and records[0].span_id
+
+    def test_bounded_to_max_spans(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlSpanSink(path, max_spans=5, flush_every=1) as sink:
+            for i in range(20):
+                sink(make_record(span_id=f"{i:016x}"))
+        records, _ = read_spans(path)
+        assert len(records) == 5
+        # The *newest* five survive.
+        assert records[-1].span_id == f"{19:016x}"
+
+    def test_kill_switch_stops_file_io(self, tmp_path):
+        """`set_instrumentation(False)` must stop sink writes entirely."""
+        path = tmp_path / "spans.jsonl"
+        with JsonlSpanSink(path, flush_every=1) as sink:
+            sink(make_record())
+            assert path.exists()
+            before = path.read_text()
+            mtime = path.stat().st_mtime_ns
+            runtime.set_instrumentation(False)
+            for i in range(10):
+                sink(make_record(span_id=f"{i:016x}"))
+            assert path.read_text() == before
+            assert path.stat().st_mtime_ns == mtime
+            runtime.set_instrumentation(True)
+            sink(make_record(span_id="cc" * 8))
+        records, _ = read_spans(path)
+        assert len(records) == 2
+
+    def test_read_spans_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        good = json.dumps(span_to_wire(make_record()))
+        path.write_text(good + "\nnot json\n" + json.dumps({"v": 1}) + "\n" + good + "\n")
+        records, dropped = read_spans(path)
+        assert len(records) == 2
+        assert dropped == 2
+
+
+class TestSinkHardening:
+    def test_sinks_receive_defensive_tag_copies(self):
+        """A sink mutating its record's tags must not corrupt other sinks."""
+        seen: list[dict] = []
+
+        def vandal(record):
+            record.tags["stolen"] = "yes"
+            record.tags.clear()
+
+        def witness(record):
+            seen.append(dict(record.tags))
+
+        add_span_sink(vandal)
+        add_span_sink(witness)
+        with span("serve.batch", tenant="t1"):
+            pass
+        assert seen == [{"tenant": "t1"}]
+
+
+class TestAssembly:
+    def test_parent_child_tree(self):
+        parent = make_record(name="net.batch", span_id="01" * 8)
+        child = make_record(
+            name="serve.batch", span_id="02" * 8, parent_id="01" * 8,
+            start=1.2, end=1.8,
+        )
+        (trace,) = assemble_traces([child, parent])
+        assert [root.record.name for root in trace.roots] == ["net.batch"]
+        assert [c.record.name for c in trace.roots[0].children] == ["serve.batch"]
+        assert not trace.roots[0].children[0].orphan
+
+    def test_duplicate_span_ids_first_wins(self):
+        first = make_record(span_id="01" * 8, start=1.0)
+        dupe = make_record(span_id="01" * 8, start=9.0)
+        (trace,) = assemble_traces([first, dupe])
+        assert trace.span_count == 1
+        assert trace.roots[0].record.start == 1.0
+
+    def test_orphan_promoted_to_flagged_root(self):
+        orphan = make_record(span_id="02" * 8, parent_id="ff" * 8)
+        (trace,) = assemble_traces([orphan])
+        assert trace.roots[0].orphan is True
+
+    def test_cycle_broken_not_infinite(self):
+        a = make_record(span_id="01" * 8, parent_id="02" * 8, start=1.0)
+        b = make_record(span_id="02" * 8, parent_id="01" * 8, start=2.0)
+        (trace,) = assemble_traces([a, b])
+        assert trace.span_count == 2
+        assert len(trace.roots) == 1  # the cycle broke at one member
+        rendered = render_trace_tree(trace)
+        assert "~orphan" in rendered
+
+    def test_traces_partition_by_trace_id(self):
+        records = [
+            make_record(trace_id="aa" * 8, span_id="01" * 8),
+            make_record(trace_id="bb" * 8, span_id="02" * 8),
+        ]
+        traces = assemble_traces(records)
+        assert sorted(t.trace_id for t in traces) == ["aa" * 8, "bb" * 8]
+
+    def test_slowest_orders_by_duration(self):
+        fast = make_record(trace_id="aa" * 8, span_id="01" * 8, start=0.0, end=0.1)
+        slow = make_record(trace_id="bb" * 8, span_id="02" * 8, start=0.0, end=9.0)
+        ranked = slowest_traces(assemble_traces([fast, slow]), limit=1)
+        assert [t.trace_id for t in ranked] == ["bb" * 8]
+
+    def test_summary_shape(self):
+        (trace,) = assemble_traces([make_record(error=True)])
+        summary = trace_summary(trace)
+        assert summary["trace_id"] == "aa" * 8
+        assert summary["spans"] == 1
+        assert summary["error"] is True
+        assert summary["names"] == ["serve.batch"]
+
+
+class TestTraceCli:
+    def fill(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlSpanSink(path, flush_every=1) as sink:
+            add_span_sink(sink)
+            with span("net.batch", tenant="t1"):
+                with span("serve.batch"):
+                    pass
+        return path
+
+    def test_tree_renders_nested_spans(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.fill(tmp_path)
+        assert main(["obs", "trace", "tree", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "net.batch" in out
+        assert "serve.batch" in out
+        assert "trace " in out
+
+    def test_dump_emits_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.fill(tmp_path)
+        assert main(["obs", "trace", "dump", str(path)]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 2
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_slowest_limits(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.fill(tmp_path)
+        assert main(["obs", "trace", "slowest", str(path), "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        headers = [l for l in out.splitlines() if l.startswith("trace ") and ":" in l]
+        assert len(headers) == 1
+
+    def test_missing_file_is_io_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_IO_ERROR, main
+
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "trace", "tree", str(missing)]) == EXIT_IO_ERROR

@@ -1,0 +1,129 @@
+"""Property-based tests for trace assembly and head sampling.
+
+The assembler's contract: *any* span stream — shuffled, interleaved
+across traces, truncated mid-trace, carrying duplicate IDs or dangling
+parent links — assembles into well-formed forests.  Well-formed means:
+
+* every input span appears in exactly one trace (dedupe by span ID,
+  first record wins);
+* every tree edge is a real ``parent_id`` link within the same trace —
+  no orphan is silently grafted (orphans surface as flagged roots);
+* no cycles survive — rendering and traversal terminate;
+* nothing assumes parent duration covers child duration (truncated
+  streams routinely violate it).
+
+Sampling's contract: the head decision is a pure function of the trace
+ID, so every span of a trace — on any thread, in any process — lands on
+the same side of the cut.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import assemble_traces, render_trace_tree
+from repro.obs.tracing import HeadSampler, SpanRecord, TraceIdSource
+
+SPAN_NAME = st.sampled_from(["serve.batch", "net.batch", "agent.job", "x"])
+
+# Small ID pools force collisions: duplicate span IDs, self-parenting,
+# cross-trace parent references, and dangling links all get generated.
+SPAN_ID = st.integers(min_value=0, max_value=7).map(lambda i: f"{i:016x}")
+TRACE_ID = st.integers(min_value=0, max_value=2).map(lambda i: f"{i + 10:016x}")
+
+
+@st.composite
+def span_records(draw):
+    start = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    # end may be *before* start (clock ambiguity in truncated streams):
+    # assembly must not assume parent durations >= child durations.
+    end = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    return SpanRecord(
+        name=draw(SPAN_NAME),
+        start=start,
+        end=end,
+        depth=0,
+        parent=None,
+        error=draw(st.booleans()),
+        tags={},
+        trace_id=draw(TRACE_ID),
+        span_id=draw(SPAN_ID),
+        parent_id=draw(st.one_of(st.just(""), SPAN_ID)),
+    )
+
+
+def walk(node, seen):
+    assert node.record.span_id not in seen, "span appears twice in one forest"
+    seen.add(node.record.span_id)
+    for child in node.children:
+        assert child.record.parent_id == node.record.span_id
+        assert child.record.trace_id == node.record.trace_id
+        assert not child.orphan
+        walk(child, seen)
+
+
+@given(st.lists(span_records(), max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_any_stream_assembles_into_well_formed_forests(records):
+    traces = assemble_traces(records)
+
+    # Every unique (trace_id, span_id) appears exactly once, somewhere.
+    unique: dict[tuple, SpanRecord] = {}
+    for record in records:
+        unique.setdefault((record.trace_id, record.span_id), record)
+    assert sum(t.span_count for t in traces) == len(unique)
+    assert len({t.trace_id for t in traces}) == len(traces)
+
+    for trace in traces:
+        seen: set = set()
+        for root in trace.roots:
+            # A root either has no parent link or is a flagged orphan
+            # (its parent never arrived, or a cycle was broken here).
+            assert root.record.parent_id == "" or root.orphan
+            walk(root, seen)  # terminates: no cycles survive assembly
+        assert len(seen) == trace.span_count
+        # Rendering is total — it must never trip over any shape.
+        assert render_trace_tree(trace)
+
+
+@given(st.lists(span_records(), max_size=30), st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_assembly_is_order_insensitive(records, rng):
+    """Shuffling an interleaved stream cannot change the forest shape
+    when span IDs are unique (first-wins dedupe is the only order
+    dependence, and it needs duplicates to matter)."""
+    deduped = list({r.span_id: r for r in records}.values())
+    baseline = assemble_traces(deduped)
+    shuffled = list(deduped)
+    rng.shuffle(shuffled)
+    again = assemble_traces(shuffled)
+    assert [render_trace_tree(t) for t in baseline] == [
+        render_trace_tree(t) for t in again
+    ]
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(0, 1000))
+@settings(max_examples=200, deadline=None)
+def test_sampling_decision_is_consistent_per_trace_id(seed, per_mille):
+    rate = per_mille / 1000.0
+    sampler = HeadSampler(default_rate=rate)
+    trace_id = TraceIdSource(seed=seed).next_id()
+    decisions = {sampler.decision(trace_id) for _ in range(5)}
+    assert len(decisions) == 1
+    if rate == 0.0:
+        assert decisions == {False}
+    if rate == 1.0:
+        assert decisions == {True}
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=100, deadline=None)
+def test_id_source_is_seed_deterministic_and_collision_free(seed):
+    source_a = TraceIdSource(seed=seed)
+    source_b = TraceIdSource(seed=seed)
+    a = [source_a.next_id() for _ in range(50)]
+    b = [source_b.next_id() for _ in range(50)]
+    assert a == b
+    assert len(set(a)) == len(a)
+    assert all(len(i) == 16 and int(i, 16) != 0 for i in a)
